@@ -1,0 +1,89 @@
+//! Criterion wrappers around the figure reproductions: each bench runs a
+//! reduced-resolution sweep so `cargo bench` regenerates every paper
+//! artifact's shape in seconds and tracks the simulator's wall-clock cost.
+//! (Full-resolution sweeps live in the fig3a/fig3b/case_study binaries.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pos_bench::ablations;
+use pos_bench::figures::{self, fig_quick};
+use pos_loadgen::scenario::Platform;
+
+fn bench_fig3a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3a");
+    g.sample_size(10);
+    g.bench_function("reduced_sweep", |b| {
+        b.iter(|| {
+            let fig = fig_quick(Platform::Pos, 4, 0.02);
+            // The shape must hold even in the reduced sweep.
+            assert!(fig.peak_rx_mpps(64) > 1.4);
+            assert!(fig.peak_rx_mpps(1500) < 0.9);
+            black_box(fig)
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig3b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b");
+    g.sample_size(10);
+    g.bench_function("reduced_sweep", |b| {
+        b.iter(|| {
+            let fig = fig_quick(Platform::Vpos, 4, 0.05);
+            assert!(fig.peak_rx_mpps(64) < 0.07);
+            black_box(fig)
+        });
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/probe_and_render", |b| {
+        b.iter(|| {
+            let text = pos_core::requirements::render_table1();
+            assert!(text.contains("pos"));
+            black_box(text)
+        });
+    });
+}
+
+fn bench_case_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case_study");
+    g.sample_size(10);
+    g.bench_function("full_workflow_2x2", |b| {
+        let root = std::env::temp_dir().join(format!("pos-bench-cs-{}", std::process::id()));
+        b.iter(|| {
+            let outcome = figures::case_study(&root, 2, 1).expect("case study");
+            assert_eq!(outcome.successes(), 4);
+            black_box(outcome)
+        });
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("wiring", |b| {
+        b.iter(|| black_box(ablations::ablation_wiring()));
+    });
+    g.bench_function("cleanslate", |b| {
+        b.iter(|| black_box(ablations::ablation_cleanslate()));
+    });
+    g.bench_function("crossproduct", |b| {
+        b.iter(|| black_box(ablations::ablation_crossproduct(5, 10)));
+    });
+    g.bench_function("loadgen_precision", |b| {
+        b.iter(|| black_box(ablations::ablation_loadgen(10_000.0)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3a,
+    bench_fig3b,
+    bench_table1,
+    bench_case_study,
+    bench_ablations
+);
+criterion_main!(benches);

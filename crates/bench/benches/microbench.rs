@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the hot paths: packet build/parse,
+//! checksums, the event queue, the HDR histogram, and loop-variable
+//! expansion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pos_core::loopvars::expand_cross_product;
+use pos_core::vars::{VarValue, Variables};
+use pos_eval::hdr::HdrHistogram;
+use pos_packet::builder::{parse_udp_frame, UdpFrameSpec};
+use pos_packet::{checksum, MacAddr};
+use pos_simkernel::{EventQueue, SimRng, SimTime};
+use std::net::Ipv4Addr;
+
+fn spec() -> UdpFrameSpec {
+    UdpFrameSpec {
+        src_mac: MacAddr::testbed_host(1),
+        dst_mac: MacAddr::testbed_host(2),
+        src_ip: Ipv4Addr::new(10, 0, 0, 1),
+        dst_ip: Ipv4Addr::new(10, 0, 1, 1),
+        src_port: 1000,
+        dst_port: 2000,
+        ttl: 64,
+    }
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    for size in [64usize, 1500] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("build_{size}B"), |b| {
+            let s = spec();
+            b.iter(|| black_box(s.build_with_wire_size(size, &[0u8; 16]).unwrap()));
+        });
+        let frame = spec().build_with_wire_size(size, &[0u8; 16]).unwrap();
+        g.bench_function(format!("parse_{size}B"), |b| {
+            b.iter(|| black_box(parse_udp_frame(frame.bytes()).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    let data = vec![0xA5u8; 1500];
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("full_1500B", |b| {
+        b.iter(|| black_box(checksum::checksum(&data)));
+    });
+    g.bench_function("incremental_update", |b| {
+        b.iter(|| black_box(checksum::update(black_box(0x1234), 0, 0x9999)));
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos(rng.uniform_u64(1_000_000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_hdr(c: &mut Criterion) {
+    c.bench_function("hdr/record_1k", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut h = HdrHistogram::new(3_600_000_000_000, 3);
+            for _ in 0..1000 {
+                h.record(rng.uniform_u64(1_000_000) + 1);
+            }
+            black_box(h.value_at_percentile(99.0))
+        });
+    });
+}
+
+fn bench_crossproduct(c: &mut Criterion) {
+    c.bench_function("loopvars/expand_60", |b| {
+        let rates: Vec<VarValue> = (1..=30i64).map(|i| VarValue::Int(i * 10_000)).collect();
+        let vars = Variables::new()
+            .with("pkt_sz", vec![64i64, 1500])
+            .with("pkt_rate", VarValue::List(rates));
+        b.iter(|| black_box(expand_cross_product(&vars)));
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_raw", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| black_box(rng.next_raw()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_packet,
+    bench_checksum,
+    bench_event_queue,
+    bench_hdr,
+    bench_crossproduct,
+    bench_rng
+);
+criterion_main!(benches);

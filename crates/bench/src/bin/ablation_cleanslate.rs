@@ -1,0 +1,9 @@
+//! Ablation: enforced live-image reboot vs. re-using a booted host — the
+//! R3 clean-slate guarantee made visible.
+
+fn main() {
+    println!("{:<40} {}", "policy", "leaked state?");
+    for row in pos_bench::ablations::ablation_cleanslate() {
+        println!("{:<40} {}", row.policy, if row.leaked_state { "YES" } else { "no" });
+    }
+}

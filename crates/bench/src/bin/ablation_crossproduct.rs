@@ -1,0 +1,15 @@
+//! Ablation: exponential growth of the loop-variable cross product
+//! (the §4.4 warning, quantified at the case study's 3-minutes-per-run pace).
+
+fn main() {
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "variables", "values each", "runs", "est. hours"
+    );
+    for row in pos_bench::ablations::ablation_crossproduct(8, 10) {
+        println!(
+            "{:>10} {:>12} {:>14} {:>12.1}",
+            row.variables, row.values_each, row.runs, row.est_hours
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Ablation: MoonGen-style per-packet pacing vs. iPerf-style bursts
+//! (cf. "Mind the Gap", the paper's reference \[15\]).
+
+fn main() {
+    println!(
+        "{:<30} {:>12} {:>14} {:>10}",
+        "generator", "target pps", "achieved pps", "gap CV"
+    );
+    for row in pos_bench::ablations::ablation_loadgen(10_000.0) {
+        println!(
+            "{:<30} {:>12.0} {:>14.1} {:>10.3}",
+            row.generator, row.target_pps, row.achieved_pps, row.gap_cv
+        );
+    }
+}

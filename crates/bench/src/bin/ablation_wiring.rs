@@ -1,0 +1,12 @@
+//! Ablation: direct cable vs. optical L1 switch vs. L2 cut-through switch
+//! (the quantified version of the §7 topology discussion).
+
+fn main() {
+    println!("{:<24} {:>14} {:>12}", "wiring", "latency [ns]", "added [ns]");
+    for row in pos_bench::ablations::ablation_wiring() {
+        println!(
+            "{:<24} {:>14.1} {:>12.1}",
+            row.wiring, row.mean_latency_ns, row.added_ns
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Runs the full §5 / Appendix A case study through the complete pos
+//! workflow: allocation, boots, setup scripts, 60 measurement runs,
+//! result capture — then evaluates and summarizes.
+//!
+//! Usage: `cargo run --release -p pos-bench --bin case_study [result_root]`
+//! Env: `POS_RATE_STEPS` (default 30), `POS_RUN_SECS` (default 1),
+//! `POS_PLATFORM` (`pos` or `vpos`, default `vpos` — the testbed
+//! Appendix A uses).
+
+use pos_bench::env_f64;
+use pos_eval::loader::ResultSet;
+use pos_loadgen::scenario::Platform;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
+    let rate_steps = env_f64("POS_RATE_STEPS", 30.0) as usize;
+    let run_secs = env_f64("POS_RUN_SECS", 1.0) as u64;
+    let platform = match std::env::var("POS_PLATFORM").as_deref() {
+        Ok("pos") => Platform::Pos,
+        _ => Platform::Vpos,
+    };
+    println!("platform: {}", platform.name());
+    let outcome = pos_bench::figures::case_study_on(
+        std::path::Path::new(&root),
+        rate_steps,
+        run_secs.max(1),
+        platform,
+    )
+    .expect("case study experiment");
+    println!(
+        "experiment finished: {} runs ({} ok, {} recoveries) in {} virtual time",
+        outcome.runs.len(),
+        outcome.successes(),
+        outcome.recoveries,
+        outcome.finished - outcome.started,
+    );
+    println!("result tree: {}", outcome.result_dir.display());
+
+    let set = ResultSet::load(&outcome.result_dir).expect("load results");
+    for (size, group) in set.group_by("pkt_sz") {
+        let series = group.series("pkt_rate", |r| Some(r.report()?.rx_mpps()));
+        let peak = series.iter().map(|p| p.1).fold(0.0f64, f64::max);
+        println!("pkt_sz={size}: {} points, peak forwarded {:.4} Mpps", series.len(), peak);
+    }
+}

@@ -1,0 +1,25 @@
+//! Reproduces Figure 3a: bare-metal Linux router forwarding rate vs.
+//! offered load for 64 B and 1500 B frames.
+//!
+//! Usage: `cargo run --release -p pos-bench --bin fig3a`
+//! Env: `POS_RUN_SECS` (default 0.5) — virtual seconds per measurement.
+//! Writes `figures/fig3a.{svg,tex,csv}` next to the printed table.
+
+use pos_bench::{env_f64, figures};
+
+fn main() {
+    let run_secs = env_f64("POS_RUN_SECS", 0.5);
+    let fig = figures::fig3a(run_secs);
+    print!("{}", fig.render_table());
+    println!(
+        "# shape: 64B saturates at {:.2} Mpps (paper: ~1.75); 1500B caps at {:.2} Mpps (paper: ~0.8)",
+        fig.peak_rx_mpps(64),
+        fig.peak_rx_mpps(1500)
+    );
+    let plot = fig.plot();
+    std::fs::create_dir_all("figures").expect("create figures dir");
+    std::fs::write("figures/fig3a.svg", plot.render_svg()).expect("write svg");
+    std::fs::write("figures/fig3a.tex", plot.render_tex()).expect("write tex");
+    std::fs::write("figures/fig3a.csv", plot.render_csv()).expect("write csv");
+    eprintln!("wrote figures/fig3a.{{svg,tex,csv}}");
+}

@@ -1,0 +1,7 @@
+//! Reproduces Table 1: the requirement-support comparison between
+//! testbeds/methodologies. The pos row is derived by probing this
+//! toolchain's actual capabilities; the other rows are the paper's.
+
+fn main() {
+    print!("{}", pos_core::requirements::render_table1());
+}

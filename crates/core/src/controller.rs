@@ -1,0 +1,1087 @@
+//! The pos experiment controller: the §4.4 workflow.
+//!
+//! ```text
+//! setup phase        allocate → load variables → set images/boot params →
+//!                    reboot (out of band) → deploy tools → setup scripts
+//! measurement phase  for every loop-variable combination (queued one
+//!                    after another): measurement scripts, output captured
+//! evaluation phase   handled by pos-eval on the written result tree
+//! ```
+//!
+//! Concurrency model: all experiment hosts execute their script segments
+//! *in parallel* between named barriers. The controller replays each
+//! host's segment in its own time lane (see [`Testbed::set_now`]) and
+//! completes the barrier at the latest lane end.
+//!
+//! Recovery (R3): a host that stops answering in-band is re-initialized
+//! out of band (reset, or power-cycle for plugs), its live image rebooted,
+//! tools redeployed, and its setup script re-run; the interrupted
+//! measurement run is then retried from scratch.
+
+use crate::experiment::{ExperimentSpec, SpecError};
+use crate::loopvars::{cross_product_size, expand_cross_product, RunParams};
+use crate::resultstore::{run_metadata, ResultStore};
+use crate::script::Step;
+use crate::vars::Variables;
+use pos_simkernel::{SimTime, TraceLevel};
+use pos_testbed::{CommandResult, ExecError, PowerError, Testbed};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Options for one experiment execution.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Root of the result tree (`/srv/testbed/results` in the paper).
+    pub result_root: PathBuf,
+    /// Retries per measurement run after a failure or crash.
+    pub max_run_retries: u32,
+    /// Retries for flaky out-of-band management commands.
+    pub max_power_retries: u32,
+    /// Keep going and record failed runs instead of aborting.
+    pub continue_on_run_failure: bool,
+    /// Refuse to start if the cross product exceeds this many runs.
+    pub max_runs: usize,
+    /// Execute the whole cross product this many times (≥ 1). Repetitions
+    /// appear as a synthetic `repetition` loop variable in run metadata,
+    /// so the evaluation can aggregate across them (mean ± CI).
+    pub repetitions: u32,
+}
+
+impl RunOptions {
+    /// Defaults rooted at the given directory.
+    pub fn new(result_root: impl Into<PathBuf>) -> RunOptions {
+        RunOptions {
+            result_root: result_root.into(),
+            max_run_retries: 2,
+            max_power_retries: 5,
+            continue_on_run_failure: false,
+            max_runs: crate::loopvars::RUN_COUNT_WARNING_THRESHOLD,
+            repetitions: 1,
+        }
+    }
+}
+
+/// Progress callback events (the paper's progress bar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Progress {
+    /// A host finished booting.
+    HostReady {
+        /// The booted host.
+        host: String,
+    },
+    /// The setup phase completed.
+    SetupDone,
+    /// A measurement run finished.
+    RunDone {
+        /// Zero-based index.
+        index: usize,
+        /// Total number of runs.
+        total: usize,
+        /// Whether the run succeeded.
+        success: bool,
+        /// The run's result directory — complete at this point, so an
+        /// asynchronous evaluation (§4.4: "either after all runs have been
+        /// completed or asynchronously during their runtime") can process
+        /// it while the next run executes.
+        dir: PathBuf,
+    },
+}
+
+/// Record of one executed measurement run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The loop parameters.
+    pub params: RunParams,
+    /// Captured result per role (stdout of its measurement script).
+    pub outputs: BTreeMap<String, CommandResult>,
+    /// Attempts used.
+    pub attempts: u32,
+    /// Final success.
+    pub success: bool,
+    /// How many out-of-band recoveries this run triggered.
+    pub recoveries: u32,
+}
+
+/// Everything an experiment execution produced.
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// Where the result tree was written.
+    pub result_dir: PathBuf,
+    /// All runs in cross-product order.
+    pub runs: Vec<RunRecord>,
+    /// Virtual start of the experiment.
+    pub started: SimTime,
+    /// Virtual end of the experiment.
+    pub finished: SimTime,
+    /// Total out-of-band recoveries across all runs.
+    pub recoveries: u32,
+}
+
+impl ExperimentOutcome {
+    /// Number of successful runs.
+    pub fn successes(&self) -> usize {
+        self.runs.iter().filter(|r| r.success).count()
+    }
+}
+
+/// Why an experiment could not complete.
+#[derive(Debug)]
+pub enum ControllerError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// A role references a host the testbed does not have.
+    UnknownHost {
+        /// The missing host name.
+        host: String,
+    },
+    /// A role references an image the store does not have.
+    UnknownImage {
+        /// The image name.
+        name: String,
+        /// The requested snapshot pin, if any.
+        snapshot: Option<String>,
+    },
+    /// The calendar rejected the allocation.
+    Allocation(pos_testbed::ReservationError),
+    /// The cross product is too large (the §4.4 warning, enforced).
+    TooManyRuns {
+        /// Number of runs the expansion would produce.
+        runs: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Out-of-band management kept failing.
+    PowerFailed {
+        /// The unmanageable host.
+        host: String,
+        /// The final error.
+        error: PowerError,
+    },
+    /// A setup script command failed: the experiment cannot proceed.
+    SetupFailed {
+        /// The role whose setup failed.
+        role: String,
+        /// The failing command line.
+        command: String,
+        /// Its captured result.
+        result: CommandResult,
+    },
+    /// A measurement run failed beyond its retry budget.
+    RunFailed {
+        /// The failing run's index.
+        index: usize,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// Talking to a host failed unrecoverably.
+    Exec(ExecError),
+    /// Result tree I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::Spec(e) => write!(f, "invalid experiment: {e}"),
+            ControllerError::UnknownHost { host } => write!(f, "unknown host {host}"),
+            ControllerError::UnknownImage { name, snapshot } => {
+                write!(f, "unknown image {name} (snapshot {snapshot:?})")
+            }
+            ControllerError::Allocation(e) => write!(f, "allocation failed: {e}"),
+            ControllerError::TooManyRuns { runs, limit } => write!(
+                f,
+                "cross product yields {runs} runs, over the limit of {limit} \
+                 (exponential growth — prune the loop variables)"
+            ),
+            ControllerError::PowerFailed { host, error } => {
+                write!(f, "power control of {host} failed: {error}")
+            }
+            ControllerError::SetupFailed {
+                role,
+                command,
+                result,
+            } => write!(
+                f,
+                "setup of {role} failed at `{command}` (exit {}): {}",
+                result.exit_code, result.stderr
+            ),
+            ControllerError::RunFailed { index, attempts } => {
+                write!(f, "run {index} failed after {attempts} attempts")
+            }
+            ControllerError::Exec(e) => write!(f, "execution error: {e}"),
+            ControllerError::Io(e) => write!(f, "result store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+impl From<std::io::Error> for ControllerError {
+    fn from(e: std::io::Error) -> Self {
+        ControllerError::Io(e)
+    }
+}
+
+/// The pos controller bound to one testbed.
+pub struct Controller<'t> {
+    tb: &'t mut Testbed,
+    progress: Option<Box<dyn FnMut(&Progress)>>,
+}
+
+impl<'t> Controller<'t> {
+    /// Creates a controller driving `tb`.
+    pub fn new(tb: &'t mut Testbed) -> Controller<'t> {
+        Controller {
+            tb,
+            progress: None,
+        }
+    }
+
+    /// Installs a progress callback.
+    pub fn with_progress(mut self, f: impl FnMut(&Progress) + 'static) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    fn emit(&mut self, p: Progress) {
+        if let Some(cb) = self.progress.as_mut() {
+            cb(&p);
+        }
+    }
+
+    fn power_with_retries(
+        &mut self,
+        host: &str,
+        retries: u32,
+        op: impl Fn(&mut Testbed, &str) -> Result<(), PowerError>,
+    ) -> Result<(), ControllerError> {
+        let mut last = None;
+        for _ in 0..=retries {
+            match op(self.tb, host) {
+                Ok(()) => return Ok(()),
+                Err(e @ PowerError::TransientFailure { .. }) => last = Some(e),
+                Err(e) => {
+                    return Err(ControllerError::PowerFailed {
+                        host: host.into(),
+                        error: e,
+                    })
+                }
+            }
+        }
+        Err(ControllerError::PowerFailed {
+            host: host.into(),
+            error: last.expect("loop ran at least once"),
+        })
+    }
+
+    /// Reboots a host out of band into its selected image: reset when the
+    /// interface supports it, power-cycle otherwise.
+    fn reinitialize(&mut self, host: &str, opts: &RunOptions) -> Result<(), ControllerError> {
+        let supports_reset = self
+            .tb
+            .host(host)
+            .map(|h| h.init_interface.supports_reset())
+            .ok_or_else(|| ControllerError::UnknownHost { host: host.into() })?;
+        if supports_reset {
+            self.power_with_retries(host, opts.max_power_retries, |tb, h| tb.reset(h))?;
+        } else {
+            self.power_with_retries(host, opts.max_power_retries, |tb, h| tb.power_off(h))?;
+            self.power_with_retries(host, opts.max_power_retries, |tb, h| tb.power_on(h))?;
+        }
+        self.tb.wait_booted(host).map_err(ControllerError::Exec)?;
+        Ok(())
+    }
+
+    /// Variables a role sees: global < local < loop precedence.
+    fn role_vars(spec: &ExperimentSpec, role_idx: usize, run: Option<&RunParams>) -> Variables {
+        let role = &spec.roles[role_idx];
+        let mut v = spec.global_vars.merged_with(&role.local_vars);
+        if let Some(run) = run {
+            v = v.merged_with(&run.as_variables());
+        }
+        v
+    }
+
+    /// Executes one script phase on all roles in lockstep: between
+    /// barriers, every role's segment runs in its own time lane; the
+    /// barrier completes at the latest lane end. Returns the captured
+    /// stdout of all commands per role.
+    fn run_scripts_lockstep(
+        &mut self,
+        spec: &ExperimentSpec,
+        phase: &str,
+        run: Option<&RunParams>,
+    ) -> Result<BTreeMap<String, CommandResult>, ScriptFailure> {
+        // Instantiate all scripts up front.
+        let instantiated: Vec<Vec<Step>> = spec
+            .roles
+            .iter()
+            .enumerate()
+            .map(|(i, role)| {
+                let vars = Self::role_vars(spec, i, run);
+                let script = if phase == "setup" {
+                    &role.setup
+                } else {
+                    &role.measurement
+                };
+                script.instantiate(&vars)
+            })
+            .collect();
+
+        // Split into segments; validation guarantees equal barrier counts.
+        let segmented: Vec<Vec<Vec<String>>> = instantiated
+            .iter()
+            .map(|steps| {
+                let mut segs: Vec<Vec<String>> = vec![Vec::new()];
+                for s in steps {
+                    match s {
+                        Step::Command(c) => segs.last_mut().expect("non-empty").push(c.clone()),
+                        Step::Barrier(_) => segs.push(Vec::new()),
+                    }
+                }
+                segs
+            })
+            .collect();
+        let n_segments = segmented.iter().map(Vec::len).max().unwrap_or(1);
+
+        let mut aggregated: BTreeMap<String, CommandResult> = BTreeMap::new();
+        for seg_idx in 0..n_segments {
+            let barrier_start = self.tb.now();
+            let mut barrier_end = barrier_start;
+            for (role_idx, role) in spec.roles.iter().enumerate() {
+                let Some(commands) = segmented[role_idx].get(seg_idx) else {
+                    continue;
+                };
+                // This role's lane starts at the barrier instant.
+                self.tb.set_now(barrier_start);
+                for cmd in commands {
+                    let result = self.tb.exec(&role.host, cmd).map_err(|e| ScriptFailure {
+                        role: role.role.clone(),
+                        command: cmd.clone(),
+                        result: None,
+                        exec: Some(e),
+                    })?;
+                    let entry = aggregated.entry(role.role.clone()).or_insert_with(|| {
+                        CommandResult::ok("").with_duration(pos_simkernel::SimDuration::ZERO)
+                    });
+                    if !result.stdout.is_empty() {
+                        entry.stdout.push_str(&result.stdout);
+                        if !result.stdout.ends_with('\n') {
+                            entry.stdout.push('\n');
+                        }
+                    }
+                    if !result.stderr.is_empty() {
+                        entry.stderr.push_str(&result.stderr);
+                        if !result.stderr.ends_with('\n') {
+                            entry.stderr.push('\n');
+                        }
+                    }
+                    if !result.success() {
+                        entry.exit_code = result.exit_code;
+                        return Err(ScriptFailure {
+                            role: role.role.clone(),
+                            command: cmd.clone(),
+                            result: Some(result),
+                            exec: None,
+                        });
+                    }
+                }
+                if self.tb.now() > barrier_end {
+                    barrier_end = self.tb.now();
+                }
+            }
+            // Barrier completes when the slowest lane arrives.
+            self.tb.set_now(barrier_end);
+        }
+        Ok(aggregated)
+    }
+
+    /// Runs a complete experiment: setup phase, all measurement runs, and
+    /// result capture. The result tree is left on disk for the evaluation
+    /// and publication phases.
+    pub fn run_experiment(
+        &mut self,
+        spec: &ExperimentSpec,
+        opts: &RunOptions,
+    ) -> Result<ExperimentOutcome, ControllerError> {
+        spec.validate().map_err(ControllerError::Spec)?;
+        // Repetitions become an explicit loop variable: visible in every
+        // run's metadata, ordinary for the evaluation phase.
+        let spec_with_reps;
+        let spec = if opts.repetitions > 1 {
+            let mut s = spec.clone();
+            let reps: Vec<crate::vars::VarValue> =
+                (0..i64::from(opts.repetitions)).map(Into::into).collect();
+            s.loop_vars.set("repetition", crate::vars::VarValue::List(reps));
+            spec_with_reps = s;
+            &spec_with_reps
+        } else {
+            spec
+        };
+
+        // -------------------------------------------------- setup phase
+        // Allocation through the calendar.
+        for role in &spec.roles {
+            if self.tb.host(&role.host).is_none() {
+                return Err(ControllerError::UnknownHost {
+                    host: role.host.clone(),
+                });
+            }
+        }
+        let runs = {
+            let n = cross_product_size(&spec.loop_vars).unwrap_or(usize::MAX);
+            if n > opts.max_runs {
+                return Err(ControllerError::TooManyRuns {
+                    runs: n,
+                    limit: opts.max_runs,
+                });
+            }
+            expand_cross_product(&spec.loop_vars)
+        };
+        let started = self.tb.now();
+        let hosts = spec.hosts();
+        let reservation = self
+            .tb
+            .calendar
+            .reserve(
+                spec.user.clone(),
+                &hosts,
+                started,
+                pos_simkernel::SimDuration::from_secs(spec.planned_duration_secs),
+            )
+            .map_err(ControllerError::Allocation)?;
+
+        let store = ResultStore::create(&opts.result_root, &spec.user, &spec.name, started)?;
+        self.tb.trace.log(
+            started,
+            TraceLevel::Info,
+            "controller",
+            format!(
+                "experiment {} allocated {:?}, {} runs planned",
+                spec.name,
+                hosts,
+                runs.len()
+            ),
+        );
+
+        // Persist the publishable inputs before anything runs.
+        store.write("experiment/experiment.yml", spec.to_yaml())?;
+        store.write("experiment/global-variables.yml", spec.global_vars.to_yaml())?;
+        store.write("experiment/loop-variables.yml", spec.loop_vars.to_yaml())?;
+        for role in &spec.roles {
+            store.write(
+                &format!("experiment/{}/setup.sh", role.role),
+                &role.setup.source,
+            )?;
+            store.write(
+                &format!("experiment/{}/measurement.sh", role.role),
+                &role.measurement.source,
+            )?;
+            store.write(
+                &format!("experiment/{}/local-variables.yml", role.role),
+                role.local_vars.to_yaml(),
+            )?;
+        }
+        store.write("topology.txt", self.tb.topology.render())?;
+
+        // Image selection, boot parameters, reboot.
+        for role in &spec.roles {
+            let image = match &role.image_snapshot {
+                Some(snap) => self.tb.images.find(&role.image_name, snap),
+                None => self.tb.images.latest(&role.image_name),
+            }
+            .ok_or_else(|| ControllerError::UnknownImage {
+                name: role.image_name.clone(),
+                snapshot: role.image_snapshot.clone(),
+            })?
+            .id;
+            self.tb
+                .select_image(&role.host, image)
+                .map_err(|error| ControllerError::PowerFailed {
+                    host: role.host.clone(),
+                    error,
+                })?;
+            self.tb
+                .set_boot_params(&role.host, &role.boot_params)
+                .map_err(|error| ControllerError::PowerFailed {
+                    host: role.host.clone(),
+                    error,
+                })?;
+            self.power_with_retries(&role.host, opts.max_power_retries, |tb, h| tb.power_on(h))?;
+        }
+        // All boots proceed concurrently; waiting aligns to the slowest.
+        for role in &spec.roles {
+            self.tb
+                .wait_booted(&role.host)
+                .map_err(ControllerError::Exec)?;
+            let host = role.host.clone();
+            self.emit(Progress::HostReady { host });
+        }
+
+        // Deploy utility tools and variables; capture hardware info.
+        for (i, role) in spec.roles.iter().enumerate() {
+            let vars = Self::role_vars(spec, i, None);
+            self.tb
+                .deploy_tools(&role.host, &vars.rendered())
+                .map_err(ControllerError::Exec)?;
+            let hw = self
+                .tb
+                .exec(&role.host, "pos-hardware-info")
+                .map_err(ControllerError::Exec)?;
+            store.write(&format!("hardware/{}.txt", role.host), hw.stdout)?;
+        }
+
+        // Setup scripts, in lockstep.
+        self.run_scripts_lockstep(spec, "setup", None)
+            .map_err(|f| f.into_setup_error())?;
+        self.emit(Progress::SetupDone);
+
+        // -------------------------------------------- measurement phase
+        let total = runs.len();
+        let mut records = Vec::with_capacity(total);
+        let mut total_recoveries = 0u32;
+        for run in &runs {
+            let run_started = self.tb.now();
+            let mut attempts = 0u32;
+            let mut recoveries = 0u32;
+            let mut outputs = BTreeMap::new();
+            let mut success = false;
+
+            while attempts <= opts.max_run_retries {
+                attempts += 1;
+                // Loop variables are (re)deployed to every host each
+                // attempt, so hosts can read them via pos_get_var. The
+                // deployments proceed concurrently (one lane per host).
+                let mut deploy_failed: Option<ExecError> = None;
+                let deploy_start = self.tb.now();
+                let mut deploy_end = deploy_start;
+                for (i, role) in spec.roles.iter().enumerate() {
+                    self.tb.set_now(deploy_start);
+                    let vars = Self::role_vars(spec, i, Some(run));
+                    if let Err(e) = self.tb.deploy_tools(&role.host, &vars.rendered()) {
+                        deploy_failed = Some(e);
+                        break;
+                    }
+                    if self.tb.now() > deploy_end {
+                        deploy_end = self.tb.now();
+                    }
+                }
+                self.tb.set_now(deploy_end.max(self.tb.now()));
+                let failure = match deploy_failed {
+                    Some(e) => Some(ScriptFailure {
+                        role: String::new(),
+                        command: "pos deploy".into(),
+                        result: None,
+                        exec: Some(e),
+                    }),
+                    None => match self.run_scripts_lockstep(spec, "measurement", Some(run)) {
+                        Ok(out) => {
+                            outputs = out;
+                            success = true;
+                            None
+                        }
+                        Err(f) => Some(f),
+                    },
+                };
+
+                match failure {
+                    None => break,
+                    Some(f) => {
+                        if let Some(ExecError::HostUnreachable { host, .. }) = &f.exec {
+                            // R3: out-of-band recovery, then retry the run.
+                            let host = host.clone();
+                            self.tb.trace.log(
+                                self.tb.now(),
+                                TraceLevel::Warn,
+                                "controller",
+                                format!("run {}: {host} unreachable, recovering", run.index),
+                            );
+                            self.reinitialize(&host, opts)?;
+                            // Redo this host's setup so its configuration
+                            // matches the clean slate again.
+                            let role_idx = spec
+                                .roles
+                                .iter()
+                                .position(|r| r.host == host)
+                                .expect("crashed host belongs to the experiment");
+                            let vars = Self::role_vars(spec, role_idx, Some(run));
+                            self.tb
+                                .deploy_tools(&host, &vars.rendered())
+                                .map_err(ControllerError::Exec)?;
+                            for step in spec.roles[role_idx].setup.instantiate(&vars) {
+                                if let Step::Command(c) = step {
+                                    let r =
+                                        self.tb.exec(&host, &c).map_err(ControllerError::Exec)?;
+                                    if !r.success() {
+                                        return Err(ControllerError::SetupFailed {
+                                            role: spec.roles[role_idx].role.clone(),
+                                            command: c,
+                                            result: r,
+                                        });
+                                    }
+                                }
+                            }
+                            recoveries += 1;
+                            total_recoveries += 1;
+                        } else if let Some(e) = f.exec {
+                            return Err(ControllerError::Exec(e));
+                        }
+                        // Command failure: retry if budget remains.
+                    }
+                }
+            }
+
+            // Capture per-run artifacts: command output...
+            for (role, result) in &outputs {
+                store.write_run_output(
+                    run.index,
+                    role,
+                    &result.stdout,
+                    &result.stderr,
+                    result.exit_code,
+                )?;
+            }
+            // ...plus any files the scripts left under /srv/results/ on
+            // the hosts (pcap dumps etc.), uploaded to the controller and
+            // cleared so the next run starts empty.
+            for role in &spec.roles {
+                if let Some(host) = self.tb.host_mut(&role.host) {
+                    let keys: Vec<String> = host
+                        .fs
+                        .keys()
+                        .filter(|k| k.starts_with("/srv/results/"))
+                        .cloned()
+                        .collect();
+                    for key in keys {
+                        let data = host.fs.remove(&key).expect("key just listed");
+                        let base = key.rsplit('/').next().expect("non-empty path");
+                        let dir = store.run_dir(run.index)?;
+                        std::fs::write(dir.join(format!("{}_{base}", role.role)), data)?;
+                    }
+                }
+            }
+            let hosts_map: BTreeMap<String, String> = spec
+                .roles
+                .iter()
+                .map(|r| (r.role.clone(), r.host.clone()))
+                .collect();
+            store.write_run_metadata(&run_metadata(
+                run,
+                run_started,
+                self.tb.now(),
+                attempts,
+                success,
+                hosts_map,
+            ))?;
+            let run_dir = store.run_dir(run.index)?;
+            self.emit(Progress::RunDone {
+                index: run.index,
+                total,
+                success,
+                dir: run_dir,
+            });
+            if !success && !opts.continue_on_run_failure {
+                store.write("controller.log", self.tb.trace.render())?;
+                return Err(ControllerError::RunFailed {
+                    index: run.index,
+                    attempts,
+                });
+            }
+            records.push(RunRecord {
+                params: run.clone(),
+                outputs,
+                attempts,
+                success,
+                recoveries,
+            });
+        }
+
+        // ------------------------------------------------------ wrap-up
+        let finished = self.tb.now();
+        store.write("controller.log", self.tb.trace.render())?;
+        self.tb.calendar.release(reservation);
+        Ok(ExperimentOutcome {
+            result_dir: store.dir().to_path_buf(),
+            runs: records,
+            started,
+            finished,
+            recoveries: total_recoveries,
+        })
+    }
+}
+
+/// Internal: a script step failed.
+struct ScriptFailure {
+    role: String,
+    command: String,
+    result: Option<CommandResult>,
+    exec: Option<ExecError>,
+}
+
+impl ScriptFailure {
+    fn into_setup_error(self) -> ControllerError {
+        if let Some(e) = self.exec {
+            return ControllerError::Exec(e);
+        }
+        ControllerError::SetupFailed {
+            role: self.role,
+            command: self.command,
+            result: self.result.unwrap_or_else(|| CommandResult::fail(1, "")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::register_all;
+    use crate::experiment::linux_router_experiment;
+    use pos_testbed::{HardwareSpec, InitInterface, PortId};
+    use std::path::Path;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pos-ctl-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn case_study_testbed(seed: u64) -> Testbed {
+        let mut tb = Testbed::new(seed);
+        tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.topology
+            .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+            .unwrap();
+        tb.topology
+            .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+            .unwrap();
+        register_all(&mut tb);
+        tb
+    }
+
+    /// A small case-study instance: 2 sizes × 3 rates, 1 s runs.
+    fn small_spec() -> ExperimentSpec {
+        linux_router_experiment("vriga", "vtartu", 3, 1)
+    }
+
+    #[test]
+    fn full_workflow_produces_result_tree() {
+        let mut tb = case_study_testbed(1);
+        let root = tmp("workflow");
+        let outcome = Controller::new(&mut tb)
+            .run_experiment(&small_spec(), &RunOptions::new(&root))
+            .unwrap();
+
+        assert_eq!(outcome.runs.len(), 6);
+        assert_eq!(outcome.successes(), 6);
+        assert_eq!(outcome.recoveries, 0);
+        assert!(outcome.finished > outcome.started);
+
+        // The tree has the publishable inputs and per-run outputs.
+        let dir = &outcome.result_dir;
+        for rel in [
+            "experiment/experiment.yml",
+            "experiment/global-variables.yml",
+            "experiment/loop-variables.yml",
+            "experiment/dut/setup.sh",
+            "experiment/loadgen/measurement.sh",
+            "hardware/vtartu.txt",
+            "topology.txt",
+            "controller.log",
+            "run-0000/metadata.json",
+            "run-0000/loadgen_measurement.log",
+            "run-0005/metadata.json",
+        ] {
+            assert!(dir.join(rel).exists(), "missing artifact {rel}");
+        }
+        // The measurement log is MoonGen-format output.
+        let log = std::fs::read_to_string(dir.join("run-0000/loadgen_measurement.log")).unwrap();
+        assert!(log.contains("[Device: id=1] RX:"), "{log}");
+    }
+
+    #[test]
+    fn results_show_forwarding_because_setup_ran() {
+        let mut tb = case_study_testbed(2);
+        let root = tmp("setupcoupling");
+        let outcome = Controller::new(&mut tb)
+            .run_experiment(&small_spec(), &RunOptions::new(&root))
+            .unwrap();
+        // At 10 kpps / 64 B the bare-metal DuT forwards everything.
+        let log = std::fs::read_to_string(outcome.result_dir.join("run-0000/loadgen_measurement.log"))
+            .unwrap();
+        assert!(
+            log.contains("RX: 10000 packets"),
+            "setup must have enabled forwarding: {log}"
+        );
+    }
+
+    #[test]
+    fn setup_failure_aborts_with_context() {
+        let mut tb = case_study_testbed(3);
+        let mut spec = small_spec();
+        spec.roles[1].setup = crate::script::Script::parse("sysctl -w no.such.key=1\npos_sync setup_done");
+        spec.roles[0].setup = crate::script::Script::parse("pos_sync setup_done");
+        let err = Controller::new(&mut tb)
+            .run_experiment(&spec, &RunOptions::new(tmp("setupfail")))
+            .unwrap_err();
+        match err {
+            ControllerError::SetupFailed { role, command, result } => {
+                assert_eq!(role, "dut");
+                assert!(command.contains("no.such.key"));
+                assert_ne!(result.exit_code, 0);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn allocation_conflict_rejected() {
+        let mut tb = case_study_testbed(4);
+        // Another user holds vtartu right now.
+        tb.calendar
+            .reserve(
+                "mallory",
+                &["vtartu".to_string()],
+                tb.now(),
+                pos_simkernel::SimDuration::from_hours(5),
+            )
+            .unwrap();
+        let err = Controller::new(&mut tb)
+            .run_experiment(&small_spec(), &RunOptions::new(tmp("alloc")))
+            .unwrap_err();
+        assert!(matches!(err, ControllerError::Allocation(_)), "{err}");
+    }
+
+    #[test]
+    fn reservation_released_after_experiment() {
+        let mut tb = case_study_testbed(5);
+        Controller::new(&mut tb)
+            .run_experiment(&small_spec(), &RunOptions::new(tmp("release")))
+            .unwrap();
+        let now = tb.now();
+        assert!(tb.calendar.is_free("vtartu", now, now + pos_simkernel::SimDuration::from_hours(1)));
+    }
+
+    #[test]
+    fn too_many_runs_rejected_upfront() {
+        let mut tb = case_study_testbed(6);
+        let mut spec = small_spec();
+        let big: Vec<crate::vars::VarValue> =
+            (0..200i64).map(crate::vars::VarValue::Int).collect();
+        spec.loop_vars.set("a", crate::vars::VarValue::List(big.clone()));
+        spec.loop_vars.set("b", crate::vars::VarValue::List(big));
+        let mut opts = RunOptions::new(tmp("toomany"));
+        opts.max_runs = 1000;
+        let err = Controller::new(&mut tb)
+            .run_experiment(&spec, &opts)
+            .unwrap_err();
+        assert!(matches!(err, ControllerError::TooManyRuns { .. }));
+    }
+
+    #[test]
+    fn unknown_host_and_image_rejected() {
+        let mut tb = case_study_testbed(7);
+        let mut spec = small_spec();
+        spec.roles[0].host = "nonexistent".into();
+        assert!(matches!(
+            Controller::new(&mut tb).run_experiment(&spec, &RunOptions::new(tmp("uh"))),
+            Err(ControllerError::UnknownHost { .. })
+        ));
+
+        let mut tb = case_study_testbed(8);
+        let mut spec = small_spec();
+        spec.roles[0].image_name = "gentoo".into();
+        assert!(matches!(
+            Controller::new(&mut tb).run_experiment(&spec, &RunOptions::new(tmp("ui"))),
+            Err(ControllerError::UnknownImage { .. })
+        ));
+    }
+
+    #[test]
+    fn barriers_align_lanes_to_slowest_host() {
+        // loadgen sleeps 1 s, dut sleeps 5 s before the common barrier: the
+        // barrier must complete after ~5 s, not ~6 s (parallel, not serial).
+        let mut tb = case_study_testbed(9);
+        let mut spec = small_spec();
+        spec.loop_vars = crate::vars::Variables::new(); // single run
+        spec.roles[0].measurement = crate::script::Script::parse("sleep 1\npos_sync run_done");
+        spec.roles[1].measurement = crate::script::Script::parse("sleep 5\npos_sync run_done");
+        let before_boot = tb.now();
+        let outcome = Controller::new(&mut tb)
+            .run_experiment(&spec, &RunOptions::new(tmp("barrier")))
+            .unwrap();
+        let total = (outcome.finished - before_boot).as_secs_f64();
+        // Boot ≈80 s dominated; the measurement adds max(1,5)=5 s, not 6 s.
+        // Measure the run itself from metadata instead:
+        let store = ResultStore::open(&outcome.result_dir);
+        let runs = store.list_runs().unwrap();
+        let meta = ResultStore::read_run_metadata(&runs[0]).unwrap();
+        let run_secs = (meta.finished_ns - meta.started_ns) as f64 / 1e9;
+        assert!(
+            (5.0..5.6).contains(&run_secs),
+            "lockstep run should take ≈5 s (parallel), got {run_secs} (total {total})"
+        );
+    }
+
+    #[test]
+    fn progress_callback_fires() {
+        let mut tb = case_study_testbed(10);
+        let events = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = events.clone();
+        Controller::new(&mut tb)
+            .with_progress(move |p| sink.borrow_mut().push(p.clone()))
+            .run_experiment(&small_spec(), &RunOptions::new(tmp("progress")))
+            .unwrap();
+        let events = events.borrow();
+        let ready = events
+            .iter()
+            .filter(|e| matches!(e, Progress::HostReady { .. }))
+            .count();
+        let runs = events
+            .iter()
+            .filter(|e| matches!(e, Progress::RunDone { .. }))
+            .count();
+        assert_eq!(ready, 2);
+        assert_eq!(runs, 6);
+        assert!(events.contains(&Progress::SetupDone));
+        // Run indices arrive in order with correct totals.
+        let mut expect = 0;
+        for e in events.iter() {
+            if let Progress::RunDone { index, total, success, .. } = e {
+                assert_eq!(*index, expect);
+                assert_eq!(*total, 6);
+                assert!(success);
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_full_experiment() {
+        let run = |root: &Path| {
+            let mut tb = case_study_testbed(77);
+            let outcome = Controller::new(&mut tb)
+                .run_experiment(&small_spec(), &RunOptions::new(root))
+                .unwrap();
+            let mut all = String::new();
+            for rec in &outcome.runs {
+                all.push_str(&rec.outputs["loadgen"].stdout);
+            }
+            (all, outcome.finished.as_nanos())
+        };
+        let a = run(&tmp("det-a"));
+        let b = run(&tmp("det-b"));
+        assert_eq!(a, b, "same seed, same experiment, same bytes");
+    }
+
+    #[test]
+    fn crash_recovery_retries_run() {
+        // A command that crashes the DuT on its first invocation, then
+        // succeeds: models a driver wedge that a reboot clears.
+        let mut tb = case_study_testbed(11);
+        let crashed_once = std::rc::Rc::new(std::cell::Cell::new(false));
+        let flag = crashed_once.clone();
+        tb.register_command(
+            "flaky-op",
+            std::rc::Rc::new(move |tb: &mut Testbed, host: &str, _argv: &[String]| {
+                if !flag.get() {
+                    flag.set(true);
+                    tb.host_mut(host).unwrap().inject_crash();
+                    // The crash means the connection drops mid-command.
+                    CommandResult::fail(255, "connection reset by peer")
+                } else {
+                    CommandResult::ok("ok")
+                }
+            }),
+        );
+        let mut spec = small_spec();
+        spec.loop_vars = crate::vars::Variables::new(); // single run
+        spec.roles[1].measurement =
+            crate::script::Script::parse("flaky-op\nsleep 1\npos_sync run_done");
+        spec.roles[0].measurement =
+            crate::script::Script::parse("sleep 1\npos_sync run_done");
+
+        let outcome = Controller::new(&mut tb)
+            .run_experiment(&spec, &RunOptions::new(tmp("recovery")))
+            .unwrap();
+        assert_eq!(outcome.runs.len(), 1);
+        let rec = &outcome.runs[0];
+        assert!(rec.success);
+        assert!(rec.attempts >= 2, "first attempt crashed");
+        assert!(rec.recoveries >= 1, "an out-of-band recovery happened");
+        // Host is up and was rebooted at least twice (initial boot + reset).
+        assert!(tb.host("vtartu").unwrap().boots >= 2);
+    }
+
+    #[test]
+    fn persistent_failure_aborts_or_continues_per_option() {
+        let mut tb = case_study_testbed(12);
+        let mut spec = small_spec();
+        spec.loop_vars = crate::vars::Variables::new();
+        spec.roles[1].measurement = crate::script::Script::parse("false\npos_sync run_done");
+        spec.roles[0].measurement = crate::script::Script::parse("pos_sync run_done");
+        let err = Controller::new(&mut tb)
+            .run_experiment(&spec, &RunOptions::new(tmp("persist")))
+            .unwrap_err();
+        assert!(matches!(err, ControllerError::RunFailed { index: 0, .. }), "{err}");
+
+        // With continue_on_run_failure the experiment records the failure.
+        let mut tb = case_study_testbed(13);
+        let mut opts = RunOptions::new(tmp("persist2"));
+        opts.continue_on_run_failure = true;
+        let outcome = Controller::new(&mut tb).run_experiment(&spec, &opts).unwrap();
+        assert_eq!(outcome.successes(), 0);
+        assert_eq!(outcome.runs.len(), 1);
+        assert!(outcome.runs[0].attempts >= 3, "used its retry budget");
+    }
+
+    #[test]
+    fn host_files_under_srv_results_are_collected_per_run() {
+        let mut tb = case_study_testbed(15);
+        let mut spec = small_spec();
+        spec.loop_vars = crate::vars::Variables::new().with("pkt_rate", vec![10_000i64, 20_000]);
+        spec.global_vars.set("pkt_sz", 64i64);
+        spec.roles[0].measurement = crate::script::Script::parse(
+            "moongen --rate $pkt_rate --size $pkt_sz --time $run_secs --pcap /srv/results/tx.pcap\n\
+             pos_sync run_done\n",
+        );
+        let outcome = Controller::new(&mut tb)
+            .run_experiment(&spec, &RunOptions::new(tmp("pcapcollect")))
+            .unwrap();
+        for idx in 0..2 {
+            let pcap = outcome
+                .result_dir
+                .join(format!("run-{idx:04}/loadgen_tx.pcap"));
+            assert!(pcap.exists(), "pcap artifact for run {idx}");
+            let bytes = std::fs::read(&pcap).unwrap();
+            assert_eq!(&bytes[..4], &0xA1B2_C3D4u32.to_le_bytes());
+        }
+        // The host's staging area is empty again after collection.
+        assert!(tb
+            .host("vriga")
+            .unwrap()
+            .fs
+            .keys()
+            .all(|k| !k.starts_with("/srv/results/")));
+    }
+
+    #[test]
+    fn metadata_matches_cross_product_order() {
+        let mut tb = case_study_testbed(14);
+        let outcome = Controller::new(&mut tb)
+            .run_experiment(&small_spec(), &RunOptions::new(tmp("meta")))
+            .unwrap();
+        let store = ResultStore::open(&outcome.result_dir);
+        let runs = store.list_runs().unwrap();
+        assert_eq!(runs.len(), 6);
+        let expected = expand_cross_product(&small_spec().loop_vars);
+        for (dir, exp) in runs.iter().zip(&expected) {
+            let meta = ResultStore::read_run_metadata(dir).unwrap();
+            assert_eq!(meta.index, exp.index);
+            assert_eq!(meta.label, exp.label());
+            assert!(meta.success);
+            assert_eq!(meta.hosts["dut"], "vtartu");
+        }
+    }
+}

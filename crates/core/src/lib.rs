@@ -1,0 +1,43 @@
+//! # pos-core
+//!
+//! The plain orchestrating service — the paper's primary contribution.
+//!
+//! pos consists of a *methodology* (a mandatory experiment structure that
+//! makes experiments reproducible by design) and a *testbed controller*
+//! implementing it. This crate is both:
+//!
+//! * [`vars`] — experiment parameters: typed values, YAML files, `$NAME`
+//!   substitution. The script/parameter split is the paper's HTML/CSS
+//!   analogy (§4.3).
+//! * [`loopvars`] — loop variables and their full cross-product expansion
+//!   into measurement runs (§4.4).
+//! * [`script`] — experiment scripts: command sequences with named
+//!   synchronization barriers.
+//! * [`experiment`] — the experiment specification: roles (DuT, LoadGen,
+//!   …), per-role setup/measurement scripts, images, variables.
+//! * [`controller`] — the three-phase workflow: setup (allocate → boot →
+//!   configure), measurement (one queued run per loop-variable
+//!   combination, all output captured), and handoff to evaluation; plus
+//!   out-of-band recovery of crashed hosts (R3).
+//! * [`resultstore`] — the structured on-disk result tree with per-run
+//!   metadata "garnished" onto every result (§6).
+//! * [`commands`] — experiment-domain commands (`moongen`, `iperf`)
+//!   registered into the testbed's command registry.
+//! * [`requirements`] — the R1–R5 capability model behind Table 1.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod controller;
+pub mod experiment;
+pub mod loopvars;
+pub mod requirements;
+pub mod resultstore;
+pub mod script;
+pub mod vars;
+
+pub use controller::{Controller, ControllerError, ExperimentOutcome, RunOptions, RunRecord};
+pub use experiment::{ExperimentSpec, RoleSpec};
+pub use loopvars::{expand_cross_product, RunParams};
+pub use script::{Script, Step};
+pub use vars::{VarValue, Variables};

@@ -1,0 +1,229 @@
+//! Loop variables and cross-product expansion.
+//!
+//! §4.4, measurement phase: *"pos experiments perform measurements for
+//! each possible combination of loop parameters. If lists are used as
+//! parameters, pos automatically generates the cross product over all
+//! parameter values to ensure full coverage. [...] Parameters must be
+//! carefully chosen, as the exponential growth in the measurement runs may
+//! cause infeasibly long experiment completion times."*
+//!
+//! The Appendix-A case study: `pkt_sz` with 2 entries × `pkt_rate` with 30
+//! entries = 60 measurement runs.
+
+use crate::vars::{VarValue, Variables};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The concrete loop-variable instance of one measurement run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunParams {
+    /// Zero-based run index in expansion order.
+    pub index: usize,
+    /// One scalar per loop variable.
+    pub values: BTreeMap<String, VarValue>,
+}
+
+impl RunParams {
+    /// The parameters as a [`Variables`] set (for substitution).
+    pub fn as_variables(&self) -> Variables {
+        Variables(self.values.clone())
+    }
+
+    /// A compact `k=v,k=v` rendering for logs and directory names.
+    pub fn label(&self) -> String {
+        self.values
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.render()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Number of runs the cross product of `loop_vars` will produce, without
+/// materializing it. Returns `None` on overflow (which certainly exceeds
+/// any feasible experiment).
+pub fn cross_product_size(loop_vars: &Variables) -> Option<usize> {
+    let mut n: usize = 1;
+    for (_, v) in loop_vars.iter() {
+        n = n.checked_mul(v.instances().len())?;
+    }
+    Some(n)
+}
+
+/// Expands loop variables into the full cross product, in deterministic
+/// order: variables iterate in name order; the *last* variable varies
+/// fastest (row-major, like nested for-loops in name order).
+///
+/// A loop variable with an empty list produces zero runs — full coverage
+/// of nothing is nothing, matching the semantics of an empty sweep.
+pub fn expand_cross_product(loop_vars: &Variables) -> Vec<RunParams> {
+    let names: Vec<&String> = loop_vars.iter().map(|(k, _)| k).collect();
+    let instance_lists: Vec<Vec<VarValue>> =
+        loop_vars.iter().map(|(_, v)| v.instances()).collect();
+    let total = match cross_product_size(loop_vars) {
+        Some(n) => n,
+        None => panic!("loop-variable cross product overflows usize"),
+    };
+    if instance_lists.iter().any(|l| l.is_empty()) {
+        return Vec::new();
+    }
+
+    let mut runs = Vec::with_capacity(total);
+    for index in 0..total {
+        let mut values = BTreeMap::new();
+        // Row-major decomposition of `index` over the instance lists.
+        let mut rem = index;
+        for (name, list) in names.iter().zip(&instance_lists).rev() {
+            let pick = rem % list.len();
+            rem /= list.len();
+            values.insert((*name).clone(), list[pick].clone());
+        }
+        runs.push(RunParams { index, values });
+    }
+    runs
+}
+
+/// The paper's warning threshold: expansions beyond this count are almost
+/// certainly a mistake (the case study's 60 runs already take 3 hours).
+pub const RUN_COUNT_WARNING_THRESHOLD: usize = 10_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn appendix_a_loop_vars() -> Variables {
+        // 2 packet sizes × 30 rates, as in Appendix A.
+        let rates: Vec<VarValue> = (1..=30).map(|i| VarValue::Int(i * 10_000)).collect();
+        Variables::new()
+            .with("pkt_sz", vec![64i64, 1500])
+            .with("pkt_rate", VarValue::List(rates))
+    }
+
+    #[test]
+    fn appendix_a_yields_60_runs() {
+        let vars = appendix_a_loop_vars();
+        assert_eq!(cross_product_size(&vars), Some(60));
+        let runs = expand_cross_product(&vars);
+        assert_eq!(runs.len(), 60);
+        // Every combination appears exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &runs {
+            let key = r.label();
+            assert!(seen.insert(key.clone()), "duplicate combination {key}");
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_row_major_and_indexed() {
+        let vars = Variables::new()
+            .with("a", vec![1i64, 2])
+            .with("b", vec![10i64, 20, 30]);
+        let runs = expand_cross_product(&vars);
+        let labels: Vec<String> = runs.iter().map(RunParams::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "a=1,b=10", "a=1,b=20", "a=1,b=30",
+                "a=2,b=10", "a=2,b=20", "a=2,b=30",
+            ],
+            "last-named variable varies fastest"
+        );
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+    }
+
+    #[test]
+    fn scalars_count_as_single_instance() {
+        let vars = Variables::new()
+            .with("fixed", "eno1")
+            .with("swept", vec![1i64, 2, 3]);
+        let runs = expand_cross_product(&vars);
+        assert_eq!(runs.len(), 3);
+        for r in &runs {
+            assert_eq!(r.values["fixed"], VarValue::Str("eno1".into()));
+        }
+    }
+
+    #[test]
+    fn no_loop_vars_is_one_run() {
+        let runs = expand_cross_product(&Variables::new());
+        assert_eq!(runs.len(), 1, "an unparameterized experiment runs once");
+        assert!(runs[0].values.is_empty());
+    }
+
+    #[test]
+    fn empty_list_yields_zero_runs() {
+        let vars = Variables::new()
+            .with("a", VarValue::List(vec![]))
+            .with("b", vec![1i64, 2]);
+        assert_eq!(cross_product_size(&vars), Some(0));
+        assert!(expand_cross_product(&vars).is_empty());
+    }
+
+    #[test]
+    fn run_params_as_variables_substitute() {
+        let vars = Variables::new().with("pkt_sz", vec![64i64]);
+        let runs = expand_cross_product(&vars);
+        let v = runs[0].as_variables();
+        assert_eq!(v.substitute("--size $pkt_sz"), "--size 64");
+    }
+
+    #[test]
+    fn exponential_growth_is_detectable() {
+        // Ten variables with ten values each: 10^10 runs — the paper's
+        // warning case. Size must be computed without materialization.
+        let mut vars = Variables::new();
+        for i in 0..10 {
+            let list: Vec<VarValue> = (0..10i64).map(VarValue::Int).collect();
+            vars.set(format!("v{i}"), VarValue::List(list));
+        }
+        let size = cross_product_size(&vars).unwrap();
+        assert_eq!(size, 10_000_000_000usize);
+        assert!(size > RUN_COUNT_WARNING_THRESHOLD);
+    }
+
+    proptest! {
+        /// Expansion size always equals the analytic cross-product size,
+        /// and every run index is unique and dense.
+        #[test]
+        fn prop_size_and_indices(
+            lists in proptest::collection::vec(proptest::collection::vec(0i64..100, 1..5), 0..4)
+        ) {
+            let mut vars = Variables::new();
+            for (i, l) in lists.iter().enumerate() {
+                vars.set(format!("v{i}"), VarValue::List(l.iter().map(|&x| x.into()).collect()));
+            }
+            let runs = expand_cross_product(&vars);
+            prop_assert_eq!(Some(runs.len()), cross_product_size(&vars));
+            for (i, r) in runs.iter().enumerate() {
+                prop_assert_eq!(r.index, i);
+                prop_assert_eq!(r.values.len(), lists.len());
+            }
+        }
+
+        /// Every combination of the inputs appears exactly once.
+        #[test]
+        fn prop_full_coverage(
+            a in proptest::collection::vec(0i64..20, 1..5),
+            b in proptest::collection::vec(0i64..20, 1..5),
+        ) {
+            let vars = Variables::new()
+                .with("a", VarValue::List(a.iter().map(|&x| x.into()).collect()))
+                .with("b", VarValue::List(b.iter().map(|&x| x.into()).collect()));
+            let runs = expand_cross_product(&vars);
+            for &x in &a {
+                for &y in &b {
+                    let hits = runs.iter().filter(|r| {
+                        r.values["a"] == VarValue::Int(x) && r.values["b"] == VarValue::Int(y)
+                    }).count();
+                    // Duplicated list entries multiply; count multiplicity.
+                    let mult = a.iter().filter(|&&v| v == x).count()
+                        * b.iter().filter(|&&v| v == y).count();
+                    prop_assert_eq!(hits, mult);
+                }
+            }
+        }
+    }
+}

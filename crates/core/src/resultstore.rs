@@ -1,0 +1,311 @@
+//! The structured on-disk result tree.
+//!
+//! §4.4: *"This enforced central collection of artifacts, including the
+//! output of the utility tools, executed scripts, variables, device
+//! hardware and topology information, guarantees publishability (R5)."*
+//! and: *"pos creates separate result files for each measurement run.
+//! Additionally, pos creates metadata for each run, i.e., the loop
+//! parameters of a specific run."*
+//!
+//! Layout (mirrors `/srv/testbed/results/user/default/[timestamp]/` from
+//! Appendix A):
+//!
+//! ```text
+//! <root>/<user>/<experiment>/<vt-timestamp>/
+//!   experiment/                 # the publishable inputs
+//!     experiment.yml
+//!     global-variables.yml
+//!     loop-variables.yml
+//!     <role>/setup.sh  <role>/measurement.sh  <role>/local-variables.yml
+//!   hardware/<host>.txt         # captured device information
+//!   topology.txt
+//!   controller.log
+//!   run-0000/
+//!     metadata.json             # RunMetadata
+//!     loop-params.yml
+//!     <role>_measurement.log    # captured stdout
+//!     <role>_measurement.err    # captured stderr (if any)
+//!     <role>_measurement.status # exit code
+//! ```
+
+use crate::loopvars::RunParams;
+use pos_simkernel::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Per-run metadata, serialized as `metadata.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetadata {
+    /// Zero-based run index in cross-product order.
+    pub index: usize,
+    /// Compact `k=v,...` label of the loop parameters.
+    pub label: String,
+    /// Loop parameter values, rendered as strings.
+    pub params: BTreeMap<String, String>,
+    /// Virtual start time of the run, nanoseconds.
+    pub started_ns: u64,
+    /// Virtual end time of the run, nanoseconds.
+    pub finished_ns: u64,
+    /// How many attempts the run took (1 = first try).
+    pub attempts: u32,
+    /// Whether the final attempt succeeded.
+    pub success: bool,
+    /// role -> host assignment.
+    pub hosts: BTreeMap<String, String>,
+}
+
+/// A handle to one experiment's result directory.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Creates the directory for a new experiment execution under
+    /// `root/user/experiment/vt-<seconds>`; appends `-N` on collision so
+    /// re-running the same experiment never overwrites previous results.
+    pub fn create(
+        root: &Path,
+        user: &str,
+        experiment: &str,
+        started: SimTime,
+    ) -> io::Result<ResultStore> {
+        let base = root
+            .join(user)
+            .join(experiment)
+            .join(format!("vt-{:010}", started.as_nanos() / 1_000_000_000));
+        let mut dir = base.clone();
+        let mut n = 0;
+        while dir.exists() {
+            n += 1;
+            dir = PathBuf::from(format!("{}-{n}", base.display()));
+        }
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// Opens an existing experiment directory (for evaluation/publishing).
+    pub fn open(dir: impl Into<PathBuf>) -> ResultStore {
+        ResultStore { dir: dir.into() }
+    }
+
+    /// The experiment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes a file relative to the experiment directory, creating parent
+    /// directories as needed.
+    pub fn write(&self, rel: &str, contents: impl AsRef<[u8]>) -> io::Result<()> {
+        let path = self.dir.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, contents)
+    }
+
+    /// Reads a file relative to the experiment directory.
+    pub fn read(&self, rel: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.dir.join(rel))
+    }
+
+    /// Reads a file as UTF-8 text.
+    pub fn read_text(&self, rel: &str) -> io::Result<String> {
+        fs::read_to_string(self.dir.join(rel))
+    }
+
+    /// Directory of run `index` (`run-0000` style), created on demand.
+    pub fn run_dir(&self, index: usize) -> io::Result<PathBuf> {
+        let dir = self.dir.join(format!("run-{index:04}"));
+        fs::create_dir_all(&dir)?;
+        Ok(dir)
+    }
+
+    /// Writes a run's metadata (both JSON and the YAML loop-params view).
+    pub fn write_run_metadata(&self, meta: &RunMetadata) -> io::Result<()> {
+        let dir = self.run_dir(meta.index)?;
+        let json = serde_json::to_string_pretty(meta).expect("metadata serializes");
+        fs::write(dir.join("metadata.json"), json)?;
+        let yaml = serde_yaml::to_string(&meta.params).expect("params serialize");
+        fs::write(dir.join("loop-params.yml"), yaml)
+    }
+
+    /// Writes one captured output artifact of a run.
+    pub fn write_run_output(
+        &self,
+        index: usize,
+        role: &str,
+        stdout: &str,
+        stderr: &str,
+        exit_code: i32,
+    ) -> io::Result<()> {
+        let dir = self.run_dir(index)?;
+        fs::write(dir.join(format!("{role}_measurement.log")), stdout)?;
+        if !stderr.is_empty() {
+            fs::write(dir.join(format!("{role}_measurement.err")), stderr)?;
+        }
+        fs::write(
+            dir.join(format!("{role}_measurement.status")),
+            format!("{exit_code}\n"),
+        )
+    }
+
+    /// Lists run directories in index order.
+    pub fn list_runs(&self) -> io::Result<Vec<PathBuf>> {
+        let mut runs: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .map(|n| n.starts_with("run-"))
+                        .unwrap_or(false)
+            })
+            .collect();
+        runs.sort();
+        Ok(runs)
+    }
+
+    /// Loads the metadata of a run directory.
+    pub fn read_run_metadata(run_dir: &Path) -> io::Result<RunMetadata> {
+        let text = fs::read_to_string(run_dir.join("metadata.json"))?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Builds a [`RunMetadata`] from run parameters and timing.
+pub fn run_metadata(
+    params: &RunParams,
+    started: SimTime,
+    finished: SimTime,
+    attempts: u32,
+    success: bool,
+    hosts: BTreeMap<String, String>,
+) -> RunMetadata {
+    RunMetadata {
+        index: params.index,
+        label: params.label(),
+        params: params
+            .values
+            .iter()
+            .map(|(k, v)| (k.clone(), v.render()))
+            .collect(),
+        started_ns: started.as_nanos(),
+        finished_ns: finished.as_nanos(),
+        attempts,
+        success,
+        hosts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::VarValue;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pos-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn params() -> RunParams {
+        let mut values = BTreeMap::new();
+        values.insert("pkt_sz".to_string(), VarValue::Int(64));
+        values.insert("pkt_rate".to_string(), VarValue::Int(10_000));
+        RunParams { index: 3, values }
+    }
+
+    #[test]
+    fn create_builds_nested_unique_dirs() {
+        let root = tmpdir("create");
+        let a = ResultStore::create(&root, "alice", "router", SimTime::from_secs(100)).unwrap();
+        let b = ResultStore::create(&root, "alice", "router", SimTime::from_secs(100)).unwrap();
+        assert_ne!(a.dir(), b.dir(), "same timestamp must not collide");
+        assert!(a.dir().starts_with(root.join("alice").join("router")));
+        assert!(a.dir().to_str().unwrap().contains("vt-0000000100"));
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_subdirs() {
+        let root = tmpdir("rw");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        store.write("experiment/dut/setup.sh", "sysctl -w x=1\n").unwrap();
+        assert_eq!(
+            store.read_text("experiment/dut/setup.sh").unwrap(),
+            "sysctl -w x=1\n"
+        );
+        assert!(store.read("missing").is_err());
+    }
+
+    #[test]
+    fn run_metadata_roundtrip() {
+        let root = tmpdir("meta");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        let mut hosts = BTreeMap::new();
+        hosts.insert("dut".to_string(), "vtartu".to_string());
+        let meta = run_metadata(
+            &params(),
+            SimTime::from_secs(10),
+            SimTime::from_secs(25),
+            2,
+            true,
+            hosts,
+        );
+        store.write_run_metadata(&meta).unwrap();
+        let runs = store.list_runs().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].ends_with("run-0003"));
+        let back = ResultStore::read_run_metadata(&runs[0]).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(back.params["pkt_sz"], "64");
+        assert_eq!(back.label, "pkt_rate=10000,pkt_sz=64");
+        // The YAML view exists too.
+        let yaml = fs::read_to_string(runs[0].join("loop-params.yml")).unwrap();
+        assert!(yaml.contains("pkt_sz: '64'") || yaml.contains("pkt_sz: \"64\"") || yaml.contains("pkt_sz: 64"));
+    }
+
+    #[test]
+    fn run_outputs_written_per_role() {
+        let root = tmpdir("outputs");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        store
+            .write_run_output(0, "loadgen", "TX: 100 packets\n", "", 0)
+            .unwrap();
+        store
+            .write_run_output(0, "dut", "", "oops\n", 1)
+            .unwrap();
+        let dir = store.run_dir(0).unwrap();
+        assert!(dir.join("loadgen_measurement.log").exists());
+        assert!(
+            !dir.join("loadgen_measurement.err").exists(),
+            "empty stderr writes no file"
+        );
+        assert!(dir.join("dut_measurement.err").exists());
+        assert_eq!(
+            fs::read_to_string(dir.join("dut_measurement.status")).unwrap(),
+            "1\n"
+        );
+    }
+
+    #[test]
+    fn list_runs_sorted_and_filtered() {
+        let root = tmpdir("list");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        for i in [5usize, 0, 11] {
+            store.run_dir(i).unwrap();
+        }
+        store.write("hardware/h.txt", "x").unwrap(); // non-run dir ignored
+        let runs = store.list_runs().unwrap();
+        let names: Vec<String> = runs
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["run-0000", "run-0005", "run-0011"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Experiment scripts.
+//!
+//! §4.3: *"the scripts define the individual steps of the experiment [...]
+//! a script can be any executable, e.g., python or bash, that can be
+//! executed on the target device. The script contains the sequence of
+//! commands to execute."*
+//!
+//! A pos script here is a line-oriented text: one command per line, `#`
+//! comments, and the pos utility `pos_sync <name>` marking a named
+//! synchronization barrier across all experiment hosts (§4.4: the utility
+//! tools "synchronize hosts using barriers"). Variables are substituted at
+//! execution time, per measurement run.
+
+use crate::vars::Variables;
+use serde::{Deserialize, Serialize};
+
+/// One step of a script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// A command line to execute on the host.
+    Command(String),
+    /// A named barrier: execution pauses until every participating host
+    /// reaches a barrier with the same name.
+    Barrier(String),
+}
+
+/// A parsed experiment script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Script {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+    /// The original source text (kept verbatim — it is an artifact that
+    /// gets published).
+    pub source: String,
+}
+
+impl Script {
+    /// Parses script text.
+    pub fn parse(source: &str) -> Script {
+        let mut steps = Vec::new();
+        for line in source.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("pos_sync") {
+                let name = rest.trim();
+                let name = if name.is_empty() { "default" } else { name };
+                steps.push(Step::Barrier(name.to_owned()));
+            } else {
+                steps.push(Step::Command(trimmed.to_owned()));
+            }
+        }
+        Script {
+            steps,
+            source: source.to_owned(),
+        }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the script has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Names of barriers, in order of appearance.
+    pub fn barrier_names(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Barrier(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Splits the script into *segments*: runs of commands separated by
+    /// barriers. A script with barriers `b1, b2` yields segments
+    /// `[cmds, b1], [cmds, b2], [cmds, None]` — the final segment has no
+    /// trailing barrier.
+    pub fn segments(&self) -> Vec<(Vec<&str>, Option<&str>)> {
+        let mut out = Vec::new();
+        let mut current: Vec<&str> = Vec::new();
+        for step in &self.steps {
+            match step {
+                Step::Command(c) => current.push(c.as_str()),
+                Step::Barrier(b) => {
+                    out.push((std::mem::take(&mut current), Some(b.as_str())));
+                }
+            }
+        }
+        out.push((current, None));
+        out
+    }
+
+    /// Substitutes variables into every command, producing the concrete
+    /// per-run command list (barriers are unaffected).
+    pub fn instantiate(&self, vars: &Variables) -> Vec<Step> {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Command(c) => Step::Command(vars.substitute(c)),
+                b => b.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUT_SETUP: &str = r#"
+# DuT setup: bring up ports and enable routing
+ip addr add $dut_ip0/24 dev $PORT0
+ip addr add $dut_ip1/24 dev $PORT1
+ip link set $PORT0 up
+ip link set $PORT1 up
+sysctl -w net.ipv4.ip_forward=1
+pos_sync setup_done
+"#;
+
+    #[test]
+    fn parses_commands_comments_barriers() {
+        let s = Script::parse(DUT_SETUP);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.barrier_names(), vec!["setup_done"]);
+        assert!(matches!(&s.steps[0], Step::Command(c) if c.starts_with("ip addr add")));
+        assert!(matches!(&s.steps[5], Step::Barrier(b) if b == "setup_done"));
+    }
+
+    #[test]
+    fn source_is_preserved_verbatim() {
+        let s = Script::parse(DUT_SETUP);
+        assert_eq!(s.source, DUT_SETUP, "the publishable artifact is the source");
+    }
+
+    #[test]
+    fn unnamed_sync_gets_default_name() {
+        let s = Script::parse("echo a\npos_sync\necho b");
+        assert_eq!(s.barrier_names(), vec!["default"]);
+    }
+
+    #[test]
+    fn empty_script() {
+        let s = Script::parse("# only a comment\n\n");
+        assert!(s.is_empty());
+        assert_eq!(s.segments().len(), 1);
+        assert!(s.segments()[0].0.is_empty());
+    }
+
+    #[test]
+    fn segments_split_on_barriers() {
+        let s = Script::parse("a\nb\npos_sync s1\nc\npos_sync s2\nd");
+        let segs = s.segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], (vec!["a", "b"], Some("s1")));
+        assert_eq!(segs[1], (vec!["c"], Some("s2")));
+        assert_eq!(segs[2], (vec!["d"], None));
+    }
+
+    #[test]
+    fn trailing_barrier_yields_empty_final_segment() {
+        let s = Script::parse("a\npos_sync done");
+        let segs = s.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1], (vec![], None));
+    }
+
+    #[test]
+    fn instantiate_substitutes_only_commands() {
+        let vars = Variables::new()
+            .with("PORT0", "eno1")
+            .with("PORT1", "eno2")
+            .with("dut_ip0", "10.0.0.1")
+            .with("dut_ip1", "10.0.1.1");
+        let steps = Script::parse(DUT_SETUP).instantiate(&vars);
+        assert_eq!(
+            steps[0],
+            Step::Command("ip addr add 10.0.0.1/24 dev eno1".into())
+        );
+        assert_eq!(steps[5], Step::Barrier("setup_done".into()));
+    }
+
+    #[test]
+    fn measurement_script_with_loop_vars() {
+        let script = Script::parse("moongen --rate $pkt_rate --size $pkt_sz --time 10\npos_sync run_done");
+        let vars = Variables::new().with("pkt_rate", 10_000i64).with("pkt_sz", 64i64);
+        let steps = script.instantiate(&vars);
+        assert_eq!(
+            steps[0],
+            Step::Command("moongen --rate 10000 --size 64 --time 10".into())
+        );
+    }
+}

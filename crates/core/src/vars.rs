@@ -1,0 +1,384 @@
+//! Experiment variables.
+//!
+//! §4.3: *"The user-programmable experiment scripts distinguish two
+//! different file types: script and parameter files. This idea is inspired
+//! by HTML and CSS [...] For instance, a script file defines the
+//! initialization of a network port with the name `$PORT`, the variable
+//! file assigns `$PORT` the value `eno1`."*
+//!
+//! Three kinds of variables exist (§4.3): *global* (all hosts), *local*
+//! (one host), and *loop* (all hosts, changing between measurement runs).
+//! All three are [`Variables`] maps; their kind is a property of where the
+//! controller loads them from and how it applies them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable value: a scalar or a list of scalars (lists are meaningful
+/// only for loop variables, where they enumerate the instances to sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum VarValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Integer parameter (e.g. `pkt_sz: 64`).
+    Int(i64),
+    /// Floating-point parameter.
+    Float(f64),
+    /// String parameter (e.g. `port: eno1`).
+    Str(String),
+    /// List of scalars (loop variables only).
+    List(Vec<VarValue>),
+}
+
+impl VarValue {
+    /// Renders the value the way it substitutes into a script.
+    pub fn render(&self) -> String {
+        match self {
+            VarValue::Bool(b) => b.to_string(),
+            VarValue::Int(i) => i.to_string(),
+            VarValue::Float(f) => {
+                // Integral floats print without a trailing ".0" so scripts
+                // see `1000` rather than `1000.0`.
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    f.to_string()
+                }
+            }
+            VarValue::Str(s) => s.clone(),
+            VarValue::List(items) => items
+                .iter()
+                .map(VarValue::render)
+                .collect::<Vec<_>>()
+                .join(","),
+        }
+    }
+
+    /// The scalar instances of this value: one for scalars, the items for
+    /// lists (the §4.4 rule "each parameter can represent either a single
+    /// value or a list of values").
+    pub fn instances(&self) -> Vec<VarValue> {
+        match self {
+            VarValue::List(items) => items.clone(),
+            scalar => vec![scalar.clone()],
+        }
+    }
+
+    /// True for a list value.
+    pub fn is_list(&self) -> bool {
+        matches!(self, VarValue::List(_))
+    }
+
+    /// Interprets the value as f64 where possible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            VarValue::Int(i) => Some(*i as f64),
+            VarValue::Float(f) => Some(*f),
+            VarValue::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as i64 where possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            VarValue::Int(i) => Some(*i),
+            VarValue::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            VarValue::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VarValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for VarValue {
+    fn from(v: i64) -> Self {
+        VarValue::Int(v)
+    }
+}
+impl From<f64> for VarValue {
+    fn from(v: f64) -> Self {
+        VarValue::Float(v)
+    }
+}
+impl From<&str> for VarValue {
+    fn from(v: &str) -> Self {
+        VarValue::Str(v.into())
+    }
+}
+impl From<String> for VarValue {
+    fn from(v: String) -> Self {
+        VarValue::Str(v)
+    }
+}
+impl From<bool> for VarValue {
+    fn from(v: bool) -> Self {
+        VarValue::Bool(v)
+    }
+}
+impl<T: Into<VarValue>> From<Vec<T>> for VarValue {
+    fn from(v: Vec<T>) -> Self {
+        VarValue::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// An ordered name → value map, loadable from a YAML parameter file.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Variables(pub BTreeMap<String, VarValue>);
+
+impl Variables {
+    /// An empty set.
+    pub fn new() -> Variables {
+        Variables::default()
+    }
+
+    /// Inserts a variable (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<VarValue>) -> Variables {
+        self.0.insert(name.into(), value.into());
+        self
+    }
+
+    /// Inserts a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<VarValue>) {
+        self.0.insert(name.into(), value.into());
+    }
+
+    /// Looks a variable up.
+    pub fn get(&self, name: &str) -> Option<&VarValue> {
+        self.0.get(name)
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Parses a YAML parameter file (e.g. `loop-variables.yml`).
+    pub fn from_yaml(text: &str) -> Result<Variables, serde_yaml::Error> {
+        if text.trim().is_empty() {
+            return Ok(Variables::new());
+        }
+        serde_yaml::from_str(text)
+    }
+
+    /// Renders back to YAML.
+    pub fn to_yaml(&self) -> String {
+        serde_yaml::to_string(&self.0).expect("BTreeMap of VarValue always serializes")
+    }
+
+    /// Merges `other` over `self` (entries in `other` win). Returns the
+    /// merged set; used to stack global < local < loop precedence.
+    pub fn merged_with(&self, other: &Variables) -> Variables {
+        let mut out = self.clone();
+        for (k, v) in &other.0 {
+            out.0.insert(k.clone(), v.clone());
+        }
+        out
+    }
+
+    /// Substitutes `$name` and `${name}` occurrences in `text`.
+    ///
+    /// Longest-name-first matching for the bare `$name` form, so `$rate`
+    /// does not eat the prefix of `$rate_limit`. Unknown variables are left
+    /// untouched (scripts may use shell-level variables of their own).
+    pub fn substitute(&self, text: &str) -> String {
+        let mut names: Vec<&String> = self.0.keys().collect();
+        names.sort_by_key(|n| std::cmp::Reverse(n.len()));
+        let mut out = String::with_capacity(text.len());
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        'outer: while i < bytes.len() {
+            if bytes[i] == b'$' {
+                // ${name}
+                if i + 1 < bytes.len() && bytes[i + 1] == b'{' {
+                    if let Some(end) = text[i + 2..].find('}') {
+                        let name = &text[i + 2..i + 2 + end];
+                        if let Some(v) = self.0.get(name) {
+                            out.push_str(&v.render());
+                            i += 2 + end + 1;
+                            continue 'outer;
+                        }
+                    }
+                } else {
+                    // $name, longest match wins
+                    for name in &names {
+                        let rest = &text[i + 1..];
+                        if rest.starts_with(name.as_str()) {
+                            // Next char must not extend the identifier.
+                            let after = rest[name.len()..].chars().next();
+                            let extends = after
+                                .map(|c| c.is_alphanumeric() || c == '_')
+                                .unwrap_or(false);
+                            if !extends {
+                                out.push_str(&self.0[*name].render());
+                                i += 1 + name.len();
+                                continue 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            let ch = text[i..].chars().next().expect("in bounds");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+        out
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &VarValue)> {
+        self.0.iter()
+    }
+
+    /// The entries rendered as plain strings (for deployment to hosts).
+    pub fn rendered(&self) -> BTreeMap<String, String> {
+        self.0
+            .iter()
+            .map(|(k, v)| (k.clone(), v.render()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn yaml_roundtrip_with_lists() {
+        // The Appendix-A loop variable file: sizes and rates.
+        let yaml = "pkt_sz: [64, 1500]\npkt_rate: [10000, 20000, 30000]\n";
+        let vars = Variables::from_yaml(yaml).unwrap();
+        assert_eq!(
+            vars.get("pkt_sz"),
+            Some(&VarValue::List(vec![VarValue::Int(64), VarValue::Int(1500)]))
+        );
+        let back = Variables::from_yaml(&vars.to_yaml()).unwrap();
+        assert_eq!(back, vars);
+    }
+
+    #[test]
+    fn yaml_scalar_kinds() {
+        let vars = Variables::from_yaml(
+            "port: eno1\ncount: 5\nratio: 0.5\nenabled: true\n",
+        )
+        .unwrap();
+        assert_eq!(vars.get("port"), Some(&VarValue::Str("eno1".into())));
+        assert_eq!(vars.get("count"), Some(&VarValue::Int(5)));
+        assert_eq!(vars.get("ratio"), Some(&VarValue::Float(0.5)));
+        assert_eq!(vars.get("enabled"), Some(&VarValue::Bool(true)));
+    }
+
+    #[test]
+    fn empty_yaml_is_empty_vars() {
+        assert!(Variables::from_yaml("").unwrap().is_empty());
+        assert!(Variables::from_yaml("  \n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn substitution_basic() {
+        let vars = Variables::new().with("PORT", "eno1").with("pkt_rate", 10_000i64);
+        assert_eq!(
+            vars.substitute("ip link set $PORT up # rate $pkt_rate"),
+            "ip link set eno1 up # rate 10000"
+        );
+        assert_eq!(vars.substitute("x=${PORT}y"), "x=eno1y");
+    }
+
+    #[test]
+    fn substitution_longest_name_wins() {
+        let vars = Variables::new().with("rate", 1i64).with("rate_limit", 2i64);
+        assert_eq!(vars.substitute("$rate_limit vs $rate"), "2 vs 1");
+    }
+
+    #[test]
+    fn substitution_does_not_split_identifiers() {
+        let vars = Variables::new().with("rate", 1i64);
+        // $ratelimit is a *different* identifier, untouched.
+        assert_eq!(vars.substitute("$ratelimit"), "$ratelimit");
+    }
+
+    #[test]
+    fn substitution_unknown_left_alone() {
+        let vars = Variables::new().with("a", 1i64);
+        assert_eq!(vars.substitute("$b ${c} $a"), "$b ${c} 1");
+    }
+
+    #[test]
+    fn substitution_handles_unicode() {
+        let vars = Variables::new().with("x", "µ");
+        assert_eq!(vars.substitute("1$x s — Ω"), "1µ s — Ω");
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(VarValue::Int(64).render(), "64");
+        assert_eq!(VarValue::Float(1000.0).render(), "1000");
+        assert_eq!(VarValue::Float(0.5).render(), "0.5");
+        assert_eq!(VarValue::Bool(false).render(), "false");
+        assert_eq!(
+            VarValue::List(vec![64.into(), 1500.into()]).render(),
+            "64,1500"
+        );
+    }
+
+    #[test]
+    fn instances_of_scalar_and_list() {
+        assert_eq!(VarValue::Int(1).instances(), vec![VarValue::Int(1)]);
+        let l = VarValue::List(vec![1i64.into(), 2i64.into()]);
+        assert_eq!(l.instances().len(), 2);
+        assert!(l.is_list());
+    }
+
+    #[test]
+    fn merge_precedence() {
+        let global = Variables::new().with("a", 1i64).with("b", 1i64);
+        let local = Variables::new().with("b", 2i64).with("c", 2i64);
+        let merged = global.merged_with(&local);
+        assert_eq!(merged.get("a"), Some(&VarValue::Int(1)));
+        assert_eq!(merged.get("b"), Some(&VarValue::Int(2)), "local wins");
+        assert_eq!(merged.get("c"), Some(&VarValue::Int(2)));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(VarValue::Int(64).as_f64(), Some(64.0));
+        assert_eq!(VarValue::Str("1500".into()).as_i64(), Some(1500));
+        assert_eq!(VarValue::Float(2.0).as_i64(), Some(2));
+        assert_eq!(VarValue::Float(2.5).as_i64(), None);
+        assert_eq!(VarValue::Bool(true).as_f64(), None);
+    }
+
+    proptest! {
+        /// Substitution never panics and never loses non-variable text.
+        #[test]
+        fn prop_substitution_total(text in ".{0,100}") {
+            let vars = Variables::new().with("a", 1i64).with("bb", "x");
+            let _ = vars.substitute(&text);
+        }
+
+        /// YAML roundtrip for arbitrary string variables.
+        #[test]
+        fn prop_yaml_roundtrip(entries in proptest::collection::btree_map("[a-z_]{1,10}", 0i64..10_000, 0..8)) {
+            let mut vars = Variables::new();
+            for (k, v) in &entries {
+                vars.set(k.clone(), *v);
+            }
+            let back = Variables::from_yaml(&vars.to_yaml()).unwrap();
+            prop_assert_eq!(back, vars);
+        }
+    }
+}

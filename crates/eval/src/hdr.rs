@@ -1,0 +1,370 @@
+//! A high-dynamic-range histogram for latency distributions.
+//!
+//! Latency in the case study spans bare-metal microseconds to virtualized
+//! milliseconds — four orders of magnitude. An HDR histogram records
+//! values with a configurable number of significant decimal digits across
+//! the whole range in constant memory, like Gil Tene's HdrHistogram: a
+//! sequence of doubling bucket ranges, each subdivided linearly.
+
+use serde::{Deserialize, Serialize};
+
+/// The histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HdrHistogram {
+    /// Counts indexed by (bucket, sub-bucket), flattened.
+    counts: Vec<u64>,
+    sub_bucket_count: usize,
+    sub_bucket_half_count: usize,
+    /// log2 of sub_bucket_count.
+    sub_bucket_bits: u32,
+    highest_trackable: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HdrHistogram {
+    /// Creates a histogram covering `1..=highest_trackable` with
+    /// `significant_digits` (1–5) decimal digits of precision.
+    ///
+    /// # Panics
+    /// Panics on `significant_digits` outside 1–5 or a zero range.
+    pub fn new(highest_trackable: u64, significant_digits: u32) -> HdrHistogram {
+        assert!(
+            (1..=5).contains(&significant_digits),
+            "significant digits must be 1..=5"
+        );
+        assert!(highest_trackable >= 2, "range must be at least 2");
+        let largest_resolvable = 2 * 10u64.pow(significant_digits);
+        let sub_bucket_bits = 64 - u64::leading_zeros(largest_resolvable - 1);
+        let sub_bucket_count = 1usize << sub_bucket_bits;
+        // Number of doubling buckets needed to reach highest_trackable.
+        let mut buckets = 1usize;
+        let mut reach = sub_bucket_count as u64;
+        while reach < highest_trackable {
+            reach = reach.saturating_mul(2);
+            buckets += 1;
+        }
+        let len = (buckets + 1) * (sub_bucket_count / 2);
+        HdrHistogram {
+            counts: vec![0; len],
+            sub_bucket_count,
+            sub_bucket_half_count: sub_bucket_count / 2,
+            sub_bucket_bits,
+            highest_trackable,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket of `value`: 0 while the value fits the linear sub-bucket
+    /// range, then one per doubling.
+    fn bucket_of(&self, value: u64) -> usize {
+        (64 - u64::leading_zeros(value | (self.sub_bucket_count as u64 - 1))
+            - self.sub_bucket_bits) as usize
+    }
+
+    fn index_of(&self, value: u64) -> usize {
+        let value = value.max(1);
+        let bucket = self.bucket_of(value);
+        let sub = (value >> bucket) as usize;
+        // Bucket 0 uses all sub-buckets (indices 0..count); bucket b ≥ 1
+        // only the top half (sub ∈ [half, count)), so the flattened index
+        // is simply bucket·half + sub.
+        bucket * self.sub_bucket_half_count + sub
+    }
+
+    /// Bucket a flattened index belongs to (inverse of [`Self::index_of`]).
+    fn bucket_of_index(&self, index: usize) -> usize {
+        if index < 2 * self.sub_bucket_half_count {
+            0
+        } else {
+            index / self.sub_bucket_half_count - 1
+        }
+    }
+
+    fn value_at_index(&self, index: usize) -> u64 {
+        let bucket = self.bucket_of_index(index);
+        let sub = index - bucket * self.sub_bucket_half_count;
+        (sub as u64) << bucket
+    }
+
+    /// Highest value equivalent to the one stored at `index` (the top of
+    /// that index's range).
+    fn highest_equivalent(&self, index: usize) -> u64 {
+        let scale = 1u64 << self.bucket_of_index(index);
+        self.value_at_index(index) + scale - 1
+    }
+
+    /// Records one observation. Values above the trackable range are
+    /// clamped to it (and counted), never dropped: overload tails matter.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let clamped = value.clamp(1, self.highest_trackable);
+        let idx = self.index_of(clamped);
+        self.counts[idx] += n;
+        self.total += n;
+        self.min = self.min.min(clamped);
+        self.max = self.max.max(clamped);
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value (clamped); `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded value (clamped); `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Mean of the recorded values (at histogram resolution).
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| self.value_at_index(i) as f64 * c as f64)
+            .sum();
+        Some(sum / self.total as f64)
+    }
+
+    /// The value at percentile `p` (0–100).
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range or the histogram is empty.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        assert!(!self.is_empty(), "empty histogram");
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.highest_equivalent(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates `(percentile, value)` pairs at standard HDR "nines" ticks,
+    /// the series an HDR plot draws.
+    pub fn percentile_series(&self) -> Vec<(f64, u64)> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let ticks = [
+            0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 99.99, 100.0,
+        ];
+        ticks
+            .iter()
+            .map(|&p| (p, self.value_at_percentile(p)))
+            .collect()
+    }
+
+    /// Merges another histogram (same configuration) into this one.
+    ///
+    /// # Panics
+    /// Panics if configurations differ.
+    pub fn merge(&mut self, other: &HdrHistogram) {
+        assert_eq!(
+            (self.sub_bucket_count, self.highest_trackable, self.counts.len()),
+            (
+                other.sub_bucket_count,
+                other.highest_trackable,
+                other.counts.len()
+            ),
+            "cannot merge differently configured histograms"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One hour in nanoseconds: a comfortable latency ceiling.
+    const HOUR_NS: u64 = 3_600_000_000_000;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = HdrHistogram::new(HOUR_NS, 3);
+        assert!(h.is_empty());
+        h.record(1_000);
+        h.record(2_000);
+        h.record_n(5_000, 3);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.min(), Some(1_000));
+        assert_eq!(h.max(), Some(5_000));
+    }
+
+    #[test]
+    fn precision_within_significant_digits() {
+        for v in [1_234u64, 98_765, 1_234_567, 987_654_321] {
+            let mut h = HdrHistogram::new(HOUR_NS, 3);
+            h.record(v);
+            let got = h.value_at_percentile(100.0);
+            let err = (got as f64 - v as f64).abs() / v as f64;
+            assert!(err < 1e-3, "value {v}: got {got}, rel err {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = HdrHistogram::new(1_000_000, 3);
+        for v in 1..=10_000u64 {
+            h.record(v * 100); // 100..=1_000_000, uniform
+        }
+        let p50 = h.value_at_percentile(50.0) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.01, "p50 {p50}");
+        let p99 = h.value_at_percentile(99.0) as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.01, "p99 {p99}");
+        assert_eq!(h.value_at_percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn mean_matches_at_resolution() {
+        let mut h = HdrHistogram::new(1_000_000, 3);
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        let mean = h.mean().unwrap();
+        assert!((mean - 250.0).abs() / 250.0 < 0.01, "got {mean}");
+    }
+
+    #[test]
+    fn values_above_range_clamp_not_drop() {
+        let mut h = HdrHistogram::new(1_000, 2);
+        h.record(50_000);
+        assert_eq!(h.len(), 1, "overflow must still be counted");
+        assert_eq!(h.max(), Some(1_000));
+    }
+
+    #[test]
+    fn zero_records_as_one() {
+        let mut h = HdrHistogram::new(1_000, 2);
+        h.record(0);
+        assert_eq!(h.min(), Some(1));
+    }
+
+    #[test]
+    fn empty_histogram_queries() {
+        let h = HdrHistogram::new(1_000, 2);
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+        assert!(h.mean().is_none());
+        assert!(h.percentile_series().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn percentile_of_empty_panics() {
+        HdrHistogram::new(1_000, 2).value_at_percentile(50.0);
+    }
+
+    #[test]
+    fn percentile_series_is_monotone() {
+        let mut h = HdrHistogram::new(HOUR_NS, 3);
+        let mut rng = 1234u64;
+        for _ in 0..10_000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record((rng >> 33) % 1_000_000 + 1);
+        }
+        let series = h.percentile_series();
+        assert_eq!(series.first().unwrap().0, 0.0);
+        assert_eq!(series.last().unwrap().0, 100.0);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1, "series must be monotone: {series:?}");
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = HdrHistogram::new(HOUR_NS, 3);
+        let mut b = HdrHistogram::new(HOUR_NS, 3);
+        a.record_n(100, 10);
+        b.record_n(10_000, 10);
+        a.merge(&b);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.min(), Some(100));
+        let p75 = a.value_at_percentile(75.0);
+        assert!(p75 >= 9_900, "upper half comes from b, got {p75}");
+    }
+
+    #[test]
+    #[should_panic(expected = "differently configured")]
+    fn merge_mismatched_panics() {
+        let mut a = HdrHistogram::new(1_000, 2);
+        let b = HdrHistogram::new(1_000_000, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "significant digits")]
+    fn bad_digits_rejected() {
+        HdrHistogram::new(1_000, 0);
+    }
+
+    proptest! {
+        /// Recording any value keeps relative error within the precision
+        /// bound (10^-digits) when queried back via p100.
+        #[test]
+        fn prop_precision(value in 1u64..HOUR_NS) {
+            let mut h = HdrHistogram::new(HOUR_NS, 3);
+            h.record(value);
+            let got = h.value_at_percentile(100.0);
+            let err = (got as f64 - value as f64).abs() / value as f64;
+            prop_assert!(err < 2e-3, "value {value}, got {got}, err {err}");
+        }
+
+        /// Total count equals the number of record calls; percentiles stay
+        /// within [min, max].
+        #[test]
+        fn prop_counts_and_bounds(values in proptest::collection::vec(1u64..1_000_000_000, 1..500)) {
+            let mut h = HdrHistogram::new(HOUR_NS, 3);
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.len(), values.len() as u64);
+            for p in [0.0, 50.0, 99.0, 100.0] {
+                let v = h.value_at_percentile(p);
+                prop_assert!(v >= h.min().unwrap());
+                prop_assert!(v <= h.max().unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # pos-eval
+//!
+//! The evaluation phase of the pos workflow (§4.4): *"The evaluation
+//! script processes the result files [...] Based on this metadata, the
+//! evaluation script can filter or aggregate specific parameters and
+//! values. We integrated a parser for MoonGen's output into our plotting
+//! scripts. [...] Our plotting scripts can create throughput figures and
+//! latency distributions out-of-the-box using a set of different
+//! representations (line plot, histogram, CDF, HDR, and violin plot). The
+//! generated plots are exported to multiple formats, e.g., tex, svg."*
+//!
+//! * [`moongen`] — parses the MoonGen-style measurement output back into
+//!   structured summaries.
+//! * [`loader`] — walks a pos result tree, joining each run's output with
+//!   its loop-parameter metadata; provides filtering/grouping/series
+//!   extraction.
+//! * [`stats`] — descriptive statistics with percentiles and confidence
+//!   intervals.
+//! * [`hdr`] — a high-dynamic-range histogram for latency distributions.
+//! * [`plot`] — the five plot representations, rendered to SVG, pgfplots
+//!   TeX, and CSV.
+
+#![warn(missing_docs)]
+
+pub mod hdr;
+pub mod loader;
+pub mod moongen;
+pub mod plot;
+pub mod stats;
+
+pub use hdr::HdrHistogram;
+pub use loader::{ParsedRun, ResultSet};
+pub use moongen::{LatencySummary, MoonGenSummary};
+pub use plot::{PlotKind, PlotSpec};
+pub use stats::Summary;

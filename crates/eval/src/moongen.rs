@@ -1,0 +1,409 @@
+//! Parser for the MoonGen-style measurement output.
+//!
+//! Inverse of `pos-loadgen`'s `MoonGenReport::render_text`. The parser is
+//! tolerant of extra lines (real tool output is noisy) but strict about
+//! the lines it does claim to understand.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Latency statistics from the `Samples:` line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub samples: u64,
+    /// Mean latency in nanoseconds.
+    pub avg_ns: f64,
+    /// Standard deviation in nanoseconds.
+    pub stddev_ns: f64,
+    /// 25th/50th/75th percentile in nanoseconds.
+    pub quartiles_ns: [u64; 3],
+}
+
+/// Structured summary of one measurement run's generator output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MoonGenSummary {
+    /// Offered rate in packets per second (from the header line).
+    pub offered_pps: f64,
+    /// Configured frame wire size in bytes.
+    pub wire_size: usize,
+    /// Measurement duration in seconds.
+    pub duration_s: f64,
+    /// Total packets transmitted.
+    pub tx_frames: u64,
+    /// Total wire bytes transmitted.
+    pub tx_bytes: u64,
+    /// Departures dropped at the generator NIC.
+    pub tx_nic_drops: u64,
+    /// Total packets received.
+    pub rx_frames: u64,
+    /// Total wire bytes received.
+    pub rx_bytes: u64,
+    /// Sequence-gap losses.
+    pub lost: u64,
+    /// Out-of-order arrivals.
+    pub reordered: u64,
+    /// Per-interval (tx_mpps, rx_mpps) pairs.
+    pub intervals: Vec<(f64, f64)>,
+    /// Latency statistics, when the run sampled latency.
+    pub latency: Option<LatencySummary>,
+}
+
+impl MoonGenSummary {
+    /// Achieved transmit rate in Mpps.
+    pub fn tx_mpps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.tx_frames as f64 / self.duration_s / 1e6
+    }
+
+    /// Achieved receive (forwarded) rate in Mpps.
+    pub fn rx_mpps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.rx_frames as f64 / self.duration_s / 1e6
+    }
+
+    /// Offered rate in Mpps.
+    pub fn offered_mpps(&self) -> f64 {
+        self.offered_pps / 1e6
+    }
+
+    /// Loss fraction relative to transmitted packets.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.tx_frames == 0 {
+            0.0
+        } else {
+            1.0 - self.rx_frames as f64 / self.tx_frames as f64
+        }
+    }
+}
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoonGenParseError {
+    /// The `# moongen-sim:` header line is missing or malformed.
+    MissingHeader,
+    /// The cumulative TX/RX summary lines are missing.
+    MissingSummary,
+    /// A recognized line had an unparseable field.
+    BadField {
+        /// The offending line.
+        line: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for MoonGenParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoonGenParseError::MissingHeader => write!(f, "missing '# moongen-sim:' header"),
+            MoonGenParseError::MissingSummary => write!(f, "missing cumulative TX/RX summary"),
+            MoonGenParseError::BadField { line, expected } => {
+                write!(f, "cannot parse {expected} from line: {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MoonGenParseError {}
+
+fn num_before<'a>(line: &'a str, suffix: &str) -> Option<&'a str> {
+    // Extracts the whitespace-separated token immediately before `suffix`.
+    let idx = line.find(suffix)?;
+    line[..idx].split_whitespace().last()
+}
+
+/// Parses MoonGen-style output text into a summary.
+pub fn parse(text: &str) -> Result<MoonGenSummary, MoonGenParseError> {
+    let mut out = MoonGenSummary::default();
+    let mut have_header = false;
+    let mut have_tx_total = false;
+    let mut have_rx_total = false;
+    let mut interval_tx: Vec<f64> = Vec::new();
+    let mut interval_rx: Vec<f64> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# moongen-sim:") {
+            // rate=<pps> pps, size=<B> B, duration=<dur>
+            for part in rest.split(',') {
+                let part = part.trim();
+                if let Some(v) = part.strip_prefix("rate=") {
+                    out.offered_pps = v
+                        .trim_end_matches(" pps")
+                        .parse()
+                        .map_err(|_| MoonGenParseError::BadField {
+                            line: line.into(),
+                            expected: "rate",
+                        })?;
+                } else if let Some(v) = part.strip_prefix("size=") {
+                    out.wire_size = v
+                        .trim_end_matches(" B")
+                        .parse()
+                        .map_err(|_| MoonGenParseError::BadField {
+                            line: line.into(),
+                            expected: "size",
+                        })?;
+                } else if let Some(v) = part.strip_prefix("duration=") {
+                    out.duration_s = parse_duration_s(v).ok_or(MoonGenParseError::BadField {
+                        line: line.into(),
+                        expected: "duration",
+                    })?;
+                }
+            }
+            have_header = true;
+        } else if line.contains("packets with") {
+            // Cumulative summaries.
+            let count: u64 = num_before(line, " packets with")
+                .and_then(|t| t.parse().ok())
+                .ok_or(MoonGenParseError::BadField {
+                    line: line.into(),
+                    expected: "packet count",
+                })?;
+            let bytes: u64 = num_before(line, " bytes")
+                .and_then(|t| t.parse().ok())
+                .ok_or(MoonGenParseError::BadField {
+                    line: line.into(),
+                    expected: "byte count",
+                })?;
+            if line.contains("TX:") {
+                out.tx_frames = count;
+                out.tx_bytes = bytes;
+                if line.contains("dropped at NIC") {
+                    out.tx_nic_drops = num_before(line, " dropped at NIC")
+                        .and_then(|t| t.parse().ok())
+                        .ok_or(MoonGenParseError::BadField {
+                            line: line.into(),
+                            expected: "NIC drop count",
+                        })?;
+                }
+                have_tx_total = true;
+            } else if line.contains("RX:") {
+                out.rx_frames = count;
+                out.rx_bytes = bytes;
+                if line.contains("lost") {
+                    out.lost = num_before(line, " lost")
+                        .and_then(|t| t.parse().ok())
+                        .unwrap_or(0);
+                }
+                if line.contains("reordered") {
+                    out.reordered = num_before(line, " reordered")
+                        .and_then(|t| t.parse().ok())
+                        .unwrap_or(0);
+                }
+                have_rx_total = true;
+            }
+        } else if line.contains("Mpps") {
+            // Interval lines: "[Device: id=0] TX: 0.300000 Mpps, ..."
+            let mpps: f64 = num_before(line, " Mpps")
+                .and_then(|t| t.parse().ok())
+                .ok_or(MoonGenParseError::BadField {
+                    line: line.into(),
+                    expected: "Mpps value",
+                })?;
+            if line.contains("TX:") {
+                interval_tx.push(mpps);
+            } else if line.contains("RX:") {
+                interval_rx.push(mpps);
+            }
+        } else if let Some(rest) = line.strip_prefix("Samples: ") {
+            // "Samples: N, Average: A ns, StdDev: S ns, Quartiles: a/b/c ns"
+            let bad = |expected| MoonGenParseError::BadField {
+                line: line.into(),
+                expected,
+            };
+            let mut samples = 0u64;
+            let mut avg = 0.0f64;
+            let mut stddev = 0.0f64;
+            let mut quartiles = [0u64; 3];
+            for part in rest.split(", ") {
+                if let Some(v) = part.strip_prefix("Average: ") {
+                    avg = v
+                        .trim_end_matches(" ns")
+                        .parse()
+                        .map_err(|_| bad("average"))?;
+                } else if let Some(v) = part.strip_prefix("StdDev: ") {
+                    stddev = v
+                        .trim_end_matches(" ns")
+                        .parse()
+                        .map_err(|_| bad("stddev"))?;
+                } else if let Some(v) = part.strip_prefix("Quartiles: ") {
+                    let nums: Vec<u64> = v
+                        .trim_end_matches(" ns")
+                        .split('/')
+                        .filter_map(|t| t.parse().ok())
+                        .collect();
+                    if nums.len() != 3 {
+                        return Err(bad("quartiles"));
+                    }
+                    quartiles = [nums[0], nums[1], nums[2]];
+                } else {
+                    samples = part.parse().map_err(|_| bad("sample count"))?;
+                }
+            }
+            out.latency = Some(LatencySummary {
+                samples,
+                avg_ns: avg,
+                stddev_ns: stddev,
+                quartiles_ns: quartiles,
+            });
+        }
+    }
+
+    if !have_header {
+        return Err(MoonGenParseError::MissingHeader);
+    }
+    if !have_tx_total || !have_rx_total {
+        return Err(MoonGenParseError::MissingSummary);
+    }
+    out.intervals = interval_tx.into_iter().zip(interval_rx).collect();
+    Ok(out)
+}
+
+/// Parses the `SimDuration` display format back to seconds ("10s",
+/// "500ms", "1.500s", "3333us", "67ns").
+fn parse_duration_s(text: &str) -> Option<f64> {
+    let text = text.trim();
+    for (suffix, scale) in [("ns", 1e-9), ("us", 1e-6), ("ms", 1e-3), ("s", 1.0)] {
+        if let Some(v) = text.strip_suffix(suffix) {
+            // "ms" also ends with "s": try the longest suffixes first —
+            // the array is ordered so that ns/us/ms are tried before s.
+            return v.parse::<f64>().ok().map(|x| x * scale);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# moongen-sim: rate=300000 pps, size=64 B, duration=10s
+[Device: id=0] TX: 0.300000 Mpps, 201.60 Mbit/s
+[Device: id=1] RX: 0.290000 Mpps, 194.88 Mbit/s
+[Device: id=0] TX: 0.300000 Mpps, 201.60 Mbit/s
+[Device: id=1] RX: 0.291000 Mpps, 195.55 Mbit/s
+[Device: id=0] TX: 3000000 packets with 192000000 bytes (incl. CRC), 0 dropped at NIC
+[Device: id=1] RX: 2900000 packets with 185600000 bytes (incl. CRC), 100000 lost, 5 reordered
+Samples: 1000, Average: 15723.4 ns, StdDev: 120.2 ns, Quartiles: 15600/15700/15800 ns
+";
+
+    #[test]
+    fn parses_complete_output() {
+        let s = parse(SAMPLE).unwrap();
+        assert_eq!(s.offered_pps, 300000.0);
+        assert_eq!(s.wire_size, 64);
+        assert_eq!(s.duration_s, 10.0);
+        assert_eq!(s.tx_frames, 3_000_000);
+        assert_eq!(s.tx_bytes, 192_000_000);
+        assert_eq!(s.tx_nic_drops, 0);
+        assert_eq!(s.rx_frames, 2_900_000);
+        assert_eq!(s.lost, 100_000);
+        assert_eq!(s.reordered, 5);
+        assert_eq!(s.intervals.len(), 2);
+        assert_eq!(s.intervals[1], (0.3, 0.291));
+        let l = s.latency.unwrap();
+        assert_eq!(l.samples, 1000);
+        assert!((l.avg_ns - 15723.4).abs() < 1e-6);
+        assert_eq!(l.quartiles_ns, [15600, 15700, 15800]);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = parse(SAMPLE).unwrap();
+        assert!((s.tx_mpps() - 0.3).abs() < 1e-9);
+        assert!((s.rx_mpps() - 0.29).abs() < 1e-9);
+        assert!((s.offered_mpps() - 0.3).abs() < 1e-9);
+        assert!((s.loss_fraction() - 1.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_optional() {
+        let without: String = SAMPLE
+            .lines()
+            .filter(|l| !l.starts_with("Samples:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let s = parse(&without).unwrap();
+        assert!(s.latency.is_none());
+    }
+
+    #[test]
+    fn missing_header_or_summary_rejected() {
+        assert_eq!(parse("").unwrap_err(), MoonGenParseError::MissingHeader);
+        assert_eq!(
+            parse("# moongen-sim: rate=1 pps, size=64 B, duration=1s\n").unwrap_err(),
+            MoonGenParseError::MissingSummary
+        );
+    }
+
+    #[test]
+    fn garbage_fields_rejected_with_line_context() {
+        let bad = SAMPLE.replace("3000000 packets", "three packets");
+        match parse(&bad).unwrap_err() {
+            MoonGenParseError::BadField { line, .. } => assert!(line.contains("three packets")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_lines_ignored() {
+        let noisy = format!("starting up...\nEAL: probing devices\n{SAMPLE}\nbye\n");
+        assert!(parse(&noisy).is_ok());
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration_s("10s"), Some(10.0));
+        assert_eq!(parse_duration_s("500ms"), Some(0.5));
+        assert_eq!(parse_duration_s("1.500s"), Some(1.5));
+        assert_eq!(parse_duration_s("250us"), Some(0.00025));
+        assert_eq!(parse_duration_s("67ns"), Some(6.7e-8));
+        assert_eq!(parse_duration_s("oops"), None);
+    }
+
+    #[test]
+    fn roundtrip_with_loadgen_renderer() {
+        // The authoritative compatibility test: whatever the generator
+        // renders, the parser must reconstruct.
+        use pos_loadgen::report::{IntervalStat, MoonGenReport};
+        use pos_simkernel::SimDuration;
+        let report = MoonGenReport {
+            offered_pps: 123_456.0,
+            wire_size: 1500,
+            duration: SimDuration::from_secs(3),
+            tx_attempted: 370_368,
+            tx_frames: 370_000,
+            tx_bytes: 555_000_000,
+            tx_nic_drops: 368,
+            rx_frames: 369_500,
+            rx_bytes: 554_250_000,
+            lost: 500,
+            reordered: 2,
+            latency_samples_ns: vec![100, 150, 200, 250, 300],
+            intervals: vec![
+                IntervalStat { index: 0, tx_frames: 123_456, rx_frames: 123_400, tx_bytes: 1, rx_bytes: 1 },
+                IntervalStat { index: 1, tx_frames: 123_456, rx_frames: 123_300, tx_bytes: 1, rx_bytes: 1 },
+            ],
+        };
+        let s = parse(&report.render_text()).unwrap();
+        assert_eq!(s.offered_pps, 123_456.0);
+        assert_eq!(s.wire_size, 1500);
+        assert_eq!(s.duration_s, 3.0);
+        assert_eq!(s.tx_frames, 370_000);
+        assert_eq!(s.tx_nic_drops, 368);
+        assert_eq!(s.rx_frames, 369_500);
+        assert_eq!(s.lost, 500);
+        assert_eq!(s.reordered, 2);
+        assert_eq!(s.intervals.len(), 2);
+        let l = s.latency.unwrap();
+        assert_eq!(l.samples, 5);
+        assert_eq!(l.avg_ns, 200.0);
+        assert_eq!(l.quartiles_ns, [150, 200, 250]);
+    }
+}

@@ -1,0 +1,725 @@
+//! Plot generation — the out-of-the-box figures of the evaluation phase.
+//!
+//! §4.4: *"Our plotting scripts can create throughput figures and latency
+//! distributions out-of-the-box using a set of different representations
+//! (line plot, histogram, CDF, HDR, and violin plot). The generated plots
+//! are exported to multiple formats, e.g., tex, svg."*
+//!
+//! A [`PlotSpec`] holds data in its natural form (x/y points for line
+//! plots, raw samples for distribution plots) and renders to three
+//! formats: standalone SVG, pgfplots TeX, and CSV (the "data behind the
+//! figure" export reviewers ask for).
+
+use crate::hdr::HdrHistogram;
+use crate::stats;
+use serde::{Deserialize, Serialize};
+
+/// The representation to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlotKind {
+    /// x/y line plot (throughput over offered rate).
+    Line,
+    /// Binned histogram of samples.
+    Histogram {
+        /// Number of bins.
+        bins: usize,
+    },
+    /// Empirical CDF of samples.
+    Cdf,
+    /// HDR percentile plot: latency over "number of nines".
+    Hdr,
+    /// Violin plot: mirrored kernel density per series.
+    Violin,
+}
+
+/// An x/y series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points, in x order for line plots.
+    pub points: Vec<(f64, f64)>,
+    /// Optional symmetric error half-widths, one per point (error bars).
+    #[serde(default)]
+    pub y_err: Option<Vec<f64>>,
+}
+
+/// A raw-sample series (distribution plots).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleSeries {
+    /// Legend label.
+    pub label: String,
+    /// The samples.
+    pub samples: Vec<f64>,
+}
+
+/// A complete plot description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlotSpec {
+    /// Plot title.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Representation.
+    pub kind: PlotKind,
+    /// Point series (line plots).
+    pub series: Vec<Series>,
+    /// Sample series (distribution plots).
+    pub samples: Vec<SampleSeries>,
+}
+
+/// Categorical palette (colorblind-safe Okabe-Ito subset).
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00",
+];
+
+impl PlotSpec {
+    /// A line plot.
+    pub fn line(title: &str, x_label: &str, y_label: &str) -> PlotSpec {
+        PlotSpec {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            kind: PlotKind::Line,
+            series: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// A histogram of samples.
+    pub fn histogram(title: &str, x_label: &str, bins: usize) -> PlotSpec {
+        PlotSpec {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: "count".into(),
+            kind: PlotKind::Histogram { bins },
+            series: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// An empirical CDF of samples.
+    pub fn cdf(title: &str, x_label: &str) -> PlotSpec {
+        PlotSpec {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: "cumulative probability".into(),
+            kind: PlotKind::Cdf,
+            series: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// An HDR percentile plot of samples.
+    pub fn hdr(title: &str, y_label: &str) -> PlotSpec {
+        PlotSpec {
+            title: title.into(),
+            x_label: "percentile".into(),
+            y_label: y_label.into(),
+            kind: PlotKind::Hdr,
+            series: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// A violin plot of samples.
+    pub fn violin(title: &str, y_label: &str) -> PlotSpec {
+        PlotSpec {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: y_label.into(),
+            kind: PlotKind::Violin,
+            series: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Adds an x/y series (line plots).
+    pub fn with_series(
+        mut self,
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> PlotSpec {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+            y_err: None,
+        });
+        self
+    }
+
+    /// Adds an x/y series with symmetric error bars (`y ± y_err[i]`).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn with_series_err(
+        mut self,
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        y_err: Vec<f64>,
+    ) -> PlotSpec {
+        assert_eq!(points.len(), y_err.len(), "one error per point");
+        self.series.push(Series {
+            label: label.into(),
+            points,
+            y_err: Some(y_err),
+        });
+        self
+    }
+
+    /// Adds a raw-sample series (distribution plots).
+    pub fn with_samples(mut self, label: impl Into<String>, samples: Vec<f64>) -> PlotSpec {
+        self.samples.push(SampleSeries {
+            label: label.into(),
+            samples,
+        });
+        self
+    }
+
+    /// Resolves the data into drawable x/y series, independent of output
+    /// format. For violins the series are (position ± density, value)
+    /// outlines.
+    fn resolve(&self) -> Vec<Series> {
+        match self.kind {
+            PlotKind::Line => self.series.clone(),
+            PlotKind::Cdf => self
+                .samples
+                .iter()
+                .filter(|s| !s.samples.is_empty())
+                .map(|s| Series {
+                    label: s.label.clone(),
+                    points: stats::ecdf(&s.samples),
+                    y_err: None,
+                })
+                .collect(),
+            PlotKind::Histogram { bins } => self
+                .samples
+                .iter()
+                .filter_map(|s| {
+                    let (start, width, counts) = stats::histogram(&s.samples, bins)?;
+                    // Step outline: (bin_center, count).
+                    let points = counts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| (start + width * (i as f64 + 0.5), c as f64))
+                        .collect();
+                    Some(Series {
+                        label: s.label.clone(),
+                        points,
+                        y_err: None,
+                    })
+                })
+                .collect(),
+            PlotKind::Hdr => self
+                .samples
+                .iter()
+                .filter(|s| !s.samples.is_empty())
+                .map(|s| {
+                    let max = s.samples.iter().cloned().fold(1.0f64, f64::max);
+                    let mut h = HdrHistogram::new((max as u64).max(2) * 2, 3);
+                    for &v in &s.samples {
+                        h.record(v.max(0.0) as u64);
+                    }
+                    let points = h
+                        .percentile_series()
+                        .into_iter()
+                        .map(|(p, v)| (nines(p), v as f64))
+                        .collect();
+                    Series {
+                        label: s.label.clone(),
+                        points,
+                        y_err: None,
+                    }
+                })
+                .collect(),
+            PlotKind::Violin => self
+                .samples
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.samples.is_empty())
+                .map(|(i, s)| {
+                    let density = stats::kde(&s.samples, 64);
+                    let peak = density
+                        .iter()
+                        .map(|(_, d)| *d)
+                        .fold(f64::MIN_POSITIVE, f64::max);
+                    let pos = i as f64 + 1.0;
+                    // Closed outline: up the right side, down the left.
+                    let mut points: Vec<(f64, f64)> = density
+                        .iter()
+                        .map(|&(v, d)| (pos + 0.4 * d / peak, v))
+                        .collect();
+                    points.extend(
+                        density
+                            .iter()
+                            .rev()
+                            .map(|&(v, d)| (pos - 0.4 * d / peak, v)),
+                    );
+                    Series {
+                        label: s.label.clone(),
+                        points,
+                        y_err: None,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the data as CSV: `series,x,y` rows, with a fourth `y_err`
+    /// column when any series carries error bars.
+    pub fn render_csv(&self) -> String {
+        let resolved = self.resolve();
+        let with_err = resolved.iter().any(|s| s.y_err.is_some());
+        let mut out = String::from(if with_err { "series,x,y,y_err\n" } else { "series,x,y\n" });
+        for s in &resolved {
+            for (i, (x, y)) in s.points.iter().enumerate() {
+                if with_err {
+                    let e = s.y_err.as_ref().and_then(|v| v.get(i)).copied().unwrap_or(0.0);
+                    out.push_str(&format!("{},{x},{y},{e}\n", csv_escape(&s.label)));
+                } else {
+                    out.push_str(&format!("{},{x},{y}\n", csv_escape(&s.label)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a standalone SVG figure.
+    pub fn render_svg(&self) -> String {
+        const W: f64 = 640.0;
+        const H: f64 = 420.0;
+        const ML: f64 = 70.0;
+        const MR: f64 = 20.0;
+        const MT: f64 = 40.0;
+        const MB: f64 = 55.0;
+        let resolved = self.resolve();
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        ));
+        svg.push('\n');
+        svg.push_str(&format!(
+            r##"<rect width="{W}" height="{H}" fill="#ffffff"/>"##
+        ));
+        svg.push('\n');
+        svg.push_str(&format!(
+            r##"<text x="{}" y="22" text-anchor="middle" font-family="sans-serif" font-size="15">{}</text>"##,
+            W / 2.0,
+            xml_escape(&self.title)
+        ));
+        svg.push('\n');
+
+        // Data bounds (error bars included).
+        let mut all: Vec<(f64, f64)> = Vec::new();
+        for s in &resolved {
+            for (i, &(x, y)) in s.points.iter().enumerate() {
+                let e = s.y_err.as_ref().and_then(|v| v.get(i)).copied().unwrap_or(0.0);
+                all.push((x, y - e));
+                all.push((x, y + e));
+            }
+        }
+        let (x0, x1, y0, y1) = bounds(&all);
+        let px = |x: f64| ML + (x - x0) / (x1 - x0) * (W - ML - MR);
+        let py = |y: f64| H - MB - (y - y0) / (y1 - y0) * (H - MT - MB);
+
+        // Axes.
+        svg.push_str(&format!(
+            r##"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="#333"/>"##,
+            H - MB,
+            W - MR,
+            H - MB
+        ));
+        svg.push_str(&format!(
+            r##"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="#333"/>"##,
+            H - MB
+        ));
+        svg.push('\n');
+        // Ticks (5 per axis).
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            svg.push_str(&format!(
+                r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="11">{}</text>"##,
+                px(fx),
+                H - MB + 18.0,
+                tick_label(fx)
+            ));
+            svg.push_str(&format!(
+                r##"<text x="{:.1}" y="{:.1}" text-anchor="end" font-family="sans-serif" font-size="11">{}</text>"##,
+                ML - 6.0,
+                py(fy) + 4.0,
+                tick_label(fy)
+            ));
+            svg.push('\n');
+        }
+        // Axis labels.
+        svg.push_str(&format!(
+            r##"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">{}</text>"##,
+            (ML + W - MR) / 2.0,
+            H - 12.0,
+            xml_escape(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r##"<text x="16" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 {})">{}</text>"##,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            xml_escape(&self.y_label)
+        ));
+        svg.push('\n');
+
+        // Series.
+        for (i, s) in resolved.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let coords: String = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", px(x), py(y)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            match self.kind {
+                PlotKind::Violin => {
+                    svg.push_str(&format!(
+                        r#"<polygon points="{coords}" fill="{color}" fill-opacity="0.5" stroke="{color}"/>"#
+                    ));
+                }
+                PlotKind::Histogram { .. } => {
+                    svg.push_str(&format!(
+                        r#"<polyline points="{coords}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+                    ));
+                }
+                _ => {
+                    svg.push_str(&format!(
+                        r#"<polyline points="{coords}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+                    ));
+                }
+            }
+            svg.push('\n');
+            if let Some(errs) = &s.y_err {
+                for (&(x, y), &e) in s.points.iter().zip(errs) {
+                    if e <= 0.0 {
+                        continue;
+                    }
+                    let (cx, y_lo, y_hi) = (px(x), py(y - e), py(y + e));
+                    svg.push_str(&format!(
+                        r#"<line x1="{cx:.2}" y1="{y_lo:.2}" x2="{cx:.2}" y2="{y_hi:.2}" stroke="{color}" stroke-width="1.2"/>"#
+                    ));
+                    for wy in [y_lo, y_hi] {
+                        svg.push_str(&format!(
+                            r#"<line x1="{:.2}" y1="{wy:.2}" x2="{:.2}" y2="{wy:.2}" stroke="{color}" stroke-width="1.2"/>"#,
+                            cx - 3.0,
+                            cx + 3.0
+                        ));
+                    }
+                }
+                svg.push('\n');
+            }
+            // Legend entry.
+            let ly = MT + 16.0 * i as f64;
+            svg.push_str(&format!(
+                r##"<rect x="{}" y="{:.1}" width="12" height="3" fill="{color}"/>"##,
+                W - MR - 150.0,
+                ly
+            ));
+            svg.push_str(&format!(
+                r##"<text x="{}" y="{:.1}" font-family="sans-serif" font-size="11">{}</text>"##,
+                W - MR - 132.0,
+                ly + 5.0,
+                xml_escape(&s.label)
+            ));
+            svg.push('\n');
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Renders a pgfplots TeX figure.
+    pub fn render_tex(&self) -> String {
+        let resolved = self.resolve();
+        let mut out = String::new();
+        out.push_str("% generated by pos-eval\n");
+        out.push_str("\\begin{tikzpicture}\n\\begin{axis}[\n");
+        out.push_str(&format!("  title={{{}}},\n", tex_escape(&self.title)));
+        out.push_str(&format!("  xlabel={{{}}},\n", tex_escape(&self.x_label)));
+        out.push_str(&format!("  ylabel={{{}}},\n", tex_escape(&self.y_label)));
+        out.push_str("  legend pos=north west,\n]\n");
+        for s in &resolved {
+            match &s.y_err {
+                Some(errs) => {
+                    out.push_str(
+                        "\\addplot+[error bars/.cd, y dir=both, y explicit] coordinates {\n",
+                    );
+                    for ((x, y), e) in s.points.iter().zip(errs) {
+                        out.push_str(&format!("  ({x}, {y}) +- (0, {e})\n"));
+                    }
+                }
+                None => {
+                    out.push_str("\\addplot coordinates {\n");
+                    for (x, y) in &s.points {
+                        out.push_str(&format!("  ({x}, {y})\n"));
+                    }
+                }
+            }
+            out.push_str("};\n");
+            out.push_str(&format!("\\addlegendentry{{{}}}\n", tex_escape(&s.label)));
+        }
+        out.push_str("\\end{axis}\n\\end{tikzpicture}\n");
+        out
+    }
+}
+
+/// The HDR x transform: percentile → "number of nines"
+/// (`log10(1/(1-p))`, with p100 clamped).
+fn nines(p: f64) -> f64 {
+    let frac = (p / 100.0).min(0.999_999);
+    (1.0 / (1.0 - frac)).log10()
+}
+
+fn bounds(points: &[(f64, f64)]) -> (f64, f64, f64, f64) {
+    if points.is_empty() {
+        return (0.0, 1.0, 0.0, 1.0);
+    }
+    let mut x0 = f64::INFINITY;
+    let mut x1 = f64::NEG_INFINITY;
+    let mut y0 = f64::INFINITY;
+    let mut y1 = f64::NEG_INFINITY;
+    for &(x, y) in points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    // Degenerate ranges widen so the projection never divides by zero;
+    // the y axis starts at zero for non-negative data (throughput plots).
+    if y0 > 0.0 {
+        y0 = 0.0;
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    (x0, x1, y0, y1)
+}
+
+fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v.abs() >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn tex_escape(s: &str) -> String {
+    s.replace('\\', "\\textbackslash{}")
+        .replace(['{', '}'], "")
+        .replace('_', "\\_")
+        .replace('%', "\\%")
+        .replace('&', "\\&")
+        .replace('#', "\\#")
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_plot() -> PlotSpec {
+        PlotSpec::line("Throughput", "offered [Mpps]", "forwarded [Mpps]")
+            .with_series("64B", vec![(0.5, 0.5), (1.0, 1.0), (2.0, 1.75)])
+            .with_series("1500B", vec![(0.5, 0.5), (1.0, 0.8), (2.0, 0.8)])
+    }
+
+    #[test]
+    fn svg_structurally_sound() {
+        let svg = line_plot().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "one polyline per series");
+        assert!(svg.contains("Throughput"));
+        assert!(svg.contains("64B"));
+        assert!(svg.contains("1500B"));
+        assert!(svg.contains("offered [Mpps]"));
+    }
+
+    #[test]
+    fn svg_escapes_markup() {
+        let svg = PlotSpec::line("a<b & c>d", "x", "y")
+            .with_series("s", vec![(0.0, 0.0)])
+            .render_svg();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn csv_roundtrips_points() {
+        let csv = line_plot().render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines.len(), 7);
+        assert!(lines.contains(&"64B,2,1.75"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_labels() {
+        let csv = PlotSpec::line("t", "x", "y")
+            .with_series("pos, 64B", vec![(1.0, 2.0)])
+            .render_csv();
+        assert!(csv.contains("\"pos, 64B\",1,2"));
+    }
+
+    #[test]
+    fn tex_contains_pgfplots_structure() {
+        let tex = line_plot().render_tex();
+        assert!(tex.contains("\\begin{axis}"));
+        assert_eq!(tex.matches("\\addplot").count(), 2);
+        assert!(tex.contains("(2, 1.75)"));
+        assert!(tex.contains("\\addlegendentry{64B}"));
+        assert!(tex.contains("\\end{tikzpicture}"));
+    }
+
+    #[test]
+    fn tex_escapes_underscores() {
+        let tex = PlotSpec::line("pkt_sz sweep", "x", "y")
+            .with_series("a_b", vec![(0.0, 0.0)])
+            .render_tex();
+        assert!(tex.contains("pkt\\_sz"));
+        assert!(tex.contains("a\\_b"));
+    }
+
+    #[test]
+    fn cdf_resolves_to_monotone_series() {
+        let plot = PlotSpec::cdf("latency", "ns")
+            .with_samples("pos", vec![30.0, 10.0, 20.0]);
+        let resolved = plot.resolve();
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(
+            resolved[0].points,
+            vec![(10.0, 1.0 / 3.0), (20.0, 2.0 / 3.0), (30.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn histogram_resolves_bin_centers() {
+        let plot = PlotSpec::histogram("latency", "ns", 2)
+            .with_samples("s", vec![0.0, 1.0, 2.0, 3.0]);
+        let resolved = plot.resolve();
+        // bins [0,1.5) and [1.5,3]: 2 samples each, centers 0.75 / 2.25.
+        assert_eq!(resolved[0].points, vec![(0.75, 2.0), (2.25, 2.0)]);
+    }
+
+    #[test]
+    fn hdr_resolves_nines_axis() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let plot = PlotSpec::hdr("latency", "ns").with_samples("s", samples);
+        let resolved = plot.resolve();
+        let pts = &resolved[0].points;
+        assert_eq!(pts[0].0, 0.0, "p0 sits at zero nines");
+        // p99 is two nines, p99.9 three.
+        let p99 = pts.iter().find(|(x, _)| (*x - 2.0).abs() < 1e-9).unwrap();
+        assert!((p99.1 - 990.0).abs() < 15.0, "p99 ≈ 990, got {}", p99.1);
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn violin_resolves_closed_outline() {
+        let samples: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let plot = PlotSpec::violin("latency", "ns")
+            .with_samples("pos", samples.clone())
+            .with_samples("vpos", samples.iter().map(|x| x * 40.0).collect());
+        let resolved = plot.resolve();
+        assert_eq!(resolved.len(), 2);
+        // Outline around position 1.0 for the first, 2.0 for the second.
+        let xs0: Vec<f64> = resolved[0].points.iter().map(|p| p.0).collect();
+        assert!(xs0.iter().all(|&x| (0.5..=1.5).contains(&x)));
+        let xs1: Vec<f64> = resolved[1].points.iter().map(|p| p.0).collect();
+        assert!(xs1.iter().all(|&x| (1.5..=2.5).contains(&x)));
+        // SVG draws polygons for violins.
+        let svg = plot.render_svg();
+        assert_eq!(svg.matches("<polygon").count(), 2);
+    }
+
+    #[test]
+    fn empty_sample_series_skipped() {
+        let plot = PlotSpec::cdf("t", "x").with_samples("empty", vec![]);
+        assert!(plot.resolve().is_empty());
+        // And the renderers cope with no data at all.
+        assert!(plot.render_svg().contains("</svg>"));
+        assert!(plot.render_tex().contains("\\end{axis}"));
+        assert_eq!(plot.render_csv(), "series,x,y\n");
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let svg = PlotSpec::line("t", "x", "y")
+            .with_series("s", vec![(5.0, 5.0)])
+            .render_svg();
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"), "no NaN coordinates in degenerate plots");
+    }
+
+    #[test]
+    fn error_bars_render_everywhere() {
+        let plot = PlotSpec::line("t", "x", "y").with_series_err(
+            "mean",
+            vec![(1.0, 10.0), (2.0, 20.0)],
+            vec![1.0, 2.5],
+        );
+        let svg = plot.render_svg();
+        // One vertical whisker + two caps per point with error.
+        assert!(svg.matches("stroke-width=\"1.2\"").count() >= 6, "{svg}");
+        let tex = plot.render_tex();
+        assert!(tex.contains("error bars/.cd"));
+        assert!(tex.contains("(2, 20) +- (0, 2.5)"));
+        let csv = plot.render_csv();
+        assert!(csv.starts_with("series,x,y,y_err\n"));
+        assert!(csv.contains("mean,2,20,2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one error per point")]
+    fn mismatched_error_lengths_panic() {
+        let _ = PlotSpec::line("t", "x", "y").with_series_err("s", vec![(0.0, 0.0)], vec![]);
+    }
+
+    #[test]
+    fn nines_transform() {
+        assert_eq!(nines(0.0), 0.0);
+        assert!((nines(90.0) - 1.0).abs() < 1e-9);
+        assert!((nines(99.0) - 2.0).abs() < 1e-9);
+        assert!((nines(99.9) - 3.0).abs() < 1e-6);
+        assert!(nines(100.0) <= 6.1, "p100 clamps");
+    }
+
+    #[test]
+    fn tick_labels() {
+        assert_eq!(tick_label(0.0), "0");
+        assert_eq!(tick_label(1_500_000.0), "1.5M");
+        assert_eq!(tick_label(2_500.0), "2.5k");
+        assert_eq!(tick_label(0.5), "0.50");
+        assert_eq!(tick_label(0.001), "1.0e-3");
+    }
+}

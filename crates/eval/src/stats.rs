@@ -1,0 +1,302 @@
+//! Descriptive statistics for measurement series.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes a summary. Returns `None` for an empty input or one
+    /// containing non-finite values (NaN poisons every statistic).
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let median = percentile_sorted(&sorted, 50.0);
+        Some(Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+            sorted,
+        })
+    }
+
+    /// The p-th percentile (0–100) with linear interpolation.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_sorted(&self.sorted, p)
+    }
+
+    /// 95% confidence interval of the mean (normal approximation):
+    /// `(lower, upper)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.stddev / (self.count as f64).sqrt();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Coefficient of variation (`stddev / mean`); `None` for a zero mean.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.stddev / self.mean.abs())
+        }
+    }
+}
+
+/// Percentile of an already-sorted slice with linear interpolation.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Builds an empirical CDF: sorted `(value, cumulative_probability)` steps.
+pub fn ecdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Fixed-width histogram: `(bin_start, bin_width, counts)`.
+pub fn histogram(samples: &[f64], bins: usize) -> Option<(f64, f64, Vec<u64>)> {
+    if samples.is_empty() || bins == 0 {
+        return None;
+    }
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() {
+        return None;
+    }
+    let width = if max > min {
+        (max - min) / bins as f64
+    } else {
+        1.0
+    };
+    let mut counts = vec![0u64; bins];
+    for &x in samples {
+        let mut idx = ((x - min) / width) as usize;
+        if idx >= bins {
+            idx = bins - 1; // the max value falls into the last bin
+        }
+        counts[idx] += 1;
+    }
+    Some((min, width, counts))
+}
+
+/// Gaussian kernel density estimate evaluated at `points` positions over
+/// the sample range (used by the violin plot). Bandwidth via Silverman's
+/// rule of thumb.
+pub fn kde(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
+    let Some(summary) = Summary::of(samples) else {
+        return Vec::new();
+    };
+    if points == 0 {
+        return Vec::new();
+    }
+    let n = samples.len() as f64;
+    let iqr = summary.percentile(75.0) - summary.percentile(25.0);
+    let sigma = summary.stddev.min(if iqr > 0.0 { iqr / 1.34 } else { f64::MAX });
+    let h = if sigma > 0.0 {
+        0.9 * sigma * n.powf(-0.2)
+    } else {
+        1.0 // degenerate: all samples equal
+    };
+    let lo = summary.min - 3.0 * h;
+    let hi = summary.max + 3.0 * h;
+    let step = (hi - lo) / (points.max(2) - 1) as f64;
+    (0..points)
+        .map(|i| {
+            let x = lo + step * i as f64;
+            let density = samples
+                .iter()
+                .map(|&s| {
+                    let u = (x - s) / h;
+                    (-0.5 * u * u).exp()
+                })
+                .sum::<f64>()
+                / (n * h * (2.0 * std::f64::consts::PI).sqrt());
+            (x, density)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        // Sample stddev with n-1: sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.percentile(0.0), 42.0);
+        assert_eq!(s.percentile(100.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = Summary::of(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.percentile(50.0), 25.0);
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        Summary::of(&[1.0]).unwrap().percentile(101.0);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_n() {
+        let few = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let many: Vec<f64> = (0..500).map(|i| 1.0 + (i % 5) as f64).collect();
+        let many = Summary::of(&many).unwrap();
+        let w = |s: &Summary| s.ci95().1 - s.ci95().0;
+        assert!(w(&many) < w(&few) / 5.0);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        assert!(Summary::of(&[0.0, 0.0]).unwrap().cv().is_none());
+        let s = Summary::of(&[9.0, 11.0]).unwrap();
+        assert!((s.cv().unwrap() - s.stddev / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_steps() {
+        let cdf = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(cdf, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_samples() {
+        let (start, width, counts) = histogram(&[0.0, 1.0, 2.0, 3.0, 4.0], 5).unwrap();
+        assert_eq!(start, 0.0);
+        assert!((width - 0.8).abs() < 1e-12);
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+        assert_eq!(counts[4], 1, "max sample lands in last bin");
+    }
+
+    #[test]
+    fn histogram_degenerate_cases() {
+        assert!(histogram(&[], 4).is_none());
+        assert!(histogram(&[1.0], 0).is_none());
+        let (_, _, counts) = histogram(&[5.0, 5.0, 5.0], 3).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn kde_integrates_to_roughly_one() {
+        let samples: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let density = kde(&samples, 256);
+        let integral: f64 = density
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+            .sum();
+        assert!((integral - 1.0).abs() < 0.02, "got {integral}");
+    }
+
+    #[test]
+    fn kde_degenerate_all_equal() {
+        let density = kde(&[5.0; 10], 64);
+        assert!(!density.is_empty());
+        assert!(density.iter().all(|(_, d)| d.is_finite()));
+    }
+
+    proptest! {
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn prop_percentiles_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&samples).unwrap();
+            let mut last = s.min;
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+                let v = s.percentile(p);
+                prop_assert!(v >= last - 1e-9);
+                prop_assert!(v >= s.min && v <= s.max);
+                last = v;
+            }
+        }
+
+        /// The ECDF is monotone and ends at probability 1.
+        #[test]
+        fn prop_ecdf_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let cdf = ecdf(&samples);
+            prop_assert_eq!(cdf.last().unwrap().1, 1.0);
+            for w in cdf.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+        }
+
+        /// Histogram counts always total the sample count.
+        #[test]
+        fn prop_histogram_total(samples in proptest::collection::vec(-1e3f64..1e3, 1..200), bins in 1usize..32) {
+            let (_, _, counts) = histogram(&samples, bins).unwrap();
+            prop_assert_eq!(counts.iter().sum::<u64>(), samples.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! An iPerf-like software generator.
+//!
+//! §4.2: *"Other software packet generators, such as iPerf, can be run on
+//! off-the-shelf or even virtualized experiment hosts."* Unlike MoonGen's
+//! per-packet pacing, an OS-socket generator wakes up on a coarse timer and
+//! emits a burst of packets back-to-back — rate is only accurate *on
+//! average*. The `ablation_loadgen` bench quantifies the difference (the
+//! "Mind the Gap" comparison the paper cites as \[15\]).
+
+use pos_netsim::engine::{Element, SimCtx};
+use pos_packet::builder::{Frame, UdpFrameSpec};
+use pos_simkernel::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+const TOKEN_BURST: u64 = 1;
+
+/// Configuration of the bursty generator.
+#[derive(Debug, Clone, Copy)]
+pub struct IperfConfig {
+    /// Flow addressing.
+    pub spec: UdpFrameSpec,
+    /// Wire size of each frame.
+    pub wire_size: usize,
+    /// Target average rate in packets per second.
+    pub rate_pps: f64,
+    /// Transmit duration.
+    pub duration: SimDuration,
+    /// Wakeup granularity; each wakeup sends a back-to-back burst of
+    /// `rate · interval` packets. OS timers tick around 1 ms.
+    pub burst_interval: SimDuration,
+}
+
+/// Per-interval achieved throughput, for the iPerf-style report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IperfInterval {
+    /// Interval index.
+    pub index: u64,
+    /// Frames sent in the interval.
+    pub frames: u64,
+}
+
+/// The bursty generator element (transmit-only, port 0).
+pub struct IperfGenerator {
+    config: IperfConfig,
+    started_at: Option<SimTime>,
+    /// Fractional-packet carry between bursts.
+    credit: f64,
+    /// Frames handed to the NIC.
+    pub sent: u64,
+    /// Frames refused by a full NIC queue.
+    pub nic_drops: u64,
+    /// Departure timestamps of the first `record_limit` frames, for
+    /// inter-departure analysis.
+    pub departures_ns: Vec<u64>,
+    record_limit: usize,
+}
+
+impl IperfGenerator {
+    /// Creates the generator.
+    pub fn new(config: IperfConfig) -> IperfGenerator {
+        assert!(config.rate_pps > 0.0, "rate must be positive");
+        assert!(
+            config.burst_interval > SimDuration::ZERO,
+            "burst interval must be positive"
+        );
+        IperfGenerator {
+            config,
+            started_at: None,
+            credit: 0.0,
+            sent: 0,
+            nic_drops: 0,
+            departures_ns: Vec::new(),
+            record_limit: 100_000,
+        }
+    }
+
+    fn build_frame(&self) -> Frame {
+        self.config
+            .spec
+            .build_with_wire_size(self.config.wire_size, &[])
+            .expect("invalid frame size in iperf config")
+    }
+}
+
+impl Element for IperfGenerator {
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>) {
+        self.started_at = Some(ctx.now());
+        ctx.set_timer(self.config.burst_interval, TOKEN_BURST);
+    }
+
+    fn on_frame(&mut self, _port: usize, _frame: Frame, _ctx: &mut SimCtx<'_>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SimCtx<'_>) {
+        if token != TOKEN_BURST {
+            return;
+        }
+        let start = self.started_at.expect("timer before start");
+        let elapsed = ctx.now().saturating_duration_since(start);
+        if elapsed >= self.config.duration {
+            return;
+        }
+        // Emit the whole interval's worth of packets back-to-back.
+        self.credit += self.config.rate_pps * self.config.burst_interval.as_secs_f64();
+        while self.credit >= 1.0 {
+            self.credit -= 1.0;
+            if self.departures_ns.len() < self.record_limit {
+                self.departures_ns.push(ctx.now().as_nanos());
+            }
+            if ctx.transmit(0, self.build_frame()) {
+                self.sent += 1;
+            } else {
+                self.nic_drops += 1;
+            }
+        }
+        ctx.set_timer(self.config.burst_interval, TOKEN_BURST);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pos_netsim::engine::{LinkConfig, NetSim, NodeId, PortConfig};
+    use pos_netsim::sink::CountingSink;
+    use pos_packet::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn config(rate_pps: f64) -> IperfConfig {
+        IperfConfig {
+            spec: UdpFrameSpec {
+                src_mac: MacAddr::testbed_host(1),
+                dst_mac: MacAddr::testbed_host(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 2),
+                dst_ip: Ipv4Addr::new(10, 0, 1, 2),
+                src_port: 5001,
+                dst_port: 5001,
+                ttl: 64,
+            },
+            wire_size: 1500,
+            rate_pps,
+            duration: SimDuration::from_secs(1),
+            burst_interval: SimDuration::from_millis(1),
+        }
+    }
+
+    fn run(rate_pps: f64) -> (NetSim, NodeId, NodeId) {
+        let mut sim = NetSim::new(21);
+        let gen = sim.add_element(
+            "iperf",
+            Box::new(IperfGenerator::new(config(rate_pps))),
+            &[PortConfig::ten_gbe()],
+        );
+        let sink = sim.add_element("sink", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        sim.connect((gen, 0), (sink, 0), LinkConfig::direct_cable());
+        sim.run_until(SimTime::from_secs(2));
+        (sim, gen, sink)
+    }
+
+    #[test]
+    fn average_rate_is_respected() {
+        let (sim, _, sink) = run(10_000.0);
+        let got = sim.port_counters(sink, 0).rx_frames;
+        assert!(
+            (9_800..=10_200).contains(&got),
+            "average of 10 kpps expected, got {got}"
+        );
+    }
+
+    #[test]
+    fn departures_are_bursty_not_paced() {
+        let (mut sim, gen, _) = run(10_000.0);
+        let g = sim.element_as_mut::<IperfGenerator>(gen).unwrap();
+        // 10 kpps with 1 ms bursts = bursts of 10 back-to-back packets:
+        // inter-departure is bimodal (≈1216 ns within a burst, ≈988 µs
+        // between bursts) instead of a constant 100 µs.
+        let d = &g.departures_ns;
+        assert!(d.len() > 100);
+        let mut within_burst = 0u64;
+        let mut between_burst = 0u64;
+        for w in d.windows(2) {
+            let gap = w[1] - w[0];
+            if gap < 10_000 {
+                within_burst += 1;
+            } else {
+                between_burst += 1;
+            }
+        }
+        assert!(within_burst > 0 && between_burst > 0, "expected bimodal gaps");
+        assert!(
+            within_burst > between_burst * 5,
+            "most gaps are within bursts: {within_burst} vs {between_burst}"
+        );
+    }
+
+    #[test]
+    fn fractional_rates_accumulate_credit() {
+        // 500 pps with 1 ms bursts = 0.5 packets per wakeup; credit must
+        // carry so the average still holds.
+        let (sim, _, sink) = run(500.0);
+        let got = sim.port_counters(sink, 0).rx_frames;
+        assert!((490..=510).contains(&got), "got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        IperfGenerator::new(config(0.0));
+    }
+}

@@ -1,0 +1,37 @@
+//! # pos-loadgen
+//!
+//! Load generation for pos experiments, modeled on MoonGen (Emmerich et
+//! al., IMC '15) — the generator the paper uses for its case study. §4.2:
+//! *"Most of our experiments use MoonGen owing to its ability to support
+//! user-defined scripts to generate packets during runtime or to replay
+//! pcaps. Its precision and accuracy for packet generation and latency
+//! measurements is superior to other software packet generators."*
+//!
+//! This crate provides:
+//!
+//! * [`moongen::MoonGen`] — a two-port generator element: port 0 transmits
+//!   a constant-rate UDP stream with per-packet-precise departure times and
+//!   a latency probe in every frame; port 1 receives the forwarded stream,
+//!   accounting per-interval rates, loss, reordering, and latency samples.
+//! * [`report::MoonGenReport`] — the measurement artifact, renderable in
+//!   the MoonGen-style text format that `pos-eval` parses.
+//! * [`replay::PcapReplaySource`] — replays a recorded pcap with original
+//!   or rescaled timing.
+//! * [`iperf::IperfGenerator`] — an iPerf-like bursty generator, the
+//!   "runs on off-the-shelf hosts" alternative the paper mentions; used by
+//!   the generator-precision ablation.
+//! * [`scenario`] — wiring helpers that build the case-study topologies
+//!   (pos: direct cables; vpos: VMs behind Linux bridges) and run one
+//!   measurement, returning the report.
+
+#![warn(missing_docs)]
+
+pub mod iperf;
+pub mod moongen;
+pub mod replay;
+pub mod report;
+pub mod scenario;
+
+pub use moongen::{GeneratorConfig, MoonGen};
+pub use report::MoonGenReport;
+pub use scenario::{run_forwarding_experiment, ForwardingScenario, Platform};

@@ -1,0 +1,224 @@
+//! Pcap replay — the recorded-traffic workload of §4.2.
+//!
+//! Replays the frames of a capture with their original inter-arrival times
+//! (optionally rescaled), exactly like `MoonGen`'s pcap replay mode.
+
+use pos_netsim::engine::{Element, SimCtx};
+use pos_packet::builder::Frame;
+use pos_packet::pcap::Capture;
+use pos_simkernel::{SimDuration, SimTime, TraceLevel};
+
+const TOKEN_NEXT: u64 = 1;
+
+/// Replays a list of captures on port 0.
+pub struct PcapReplaySource {
+    captures: Vec<Capture>,
+    /// Timing scale: 1.0 replays at original speed, 0.5 at double speed.
+    time_scale: f64,
+    /// Number of times to loop the capture (1 = play once).
+    loops: u32,
+    cursor: usize,
+    loops_done: u32,
+    started_at: Option<SimTime>,
+    /// Frames handed to the NIC.
+    pub sent: u64,
+    /// Frames refused by a full NIC queue.
+    pub nic_drops: u64,
+}
+
+impl PcapReplaySource {
+    /// Creates a replay source playing `captures` once at original speed.
+    ///
+    /// # Panics
+    /// Panics if captures are not sorted by timestamp — a capture file is
+    /// chronological by construction, so unsorted input is caller error.
+    pub fn new(captures: Vec<Capture>) -> PcapReplaySource {
+        assert!(
+            captures.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+            "captures must be sorted by timestamp"
+        );
+        PcapReplaySource {
+            captures,
+            time_scale: 1.0,
+            loops: 1,
+            cursor: 0,
+            loops_done: 0,
+            started_at: None,
+            sent: 0,
+            nic_drops: 0,
+        }
+    }
+
+    /// Rescales replay timing (0.5 = twice as fast).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not positive and finite.
+    pub fn with_time_scale(mut self, scale: f64) -> PcapReplaySource {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        self.time_scale = scale;
+        self
+    }
+
+    /// Loops the capture `n` times.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn with_loops(mut self, n: u32) -> PcapReplaySource {
+        assert!(n > 0, "loop count must be at least 1");
+        self.loops = n;
+        self
+    }
+
+    /// Offset of capture `i` from replay start, under the current scale,
+    /// within the current loop iteration.
+    fn offset(&self, i: usize) -> SimDuration {
+        let base = self.captures.first().map_or(0, |c| c.ts_ns);
+        let span = self
+            .captures
+            .last()
+            .map_or(0, |c| c.ts_ns.saturating_sub(base));
+        // Each loop restarts after the full span plus one mean gap.
+        let gap = if self.captures.len() > 1 {
+            span / (self.captures.len() as u64 - 1).max(1)
+        } else {
+            0
+        };
+        let loop_span = span + gap;
+        let within = self.captures[i].ts_ns - base;
+        let total = u64::from(self.loops_done) * loop_span + within;
+        SimDuration::from_secs_f64(total as f64 * 1e-9 * self.time_scale)
+    }
+
+    fn schedule_next(&mut self, ctx: &mut SimCtx<'_>) {
+        if self.cursor >= self.captures.len() {
+            self.loops_done += 1;
+            if self.loops_done >= self.loops {
+                ctx.trace(
+                    TraceLevel::Info,
+                    format!("replay finished: {} frames sent", self.sent),
+                );
+                return;
+            }
+            self.cursor = 0;
+        }
+        let at = self.started_at.expect("scheduled before start") + self.offset(self.cursor);
+        let delay = at.saturating_duration_since(ctx.now());
+        ctx.set_timer(delay, TOKEN_NEXT);
+    }
+}
+
+impl Element for PcapReplaySource {
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>) {
+        self.started_at = Some(ctx.now());
+        if !self.captures.is_empty() {
+            self.schedule_next(ctx);
+        }
+    }
+
+    fn on_frame(&mut self, _port: usize, _frame: Frame, _ctx: &mut SimCtx<'_>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SimCtx<'_>) {
+        if token != TOKEN_NEXT || self.cursor >= self.captures.len() {
+            return;
+        }
+        let frame = self.captures[self.cursor].frame.clone();
+        self.cursor += 1;
+        if ctx.transmit(0, frame) {
+            self.sent += 1;
+        } else {
+            self.nic_drops += 1;
+        }
+        self.schedule_next(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pos_netsim::engine::{LinkConfig, NetSim, NodeId, PortConfig};
+    use pos_netsim::sink::CountingSink;
+    use pos_packet::builder::UdpFrameSpec;
+    use pos_packet::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn capture(ts_ns: u64, payload: u8) -> Capture {
+        Capture {
+            ts_ns,
+            frame: UdpFrameSpec {
+                src_mac: MacAddr::testbed_host(1),
+                dst_mac: MacAddr::testbed_host(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 1, 1),
+                src_port: 1,
+                dst_port: 2,
+                ttl: 64,
+            }
+            .build(&[payload; 16]),
+        }
+    }
+
+    fn run(source: PcapReplaySource) -> (NetSim, NodeId, NodeId) {
+        let mut sim = NetSim::new(31);
+        let gen = sim.add_element("replay", Box::new(source), &[PortConfig::ten_gbe()]);
+        let sink = sim.add_element("sink", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        sim.connect((gen, 0), (sink, 0), LinkConfig::direct_cable());
+        sim.run_to_idle();
+        (sim, gen, sink)
+    }
+
+    #[test]
+    fn replays_all_frames_with_original_spacing() {
+        let caps = vec![capture(1_000_000, 1), capture(1_500_000, 2), capture(3_000_000, 3)];
+        let (sim, _, sink) = run(PcapReplaySource::new(caps));
+        let s = sim.element_as::<CountingSink>(sink).unwrap();
+        assert_eq!(s.frames, 3);
+        // First frame at t=0 (offsets are relative to the first capture);
+        // last *departure* at 2 ms, arrival shortly after.
+        let last = s.last_arrival.unwrap().as_nanos();
+        assert!((2_000_000..2_010_000).contains(&last), "got {last}");
+    }
+
+    #[test]
+    fn time_scale_halves_duration() {
+        let caps = vec![capture(0, 1), capture(2_000_000, 2)];
+        let (sim, _, sink) = run(PcapReplaySource::new(caps).with_time_scale(0.5));
+        let s = sim.element_as::<CountingSink>(sink).unwrap();
+        let last = s.last_arrival.unwrap().as_nanos();
+        assert!((1_000_000..1_010_000).contains(&last), "got {last}");
+    }
+
+    #[test]
+    fn loops_repeat_the_capture() {
+        let caps = vec![capture(0, 1), capture(1_000_000, 2)];
+        let (sim, gen, sink) = run(PcapReplaySource::new(caps).with_loops(3));
+        assert_eq!(sim.element_as::<CountingSink>(sink).unwrap().frames, 6);
+        assert_eq!(sim.element_as::<PcapReplaySource>(gen).unwrap().sent, 6);
+    }
+
+    #[test]
+    fn empty_capture_is_a_noop() {
+        let (sim, _, sink) = run(PcapReplaySource::new(Vec::new()));
+        assert_eq!(sim.element_as::<CountingSink>(sink).unwrap().frames, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by timestamp")]
+    fn unsorted_captures_rejected() {
+        PcapReplaySource::new(vec![capture(100, 1), capture(50, 2)]);
+    }
+
+    #[test]
+    fn pcap_file_roundtrip_feeds_replay() {
+        // Write a pcap, read it back, replay it — the full §4.2 pipeline.
+        use pos_packet::pcap::{PcapReader, PcapWriter};
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..5u64 {
+            let c = capture(i * 1_000_000, i as u8);
+            w.write(c.ts_ns, &c.frame).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let caps = PcapReader::new(&bytes[..]).unwrap().collect_all().unwrap();
+        let (sim, _, sink) = run(PcapReplaySource::new(caps));
+        assert_eq!(sim.element_as::<CountingSink>(sink).unwrap().frames, 5);
+    }
+}

@@ -1,0 +1,253 @@
+//! Link fault injection.
+//!
+//! Real testbed links misbehave; a reproducible testbed must be able to
+//! misbehave *on demand*. The knobs mirror the smoltcp example fault
+//! injector: random drop, random corruption, a size limit, and a token
+//! bucket rate limiter. The pos case study runs with faults disabled; the
+//! recoverability tests and the `fault_recovery` example switch them on.
+
+use pos_simkernel::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a link's fault injector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that a frame is silently dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0, 1]` that a frame is corrupted in flight. The
+    /// receiving NIC detects the broken FCS and discards the frame,
+    /// counting an rx error.
+    pub corrupt_chance: f64,
+    /// Frames with a wire size above this limit are dropped (0 = no limit).
+    pub size_limit: usize,
+    /// Token bucket size in frames (0 = no rate limit).
+    pub rate_limit_tokens: u32,
+    /// Token bucket refill interval.
+    pub shaping_interval: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free link.
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            size_limit: 0,
+            rate_limit_tokens: 0,
+            shaping_interval: SimDuration::from_millis(50),
+        }
+    }
+
+    /// True when every fault mechanism is disabled.
+    pub fn is_none(&self) -> bool {
+        self.drop_chance <= 0.0
+            && self.corrupt_chance <= 0.0
+            && self.size_limit == 0
+            && self.rate_limit_tokens == 0
+    }
+}
+
+/// What happened to a frame passing through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Delivered unharmed.
+    Deliver,
+    /// Silently lost in flight.
+    Dropped,
+    /// Delivered but corrupted; the receiver's FCS check will discard it.
+    Corrupted,
+}
+
+/// Runtime state of a link's fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    tokens: u32,
+    bucket_refilled_at: SimTime,
+    /// Frames dropped by the injector (drop chance + size + rate limit).
+    pub dropped: u64,
+    /// Frames corrupted by the injector.
+    pub corrupted: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector for the given configuration.
+    pub fn new(config: FaultConfig) -> FaultInjector {
+        FaultInjector {
+            tokens: config.rate_limit_tokens,
+            bucket_refilled_at: SimTime::ZERO,
+            config,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Decides the fate of a frame of `wire_size` bytes crossing the link
+    /// at time `now`.
+    pub fn apply(&mut self, now: SimTime, wire_size: usize, rng: &mut SimRng) -> FaultOutcome {
+        if self.config.is_none() {
+            return FaultOutcome::Deliver;
+        }
+        if self.config.size_limit > 0 && wire_size > self.config.size_limit {
+            self.dropped += 1;
+            return FaultOutcome::Dropped;
+        }
+        if self.config.rate_limit_tokens > 0 {
+            // Refill the bucket for every full interval that elapsed.
+            let interval = self.config.shaping_interval;
+            if interval > SimDuration::ZERO {
+                let elapsed = now.saturating_duration_since(self.bucket_refilled_at);
+                let periods = elapsed.as_nanos() / interval.as_nanos().max(1);
+                if periods > 0 {
+                    self.tokens = self.config.rate_limit_tokens;
+                    self.bucket_refilled_at = self.bucket_refilled_at
+                        + SimDuration::from_nanos(periods * interval.as_nanos());
+                }
+            }
+            if self.tokens == 0 {
+                self.dropped += 1;
+                return FaultOutcome::Dropped;
+            }
+            self.tokens -= 1;
+        }
+        if rng.chance(self.config.drop_chance) {
+            self.dropped += 1;
+            return FaultOutcome::Dropped;
+        }
+        if rng.chance(self.config.corrupt_chance) {
+            self.corrupted += 1;
+            return FaultOutcome::Corrupted;
+        }
+        FaultOutcome::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(1234)
+    }
+
+    #[test]
+    fn no_faults_always_delivers() {
+        let mut inj = FaultInjector::new(FaultConfig::none());
+        let mut r = rng();
+        for i in 0..1_000 {
+            assert_eq!(
+                inj.apply(SimTime::from_nanos(i), 1518, &mut r),
+                FaultOutcome::Deliver
+            );
+        }
+        assert_eq!(inj.dropped, 0);
+        assert_eq!(inj.corrupted, 0);
+    }
+
+    #[test]
+    fn drop_chance_statistics() {
+        let mut cfg = FaultConfig::none();
+        cfg.drop_chance = 0.15; // the smoltcp-recommended starting value
+        let mut inj = FaultInjector::new(cfg);
+        let mut r = rng();
+        let n = 100_000;
+        for i in 0..n {
+            inj.apply(SimTime::from_nanos(i), 64, &mut r);
+        }
+        let rate = inj.dropped as f64 / n as f64;
+        assert!((rate - 0.15).abs() < 0.01, "drop rate {rate} far from 0.15");
+    }
+
+    #[test]
+    fn corrupt_chance_statistics() {
+        let mut cfg = FaultConfig::none();
+        cfg.corrupt_chance = 0.15;
+        let mut inj = FaultInjector::new(cfg);
+        let mut r = rng();
+        let n = 100_000;
+        for i in 0..n {
+            inj.apply(SimTime::from_nanos(i), 64, &mut r);
+        }
+        let rate = inj.corrupted as f64 / n as f64;
+        assert!((rate - 0.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn size_limit_drops_large_frames_only() {
+        let mut cfg = FaultConfig::none();
+        cfg.size_limit = 1000;
+        let mut inj = FaultInjector::new(cfg);
+        let mut r = rng();
+        assert_eq!(inj.apply(SimTime::ZERO, 64, &mut r), FaultOutcome::Deliver);
+        assert_eq!(inj.apply(SimTime::ZERO, 1518, &mut r), FaultOutcome::Dropped);
+        assert_eq!(inj.dropped, 1);
+    }
+
+    #[test]
+    fn token_bucket_limits_per_interval() {
+        let mut cfg = FaultConfig::none();
+        cfg.rate_limit_tokens = 4;
+        cfg.shaping_interval = SimDuration::from_millis(50);
+        let mut inj = FaultInjector::new(cfg);
+        let mut r = rng();
+        // 10 frames in the first interval: 4 pass, 6 dropped.
+        let mut delivered = 0;
+        for i in 0..10 {
+            if inj.apply(SimTime::from_micros(i), 64, &mut r) == FaultOutcome::Deliver {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 4);
+        // Next interval refills the bucket.
+        assert_eq!(
+            inj.apply(SimTime::from_millis(51), 64, &mut r),
+            FaultOutcome::Deliver
+        );
+    }
+
+    #[test]
+    fn bucket_refill_is_aligned_to_intervals() {
+        let mut cfg = FaultConfig::none();
+        cfg.rate_limit_tokens = 1;
+        cfg.shaping_interval = SimDuration::from_millis(10);
+        let mut inj = FaultInjector::new(cfg);
+        let mut r = rng();
+        assert_eq!(inj.apply(SimTime::ZERO, 64, &mut r), FaultOutcome::Deliver);
+        assert_eq!(
+            inj.apply(SimTime::from_millis(9), 64, &mut r),
+            FaultOutcome::Dropped
+        );
+        assert_eq!(
+            inj.apply(SimTime::from_millis(10), 64, &mut r),
+            FaultOutcome::Deliver
+        );
+        // Two intervals later, still only one token per interval.
+        assert_eq!(
+            inj.apply(SimTime::from_millis(30), 64, &mut r),
+            FaultOutcome::Deliver
+        );
+        assert_eq!(
+            inj.apply(SimTime::from_millis(31), 64, &mut r),
+            FaultOutcome::Dropped
+        );
+    }
+
+    #[test]
+    fn is_none_detection() {
+        assert!(FaultConfig::none().is_none());
+        let mut cfg = FaultConfig::none();
+        cfg.drop_chance = 0.01;
+        assert!(!cfg.is_none());
+    }
+}

@@ -1,0 +1,464 @@
+//! An ICMP echo prober — the `ping` every setup script runs before
+//! trusting a freshly wired topology.
+
+use crate::engine::{Element, SimCtx};
+use pos_packet::arp::{ArpOp, ArpPacket};
+use pos_packet::builder::Frame;
+use pos_packet::ethernet::{EtherType, EthernetHeader};
+use pos_packet::icmp::IcmpMessage;
+use pos_packet::ipv4::{Ipv4Header, Protocol};
+use pos_packet::MacAddr;
+use pos_simkernel::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+const TOKEN_SEND: u64 = 1;
+
+/// Outcome of one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeReply {
+    /// An echo reply arrived after the given round-trip time.
+    Echo {
+        /// Round-trip time in nanoseconds.
+        rtt_ns: u64,
+    },
+    /// A router on the path reported TTL expiry (traceroute's signal).
+    TimeExceeded {
+        /// The reporting router's address.
+        from: Ipv4Addr,
+        /// Round-trip time in nanoseconds.
+        rtt_ns: u64,
+    },
+}
+
+/// Configuration of the prober.
+#[derive(Debug, Clone, Copy)]
+pub struct PingConfig {
+    /// The prober's own IP address.
+    pub src_ip: Ipv4Addr,
+    /// The prober's MAC.
+    pub src_mac: MacAddr,
+    /// First-hop MAC (the directly wired peer / gateway).
+    pub gateway_mac: MacAddr,
+    /// The address to probe.
+    pub target: Ipv4Addr,
+    /// Number of probes.
+    pub count: u16,
+    /// Spacing between probes.
+    pub interval: SimDuration,
+    /// IPv4 TTL of the probes (lower it for traceroute-style probing).
+    pub ttl: u8,
+    /// When set, resolve the gateway's MAC by ARPing this address first
+    /// (ignore [`Self::gateway_mac`]); probes start after the is-at
+    /// arrives — like a host with a cold neighbor cache.
+    pub resolve_gateway: Option<Ipv4Addr>,
+}
+
+/// The prober element (single port).
+pub struct PingProbe {
+    config: PingConfig,
+    sent: u16,
+    departures: Vec<(u16, SimTime)>,
+    /// Replies in arrival order, indexed by sequence number.
+    pub replies: Vec<(u16, ProbeReply)>,
+    /// The gateway MAC learned via ARP, when resolution was requested.
+    pub resolved_mac: Option<MacAddr>,
+}
+
+impl PingProbe {
+    /// Creates a prober.
+    pub fn new(config: PingConfig) -> PingProbe {
+        PingProbe {
+            config,
+            sent: 0,
+            departures: Vec::new(),
+            replies: Vec::new(),
+            resolved_mac: None,
+        }
+    }
+
+    /// The next-hop MAC probes are addressed to.
+    fn gateway(&self) -> MacAddr {
+        self.resolved_mac.unwrap_or(self.config.gateway_mac)
+    }
+
+    fn send_arp_request(&mut self, gateway_ip: Ipv4Addr, ctx: &mut SimCtx<'_>) {
+        let mut out = Vec::new();
+        EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: self.config.src_mac,
+            ethertype: EtherType::Arp,
+        }
+        .emit(&mut out);
+        ArpPacket::request(self.config.src_mac, self.config.src_ip, gateway_ip).emit(&mut out);
+        out.resize(out.len().max(60), 0);
+        ctx.transmit(0, Frame::from_bytes(out));
+    }
+
+    /// Fraction of probes answered by an echo reply.
+    pub fn success_rate(&self) -> f64 {
+        if self.config.count == 0 {
+            return 0.0;
+        }
+        let echoes = self
+            .replies
+            .iter()
+            .filter(|(_, r)| matches!(r, ProbeReply::Echo { .. }))
+            .count();
+        echoes as f64 / f64::from(self.config.count)
+    }
+
+    fn send_probe(&mut self, ctx: &mut SimCtx<'_>) {
+        let seq = self.sent;
+        self.sent += 1;
+        let mut icmp = Vec::new();
+        IcmpMessage::EchoRequest {
+            ident: 0x7053, // "pos"
+            seq,
+            payload: b"pos connectivity probe".to_vec(),
+        }
+        .emit(&mut icmp);
+        let mut out = Vec::new();
+        EthernetHeader {
+            dst: self.gateway(),
+            src: self.config.src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut out);
+        Ipv4Header {
+            src: self.config.src_ip,
+            dst: self.config.target,
+            protocol: Protocol::Icmp,
+            ttl: self.config.ttl,
+            ident: seq,
+            total_len: (pos_packet::ipv4::HEADER_LEN + icmp.len()) as u16,
+            dont_frag: true,
+        }
+        .emit(&mut out);
+        out.extend_from_slice(&icmp);
+        if out.len() < 60 {
+            out.resize(60, 0);
+        }
+        self.departures.push((seq, ctx.now()));
+        ctx.transmit(0, Frame::from_bytes(out));
+        if self.sent < self.config.count {
+            ctx.set_timer(self.config.interval, TOKEN_SEND);
+        }
+    }
+
+    fn rtt_of(&self, seq: u16, now: SimTime) -> Option<u64> {
+        self.departures
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, at)| (now - *at).as_nanos())
+    }
+}
+
+impl Element for PingProbe {
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>) {
+        if let Some(gateway_ip) = self.config.resolve_gateway {
+            self.send_arp_request(gateway_ip, ctx);
+        } else if self.config.count > 0 {
+            ctx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+        }
+    }
+
+    fn on_frame(&mut self, _port: usize, frame: Frame, ctx: &mut SimCtx<'_>) {
+        let Ok((eth, rest)) = EthernetHeader::parse(frame.bytes()) else {
+            return;
+        };
+        if eth.ethertype == EtherType::Arp {
+            if let Ok(pkt) = ArpPacket::parse(rest) {
+                if pkt.op == ArpOp::Reply
+                    && Some(pkt.sender_ip) == self.config.resolve_gateway
+                    && self.resolved_mac.is_none()
+                {
+                    self.resolved_mac = Some(pkt.sender_mac);
+                    if self.config.count > 0 {
+                        ctx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+                    }
+                }
+            }
+            return;
+        }
+        if eth.ethertype != EtherType::Ipv4 {
+            return;
+        }
+        let Ok((ip, payload)) = Ipv4Header::parse(rest) else {
+            return;
+        };
+        if ip.protocol != Protocol::Icmp {
+            return;
+        }
+        let Ok(msg) = IcmpMessage::parse(payload) else {
+            return;
+        };
+        let now = ctx.now();
+        match msg {
+            IcmpMessage::EchoReply { ident, seq, .. } if ident == 0x7053 => {
+                if let Some(rtt_ns) = self.rtt_of(seq, now) {
+                    self.replies.push((seq, ProbeReply::Echo { rtt_ns }));
+                }
+            }
+            IcmpMessage::TimeExceeded { original } => {
+                // The quoted original datagram's ident field carries our
+                // sequence number (we set it when sending).
+                if original.len() >= 6 {
+                    let seq = u16::from_be_bytes([original[4], original[5]]);
+                    if let Some(rtt_ns) = self.rtt_of(seq, now) {
+                        self.replies
+                            .push((seq, ProbeReply::TimeExceeded { from: ip.src, rtt_ns }));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SimCtx<'_>) {
+        if token == TOKEN_SEND && self.sent < self.config.count {
+            self.send_probe(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{LinkConfig, NetSim, NodeId, PortConfig};
+    use crate::router::{LinuxRouter, RouteEntry, ServiceProfile};
+    use pos_simkernel::SimRng;
+
+    /// Builds: probe (10.0.0.2) — router1 (10.0.0.1 / 10.0.1.1)
+    ///          [— router2 (10.0.1.2 / 10.0.2.1) when `hops == 2`].
+    fn chain(hops: usize, target: Ipv4Addr, ttl: u8) -> (NetSim, NodeId) {
+        assert!((1..=2).contains(&hops));
+        let mut sim = NetSim::new(0xAB);
+        let probe = sim.add_element(
+            "probe",
+            Box::new(PingProbe::new(PingConfig {
+                src_ip: Ipv4Addr::new(10, 0, 0, 2),
+                src_mac: MacAddr::testbed_host(1),
+                gateway_mac: MacAddr::testbed_host(10),
+                target,
+                count: 4,
+                interval: SimDuration::from_millis(10),
+                ttl,
+                resolve_gateway: None,
+            })),
+            &[PortConfig::ten_gbe()],
+        );
+        let mut r1 = LinuxRouter::new(
+            ServiceProfile::bare_metal(),
+            vec![MacAddr::testbed_host(10), MacAddr::testbed_host(11)],
+            SimRng::new(1).derive("r1"),
+        );
+        r1.set_port_ips(vec![Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1)]);
+        r1.add_route(RouteEntry {
+            network: Ipv4Addr::new(10, 0, 0, 0),
+            prefix_len: 24,
+            port: 0,
+            next_hop_mac: MacAddr::testbed_host(1),
+        });
+        r1.add_route(RouteEntry {
+            network: Ipv4Addr::new(10, 0, 0, 0),
+            prefix_len: 8,
+            port: 1,
+            next_hop_mac: MacAddr::testbed_host(20),
+        });
+        let r1 = sim.add_element("r1", Box::new(r1), &[PortConfig::ten_gbe(), PortConfig::ten_gbe()]);
+        sim.connect((probe, 0), (r1, 0), LinkConfig::direct_cable());
+        if hops == 2 {
+            let mut r2 = LinuxRouter::new(
+                ServiceProfile::bare_metal(),
+                vec![MacAddr::testbed_host(20), MacAddr::testbed_host(21)],
+                SimRng::new(1).derive("r2"),
+            );
+            r2.set_port_ips(vec![Ipv4Addr::new(10, 0, 1, 2), Ipv4Addr::new(10, 0, 2, 1)]);
+            r2.add_route(RouteEntry {
+                network: Ipv4Addr::new(10, 0, 0, 0),
+                prefix_len: 16,
+                port: 0,
+                next_hop_mac: MacAddr::testbed_host(11),
+            });
+            let r2 = sim.add_element("r2", Box::new(r2), &[PortConfig::ten_gbe(), PortConfig::ten_gbe()]);
+            sim.connect((r1, 1), (r2, 0), LinkConfig::direct_cable());
+        }
+        (sim, probe)
+    }
+
+    #[test]
+    fn ping_directly_attached_router() {
+        let (mut sim, probe) = chain(1, Ipv4Addr::new(10, 0, 0, 1), 64);
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        assert_eq!(p.replies.len(), 4, "all probes answered");
+        assert_eq!(p.success_rate(), 1.0);
+        for (_, r) in &p.replies {
+            match r {
+                ProbeReply::Echo { rtt_ns } => {
+                    // Serialization + cable + service + return path: ~1.3 µs.
+                    assert!(*rtt_ns < 5_000, "rtt {rtt_ns} ns");
+                }
+                other => panic!("expected echo, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ping_second_hop_address() {
+        let (mut sim, probe) = chain(2, Ipv4Addr::new(10, 0, 1, 2), 64);
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        assert_eq!(p.success_rate(), 1.0, "replies cross the first router");
+    }
+
+    #[test]
+    fn traceroute_ttl1_reports_first_router() {
+        // Probe the *second* hop with TTL 1: router1 must answer with
+        // time-exceeded from its ingress address.
+        let (mut sim, probe) = chain(2, Ipv4Addr::new(10, 0, 1, 2), 1);
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        assert_eq!(p.replies.len(), 4);
+        assert_eq!(p.success_rate(), 0.0, "no echo reply at TTL 1");
+        for (_, r) in &p.replies {
+            match r {
+                ProbeReply::TimeExceeded { from, .. } => {
+                    assert_eq!(*from, Ipv4Addr::new(10, 0, 0, 1), "hop 1 identifies itself");
+                }
+                other => panic!("expected time-exceeded, got {other:?}"),
+            }
+        }
+        // And the router accounted for it.
+        let stats = sim.element_as::<LinuxRouter>(1).unwrap().stats;
+        assert_eq!(stats.ttl_expired, 4);
+        assert_eq!(stats.time_exceeded_sent, 4);
+    }
+
+    #[test]
+    fn traceroute_ttl2_reaches_second_router() {
+        let (mut sim, probe) = chain(2, Ipv4Addr::new(10, 0, 1, 2), 2);
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        // TTL 2 suffices for the directly attached address of router2.
+        assert_eq!(p.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn unreachable_target_gets_no_answer() {
+        let (mut sim, probe) = chain(1, Ipv4Addr::new(192, 168, 99, 99), 64);
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        assert!(p.replies.is_empty(), "no route, no reply");
+        assert_eq!(p.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn arp_resolution_then_ping() {
+        // Cold cache: gateway MAC unknown (ZERO); the probe must resolve
+        // it via who-has/is-at before any echo flows.
+        let mut sim = NetSim::new(0xA2);
+        let probe = sim.add_element(
+            "probe",
+            Box::new(PingProbe::new(PingConfig {
+                src_ip: Ipv4Addr::new(10, 0, 0, 2),
+                src_mac: MacAddr::testbed_host(1),
+                gateway_mac: MacAddr::ZERO,
+                target: Ipv4Addr::new(10, 0, 0, 1),
+                count: 3,
+                interval: SimDuration::from_millis(5),
+                ttl: 64,
+                resolve_gateway: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            })),
+            &[PortConfig::ten_gbe()],
+        );
+        let mut r = LinuxRouter::new(
+            ServiceProfile::bare_metal(),
+            vec![MacAddr::testbed_host(10)],
+            SimRng::new(2).derive("r"),
+        );
+        r.set_port_ips(vec![Ipv4Addr::new(10, 0, 0, 1)]);
+        r.add_route(RouteEntry {
+            network: Ipv4Addr::new(10, 0, 0, 0),
+            prefix_len: 24,
+            port: 0,
+            next_hop_mac: MacAddr::testbed_host(1),
+        });
+        let r = sim.add_element("r", Box::new(r), &[PortConfig::ten_gbe()]);
+        sim.connect((probe, 0), (r, 0), LinkConfig::direct_cable());
+        sim.run_until(SimTime::from_secs(1));
+
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        assert_eq!(
+            p.resolved_mac,
+            Some(MacAddr::testbed_host(10)),
+            "is-at learned the router's MAC"
+        );
+        assert_eq!(p.success_rate(), 1.0, "pings flow after resolution");
+        let stats = sim.element_as::<LinuxRouter>(r).unwrap().stats;
+        assert_eq!(stats.arp_replied, 1);
+        assert_eq!(stats.echo_replied, 3);
+    }
+
+    #[test]
+    fn arp_for_unowned_address_stays_unresolved() {
+        let mut sim = NetSim::new(0xA3);
+        let probe = sim.add_element(
+            "probe",
+            Box::new(PingProbe::new(PingConfig {
+                src_ip: Ipv4Addr::new(10, 0, 0, 2),
+                src_mac: MacAddr::testbed_host(1),
+                gateway_mac: MacAddr::ZERO,
+                target: Ipv4Addr::new(10, 0, 0, 99),
+                count: 3,
+                interval: SimDuration::from_millis(5),
+                ttl: 64,
+                resolve_gateway: Some(Ipv4Addr::new(10, 0, 0, 99)),
+            })),
+            &[PortConfig::ten_gbe()],
+        );
+        let mut r = LinuxRouter::new(
+            ServiceProfile::bare_metal(),
+            vec![MacAddr::testbed_host(10)],
+            SimRng::new(2).derive("r"),
+        );
+        r.set_port_ips(vec![Ipv4Addr::new(10, 0, 0, 1)]); // not .99
+        let r = sim.add_element("r", Box::new(r), &[PortConfig::ten_gbe()]);
+        sim.connect((probe, 0), (r, 0), LinkConfig::direct_cable());
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        assert!(p.resolved_mac.is_none(), "nobody owns .99");
+        assert!(p.replies.is_empty(), "no echo without resolution");
+        let stats = sim.element_as::<LinuxRouter>(r).unwrap().stats;
+        assert_eq!(stats.arp_replied, 0);
+    }
+
+    #[test]
+    fn router_without_ips_is_silent() {
+        let mut sim = NetSim::new(1);
+        let probe = sim.add_element(
+            "probe",
+            Box::new(PingProbe::new(PingConfig {
+                src_ip: Ipv4Addr::new(10, 0, 0, 2),
+                src_mac: MacAddr::testbed_host(1),
+                gateway_mac: MacAddr::testbed_host(10),
+                target: Ipv4Addr::new(10, 0, 0, 1),
+                count: 2,
+                interval: SimDuration::from_millis(1),
+                ttl: 64,
+                resolve_gateway: None,
+            })),
+            &[PortConfig::ten_gbe()],
+        );
+        let r = LinuxRouter::new(
+            ServiceProfile::bare_metal(),
+            vec![MacAddr::testbed_host(10)],
+            SimRng::new(1),
+        );
+        let r = sim.add_element("r", Box::new(r), &[PortConfig::ten_gbe()]);
+        sim.connect((probe, 0), (r, 0), LinkConfig::direct_cable());
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.element_as::<PingProbe>(probe).unwrap();
+        assert!(p.replies.is_empty(), "no IPs configured -> not pingable");
+    }
+}

@@ -1,0 +1,207 @@
+//! ARP for IPv4 over Ethernet (RFC 826).
+//!
+//! The case-study scripts configure next-hop MACs statically, but real
+//! hosts resolve them: the generator broadcasts *who-has* for the DuT's
+//! address, the DuT answers *is-at*, and only then can traffic flow — the
+//! reason the first ping on a fresh testbed is often lost. The ping prober
+//! models exactly that.
+
+use crate::error::ParseError;
+use crate::mac::MacAddr;
+use std::net::Ipv4Addr;
+
+/// Wire length of an IPv4-over-Ethernet ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+}
+
+/// An ARP packet (IPv4 over Ethernet only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// A who-has broadcast asking for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// The is-at answer to this request, from the owner of the address.
+    ///
+    /// Returns `None` when `self` is not a request.
+    pub fn reply_from(&self, owner_mac: MacAddr) -> Option<ArpPacket> {
+        match self.op {
+            ArpOp::Request => Some(ArpPacket {
+                op: ArpOp::Reply,
+                sender_mac: owner_mac,
+                sender_ip: self.target_ip,
+                target_mac: self.sender_mac,
+                target_ip: self.sender_ip,
+            }),
+            ArpOp::Reply => None,
+        }
+    }
+
+    /// Serializes the packet into `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        let op: u16 = match self.op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        };
+        out.extend_from_slice(&op.to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.octets());
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.octets());
+        out.extend_from_slice(&self.target_ip.octets());
+    }
+
+    /// Parses an ARP packet from the front of `data`.
+    pub fn parse(data: &[u8]) -> Result<ArpPacket, ParseError> {
+        if data.len() < PACKET_LEN {
+            return Err(ParseError::Truncated {
+                layer: "arp",
+                needed: PACKET_LEN,
+                available: data.len(),
+            });
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        if htype != 1 || ptype != 0x0800 || data[4] != 6 || data[5] != 4 {
+            return Err(ParseError::Unsupported {
+                layer: "arp",
+                field: "htype/ptype",
+                value: u32::from(htype) << 16 | u32::from(ptype),
+            });
+        }
+        let op = match u16::from_be_bytes([data[6], data[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => {
+                return Err(ParseError::Unsupported {
+                    layer: "arp",
+                    field: "oper",
+                    value: u32::from(other),
+                })
+            }
+        };
+        let mac = |off: usize| -> MacAddr {
+            let mut m = [0u8; 6];
+            m.copy_from_slice(&data[off..off + 6]);
+            MacAddr::new(m)
+        };
+        let ip = |off: usize| Ipv4Addr::new(data[off], data[off + 1], data[off + 2], data[off + 3]);
+        Ok(ArpPacket {
+            op,
+            sender_mac: mac(8),
+            sender_ip: ip(14),
+            target_mac: mac(18),
+            target_ip: ip(24),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_request() -> ArpPacket {
+        ArpPacket::request(
+            MacAddr::testbed_host(1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        )
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = sample_request();
+        let mut buf = Vec::new();
+        req.emit(&mut buf);
+        assert_eq!(buf.len(), PACKET_LEN);
+        assert_eq!(ArpPacket::parse(&buf).unwrap(), req);
+
+        let reply = req.reply_from(MacAddr::testbed_host(10)).unwrap();
+        assert_eq!(reply.op, ArpOp::Reply);
+        assert_eq!(reply.sender_mac, MacAddr::testbed_host(10));
+        assert_eq!(reply.sender_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(reply.target_mac, MacAddr::testbed_host(1));
+        assert_eq!(reply.target_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert!(reply.reply_from(MacAddr::ZERO).is_none());
+    }
+
+    #[test]
+    fn non_ethernet_ipv4_rejected() {
+        let mut buf = Vec::new();
+        sample_request().emit(&mut buf);
+        buf[1] = 6; // htype: IEEE 802
+        assert!(matches!(
+            ArpPacket::parse(&buf),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let mut buf = Vec::new();
+        sample_request().emit(&mut buf);
+        buf[7] = 9;
+        assert!(matches!(
+            ArpPacket::parse(&buf),
+            Err(ParseError::Unsupported { field: "oper", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            ArpPacket::parse(&[0u8; 27]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            smac: [u8; 6], sip: [u8; 4], tmac: [u8; 6], tip: [u8; 4], is_req: bool
+        ) {
+            let pkt = ArpPacket {
+                op: if is_req { ArpOp::Request } else { ArpOp::Reply },
+                sender_mac: MacAddr::new(smac),
+                sender_ip: sip.into(),
+                target_mac: MacAddr::new(tmac),
+                target_ip: tip.into(),
+            };
+            let mut buf = Vec::new();
+            pkt.emit(&mut buf);
+            prop_assert_eq!(ArpPacket::parse(&buf).unwrap(), pkt);
+        }
+    }
+}

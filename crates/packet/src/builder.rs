@@ -1,0 +1,320 @@
+//! Assembly and parsing of complete Ethernet/IPv4/UDP frames.
+//!
+//! The case-study traffic is a single UDP flow; [`UdpFrameSpec`] captures
+//! its addressing and builds frames of an exact *wire size* (FCS included),
+//! which is how the paper specifies packet sizes (64 B and 1500 B).
+
+use crate::error::ParseError;
+use crate::ethernet::{EtherType, EthernetHeader};
+use crate::ipv4::{Ipv4Header, Protocol};
+use crate::mac::MacAddr;
+use crate::udp::UdpHeader;
+use crate::{ethernet, ipv4, udp, FCS_LEN, MAX_FRAME_SIZE, MIN_FRAME_SIZE};
+use std::net::Ipv4Addr;
+
+/// Headers' combined length: Ethernet + IPv4 + UDP.
+pub const HEADERS_LEN: usize = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
+
+/// A complete frame as handed to/by a NIC: header bytes and payload,
+/// excluding the FCS (which the NIC strips/appends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// Wraps raw frame bytes (without FCS).
+    pub fn from_bytes(data: Vec<u8>) -> Frame {
+        Frame { data }
+    }
+
+    /// The frame bytes (without FCS).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the frame bytes (fault injection corrupts these).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Size of the frame on the wire: bytes plus the 4-byte FCS.
+    pub fn wire_size(&self) -> usize {
+        self.data.len() + FCS_LEN
+    }
+
+    /// Consumes the frame, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+/// Addressing for a unidirectional UDP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpFrameSpec {
+    /// Source MAC (the generator's port).
+    pub src_mac: MacAddr,
+    /// Destination MAC (the DuT's ingress port).
+    pub dst_mac: MacAddr,
+    /// Source IP address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IP address (behind the DuT).
+    pub dst_ip: Ipv4Addr,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Initial IPv4 TTL.
+    pub ttl: u8,
+}
+
+impl UdpFrameSpec {
+    /// Builds a frame with exactly `payload.len()` bytes of UDP payload.
+    pub fn build(&self, payload: &[u8]) -> Frame {
+        let mut buf = Vec::with_capacity(HEADERS_LEN + payload.len());
+        EthernetHeader {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        let ip = Ipv4Header::for_payload(
+            self.src_ip,
+            self.dst_ip,
+            Protocol::Udp,
+            self.ttl,
+            udp::HEADER_LEN + payload.len(),
+        );
+        ip.emit(&mut buf);
+        UdpHeader::for_payload(self.src_port, self.dst_port, payload.len()).emit(
+            self.src_ip,
+            self.dst_ip,
+            payload,
+            &mut buf,
+        );
+        Frame::from_bytes(buf)
+    }
+
+    /// Builds a frame whose size *on the wire* (FCS included) is exactly
+    /// `wire_size` bytes, the way the paper specifies packet sizes.
+    ///
+    /// The payload starts with a copy of `payload_prefix` (e.g. a latency
+    /// probe) and is zero-padded to the target size.
+    ///
+    /// Returns an error if `wire_size` is outside
+    /// `[MIN_FRAME_SIZE, MAX_FRAME_SIZE]` or too small to hold the prefix.
+    pub fn build_with_wire_size(
+        &self,
+        wire_size: usize,
+        payload_prefix: &[u8],
+    ) -> Result<Frame, FrameSizeError> {
+        if !(MIN_FRAME_SIZE..=MAX_FRAME_SIZE).contains(&wire_size) {
+            return Err(FrameSizeError::OutOfRange { wire_size });
+        }
+        let payload_len = wire_size - FCS_LEN - HEADERS_LEN;
+        if payload_prefix.len() > payload_len {
+            return Err(FrameSizeError::PrefixTooLarge {
+                wire_size,
+                prefix_len: payload_prefix.len(),
+                payload_len,
+            });
+        }
+        let mut payload = vec![0u8; payload_len];
+        payload[..payload_prefix.len()].copy_from_slice(payload_prefix);
+        Ok(self.build(&payload))
+    }
+}
+
+/// Error building a fixed-wire-size frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameSizeError {
+    /// Requested wire size outside the Ethernet limits.
+    OutOfRange {
+        /// The requested size.
+        wire_size: usize,
+    },
+    /// The payload prefix does not fit the requested frame size.
+    PrefixTooLarge {
+        /// The requested size.
+        wire_size: usize,
+        /// Length of the prefix that was supposed to fit.
+        prefix_len: usize,
+        /// Payload room the frame actually has.
+        payload_len: usize,
+    },
+}
+
+impl core::fmt::Display for FrameSizeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameSizeError::OutOfRange { wire_size } => write!(
+                f,
+                "wire size {wire_size} outside [{MIN_FRAME_SIZE}, {MAX_FRAME_SIZE}]"
+            ),
+            FrameSizeError::PrefixTooLarge {
+                wire_size,
+                prefix_len,
+                payload_len,
+            } => write!(
+                f,
+                "payload prefix of {prefix_len} bytes does not fit \
+                 {payload_len}-byte payload of a {wire_size}-byte frame"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameSizeError {}
+
+/// A fully parsed Eth/IPv4/UDP frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedUdpFrame<'a> {
+    /// Ethernet header.
+    pub eth: EthernetHeader,
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// UDP header.
+    pub udp: UdpHeader,
+    /// UDP payload.
+    pub payload: &'a [u8],
+}
+
+/// Parses a frame expected to be Eth/IPv4/UDP, validating all checksums.
+pub fn parse_udp_frame(frame: &[u8]) -> Result<ParsedUdpFrame<'_>, ParseError> {
+    let (eth, rest) = EthernetHeader::parse(frame)?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return Err(ParseError::Unsupported {
+            layer: "ethernet",
+            field: "ethertype",
+            value: u32::from(u16::from(eth.ethertype)),
+        });
+    }
+    let (ip, rest) = Ipv4Header::parse(rest)?;
+    if ip.protocol != Protocol::Udp {
+        return Err(ParseError::Unsupported {
+            layer: "ipv4",
+            field: "protocol",
+            value: u32::from(u8::from(ip.protocol)),
+        });
+    }
+    let (udp_hdr, payload) = UdpHeader::parse(ip.src, ip.dst, rest)?;
+    Ok(ParsedUdpFrame {
+        eth,
+        ip,
+        udp: udp_hdr,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec() -> UdpFrameSpec {
+        UdpFrameSpec {
+            src_mac: MacAddr::testbed_host(1),
+            dst_mac: MacAddr::testbed_host(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 1, 1),
+            src_port: 1234,
+            dst_port: 4321,
+            ttl: 64,
+        }
+    }
+
+    #[test]
+    fn paper_packet_sizes_build_and_parse() {
+        for size in [64usize, 1500] {
+            let frame = spec().build_with_wire_size(size, &[]).unwrap();
+            assert_eq!(frame.wire_size(), size, "wire size must be exact");
+            let parsed = parse_udp_frame(frame.bytes()).unwrap();
+            assert_eq!(parsed.eth.src, MacAddr::testbed_host(1));
+            assert_eq!(parsed.ip.ttl, 64);
+            assert_eq!(parsed.udp.dst_port, 4321);
+            assert_eq!(
+                parsed.payload.len(),
+                size - FCS_LEN - HEADERS_LEN,
+                "payload fills the frame"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_out_of_range_rejected() {
+        assert!(matches!(
+            spec().build_with_wire_size(63, &[]),
+            Err(FrameSizeError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            spec().build_with_wire_size(1519, &[]),
+            Err(FrameSizeError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_too_large_rejected() {
+        // 64 B frame has an 18-byte payload; a 19-byte prefix cannot fit.
+        assert!(matches!(
+            spec().build_with_wire_size(64, &[0u8; 19]),
+            Err(FrameSizeError::PrefixTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn probe_rides_in_min_frame() {
+        use crate::probe::Probe;
+        let p = Probe {
+            flow_id: 1,
+            seq: 42,
+            tx_ns: 1_000,
+        };
+        let mut prefix = [0u8; crate::probe::PROBE_LEN];
+        p.write_to(&mut prefix);
+        let frame = spec().build_with_wire_size(64, &prefix).unwrap();
+        let parsed = parse_udp_frame(frame.bytes()).unwrap();
+        assert_eq!(Probe::parse(parsed.payload).unwrap(), p);
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let frame = spec().build(&[1, 2, 3]);
+        let mut bytes = frame.into_bytes();
+        bytes[12..14].copy_from_slice(&0x0806u16.to_be_bytes()); // ARP
+        assert!(matches!(
+            parse_udp_frame(&bytes),
+            Err(ParseError::Unsupported { field: "ethertype", .. })
+        ));
+    }
+
+    #[test]
+    fn non_udp_rejected() {
+        // Rebuild with protocol TCP at the IP layer by hand-editing and
+        // re-checksumming the header.
+        let frame = spec().build(&[0u8; 8]);
+        let mut bytes = frame.into_bytes();
+        bytes[14 + 9] = 6; // protocol = TCP
+        bytes[14 + 10] = 0;
+        bytes[14 + 11] = 0;
+        let csum = crate::checksum::checksum(&bytes[14..34]);
+        bytes[14 + 10..14 + 12].copy_from_slice(&csum.to_be_bytes());
+        assert!(matches!(
+            parse_udp_frame(&bytes),
+            Err(ParseError::Unsupported { field: "protocol", .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_legal_wire_size_roundtrips(size in 64usize..=1518) {
+            let frame = spec().build_with_wire_size(size, b"probe!").unwrap();
+            prop_assert_eq!(frame.wire_size(), size);
+            let parsed = parse_udp_frame(frame.bytes()).unwrap();
+            prop_assert_eq!(&parsed.payload[..6], b"probe!");
+            prop_assert_eq!(
+                usize::from(parsed.ip.total_len),
+                size - FCS_LEN - ethernet::HEADER_LEN
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Parse errors for all wire formats in this crate.
+
+use core::fmt;
+
+/// Why a byte sequence could not be parsed as the expected protocol unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input shorter than the fixed header of the protocol.
+    Truncated {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A length field points beyond (or inside) the available bytes.
+    BadLength {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// The length the header claimed.
+        claimed: usize,
+        /// The length that was actually available/permitted.
+        actual: usize,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol layer whose checksum failed.
+        layer: &'static str,
+    },
+    /// A version/type field holds an unsupported value.
+    Unsupported {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// The field with the unsupported value.
+        field: &'static str,
+        /// The value encountered.
+        value: u32,
+    },
+    /// A magic number did not match (pcap files, probe payloads).
+    BadMagic {
+        /// Format whose magic was wrong.
+        layer: &'static str,
+        /// The value read instead.
+        value: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{layer}: truncated input, need {needed} bytes but only {available} available"
+            ),
+            ParseError::BadLength {
+                layer,
+                claimed,
+                actual,
+            } => write!(f, "{layer}: length field claims {claimed}, actual {actual}"),
+            ParseError::BadChecksum { layer } => write!(f, "{layer}: checksum mismatch"),
+            ParseError::Unsupported {
+                layer,
+                field,
+                value,
+            } => write!(f, "{layer}: unsupported {field} value {value:#x}"),
+            ParseError::BadMagic { layer, value } => {
+                write!(f, "{layer}: bad magic number {value:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = ParseError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 7,
+        };
+        assert_eq!(
+            e.to_string(),
+            "ipv4: truncated input, need 20 bytes but only 7 available"
+        );
+        let e = ParseError::BadChecksum { layer: "udp" };
+        assert_eq!(e.to_string(), "udp: checksum mismatch");
+        let e = ParseError::BadMagic {
+            layer: "pcap",
+            value: 0xdeadbeef,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"));
+    }
+}

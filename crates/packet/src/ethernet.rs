@@ -1,0 +1,174 @@
+//! Ethernet II framing.
+//!
+//! Frames carry destination/source MAC addresses and a 16-bit EtherType.
+//! Consistent with how NICs hand frames to software, the in-memory
+//! representation *excludes* the 4-byte FCS; wire-size accounting adds
+//! [`crate::FCS_LEN`] (see [`crate::wire_bits`]).
+
+use crate::error::ParseError;
+use crate::mac::MacAddr;
+
+/// Length of the Ethernet II header: 6 + 6 + 2 bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// Well-known EtherType values used in the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Any other value, preserved verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Serializes the header into `out` (appends [`HEADER_LEN`] bytes).
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&u16::from(self.ethertype).to_be_bytes());
+    }
+
+    /// Parses a header from the front of `data`; returns the header and the
+    /// payload (the bytes after the header).
+    pub fn parse(data: &[u8]) -> Result<(EthernetHeader, &[u8]), ParseError> {
+        if data.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "ethernet",
+                needed: HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = u16::from_be_bytes([data[12], data[13]]);
+        // EtherType values below 0x0600 are IEEE 802.3 length fields, which
+        // we do not support (mirroring smoltcp's scope).
+        if ethertype < 0x0600 {
+            return Err(ParseError::Unsupported {
+                layer: "ethernet",
+                field: "ethertype",
+                value: u32::from(ethertype),
+            });
+        }
+        Ok((
+            EthernetHeader {
+                dst: MacAddr::new(dst),
+                src: MacAddr::new(src),
+                ethertype: ethertype.into(),
+            },
+            &data[HEADER_LEN..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> EthernetHeader {
+        EthernetHeader {
+            dst: MacAddr::testbed_host(2),
+            src: MacAddr::testbed_host(1),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut buf = Vec::new();
+        sample().emit(&mut buf);
+        buf.extend_from_slice(b"payload");
+        let (hdr, payload) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(hdr, sample());
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let err = EthernetHeader::parse(&[0u8; 13]).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Truncated {
+                layer: "ethernet",
+                needed: 14,
+                available: 13
+            }
+        );
+    }
+
+    #[test]
+    fn ieee8023_length_field_rejected() {
+        let mut buf = Vec::new();
+        let mut h = sample();
+        h.ethertype = EtherType::Other(0x05DC); // 802.3 length, not a type
+        h.emit(&mut buf);
+        assert!(matches!(
+            EthernetHeader::parse(&buf),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        assert_eq!(u16::from(EtherType::Ipv4), 0x0800);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x86DD), EtherType::Other(0x86DD));
+        assert_eq!(u16::from(EtherType::Other(0x86DD)), 0x86DD);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_header(
+            dst: [u8; 6], src: [u8; 6], ethertype in 0x0600u16..,
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let hdr = EthernetHeader {
+                dst: MacAddr::new(dst),
+                src: MacAddr::new(src),
+                ethertype: ethertype.into(),
+            };
+            let mut buf = Vec::new();
+            hdr.emit(&mut buf);
+            buf.extend_from_slice(&payload);
+            let (parsed, rest) = EthernetHeader::parse(&buf).unwrap();
+            prop_assert_eq!(parsed, hdr);
+            prop_assert_eq!(rest, &payload[..]);
+        }
+    }
+}

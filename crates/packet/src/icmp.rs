@@ -1,0 +1,220 @@
+//! ICMPv4 (RFC 792): echo request/reply and time-exceeded.
+//!
+//! Experiment setup scripts routinely `ping` across the freshly configured
+//! topology before measuring, and routers answer TTL expiry with time
+//! exceeded — the messages traceroute is built from. This module covers
+//! exactly the message types the testbed exercises.
+
+use crate::checksum;
+use crate::error::ParseError;
+
+/// Length of the fixed ICMP header (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// The ICMP messages the testbed speaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request (type 8): `ping`.
+    EchoRequest {
+        /// Identifier (typically the pinger's id).
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Echo payload, returned verbatim by the replier.
+        payload: Vec<u8>,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier copied from the request.
+        ident: u16,
+        /// Sequence copied from the request.
+        seq: u16,
+        /// Payload copied from the request.
+        payload: Vec<u8>,
+    },
+    /// Time exceeded in transit (type 11, code 0): what a router sends
+    /// when it drops a packet whose TTL reached zero.
+    TimeExceeded {
+        /// The leading bytes of the dropped datagram (IP header + 8 bytes),
+        /// per RFC 792.
+        original: Vec<u8>,
+    },
+}
+
+impl IcmpMessage {
+    /// Message type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            IcmpMessage::EchoReply { .. } => 0,
+            IcmpMessage::EchoRequest { .. } => 8,
+            IcmpMessage::TimeExceeded { .. } => 11,
+        }
+    }
+
+    /// Serializes the message (with checksum) into `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(self.type_byte());
+        out.push(0); // code 0 for all supported messages
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        match self {
+            IcmpMessage::EchoRequest { ident, seq, payload }
+            | IcmpMessage::EchoReply { ident, seq, payload } => {
+                out.extend_from_slice(&ident.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            IcmpMessage::TimeExceeded { original } => {
+                out.extend_from_slice(&[0, 0, 0, 0]); // unused
+                out.extend_from_slice(original);
+            }
+        }
+        let csum = checksum::checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and validates an ICMP message.
+    pub fn parse(data: &[u8]) -> Result<IcmpMessage, ParseError> {
+        if data.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "icmp",
+                needed: HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        if !checksum::verify(data) {
+            return Err(ParseError::BadChecksum { layer: "icmp" });
+        }
+        let (ty, code) = (data[0], data[1]);
+        let ident = u16::from_be_bytes([data[4], data[5]]);
+        let seq = u16::from_be_bytes([data[6], data[7]]);
+        match (ty, code) {
+            (8, 0) => Ok(IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload: data[8..].to_vec(),
+            }),
+            (0, 0) => Ok(IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload: data[8..].to_vec(),
+            }),
+            (11, 0) => Ok(IcmpMessage::TimeExceeded {
+                original: data[8..].to_vec(),
+            }),
+            _ => Err(ParseError::Unsupported {
+                layer: "icmp",
+                field: "type/code",
+                value: u32::from(ty) << 8 | u32::from(code),
+            }),
+        }
+    }
+
+    /// The reply matching an echo request; `None` for non-requests.
+    pub fn reply_to(&self) -> Option<IcmpMessage> {
+        match self {
+            IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
+                ident: *ident,
+                seq: *seq,
+                payload: payload.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let req = IcmpMessage::EchoRequest {
+            ident: 0x1234,
+            seq: 7,
+            payload: b"pos ping".to_vec(),
+        };
+        let mut buf = Vec::new();
+        req.emit(&mut buf);
+        assert_eq!(IcmpMessage::parse(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpMessage::EchoRequest {
+            ident: 1,
+            seq: 2,
+            payload: vec![9, 9],
+        };
+        let reply = req.reply_to().unwrap();
+        assert_eq!(
+            reply,
+            IcmpMessage::EchoReply {
+                ident: 1,
+                seq: 2,
+                payload: vec![9, 9]
+            }
+        );
+        assert!(reply.reply_to().is_none(), "replies are not re-replied");
+    }
+
+    #[test]
+    fn time_exceeded_carries_original() {
+        let te = IcmpMessage::TimeExceeded {
+            original: vec![0x45, 0, 0, 20],
+        };
+        let mut buf = Vec::new();
+        te.emit(&mut buf);
+        let back = IcmpMessage::parse(&buf).unwrap();
+        assert_eq!(back, te);
+        assert_eq!(back.type_byte(), 11);
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let mut buf = Vec::new();
+        IcmpMessage::EchoRequest {
+            ident: 0,
+            seq: 0,
+            payload: vec![],
+        }
+        .emit(&mut buf);
+        buf[4] ^= 1;
+        assert_eq!(
+            IcmpMessage::parse(&buf).unwrap_err(),
+            ParseError::BadChecksum { layer: "icmp" }
+        );
+    }
+
+    #[test]
+    fn truncated_and_unknown_rejected() {
+        assert!(matches!(
+            IcmpMessage::parse(&[8, 0, 0]),
+            Err(ParseError::Truncated { .. })
+        ));
+        // Type 3 (destination unreachable) is valid ICMP but out of scope.
+        let mut buf = vec![3u8, 0, 0, 0, 0, 0, 0, 0];
+        let csum = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        assert!(matches!(
+            IcmpMessage::parse(&buf),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(ident: u16, seq: u16, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+            for msg in [
+                IcmpMessage::EchoRequest { ident, seq, payload: payload.clone() },
+                IcmpMessage::EchoReply { ident, seq, payload: payload.clone() },
+                IcmpMessage::TimeExceeded { original: payload },
+            ] {
+                let mut buf = Vec::new();
+                msg.emit(&mut buf);
+                prop_assert_eq!(IcmpMessage::parse(&buf).unwrap(), msg);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! # pos-packet
+//!
+//! Packet construction and parsing for the pos reproduction.
+//!
+//! The pos case study generates UDP-in-IPv4-in-Ethernet traffic with MoonGen
+//! and measures a Linux router forwarding it. This crate provides the wire
+//! formats that traffic is made of:
+//!
+//! * [`MacAddr`], [`ethernet`] — Ethernet II framing,
+//! * [`ipv4`] — IPv4 headers with the Internet checksum,
+//! * [`udp`] — UDP headers with pseudo-header checksums,
+//! * [`probe`] — MoonGen-style timestamped latency-probe payloads,
+//! * [`pcap`] — classic libpcap file reading and writing, so experiments can
+//!   replay recorded traffic (§4.2 of the paper: "other experiments use
+//!   pcaps of recorded traffic"),
+//! * [`builder`] — a convenience builder that assembles and parses complete
+//!   Eth/IPv4/UDP frames.
+//!
+//! All parsers are strict: malformed input yields a typed [`ParseError`],
+//! never a panic. All emitters produce checksums that the parsers (and real
+//! network stacks) accept.
+//!
+//! ```
+//! use pos_packet::builder::UdpFrameSpec;
+//! use pos_packet::MacAddr;
+//! use std::net::Ipv4Addr;
+//!
+//! let spec = UdpFrameSpec {
+//!     src_mac: MacAddr::new([2, 0, 0, 0, 0, 1]),
+//!     dst_mac: MacAddr::new([2, 0, 0, 0, 0, 2]),
+//!     src_ip: Ipv4Addr::new(10, 0, 0, 1),
+//!     dst_ip: Ipv4Addr::new(10, 0, 1, 1),
+//!     src_port: 1234,
+//!     dst_port: 4321,
+//!     ttl: 64,
+//! };
+//! // A 64-byte frame (the paper's small-packet case, size includes FCS).
+//! let frame = spec.build_with_wire_size(64, &[0u8; 18]).unwrap();
+//! assert_eq!(frame.wire_size(), 64);
+//! let parsed = pos_packet::builder::parse_udp_frame(frame.bytes()).unwrap();
+//! assert_eq!(parsed.udp.dst_port, 4321);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arp;
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod icmp;
+pub mod ipv4;
+pub mod pcap;
+pub mod probe;
+pub mod udp;
+
+mod error;
+mod mac;
+
+pub use error::ParseError;
+pub use mac::MacAddr;
+
+/// Minimum Ethernet frame size on the wire, FCS included (IEEE 802.3).
+pub const MIN_FRAME_SIZE: usize = 64;
+/// Maximum standard Ethernet frame size on the wire, FCS included.
+pub const MAX_FRAME_SIZE: usize = 1518;
+/// Frame check sequence (CRC32) length appended on the wire.
+pub const FCS_LEN: usize = 4;
+/// Preamble + start-of-frame delimiter + inter-frame gap, in byte times.
+///
+/// The 20 bytes of per-frame overhead that occupy the wire but are not part
+/// of the frame; needed to convert frame sizes into line-rate occupancy
+/// (e.g. 64 B frames on 10 Gbit/s: (64+20)·8 bit / 10 Gbit/s = 67.2 ns,
+/// i.e. at most 14.88 Mpps).
+pub const WIRE_OVERHEAD: usize = 20;
+
+/// Serialized bits a frame of `wire_size` bytes (FCS included) occupies on
+/// the physical medium, preamble and inter-frame gap included.
+pub fn wire_bits(wire_size: usize) -> u64 {
+    ((wire_size + WIRE_OVERHEAD) as u64) * 8
+}
+
+/// Maximum frame rate (frames per second) for `wire_size`-byte frames on a
+/// link of `rate_bps` bits per second.
+pub fn max_frame_rate(wire_size: usize, rate_bps: u64) -> f64 {
+    rate_bps as f64 / wire_bits(wire_size) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rate_constants_match_well_known_values() {
+        // 10 GbE with 64 B frames: the canonical 14.88 Mpps figure.
+        let rate = max_frame_rate(64, 10_000_000_000);
+        assert!((rate - 14_880_952.38).abs() < 1.0, "got {rate}");
+        // 1500 B frames on 10 GbE: ~0.822 Mpps, the Fig. 3a large-packet cap.
+        let rate = max_frame_rate(1500, 10_000_000_000);
+        assert!((rate - 822_368.42).abs() < 1.0, "got {rate}");
+    }
+
+    #[test]
+    fn wire_bits_includes_overhead() {
+        assert_eq!(wire_bits(64), (64 + 20) * 8);
+    }
+}

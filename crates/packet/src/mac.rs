@@ -1,0 +1,131 @@
+//! Ethernet MAC addresses.
+
+use core::fmt;
+use core::str::FromStr;
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+    /// The all-zero address (invalid as a source).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// The six octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// True for group (multicast or broadcast) addresses: I/G bit set.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for locally administered addresses: U/L bit set.
+    ///
+    /// The pos testbed assigns experiment hosts locally administered
+    /// addresses of the form `02-00-00-00-00-xx` (same convention as the
+    /// smoltcp examples).
+    pub fn is_local(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// A locally administered unicast address for testbed host `n`.
+    pub fn testbed_host(n: u8) -> MacAddr {
+        MacAddr([0x02, 0, 0, 0, 0, n])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// Error parsing a textual MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacParseError;
+
+impl fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid MAC address syntax (expected aa:bb:cc:dd:ee:ff)")
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+impl FromStr for MacAddr {
+    type Err = MacParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split([':', '-']);
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or(MacParseError)?;
+            if part.len() != 2 {
+                return Err(MacParseError);
+            }
+            *octet = u8::from_str_radix(part, 16).map_err(|_| MacParseError)?;
+        }
+        if parts.next().is_some() {
+            return Err(MacParseError);
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let m = MacAddr::new([0x02, 0x1a, 0xff, 0x00, 0x9b, 0x42]);
+        assert_eq!(m.to_string(), "02:1a:ff:00:9b:42");
+        assert_eq!(m.to_string().parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parses_dash_separated() {
+        assert_eq!(
+            "02-00-00-00-00-01".parse::<MacAddr>().unwrap(),
+            MacAddr::testbed_host(1)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:g0".parse::<MacAddr>().is_err());
+        assert!("2:0:0:0:0:1".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn flag_bits() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::testbed_host(1).is_multicast());
+        assert!(MacAddr::testbed_host(1).is_local());
+        assert!(!MacAddr::new([0x00, 0x1b, 0x21, 0, 0, 1]).is_local());
+    }
+}

@@ -1,0 +1,371 @@
+//! Classic libpcap file format (the `tcpdump` capture format).
+//!
+//! pos experiments either synthesize traffic at runtime or replay recorded
+//! pcaps (§4.2). This module implements the classic format: a 24-byte
+//! global header followed by per-packet records. Both byte orders are read;
+//! files are written in native little-endian with the standard microsecond
+//! magic, link type `LINKTYPE_ETHERNET` (1).
+
+use crate::builder::Frame;
+use crate::error::ParseError;
+use std::io::{self, Read, Write};
+
+/// Magic for microsecond-resolution captures (our write format).
+pub const MAGIC_USEC: u32 = 0xA1B2_C3D4;
+/// Magic for nanosecond-resolution captures.
+pub const MAGIC_NSEC: u32 = 0xA1B3_C3D4;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// A captured packet: timestamp plus frame bytes (FCS not included, as
+/// captured by an OS tap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capture {
+    /// Capture timestamp in nanoseconds.
+    pub ts_ns: u64,
+    /// The captured frame.
+    pub frame: Frame,
+}
+
+/// Errors from pcap file I/O: either a malformed file or an I/O failure.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Structural problem with the file contents.
+    Parse(ParseError),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl core::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PcapError::Parse(e) => write!(f, "pcap parse error: {e}"),
+            PcapError::Io(e) => write!(f, "pcap io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+impl From<ParseError> for PcapError {
+    fn from(e: ParseError) -> Self {
+        PcapError::Parse(e)
+    }
+}
+
+/// Writes a pcap stream: global header first, then one record per frame.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    snaplen: u32,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header.
+    pub fn new(mut sink: W) -> Result<Self, PcapError> {
+        let snaplen: u32 = 65_535;
+        sink.write_all(&MAGIC_USEC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&snaplen.to_le_bytes())?;
+        sink.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(PcapWriter {
+            sink,
+            snaplen,
+            packets: 0,
+        })
+    }
+
+    /// Appends one captured frame with the given nanosecond timestamp
+    /// (stored with microsecond resolution, matching the magic).
+    pub fn write(&mut self, ts_ns: u64, frame: &Frame) -> Result<(), PcapError> {
+        let ts_sec = (ts_ns / 1_000_000_000) as u32;
+        let ts_usec = ((ts_ns % 1_000_000_000) / 1_000) as u32;
+        let len = frame.bytes().len() as u32;
+        let incl = len.min(self.snaplen);
+        self.sink.write_all(&ts_sec.to_le_bytes())?;
+        self.sink.write_all(&ts_usec.to_le_bytes())?;
+        self.sink.write_all(&incl.to_le_bytes())?;
+        self.sink.write_all(&len.to_le_bytes())?;
+        self.sink.write_all(&frame.bytes()[..incl as usize])?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> Result<W, PcapError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Reads a pcap stream, yielding captures in file order.
+pub struct PcapReader<R: Read> {
+    source: R,
+    big_endian: bool,
+    nanosecond: bool,
+    /// Link type from the global header.
+    pub linktype: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Creates a reader, consuming and validating the global header.
+    pub fn new(mut source: R) -> Result<Self, PcapError> {
+        let mut hdr = [0u8; 24];
+        source.read_exact(&mut hdr)?;
+        let magic_le = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let magic_be = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let (big_endian, nanosecond) = match (magic_le, magic_be) {
+            (MAGIC_USEC, _) => (false, false),
+            (MAGIC_NSEC, _) => (false, true),
+            (_, MAGIC_USEC) => (true, false),
+            (_, MAGIC_NSEC) => (true, true),
+            _ => {
+                return Err(ParseError::BadMagic {
+                    layer: "pcap",
+                    value: magic_le,
+                }
+                .into())
+            }
+        };
+        let read_u32 = |b: &[u8]| -> u32 {
+            let arr = [b[0], b[1], b[2], b[3]];
+            if big_endian {
+                u32::from_be_bytes(arr)
+            } else {
+                u32::from_le_bytes(arr)
+            }
+        };
+        let linktype = read_u32(&hdr[20..24]);
+        Ok(PcapReader {
+            source,
+            big_endian,
+            nanosecond,
+            linktype,
+        })
+    }
+
+    fn read_u32(&mut self) -> Result<Option<u32>, PcapError> {
+        let mut buf = [0u8; 4];
+        match self.source.read_exact(&mut buf) {
+            Ok(()) => Ok(Some(if self.big_endian {
+                u32::from_be_bytes(buf)
+            } else {
+                u32::from_le_bytes(buf)
+            })),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Reads the next capture; `None` at a clean end of file.
+    pub fn next_capture(&mut self) -> Result<Option<Capture>, PcapError> {
+        let Some(ts_sec) = self.read_u32()? else {
+            return Ok(None);
+        };
+        // After a record header has started, truncation is an error.
+        let mut rest = [0u8; 12];
+        self.source.read_exact(&mut rest)?;
+        let get = |b: &[u8]| -> u32 {
+            let arr = [b[0], b[1], b[2], b[3]];
+            if self.big_endian {
+                u32::from_be_bytes(arr)
+            } else {
+                u32::from_le_bytes(arr)
+            }
+        };
+        let ts_frac = get(&rest[0..4]);
+        let incl_len = get(&rest[4..8]) as usize;
+        let orig_len = get(&rest[8..12]) as usize;
+        if incl_len > orig_len || incl_len > 0x0400_0000 {
+            return Err(ParseError::BadLength {
+                layer: "pcap",
+                claimed: incl_len,
+                actual: orig_len,
+            }
+            .into());
+        }
+        let mut data = vec![0u8; incl_len];
+        self.source.read_exact(&mut data)?;
+        let frac_ns = if self.nanosecond {
+            u64::from(ts_frac)
+        } else {
+            u64::from(ts_frac) * 1_000
+        };
+        Ok(Some(Capture {
+            ts_ns: u64::from(ts_sec) * 1_000_000_000 + frac_ns,
+            frame: Frame::from_bytes(data),
+        }))
+    }
+
+    /// Reads all remaining captures.
+    pub fn collect_all(mut self) -> Result<Vec<Capture>, PcapError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.next_capture()? {
+            out.push(c);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UdpFrameSpec;
+    use crate::MacAddr;
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn frame(n: u8) -> Frame {
+        UdpFrameSpec {
+            src_mac: MacAddr::testbed_host(1),
+            dst_mac: MacAddr::testbed_host(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 1, 1),
+            src_port: 1000 + u16::from(n),
+            dst_port: 2000,
+            ttl: 64,
+        }
+        .build(&[n; 10])
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        // Timestamps with microsecond resolution survive the roundtrip.
+        w.write(1_000_000, &frame(1)).unwrap();
+        w.write(2_500_000_000, &frame(2)).unwrap();
+        assert_eq!(w.packets_written(), 2);
+        let bytes = w.finish().unwrap();
+
+        let r = PcapReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.linktype, LINKTYPE_ETHERNET);
+        let caps = r.collect_all().unwrap();
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0].ts_ns, 1_000_000);
+        assert_eq!(caps[0].frame, frame(1));
+        assert_eq!(caps[1].ts_ns, 2_500_000_000);
+        assert_eq!(caps[1].frame, frame(2));
+    }
+
+    #[test]
+    fn nanosecond_precision_truncates_to_usec() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write(1_234, &frame(1)).unwrap(); // 1234 ns -> 1 us
+        let bytes = w.finish().unwrap();
+        let caps = PcapReader::new(&bytes[..]).unwrap().collect_all().unwrap();
+        assert_eq!(caps[0].ts_ns, 1_000);
+    }
+
+    #[test]
+    fn reads_big_endian_files() {
+        // Hand-build a big-endian capture of a 3-byte packet.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&5u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&3u32.to_be_bytes()); // incl
+        buf.extend_from_slice(&3u32.to_be_bytes()); // orig
+        buf.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let caps = PcapReader::new(&buf[..]).unwrap().collect_all().unwrap();
+        assert_eq!(caps[0].ts_ns, 7_000_005_000);
+        assert_eq!(caps[0].frame.bytes(), &[0xAA, 0xBB, 0xCC]);
+    }
+
+    #[test]
+    fn reads_nanosecond_magic() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NSEC.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 12]); // version/zone/sigfigs
+        buf.extend_from_slice(&65535u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // ts_sec
+        buf.extend_from_slice(&999u32.to_le_bytes()); // ts_nsec
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0x42);
+        let caps = PcapReader::new(&buf[..]).unwrap().collect_all().unwrap();
+        assert_eq!(caps[0].ts_ns, 1_000_000_999);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [0u8; 24];
+        assert!(matches!(
+            PcapReader::new(&buf[..]),
+            Err(PcapError::Parse(ParseError::BadMagic { .. }))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_io_error() {
+        let buf = [0u8; 10];
+        assert!(matches!(PcapReader::new(&buf[..]), Err(PcapError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_record_body_is_error_not_silent_eof() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write(0, &frame(1)).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.truncate(bytes.len() - 5);
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert!(r.next_capture().is_err());
+    }
+
+    #[test]
+    fn insane_incl_len_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&10u32.to_le_bytes()); // incl 10 > orig 3
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(
+            r.next_capture(),
+            Err(PcapError::Parse(ParseError::BadLength { .. }))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_many(
+            specs in proptest::collection::vec((0u64..1u64 << 40, 0u8..=255), 0..50)
+        ) {
+            let mut w = PcapWriter::new(Vec::new()).unwrap();
+            for (ts, n) in &specs {
+                let ts = ts / 1_000 * 1_000; // microsecond-aligned
+                w.write(ts, &frame(*n)).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            let caps = PcapReader::new(&bytes[..]).unwrap().collect_all().unwrap();
+            prop_assert_eq!(caps.len(), specs.len());
+            for (cap, (ts, n)) in caps.iter().zip(&specs) {
+                prop_assert_eq!(cap.ts_ns, ts / 1_000 * 1_000);
+                prop_assert_eq!(&cap.frame, &frame(*n));
+            }
+        }
+    }
+}

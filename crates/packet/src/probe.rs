@@ -1,0 +1,146 @@
+//! MoonGen-style latency-probe payloads.
+//!
+//! MoonGen measures latency by embedding a transmit timestamp into selected
+//! packets and comparing it with the receive time. Our probe payload is a
+//! compact 16-byte record so it fits into the 18-byte UDP payload of a
+//! minimum-size (64 B on the wire) frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic 0x4C54 ("LT")
+//! 2       2     flow id
+//! 4       4     sequence number
+//! 8       8     transmit timestamp, nanoseconds of virtual time
+//! ```
+//!
+//! Sequence numbers also let the receiver detect loss and reordering.
+
+use crate::error::ParseError;
+
+/// Serialized probe record length.
+pub const PROBE_LEN: usize = 16;
+
+/// Probe payload magic ("LT" for latency timestamp).
+pub const MAGIC: u16 = 0x4C54;
+
+/// A latency-probe record carried in a packet payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Flow the probe belongs to (one flow per generator port/stream).
+    pub flow_id: u16,
+    /// Per-flow sequence number, increasing by one per transmitted packet.
+    pub seq: u32,
+    /// Transmit timestamp in nanoseconds of virtual time.
+    pub tx_ns: u64,
+}
+
+impl Probe {
+    /// Serializes the probe into the first [`PROBE_LEN`] bytes of `payload`.
+    ///
+    /// # Panics
+    /// Panics if `payload` is shorter than [`PROBE_LEN`].
+    pub fn write_to(&self, payload: &mut [u8]) {
+        assert!(
+            payload.len() >= PROBE_LEN,
+            "probe payload needs {PROBE_LEN} bytes, got {}",
+            payload.len()
+        );
+        payload[0..2].copy_from_slice(&MAGIC.to_be_bytes());
+        payload[2..4].copy_from_slice(&self.flow_id.to_be_bytes());
+        payload[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        payload[8..16].copy_from_slice(&self.tx_ns.to_be_bytes());
+    }
+
+    /// Parses a probe from the front of `payload`.
+    pub fn parse(payload: &[u8]) -> Result<Probe, ParseError> {
+        if payload.len() < PROBE_LEN {
+            return Err(ParseError::Truncated {
+                layer: "probe",
+                needed: PROBE_LEN,
+                available: payload.len(),
+            });
+        }
+        let magic = u16::from_be_bytes([payload[0], payload[1]]);
+        if magic != MAGIC {
+            return Err(ParseError::BadMagic {
+                layer: "probe",
+                value: u32::from(magic),
+            });
+        }
+        Ok(Probe {
+            flow_id: u16::from_be_bytes([payload[2], payload[3]]),
+            seq: u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]),
+            tx_ns: u64::from_be_bytes(payload[8..16].try_into().expect("length checked")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Probe {
+            flow_id: 7,
+            seq: 123_456,
+            tx_ns: 9_876_543_210,
+        };
+        let mut buf = [0u8; 18]; // the min-frame UDP payload size
+        p.write_to(&mut buf);
+        assert_eq!(Probe::parse(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn fits_min_frame_payload() {
+        // 64 B wire frame = 60 B frame = 14 eth + 20 ip + 8 udp + 18 payload.
+        assert!(PROBE_LEN <= 18, "probe must fit a minimum-size frame");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = [0u8; PROBE_LEN];
+        Probe {
+            flow_id: 0,
+            seq: 0,
+            tx_ns: 0,
+        }
+        .write_to(&mut buf);
+        buf[0] = 0xFF;
+        assert!(matches!(
+            Probe::parse(&buf),
+            Err(ParseError::BadMagic { layer: "probe", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            Probe::parse(&[0u8; PROBE_LEN - 1]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe payload needs")]
+    fn write_to_short_buffer_panics() {
+        let mut buf = [0u8; 8];
+        Probe {
+            flow_id: 0,
+            seq: 0,
+            tx_ns: 0,
+        }
+        .write_to(&mut buf);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(flow_id: u16, seq: u32, tx_ns: u64) {
+            let p = Probe { flow_id, seq, tx_ns };
+            let mut buf = [0u8; PROBE_LEN];
+            p.write_to(&mut buf);
+            prop_assert_eq!(Probe::parse(&buf).unwrap(), p);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! UDP headers (RFC 768) with pseudo-header checksums.
+
+use crate::checksum;
+use crate::error::ParseError;
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub length: u16,
+}
+
+/// Accumulates the IPv4 pseudo-header (RFC 768) into a checksum sum.
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, udp_len: u16) -> u32 {
+    let mut pseudo = Vec::with_capacity(12);
+    pseudo.extend_from_slice(&src.octets());
+    pseudo.extend_from_slice(&dst.octets());
+    pseudo.push(0);
+    pseudo.push(17); // protocol UDP
+    pseudo.extend_from_slice(&udp_len.to_be_bytes());
+    checksum::sum(&pseudo)
+}
+
+impl UdpHeader {
+    /// Builds a header for `payload_len` bytes of payload.
+    ///
+    /// # Panics
+    /// Panics if the UDP length would exceed `u16::MAX`.
+    pub fn for_payload(src_port: u16, dst_port: u16, payload_len: usize) -> UdpHeader {
+        let length = HEADER_LEN + payload_len;
+        assert!(length <= usize::from(u16::MAX), "UDP datagram too large");
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: length as u16,
+        }
+    }
+
+    /// Serializes header plus `payload` into `out`, computing the checksum
+    /// over the pseudo-header, header, and payload.
+    ///
+    /// Per RFC 768 a computed checksum of zero is transmitted as `0xFFFF`
+    /// (zero means "no checksum", which we never emit).
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8], out: &mut Vec<u8>) {
+        debug_assert_eq!(usize::from(self.length), HEADER_LEN + payload.len());
+        let start = out.len();
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(payload);
+        let acc = pseudo_header_sum(src, dst, self.length).wrapping_add(checksum::sum(&out[start..]));
+        let mut csum = checksum::finish(acc);
+        if csum == 0 {
+            csum = 0xFFFF;
+        }
+        out[start + 6..start + 8].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and validates a UDP datagram; returns header and payload.
+    ///
+    /// `src`/`dst` are needed for the pseudo-header checksum. A zero
+    /// checksum field means "checksum disabled" and is accepted (legal over
+    /// IPv4).
+    pub fn parse<'a>(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        data: &'a [u8],
+    ) -> Result<(UdpHeader, &'a [u8]), ParseError> {
+        if data.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "udp",
+                needed: HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]);
+        if usize::from(length) < HEADER_LEN || usize::from(length) > data.len() {
+            return Err(ParseError::BadLength {
+                layer: "udp",
+                claimed: usize::from(length),
+                actual: data.len(),
+            });
+        }
+        let datagram = &data[..usize::from(length)];
+        let rx_csum = u16::from_be_bytes([data[6], data[7]]);
+        if rx_csum != 0 {
+            let acc = pseudo_header_sum(src, dst, length).wrapping_add(checksum::sum(datagram));
+            if checksum::finish(acc) != 0 {
+                return Err(ParseError::BadChecksum { layer: "udp" });
+            }
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                length,
+            },
+            &datagram[HEADER_LEN..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 1);
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let payload = b"pos measurement run";
+        let hdr = UdpHeader::for_payload(1234, 4321, payload.len());
+        let mut buf = Vec::new();
+        hdr.emit(SRC, DST, payload, &mut buf);
+        let (parsed, got) = UdpHeader::parse(SRC, DST, &buf).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        // The same datagram parsed with a different source IP must fail:
+        // this is exactly what the pseudo-header protects against.
+        let hdr = UdpHeader::for_payload(1, 2, 4);
+        let mut buf = Vec::new();
+        hdr.emit(SRC, DST, &[9, 9, 9, 9], &mut buf);
+        assert!(UdpHeader::parse(Ipv4Addr::new(10, 9, 9, 9), DST, &buf).is_err());
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let hdr = UdpHeader::for_payload(1, 2, 2);
+        let mut buf = Vec::new();
+        hdr.emit(SRC, DST, &[7, 7], &mut buf);
+        buf[6] = 0;
+        buf[7] = 0; // checksum disabled
+        let (parsed, _) = UdpHeader::parse(SRC, DST, &buf).unwrap();
+        assert_eq!(parsed.src_port, 1);
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let hdr = UdpHeader::for_payload(1, 2, 4);
+        let mut buf = Vec::new();
+        hdr.emit(SRC, DST, &[1, 2, 3, 4], &mut buf);
+        *buf.last_mut().unwrap() ^= 0x01;
+        assert_eq!(
+            UdpHeader::parse(SRC, DST, &buf).unwrap_err(),
+            ParseError::BadChecksum { layer: "udp" }
+        );
+    }
+
+    #[test]
+    fn truncated_and_bad_length_rejected() {
+        assert!(matches!(
+            UdpHeader::parse(SRC, DST, &[0; 7]),
+            Err(ParseError::Truncated { .. })
+        ));
+        let hdr = UdpHeader::for_payload(1, 2, 100);
+        let mut buf = Vec::new();
+        hdr.emit(SRC, DST, &[0; 100], &mut buf);
+        buf.truncate(50); // length field now exceeds the buffer
+        assert!(matches!(
+            UdpHeader::parse(SRC, DST, &buf),
+            Err(ParseError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_after_datagram_ignored() {
+        let hdr = UdpHeader::for_payload(5, 6, 2);
+        let mut buf = Vec::new();
+        hdr.emit(SRC, DST, &[0xA, 0xB], &mut buf);
+        buf.extend_from_slice(&[0u8; 30]); // Ethernet padding
+        let (_, payload) = UdpHeader::parse(SRC, DST, &buf).unwrap();
+        assert_eq!(payload, &[0xA, 0xB]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            src_port: u16, dst_port: u16,
+            src: [u8; 4], dst: [u8; 4],
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let src = Ipv4Addr::from(src);
+            let dst = Ipv4Addr::from(dst);
+            let hdr = UdpHeader::for_payload(src_port, dst_port, payload.len());
+            let mut buf = Vec::new();
+            hdr.emit(src, dst, &payload, &mut buf);
+            let (parsed, got) = UdpHeader::parse(src, dst, &buf).unwrap();
+            prop_assert_eq!(parsed, hdr);
+            prop_assert_eq!(got, &payload[..]);
+        }
+
+        /// The emitted checksum field is never the "disabled" value zero.
+        #[test]
+        fn prop_never_emits_zero_checksum(
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let hdr = UdpHeader::for_payload(0, 0, payload.len());
+            let mut buf = Vec::new();
+            hdr.emit(SRC, DST, &payload, &mut buf);
+            prop_assert!(buf[6] != 0 || buf[7] != 0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Generated artifact website.
+//!
+//! §4.4: the publication script *"generates a website and inserts all the
+//! collected artifacts documenting the experimental structure in a format
+//! that can be easily read by researchers."* The paper hosts this via
+//! GitHub pages; we generate the same two files locally: a `README.md`
+//! (what the repository shows) and an `index.html` (what the site serves),
+//! both listing every artifact with size and hash from the manifest.
+
+use crate::bundle::{Bundle, Manifest};
+
+/// Describes the experiment for the website header.
+#[derive(Debug, Clone, Default)]
+pub struct SiteInfo {
+    /// Experiment title.
+    pub title: String,
+    /// One-paragraph description.
+    pub description: String,
+    /// Repository URL the artifacts are published under (the `-g` argument
+    /// of the paper's `publish.py`).
+    pub repo_url: String,
+}
+
+fn human_size(bytes: u64) -> String {
+    if bytes >= 1_048_576 {
+        format!("{:.1} MiB", bytes as f64 / 1_048_576.0)
+    } else if bytes >= 1_024 {
+        format!("{:.1} KiB", bytes as f64 / 1_024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Sections the artifact listing is grouped into, by path prefix.
+fn section_of(path: &str) -> &'static str {
+    if path.starts_with("experiment") {
+        "Experiment scripts and variables"
+    } else if path.starts_with("figures") {
+        "Generated figures"
+    } else if path.contains("run-") {
+        "Measurement results"
+    } else if path.starts_with("hardware") || path.starts_with("topology") {
+        "Testbed documentation"
+    } else {
+        "Other artifacts"
+    }
+}
+
+/// Renders the `README.md` artifact listing.
+pub fn render_readme(info: &SiteInfo, manifest: &Manifest) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n\n", info.title));
+    out.push_str(&format!("{}\n\n", info.description));
+    if !info.repo_url.is_empty() {
+        out.push_str(&format!("Published at: <{}>\n\n", info.repo_url));
+    }
+    out.push_str(&format!(
+        "This bundle contains {} artifacts ({} total), fingerprinted in \
+         [`manifest.json`](manifest.json).\n\n",
+        manifest.files.len(),
+        human_size(manifest.total_size())
+    ));
+    let mut sections: std::collections::BTreeMap<&str, Vec<&crate::bundle::ManifestEntry>> =
+        std::collections::BTreeMap::new();
+    for f in &manifest.files {
+        sections.entry(section_of(&f.path)).or_default().push(f);
+    }
+    for (section, files) in sections {
+        out.push_str(&format!("## {section}\n\n"));
+        out.push_str("| artifact | size | sha256 |\n|---|---|---|\n");
+        for f in files {
+            out.push_str(&format!(
+                "| [`{p}`]({p}) | {s} | `{h}…` |\n",
+                p = f.path,
+                s = human_size(f.size),
+                h = &f.sha256[..16]
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the `index.html` site page.
+pub fn render_index_html(info: &SiteInfo, manifest: &Manifest) -> String {
+    let mut rows = String::new();
+    for f in &manifest.files {
+        rows.push_str(&format!(
+            "<tr><td><a href=\"{p}\">{p}</a></td><td>{s}</td><td><code>{h}</code></td></tr>\n",
+            p = f.path,
+            s = human_size(f.size),
+            h = &f.sha256[..16]
+        ));
+    }
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n\
+         <style>body{{font-family:sans-serif;max-width:60em;margin:2em auto}}\
+         table{{border-collapse:collapse;width:100%}}\
+         td,th{{border:1px solid #ccc;padding:4px 8px;text-align:left}}</style>\n\
+         </head>\n<body>\n<h1>{title}</h1>\n<p>{desc}</p>\n\
+         <p>{n} artifacts, {size} total. Integrity manifest: \
+         <a href=\"manifest.json\">manifest.json</a>.</p>\n\
+         <table>\n<tr><th>artifact</th><th>size</th><th>sha256 (truncated)</th></tr>\n\
+         {rows}</table>\n</body>\n</html>\n",
+        title = info.title,
+        desc = info.description,
+        n = manifest.files.len(),
+        size = human_size(manifest.total_size()),
+    )
+}
+
+/// Adds the website files to a bundle (so they ship with the artifacts).
+///
+/// The manifest is computed *before* inserting the site pages, so the
+/// pages list the scientific artifacts, not themselves.
+pub fn attach_site(bundle: &mut Bundle, info: &SiteInfo) {
+    let manifest = bundle.manifest();
+    bundle.add_file("README.md", render_readme(info, &manifest));
+    bundle.add_file("index.html", render_index_html(info, &manifest));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (SiteInfo, Manifest) {
+        let mut b = Bundle::new("router");
+        b.add_file("experiment/dut/setup.sh", "sysctl -w net.ipv4.ip_forward=1\n");
+        b.add_file("run-0000/loadgen_measurement.log", "TX: 1\n");
+        b.add_file("figures/throughput.svg", "<svg/>");
+        b.add_file("topology.txt", "a <-> b\n");
+        let info = SiteInfo {
+            title: "pos Linux router experiment".into(),
+            description: "Forwarding throughput of a Linux router.".into(),
+            repo_url: "https://github.com/user/pos-artifacts".into(),
+        };
+        (info, b.manifest())
+    }
+
+    #[test]
+    fn readme_lists_sections_and_files() {
+        let (info, manifest) = sample();
+        let md = render_readme(&info, &manifest);
+        assert!(md.starts_with("# pos Linux router experiment"));
+        assert!(md.contains("## Experiment scripts and variables"));
+        assert!(md.contains("## Measurement results"));
+        assert!(md.contains("## Generated figures"));
+        assert!(md.contains("## Testbed documentation"));
+        assert!(md.contains("`experiment/dut/setup.sh`"));
+        assert!(md.contains("4 artifacts"));
+        assert!(md.contains("https://github.com/user/pos-artifacts"));
+    }
+
+    #[test]
+    fn html_lists_every_artifact() {
+        let (info, manifest) = sample();
+        let html = render_index_html(&info, &manifest);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        for f in &manifest.files {
+            assert!(html.contains(&f.path), "missing {}", f.path);
+            assert!(html.contains(&f.sha256[..16]));
+        }
+        assert!(html.contains("manifest.json"));
+    }
+
+    #[test]
+    fn attach_site_adds_pages_listing_artifacts_only() {
+        let mut b = Bundle::new("router");
+        b.add_file("run-0000/x.log", "data");
+        let info = SiteInfo {
+            title: "t".into(),
+            description: "d".into(),
+            repo_url: String::new(),
+        };
+        attach_site(&mut b, &info);
+        assert_eq!(b.len(), 3);
+        let readme = String::from_utf8(b.get("README.md").unwrap().to_vec()).unwrap();
+        assert!(readme.contains("run-0000/x.log"));
+        assert!(
+            !readme.contains("index.html"),
+            "site pages must not list themselves"
+        );
+        assert!(readme.contains("1 artifacts"));
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(17), "17 B");
+        assert_eq!(human_size(2_048), "2.0 KiB");
+        assert_eq!(human_size(3 * 1_048_576), "3.0 MiB");
+    }
+}

@@ -1,0 +1,42 @@
+//! # pos-simkernel
+//!
+//! Deterministic discrete-event simulation kernel used by every simulated
+//! component of the pos reproduction.
+//!
+//! The pos paper's central promise is *repeatability*: the same experiment
+//! files produce the same results. Our testbed is simulated, so we make that
+//! promise literal — every component draws time from a virtual [`SimTime`]
+//! clock and randomness from explicitly seeded [`rng::SimRng`] streams.
+//! Running the same experiment with the same seed is bit-reproducible.
+//!
+//! The kernel deliberately follows the smoltcp design ethos: simplicity and
+//! robustness over type-level cleverness. It provides three small building
+//! blocks:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`EventQueue`] — a monotonic, deterministically tie-broken event queue,
+//! * [`rng::SimRng`] — a seedable, portable xoshiro256\*\* RNG with
+//!   hierarchical stream derivation so each component gets an independent,
+//!   reproducible stream.
+//!
+//! ```
+//! use pos_simkernel::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "second");
+//! q.schedule(SimTime::ZERO, "first");
+//! assert_eq!(q.pop().unwrap().1, "first");
+//! assert_eq!(q.pop().unwrap().1, "second");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEntry, TraceLevel};

@@ -1,0 +1,269 @@
+//! Deterministic event queue.
+//!
+//! A classic discrete-event future-event list. Two properties matter for
+//! reproducibility:
+//!
+//! 1. **Monotonicity** — events cannot be scheduled in the past; the clock
+//!    only moves forward.
+//! 2. **Deterministic tie-breaking** — events scheduled for the same instant
+//!    pop in insertion order (FIFO), independent of heap internals. Without
+//!    this, a binary heap would order equal-time events arbitrarily and two
+//!    runs of the same experiment could diverge.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled on the queue: the instant it fires plus its payload.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number; breaks ties between equal instants.
+    seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event is on top,
+        // and the lowest sequence number among equal instants.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list with a built-in virtual clock.
+///
+/// `now()` is the time of the most recently popped event; scheduling before
+/// `now()` panics, which turns causality violations into immediate failures
+/// instead of silent reordering.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current virtual time: the instant of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting to fire.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (simulation progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than [`Self::now`]: an event cannot be
+    /// scheduled in the past.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} < now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// The instant of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event, advancing the clock to its instant.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        self.popped += 1;
+        Some((ev.at, ev.event))
+    }
+
+    /// Pops the earliest event only if it fires at or before `deadline`.
+    ///
+    /// Used to run a simulation up to a horizon: events beyond the deadline
+    /// stay queued and the clock does not advance past them.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(10), "a"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(20), "b"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(30), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i, "tie-break must be insertion order");
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(2), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.pop();
+        q.schedule(q.now(), 2); // zero-delay follow-up event
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(1), 2));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "in");
+        q.schedule(SimTime::from_secs(10), "out");
+        assert_eq!(q.pop_until(SimTime::from_secs(5)).unwrap().1, "in");
+        assert!(q.pop_until(SimTime::from_secs(5)).is_none());
+        assert_eq!(q.len(), 1, "event past deadline stays queued");
+        assert_eq!(q.now(), SimTime::from_secs(1), "clock not advanced past deadline");
+    }
+
+    #[test]
+    fn counters_track_progress() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule(SimTime::from_nanos(i), i);
+        }
+        assert_eq!(q.len(), 5);
+        q.pop();
+        q.pop();
+        assert_eq!(q.events_processed(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    proptest! {
+        /// For any batch of events, pop order is sorted by time, and within
+        /// equal times by insertion order.
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(*t), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+            expected.sort(); // stable on (time, insertion index)
+            let mut got = Vec::new();
+            while let Some((t, i)) = q.pop() {
+                got.push((t.as_nanos(), i));
+            }
+            prop_assert_eq!(got, expected);
+        }
+
+        /// The clock never moves backwards no matter the schedule.
+        #[test]
+        fn prop_clock_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for t in &times {
+                q.schedule(SimTime::from_nanos(*t), ());
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, ())) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                // Scheduling relative to now is always legal.
+                if q.len() < 400 && t.as_nanos() % 7 == 0 {
+                    q.schedule(t + SimDuration::from_nanos(3), ());
+                }
+            }
+        }
+    }
+}

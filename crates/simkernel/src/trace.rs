@@ -1,0 +1,229 @@
+//! Simulation trace log.
+//!
+//! pos captures *all* output produced during an experiment and uploads it to
+//! the testbed controller (§4.4 of the paper: "The complete output of the
+//! experiment script is captured and stored in the result folder"). The
+//! [`Trace`] type is the simulated equivalent of that capture channel: a
+//! bounded, timestamped log that components append to and the controller
+//! drains into result files.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Severity of a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// High-volume internals (per-packet decisions).
+    Trace,
+    /// Component state changes (boots, queue overflows).
+    Debug,
+    /// Experiment-level progress (run started / finished).
+    Info,
+    /// Anomalies that do not abort the experiment.
+    Warn,
+    /// Failures the controller must react to.
+    Error,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Trace => "TRACE",
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One captured log line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Virtual time at which the entry was produced.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Producing component ("dut", "loadgen", "controller", ...).
+    pub component: String,
+    /// The message text.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.component, self.message
+        )
+    }
+}
+
+/// A bounded trace buffer with a minimum-severity filter.
+///
+/// When the buffer is full the *oldest* entries are discarded (ring
+/// semantics) and a drop counter records how many were lost, so capture gaps
+/// are visible instead of silent.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    min_level: TraceLevel,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536)
+    }
+}
+
+impl Trace {
+    /// Creates a trace buffer holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Trace {
+            entries: VecDeque::new(),
+            capacity,
+            min_level: TraceLevel::Trace,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the minimum severity; entries below it are not recorded.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Appends an entry; evicts the oldest entry when at capacity.
+    pub fn log(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            level,
+            component: component.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained entries in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Drains all retained entries, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<TraceEntry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Renders the retained entries as the captured text artifact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "[capture gap: {} earlier entries evicted]\n",
+                self.dropped
+            ));
+        }
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_msgs(t: &Trace) -> Vec<String> {
+        t.iter().map(|e| e.message.clone()).collect()
+    }
+
+    #[test]
+    fn logs_and_renders() {
+        let mut t = Trace::new(16);
+        t.log(SimTime::from_secs(1), TraceLevel::Info, "dut", "booted");
+        t.log(SimTime::from_secs(2), TraceLevel::Warn, "dut", "queue full");
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(text.contains("[1s INFO dut] booted"));
+        assert!(text.contains("[2s WARN dut] queue full"));
+    }
+
+    #[test]
+    fn ring_eviction_keeps_newest_and_counts_drops() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.log(SimTime::from_nanos(i), TraceLevel::Info, "c", format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(entry_msgs(&t), vec!["m2", "m3", "m4"]);
+        assert!(t.render().starts_with("[capture gap: 2"));
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let mut t = Trace::new(8);
+        t.set_min_level(TraceLevel::Warn);
+        t.log(SimTime::ZERO, TraceLevel::Debug, "c", "hidden");
+        t.log(SimTime::ZERO, TraceLevel::Error, "c", "shown");
+        assert_eq!(entry_msgs(&t), vec!["shown"]);
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let mut t = Trace::new(8);
+        t.log(SimTime::ZERO, TraceLevel::Info, "c", "a");
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(TraceLevel::Trace < TraceLevel::Debug);
+        assert!(TraceLevel::Debug < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Warn);
+        assert!(TraceLevel::Warn < TraceLevel::Error);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        Trace::new(0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The multi-user reservation calendar.
+//!
+//! §4.4: *"As we operate a multi-user testbed, we use an integrated
+//! calendar to temporally separate the experimental devices between users.
+//! Only if the calendar indicates that the devices are free for the planned
+//! duration of the experiment, the allocation can be created. [...] using
+//! a node in more than one experiment at the same time is prohibited."*
+
+use pos_simkernel::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReservationId(pub u64);
+
+/// A time slice of a set of hosts, held by one user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Identifier.
+    pub id: ReservationId,
+    /// Owning user.
+    pub user: String,
+    /// Reserved host names.
+    pub hosts: Vec<String>,
+    /// Start of the slice (inclusive).
+    pub start: SimTime,
+    /// End of the slice (exclusive).
+    pub end: SimTime,
+}
+
+impl Reservation {
+    /// True if this reservation covers `host` at any instant of `[start, end)`.
+    fn overlaps(&self, host: &str, start: SimTime, end: SimTime) -> bool {
+        self.hosts.iter().any(|h| h == host) && start < self.end && self.start < end
+    }
+}
+
+/// Why a reservation could not be created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReservationError {
+    /// A host is already reserved in the requested window.
+    Conflict {
+        /// The contended host.
+        host: String,
+        /// The existing reservation's owner.
+        holder: String,
+        /// When the conflicting reservation ends.
+        until: SimTime,
+    },
+    /// The request was empty or zero-length.
+    BadRequest {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReservationError::Conflict { host, holder, until } => {
+                write!(f, "host {host} reserved by {holder} until {until}")
+            }
+            ReservationError::BadRequest { reason } => write!(f, "bad reservation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ReservationError {}
+
+/// The calendar: all current and future reservations.
+#[derive(Debug, Clone, Default)]
+pub struct Calendar {
+    reservations: Vec<Reservation>,
+    next_id: u64,
+}
+
+impl Calendar {
+    /// An empty calendar.
+    pub fn new() -> Calendar {
+        Calendar::default()
+    }
+
+    /// Creates a reservation for `hosts` over `[start, start + duration)`.
+    pub fn reserve(
+        &mut self,
+        user: impl Into<String>,
+        hosts: &[String],
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Result<ReservationId, ReservationError> {
+        if hosts.is_empty() {
+            return Err(ReservationError::BadRequest {
+                reason: "no hosts requested".into(),
+            });
+        }
+        if duration == SimDuration::ZERO {
+            return Err(ReservationError::BadRequest {
+                reason: "zero-length reservation".into(),
+            });
+        }
+        let mut sorted = hosts.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != hosts.len() {
+            return Err(ReservationError::BadRequest {
+                reason: "duplicate hosts in request".into(),
+            });
+        }
+        let end = start + duration;
+        for host in &sorted {
+            if let Some(existing) = self
+                .reservations
+                .iter()
+                .find(|r| r.overlaps(host, start, end))
+            {
+                return Err(ReservationError::Conflict {
+                    host: host.clone(),
+                    holder: existing.user.clone(),
+                    until: existing.end,
+                });
+            }
+        }
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.reservations.push(Reservation {
+            id,
+            user: user.into(),
+            hosts: sorted,
+            start,
+            end,
+        });
+        Ok(id)
+    }
+
+    /// Releases a reservation early. Returns the reservation if it existed.
+    pub fn release(&mut self, id: ReservationId) -> Option<Reservation> {
+        let idx = self.reservations.iter().position(|r| r.id == id)?;
+        Some(self.reservations.remove(idx))
+    }
+
+    /// True if `host` is unreserved over the whole window.
+    pub fn is_free(&self, host: &str, start: SimTime, end: SimTime) -> bool {
+        !self.reservations.iter().any(|r| r.overlaps(host, start, end))
+    }
+
+    /// The user currently holding `host` at instant `at`, if any.
+    pub fn holder_at(&self, host: &str, at: SimTime) -> Option<&Reservation> {
+        self.reservations
+            .iter()
+            .find(|r| r.hosts.iter().any(|h| h == host) && r.start <= at && at < r.end)
+    }
+
+    /// Earliest instant `>= earliest` at which *all* `hosts` are free for
+    /// `duration`. Scans reservation boundaries, so it always terminates.
+    pub fn find_free_slot(
+        &self,
+        hosts: &[String],
+        duration: SimDuration,
+        earliest: SimTime,
+    ) -> SimTime {
+        // Candidate starts: `earliest` and every reservation end after it.
+        let mut candidates: Vec<SimTime> = vec![earliest];
+        candidates.extend(
+            self.reservations
+                .iter()
+                .filter(|r| r.end > earliest && r.hosts.iter().any(|h| hosts.contains(h)))
+                .map(|r| r.end),
+        );
+        candidates.sort();
+        for start in candidates {
+            let end = start + duration;
+            if hosts.iter().all(|h| self.is_free(h, start, end)) {
+                return start;
+            }
+        }
+        unreachable!("the instant after the last reservation is always free")
+    }
+
+    /// All reservations, in creation order.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hosts(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn reserve_then_conflict() {
+        let mut c = Calendar::new();
+        let id = c
+            .reserve("alice", &hosts(&["vriga", "vtartu"]), SimTime::ZERO, SimDuration::from_hours(3))
+            .unwrap();
+        // Bob wants vtartu inside Alice's window: rejected with context.
+        let err = c
+            .reserve("bob", &hosts(&["vtartu"]), SimTime::from_secs(600), SimDuration::from_hours(1))
+            .unwrap_err();
+        match err {
+            ReservationError::Conflict { host, holder, until } => {
+                assert_eq!(host, "vtartu");
+                assert_eq!(holder, "alice");
+                assert_eq!(until, SimTime::ZERO + SimDuration::from_hours(3));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A different host in the same window is fine: parallel experiments.
+        c.reserve("bob", &hosts(&["vvilnius"]), SimTime::ZERO, SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(c.reservations().len(), 2);
+        let _ = id;
+    }
+
+    #[test]
+    fn back_to_back_reservations_do_not_conflict() {
+        let mut c = Calendar::new();
+        c.reserve("alice", &hosts(&["dut"]), SimTime::ZERO, SimDuration::from_hours(1))
+            .unwrap();
+        // End is exclusive: bob can start exactly when alice ends.
+        c.reserve("bob", &hosts(&["dut"]), SimTime::ZERO + SimDuration::from_hours(1), SimDuration::from_hours(1))
+            .unwrap();
+    }
+
+    #[test]
+    fn release_frees_the_slot() {
+        let mut c = Calendar::new();
+        let id = c
+            .reserve("alice", &hosts(&["dut"]), SimTime::ZERO, SimDuration::from_hours(3))
+            .unwrap();
+        assert!(!c.is_free("dut", SimTime::ZERO, SimTime::from_secs(1)));
+        let released = c.release(id).unwrap();
+        assert_eq!(released.user, "alice");
+        assert!(c.is_free("dut", SimTime::ZERO, SimTime::from_secs(1)));
+        assert!(c.release(id).is_none(), "double release returns None");
+    }
+
+    #[test]
+    fn holder_at_reports_current_user() {
+        let mut c = Calendar::new();
+        c.reserve("alice", &hosts(&["dut"]), SimTime::from_secs(100), SimDuration::from_secs(100))
+            .unwrap();
+        assert!(c.holder_at("dut", SimTime::from_secs(50)).is_none());
+        assert_eq!(c.holder_at("dut", SimTime::from_secs(150)).unwrap().user, "alice");
+        assert!(c.holder_at("dut", SimTime::from_secs(200)).is_none(), "end exclusive");
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let mut c = Calendar::new();
+        assert!(matches!(
+            c.reserve("a", &[], SimTime::ZERO, SimDuration::from_secs(1)),
+            Err(ReservationError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            c.reserve("a", &hosts(&["x"]), SimTime::ZERO, SimDuration::ZERO),
+            Err(ReservationError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            c.reserve("a", &hosts(&["x", "x"]), SimTime::ZERO, SimDuration::from_secs(1)),
+            Err(ReservationError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn find_free_slot_skips_busy_windows() {
+        let mut c = Calendar::new();
+        c.reserve("alice", &hosts(&["dut"]), SimTime::ZERO, SimDuration::from_hours(2))
+            .unwrap();
+        c.reserve("bob", &hosts(&["dut"]), SimTime::ZERO + SimDuration::from_hours(2), SimDuration::from_hours(1))
+            .unwrap();
+        let slot = c.find_free_slot(&hosts(&["dut", "loadgen"]), SimDuration::from_hours(3), SimTime::ZERO);
+        assert_eq!(slot, SimTime::ZERO + SimDuration::from_hours(3));
+        // And the found slot is actually reservable.
+        c.reserve("carol", &hosts(&["dut", "loadgen"]), slot, SimDuration::from_hours(3))
+            .unwrap();
+    }
+
+    #[test]
+    fn find_free_slot_fits_gap_between_reservations() {
+        let mut c = Calendar::new();
+        c.reserve("alice", &hosts(&["dut"]), SimTime::ZERO, SimDuration::from_hours(1))
+            .unwrap();
+        c.reserve("bob", &hosts(&["dut"]), SimTime::ZERO + SimDuration::from_hours(4), SimDuration::from_hours(1))
+            .unwrap();
+        // A 2h experiment fits in the 1h-4h gap.
+        let slot = c.find_free_slot(&hosts(&["dut"]), SimDuration::from_hours(2), SimTime::ZERO);
+        assert_eq!(slot, SimTime::ZERO + SimDuration::from_hours(1));
+    }
+
+    proptest! {
+        /// However reservations are created, no two ever overlap on a host.
+        #[test]
+        fn prop_no_double_booking(
+            requests in proptest::collection::vec(
+                (0u8..4, 0u64..100, 1u64..50, 0u8..3), 0..30
+            )
+        ) {
+            let mut c = Calendar::new();
+            for (host_n, start, dur, user_n) in requests {
+                let _ = c.reserve(
+                    format!("user{user_n}"),
+                    &[format!("host{host_n}")],
+                    SimTime::from_secs(start),
+                    SimDuration::from_secs(dur),
+                );
+            }
+            let rs = c.reservations();
+            for (i, a) in rs.iter().enumerate() {
+                for b in rs.iter().skip(i + 1) {
+                    for h in &a.hosts {
+                        prop_assert!(
+                            !b.overlaps(h, a.start, a.end),
+                            "reservations {:?} and {:?} overlap on {h}", a.id, b.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

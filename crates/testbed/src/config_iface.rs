@@ -1,0 +1,110 @@
+//! Configuration interfaces.
+//!
+//! §4.2: *"For a typical Linux server, we use SSH as the configuration
+//! interface. IPMI and SSH are given only as examples; thus, they can be
+//! replaced with different protocols, depending on the APIs provided by
+//! the experiment hosts. pos supports configuration and initialization
+//! APIs for devices via SNMP or HTTP."*
+//!
+//! The variants differ in two observable ways: per-command latency, and
+//! whether the device offers a shell at all. A switch managed via SNMP or
+//! HTTP executes only *registered* management commands (the pluggable
+//! API-backed handlers); shell builtins like `echo` or `sysctl` do not
+//! exist there.
+
+use pos_simkernel::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the controller talks to a booted device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfigInterface {
+    /// SSH to a Linux userland — the common case.
+    Ssh,
+    /// A serial console: same shell, much slower round trips.
+    SerialConsole,
+    /// SNMP management API — no shell.
+    Snmp,
+    /// HTTP/REST management API — no shell.
+    Http,
+}
+
+impl fmt::Display for ConfigInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConfigInterface::Ssh => "ssh",
+            ConfigInterface::SerialConsole => "serial",
+            ConfigInterface::Snmp => "snmp",
+            ConfigInterface::Http => "http",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ConfigInterface {
+    /// Connection + dispatch overhead per command.
+    pub fn command_overhead(self) -> SimDuration {
+        match self {
+            ConfigInterface::Ssh => SimDuration::from_millis(20),
+            ConfigInterface::SerialConsole => SimDuration::from_millis(150),
+            ConfigInterface::Snmp => SimDuration::from_millis(5),
+            ConfigInterface::Http => SimDuration::from_millis(10),
+        }
+    }
+
+    /// Whether the device exposes a shell (builtin commands, file
+    /// upload). Management-API devices do not.
+    pub fn has_shell(self) -> bool {
+        matches!(self, ConfigInterface::Ssh | ConfigInterface::SerialConsole)
+    }
+
+    /// The natural interface for a device kind.
+    pub fn default_for(kind: crate::host::DeviceKind) -> ConfigInterface {
+        match kind {
+            crate::host::DeviceKind::BareMetal
+            | crate::host::DeviceKind::VirtualMachine
+            | crate::host::DeviceKind::HardwareLoadGen => ConfigInterface::Ssh,
+            crate::host::DeviceKind::Switch => ConfigInterface::Snmp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::DeviceKind;
+
+    #[test]
+    fn shell_availability() {
+        assert!(ConfigInterface::Ssh.has_shell());
+        assert!(ConfigInterface::SerialConsole.has_shell());
+        assert!(!ConfigInterface::Snmp.has_shell());
+        assert!(!ConfigInterface::Http.has_shell());
+    }
+
+    #[test]
+    fn serial_is_slowest() {
+        let serial = ConfigInterface::SerialConsole.command_overhead();
+        for other in [ConfigInterface::Ssh, ConfigInterface::Snmp, ConfigInterface::Http] {
+            assert!(serial > other.command_overhead());
+        }
+    }
+
+    #[test]
+    fn defaults_match_device_kinds() {
+        assert_eq!(
+            ConfigInterface::default_for(DeviceKind::BareMetal),
+            ConfigInterface::Ssh
+        );
+        assert_eq!(
+            ConfigInterface::default_for(DeviceKind::Switch),
+            ConfigInterface::Snmp
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ConfigInterface::Ssh.to_string(), "ssh");
+        assert_eq!(ConfigInterface::Snmp.to_string(), "snmp");
+    }
+}

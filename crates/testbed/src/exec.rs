@@ -1,0 +1,272 @@
+//! Command execution over the configuration interface.
+//!
+//! §4.2: *"For a typical Linux server, we use SSH as the configuration
+//! interface."* Experiment scripts are sequences of command lines; the
+//! testbed tokenizes them shell-style and dispatches to a command registry
+//! (builtins live in [`crate::testbed`]; experiment-specific commands like
+//! `moongen` are registered by higher layers).
+
+use pos_simkernel::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of one executed command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandResult {
+    /// Process exit code; 0 is success.
+    pub exit_code: i32,
+    /// Captured standard output.
+    pub stdout: String,
+    /// Captured standard error.
+    pub stderr: String,
+    /// Virtual time the command consumed.
+    pub duration: SimDuration,
+}
+
+impl CommandResult {
+    /// A successful result with the given stdout.
+    pub fn ok(stdout: impl Into<String>) -> CommandResult {
+        CommandResult {
+            exit_code: 0,
+            stdout: stdout.into(),
+            stderr: String::new(),
+            duration: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A failure with the given exit code and stderr.
+    pub fn fail(exit_code: i32, stderr: impl Into<String>) -> CommandResult {
+        CommandResult {
+            exit_code,
+            stdout: String::new(),
+            stderr: stderr.into(),
+            duration: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Sets the consumed duration.
+    pub fn with_duration(mut self, d: SimDuration) -> CommandResult {
+        self.duration = d;
+        self
+    }
+
+    /// True on exit code zero.
+    pub fn success(&self) -> bool {
+        self.exit_code == 0
+    }
+}
+
+/// Errors raised by the execution layer itself (not by the command).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The host does not exist in the testbed.
+    UnknownHost {
+        /// Requested host name.
+        host: String,
+    },
+    /// The host is not reachable (off, booting, or crashed) — SSH times out.
+    HostUnreachable {
+        /// The host.
+        host: String,
+        /// Its power state, stringified.
+        state: String,
+    },
+    /// The command line was empty or unparseable.
+    BadCommandLine {
+        /// What was wrong.
+        reason: String,
+    },
+    /// No handler is registered for the command.
+    CommandNotFound {
+        /// The command name.
+        command: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownHost { host } => write!(f, "unknown host {host}"),
+            ExecError::HostUnreachable { host, state } => {
+                write!(f, "host {host} unreachable (state: {state})")
+            }
+            ExecError::BadCommandLine { reason } => write!(f, "bad command line: {reason}"),
+            ExecError::CommandNotFound { command } => {
+                write!(f, "{command}: command not found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Splits a command line into tokens, honoring single and double quotes
+/// and backslash escapes outside single quotes (a small, predictable
+/// subset of POSIX shell word splitting — no globbing, no expansion).
+pub fn split_command_line(line: &str) -> Result<Vec<String>, ExecError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_token = false;
+    let mut chars = line.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                in_token = true;
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => current.push(ch),
+                        None => {
+                            return Err(ExecError::BadCommandLine {
+                                reason: "unterminated single quote".into(),
+                            })
+                        }
+                    }
+                }
+            }
+            '"' => {
+                in_token = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(e) => current.push(e),
+                            None => {
+                                return Err(ExecError::BadCommandLine {
+                                    reason: "trailing backslash in double quote".into(),
+                                })
+                            }
+                        },
+                        Some(ch) => current.push(ch),
+                        None => {
+                            return Err(ExecError::BadCommandLine {
+                                reason: "unterminated double quote".into(),
+                            })
+                        }
+                    }
+                }
+            }
+            '\\' => {
+                in_token = true;
+                match chars.next() {
+                    Some(e) => current.push(e),
+                    None => {
+                        return Err(ExecError::BadCommandLine {
+                            reason: "trailing backslash".into(),
+                        })
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                if in_token {
+                    tokens.push(std::mem::take(&mut current));
+                    in_token = false;
+                }
+            }
+            c => {
+                in_token = true;
+                current.push(c);
+            }
+        }
+    }
+    if in_token {
+        tokens.push(current);
+    }
+    if tokens.is_empty() {
+        return Err(ExecError::BadCommandLine {
+            reason: "empty command".into(),
+        });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_simple_words() {
+        assert_eq!(
+            split_command_line("ip addr add 10.0.0.2/24 dev eno1").unwrap(),
+            vec!["ip", "addr", "add", "10.0.0.2/24", "dev", "eno1"]
+        );
+    }
+
+    #[test]
+    fn quotes_group_words() {
+        assert_eq!(
+            split_command_line(r#"echo "hello world" 'single quoted'"#).unwrap(),
+            vec!["echo", "hello world", "single quoted"]
+        );
+    }
+
+    #[test]
+    fn escapes_work_outside_single_quotes() {
+        assert_eq!(
+            split_command_line(r"echo a\ b").unwrap(),
+            vec!["echo", "a b"]
+        );
+        assert_eq!(
+            split_command_line(r#"echo "a\"b""#).unwrap(),
+            vec!["echo", "a\"b"]
+        );
+    }
+
+    #[test]
+    fn empty_quotes_produce_empty_token() {
+        assert_eq!(split_command_line(r#"cmd """#).unwrap(), vec!["cmd", ""]);
+    }
+
+    #[test]
+    fn unterminated_quotes_rejected() {
+        assert!(split_command_line("echo 'oops").is_err());
+        assert!(split_command_line("echo \"oops").is_err());
+        assert!(split_command_line("echo oops\\").is_err());
+    }
+
+    #[test]
+    fn empty_line_rejected() {
+        assert!(split_command_line("").is_err());
+        assert!(split_command_line("   \t ").is_err());
+    }
+
+    #[test]
+    fn extra_whitespace_collapsed() {
+        assert_eq!(
+            split_command_line("  a   b\t\tc  ").unwrap(),
+            vec!["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn command_result_helpers() {
+        let r = CommandResult::ok("out");
+        assert!(r.success());
+        assert_eq!(r.stdout, "out");
+        let r = CommandResult::fail(2, "bad").with_duration(SimDuration::from_secs(1));
+        assert!(!r.success());
+        assert_eq!(r.duration, SimDuration::from_secs(1));
+    }
+
+    proptest! {
+        /// Tokenizing never panics on arbitrary input.
+        #[test]
+        fn prop_tokenizer_total(line in ".{0,200}") {
+            let _ = split_command_line(&line);
+        }
+
+        /// Round-trip: quoting each token with single quotes re-tokenizes
+        /// to the same tokens (for tokens without single quotes).
+        #[test]
+        fn prop_quote_roundtrip(tokens in proptest::collection::vec("[a-zA-Z0-9 _./-]{1,10}", 1..8)) {
+            let line = tokens
+                .iter()
+                .map(|t| format!("'{t}'"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            prop_assert_eq!(split_command_line(&line).unwrap(), tokens);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Out-of-band initialization interfaces.
+//!
+//! §4.2: *"An example of the former used by pos to reset and boot servers
+//! is IPMI. Our testbed controller does not depend on the availability of
+//! IPMI: alternatives are other management APIs, such as Intel's vPro or
+//! AMD's Pro features, or a remotely switchable power plug that triggers a
+//! device reboot."* The defining property of every variant: it works even
+//! when the host's OS is wedged (R3).
+//!
+//! The variants differ in capability and timing:
+//!
+//! | interface | hard reset | power cycle time | boot time |
+//! |---|---|---|---|
+//! | IPMI | yes | seconds | ~70 s firmware + image |
+//! | vendor management (vPro-like) | yes | seconds | ~70 s |
+//! | power plug | off/on only (reset = off, wait, on) | ~10 s mandatory off time | ~70 s |
+//! | hypervisor | yes | instant | ~10 s |
+
+use pos_simkernel::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The management API a host's initialization goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitInterface {
+    /// Baseboard management controller speaking IPMI.
+    Ipmi,
+    /// Intel vPro / AMD Pro style vendor management.
+    VendorManagement,
+    /// A remotely switchable power plug; no reset command — the controller
+    /// must power off, wait for capacitors to drain, and power on.
+    PowerPlug,
+    /// Hypervisor API controlling a vpos VM.
+    Hypervisor,
+}
+
+impl fmt::Display for InitInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InitInterface::Ipmi => "ipmi",
+            InitInterface::VendorManagement => "vendor-mgmt",
+            InitInterface::PowerPlug => "power-plug",
+            InitInterface::Hypervisor => "hypervisor",
+        };
+        f.write_str(s)
+    }
+}
+
+impl InitInterface {
+    /// Whether the interface has a direct hard-reset command.
+    pub fn supports_reset(self) -> bool {
+        !matches!(self, InitInterface::PowerPlug)
+    }
+
+    /// Latency of a power-state command (on/off/reset request itself).
+    pub fn command_latency(self) -> SimDuration {
+        match self {
+            InitInterface::Ipmi | InitInterface::VendorManagement => SimDuration::from_secs(2),
+            InitInterface::PowerPlug => SimDuration::from_secs(1),
+            InitInterface::Hypervisor => SimDuration::from_millis(100),
+        }
+    }
+
+    /// Mandatory dwell time between power-off and power-on.
+    pub fn off_on_dwell(self) -> SimDuration {
+        match self {
+            InitInterface::PowerPlug => SimDuration::from_secs(10),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Time from power-on until the live image is fully booted, with a
+    /// deterministic-per-seed jitter (firmware POST times vary).
+    pub fn boot_time(self, rng: &mut SimRng) -> SimDuration {
+        let (base_s, jitter_s) = match self {
+            InitInterface::Ipmi | InitInterface::VendorManagement | InitInterface::PowerPlug => {
+                (70.0, 15.0)
+            }
+            InitInterface::Hypervisor => (10.0, 2.0),
+        };
+        let t = base_s + jitter_s * rng.uniform_f64();
+        SimDuration::from_secs_f64(t)
+    }
+
+    /// Probability that a single management command transiently fails
+    /// (BMCs are notoriously flaky; the controller retries).
+    pub fn transient_failure_chance(self) -> f64 {
+        match self {
+            InitInterface::Ipmi => 0.02,
+            InitInterface::VendorManagement => 0.01,
+            InitInterface::PowerPlug => 0.005,
+            InitInterface::Hypervisor => 0.0,
+        }
+    }
+}
+
+/// Errors from power operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PowerError {
+    /// The management endpoint did not answer; retrying usually helps.
+    TransientFailure {
+        /// The interface that failed.
+        interface: InitInterface,
+    },
+    /// The interface cannot perform the requested operation.
+    Unsupported {
+        /// The interface.
+        interface: InitInterface,
+        /// The operation, e.g. `"reset"`.
+        operation: &'static str,
+    },
+    /// No image was selected before the boot was requested.
+    NoImageSelected {
+        /// The affected host.
+        host: String,
+    },
+    /// The named host does not exist.
+    UnknownHost {
+        /// The requested name.
+        host: String,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::TransientFailure { interface } => {
+                write!(f, "{interface}: transient management failure")
+            }
+            PowerError::Unsupported {
+                interface,
+                operation,
+            } => write!(f, "{interface}: operation '{operation}' not supported"),
+            PowerError::NoImageSelected { host } => {
+                write!(f, "host {host}: no live image selected before boot")
+            }
+            PowerError::UnknownHost { host } => write!(f, "unknown host {host}"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_capability() {
+        assert!(InitInterface::Ipmi.supports_reset());
+        assert!(InitInterface::VendorManagement.supports_reset());
+        assert!(InitInterface::Hypervisor.supports_reset());
+        assert!(!InitInterface::PowerPlug.supports_reset());
+    }
+
+    #[test]
+    fn boot_time_ranges() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            let t = InitInterface::Ipmi.boot_time(&mut rng).as_secs_f64();
+            assert!((70.0..85.0).contains(&t), "got {t}");
+            let t = InitInterface::Hypervisor.boot_time(&mut rng).as_secs_f64();
+            assert!((10.0..12.0).contains(&t), "got {t}");
+        }
+    }
+
+    #[test]
+    fn vm_boot_is_much_faster_than_metal() {
+        let mut rng = SimRng::new(2);
+        let vm = InitInterface::Hypervisor.boot_time(&mut rng);
+        let metal = InitInterface::Ipmi.boot_time(&mut rng);
+        assert!(metal.as_nanos() > vm.as_nanos() * 4);
+    }
+
+    #[test]
+    fn power_plug_needs_dwell() {
+        assert!(InitInterface::PowerPlug.off_on_dwell() > SimDuration::ZERO);
+        assert_eq!(InitInterface::Ipmi.off_on_dwell(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(InitInterface::Ipmi.to_string(), "ipmi");
+        assert_eq!(InitInterface::PowerPlug.to_string(), "power-plug");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = PowerError::Unsupported {
+            interface: InitInterface::PowerPlug,
+            operation: "reset",
+        };
+        assert_eq!(e.to_string(), "power-plug: operation 'reset' not supported");
+        let e = PowerError::NoImageSelected {
+            host: "vtartu".into(),
+        };
+        assert!(e.to_string().contains("vtartu"));
+    }
+}

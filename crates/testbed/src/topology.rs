@@ -1,0 +1,237 @@
+//! The physical wiring plan.
+//!
+//! §4.2: *"To prevent any influence of switches or hubs on the observed
+//! results (R2), our testbed employs direct wiring between experiment
+//! hosts."* A topology is a set of point-to-point cables between host
+//! ports; each port carries at most one cable. §7 notes the limitation:
+//! cables are physical, so the topology cannot be changed programmatically
+//! — [`Topology::rewire`] exists but represents a human with a fiber in
+//! hand, which is why the controller never calls it during an experiment.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One end of a cable: a named host and a port index.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId {
+    /// Host name.
+    pub host: String,
+    /// Port index on that host.
+    pub port: usize,
+}
+
+impl PortId {
+    /// Convenience constructor.
+    pub fn new(host: impl Into<String>, port: usize) -> PortId {
+        PortId {
+            host: host.into(),
+            port,
+        }
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+/// Errors when editing the wiring plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A port already carries a cable.
+    PortInUse {
+        /// The occupied port.
+        port: PortId,
+    },
+    /// Both cable ends are the same port.
+    SelfLoop {
+        /// The port.
+        port: PortId,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::PortInUse { port } => write!(f, "port {port} already wired"),
+            TopologyError::SelfLoop { port } => write!(f, "cannot cable port {port} to itself"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The set of cables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// port -> peer port; symmetric.
+    wiring: BTreeMap<PortId, PortId>,
+}
+
+impl Topology {
+    /// An empty (unwired) topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Runs a cable between two ports.
+    pub fn wire(&mut self, a: PortId, b: PortId) -> Result<(), TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop { port: a });
+        }
+        for p in [&a, &b] {
+            if self.wiring.contains_key(p) {
+                return Err(TopologyError::PortInUse { port: p.clone() });
+            }
+        }
+        self.wiring.insert(a.clone(), b.clone());
+        self.wiring.insert(b, a);
+        Ok(())
+    }
+
+    /// Removes the cable at `port` (both ends). Returns the former peer.
+    pub fn unwire(&mut self, port: &PortId) -> Option<PortId> {
+        let peer = self.wiring.remove(port)?;
+        self.wiring.remove(&peer);
+        Some(peer)
+    }
+
+    /// Replaces whatever is at both ports with a new cable — the "human
+    /// with a fiber" operation of §7.
+    pub fn rewire(&mut self, a: PortId, b: PortId) -> Result<(), TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop { port: a });
+        }
+        self.unwire(&a);
+        self.unwire(&b);
+        self.wire(a, b)
+    }
+
+    /// The peer of `port`, if wired.
+    pub fn peer(&self, port: &PortId) -> Option<&PortId> {
+        self.wiring.get(port)
+    }
+
+    /// True if the two named hosts share at least one cable.
+    pub fn are_connected(&self, a: &str, b: &str) -> bool {
+        self.wiring
+            .iter()
+            .any(|(x, y)| x.host == a && y.host == b)
+    }
+
+    /// All cables, each reported once (lexicographically smaller end first).
+    pub fn cables(&self) -> Vec<(PortId, PortId)> {
+        self.wiring
+            .iter()
+            .filter(|(a, b)| a <= b)
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect()
+    }
+
+    /// Number of cables.
+    pub fn cable_count(&self) -> usize {
+        self.wiring.len() / 2
+    }
+
+    /// Renders the wiring as captured topology metadata.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (a, b) in self.cables() {
+            out.push_str(&format!("{a} <-> {b}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wire_and_query() {
+        let mut t = Topology::new();
+        t.wire(PortId::new("loadgen", 0), PortId::new("dut", 0)).unwrap();
+        t.wire(PortId::new("dut", 1), PortId::new("loadgen", 1)).unwrap();
+        assert_eq!(t.cable_count(), 2);
+        assert_eq!(
+            t.peer(&PortId::new("dut", 0)),
+            Some(&PortId::new("loadgen", 0))
+        );
+        assert!(t.are_connected("loadgen", "dut"));
+        assert!(t.are_connected("dut", "loadgen"));
+        assert!(!t.are_connected("dut", "other"));
+    }
+
+    #[test]
+    fn port_reuse_rejected() {
+        let mut t = Topology::new();
+        t.wire(PortId::new("a", 0), PortId::new("b", 0)).unwrap();
+        let err = t.wire(PortId::new("a", 0), PortId::new("c", 0)).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::PortInUse {
+                port: PortId::new("a", 0)
+            }
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        let err = t.wire(PortId::new("a", 0), PortId::new("a", 0)).unwrap_err();
+        assert!(matches!(err, TopologyError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn unwire_removes_both_directions() {
+        let mut t = Topology::new();
+        t.wire(PortId::new("a", 0), PortId::new("b", 0)).unwrap();
+        assert_eq!(t.unwire(&PortId::new("b", 0)), Some(PortId::new("a", 0)));
+        assert_eq!(t.cable_count(), 0);
+        assert!(t.peer(&PortId::new("a", 0)).is_none());
+        assert!(t.unwire(&PortId::new("a", 0)).is_none());
+    }
+
+    #[test]
+    fn rewire_replaces_existing_cables() {
+        let mut t = Topology::new();
+        t.wire(PortId::new("a", 0), PortId::new("b", 0)).unwrap();
+        t.wire(PortId::new("c", 0), PortId::new("d", 0)).unwrap();
+        // Move the cable: a:0 now goes to c:0; b:0 and d:0 end up bare.
+        t.rewire(PortId::new("a", 0), PortId::new("c", 0)).unwrap();
+        assert_eq!(t.peer(&PortId::new("a", 0)), Some(&PortId::new("c", 0)));
+        assert!(t.peer(&PortId::new("b", 0)).is_none());
+        assert!(t.peer(&PortId::new("d", 0)).is_none());
+        assert_eq!(t.cable_count(), 1);
+    }
+
+    #[test]
+    fn render_lists_each_cable_once() {
+        let mut t = Topology::new();
+        t.wire(PortId::new("loadgen", 0), PortId::new("dut", 0)).unwrap();
+        let s = t.render();
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("dut:0 <-> loadgen:0"));
+    }
+
+    proptest! {
+        /// Wiring is always symmetric and each port appears at most once.
+        #[test]
+        fn prop_wiring_invariants(ops in proptest::collection::vec((0u8..6, 0usize..4, 0u8..6, 0usize..4), 0..40)) {
+            let mut t = Topology::new();
+            for (ha, pa, hb, pb) in ops {
+                let a = PortId::new(format!("h{ha}"), pa);
+                let b = PortId::new(format!("h{hb}"), pb);
+                let _ = t.wire(a, b); // errors are fine; invariants must hold regardless
+            }
+            for (a, b) in t.cables() {
+                prop_assert_eq!(t.peer(&a), Some(&b));
+                prop_assert_eq!(t.peer(&b), Some(&a));
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+}

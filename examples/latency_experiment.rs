@@ -1,0 +1,105 @@
+//! Latency distributions: pos (bare metal) vs. vpos (KVM), rendered with
+//! the evaluation toolbox's distribution plots (CDF, HDR, violin,
+//! histogram) — the "latency distributions out-of-the-box" of §4.4.
+//!
+//! Note the Appendix-A caveat: *"in our VM, we cannot generate latency
+//! measurements, due to the limited hardware support"* — true for the real
+//! vpos, but our simulated virtio ports timestamp happily, so this example
+//! shows what the hardware testbed measures *and* what the VM would.
+//!
+//! Run with: `cargo run --release --example latency_experiment`
+
+use pos::eval::hdr::HdrHistogram;
+use pos::eval::plot::PlotSpec;
+use pos::eval::stats::Summary;
+use pos::loadgen::scenario::{run_forwarding_experiment, ForwardingScenario, Platform};
+use pos::simkernel::SimDuration;
+
+fn main() {
+    let out_dir = std::env::temp_dir().join("pos-latency-figures");
+    std::fs::create_dir_all(&out_dir).expect("mkdir figures");
+
+    // One measurement per platform, comfortably below saturation so the
+    // distribution reflects forwarding latency rather than queueing.
+    let mut samples: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (platform, rate) in [(Platform::Pos, 200_000.0), (Platform::Vpos, 10_000.0)] {
+        let scenario = ForwardingScenario {
+            duration: SimDuration::from_secs(2),
+            latency_sample_every: 4,
+            ..ForwardingScenario::new(platform, 64, rate)
+        };
+        let result = run_forwarding_experiment(&scenario);
+        let lat: Vec<f64> = result
+            .report
+            .latency_samples_ns
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        println!(
+            "{}: {} samples at {} kpps offered",
+            platform.name(),
+            lat.len(),
+            rate / 1e3
+        );
+        let s = Summary::of(&lat).expect("non-empty samples");
+        println!(
+            "  mean {:>10.0} ns   p50 {:>10.0}   p99 {:>10.0}   p99.9 {:>10.0}   max {:>10.0}",
+            s.mean,
+            s.percentile(50.0),
+            s.percentile(99.0),
+            s.percentile(99.9),
+            s.max
+        );
+        let mut hdr = HdrHistogram::new(3_600_000_000_000, 3);
+        for &v in &result.report.latency_samples_ns {
+            hdr.record(v);
+        }
+        println!("  HDR percentile series:");
+        for (p, v) in hdr.percentile_series() {
+            println!("    p{p:<6} {v:>12} ns");
+        }
+        samples.push((platform.name(), lat));
+    }
+
+    // The four distribution representations, exported in all formats.
+    let mut plots = vec![
+        ("latency_cdf", {
+            let mut p = PlotSpec::cdf("Forwarding latency CDF", "latency [ns]");
+            for (name, s) in &samples {
+                p = p.with_samples(*name, s.clone());
+            }
+            p
+        }),
+        ("latency_hdr", {
+            let mut p = PlotSpec::hdr("Forwarding latency by percentile", "latency [ns]");
+            for (name, s) in &samples {
+                p = p.with_samples(*name, s.clone());
+            }
+            p
+        }),
+        ("latency_violin", {
+            let mut p = PlotSpec::violin("Forwarding latency distribution", "latency [ns]");
+            for (name, s) in &samples {
+                p = p.with_samples(*name, s.clone());
+            }
+            p
+        }),
+    ];
+    // Histograms are per platform (the scales differ by ~40x).
+    for (name, s) in &samples {
+        plots.push((
+            match *name {
+                "pos" => "latency_hist_pos",
+                _ => "latency_hist_vpos",
+            },
+            PlotSpec::histogram(&format!("Latency histogram ({name})"), "latency [ns]", 40)
+                .with_samples(*name, s.clone()),
+        ));
+    }
+    for (stem, plot) in plots {
+        std::fs::write(out_dir.join(format!("{stem}.svg")), plot.render_svg()).expect("svg");
+        std::fs::write(out_dir.join(format!("{stem}.tex")), plot.render_tex()).expect("tex");
+        std::fs::write(out_dir.join(format!("{stem}.csv")), plot.render_csv()).expect("csv");
+    }
+    println!("\nfigures written to {}", out_dir.display());
+}

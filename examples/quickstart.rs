@@ -1,0 +1,81 @@
+//! Quickstart: the smallest complete pos experiment.
+//!
+//! Builds a two-host testbed (a load generator and a Linux-router DuT,
+//! directly wired), defines a fully scripted experiment with one loop
+//! variable, runs it through the pos controller, and reads the results
+//! back through the evaluation API.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pos::core::commands::register_all;
+use pos::core::controller::{Controller, RunOptions};
+use pos::core::experiment::{ExperimentSpec, RoleSpec};
+use pos::core::script::Script;
+use pos::core::vars::Variables;
+use pos::eval::loader::ResultSet;
+use pos::testbed::{HardwareSpec, InitInterface, PortId, Testbed};
+
+fn main() {
+    // ---------------------------------------------------------------- 1.
+    // The testbed: two bare-metal hosts, two direct cables (R2), IPMI
+    // power control (R3), everything seeded for repeatability.
+    let mut tb = Testbed::new(42);
+    tb.add_host("loadgen", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    tb.add_host("dut", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    tb.topology
+        .wire(PortId::new("loadgen", 0), PortId::new("dut", 0))
+        .expect("fresh ports");
+    tb.topology
+        .wire(PortId::new("dut", 1), PortId::new("loadgen", 1))
+        .expect("fresh ports");
+    register_all(&mut tb); // moongen + iperf commands
+
+    // ---------------------------------------------------------------- 2.
+    // The experiment: scripts (what to do) strictly separated from
+    // variables (with which values) — the paper's HTML/CSS analogy.
+    let mut dut = RoleSpec::new("dut", "dut");
+    dut.setup = Script::parse(
+        "ip link set $PORT0 up\n\
+         ip link set $PORT1 up\n\
+         sysctl -w net.ipv4.ip_forward=1\n\
+         pos_sync setup_done\n",
+    );
+    dut.measurement = Script::parse("sleep 1\npos_sync run_done\n");
+    dut.local_vars = Variables::new().with("PORT0", "enp24s0f0").with("PORT1", "enp24s0f1");
+
+    let mut loadgen = RoleSpec::new("loadgen", "loadgen");
+    loadgen.setup = Script::parse("pos_sync setup_done\n");
+    loadgen.measurement =
+        Script::parse("moongen --rate $pkt_rate --size 64 --time 1\npos_sync run_done\n");
+
+    let mut spec = ExperimentSpec::new("quickstart", "alice")
+        .with_role(loadgen)
+        .with_role(dut);
+    // One loop variable with three values = three measurement runs.
+    spec.loop_vars = Variables::new().with("pkt_rate", vec![50_000i64, 100_000, 200_000]);
+
+    // ---------------------------------------------------------------- 3.
+    // Run it. The controller allocates via the calendar, live-boots both
+    // hosts, runs the setup scripts in lockstep, then one measurement run
+    // per loop-variable combination, capturing everything.
+    let result_root = std::env::temp_dir().join("pos-quickstart-results");
+    let outcome = Controller::new(&mut tb)
+        .with_progress(|p| println!("  [progress] {p:?}"))
+        .run_experiment(&spec, &RunOptions::new(&result_root))
+        .expect("experiment runs");
+    println!(
+        "\nexperiment done: {}/{} runs ok, {} of virtual time, results in {}",
+        outcome.successes(),
+        outcome.runs.len(),
+        outcome.finished - outcome.started,
+        outcome.result_dir.display()
+    );
+
+    // ---------------------------------------------------------------- 4.
+    // Evaluate: load the result tree, join metadata, extract a series.
+    let set = ResultSet::load(&outcome.result_dir).expect("load results");
+    println!("\n  rate [pps]   forwarded [Mpps]");
+    for (x, y) in set.series("pkt_rate", |r| Some(r.report()?.rx_mpps())) {
+        println!("  {x:>10}   {y:.4}");
+    }
+}

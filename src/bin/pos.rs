@@ -1,0 +1,300 @@
+//! `pos` — the command-line face of the toolchain.
+//!
+//! Mirrors the workflow of Appendix A: scaffold an experiment directory,
+//! run it on a (simulated) testbed, evaluate the result tree into figures,
+//! and publish everything as a release bundle with a website.
+//!
+//! ```text
+//! pos init <dir>                        scaffold the case-study experiment
+//! pos run <dir> [options]               execute the experiment
+//!     --results <root>     result tree root       (default: ./results)
+//!     --testbed pos|vpos   hardware or VM testbed (default: pos)
+//!     --seed <n>           testbed seed           (default: 1799)
+//! pos eval <result-dir> [--out <dir>]   parse, aggregate, plot
+//! pos publish <result-dir> [options]    bundle + manifest + website
+//!     --out <dir>          release directory      (default: ./release)
+//!     --tar <file>         additionally write a tar archive
+//!     --title <text>       website title
+//! pos table1                            print the Table 1 comparison
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled: the CLI's needs are a
+//! dozen flags, not a dependency.
+
+use pos::core::commands::register_all;
+use pos::core::controller::{Controller, Progress, RunOptions};
+use pos::core::experiment::{linux_router_experiment, ExperimentSpec};
+use pos::eval::loader::ResultSet;
+use pos::eval::plot::PlotSpec;
+use pos::publish::bundle::{verify_dir, Bundle};
+use pos::publish::website::{attach_site, SiteInfo};
+use pos::testbed::{clone_virtual, CloneOptions, HardwareSpec, InitInterface, PortId, Testbed};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("init") => cmd_init(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("publish") => cmd_publish(&args[1..]),
+        Some("table1") => {
+            print!("{}", pos::core::requirements::render_table1());
+            Ok(())
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pos: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "pos — reproducible network experiments (CoNEXT '21 reproduction)\n\
+     \n\
+     usage:\n\
+     \x20 pos init <dir>                     scaffold the case-study experiment\n\
+     \x20 pos run <dir> [--results <root>] [--testbed pos|vpos] [--seed <n>]\n\
+     \x20 pos eval <result-dir> [--out <dir>]\n\
+     \x20 pos publish <result-dir> [--out <dir>] [--tar <file>] [--title <text>]\n\
+     \x20 pos table1                         print the testbed comparison\n"
+}
+
+/// Splits `args` into positionals and `--flag value` options.
+fn parse_opts(args: &[String]) -> Result<(Vec<&str>, std::collections::BTreeMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut opts = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(flag) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{flag} needs a value"))?;
+            opts.insert(flag, value.as_str());
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, opts))
+}
+
+fn cmd_init(args: &[String]) -> Result<(), String> {
+    let (pos_args, _) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos init <dir>".into());
+    };
+    let dir = Path::new(dir);
+    if dir.join("experiment.yml").exists() {
+        return Err(format!("{} already holds an experiment", dir.display()));
+    }
+    let spec = linux_router_experiment("vriga", "vtartu", 30, 10);
+    spec.to_dir(dir).map_err(|e| e.to_string())?;
+    println!(
+        "scaffolded `{}` ({} loop-variable combinations) in {}",
+        spec.name,
+        pos::core::loopvars::cross_product_size(&spec.loop_vars).unwrap_or(0),
+        dir.display()
+    );
+    println!("edit the scripts/variables, then: pos run {}", dir.display());
+    Ok(())
+}
+
+/// Builds a testbed matching an experiment's roles: one host per role,
+/// wired as the case-study topology requires (role0 port0 → role1 port0,
+/// role1 port1 → role0 port1 for two roles; a chain for more).
+fn build_testbed(spec: &ExperimentSpec, seed: u64, virtualized: bool) -> Result<Testbed, String> {
+    let mut tb = Testbed::new(seed);
+    for role in &spec.roles {
+        tb.add_host(&role.host, HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    }
+    let hosts = spec.hosts();
+    match hosts.as_slice() {
+        [] => return Err("experiment has no roles".into()),
+        [_single] => {}
+        [a, b] => {
+            tb.topology
+                .wire(PortId::new(a, 0), PortId::new(b, 0))
+                .map_err(|e| e.to_string())?;
+            tb.topology
+                .wire(PortId::new(b, 1), PortId::new(a, 1))
+                .map_err(|e| e.to_string())?;
+        }
+        many => {
+            for pair in many.windows(2) {
+                tb.topology
+                    .wire(PortId::new(&pair[0], 1), PortId::new(&pair[1], 0))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    let mut tb = if virtualized {
+        clone_virtual(&tb, CloneOptions::default())
+    } else {
+        tb
+    };
+    register_all(&mut tb);
+    Ok(tb)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos run <experiment-dir> [options]".into());
+    };
+    let spec = ExperimentSpec::from_dir(Path::new(dir))
+        .map_err(|e| format!("cannot load experiment from {dir}: {e}"))?;
+    spec.validate().map_err(|e| e.to_string())?;
+
+    let results = PathBuf::from(opts.get("results").copied().unwrap_or("results"));
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s}")))
+        .transpose()?
+        .unwrap_or(0x707);
+    let virtualized = match opts.get("testbed").copied().unwrap_or("pos") {
+        "pos" => false,
+        "vpos" => true,
+        other => return Err(format!("--testbed must be pos or vpos, got {other}")),
+    };
+
+    let mut tb = build_testbed(&spec, seed, virtualized)?;
+    println!(
+        "running `{}` on the {} testbed (seed {seed}, {} runs)...",
+        spec.name,
+        if virtualized { "vpos" } else { "pos" },
+        pos::core::loopvars::cross_product_size(&spec.loop_vars).unwrap_or(0)
+    );
+    let outcome = Controller::new(&mut tb)
+        .with_progress(|p| match p {
+            Progress::HostReady { host } => println!("  {host} booted"),
+            Progress::SetupDone => println!("  setup phase complete"),
+            Progress::RunDone { index, total, success, .. } => {
+                // The paper's progress bar, one line per run.
+                println!(
+                    "  run {}/{} {}",
+                    index + 1,
+                    total,
+                    if *success { "ok" } else { "FAILED" }
+                );
+            }
+        })
+        .run_experiment(&spec, &RunOptions::new(&results))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "done: {}/{} runs, {} recoveries, {} virtual time",
+        outcome.successes(),
+        outcome.runs.len(),
+        outcome.recoveries,
+        outcome.finished - outcome.started
+    );
+    println!("result tree: {}", outcome.result_dir.display());
+    println!("next: pos eval {}", outcome.result_dir.display());
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos eval <result-dir> [--out <dir>]".into());
+    };
+    let result_dir = Path::new(dir);
+    let set = ResultSet::load(result_dir).map_err(|e| e.to_string())?;
+    if set.is_empty() {
+        return Err(format!("no runs under {dir}"));
+    }
+    println!("{} runs loaded ({} successful)", set.len(), set.successful().len());
+    print!("{}", set.render_summary());
+
+    let out = opts
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| result_dir.join("figures"));
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    // The out-of-the-box throughput figure: forwarded rate over the rate
+    // loop variable, one series per packet size (falls back to a single
+    // series when the sweep has no pkt_sz).
+    let mut plot = PlotSpec::line("Forwarding throughput", "offered [Mpps]", "forwarded [Mpps]");
+    let groups = set.group_by("pkt_sz");
+    for (size, group) in &groups {
+        let series: Vec<(f64, f64)> = group
+            .series("pkt_rate", |r| Some(r.report()?.rx_mpps()))
+            .into_iter()
+            .map(|(x, y)| (x / 1e6, y))
+            .collect();
+        println!("  pkt_sz={size}: {} points", series.len());
+        for (x, y) in &series {
+            println!("    offered {x:.4} Mpps -> forwarded {y:.4} Mpps");
+        }
+        plot = plot.with_series(format!("{size} B"), series);
+    }
+    for (ext, content) in [
+        ("svg", plot.render_svg()),
+        ("tex", plot.render_tex()),
+        ("csv", plot.render_csv()),
+    ] {
+        std::fs::write(out.join(format!("throughput.{ext}")), content)
+            .map_err(|e| e.to_string())?;
+    }
+    println!("figures written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_publish(args: &[String]) -> Result<(), String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos publish <result-dir> [options]".into());
+    };
+    let result_dir = Path::new(dir);
+    let out = PathBuf::from(opts.get("out").copied().unwrap_or("release"));
+    let title = opts
+        .get("title")
+        .copied()
+        .unwrap_or("pos experiment artifacts");
+
+    let mut bundle = Bundle::new(title);
+    let n = bundle
+        .add_tree(result_dir, "")
+        .map_err(|e| e.to_string())?;
+    attach_site(
+        &mut bundle,
+        &SiteInfo {
+            title: title.to_owned(),
+            description: format!(
+                "Artifacts of a pos experiment: {n} files including scripts, variables, \
+                 per-run results with metadata, and generated figures."
+            ),
+            repo_url: String::new(),
+        },
+    );
+    let manifest = bundle.write_dir(&out).map_err(|e| e.to_string())?;
+    let bad = verify_dir(&out).map_err(|e| e.to_string())?;
+    if !bad.is_empty() {
+        return Err(format!("manifest verification failed for {bad:?}"));
+    }
+    println!(
+        "published {} artifacts ({} bytes) to {}",
+        manifest.files.len(),
+        manifest.total_size(),
+        out.display()
+    );
+    if let Some(tar_path) = opts.get("tar") {
+        let mut buf = Vec::new();
+        bundle.write_tar(&mut buf).map_err(|e| e.to_string())?;
+        std::fs::write(tar_path, &buf).map_err(|e| e.to_string())?;
+        println!("archive: {tar_path} ({} bytes)", buf.len());
+    }
+    println!("website: {}/index.html", out.display());
+    Ok(())
+}

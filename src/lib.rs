@@ -1,0 +1,32 @@
+//! # pos — reproducible network experiments, reproduced
+//!
+//! Umbrella crate for the Rust reproduction of *"The pos Framework: A
+//! Methodology and Toolchain for Reproducible Network Experiments"*
+//! (Gallenmüller et al., CoNEXT '21).
+//!
+//! Each subsystem lives in its own crate; this crate re-exports them under
+//! stable module names so applications can depend on a single `pos` crate:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`simkernel`] | `pos-simkernel` | deterministic discrete-event kernel |
+//! | [`packet`] | `pos-packet` | Ethernet/IPv4/UDP frames, pcap files |
+//! | [`netsim`] | `pos-netsim` | NIC/link/router/bridge models |
+//! | [`loadgen`] | `pos-loadgen` | MoonGen-like packet generator |
+//! | [`testbed`] | `pos-testbed` | hosts, images, calendar, power control |
+//! | [`core`] | `pos-core` | the pos controller and methodology |
+//! | [`eval`] | `pos-eval` | parsers, statistics, plots |
+//! | [`publish`] | `pos-publish` | artifact bundling and website |
+//!
+//! See `examples/quickstart.rs` for an end-to-end experiment.
+
+#![warn(missing_docs)]
+
+pub use pos_core as core;
+pub use pos_eval as eval;
+pub use pos_loadgen as loadgen;
+pub use pos_netsim as netsim;
+pub use pos_packet as packet;
+pub use pos_publish as publish;
+pub use pos_simkernel as simkernel;
+pub use pos_testbed as testbed;

@@ -1,0 +1,163 @@
+//! Integration test of the `pos` CLI binary: init → run → eval → publish,
+//! exactly the Appendix-A command sequence.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn pos_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pos")
+}
+
+fn run(dir: &Path, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(pos_bin())
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn pos binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pos-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = workdir("flow");
+
+    // init
+    let (ok, stdout, stderr) = run(&dir, &["init", "exp"]);
+    assert!(ok, "init failed: {stderr}");
+    assert!(stdout.contains("60 loop-variable combinations"));
+    assert!(dir.join("exp/experiment.yml").exists());
+    assert!(dir.join("exp/dut/setup.sh").exists());
+
+    // Edit the sweep down (the researcher's prerogative) so the test is
+    // quick: one size, two rates, 1 s runs.
+    std::fs::write(dir.join("exp/loop-variables.yml"), "pkt_sz: [64]\npkt_rate: [20000, 40000]\n").unwrap();
+    std::fs::write(
+        dir.join("exp/global-variables.yml"),
+        "dut_ip0: 10.0.0.1\ndut_ip1: 10.0.1.1\nrun_secs: 1\n",
+    )
+    .unwrap();
+
+    // run
+    let (ok, stdout, stderr) = run(&dir, &["run", "exp", "--results", "res", "--seed", "7"]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(stdout.contains("run 2/2 ok"), "{stdout}");
+    assert!(stdout.contains("done: 2/2 runs"));
+    let result_dir = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("result tree: "))
+        .expect("result dir printed")
+        .trim()
+        .to_owned();
+
+    // eval
+    let (ok, stdout, stderr) = run(&dir, &["eval", &result_dir]);
+    assert!(ok, "eval failed: {stderr}");
+    assert!(stdout.contains("2 runs loaded (2 successful)"));
+    assert!(stdout.contains("pkt_sz=64"));
+    assert!(dir.join(&result_dir).join("figures/throughput.svg").exists());
+
+    // publish
+    let (ok, stdout, stderr) = run(
+        &dir,
+        &["publish", &result_dir, "--out", "rel", "--tar", "rel.tar", "--title", "CLI test"],
+    );
+    assert!(ok, "publish failed: {stderr}");
+    assert!(stdout.contains("published"));
+    assert!(dir.join("rel/manifest.json").exists());
+    assert!(dir.join("rel/index.html").exists());
+    assert!(dir.join("rel.tar").exists());
+    // The published figures include the eval output.
+    assert!(dir.join("rel/figures/throughput.svg").exists());
+}
+
+#[test]
+fn cli_vpos_flag_switches_testbed() {
+    let dir = workdir("vpos");
+    run(&dir, &["init", "exp"]);
+    std::fs::write(dir.join("exp/loop-variables.yml"), "pkt_sz: [64]\npkt_rate: [100000]\n").unwrap();
+    std::fs::write(
+        dir.join("exp/global-variables.yml"),
+        "dut_ip0: 10.0.0.1\ndut_ip1: 10.0.1.1\nrun_secs: 1\n",
+    )
+    .unwrap();
+    let (ok, stdout, _) = run(&dir, &["run", "exp", "--results", "r", "--testbed", "vpos"]);
+    assert!(ok);
+    assert!(stdout.contains("vpos testbed"));
+    // At 100 kpps a VM DuT drops heavily; the measurement shows it.
+    let result_dir = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("result tree: "))
+        .unwrap()
+        .trim()
+        .to_owned();
+    let (ok, stdout, _) = run(&dir, &["eval", &result_dir]);
+    assert!(ok);
+    let fwd_line = stdout
+        .lines()
+        .find(|l| l.contains("-> forwarded"))
+        .expect("series printed");
+    let fwd: f64 = fwd_line
+        .split("forwarded ")
+        .nth(1)
+        .unwrap()
+        .split(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        (0.02..0.06).contains(&fwd),
+        "vpos saturates near 0.04 Mpps, got {fwd}: {fwd_line}"
+    );
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    let dir = workdir("errors");
+    let (ok, _, stderr) = run(&dir, &["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = run(&dir, &["run", "missing-dir"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot load experiment"));
+
+    let (ok, _, stderr) = run(&dir, &["run"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+
+    // init refuses to clobber an existing experiment.
+    run(&dir, &["init", "exp"]);
+    let (ok, _, stderr) = run(&dir, &["init", "exp"]);
+    assert!(!ok);
+    assert!(stderr.contains("already holds"));
+}
+
+#[test]
+fn cli_table1_prints_matrix() {
+    let dir = workdir("t1");
+    let (ok, stdout, _) = run(&dir, &["table1"]);
+    assert!(ok);
+    assert!(stdout.contains("pos"));
+    assert!(stdout.contains("Chameleon"));
+    assert!(stdout.contains("✓"));
+}
+
+#[test]
+fn cli_help_shown_without_args() {
+    let dir = workdir("help");
+    let (ok, stdout, _) = run(&dir, &[]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+}

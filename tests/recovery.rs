@@ -1,0 +1,132 @@
+//! Recoverability (R3) through the full workflow, across initialization
+//! interfaces — including the power plug, which has no reset command.
+
+use pos::core::commands::register_all;
+use pos::core::controller::{Controller, RunOptions};
+use pos::core::experiment::linux_router_experiment;
+use pos::core::script::Script;
+use pos::core::vars::Variables;
+use pos::testbed::{CommandResult, HardwareSpec, InitInterface, PortId, Testbed};
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pos-rec-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn testbed_with_init(init: InitInterface) -> Testbed {
+    let mut tb = Testbed::new(0xFEED);
+    tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    tb.add_host("vtartu", HardwareSpec::paper_dut(), init);
+    tb.topology
+        .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+        .unwrap();
+    tb.topology
+        .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+        .unwrap();
+    register_all(&mut tb);
+    tb
+}
+
+/// Registers a command that wedges the host on its first call.
+fn register_crash_once(tb: &mut Testbed) -> Rc<Cell<u32>> {
+    let calls = Rc::new(Cell::new(0u32));
+    let counter = calls.clone();
+    tb.register_command(
+        "crash-once",
+        Rc::new(move |tb: &mut Testbed, host: &str, _argv: &[String]| {
+            counter.set(counter.get() + 1);
+            if counter.get() == 1 {
+                tb.host_mut(host).unwrap().inject_crash();
+                CommandResult::fail(255, "connection reset by peer")
+            } else {
+                CommandResult::ok("ok")
+            }
+        }),
+    );
+    calls
+}
+
+fn crash_spec() -> pos::core::experiment::ExperimentSpec {
+    let mut spec = linux_router_experiment("vriga", "vtartu", 1, 1);
+    spec.loop_vars = Variables::new().with("pkt_rate", vec![10_000i64, 20_000]);
+    spec.global_vars.set("pkt_sz", 64i64);
+    spec.roles[1].measurement = Script::parse("crash-once\nsleep $run_secs\npos_sync run_done\n");
+    spec
+}
+
+#[test]
+fn recovery_via_ipmi_reset() {
+    let mut tb = testbed_with_init(InitInterface::Ipmi);
+    let calls = register_crash_once(&mut tb);
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&crash_spec(), &RunOptions::new(tmp("ipmi")))
+        .expect("recovers and completes");
+    assert_eq!(outcome.successes(), 2);
+    assert_eq!(outcome.recoveries, 1);
+    assert!(calls.get() >= 2);
+    // The recovered host re-ran its setup: forwarding is enabled again and
+    // the second run still measures real throughput.
+    let dut = tb.host("vtartu").unwrap();
+    assert_eq!(dut.sysctls["net.ipv4.ip_forward"], "1");
+    assert!(dut.boots >= 2);
+}
+
+#[test]
+fn recovery_via_power_plug_cycle() {
+    // Power plugs cannot reset; the controller must power-cycle instead
+    // (off + mandatory dwell + on).
+    let mut tb = testbed_with_init(InitInterface::PowerPlug);
+    let _calls = register_crash_once(&mut tb);
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&crash_spec(), &RunOptions::new(tmp("plug")))
+        .expect("power-cycle recovery works too");
+    assert_eq!(outcome.successes(), 2);
+    assert_eq!(outcome.recoveries, 1);
+    assert!(tb.host("vtartu").unwrap().boots >= 2);
+}
+
+#[test]
+fn recovery_via_hypervisor() {
+    let mut tb = Testbed::new(0xFEED);
+    tb.add_host("vriga", HardwareSpec::vpos_vm(), InitInterface::Hypervisor);
+    tb.add_host("vtartu", HardwareSpec::vpos_vm(), InitInterface::Hypervisor);
+    tb.topology
+        .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+        .unwrap();
+    tb.topology
+        .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+        .unwrap();
+    register_all(&mut tb);
+    let _calls = register_crash_once(&mut tb);
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&crash_spec(), &RunOptions::new(tmp("hv")))
+        .expect("vm recovery");
+    assert_eq!(outcome.successes(), 2);
+    assert_eq!(outcome.recoveries, 1);
+}
+
+#[test]
+fn run_results_after_recovery_are_complete() {
+    // The interrupted run is *retried from scratch*, so its published
+    // artifacts are indistinguishable from an undisturbed run's.
+    let mut tb = testbed_with_init(InitInterface::Ipmi);
+    let _calls = register_crash_once(&mut tb);
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&crash_spec(), &RunOptions::new(tmp("complete")))
+        .expect("completes");
+    let set = pos::eval::loader::ResultSet::load(&outcome.result_dir).unwrap();
+    assert_eq!(set.len(), 2);
+    for run in &set.runs {
+        assert!(run.metadata.success);
+        let report = run.reports.get("loadgen").expect("full measurement output");
+        assert!(report.rx_frames > 0, "real traffic was measured");
+        assert_eq!(report.rx_frames, report.tx_frames, "below saturation");
+    }
+    // Attempt counts document the recovery in the metadata.
+    let attempts: Vec<u32> = set.runs.iter().map(|r| r.metadata.attempts).collect();
+    assert!(attempts.iter().any(|&a| a > 1), "metadata records the retry");
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration: the complete pos pipeline from experiment
+//! specification to published, integrity-verified artifact bundle.
+
+use pos::core::commands::register_all;
+use pos::core::controller::{Controller, RunOptions};
+use pos::core::experiment::linux_router_experiment;
+use pos::eval::loader::ResultSet;
+use pos::eval::plot::PlotSpec;
+use pos::publish::bundle::{verify_dir, Bundle};
+use pos::publish::website::{attach_site, SiteInfo};
+use pos::testbed::{HardwareSpec, InitInterface, PortId, Testbed};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pos-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn case_study_testbed(seed: u64) -> Testbed {
+    let mut tb = Testbed::new(seed);
+    tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    tb.topology
+        .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+        .unwrap();
+    tb.topology
+        .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+        .unwrap();
+    register_all(&mut tb);
+    tb
+}
+
+#[test]
+fn experiment_to_published_bundle() {
+    // ----------------------------------------------------- run the study
+    let mut tb = case_study_testbed(1);
+    let spec = linux_router_experiment("vriga", "vtartu", 3, 1);
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&spec, &RunOptions::new(tmp("e2e-results")))
+        .expect("experiment runs");
+    assert_eq!(outcome.runs.len(), 6);
+    assert_eq!(outcome.successes(), 6);
+
+    // ------------------------------------------------------- evaluate it
+    let set = ResultSet::load(&outcome.result_dir).expect("loadable tree");
+    assert_eq!(set.len(), 6);
+    let mut plot = PlotSpec::line("throughput", "offered [pps]", "forwarded [Mpps]");
+    for (size, group) in set.group_by("pkt_sz") {
+        let series = group.series("pkt_rate", |r| Some(r.report()?.rx_mpps()));
+        assert_eq!(series.len(), 3, "3 rates per size");
+        // Below saturation on bare metal: forwarded == offered.
+        for (rate, rx_mpps) in &series {
+            assert!(
+                (rx_mpps * 1e6 - rate).abs() / rate < 0.01,
+                "size {size}: offered {rate} got {rx_mpps} Mpps"
+            );
+        }
+        plot = plot.with_series(format!("{size}B"), series);
+    }
+    let figures = outcome.result_dir.join("figures");
+    std::fs::create_dir_all(&figures).unwrap();
+    std::fs::write(figures.join("throughput.svg"), plot.render_svg()).unwrap();
+    std::fs::write(figures.join("throughput.csv"), plot.render_csv()).unwrap();
+
+    // -------------------------------------------------------- publish it
+    let mut bundle = Bundle::new(&spec.name);
+    let collected = bundle.add_tree(&outcome.result_dir, "").unwrap();
+    assert!(collected > 20, "a real result tree has many artifacts");
+    attach_site(
+        &mut bundle,
+        &SiteInfo {
+            title: "pos case study".into(),
+            description: "integration test artifact".into(),
+            repo_url: String::new(),
+        },
+    );
+    let release = tmp("e2e-release");
+    let manifest = bundle.write_dir(&release).expect("publishable");
+
+    // The release is self-contained and integrity-checked.
+    assert!(release.join("manifest.json").exists());
+    assert!(release.join("index.html").exists());
+    assert!(release.join("README.md").exists());
+    assert!(release.join("experiment/loop-variables.yml").exists());
+    assert!(release.join("figures/throughput.svg").exists());
+    assert_eq!(verify_dir(&release).expect("verifiable"), Vec::<String>::new());
+
+    // The website lists the measurement artifacts.
+    let readme = std::fs::read_to_string(release.join("README.md")).unwrap();
+    assert!(readme.contains("run-0000"));
+    assert!(readme.contains("Generated figures"));
+    assert!(manifest.entry("topology.txt").is_some());
+}
+
+#[test]
+fn published_scripts_match_executed_scripts() {
+    // Publishability means the *actual* inputs are captured: the scripts
+    // in the result tree must equal the spec's scripts byte for byte.
+    let mut tb = case_study_testbed(2);
+    let spec = linux_router_experiment("vriga", "vtartu", 2, 1);
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&spec, &RunOptions::new(tmp("scripts-results")))
+        .expect("experiment runs");
+    for role in &spec.roles {
+        let setup = std::fs::read_to_string(
+            outcome
+                .result_dir
+                .join(format!("experiment/{}/setup.sh", role.role)),
+        )
+        .unwrap();
+        assert_eq!(setup, role.setup.source);
+        let measurement = std::fs::read_to_string(
+            outcome
+                .result_dir
+                .join(format!("experiment/{}/measurement.sh", role.role)),
+        )
+        .unwrap();
+        assert_eq!(measurement, role.measurement.source);
+    }
+    // And the loop variables round-trip through their YAML artifact.
+    let loop_yaml = std::fs::read_to_string(outcome.result_dir.join("experiment/loop-variables.yml")).unwrap();
+    let back = pos::core::vars::Variables::from_yaml(&loop_yaml).unwrap();
+    assert_eq!(back, spec.loop_vars);
+}
+
+#[test]
+fn hardware_and_topology_captured() {
+    let mut tb = case_study_testbed(3);
+    let spec = linux_router_experiment("vriga", "vtartu", 1, 1);
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&spec, &RunOptions::new(tmp("hw-results")))
+        .expect("experiment runs");
+    let hw = std::fs::read_to_string(outcome.result_dir.join("hardware/vtartu.txt")).unwrap();
+    assert!(hw.contains("Xeon Silver 4214"));
+    assert!(hw.contains("82599"));
+    let topo = std::fs::read_to_string(outcome.result_dir.join("topology.txt")).unwrap();
+    assert!(topo.contains("vriga:0 <-> vtartu:0"));
+    let log = std::fs::read_to_string(outcome.result_dir.join("controller.log")).unwrap();
+    assert!(log.contains("allocated"));
+}
