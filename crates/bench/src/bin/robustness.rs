@@ -1,16 +1,51 @@
-//! Robustness study: §2 cites Zilberman's NDP artifact evaluation — "low
+//! Robustness study, two halves.
+//!
+//! **Sensitivity** — §2 cites Zilberman's NDP artifact evaluation: "low
 //! robustness, i.e., small variation from the original input, such as the
 //! investigated packet size, could lead to a significantly different
-//! performance." This binary sweeps packet size finely at a fixed offered
+//! performance." The sweep varies packet size finely at a fixed offered
 //! rate and shows where the bare-metal bottleneck flips from CPU to line
 //! rate — the regime boundary where small size changes flip conclusions.
 //!
+//! **Fault tolerance** — a seeded chaos campaign (crash, wedge, management
+//! outage, command hang, lossy link) runs against the full controller with
+//! graceful degradation on, and the recovery numbers are recorded. The
+//! same seed replays the same campaign bit-for-bit.
+//!
+//! Emits `BENCH_robustness.json` with both halves.
+//!
 //! Usage: `cargo run --release -p pos-bench --bin robustness`
-//! Env: `POS_RUN_SECS` (default 0.2).
+//! Env: `POS_RUN_SECS` (sweep run length, default 0.2),
+//!      `POS_CHAOS_SEED` (campaign seed; the default, 3, schedules faults
+//!      that land mid-sweep and are all recovered),
+//!      `POS_CHAOS_RUN_SECS` (campaign run length, default 30).
 
-use pos_bench::{env_f64, robustness};
+use pos_bench::{chaos_campaign, env_f64, robustness};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepRow {
+    pkt_size: usize,
+    rx_mpps: f64,
+    rx_gbit: f64,
+    bottleneck: String,
+}
+
+#[derive(Serialize)]
+struct SweepOut {
+    run_secs: f64,
+    crossover_size_bytes: usize,
+    rows: Vec<SweepRow>,
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    sweep: SweepOut,
+    campaign: chaos_campaign::CampaignReport,
+}
 
 fn main() {
+    // ---- packet-size sensitivity sweep
     let run_secs = env_f64("POS_RUN_SECS", 0.2);
     let rows = robustness::sweep_packet_sizes(run_secs);
     println!(
@@ -28,6 +63,53 @@ fn main() {
         "\ncrossover at ≈{crossover} B (model: ≈980 B): below, the router CPU limits \
          (falling Mpps as per-byte cost grows); above, the 10G line limits \
          (≈9.8 Gbit/s flat).\n\
-         Conclusions measured only at 64 B or only at 1500 B would each miss one regime."
+         Conclusions measured only at 64 B or only at 1500 B would each miss one regime.\n"
     );
+
+    // ---- seeded chaos campaign
+    let seed = env_f64("POS_CHAOS_SEED", 3.0) as u64;
+    let chaos_run_secs = env_f64("POS_CHAOS_RUN_SECS", 30.0) as u64;
+    println!("chaos campaign (seed {seed:#x}, {chaos_run_secs} s runs)...");
+    let report = chaos_campaign::run_campaign(seed, chaos_run_secs);
+    println!(
+        "  events scheduled:       {}\n\
+         \x20 runs attempted:         {}\n\
+         \x20 runs succeeded:         {}\n\
+         \x20 runs degraded:          {} (succeeded after retries/recovery)\n\
+         \x20 runs failed:            {}\n\
+         \x20 recoveries:             {}\n\
+         \x20 quarantined hosts:      {:?}\n\
+         \x20 total recovery time:    {:.3} s (virtual)\n\
+         \x20 mean recovery latency:  {:.3} s (virtual)",
+        report.events,
+        report.runs_attempted,
+        report.runs_succeeded,
+        report.runs_degraded,
+        report.runs_failed,
+        report.recoveries,
+        report.quarantined_hosts,
+        report.total_recovery_time_ns as f64 / 1e9,
+        report.mean_recovery_latency_ns as f64 / 1e9,
+    );
+
+    let output = BenchOutput {
+        sweep: SweepOut {
+            run_secs,
+            crossover_size_bytes: crossover,
+            rows: rows
+                .iter()
+                .map(|r| SweepRow {
+                    pkt_size: r.pkt_size,
+                    rx_mpps: r.rx_mpps,
+                    rx_gbit: r.rx_gbit,
+                    bottleneck: r.bottleneck.to_string(),
+                })
+                .collect(),
+        },
+        campaign: report,
+    };
+    let out = "BENCH_robustness.json";
+    std::fs::write(out, serde_json::to_string_pretty(&output).expect("serializes"))
+        .expect("write BENCH_robustness.json");
+    println!("\nwrote {out}");
 }

@@ -42,6 +42,145 @@ mod tests {
     }
 }
 
+/// Seeded chaos campaign against the full controller, see the
+/// `robustness` binary.
+pub mod chaos_campaign {
+    use pos_core::commands::register_all;
+    use pos_core::controller::{Controller, RunOptions};
+    use pos_core::experiment::linux_router_experiment;
+    use pos_core::vars::VarValue;
+    use pos_netsim::{CampaignConfig, ChaosPlan};
+    use pos_simkernel::SimDuration;
+    use pos_testbed::{HardwareSpec, InitInterface, PortId, Testbed};
+    use serde::Serialize;
+
+    /// What one campaign did to one experiment — the `BENCH_robustness`
+    /// numbers.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+    pub struct CampaignReport {
+        /// Seed the plan (and testbed) were derived from.
+        pub seed: u64,
+        /// Scheduled fault events.
+        pub events: usize,
+        /// Measurement runs the sweep attempted.
+        pub runs_attempted: usize,
+        /// Runs that finished with a successful measurement.
+        pub runs_succeeded: usize,
+        /// Successful runs that needed retries or recoveries to get there.
+        pub runs_degraded: usize,
+        /// Runs lost despite the retry budget.
+        pub runs_failed: usize,
+        /// Out-of-band recoveries performed.
+        pub recoveries: u32,
+        /// Hosts written off as unrecoverable.
+        pub quarantined_hosts: Vec<String>,
+        /// Total virtual time spent recovering hosts, in nanoseconds.
+        pub total_recovery_time_ns: u64,
+        /// Mean detection-to-back-in-service latency per recovery, ns.
+        pub mean_recovery_latency_ns: u64,
+        /// The outcome's deterministic digest (replay fingerprint).
+        pub summary: String,
+    }
+
+    /// The campaign's fault mix: one of everything, scheduled inside the
+    /// sweep's measurement window.
+    pub fn campaign_config() -> CampaignConfig {
+        CampaignConfig {
+            horizon: SimDuration::from_mins(3),
+            warmup: SimDuration::from_secs(95),
+            crashes: 1,
+            wedges: 1,
+            power_outages: 1,
+            hangs: 1,
+            link_fault_windows: 1,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Runs the case-study sweep under a seed-generated chaos plan with
+    /// graceful degradation on, and reports what survived. Same seed, same
+    /// report — including the summary fingerprint.
+    pub fn run_campaign(seed: u64, run_secs: u64) -> CampaignReport {
+        let mut tb = Testbed::new(seed);
+        tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.topology
+            .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+            .expect("fresh ports");
+        tb.topology
+            .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+            .expect("fresh ports");
+        register_all(&mut tb);
+
+        // Low rates: the campaign probes recovery, not saturation.
+        let mut spec = linux_router_experiment("vriga", "vtartu", 2, run_secs);
+        spec.loop_vars.set(
+            "pkt_rate",
+            VarValue::List(vec![10_000i64.into(), 50_000i64.into()]),
+        );
+
+        let plan = ChaosPlan::generate(seed, &["vriga", "vtartu"], &campaign_config());
+        let root = std::env::temp_dir().join(format!(
+            "pos-bench-chaos-{seed}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut opts = RunOptions::new(&root);
+        opts.continue_on_run_failure = true;
+
+        let mut ctl = Controller::new(&mut tb);
+        ctl.apply_chaos(&plan).expect("generated plans validate");
+        let outcome = ctl
+            .run_experiment(&spec, &opts)
+            .expect("degrades instead of aborting");
+        let _ = std::fs::remove_dir_all(&root);
+
+        let runs_degraded = outcome
+            .runs
+            .iter()
+            .filter(|r| r.success && (r.attempts > 1 || r.recoveries > 0))
+            .count();
+        let mean_recovery_latency_ns = if outcome.recoveries > 0 {
+            outcome.total_recovery_time.as_nanos() / u64::from(outcome.recoveries)
+        } else {
+            0
+        };
+        CampaignReport {
+            seed,
+            events: plan.len(),
+            runs_attempted: outcome.runs.len(),
+            runs_succeeded: outcome.successes(),
+            runs_degraded,
+            runs_failed: outcome.failed_runs.len(),
+            recoveries: outcome.recoveries,
+            quarantined_hosts: outcome.quarantined_hosts.clone(),
+            total_recovery_time_ns: outcome.total_recovery_time.as_nanos(),
+            mean_recovery_latency_ns,
+            summary: outcome.summary(),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn campaign_replays_identically() {
+            let a = run_campaign(0xBADC0DE, 20);
+            let b = run_campaign(0xBADC0DE, 20);
+            assert_eq!(a, b, "same seed, same degraded outcome");
+            assert_eq!(a.runs_attempted, 4);
+            assert_eq!(
+                a.runs_succeeded + a.runs_failed,
+                a.runs_attempted,
+                "every run is accounted for"
+            );
+            let json = serde_json::to_string_pretty(&a).unwrap();
+            assert!(json.contains("\"runs_attempted\": 4"), "{json}");
+        }
+    }
+}
+
 /// Robustness sweep (packet-size sensitivity), see the `robustness` binary.
 pub mod robustness {
     use pos_loadgen::scenario::{run_forwarding_experiment, ForwardingScenario, Platform};

@@ -259,6 +259,15 @@ fn moongen_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResu
         ))
         .next_raw();
 
+    // Chaos campaigns can degrade the generator's experiment link for
+    // scheduled windows; an active window shows up in the measurement as
+    // real packet loss.
+    let mut link_fault = pos_netsim::FaultConfig::none();
+    if let Some((drop_chance, corrupt_chance)) = tb.link_degradation(host, tb.now()) {
+        link_fault.drop_chance = drop_chance;
+        link_fault.corrupt_chance = corrupt_chance;
+    }
+
     let pcap_path = args.get("pcap").cloned();
     let scenario = ForwardingScenario {
         platform,
@@ -271,6 +280,7 @@ fn moongen_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResu
         dut_jitter_sigma,
         record_pcap_frames: if pcap_path.is_some() { 1000 } else { 0 },
         imix,
+        link_fault,
     };
     let result = run_forwarding_experiment(&scenario);
 

@@ -17,13 +17,25 @@
 //! out of band (reset, or power-cycle for plugs), its live image rebooted,
 //! tools redeployed, and its setup script re-run; the interrupted
 //! measurement run is then retried from scratch.
+//!
+//! Hardening: every in-band command runs under a watchdog
+//! ([`RunOptions::command_timeout`]), every out-of-band retry waits out a
+//! deterministic exponential backoff, and every host moves through an
+//! explicit health state machine ([`HostHealth`]) — a host whose recovery
+//! keeps failing is *quarantined* and, with
+//! [`RunOptions::continue_on_run_failure`], the sweep degrades gracefully
+//! instead of aborting: affected runs are recorded as structured failures
+//! and the rest of the cross product still executes. Chaos campaigns
+//! ([`pos_netsim::ChaosPlan`]) exercise all of this deterministically via
+//! [`Controller::apply_chaos`].
 
 use crate::experiment::{ExperimentSpec, SpecError};
 use crate::loopvars::{cross_product_size, expand_cross_product, RunParams};
 use crate::resultstore::{run_metadata, ResultStore};
 use crate::script::Step;
 use crate::vars::Variables;
-use pos_simkernel::{SimTime, TraceLevel};
+use pos_netsim::{ChaosEvent, ChaosPlan};
+use pos_simkernel::{Backoff, SimDuration, SimTime, TraceLevel};
 use pos_testbed::{CommandResult, ExecError, PowerError, Testbed};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -46,6 +58,14 @@ pub struct RunOptions {
     /// appear as a synthetic `repetition` loop variable in run metadata,
     /// so the evaluation can aggregate across them (mean ± CI).
     pub repetitions: u32,
+    /// Watchdog budget per in-band command; a command that hangs (or runs)
+    /// longer is killed and handled like a crashed host. `None` disables
+    /// the watchdog.
+    pub command_timeout: Option<SimDuration>,
+    /// First delay of the exponential retry backoff.
+    pub backoff_base: SimDuration,
+    /// Upper bound of the exponential retry backoff.
+    pub backoff_cap: SimDuration,
 }
 
 impl RunOptions {
@@ -58,6 +78,11 @@ impl RunOptions {
             continue_on_run_failure: false,
             max_runs: crate::loopvars::RUN_COUNT_WARNING_THRESHOLD,
             repetitions: 1,
+            // An hour of virtual time: far beyond any sane command in the
+            // case study, so only genuine hangs trip it.
+            command_timeout: Some(SimDuration::from_hours(1)),
+            backoff_base: SimDuration::from_millis(500),
+            backoff_cap: SimDuration::from_secs(64),
         }
     }
 }
@@ -86,6 +111,72 @@ pub enum Progress {
         /// it while the next run executes.
         dir: PathBuf,
     },
+    /// A flaky out-of-band power command is being retried after a backoff.
+    PowerRetry {
+        /// The host being power-managed.
+        host: String,
+        /// Retry number (1-based).
+        attempt: u32,
+        /// Backoff delay waited before this retry.
+        delay: SimDuration,
+    },
+    /// A failed measurement attempt is being retried after a backoff.
+    RunRetry {
+        /// The run's zero-based index.
+        index: usize,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Backoff delay waited before the next attempt.
+        delay: SimDuration,
+    },
+    /// A host stopped responding and out-of-band recovery started.
+    HostRecovering {
+        /// The suspect host.
+        host: String,
+    },
+    /// A host completed recovery (rebooted, tools redeployed, setup re-run).
+    HostRecovered {
+        /// The recovered host.
+        host: String,
+    },
+    /// A host's recovery failed beyond the retry budget; it is out of the
+    /// experiment and every run depending on it fails fast.
+    HostQuarantined {
+        /// The quarantined host.
+        host: String,
+    },
+}
+
+/// Controller-side health state of one host.
+///
+/// ```text
+/// Healthy ──(unreachable/timeout)──▶ Suspect ──▶ Reinitializing
+///    ▲                                                │     │
+///    └──────────────(recovery ok)────────────────────┘     └──(recovery
+///                                                               failed)──▶ Quarantined
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostHealth {
+    /// Responding normally.
+    Healthy,
+    /// Stopped responding; recovery not yet started.
+    Suspect,
+    /// Out-of-band recovery in progress.
+    Reinitializing,
+    /// Recovery failed beyond the retry budget; excluded from the
+    /// experiment until a human (or a new experiment) intervenes.
+    Quarantined,
+}
+
+impl fmt::Display for HostHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HostHealth::Healthy => "healthy",
+            HostHealth::Suspect => "suspect",
+            HostHealth::Reinitializing => "reinitializing",
+            HostHealth::Quarantined => "quarantined",
+        })
+    }
 }
 
 /// Record of one executed measurement run.
@@ -101,6 +192,10 @@ pub struct RunRecord {
     pub success: bool,
     /// How many out-of-band recoveries this run triggered.
     pub recoveries: u32,
+    /// Warn-and-above trace lines captured while this run executed: the
+    /// structured fault story of a degraded run (crashes, watchdog kills,
+    /// retries, quarantines), preserved even when the sweep continues.
+    pub fault_trace: Vec<String>,
 }
 
 /// Everything an experiment execution produced.
@@ -116,12 +211,58 @@ pub struct ExperimentOutcome {
     pub finished: SimTime,
     /// Total out-of-band recoveries across all runs.
     pub recoveries: u32,
+    /// Indices of runs that exhausted their retry budget (only populated
+    /// under [`RunOptions::continue_on_run_failure`]; otherwise the first
+    /// such run aborts the experiment).
+    pub failed_runs: Vec<usize>,
+    /// Hosts quarantined during the experiment, in quarantine order.
+    pub quarantined_hosts: Vec<String>,
+    /// Total virtual time spent in out-of-band recovery (from detection to
+    /// the host being back in service with its setup re-applied).
+    pub total_recovery_time: SimDuration,
 }
 
 impl ExperimentOutcome {
     /// Number of successful runs.
     pub fn successes(&self) -> usize {
         self.runs.iter().filter(|r| r.success).count()
+    }
+
+    /// A deterministic, line-oriented digest of the outcome. Two runs of
+    /// the same experiment with the same seeds (testbed and chaos plan)
+    /// produce byte-identical summaries — the repeatability check the
+    /// chaos tests pin down.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "runs: {}\nsuccesses: {}\nfailed_runs: {:?}\nrecoveries: {}\n",
+            self.runs.len(),
+            self.successes(),
+            self.failed_runs,
+            self.recoveries,
+        ));
+        s.push_str(&format!(
+            "quarantined_hosts: {:?}\ntotal_recovery_time_ns: {}\n",
+            self.quarantined_hosts,
+            self.total_recovery_time.as_nanos(),
+        ));
+        s.push_str(&format!(
+            "started_ns: {}\nfinished_ns: {}\n",
+            self.started.as_nanos(),
+            self.finished.as_nanos(),
+        ));
+        for r in &self.runs {
+            s.push_str(&format!(
+                "run {:04} [{}] attempts={} success={} recoveries={} faults={}\n",
+                r.params.index,
+                r.params.label(),
+                r.attempts,
+                r.success,
+                r.recoveries,
+                r.fault_trace.len(),
+            ));
+        }
+        s
     }
 }
 
@@ -178,6 +319,11 @@ pub enum ControllerError {
     Exec(ExecError),
     /// Result tree I/O failed.
     Io(std::io::Error),
+    /// A chaos plan failed validation.
+    Chaos {
+        /// What the plan validator rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -211,6 +357,7 @@ impl fmt::Display for ControllerError {
             }
             ControllerError::Exec(e) => write!(f, "execution error: {e}"),
             ControllerError::Io(e) => write!(f, "result store error: {e}"),
+            ControllerError::Chaos { reason } => write!(f, "chaos plan rejected: {reason}"),
         }
     }
 }
@@ -227,6 +374,7 @@ impl From<std::io::Error> for ControllerError {
 pub struct Controller<'t> {
     tb: &'t mut Testbed,
     progress: Option<Box<dyn FnMut(&Progress)>>,
+    health: BTreeMap<String, HostHealth>,
 }
 
 impl<'t> Controller<'t> {
@@ -235,6 +383,7 @@ impl<'t> Controller<'t> {
         Controller {
             tb,
             progress: None,
+            health: BTreeMap::new(),
         }
     }
 
@@ -250,17 +399,114 @@ impl<'t> Controller<'t> {
         }
     }
 
+    /// This controller's view of a host's health.
+    pub fn host_health(&self, host: &str) -> HostHealth {
+        self.health
+            .get(host)
+            .copied()
+            .unwrap_or(HostHealth::Healthy)
+    }
+
+    fn set_health(&mut self, host: &str, health: HostHealth) {
+        if self.host_health(host) != health {
+            self.tb.trace.log(
+                self.tb.now(),
+                TraceLevel::Info,
+                "controller",
+                format!("health: {host} -> {health}"),
+            );
+        }
+        self.health.insert(host.to_owned(), health);
+    }
+
+    /// Arms a validated chaos plan on the testbed: crashes and wedges are
+    /// scheduled, outage/hang/link-degradation windows declared. The plan
+    /// is data — replaying the same plan against the same testbed seed
+    /// reproduces the same faults.
+    pub fn apply_chaos(&mut self, plan: &ChaosPlan) -> Result<(), ControllerError> {
+        plan.validate().map_err(|e| ControllerError::Chaos {
+            reason: e.to_string(),
+        })?;
+        for event in &plan.events {
+            match event {
+                ChaosEvent::HostCrash { host, at } => self.tb.schedule_crash(host, *at, false),
+                ChaosEvent::HostWedge { host, at } => self.tb.schedule_crash(host, *at, true),
+                ChaosEvent::PowerOutage { host, from, until } => {
+                    self.tb.add_power_fault_window(host, *from, *until)
+                }
+                ChaosEvent::CommandHang { host, from, until } => {
+                    self.tb.add_hang_window(host, *from, *until)
+                }
+                ChaosEvent::LinkFaults {
+                    host,
+                    from,
+                    until,
+                    config,
+                } => self.tb.add_link_degradation(
+                    host,
+                    *from,
+                    *until,
+                    config.drop_chance,
+                    config.corrupt_chance,
+                ),
+            }
+        }
+        self.tb.trace.log(
+            self.tb.now(),
+            TraceLevel::Info,
+            "controller",
+            format!(
+                "chaos: armed {} events from plan seed {:#x}",
+                plan.len(),
+                plan.seed
+            ),
+        );
+        Ok(())
+    }
+
+    /// A backoff schedule for retries concerning `label`, seeded from the
+    /// testbed root seed so the delay sequence replays with the experiment.
+    fn backoff(&self, opts: &RunOptions, label: &str) -> Backoff {
+        Backoff::new(
+            opts.backoff_base,
+            opts.backoff_cap,
+            self.tb.derive_rng(&format!("backoff/{label}")),
+        )
+    }
+
     fn power_with_retries(
         &mut self,
         host: &str,
         retries: u32,
+        opts: &RunOptions,
         op: impl Fn(&mut Testbed, &str) -> Result<(), PowerError>,
     ) -> Result<(), ControllerError> {
+        let mut backoff = self.backoff(opts, &format!("power/{host}"));
         let mut last = None;
-        for _ in 0..=retries {
+        for attempt in 0..=retries {
             match op(self.tb, host) {
                 Ok(()) => return Ok(()),
-                Err(e @ PowerError::TransientFailure { .. }) => last = Some(e),
+                Err(e @ PowerError::TransientFailure { .. }) => {
+                    last = Some(e);
+                    if attempt < retries {
+                        let delay = backoff.next_delay();
+                        self.tb.advance(delay);
+                        self.tb.trace.log(
+                            self.tb.now(),
+                            TraceLevel::Debug,
+                            "controller",
+                            format!(
+                                "power retry {} for {host} after {delay} backoff",
+                                attempt + 1
+                            ),
+                        );
+                        self.emit(Progress::PowerRetry {
+                            host: host.into(),
+                            attempt: attempt + 1,
+                            delay,
+                        });
+                    }
+                }
                 Err(e) => {
                     return Err(ControllerError::PowerFailed {
                         host: host.into(),
@@ -276,7 +522,9 @@ impl<'t> Controller<'t> {
     }
 
     /// Reboots a host out of band into its selected image: reset when the
-    /// interface supports it, power-cycle otherwise.
+    /// interface supports it, power-cycle otherwise. A reset that keeps
+    /// failing escalates to a full power cycle — that is what un-wedges
+    /// stuck firmware a soft reset bounces off.
     fn reinitialize(&mut self, host: &str, opts: &RunOptions) -> Result<(), ControllerError> {
         let supports_reset = self
             .tb
@@ -284,12 +532,68 @@ impl<'t> Controller<'t> {
             .map(|h| h.init_interface.supports_reset())
             .ok_or_else(|| ControllerError::UnknownHost { host: host.into() })?;
         if supports_reset {
-            self.power_with_retries(host, opts.max_power_retries, |tb, h| tb.reset(h))?;
+            match self.power_with_retries(host, opts.max_power_retries, opts, |tb, h| tb.reset(h))
+            {
+                Ok(()) => {}
+                Err(ControllerError::PowerFailed {
+                    error: PowerError::TransientFailure { .. },
+                    ..
+                }) => {
+                    self.tb.trace.log(
+                        self.tb.now(),
+                        TraceLevel::Warn,
+                        "controller",
+                        format!("{host}: reset failed repeatedly, escalating to power cycle"),
+                    );
+                    self.power_cycle(host, opts)?;
+                }
+                Err(e) => return Err(e),
+            }
         } else {
-            self.power_with_retries(host, opts.max_power_retries, |tb, h| tb.power_off(h))?;
-            self.power_with_retries(host, opts.max_power_retries, |tb, h| tb.power_on(h))?;
+            self.power_cycle(host, opts)?;
         }
         self.tb.wait_booted(host).map_err(ControllerError::Exec)?;
+        Ok(())
+    }
+
+    fn power_cycle(&mut self, host: &str, opts: &RunOptions) -> Result<(), ControllerError> {
+        self.power_with_retries(host, opts.max_power_retries, opts, |tb, h| tb.power_off(h))?;
+        self.power_with_retries(host, opts.max_power_retries, opts, |tb, h| tb.power_on(h))
+    }
+
+    /// Full recovery of one crashed host: out-of-band reboot into its live
+    /// image, tools and variables redeployed, and its setup script re-run
+    /// so the clean slate is configured again. Any failure here means the
+    /// host could not be brought back.
+    fn recover_host(
+        &mut self,
+        host: &str,
+        spec: &ExperimentSpec,
+        run: &RunParams,
+        opts: &RunOptions,
+    ) -> Result<(), ControllerError> {
+        self.reinitialize(host, opts)?;
+        let role_idx = spec
+            .roles
+            .iter()
+            .position(|r| r.host == host)
+            .expect("crashed host belongs to the experiment");
+        let vars = Self::role_vars(spec, role_idx, Some(run));
+        self.tb
+            .deploy_tools(host, &vars.rendered())
+            .map_err(ControllerError::Exec)?;
+        for step in spec.roles[role_idx].setup.instantiate(&vars) {
+            if let Step::Command(c) = step {
+                let r = self.tb.exec(host, &c).map_err(ControllerError::Exec)?;
+                if !r.success() {
+                    return Err(ControllerError::SetupFailed {
+                        role: spec.roles[role_idx].role.clone(),
+                        command: c,
+                        result: r,
+                    });
+                }
+            }
+        }
         Ok(())
     }
 
@@ -406,6 +710,8 @@ impl<'t> Controller<'t> {
         opts: &RunOptions,
     ) -> Result<ExperimentOutcome, ControllerError> {
         spec.validate().map_err(ControllerError::Spec)?;
+        // Every in-band command from here on runs under the watchdog.
+        self.tb.set_command_timeout(opts.command_timeout);
         // Repetitions become an explicit loop variable: visible in every
         // run's metadata, ordinary for the evaluation phase.
         let spec_with_reps;
@@ -508,7 +814,9 @@ impl<'t> Controller<'t> {
                     host: role.host.clone(),
                     error,
                 })?;
-            self.power_with_retries(&role.host, opts.max_power_retries, |tb, h| tb.power_on(h))?;
+            self.power_with_retries(&role.host, opts.max_power_retries, opts, |tb, h| {
+                tb.power_on(h)
+            })?;
         }
         // All boots proceed concurrently; waiting aligns to the slowest.
         for role in &spec.roles {
@@ -541,14 +849,38 @@ impl<'t> Controller<'t> {
         let total = runs.len();
         let mut records = Vec::with_capacity(total);
         let mut total_recoveries = 0u32;
+        let mut failed_runs: Vec<usize> = Vec::new();
+        let mut quarantined_hosts: Vec<String> = Vec::new();
+        let mut total_recovery_time = SimDuration::ZERO;
         for run in &runs {
             let run_started = self.tb.now();
+            // Sequence number of the next trace entry; robust against ring
+            // eviction (`len` alone would drift once entries are dropped).
+            let trace_mark = self.tb.trace.len() as u64 + self.tb.trace.dropped();
             let mut attempts = 0u32;
             let mut recoveries = 0u32;
             let mut outputs = BTreeMap::new();
             let mut success = false;
+            let mut backoff = self.backoff(opts, &format!("run/{}", run.index));
 
-            while attempts <= opts.max_run_retries {
+            // Runs depending on a quarantined host fail fast: burning the
+            // retry budget against a host already known dead would only
+            // stretch the sweep.
+            let quarantined_dep = spec
+                .roles
+                .iter()
+                .map(|r| r.host.clone())
+                .find(|h| self.host_health(h) == HostHealth::Quarantined);
+            if let Some(host) = &quarantined_dep {
+                self.tb.trace.log(
+                    self.tb.now(),
+                    TraceLevel::Warn,
+                    "controller",
+                    format!("run {}: skipped, host {host} is quarantined", run.index),
+                );
+            }
+
+            'attempts: while quarantined_dep.is_none() && attempts <= opts.max_run_retries {
                 attempts += 1;
                 // Loop variables are (re)deployed to every host each
                 // attempt, so hosts can read them via pos_get_var. The
@@ -585,49 +917,83 @@ impl<'t> Controller<'t> {
                     },
                 };
 
-                match failure {
-                    None => break,
-                    Some(f) => {
-                        if let Some(ExecError::HostUnreachable { host, .. }) = &f.exec {
-                            // R3: out-of-band recovery, then retry the run.
-                            let host = host.clone();
-                            self.tb.trace.log(
-                                self.tb.now(),
-                                TraceLevel::Warn,
-                                "controller",
-                                format!("run {}: {host} unreachable, recovering", run.index),
-                            );
-                            self.reinitialize(&host, opts)?;
-                            // Redo this host's setup so its configuration
-                            // matches the clean slate again.
-                            let role_idx = spec
-                                .roles
-                                .iter()
-                                .position(|r| r.host == host)
-                                .expect("crashed host belongs to the experiment");
-                            let vars = Self::role_vars(spec, role_idx, Some(run));
-                            self.tb
-                                .deploy_tools(&host, &vars.rendered())
-                                .map_err(ControllerError::Exec)?;
-                            for step in spec.roles[role_idx].setup.instantiate(&vars) {
-                                if let Step::Command(c) = step {
-                                    let r =
-                                        self.tb.exec(&host, &c).map_err(ControllerError::Exec)?;
-                                    if !r.success() {
-                                        return Err(ControllerError::SetupFailed {
-                                            role: spec.roles[role_idx].role.clone(),
-                                            command: c,
-                                            result: r,
-                                        });
-                                    }
-                                }
-                            }
+                let Some(f) = failure else { break };
+                // Who is the suspect? An unreachable/timed-out host names
+                // itself; a plain command failure may be collateral of a
+                // crashed *peer* (the load generator errors out because the
+                // DuT died mid-run), so probe every experiment host.
+                let suspects: Vec<String> = match f.exec {
+                    Some(ExecError::HostUnreachable { ref host, .. })
+                    | Some(ExecError::Timeout { ref host, .. }) => vec![host.clone()],
+                    Some(e) => return Err(ControllerError::Exec(e)),
+                    None => spec
+                        .roles
+                        .iter()
+                        .map(|r| r.host.clone())
+                        .filter(|h| self.tb.host(h).map_or(false, |h| !h.is_up()))
+                        .collect(),
+                };
+
+                if suspects.is_empty() {
+                    // Genuine command failure with every host healthy:
+                    // retry after a deterministic backoff if budget remains.
+                    if attempts <= opts.max_run_retries {
+                        let delay = backoff.next_delay();
+                        self.tb.advance(delay);
+                        self.tb.trace.log(
+                            self.tb.now(),
+                            TraceLevel::Debug,
+                            "controller",
+                            format!(
+                                "run {}: attempt {attempts} failed, retrying after {delay}",
+                                run.index
+                            ),
+                        );
+                        self.emit(Progress::RunRetry {
+                            index: run.index,
+                            attempt: attempts,
+                            delay,
+                        });
+                    }
+                    continue;
+                }
+
+                for host in suspects {
+                    // R3: out-of-band recovery, then retry the run.
+                    let recovery_started = self.tb.now();
+                    self.set_health(&host, HostHealth::Suspect);
+                    self.tb.trace.log(
+                        self.tb.now(),
+                        TraceLevel::Warn,
+                        "controller",
+                        format!("run {}: {host} unresponsive, recovering", run.index),
+                    );
+                    self.emit(Progress::HostRecovering { host: host.clone() });
+                    self.set_health(&host, HostHealth::Reinitializing);
+                    match self.recover_host(&host, spec, run, opts) {
+                        Ok(()) => {
+                            total_recovery_time +=
+                                self.tb.now().saturating_duration_since(recovery_started);
+                            self.set_health(&host, HostHealth::Healthy);
+                            self.emit(Progress::HostRecovered { host: host.clone() });
                             recoveries += 1;
                             total_recoveries += 1;
-                        } else if let Some(e) = f.exec {
-                            return Err(ControllerError::Exec(e));
                         }
-                        // Command failure: retry if budget remains.
+                        Err(e) => {
+                            self.set_health(&host, HostHealth::Quarantined);
+                            quarantined_hosts.push(host.clone());
+                            self.tb.trace.log(
+                                self.tb.now(),
+                                TraceLevel::Error,
+                                "controller",
+                                format!("{host}: recovery failed, quarantined ({e})"),
+                            );
+                            self.emit(Progress::HostQuarantined { host: host.clone() });
+                            if opts.continue_on_run_failure {
+                                break 'attempts;
+                            }
+                            return Err(e);
+                        }
                     }
                 }
             }
@@ -688,12 +1054,27 @@ impl<'t> Controller<'t> {
                     attempts,
                 });
             }
+            // Everything Warn-and-above since the run started is this run's
+            // fault story — empty for clean runs.
+            let skip = trace_mark.saturating_sub(self.tb.trace.dropped()) as usize;
+            let fault_trace: Vec<String> = self
+                .tb
+                .trace
+                .iter()
+                .skip(skip)
+                .filter(|e| e.level >= TraceLevel::Warn)
+                .map(|e| e.to_string())
+                .collect();
+            if !success {
+                failed_runs.push(run.index);
+            }
             records.push(RunRecord {
                 params: run.clone(),
                 outputs,
                 attempts,
                 success,
                 recoveries,
+                fault_trace,
             });
         }
 
@@ -707,6 +1088,9 @@ impl<'t> Controller<'t> {
             started,
             finished,
             recoveries: total_recoveries,
+            failed_runs,
+            quarantined_hosts,
+            total_recovery_time,
         })
     }
 }

@@ -36,7 +36,9 @@ pub mod resultstore;
 pub mod script;
 pub mod vars;
 
-pub use controller::{Controller, ControllerError, ExperimentOutcome, RunOptions, RunRecord};
+pub use controller::{
+    Controller, ControllerError, ExperimentOutcome, HostHealth, Progress, RunOptions, RunRecord,
+};
 pub use experiment::{ExperimentSpec, RoleSpec};
 pub use loopvars::{expand_cross_product, RunParams};
 pub use script::{Script, Step};

@@ -80,6 +80,9 @@ pub struct ForwardingScenario {
     pub record_pcap_frames: usize,
     /// Generate the simple-IMIX size mix instead of a fixed size.
     pub imix: bool,
+    /// Fault behaviour of the generator→DuT link (chaos campaigns degrade
+    /// this link for scheduled windows; the default is a healthy link).
+    pub link_fault: pos_netsim::FaultConfig,
 }
 
 impl ForwardingScenario {
@@ -97,6 +100,7 @@ impl ForwardingScenario {
             dut_jitter_sigma: None,
             record_pcap_frames: 0,
             imix: false,
+            link_fault: pos_netsim::FaultConfig::none(),
         }
     }
 }
@@ -189,8 +193,13 @@ pub fn build(s: &ForwardingScenario) -> (NetSim, NodeId, NodeId) {
                 Box::new(build_router(s)),
                 &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
             );
-            // Two direct cables, the paper's preferred wiring (R2).
-            sim.connect((gen, 0), (dut, 0), LinkConfig::direct_cable());
+            // Two direct cables, the paper's preferred wiring (R2). The
+            // generator→DuT cable carries the scenario's fault config.
+            sim.connect(
+                (gen, 0),
+                (dut, 0),
+                LinkConfig::direct_cable().with_fault(s.link_fault),
+            );
             sim.connect((dut, 1), (gen, 1), LinkConfig::direct_cable());
             (sim, gen, dut)
         }
@@ -216,7 +225,11 @@ pub fn build(s: &ForwardingScenario) -> (NetSim, NodeId, NodeId) {
                 Box::new(LinuxBridge::new(rng.derive("br1"))),
                 &[PortConfig::virtio(), PortConfig::virtio()],
             );
-            sim.connect((gen, 0), (br0, 0), LinkConfig::memory_hop());
+            sim.connect(
+                (gen, 0),
+                (br0, 0),
+                LinkConfig::memory_hop().with_fault(s.link_fault),
+            );
             sim.connect((br0, 1), (dut, 0), LinkConfig::memory_hop());
             sim.connect((dut, 1), (br1, 0), LinkConfig::memory_hop());
             sim.connect((br1, 1), (gen, 1), LinkConfig::memory_hop());
@@ -264,6 +277,19 @@ mod tests {
         assert_eq!(r.report.tx_nic_drops, 0);
         assert_eq!(r.router.ring_drops, 0);
         assert!(r.report.loss_fraction() < 0.001, "loss {}", r.report.loss_fraction());
+    }
+
+    #[test]
+    fn degraded_link_loses_packets_deterministically() {
+        let mut s = short(Platform::Pos, 64, 1_000_000.0);
+        s.link_fault.drop_chance = 0.3;
+        let a = run_forwarding_experiment(&s);
+        let loss = a.report.loss_fraction();
+        assert!((0.25..0.35).contains(&loss), "loss {loss} far from 0.3");
+        // Chaos is replayable: the same scenario loses the same packets.
+        let b = run_forwarding_experiment(&s);
+        assert_eq!(a.report.rx_frames, b.report.rx_frames);
+        assert_eq!(a.report.tx_frames, b.report.tx_frames);
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Deterministic chaos campaigns.
+//!
+//! The pos paper argues that experiment results are only trustworthy if the
+//! whole experiment — including its failures — can be replayed. A chaos
+//! campaign is therefore *data*, not a runtime dice roll: a [`ChaosPlan`]
+//! is a serializable list of faults pinned to virtual-time instants, either
+//! written by hand or generated from a seed. Replaying the same plan
+//! against the same testbed seed reproduces every crash, outage, hang and
+//! lossy-link window bit-for-bit, which lets the controller's recovery
+//! machinery (watchdogs, backoff, quarantine) be regression-tested like any
+//! other code path.
+//!
+//! The event vocabulary mirrors what the paper's real testbed can suffer:
+//!
+//! * hosts crash (kernel panic — a power cycle or reset revives them),
+//! * hosts *wedge* (hung firmware — soft resets bounce off, only a full
+//!   power cycle helps),
+//! * management interfaces suffer outages (every IPMI/vendor-API/power-plug
+//!   command fails for a window),
+//! * commands hang (an SSH session that never returns — the controller's
+//!   watchdog must reap it),
+//! * links degrade (a [`FaultConfig`] applies to a host's experiment link
+//!   for a window).
+
+use crate::fault::FaultConfig;
+use pos_simkernel::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One fault, pinned to virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChaosEvent {
+    /// The host's OS dies at `at`; a reset or power cycle revives it.
+    HostCrash {
+        /// Victim host.
+        host: String,
+        /// Instant of the crash.
+        at: SimTime,
+    },
+    /// The host wedges at `at`: it is down *and* shrugs off soft resets,
+    /// so only a full power cycle (off, dwell, on) brings it back.
+    HostWedge {
+        /// Victim host.
+        host: String,
+        /// Instant of the wedge.
+        at: SimTime,
+    },
+    /// Every power-control command against the host fails during the
+    /// window (management network outage, dead BMC, tripped PDU breaker).
+    PowerOutage {
+        /// Victim host.
+        host: String,
+        /// Start of the outage window.
+        from: SimTime,
+        /// End of the outage window (exclusive).
+        until: SimTime,
+    },
+    /// Commands executed on the host during the window never return on
+    /// their own; the controller's watchdog has to kill them.
+    CommandHang {
+        /// Victim host.
+        host: String,
+        /// Start of the hang window.
+        from: SimTime,
+        /// End of the hang window (exclusive).
+        until: SimTime,
+    },
+    /// The host's experiment link misbehaves per `config` during the window.
+    LinkFaults {
+        /// Host whose measurement traffic crosses the degraded link.
+        host: String,
+        /// Start of the degradation window.
+        from: SimTime,
+        /// End of the degradation window (exclusive).
+        until: SimTime,
+        /// Fault behaviour of the link while the window is active.
+        config: FaultConfig,
+    },
+}
+
+impl ChaosEvent {
+    /// The host this event targets.
+    pub fn host(&self) -> &str {
+        match self {
+            ChaosEvent::HostCrash { host, .. }
+            | ChaosEvent::HostWedge { host, .. }
+            | ChaosEvent::PowerOutage { host, .. }
+            | ChaosEvent::CommandHang { host, .. }
+            | ChaosEvent::LinkFaults { host, .. } => host,
+        }
+    }
+
+    /// When the event first takes effect.
+    pub fn start(&self) -> SimTime {
+        match self {
+            ChaosEvent::HostCrash { at, .. } | ChaosEvent::HostWedge { at, .. } => *at,
+            ChaosEvent::PowerOutage { from, .. }
+            | ChaosEvent::CommandHang { from, .. }
+            | ChaosEvent::LinkFaults { from, .. } => *from,
+        }
+    }
+
+    /// Short kind name, used for stable sorting and display.
+    fn kind(&self) -> &'static str {
+        match self {
+            ChaosEvent::HostCrash { .. } => "crash",
+            ChaosEvent::HostWedge { .. } => "wedge",
+            ChaosEvent::PowerOutage { .. } => "power-outage",
+            ChaosEvent::CommandHang { .. } => "command-hang",
+            ChaosEvent::LinkFaults { .. } => "link-faults",
+        }
+    }
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosEvent::HostCrash { host, at } => write!(f, "crash {host} at {at}"),
+            ChaosEvent::HostWedge { host, at } => write!(f, "wedge {host} at {at}"),
+            ChaosEvent::PowerOutage { host, from, until } => {
+                write!(f, "power outage on {host} from {from} until {until}")
+            }
+            ChaosEvent::CommandHang { host, from, until } => {
+                write!(f, "command hangs on {host} from {from} until {until}")
+            }
+            ChaosEvent::LinkFaults {
+                host, from, until, ..
+            } => write!(f, "link faults on {host} from {from} until {until}"),
+        }
+    }
+}
+
+/// Knobs for [`ChaosPlan::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Faults are scheduled uniformly inside `[warmup, warmup + horizon)`.
+    pub horizon: SimDuration,
+    /// No fault starts before this instant (lets hosts boot and set up).
+    pub warmup: SimDuration,
+    /// Number of host crashes to schedule.
+    pub crashes: u32,
+    /// Number of host wedges to schedule.
+    pub wedges: u32,
+    /// Number of management-interface outage windows to schedule.
+    pub power_outages: u32,
+    /// Number of command-hang windows to schedule.
+    pub hangs: u32,
+    /// Number of link-degradation windows to schedule.
+    pub link_fault_windows: u32,
+    /// Length of each outage/hang/degradation window.
+    pub window: SimDuration,
+    /// Link behaviour applied during degradation windows.
+    pub link_fault: FaultConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            horizon: SimDuration::from_mins(5),
+            warmup: SimDuration::from_secs(100),
+            crashes: 1,
+            wedges: 0,
+            power_outages: 0,
+            hangs: 0,
+            link_fault_windows: 0,
+            window: SimDuration::from_secs(20),
+            link_fault: FaultConfig {
+                drop_chance: 0.2,
+                ..FaultConfig::none()
+            },
+        }
+    }
+}
+
+/// A replayable schedule of faults for one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Seed the plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The faults, ordered by start time.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// An empty plan carrying a seed label.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event (builder-style, for hand-written plans).
+    pub fn with_event(mut self, event: ChaosEvent) -> ChaosPlan {
+        self.events.push(event);
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a campaign from a seed. The draw order is fixed (kinds in
+    /// declaration order, counts ascending), so the same `(seed, hosts,
+    /// config)` triple yields the same plan on every machine — the plan can
+    /// be regenerated instead of archived.
+    pub fn generate(seed: u64, hosts: &[&str], cfg: &CampaignConfig) -> ChaosPlan {
+        if hosts.is_empty() {
+            return ChaosPlan::new(seed);
+        }
+        let mut rng = SimRng::new(seed).derive("chaos");
+        let start = SimTime::ZERO + cfg.warmup;
+        let span = cfg.horizon.as_nanos().max(1);
+        let pick_host = |rng: &mut SimRng| -> String {
+            hosts[rng.uniform_u64(hosts.len() as u64) as usize].to_owned()
+        };
+        let pick_at = |rng: &mut SimRng| -> SimTime {
+            start + SimDuration::from_nanos(rng.uniform_u64(span))
+        };
+
+        let mut events = Vec::new();
+        for _ in 0..cfg.crashes {
+            let (host, at) = (pick_host(&mut rng), pick_at(&mut rng));
+            events.push(ChaosEvent::HostCrash { host, at });
+        }
+        for _ in 0..cfg.wedges {
+            let (host, at) = (pick_host(&mut rng), pick_at(&mut rng));
+            events.push(ChaosEvent::HostWedge { host, at });
+        }
+        for _ in 0..cfg.power_outages {
+            let (host, from) = (pick_host(&mut rng), pick_at(&mut rng));
+            events.push(ChaosEvent::PowerOutage {
+                host,
+                from,
+                until: from + cfg.window,
+            });
+        }
+        for _ in 0..cfg.hangs {
+            let (host, from) = (pick_host(&mut rng), pick_at(&mut rng));
+            events.push(ChaosEvent::CommandHang {
+                host,
+                from,
+                until: from + cfg.window,
+            });
+        }
+        for _ in 0..cfg.link_fault_windows {
+            let (host, from) = (pick_host(&mut rng), pick_at(&mut rng));
+            events.push(ChaosEvent::LinkFaults {
+                host,
+                from,
+                until: from + cfg.window,
+                config: cfg.link_fault,
+            });
+        }
+        // Draw order above is already deterministic; sorting by start time
+        // makes the plan readable and the ordering contract explicit.
+        events.sort_by(|a, b| {
+            (a.start(), a.kind(), a.host().to_owned()).cmp(&(
+                b.start(),
+                b.kind(),
+                b.host().to_owned(),
+            ))
+        });
+        ChaosPlan { seed, events }
+    }
+
+    /// Validates every event: non-empty host names, well-ordered windows,
+    /// and in-range fault probabilities (via [`FaultConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ChaosPlanError> {
+        for (i, event) in self.events.iter().enumerate() {
+            if event.host().is_empty() {
+                return Err(ChaosPlanError {
+                    event: i,
+                    reason: "empty host name".to_owned(),
+                });
+            }
+            match event {
+                ChaosEvent::PowerOutage { from, until, .. }
+                | ChaosEvent::CommandHang { from, until, .. }
+                | ChaosEvent::LinkFaults { from, until, .. } => {
+                    if until <= from {
+                        return Err(ChaosPlanError {
+                            event: i,
+                            reason: format!("window ends ({until}) at or before it starts ({from})"),
+                        });
+                    }
+                }
+                ChaosEvent::HostCrash { .. } | ChaosEvent::HostWedge { .. } => {}
+            }
+            if let ChaosEvent::LinkFaults { config, .. } = event {
+                config.validate().map_err(|e| ChaosPlanError {
+                    event: i,
+                    reason: e.to_string(),
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the plan as pretty JSON (for archiving next to results).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ChaosPlan serializes")
+    }
+
+    /// Parses and validates a plan from JSON. Validation is not optional:
+    /// a deserialized plan with NaN probabilities or inverted windows is
+    /// rejected here, before it can poison a simulation.
+    pub fn from_json(json: &str) -> Result<ChaosPlan, ChaosPlanError> {
+        let plan: ChaosPlan = serde_json::from_str(json).map_err(|e| ChaosPlanError {
+            event: usize::MAX,
+            reason: format!("parse error: {e}"),
+        })?;
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// A [`ChaosPlan`] that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlanError {
+    /// Index of the offending event (`usize::MAX` for parse errors).
+    pub event: usize,
+    /// What is wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ChaosPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.event == usize::MAX {
+            write!(f, "invalid chaos plan: {}", self.reason)
+        } else {
+            write!(f, "invalid chaos plan: event {}: {}", self.event, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for ChaosPlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts() -> Vec<&'static str> {
+        vec!["vriga", "vtartu"]
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CampaignConfig {
+            crashes: 2,
+            wedges: 1,
+            power_outages: 1,
+            hangs: 1,
+            link_fault_windows: 1,
+            ..CampaignConfig::default()
+        };
+        let a = ChaosPlan::generate(0xC0FFEE, &hosts(), &cfg);
+        let b = ChaosPlan::generate(0xC0FFEE, &hosts(), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let c = ChaosPlan::generate(0xBEEF, &hosts(), &cfg);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_events_respect_warmup_and_horizon() {
+        let cfg = CampaignConfig {
+            crashes: 16,
+            ..CampaignConfig::default()
+        };
+        let plan = ChaosPlan::generate(7, &hosts(), &cfg);
+        let start = SimTime::ZERO + cfg.warmup;
+        let end = start + cfg.horizon;
+        for e in &plan.events {
+            assert!(e.start() >= start && e.start() < end, "{e} outside window");
+        }
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn events_are_sorted_by_start_time() {
+        let cfg = CampaignConfig {
+            crashes: 8,
+            hangs: 4,
+            ..CampaignConfig::default()
+        };
+        let plan = ChaosPlan::generate(11, &hosts(), &cfg);
+        for w in plan.events.windows(2) {
+            assert!(w[0].start() <= w[1].start());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inverted_window() {
+        let plan = ChaosPlan::new(0).with_event(ChaosEvent::PowerOutage {
+            host: "vriga".into(),
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(5),
+        });
+        let err = plan.validate().unwrap_err();
+        assert_eq!(err.event, 0);
+        assert!(err.reason.contains("before it starts"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_host_and_bad_fault_config() {
+        let plan = ChaosPlan::new(0).with_event(ChaosEvent::HostCrash {
+            host: String::new(),
+            at: SimTime::from_secs(1),
+        });
+        assert!(plan.validate().is_err());
+
+        let plan = ChaosPlan::new(0).with_event(ChaosEvent::LinkFaults {
+            host: "vriga".into(),
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+            config: FaultConfig {
+                drop_chance: f64::NAN,
+                ..FaultConfig::none()
+            },
+        });
+        let err = plan.validate().unwrap_err();
+        assert!(err.reason.contains("NaN"), "{err}");
+    }
+
+    #[test]
+    fn json_roundtrip_validates_on_load() {
+        let cfg = CampaignConfig {
+            crashes: 1,
+            link_fault_windows: 1,
+            ..CampaignConfig::default()
+        };
+        let plan = ChaosPlan::generate(99, &hosts(), &cfg);
+        let json = plan.to_json();
+        let back = ChaosPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+
+        // A tampered plan with an out-of-range probability is refused.
+        let bad = json.replace("0.2", "2.5");
+        assert!(ChaosPlan::from_json(&bad).is_err());
+    }
+}

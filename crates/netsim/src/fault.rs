@@ -51,7 +51,57 @@ impl FaultConfig {
             && self.size_limit == 0
             && self.rate_limit_tokens == 0
     }
+
+    /// Checks the configuration for values that would silently misbehave at
+    /// runtime: NaN or out-of-`[0, 1]` probabilities, or a rate limiter with
+    /// a zero refill interval (its bucket would never refill).
+    ///
+    /// Call this on every deserialized `FaultConfig` before handing it to a
+    /// simulation — serde accepts any `f64`, including `NaN` and `7.3`.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        for (field, p) in [
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+        ] {
+            if p.is_nan() {
+                return Err(FaultConfigError {
+                    field,
+                    reason: "probability is NaN".to_owned(),
+                });
+            }
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FaultConfigError {
+                    field,
+                    reason: format!("probability {p} outside [0, 1]"),
+                });
+            }
+        }
+        if self.rate_limit_tokens > 0 && self.shaping_interval == SimDuration::ZERO {
+            return Err(FaultConfigError {
+                field: "shaping_interval",
+                reason: "rate limiting enabled with a zero refill interval".to_owned(),
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A [`FaultConfig`] field that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfigError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// What is wrong with it.
+    pub reason: String,
+}
+
+impl core::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid fault config: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 /// What happened to a frame passing through the injector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +129,11 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector for the given configuration.
     pub fn new(config: FaultConfig) -> FaultInjector {
+        debug_assert!(
+            config.validate().is_ok(),
+            "FaultInjector built from invalid config: {:?}",
+            config.validate()
+        );
         FaultInjector {
             tokens: config.rate_limit_tokens,
             bucket_refilled_at: SimTime::ZERO,
@@ -249,5 +304,50 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.drop_chance = 0.01;
         assert!(!cfg.is_none());
+    }
+
+    #[test]
+    fn validate_accepts_sane_configs() {
+        assert!(FaultConfig::none().validate().is_ok());
+        let mut cfg = FaultConfig::none();
+        cfg.drop_chance = 1.0;
+        cfg.corrupt_chance = 0.0;
+        cfg.rate_limit_tokens = 8;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_out_of_range() {
+        let mut cfg = FaultConfig::none();
+        cfg.drop_chance = f64::NAN;
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field, "drop_chance");
+        assert!(err.to_string().contains("NaN"));
+
+        let mut cfg = FaultConfig::none();
+        cfg.corrupt_chance = 1.5;
+        assert_eq!(cfg.validate().unwrap_err().field, "corrupt_chance");
+
+        let mut cfg = FaultConfig::none();
+        cfg.drop_chance = -0.1;
+        assert_eq!(cfg.validate().unwrap_err().field, "drop_chance");
+    }
+
+    #[test]
+    fn validate_rejects_zero_interval_rate_limit() {
+        let mut cfg = FaultConfig::none();
+        cfg.rate_limit_tokens = 4;
+        cfg.shaping_interval = SimDuration::ZERO;
+        assert_eq!(cfg.validate().unwrap_err().field, "shaping_interval");
+    }
+
+    #[test]
+    fn deserialized_config_is_validated_before_use() {
+        // serde happily produces a config with a NaN-free but out-of-range
+        // probability; validate() is the gate that rejects it.
+        let json = r#"{"drop_chance":2.0,"corrupt_chance":0.0,"size_limit":0,
+                       "rate_limit_tokens":0,"shaping_interval":50000000}"#;
+        let cfg: FaultConfig = serde_json::from_str(json).unwrap();
+        assert!(cfg.validate().is_err());
     }
 }

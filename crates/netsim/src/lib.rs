@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bridge;
+pub mod chaos;
 pub mod engine;
 pub mod fault;
 pub mod netem;
@@ -38,7 +39,8 @@ pub mod router;
 pub mod sink;
 pub mod switch;
 
+pub use chaos::{CampaignConfig, ChaosEvent, ChaosPlan, ChaosPlanError};
 pub use engine::{Element, Event, LinkConfig, NetSim, NodeId, PortConfig, SimCtx};
-pub use fault::FaultConfig;
+pub use fault::{FaultConfig, FaultConfigError};
 pub use port::PortCounters;
 pub use router::{LinuxRouter, RouteEntry, ServiceProfile};

@@ -1,0 +1,179 @@
+//! Deterministic exponential backoff with seeded jitter.
+//!
+//! Real controllers never retry in a tight loop: flaky BMCs and wedged
+//! hosts need growing pauses, and synchronized retries from concurrent
+//! experiments need jitter to avoid thundering herds. Wall-clock backoff
+//! with `thread_rng` jitter would break the repeatability promise, so this
+//! implementation draws its jitter from a [`SimRng`] stream and consumes
+//! *virtual* time: the same seed produces the same delay sequence forever.
+//!
+//! The schedule is `base · 2ⁿ · (1 + jitter·uₙ)` clamped to `cap`, with
+//! `uₙ` uniform in `[0, 1)`. For any jitter fraction in `[0, 1]` the
+//! sequence is monotone non-decreasing (consecutive uncapped terms differ
+//! by a factor of at least `2/(1+jitter) ≥ 1`), which the property tests
+//! in this module pin down.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A deterministic exponential-backoff delay generator.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: SimDuration,
+    cap: SimDuration,
+    jitter: f64,
+    attempt: u32,
+    rng: SimRng,
+}
+
+impl Backoff {
+    /// Default jitter fraction: up to +50% of the nominal delay.
+    pub const DEFAULT_JITTER: f64 = 0.5;
+
+    /// Creates a backoff schedule starting at `base`, doubling each
+    /// attempt, clamped to `cap`. Jitter defaults to
+    /// [`Self::DEFAULT_JITTER`]; the RNG decides the jitter draws, so
+    /// callers derive it from a stable label for reproducibility.
+    pub fn new(base: SimDuration, cap: SimDuration, rng: SimRng) -> Backoff {
+        Backoff {
+            base: base.max(SimDuration::from_nanos(1)),
+            cap: cap.max(base),
+            jitter: Self::DEFAULT_JITTER,
+            attempt: 0,
+            rng,
+        }
+    }
+
+    /// Sets the jitter fraction, clamped to `[0, 1]` — values above 1
+    /// would break monotonicity of the schedule.
+    pub fn with_jitter(mut self, fraction: f64) -> Backoff {
+        self.jitter = if fraction.is_nan() {
+            0.0
+        } else {
+            fraction.clamp(0.0, 1.0)
+        };
+        self
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay in the schedule.
+    pub fn next_delay(&mut self) -> SimDuration {
+        // 2^63 already dwarfs any sane cap; clamping the exponent keeps
+        // the f64 arithmetic finite.
+        let exp = 2f64.powi(self.attempt.min(63) as i32);
+        self.attempt = self.attempt.saturating_add(1);
+        let jittered =
+            self.base.as_nanos() as f64 * exp * (1.0 + self.jitter * self.rng.uniform_f64());
+        let nanos = jittered.min(self.cap.as_nanos() as f64);
+        SimDuration::from_nanos(nanos as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng(seed: u64) -> SimRng {
+        SimRng::new(seed).derive("backoff-test")
+    }
+
+    #[test]
+    fn grows_exponentially_without_jitter() {
+        let mut b = Backoff::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(60),
+            rng(1),
+        )
+        .with_jitter(0.0);
+        assert_eq!(b.next_delay(), SimDuration::from_millis(100));
+        assert_eq!(b.next_delay(), SimDuration::from_millis(200));
+        assert_eq!(b.next_delay(), SimDuration::from_millis(400));
+        assert_eq!(b.attempt(), 3);
+    }
+
+    #[test]
+    fn caps_at_the_configured_maximum() {
+        let mut b = Backoff::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(4),
+            rng(2),
+        )
+        .with_jitter(0.0);
+        let delays: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+        assert_eq!(delays[2], SimDuration::from_secs(4));
+        assert!(delays.iter().all(|d| *d <= SimDuration::from_secs(4)));
+    }
+
+    #[test]
+    fn jitter_stays_within_fraction() {
+        let mut b = Backoff::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3600),
+            rng(3),
+        )
+        .with_jitter(0.25);
+        let d = b.next_delay().as_nanos() as f64;
+        let base = SimDuration::from_secs(1).as_nanos() as f64;
+        assert!(d >= base && d < base * 1.25, "got {d}");
+    }
+
+    #[test]
+    fn nan_jitter_is_disabled() {
+        let mut b = Backoff::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(10),
+            rng(4),
+        )
+        .with_jitter(f64::NAN);
+        assert_eq!(b.next_delay(), SimDuration::from_secs(1));
+    }
+
+    proptest! {
+        /// Same seed, same schedule — bit-for-bit.
+        #[test]
+        fn prop_identical_seed_identical_schedule(seed: u64, base_ms in 1u64..5_000, cap_s in 1u64..600) {
+            let mk = || Backoff::new(
+                SimDuration::from_millis(base_ms),
+                SimDuration::from_secs(cap_s),
+                rng(seed),
+            );
+            let (mut a, mut b) = (mk(), mk());
+            for _ in 0..32 {
+                prop_assert_eq!(a.next_delay(), b.next_delay());
+            }
+        }
+
+        /// The schedule is monotone non-decreasing and bounded by the cap.
+        #[test]
+        fn prop_monotone_and_bounded(seed: u64, base_ms in 1u64..5_000, cap_s in 1u64..600, jitter in 0.0f64..1.0) {
+            let cap = SimDuration::from_secs(cap_s).max(SimDuration::from_millis(base_ms));
+            let mut b = Backoff::new(SimDuration::from_millis(base_ms), cap, rng(seed))
+                .with_jitter(jitter);
+            let mut prev = SimDuration::ZERO;
+            for _ in 0..64 {
+                let d = b.next_delay();
+                prop_assert!(d >= prev, "schedule decreased: {prev} -> {d}");
+                prop_assert!(d <= cap, "delay {d} above cap {cap}");
+                prev = d;
+            }
+        }
+
+        /// Delays never collapse to zero: a retry always waits.
+        #[test]
+        fn prop_delays_positive(seed: u64, base_ms in 1u64..1_000) {
+            let mut b = Backoff::new(
+                SimDuration::from_millis(base_ms),
+                SimDuration::from_secs(60),
+                rng(seed),
+            );
+            for _ in 0..16 {
+                prop_assert!(b.next_delay() > SimDuration::ZERO);
+            }
+        }
+    }
+}

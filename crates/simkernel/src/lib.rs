@@ -31,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use backoff::Backoff;
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -81,6 +81,16 @@ pub enum ExecError {
         /// The command name.
         command: String,
     },
+    /// The command exceeded the controller's watchdog budget and was
+    /// killed. The session is gone; the host may or may not be healthy.
+    Timeout {
+        /// The host.
+        host: String,
+        /// The command line that hung.
+        command: String,
+        /// The watchdog budget that was exhausted.
+        after: SimDuration,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -93,6 +103,13 @@ impl fmt::Display for ExecError {
             ExecError::BadCommandLine { reason } => write!(f, "bad command line: {reason}"),
             ExecError::CommandNotFound { command } => {
                 write!(f, "{command}: command not found")
+            }
+            ExecError::Timeout {
+                host,
+                command,
+                after,
+            } => {
+                write!(f, "command `{command}` on {host} timed out after {after}")
             }
         }
     }

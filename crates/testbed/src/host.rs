@@ -175,6 +175,9 @@ pub struct Host {
     pub console: Vec<String>,
     /// Monotone count of completed boots (diagnostic).
     pub boots: u64,
+    /// Firmware hang: soft resets bounce off until the host is fully
+    /// power-cycled (off, dwell, on).
+    pub wedged: bool,
 }
 
 impl Host {
@@ -195,6 +198,7 @@ impl Host {
             netconf: BTreeMap::new(),
             console: Vec::new(),
             boots: 0,
+            wedged: false,
         }
     }
 
@@ -221,11 +225,19 @@ impl Host {
         self.sysctls = default_sysctls();
         self.power = PowerState::On { image };
         self.boots += 1;
+        self.wedged = false;
     }
 
     /// Simulates a crash: the host stops responding in-band.
     pub fn inject_crash(&mut self) {
         self.power = PowerState::Crashed;
+    }
+
+    /// Simulates a firmware wedge: down in-band, *and* soft resets fail
+    /// until the host is power-cycled.
+    pub fn inject_wedge(&mut self) {
+        self.power = PowerState::Crashed;
+        self.wedged = true;
     }
 }
 

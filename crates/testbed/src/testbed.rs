@@ -22,6 +22,36 @@ use std::rc::Rc;
 /// host's name, and the argument vector including the command name.
 pub type CommandHandler = Rc<dyn Fn(&mut Testbed, &str, &[String]) -> CommandResult>;
 
+/// A pending out-of-band failure: the host crashes (or wedges) at `at`.
+#[derive(Debug, Clone)]
+struct ScheduledCrash {
+    at: SimTime,
+    host: String,
+    wedge: bool,
+}
+
+/// A `[from, until)` window during which something on `host` misbehaves.
+#[derive(Debug, Clone)]
+struct FaultWindow {
+    host: String,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl FaultWindow {
+    fn contains(&self, host: &str, at: SimTime) -> bool {
+        self.host == host && self.from <= at && at < self.until
+    }
+}
+
+/// A window during which a host's experiment link drops/corrupts frames.
+#[derive(Debug, Clone)]
+struct LinkDegradation {
+    window: FaultWindow,
+    drop_chance: f64,
+    corrupt_chance: f64,
+}
+
 /// The simulated testbed.
 pub struct Testbed {
     now: SimTime,
@@ -37,6 +67,12 @@ pub struct Testbed {
     /// Controller-visible event log.
     pub trace: Trace,
     root_seed: u64,
+    /// Watchdog budget for in-band commands; `None` disables the watchdog.
+    command_timeout: Option<SimDuration>,
+    scheduled_crashes: Vec<ScheduledCrash>,
+    power_fault_windows: Vec<FaultWindow>,
+    hang_windows: Vec<FaultWindow>,
+    link_degradations: Vec<LinkDegradation>,
 }
 
 impl Testbed {
@@ -52,6 +88,11 @@ impl Testbed {
             rng: SimRng::new(seed).derive("testbed"),
             trace: Trace::default(),
             root_seed: seed,
+            command_timeout: None,
+            scheduled_crashes: Vec::new(),
+            power_fault_windows: Vec::new(),
+            hang_windows: Vec::new(),
+            link_degradations: Vec::new(),
         }
     }
 
@@ -124,16 +165,162 @@ impl Testbed {
     }
 
     // ------------------------------------------------------------------
+    // Chaos hooks (armed by the controller from a chaos plan)
+    // ------------------------------------------------------------------
+
+    /// Sets the per-command watchdog budget. A command that would run (or
+    /// hang) longer than this is killed and surfaces as
+    /// [`ExecError::Timeout`]. `None` disables the watchdog.
+    pub fn set_command_timeout(&mut self, timeout: Option<SimDuration>) {
+        self.command_timeout = timeout;
+    }
+
+    /// The active watchdog budget.
+    pub fn command_timeout(&self) -> Option<SimDuration> {
+        self.command_timeout
+    }
+
+    /// Schedules an out-of-band host failure at `at`. With `wedge` the host
+    /// additionally refuses soft resets until fully power-cycled.
+    pub fn schedule_crash(&mut self, host: &str, at: SimTime, wedge: bool) {
+        self.scheduled_crashes.push(ScheduledCrash {
+            at,
+            host: host.to_owned(),
+            wedge,
+        });
+    }
+
+    /// Declares a window during which every power command against `host`
+    /// fails (management network outage, dead BMC, tripped breaker).
+    pub fn add_power_fault_window(&mut self, host: &str, from: SimTime, until: SimTime) {
+        self.power_fault_windows.push(FaultWindow {
+            host: host.to_owned(),
+            from,
+            until,
+        });
+    }
+
+    /// Declares a window during which commands on `host` hang instead of
+    /// returning — the watchdog (if armed) reaps them.
+    pub fn add_hang_window(&mut self, host: &str, from: SimTime, until: SimTime) {
+        self.hang_windows.push(FaultWindow {
+            host: host.to_owned(),
+            from,
+            until,
+        });
+    }
+
+    /// Declares a window during which `host`'s experiment link drops and
+    /// corrupts frames with the given probabilities.
+    pub fn add_link_degradation(
+        &mut self,
+        host: &str,
+        from: SimTime,
+        until: SimTime,
+        drop_chance: f64,
+        corrupt_chance: f64,
+    ) {
+        self.link_degradations.push(LinkDegradation {
+            window: FaultWindow {
+                host: host.to_owned(),
+                from,
+                until,
+            },
+            drop_chance,
+            corrupt_chance,
+        });
+    }
+
+    /// The `(drop_chance, corrupt_chance)` affecting `host`'s experiment
+    /// link at `at`, if any degradation window is active. Overlapping
+    /// windows combine by taking the worse probability per field.
+    pub fn link_degradation(&self, host: &str, at: SimTime) -> Option<(f64, f64)> {
+        let mut hit = None;
+        for d in &self.link_degradations {
+            if d.window.contains(host, at) {
+                let (drop, corrupt) = hit.unwrap_or((0.0f64, 0.0f64));
+                hit = Some((drop.max(d.drop_chance), corrupt.max(d.corrupt_chance)));
+            }
+        }
+        hit
+    }
+
+    /// Fires every scheduled crash whose instant has passed. Events are
+    /// consumed regardless of host state: a crash aimed at a host that is
+    /// already down is a no-op, and consuming it prevents the absurdity of
+    /// a stale event re-killing the host after its recovery reboot.
+    fn apply_due_crashes(&mut self) {
+        let now = self.now;
+        let mut due = Vec::new();
+        self.scheduled_crashes.retain(|c| {
+            if c.at <= now {
+                due.push(c.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for c in due {
+            let Some(h) = self.hosts.get_mut(&c.host) else {
+                continue;
+            };
+            if !h.is_up() {
+                continue;
+            }
+            if c.wedge {
+                h.inject_wedge();
+            } else {
+                h.inject_crash();
+            }
+            self.trace.log(
+                now,
+                TraceLevel::Warn,
+                c.host.clone(),
+                if c.wedge {
+                    format!("chaos: host wedged at {} (firmware hang)", c.at)
+                } else {
+                    format!("chaos: host crashed at {} (kernel panic)", c.at)
+                },
+            );
+        }
+    }
+
+    fn in_power_fault_window(&self, host: &str) -> bool {
+        self.power_fault_windows
+            .iter()
+            .any(|w| w.contains(host, self.now))
+    }
+
+    /// End of the latest hang window covering `host` right now, if any.
+    fn hang_until(&self, host: &str) -> Option<SimTime> {
+        self.hang_windows
+            .iter()
+            .filter(|w| w.contains(host, self.now))
+            .map(|w| w.until)
+            .max()
+    }
+
+    // ------------------------------------------------------------------
     // Initialization interface (out-of-band power control)
     // ------------------------------------------------------------------
 
     fn power_preamble(&mut self, host: &str) -> Result<InitInterface, PowerError> {
+        self.apply_due_crashes();
         let h = self
             .hosts
             .get(host)
             .ok_or_else(|| PowerError::UnknownHost { host: host.into() })?;
         let iface = h.init_interface;
         self.advance(iface.command_latency());
+        if self.in_power_fault_window(host) {
+            self.trace.log(
+                self.now,
+                TraceLevel::Warn,
+                host.to_owned(),
+                format!("{iface}: management outage (chaos window), command failed"),
+            );
+            return Err(PowerError::TransientFailure { interface: iface });
+        }
         if self.rng.chance(iface.transient_failure_chance()) {
             self.trace.log(
                 self.now,
@@ -195,6 +382,8 @@ impl Testbed {
         let now = self.now;
         let h = self.hosts.get_mut(host).expect("checked in preamble");
         h.power = PowerState::Off;
+        // A full power cycle un-wedges stuck firmware; a soft reset cannot.
+        h.wedged = false;
         self.trace
             .log(now, TraceLevel::Info, host.to_owned(), "powered off");
         Ok(())
@@ -210,6 +399,15 @@ impl Testbed {
                 interface: iface,
                 operation: "reset",
             });
+        }
+        if self.hosts.get(host).map(|h| h.wedged).unwrap_or(false) {
+            self.trace.log(
+                self.now,
+                TraceLevel::Warn,
+                host.to_owned(),
+                format!("{iface}: reset accepted but host stays wedged (power cycle required)"),
+            );
+            return Err(PowerError::TransientFailure { interface: iface });
         }
         let now = self.now;
         let boot = iface.boot_time(&mut self.rng);
@@ -266,6 +464,7 @@ impl Testbed {
 
     /// Uploads a file to a host (SCP-style). Requires the host to be up.
     pub fn upload(&mut self, host: &str, path: &str, contents: &[u8]) -> Result<(), ExecError> {
+        self.apply_due_crashes();
         let h = self.reachable_host_mut(host)?;
         if !h.config_interface.has_shell() {
             return Err(ExecError::BadCommandLine {
@@ -282,6 +481,7 @@ impl Testbed {
 
     /// Reads a file back from a host.
     pub fn download(&mut self, host: &str, path: &str) -> Result<Vec<u8>, ExecError> {
+        self.apply_due_crashes();
         let h = self.reachable_host_mut(host)?;
         h.fs.get(path).cloned().ok_or(ExecError::BadCommandLine {
             reason: format!("{path}: no such file"),
@@ -308,10 +508,34 @@ impl Testbed {
     /// command yields exit code 127 (shell convention), not an `Err` —
     /// experiment scripts decide how to react to failing commands.
     pub fn exec(&mut self, host: &str, command_line: &str) -> Result<CommandResult, ExecError> {
+        self.apply_due_crashes();
         let iface = self.reachable_host_mut(host)?.config_interface;
         let argv = split_command_line(command_line)?;
         // Connection + dispatch overhead of the configuration interface.
         self.advance(iface.command_overhead());
+
+        // Chaos hang window: the session stalls instead of dispatching. If
+        // a watchdog is armed and the window outlives its budget, the
+        // command is killed; otherwise the session stalls until the window
+        // passes and the command then runs normally.
+        if let Some(until) = self.hang_until(host) {
+            match self.command_timeout {
+                Some(budget) if self.now + budget < until => {
+                    self.advance(budget);
+                    return self.watchdog_fired(host, command_line, budget);
+                }
+                _ => {
+                    let stall = until.saturating_duration_since(self.now);
+                    self.advance(stall);
+                    self.trace.log(
+                        self.now,
+                        TraceLevel::Warn,
+                        host.to_owned(),
+                        format!("exec `{command_line}` stalled {stall} (chaos hang window)"),
+                    );
+                }
+            }
+        }
 
         let result = if let Some(handler) = self.commands.get(&argv[0]).cloned() {
             handler(self, host, &argv)
@@ -326,6 +550,15 @@ impl Testbed {
                 ),
             )
         };
+
+        // Watchdog: a command that would outlive its budget is killed at
+        // the budget boundary — its output never arrives.
+        if let Some(budget) = self.command_timeout {
+            if result.duration > budget {
+                self.advance(budget);
+                return self.watchdog_fired(host, command_line, budget);
+            }
+        }
         self.advance(result.duration);
 
         // Console capture: pos uploads all output to the controller (§4.4).
@@ -353,6 +586,34 @@ impl Testbed {
             format!("exec `{command_line}` -> {}", result.exit_code),
         );
         Ok(result)
+    }
+
+    /// Records a watchdog kill on the console and trace, then surfaces it
+    /// as [`ExecError::Timeout`]. The clock has already been advanced by
+    /// the exhausted budget.
+    fn watchdog_fired(
+        &mut self,
+        host: &str,
+        command_line: &str,
+        budget: SimDuration,
+    ) -> Result<CommandResult, ExecError> {
+        let now = self.now;
+        if let Some(h) = self.hosts.get_mut(host) {
+            h.console.push(format!("$ {command_line}"));
+            h.console
+                .push(format!("watchdog: command killed after {budget}"));
+        }
+        self.trace.log(
+            now,
+            TraceLevel::Warn,
+            host.to_owned(),
+            format!("exec `{command_line}` exceeded watchdog budget {budget}, killed"),
+        );
+        Err(ExecError::Timeout {
+            host: host.into(),
+            command: command_line.into(),
+            after: budget,
+        })
     }
 
     /// The built-in command set every live image ships.
@@ -794,5 +1055,126 @@ mod tests {
         let mut tb = Testbed::new(1);
         tb.add_host("h", HardwareSpec::paper_dut(), InitInterface::Ipmi);
         tb.add_host("h", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    }
+
+    #[test]
+    fn scheduled_crash_fires_at_next_command() {
+        let (mut tb, img) = testbed_with_host();
+        boot(&mut tb, "vtartu", img);
+        tb.schedule_crash("vtartu", tb.now() + SimDuration::from_secs(5), false);
+        assert!(tb.exec("vtartu", "true").unwrap().success(), "not due yet");
+        tb.advance(SimDuration::from_secs(10));
+        let err = tb.exec("vtartu", "true").unwrap_err();
+        assert!(matches!(err, ExecError::HostUnreachable { .. }));
+        // The event is consumed: after recovery the host stays up.
+        loop {
+            match tb.reset("vtartu") {
+                Ok(()) => break,
+                Err(PowerError::TransientFailure { .. }) => continue,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        tb.wait_booted("vtartu").unwrap();
+        assert!(tb.exec("vtartu", "true").unwrap().success());
+    }
+
+    #[test]
+    fn wedged_host_needs_full_power_cycle() {
+        let (mut tb, img) = testbed_with_host();
+        boot(&mut tb, "vtartu", img);
+        tb.schedule_crash("vtartu", tb.now(), true);
+        assert!(tb.exec("vtartu", "true").is_err());
+        // Soft resets bounce off a wedged host (IPMI supports reset, but
+        // the stuck firmware ignores it).
+        for _ in 0..20 {
+            assert!(tb.reset("vtartu").is_err());
+        }
+        // A full cycle clears the wedge.
+        while tb.power_off("vtartu").is_err() {}
+        while tb.power_on("vtartu").is_err() {}
+        tb.wait_booted("vtartu").unwrap();
+        assert!(tb.exec("vtartu", "true").unwrap().success());
+        assert!(!tb.host("vtartu").unwrap().wedged);
+    }
+
+    #[test]
+    fn power_fault_window_fails_management_commands() {
+        let (mut tb, img) = testbed_with_host();
+        boot(&mut tb, "vtartu", img);
+        let from = tb.now();
+        let until = from + SimDuration::from_secs(60);
+        tb.add_power_fault_window("vtartu", from, until);
+        assert!(matches!(
+            tb.reset("vtartu"),
+            Err(PowerError::TransientFailure { .. })
+        ));
+        // Past the window, power control works again.
+        tb.advance(SimDuration::from_secs(120));
+        loop {
+            match tb.reset("vtartu") {
+                Ok(()) => break,
+                Err(PowerError::TransientFailure { .. }) => continue,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        tb.wait_booted("vtartu").unwrap();
+    }
+
+    #[test]
+    fn watchdog_kills_overlong_command() {
+        let (mut tb, img) = testbed_with_host();
+        boot(&mut tb, "vtartu", img);
+        tb.set_command_timeout(Some(SimDuration::from_secs(10)));
+        let t0 = tb.now();
+        let err = tb.exec("vtartu", "sleep 3600").unwrap_err();
+        match err {
+            ExecError::Timeout { after, .. } => assert_eq!(after, SimDuration::from_secs(10)),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // Only the budget elapsed, not the hour.
+        let dt = (tb.now() - t0).as_secs_f64();
+        assert!((10.0..11.0).contains(&dt), "got {dt}");
+        // Within budget, commands still work.
+        assert!(tb.exec("vtartu", "sleep 5").unwrap().success());
+    }
+
+    #[test]
+    fn hang_window_stalls_or_times_out() {
+        let (mut tb, img) = testbed_with_host();
+        boot(&mut tb, "vtartu", img);
+        let from = tb.now();
+        tb.add_hang_window("vtartu", from, from + SimDuration::from_secs(30));
+
+        // Without a watchdog the session stalls until the window passes,
+        // then the command completes.
+        let t0 = tb.now();
+        assert!(tb.exec("vtartu", "true").unwrap().success());
+        assert!((tb.now() - t0).as_secs_f64() >= 29.0, "stalled past window");
+
+        // With a watchdog shorter than the window, the command is reaped.
+        tb.add_hang_window("vtartu", tb.now(), tb.now() + SimDuration::from_secs(300));
+        tb.set_command_timeout(Some(SimDuration::from_secs(20)));
+        let t0 = tb.now();
+        assert!(matches!(
+            tb.exec("vtartu", "true").unwrap_err(),
+            ExecError::Timeout { .. }
+        ));
+        let dt = (tb.now() - t0).as_secs_f64();
+        assert!((20.0..21.0).contains(&dt), "killed at budget, got {dt}");
+    }
+
+    #[test]
+    fn link_degradation_windows_combine() {
+        let mut tb = Testbed::new(3);
+        tb.add_host("g", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        let t = |s| SimTime::from_secs(s);
+        tb.add_link_degradation("g", t(10), t(20), 0.1, 0.0);
+        tb.add_link_degradation("g", t(15), t(25), 0.3, 0.05);
+        assert_eq!(tb.link_degradation("g", t(5)), None);
+        assert_eq!(tb.link_degradation("g", t(12)), Some((0.1, 0.0)));
+        assert_eq!(tb.link_degradation("g", t(17)), Some((0.3, 0.05)));
+        assert_eq!(tb.link_degradation("g", t(22)), Some((0.3, 0.05)));
+        assert_eq!(tb.link_degradation("g", t(25)), None, "window end exclusive");
+        assert_eq!(tb.link_degradation("other", t(12)), None);
     }
 }

@@ -188,6 +188,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     if *success { "ok" } else { "FAILED" }
                 );
             }
+            Progress::PowerRetry { host, attempt, delay } => {
+                println!("  {host}: power command retry {attempt} (waited {delay})");
+            }
+            Progress::RunRetry { index, attempt, delay } => {
+                println!("  run {}: attempt {attempt} failed, retrying after {delay}", index + 1);
+            }
+            Progress::HostRecovering { host } => println!("  {host}: unresponsive, recovering"),
+            Progress::HostRecovered { host } => println!("  {host}: recovered"),
+            Progress::HostQuarantined { host } => println!("  {host}: QUARANTINED"),
         })
         .run_experiment(&spec, &RunOptions::new(&results))
         .map_err(|e| e.to_string())?;

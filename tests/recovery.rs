@@ -1,13 +1,20 @@
 //! Recoverability (R3) through the full workflow, across initialization
 //! interfaces — including the power plug, which has no reset command.
+//!
+//! The second half of this file drives *chaos plans* through the
+//! controller: scheduled crashes, wedges, management outages, command
+//! hangs and lossy-link windows, each replayed twice to pin down that
+//! degraded experiments are byte-for-byte reproducible.
 
+use pos::core::controller::{Controller, HostHealth, Progress, RunOptions};
 use pos::core::commands::register_all;
-use pos::core::controller::{Controller, RunOptions};
 use pos::core::experiment::linux_router_experiment;
 use pos::core::script::Script;
 use pos::core::vars::Variables;
+use pos::netsim::{ChaosEvent, ChaosPlan, FaultConfig};
+use pos::simkernel::{SimDuration, SimTime};
 use pos::testbed::{CommandResult, HardwareSpec, InitInterface, PortId, Testbed};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::path::PathBuf;
 use std::rc::Rc;
 
@@ -129,4 +136,265 @@ fn run_results_after_recovery_are_complete() {
     // Attempt counts document the recovery in the metadata.
     let attempts: Vec<u32> = set.runs.iter().map(|r| r.metadata.attempts).collect();
     assert!(attempts.iter().any(|&a| a > 1), "metadata records the retry");
+}
+
+// --------------------------------------------------------------- chaos
+
+/// 2 packet sizes × 2 rates, 30 s runs: long enough that chaos events
+/// pinned to virtual time land mid-sweep for any boot jitter. Rates are
+/// kept low — chaos scenarios probe recovery, not saturation, and lower
+/// rates keep the packet-level simulation fast.
+fn chaos_spec() -> pos::core::experiment::ExperimentSpec {
+    let mut spec = linux_router_experiment("vriga", "vtartu", 2, 30);
+    spec.loop_vars.set(
+        "pkt_rate",
+        pos::core::vars::VarValue::List(vec![10_000i64.into(), 50_000i64.into()]),
+    );
+    spec
+}
+
+/// Runs the chaos spec once under `plan` and returns what the scenario
+/// assertions need. `init` selects vtartu's initialization interface
+/// (Hypervisor switches both hosts to vpos VMs, like the real testbeds).
+fn run_chaos_scenario(
+    tag: &str,
+    init: InitInterface,
+    plan: &ChaosPlan,
+    tune: impl Fn(&mut RunOptions),
+) -> ChaosScenarioResult {
+    let mut tb = if init == InitInterface::Hypervisor {
+        let mut tb = Testbed::new(0xFEED);
+        tb.add_host("vriga", HardwareSpec::vpos_vm(), InitInterface::Hypervisor);
+        tb.add_host("vtartu", HardwareSpec::vpos_vm(), InitInterface::Hypervisor);
+        tb.topology
+            .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+            .unwrap();
+        tb.topology
+            .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+            .unwrap();
+        register_all(&mut tb);
+        tb
+    } else {
+        testbed_with_init(init)
+    };
+    let mut opts = RunOptions::new(tmp(tag));
+    opts.continue_on_run_failure = true;
+    tune(&mut opts);
+    let events = Rc::new(RefCell::new(Vec::new()));
+    let sink = events.clone();
+    let mut ctl =
+        Controller::new(&mut tb).with_progress(move |p| sink.borrow_mut().push(p.clone()));
+    ctl.apply_chaos(plan).expect("plan validates");
+    let outcome = ctl.run_experiment(&chaos_spec(), &opts).expect("completes");
+    let vtartu_health = ctl.host_health("vtartu");
+    drop(ctl);
+    let seen = events.borrow().clone();
+    ChaosScenarioResult {
+        summary: outcome.summary(),
+        outcome,
+        events: seen,
+        vtartu_boots: tb.host("vtartu").unwrap().boots,
+        vtartu_health,
+    }
+}
+
+struct ChaosScenarioResult {
+    summary: String,
+    outcome: pos::core::controller::ExperimentOutcome,
+    events: Vec<Progress>,
+    vtartu_boots: u64,
+    vtartu_health: HostHealth,
+}
+
+impl ChaosScenarioResult {
+    fn all_fault_lines(&self) -> String {
+        self.outcome
+            .runs
+            .iter()
+            .flat_map(|r| r.fault_trace.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[test]
+fn chaos_crash_recovers_across_interfaces() {
+    // The same mid-sweep kernel panic, recovered through every bare-metal
+    // style interface: IPMI reset, vendor-management reset, and the power
+    // plug's off/dwell/on cycle.
+    let plan = ChaosPlan::new(1).with_event(ChaosEvent::HostCrash {
+        host: "vtartu".into(),
+        at: SimTime::from_secs(118),
+    });
+    for (init, tag) in [
+        (InitInterface::Ipmi, "chaos-ipmi"),
+        (InitInterface::VendorManagement, "chaos-vendor"),
+        (InitInterface::PowerPlug, "chaos-plug"),
+    ] {
+        let a = run_chaos_scenario(tag, init, &plan, |_| {});
+        assert_eq!(a.outcome.successes(), 4, "{init}: all runs recover");
+        assert!(a.outcome.failed_runs.is_empty(), "{init}");
+        assert!(a.outcome.recoveries >= 1, "{init}: crash was recovered");
+        assert!(
+            a.outcome.total_recovery_time > SimDuration::ZERO,
+            "{init}: recovery took virtual time"
+        );
+        assert!(a.vtartu_boots >= 2, "{init}: reboot happened");
+        assert_eq!(a.vtartu_health, HostHealth::Healthy, "{init}");
+        // The degraded run carries its fault story even though it succeeded.
+        let degraded = a.outcome.runs.iter().find(|r| r.recoveries > 0).unwrap();
+        assert!(degraded.success);
+        assert!(!degraded.fault_trace.is_empty(), "{init}: fault trace kept");
+        assert!(
+            a.events
+                .iter()
+                .any(|e| matches!(e, Progress::HostRecovered { host } if host == "vtartu")),
+            "{init}: recovery visible via progress"
+        );
+        // Replay: the same plan against the same seed is byte-identical.
+        let b = run_chaos_scenario(&format!("{tag}-replay"), init, &plan, |_| {});
+        assert_eq!(a.summary, b.summary, "{init}: chaos replay diverged");
+    }
+}
+
+#[test]
+fn chaos_wedge_escalates_to_power_cycle_on_hypervisor() {
+    // A wedged host shrugs off soft resets; the controller must notice the
+    // reset retries going nowhere and escalate to a full power cycle.
+    let plan = ChaosPlan::new(2).with_event(ChaosEvent::HostWedge {
+        host: "vtartu".into(),
+        at: SimTime::from_secs(50),
+    });
+    let a = run_chaos_scenario("chaos-wedge", InitInterface::Hypervisor, &plan, |_| {});
+    assert_eq!(a.outcome.successes(), 4);
+    assert!(a.outcome.recoveries >= 1);
+    assert!(
+        a.all_fault_lines().contains("escalating to power cycle"),
+        "escalation recorded in the fault trace:\n{}",
+        a.all_fault_lines()
+    );
+    assert_eq!(a.vtartu_health, HostHealth::Healthy);
+    let b = run_chaos_scenario("chaos-wedge-replay", InitInterface::Hypervisor, &plan, |_| {});
+    assert_eq!(a.summary, b.summary);
+}
+
+#[test]
+fn chaos_hang_trips_watchdog_and_recovers() {
+    // Commands on the DuT stop returning for 82 s; a 40 s watchdog reaps
+    // the stuck session, the host is treated like a crash and recovered.
+    let plan = ChaosPlan::new(3).with_event(ChaosEvent::CommandHang {
+        host: "vtartu".into(),
+        from: SimTime::from_secs(118),
+        until: SimTime::from_secs(200),
+    });
+    let tune = |o: &mut RunOptions| o.command_timeout = Some(SimDuration::from_secs(40));
+    let a = run_chaos_scenario("chaos-hang", InitInterface::VendorManagement, &plan, tune);
+    assert_eq!(a.outcome.successes(), 4, "summary:\n{}", a.summary);
+    assert!(a.outcome.recoveries >= 1, "watchdog kill triggers recovery");
+    assert!(
+        a.all_fault_lines().contains("watchdog"),
+        "watchdog kill recorded:\n{}",
+        a.all_fault_lines()
+    );
+    let b = run_chaos_scenario("chaos-hang-replay", InitInterface::VendorManagement, &plan, tune);
+    assert_eq!(a.summary, b.summary);
+}
+
+#[test]
+fn chaos_power_outage_quarantines_host_and_sweep_degrades() {
+    // The DuT panics while its management interface is dark: reset retries
+    // fail, the power-cycle fallback fails, the host is quarantined — and
+    // with continue_on_run_failure the rest of the sweep still completes,
+    // recording the lost runs instead of aborting.
+    let plan = ChaosPlan::new(4)
+        .with_event(ChaosEvent::HostCrash {
+            host: "vtartu".into(),
+            at: SimTime::from_secs(118),
+        })
+        .with_event(ChaosEvent::PowerOutage {
+            host: "vtartu".into(),
+            from: SimTime::from_secs(110),
+            until: SimTime::from_secs(4000),
+        });
+    let a = run_chaos_scenario("chaos-outage", InitInterface::Ipmi, &plan, |_| {});
+    assert_eq!(a.outcome.successes(), 2, "runs before the crash survive");
+    assert_eq!(a.outcome.failed_runs, vec![2, 3], "summary:\n{}", a.summary);
+    assert_eq!(a.outcome.quarantined_hosts, vec!["vtartu".to_string()]);
+    assert_eq!(a.vtartu_health, HostHealth::Quarantined);
+    assert_eq!(a.outcome.recoveries, 0, "no recovery succeeded");
+    assert_eq!(a.outcome.runs.len(), 4, "sweep completed despite the loss");
+    // The run hit by the crash burned one attempt; the one after the
+    // quarantine failed fast without any.
+    assert_eq!(a.outcome.runs[2].attempts, 1);
+    assert_eq!(a.outcome.runs[3].attempts, 0);
+    assert!(!a.outcome.runs[3].fault_trace.is_empty(), "skip is recorded");
+    assert!(a
+        .events
+        .iter()
+        .any(|e| matches!(e, Progress::PowerRetry { host, .. } if host == "vtartu")));
+    assert!(a
+        .events
+        .iter()
+        .any(|e| matches!(e, Progress::HostQuarantined { host } if host == "vtartu")));
+    // Surviving runs still produced a full result tree.
+    let set = pos::eval::loader::ResultSet::load(&a.outcome.result_dir).unwrap();
+    assert_eq!(set.len(), 4);
+    assert_eq!(
+        set.runs.iter().filter(|r| r.metadata.success).count(),
+        2,
+        "degradation visible in the published metadata"
+    );
+    let b = run_chaos_scenario("chaos-outage-replay", InitInterface::Ipmi, &plan, |_| {});
+    assert_eq!(a.summary, b.summary, "degraded outcome replays bit-for-bit");
+}
+
+#[test]
+fn chaos_link_faults_degrade_measurements_not_runs() {
+    // A lossy experiment link is *not* a failure: every run completes, but
+    // the measurements show the loss — deterministically.
+    let plan = ChaosPlan::new(5).with_event(ChaosEvent::LinkFaults {
+        host: "vriga".into(),
+        from: SimTime::from_secs(1),
+        until: SimTime::from_secs(10_000),
+        config: FaultConfig {
+            drop_chance: 0.3,
+            ..FaultConfig::none()
+        },
+    });
+    let a = run_chaos_scenario("chaos-link", InitInterface::Ipmi, &plan, |_| {});
+    assert_eq!(a.outcome.successes(), 4, "lossy link fails no run");
+    assert_eq!(a.outcome.recoveries, 0);
+    let set = pos::eval::loader::ResultSet::load(&a.outcome.result_dir).unwrap();
+    for run in &set.runs {
+        let report = run.reports.get("loadgen").unwrap();
+        assert!(
+            report.rx_frames < report.tx_frames,
+            "loss shows up in the measurement: rx {} tx {}",
+            report.rx_frames,
+            report.tx_frames
+        );
+    }
+    let b = run_chaos_scenario("chaos-link-replay", InitInterface::Ipmi, &plan, |_| {});
+    assert_eq!(a.summary, b.summary);
+}
+
+#[test]
+fn generated_campaign_roundtrips_and_replays() {
+    // A seed-generated campaign archives as JSON, reloads validated, and
+    // replays to the same outcome — the plan file alone reproduces the
+    // degraded experiment.
+    let cfg = pos::netsim::CampaignConfig {
+        crashes: 1,
+        hangs: 1,
+        ..Default::default()
+    };
+    let plan = ChaosPlan::generate(0xC0FFEE, &["vriga", "vtartu"], &cfg);
+    let reloaded = ChaosPlan::from_json(&plan.to_json()).unwrap();
+    assert_eq!(plan, reloaded);
+
+    let a = run_chaos_scenario("chaos-gen", InitInterface::Ipmi, &reloaded, |_| {});
+    let b = run_chaos_scenario("chaos-gen-replay", InitInterface::Ipmi, &plan, |_| {});
+    assert_eq!(a.outcome.runs.len(), 4);
+    assert_eq!(a.summary, b.summary);
 }

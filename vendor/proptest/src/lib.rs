@@ -1,0 +1,612 @@
+//! Offline stand-in for `proptest`: a deterministic random-input test
+//! harness. No shrinking and no failure persistence — each test derives a
+//! seed from its own path, so failures reproduce exactly on re-run.
+//!
+//! Supported strategy forms (the ones this workspace uses):
+//! integer/float ranges (`0u8..6`, `1u8..=255`, `-1e6f64..1e6`),
+//! regex-subset string patterns (`".{0,200}"`, `"[a-z_]{1,10}"`),
+//! `collection::vec` / `collection::btree_map`, strategy tuples (2–4),
+//! literal arrays as uniform choice (`[("ns", 1e-9), ("s", 1.0)]`), and
+//! `any::<T>()` for primitive `T`.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected by `prop_assume!`; not a failure.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected set of inputs.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+// -------------------------------------------------------------------- rng
+
+/// Deterministic per-case RNG (splitmix64 stream seeded from the test path
+/// and case index).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for case `index` of the named test.
+    pub fn for_case(test_path: &str, index: usize) -> TestRng {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "TestRng::below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// -------------------------------------------------------------- strategies
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty range strategy");
+                (lo + rng.below((hi - lo) as u64) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let width = hi - lo + 1;
+                if width > u64::MAX as i128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo + rng.below(width as u64) as i128) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).gen_value(rng)
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                assert!(lo < hi, "empty range strategy");
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+float_range_strategies!(f32, f64);
+
+/// String patterns: a practical subset of regex — literal characters,
+/// `.` (printable ASCII), `[...]` classes with ranges, and `{m}` / `{m,n}`
+/// quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, lo, hi) in &atoms {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Each atom is (candidate characters, min repeats, max repeats).
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                (0x20u32..0x7f).map(|c| char::from_u32(c).unwrap()).collect()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i], chars[i + 2]);
+                        for c in a as u32..=b as u32 {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {") + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n: usize = spec.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!choices.is_empty(), "empty character class in pattern {pat}");
+        atoms.push((choices, lo, hi));
+    }
+    atoms
+}
+
+/// A literal array is a uniform choice among its elements.
+impl<T: Clone, const N: usize> Strategy for [T; N] {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self[rng.below(N as u64) as usize].clone()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values over a wide range; specials would make most
+        // numeric properties vacuously reject.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// -------------------------------------------------------------- collection
+
+/// Collection strategies (`vec`, `btree_map`).
+pub mod collection {
+    use super::*;
+
+    /// An inclusive size interval for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes in the given range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with sizes in the given range
+    /// (best-effort: duplicate generated keys may shrink the map).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n.saturating_mul(4) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            }
+            out
+        }
+    }
+}
+
+// ------------------------------------------------------------------ macros
+
+/// Defines property tests. Each `fn name(bindings) { body }` becomes a
+/// `#[test]` that runs the body over [`cases()`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_one!({$(#[$meta])*} $name [] ($($args)*) $body);
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ({$($meta:tt)*} $name:ident [$($acc:tt)*] ($p:pat in $s:expr, $($rest:tt)+) $body:block) => {
+        $crate::__proptest_one!({$($meta)*} $name [$($acc)* {($p) ($s)}] ($($rest)+) $body);
+    };
+    ({$($meta:tt)*} $name:ident [$($acc:tt)*] ($p:pat in $s:expr $(,)?) $body:block) => {
+        $crate::__proptest_one!({$($meta)*} $name [$($acc)* {($p) ($s)}] () $body);
+    };
+    ({$($meta:tt)*} $name:ident [$($acc:tt)*] ($i:ident : $t:ty, $($rest:tt)+) $body:block) => {
+        $crate::__proptest_one!({$($meta)*} $name [$($acc)* {($i) ($crate::any::<$t>())}] ($($rest)+) $body);
+    };
+    ({$($meta:tt)*} $name:ident [$($acc:tt)*] ($i:ident : $t:ty $(,)?) $body:block) => {
+        $crate::__proptest_one!({$($meta)*} $name [$($acc)* {($i) ($crate::any::<$t>())}] () $body);
+    };
+    ({$($meta:tt)*} $name:ident [$({($p:pat) ($s:expr)})*] () $body:block) => {
+        $($meta)*
+        fn $name() {
+            let __cases = $crate::cases();
+            let mut __ran = 0usize;
+            let mut __attempt = 0usize;
+            while __ran < __cases {
+                if __attempt >= __cases * 16 {
+                    panic!("proptest: too many rejected cases in {}", stringify!($name));
+                }
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __attempt,
+                );
+                __attempt += 1;
+                let ($($p,)*) = ($( $crate::Strategy::gen_value(&($s), &mut __rng), )*);
+                let __res: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match __res {
+                    ::core::result::Result::Ok(()) => { __ran += 1; }
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed (case {}): {}",
+                            stringify!($name), __attempt - 1, __msg
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Asserts a condition inside a property, recording a failure instead of
+/// panicking (so the harness can attribute it to the generated case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, cases, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        Arbitrary, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..7, y in 10usize..=12, f in -2.0f64..2.0) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((10..=12).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn patterns_match_their_class(s in "[a-c]{2,4}", t in ".{0,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.len() <= 5);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in collection::vec(any::<u8>(), 0..4),
+            m in collection::btree_map("[a-z]{1,3}", 0i64..10, 0..3),
+        ) {
+            prop_assert!(v.len() < 4);
+            prop_assert!(m.len() < 3);
+        }
+
+        #[test]
+        fn typed_args_and_choices(seed: u64, (suffix, scale) in [("ns", 1e-9), ("s", 1.0)]) {
+            let _ = seed;
+            prop_assert!(suffix == "ns" || suffix == "s");
+            prop_assert!(scale == 1e-9 || scale == 1.0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = |attempt| {
+            let mut rng = TestRng::for_case("fixed::test", attempt);
+            Strategy::gen_value(&(0u64..1000), &mut rng)
+        };
+        let a: Vec<u64> = (0..16).map(gen).collect();
+        let b: Vec<u64> = (0..16).map(gen).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for the `rand` crate: just the core traits that
+//! `SimRng` implements so it can slot into rand-style generic code.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (infallible here, but part of
+/// the `RngCore` contract).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from the given seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG by spreading a `u64` across the seed bytes.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (i, b) in seed.as_mut().iter_mut().enumerate() {
+            *b = state.to_le_bytes()[i % 8];
+        }
+        Self::from_seed(seed)
+    }
+}

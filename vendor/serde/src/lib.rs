@@ -1,0 +1,490 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde could not be vendored (no registry access in the build
+//! environment), so this crate provides the subset of its API that the pos
+//! workspace actually uses: `Serialize`/`Deserialize` traits, a derive
+//! macro pair, and a self-describing [`Value`] tree that `serde_json` and
+//! `serde_yaml` (the sibling stand-ins) render and parse.
+//!
+//! The data model is intentionally simpler than serde's
+//! serializer/deserializer visitors: `Serialize` lowers a type to a
+//! [`Value`], `Deserialize` lifts it back. Formats only deal in `Value`.
+//! This keeps the derive macro small while remaining round-trip faithful
+//! for every type in this workspace.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every format renders and parses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer that does not fit `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence items, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Helper for generated code: map lookup on the raw entry slice.
+pub fn map_get<'v>(entries: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Error produced when lifting a [`Value`] back into a concrete type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(ty: &str, field: &str) -> Error {
+        Error {
+            msg: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error {
+            msg: format!("expected {what}, got {}", got.kind()),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Value`] data model.
+pub trait Serialize {
+    /// The value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Lifts a value out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let u = *self as u64;
+                match i64::try_from(u) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(u),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| Error::custom("negative integer for unsigned field"))?,
+                    Value::UInt(u) => *u,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+// ------------------------------------------------------- scalars & strings
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+/// `&'static str` fields deserialize by leaking the parsed string. The real
+/// serde borrows from the input instead; this stand-in has no borrowed data
+/// model, and the workspace only deserializes such fields in tests and CLI
+/// entry points, so the leak is bounded.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(std::path::PathBuf::from(
+            v.as_str().ok_or_else(|| Error::expected("path string", v))?,
+        ))
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+/// Renders a serialized key as a map-key string. String keys pass through;
+/// other scalars use their display form (only string-keyed maps are
+/// round-tripped in this workspace, but derived code must compile for any
+/// key type).
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Float(f) => f.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", v))?
+            .iter()
+            .map(|(k, val)| {
+                Ok((
+                    K::from_value(&Value::Str(k.clone()))?,
+                    V::from_value(val)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::expected("tuple sequence", v))?;
+                let expected = [$($idx),+].len();
+                if s.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, got {} elements", s.len()
+                    )));
+                }
+                Ok(($($t::from_value(&s[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn unsigned_above_i64_uses_uint() {
+        let v = u64::MAX.to_value();
+        assert_eq!(v, Value::UInt(u64::MAX));
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert!(none.to_value().is_null());
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::Int(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn map_and_seq_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2, 3]);
+        let v = m.to_value();
+        let back: BTreeMap<String, Vec<u32>> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        let a = [1u8, 2, 3];
+        assert_eq!(<[u8; 3]>::from_value(&a.to_value()).unwrap(), a);
+        let t = (1u32, "x".to_string());
+        let back: (u32, String) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+}

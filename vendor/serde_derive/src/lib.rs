@@ -1,0 +1,493 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Parses the item's token stream directly (no syn/quote available offline)
+//! and emits the generated impl as source text. Supported shapes — the ones
+//! this workspace actually derives:
+//!
+//! - named-field structs → `Value::Map`
+//! - newtype structs → the inner value (`#[serde(transparent)]` is implied)
+//! - multi-field tuple structs → `Value::Seq`
+//! - unit structs → `Value::Null`
+//! - enums: unit variants → `Value::Str(name)`; data variants → a
+//!   single-entry map `{name: payload}` (externally tagged, like serde)
+//! - `#[serde(untagged)]` enums: the payload serialized bare; deserialization
+//!   tries variants in declaration order
+//! - `#[serde(default)]` on named fields
+//!
+//! Generic items are not supported (none are derived in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ model
+
+struct Item {
+    name: String,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: use `Default::default()` when the key is absent.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_text(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attributes starting at `*i`, returning the concatenated
+/// contents of any `#[serde(...)]` attributes seen.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut serde_attrs = String::new();
+    while *i + 1 < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner = g.stream().to_string();
+                if let Some(rest) = inner.strip_prefix("serde") {
+                    serde_attrs.push_str(rest);
+                    serde_attrs.push(' ');
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    serde_attrs
+}
+
+/// Splits tokens on top-level commas, tracking angle-bracket depth so that
+/// commas inside generic arguments (e.g. `BTreeMap<String, VarValue>`) do
+/// not split. Empty chunks (trailing comma) are dropped.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_field(chunk: &[TokenTree]) -> Field {
+    let mut i = 0;
+    let attrs = skip_attrs(chunk, &mut i);
+    if ident_text(&chunk[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = chunk.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    let name = ident_text(&chunk[i]).expect("field name ident");
+    Field {
+        name,
+        default: attrs.contains("default"),
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    split_top_commas(tokens)
+        .iter()
+        .map(|c| parse_named_field(c))
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut i = 0;
+    skip_attrs(chunk, &mut i);
+    let name = ident_text(&chunk[i]).expect("variant name ident");
+    let shape = match chunk.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Tuple(split_top_commas(&inner).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Named(parse_named_fields(&inner))
+        }
+        _ => Shape::Unit,
+    };
+    Variant { name, shape }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = skip_attrs(&tokens, &mut i);
+    let untagged = attrs.contains("untagged");
+    if ident_text(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    let is_enum = match ident_text(&tokens[i]).as_deref() {
+        Some("struct") => false,
+        Some("enum") => true,
+        other => panic!("serde derive: expected struct or enum, found {other:?}"),
+    };
+    i += 1;
+    let name = ident_text(&tokens[i]).expect("type name ident");
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde derive stand-in does not support generic types ({name})");
+    }
+    let kind = if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => panic!("serde derive: malformed enum body for {name}"),
+        };
+        let body: Vec<TokenTree> = body.into_iter().collect();
+        Kind::Enum(split_top_commas(&body).iter().map(|c| parse_variant(c)).collect())
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::NamedStruct(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::TupleStruct(split_top_commas(&body).len())
+            }
+            _ => Kind::UnitStruct,
+        }
+    };
+    Item {
+        name,
+        untagged,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `Value::Map(vec![...])` source for a set of named fields, reading each
+/// field through the expression prefix (`&self.` or a borrowed binding).
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value({access}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+/// Field-by-field construction source for named fields out of a map-entry
+/// slice named `__entries`.
+fn de_named_fields(ty: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let absent = if f.default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "::serde::Deserialize::from_value(&::serde::Value::Null)\
+                     .map_err(|_| ::serde::Error::missing_field(\"{ty}\", \"{n}\"))?",
+                    n = f.name
+                )
+            };
+            format!(
+                "{n}: match ::serde::map_get(__entries, \"{n}\") {{\
+                   Some(v) => ::serde::Deserialize::from_value(v)?, None => {absent} }},",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => ser_named_fields(fields, "&self."),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let (pattern, payload) = match &v.shape {
+                        Shape::Unit => (
+                            format!("{name}::{vn}"),
+                            if item.untagged {
+                                "::serde::Value::Null".to_string()
+                            } else {
+                                format!("::serde::Value::Str(\"{vn}\".to_string())")
+                            },
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let pattern = format!("{name}::{vn}({})", binds.join(", "));
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            (pattern, inner)
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pattern = format!("{name}::{vn} {{ {} }}", binds.join(", "));
+                            (pattern, ser_named_fields(fields, ""))
+                        }
+                    };
+                    let value = if item.untagged || matches!(v.shape, Shape::Unit) {
+                        payload
+                    } else {
+                        format!(
+                            "::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})])"
+                        )
+                    };
+                    format!("{pattern} => {value},")
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.concat())
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            format!(
+                "let __entries = __v.as_map()\
+                   .ok_or_else(|| ::serde::Error::expected(\"map for {name}\", __v))?;\
+                 Ok({name} {{ {} }})",
+                de_named_fields(name, fields)
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq()\
+                   .ok_or_else(|| ::serde::Error::expected(\"sequence for {name}\", __v))?;\
+                 if __s.len() != {n} {{\
+                   return Err(::serde::Error::custom(format!(\
+                     \"expected {n} elements for {name}, got {{}}\", __s.len())));\
+                 }}\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("let _ = __v; Ok({name})"),
+        Kind::Enum(variants) if item.untagged => gen_de_untagged(name, variants),
+        Kind::Enum(variants) => gen_de_tagged(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\
+             {body} }} }}"
+    )
+}
+
+/// Externally-tagged enum deserialization: unit variants match a bare
+/// string, data variants a single-entry `{name: payload}` map.
+fn gen_de_tagged(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                map_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+            }
+            Shape::Tuple(1) => {
+                map_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                ));
+            }
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                map_arms.push_str(&format!(
+                    "\"{vn}\" => {{\
+                       let __s = __payload.as_seq()\
+                         .ok_or_else(|| ::serde::Error::expected(\"sequence for {name}::{vn}\", __payload))?;\
+                       if __s.len() != {n} {{\
+                         return Err(::serde::Error::custom(\"wrong tuple arity for {name}::{vn}\"));\
+                       }}\
+                       Ok({name}::{vn}({}))\
+                     }},",
+                    items.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                map_arms.push_str(&format!(
+                    "\"{vn}\" => {{\
+                       let __entries = __payload.as_map()\
+                         .ok_or_else(|| ::serde::Error::expected(\"map for {name}::{vn}\", __payload))?;\
+                       Ok({name}::{vn} {{ {} }})\
+                     }},",
+                    de_named_fields(name, fields)
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\
+           ::serde::Value::Str(__s) => match __s.as_str() {{\
+             {str_arms}\
+             __other => Err(::serde::Error::custom(format!(\
+               \"unknown variant `{{__other}}` for {name}\"))),\
+           }},\
+           ::serde::Value::Map(__m) if __m.len() == 1 => {{\
+             let (__tag, __payload) = &__m[0];\
+             let _ = __payload;\
+             match __tag.as_str() {{\
+               {map_arms}\
+               __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\
+             }}\
+           }},\
+           __other => Err(::serde::Error::expected(\"variant of {name}\", __other)),\
+         }}"
+    )
+}
+
+/// Untagged enum deserialization: try each variant in declaration order.
+/// Payload types are inferred from the variant constructor, so no type
+/// tokens are needed here.
+fn gen_de_untagged(name: &str, variants: &[Variant]) -> String {
+    let mut attempts = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                attempts.push_str(&format!(
+                    "if __v.is_null() {{ return Ok({name}::{vn}); }}"
+                ));
+            }
+            Shape::Tuple(1) => {
+                attempts.push_str(&format!(
+                    "if let Ok(__x) = ::serde::Deserialize::from_value(__v) {{\
+                       return Ok({name}::{vn}(__x)); }}"
+                ));
+            }
+            Shape::Tuple(n) => {
+                let tries: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])"))
+                    .collect();
+                let binds: Vec<String> = (0..*n).map(|i| format!("Ok(__x{i})")).collect();
+                let uses: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                attempts.push_str(&format!(
+                    "if let Some(__s) = __v.as_seq() {{\
+                       if __s.len() == {n} {{\
+                         if let ({}) = ({}) {{ return Ok({name}::{vn}({})); }}\
+                       }}\
+                     }}",
+                    binds.join(", "),
+                    tries.join(", "),
+                    uses.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                attempts.push_str(&format!(
+                    "if let Some(__entries) = __v.as_map() {{\
+                       let __try = || -> ::core::result::Result<{name}, ::serde::Error> {{\
+                         Ok({name}::{vn} {{ {} }})\
+                       }};\
+                       if let Ok(__x) = __try() {{ return Ok(__x); }}\
+                     }}",
+                    de_named_fields(name, fields)
+                ));
+            }
+        }
+    }
+    format!(
+        "{attempts}\
+         Err(::serde::Error::custom(\"no variant of {name} matched the value\"))"
+    )
+}

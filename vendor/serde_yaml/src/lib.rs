@@ -1,0 +1,714 @@
+//! Offline stand-in for `serde_yaml`, built on the vendored serde `Value`
+//! tree. Covers the API this workspace uses: `to_string`, `from_str`, and
+//! `Error`.
+//!
+//! The emitter writes block-style maps (nested maps indented by two spaces,
+//! sequences under a key with `- ` at the key's own indent, serde_yaml 0.9
+//! style). Compound values *inside* sequences are written in flow style
+//! (`[..]` / `{..}`), which the parser also accepts — so every document the
+//! emitter writes parses back to the identical `Value`. The parser
+//! additionally accepts hand-written block documents with inline map items
+//! (`- role: loadgen`), flow collections, quoted strings, and comments.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// YAML serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes a value as a block-style YAML document.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    let mut out = String::new();
+    match &v {
+        Value::Map(entries) if !entries.is_empty() => emit_map(&mut out, entries, 0),
+        Value::Seq(items) if !items.is_empty() => emit_seq(&mut out, items, 0),
+        other => {
+            out.push_str(&flow(other));
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Deserializes a value from a YAML document.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_document(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+// ---------------------------------------------------------------- emitter
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent * 2 {
+        out.push(' ');
+    }
+}
+
+fn emit_map(out: &mut String, entries: &[(String, Value)], indent: usize) {
+    for (k, v) in entries {
+        push_indent(out, indent);
+        out.push_str(&scalar_str(&Value::Str(k.clone())));
+        match v {
+            Value::Map(sub) if !sub.is_empty() => {
+                out.push_str(":\n");
+                emit_map(out, sub, indent + 1);
+            }
+            Value::Seq(items) if !items.is_empty() => {
+                out.push_str(":\n");
+                emit_seq(out, items, indent);
+            }
+            other => {
+                out.push_str(": ");
+                out.push_str(&flow(other));
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn emit_seq(out: &mut String, items: &[Value], indent: usize) {
+    for item in items {
+        push_indent(out, indent);
+        out.push_str("- ");
+        out.push_str(&flow(item));
+        out.push('\n');
+    }
+}
+
+/// Compact single-line (flow) rendering of any value.
+fn flow(v: &Value) -> String {
+    match v {
+        Value::Seq(items) => {
+            let parts: Vec<String> = items.iter().map(flow).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        Value::Map(entries) => {
+            let parts: Vec<String> = entries
+                .iter()
+                .map(|(k, v)| format!("{}: {}", scalar_str(&Value::Str(k.clone())), flow(v)))
+                .collect();
+            format!("{{{}}}", parts.join(", "))
+        }
+        scalar => scalar_str(scalar),
+    }
+}
+
+/// Renders a scalar, quoting strings that would otherwise parse back as a
+/// different type (or not survive as a plain scalar at all).
+fn scalar_str(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Float(f) => format_f64(*f),
+        Value::Str(s) => {
+            if plain_safe(s) {
+                s.clone()
+            } else {
+                quote_string(s)
+            }
+        }
+        _ => unreachable!("scalar_str called on a collection"),
+    }
+}
+
+/// Floats always carry a decimal point or exponent so they read back as
+/// floats (keeps untagged numeric enums stable across a round trip).
+fn format_f64(f: f64) -> String {
+    if !f.is_finite() {
+        return if f.is_nan() {
+            ".nan".to_string()
+        } else if f > 0.0 {
+            ".inf".to_string()
+        } else {
+            "-.inf".to_string()
+        };
+    }
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A string is plain-safe when emitting it unquoted parses back to the same
+/// string: no structural characters, no surrounding whitespace, and it does
+/// not read as a bool/null/number.
+fn plain_safe(s: &str) -> bool {
+    if s.is_empty() || s.starts_with(' ') || s.ends_with(' ') || s.starts_with('-') {
+        return false;
+    }
+    if !s.chars().all(|c| {
+        c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '/' | '@' | '+' | ' ' | '=' | '-')
+    }) {
+        return false;
+    }
+    // Would the parser read it back as something other than a string?
+    !matches!(
+        classify_plain(s),
+        Value::Bool(_) | Value::Null | Value::Int(_) | Value::UInt(_) | Value::Float(_)
+    )
+}
+
+fn quote_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ----------------------------------------------------------------- parser
+
+#[derive(Clone)]
+struct Line {
+    indent: usize,
+    text: String,
+}
+
+fn parse_document(s: &str) -> Result<Value, Error> {
+    let mut lines: Vec<Line> = Vec::new();
+    for raw in s.lines() {
+        let trimmed = raw.trim_end();
+        let body = trimmed.trim_start_matches(' ');
+        if body.is_empty() || body.starts_with('#') || body == "---" {
+            continue;
+        }
+        lines.push(Line {
+            indent: trimmed.len() - body.len(),
+            text: body.to_string(),
+        });
+    }
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    if lines.len() == 1 && split_map_entry(&lines[0].text)?.is_none() && !is_seq_item(&lines[0].text)
+    {
+        let mut cur = Cursor::new(&lines[0].text);
+        let v = cur.parse_flow()?;
+        cur.skip_spaces();
+        if !cur.at_end() {
+            return Err(Error::new(format!("trailing characters in `{}`", lines[0].text)));
+        }
+        return Ok(v);
+    }
+    let mut pos = 0;
+    let indent = lines[0].indent;
+    let v = parse_block(&lines, &mut pos, indent)?;
+    if pos != lines.len() {
+        return Err(Error::new(format!(
+            "unexpected content at line `{}` (bad indentation?)",
+            lines[pos].text
+        )));
+    }
+    Ok(v)
+}
+
+fn is_seq_item(text: &str) -> bool {
+    text == "-" || text.starts_with("- ")
+}
+
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, Error> {
+    if is_seq_item(&lines[*pos].text) {
+        parse_block_seq(lines, pos, indent)
+    } else {
+        parse_block_map(lines, pos, indent)
+    }
+}
+
+fn parse_block_seq(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, Error> {
+    let mut items = Vec::new();
+    while *pos < lines.len() && lines[*pos].indent == indent && is_seq_item(&lines[*pos].text) {
+        let rest = lines[*pos].text[1..].trim_start().to_string();
+        if rest.is_empty() {
+            // Item value on the following, deeper-indented lines.
+            *pos += 1;
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let sub_indent = lines[*pos].indent;
+                items.push(parse_block(lines, pos, sub_indent)?);
+            } else {
+                items.push(Value::Null);
+            }
+        } else if split_map_entry(&rest)?.is_some() {
+            // Inline map item: `- role: loadgen`, continuation lines deeper.
+            let mut sub = vec![Line {
+                indent: 0,
+                text: rest,
+            }];
+            *pos += 1;
+            while *pos < lines.len() && lines[*pos].indent > indent {
+                sub.push(lines[*pos].clone());
+                *pos += 1;
+            }
+            let cont_indent = sub.get(1).map(|l| l.indent).unwrap_or(indent + 2);
+            sub[0].indent = cont_indent;
+            let mut sp = 0;
+            let v = parse_block(&sub, &mut sp, cont_indent)?;
+            if sp != sub.len() {
+                return Err(Error::new("bad indentation inside sequence item"));
+            }
+            items.push(v);
+        } else {
+            let mut cur = Cursor::new(&rest);
+            items.push(cur.parse_flow()?);
+            *pos += 1;
+        }
+    }
+    Ok(Value::Seq(items))
+}
+
+fn parse_block_map(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, Error> {
+    let mut entries = Vec::new();
+    while *pos < lines.len() && lines[*pos].indent == indent && !is_seq_item(&lines[*pos].text) {
+        let (key, rest) = split_map_entry(&lines[*pos].text)?
+            .ok_or_else(|| Error::new(format!("expected `key: value`, got `{}`", lines[*pos].text)))?;
+        *pos += 1;
+        let value = if rest.is_empty() {
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let sub_indent = lines[*pos].indent;
+                parse_block(lines, pos, sub_indent)?
+            } else if *pos < lines.len()
+                && lines[*pos].indent == indent
+                && is_seq_item(&lines[*pos].text)
+            {
+                // serde_yaml style: list items at the key's own indent.
+                parse_block_seq(lines, pos, indent)?
+            } else {
+                Value::Null
+            }
+        } else {
+            let mut cur = Cursor::new(&rest);
+            let v = cur.parse_flow()?;
+            cur.skip_spaces();
+            if !cur.at_end() {
+                return Err(Error::new(format!("trailing characters after `{key}`")));
+            }
+            v
+        };
+        entries.push((key, value));
+    }
+    Ok(Value::Map(entries))
+}
+
+/// Splits `key: rest` (or `key:`), handling quoted keys. Returns `None`
+/// when the line is not a map entry.
+fn split_map_entry(text: &str) -> Result<Option<(String, String)>, Error> {
+    if text.starts_with('"') {
+        let mut cur = Cursor::new(text);
+        let key = cur.parse_quoted()?;
+        cur.skip_spaces();
+        if cur.eat(':') {
+            let rest = cur.remainder().trim_start().to_string();
+            return Ok(Some((key, rest)));
+        }
+        return Ok(None);
+    }
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b':' && (i + 1 == bytes.len() || bytes[i + 1] == b' ') {
+            let key = text[..i].trim().to_string();
+            let rest = text[i + 1..].trim_start().to_string();
+            if key.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some((key, rest)));
+        }
+        // Structural characters before the colon mean this is not a plain
+        // `key: value` line (e.g. a flow collection).
+        if matches!(b, b'[' | b'{' | b'"') {
+            return Ok(None);
+        }
+    }
+    Ok(None)
+}
+
+/// Classifies a plain (unquoted) scalar.
+fn classify_plain(s: &str) -> Value {
+    match s {
+        "" | "~" | "null" | "Null" | "NULL" => return Value::Null,
+        "true" | "True" | "TRUE" => return Value::Bool(true),
+        "false" | "False" | "FALSE" => return Value::Bool(false),
+        ".nan" | ".NaN" => return Value::Float(f64::NAN),
+        ".inf" | "+.inf" => return Value::Float(f64::INFINITY),
+        "-.inf" => return Value::Float(f64::NEG_INFINITY),
+        _ => {}
+    }
+    let looks_numeric = s
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.');
+    if looks_numeric {
+        if !(s.contains('.') || s.contains('e') || s.contains('E')) {
+            if let Ok(i) = s.parse::<i64>() {
+                return Value::Int(i);
+            }
+            if let Ok(u) = s.parse::<u64>() {
+                return Value::UInt(u);
+            }
+        } else if let Ok(f) = s.parse::<f64>() {
+            return Value::Float(f);
+        }
+    }
+    Value::Str(s.to_string())
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    _src: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor {
+            chars: s.chars().collect(),
+            pos: 0,
+            _src: s,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_spaces(&mut self) {
+        while self.peek() == Some(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn remainder(&self) -> String {
+        self.chars[self.pos..].iter().collect()
+    }
+
+    fn parse_flow(&mut self) -> Result<Value, Error> {
+        self.skip_spaces();
+        match self.peek() {
+            Some('[') => self.parse_flow_seq(),
+            Some('{') => self.parse_flow_map(),
+            Some('"') => Ok(Value::Str(self.parse_quoted()?)),
+            Some('\'') => Ok(Value::Str(self.parse_single_quoted()?)),
+            _ => {
+                let text = self.take_plain();
+                Ok(classify_plain(text.trim()))
+            }
+        }
+    }
+
+    /// Consumes a plain scalar up to a flow terminator.
+    fn take_plain(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if matches!(c, ',' | ']' | '}') {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    fn parse_flow_seq(&mut self) -> Result<Value, Error> {
+        self.eat('[');
+        let mut items = Vec::new();
+        self.skip_spaces();
+        if self.eat(']') {
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_flow()?);
+            self.skip_spaces();
+            if self.eat(',') {
+                self.skip_spaces();
+                continue;
+            }
+            if self.eat(']') {
+                return Ok(Value::Seq(items));
+            }
+            return Err(Error::new("expected `,` or `]` in flow sequence"));
+        }
+    }
+
+    fn parse_flow_map(&mut self) -> Result<Value, Error> {
+        self.eat('{');
+        let mut entries = Vec::new();
+        self.skip_spaces();
+        if self.eat('}') {
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_spaces();
+            let key = if self.peek() == Some('"') {
+                self.parse_quoted()?
+            } else {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if matches!(c, ':' | ',' | '}') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                self.chars[start..self.pos]
+                    .iter()
+                    .collect::<String>()
+                    .trim()
+                    .to_string()
+            };
+            self.skip_spaces();
+            if !self.eat(':') {
+                return Err(Error::new("expected `:` in flow map"));
+            }
+            entries.push((key, self.parse_flow()?));
+            self.skip_spaces();
+            if self.eat(',') {
+                continue;
+            }
+            if self.eat('}') {
+                return Ok(Value::Map(entries));
+            }
+            return Err(Error::new("expected `,` or `}` in flow map"));
+        }
+    }
+
+    fn parse_quoted(&mut self) -> Result<String, Error> {
+        self.eat('"');
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated quoted string")),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        '0' => out.push('\0'),
+                        'u' => {
+                            let hex: String =
+                                self.chars[self.pos..(self.pos + 4).min(self.chars.len())]
+                                    .iter()
+                                    .collect();
+                            if hex.len() != 4 {
+                                return Err(Error::new("truncated \\u escape"));
+                            }
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape \\{other}")));
+                        }
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_single_quoted(&mut self) -> Result<String, Error> {
+        self.eat('\'');
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated quoted string")),
+                Some('\'') => {
+                    self.pos += 1;
+                    if self.peek() == Some('\'') {
+                        out.push('\'');
+                        self.pos += 1;
+                    } else {
+                        return Ok(out);
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn roundtrip(v: &Value) -> Value {
+        let yaml = {
+            let mut out = String::new();
+            match v {
+                Value::Map(e) if !e.is_empty() => emit_map(&mut out, e, 0),
+                Value::Seq(s) if !s.is_empty() => emit_seq(&mut out, s, 0),
+                other => {
+                    out.push_str(&flow(other));
+                    out.push('\n');
+                }
+            }
+            out
+        };
+        parse_document(&yaml).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{yaml}"))
+    }
+
+    #[test]
+    fn literal_flow_lists() {
+        let v = parse_document("pkt_sz: [64, 1500]\npkt_rate: [10000, 20000, 30000]\n").unwrap();
+        assert_eq!(
+            v.get("pkt_sz").unwrap(),
+            &Value::Seq(vec![Value::Int(64), Value::Int(1500)])
+        );
+        assert_eq!(v.get("pkt_rate").unwrap().as_seq().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn literal_typed_scalars() {
+        let v = parse_document("port: eno1\ncount: 5\nratio: 0.5\nenabled: true\n").unwrap();
+        assert_eq!(v.get("port").unwrap(), &Value::Str("eno1".into()));
+        assert_eq!(v.get("count").unwrap(), &Value::Int(5));
+        assert_eq!(v.get("ratio").unwrap(), &Value::Float(0.5));
+        assert_eq!(v.get("enabled").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn block_lists_and_inline_map_items() {
+        let doc = "roles:\n- role: loadgen\n  host: vriga\n- role: dut\n  host: vtartu\n";
+        let v = parse_document(doc).unwrap();
+        let roles = v.get("roles").unwrap().as_seq().unwrap();
+        assert_eq!(roles.len(), 2);
+        assert_eq!(roles[0].get("role").unwrap(), &Value::Str("loadgen".into()));
+        assert_eq!(roles[1].get("host").unwrap(), &Value::Str("vtartu".into()));
+    }
+
+    #[test]
+    fn emitted_documents_reparse_identically() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("linux-router".into())),
+            (
+                "script".into(),
+                Value::Str("echo hi\npos_sync start\nmgrep \"x: y\"".into()),
+            ),
+            (
+                "vars".into(),
+                Value::Map(vec![
+                    ("pkt_sz".into(), Value::Seq(vec![Value::Int(64), Value::Int(1500)])),
+                    ("ratio".into(), Value::Float(2.0)),
+                ]),
+            ),
+            (
+                "roles".into(),
+                Value::Seq(vec![Value::Map(vec![
+                    ("role".into(), Value::Str("dut".into())),
+                    ("count".into(), Value::Int(3)),
+                ])]),
+            ),
+            ("empty_list".into(), Value::Seq(vec![])),
+            ("empty_map".into(), Value::Map(vec![])),
+            ("nothing".into(), Value::Null),
+            ("numeric_string".into(), Value::Str("123".into())),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nested_sequences_roundtrip() {
+        let v = Value::Map(vec![(
+            "points".into(),
+            Value::Seq(vec![
+                Value::Seq(vec![Value::Float(1.0), Value::Float(2.5)]),
+                Value::Seq(vec![Value::Float(3.0), Value::Float(4.0)]),
+            ]),
+        )]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn top_level_scalars_and_flow() {
+        assert_eq!(parse_document("{}").unwrap(), Value::Map(vec![]));
+        assert_eq!(parse_document("[]").unwrap(), Value::Seq(vec![]));
+        assert_eq!(parse_document("5\n").unwrap(), Value::Int(5));
+        assert_eq!(parse_document("").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn typed_roundtrip_via_api() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        m.insert("b".to_string(), 2.0);
+        let yaml = to_string(&m).unwrap();
+        let back: BTreeMap<String, f64> = from_str(&yaml).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn comments_and_document_markers_are_skipped() {
+        let v = parse_document("---\n# a comment\na: 1\n\nb: 2\n").unwrap();
+        assert_eq!(v.get("a").unwrap(), &Value::Int(1));
+        assert_eq!(v.get("b").unwrap(), &Value::Int(2));
+    }
+}
