@@ -42,6 +42,7 @@ struct SweepOut {
 struct BenchOutput {
     sweep: SweepOut,
     campaign: chaos_campaign::CampaignReport,
+    resume: chaos_campaign::ResumeOverhead,
 }
 
 fn main() {
@@ -70,7 +71,12 @@ fn main() {
     let seed = env_f64("POS_CHAOS_SEED", 3.0) as u64;
     let chaos_run_secs = env_f64("POS_CHAOS_RUN_SECS", 30.0) as u64;
     println!("chaos campaign (seed {seed:#x}, {chaos_run_secs} s runs)...");
-    let report = chaos_campaign::run_campaign(seed, chaos_run_secs);
+    let root = std::env::temp_dir().join(format!(
+        "pos-bench-robustness-{seed}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let (report, result_dir) = chaos_campaign::run_campaign_at(seed, chaos_run_secs, &root);
     println!(
         "  events scheduled:       {}\n\
          \x20 runs attempted:         {}\n\
@@ -92,6 +98,21 @@ fn main() {
         report.mean_recovery_latency_ns as f64 / 1e9,
     );
 
+    // ---- resume overhead: what `pos resume` pays before executing
+    let resume = chaos_campaign::measure_resume_overhead(&result_dir);
+    println!(
+        "resume overhead (journal + digest verification, wall clock):\n\
+         \x20 journal records:        {}\n\
+         \x20 runs verified:          {}\n\
+         \x20 journal replay:         {} µs\n\
+         \x20 digest verification:    {} µs",
+        resume.journal_records,
+        resume.runs_verified,
+        resume.journal_replay_us,
+        resume.digest_verify_us,
+    );
+    let _ = std::fs::remove_dir_all(&root);
+
     let output = BenchOutput {
         sweep: SweepOut {
             run_secs,
@@ -107,6 +128,7 @@ fn main() {
                 .collect(),
         },
         campaign: report,
+        resume,
     };
     let out = "BENCH_robustness.json";
     std::fs::write(out, serde_json::to_string_pretty(&output).expect("serializes"))

@@ -101,6 +101,24 @@ pub mod chaos_campaign {
     /// graceful degradation on, and reports what survived. Same seed, same
     /// report — including the summary fingerprint.
     pub fn run_campaign(seed: u64, run_secs: u64) -> CampaignReport {
+        let root = std::env::temp_dir().join(format!(
+            "pos-bench-chaos-{seed}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let (report, _) = run_campaign_at(seed, run_secs, &root);
+        let _ = std::fs::remove_dir_all(&root);
+        report
+    }
+
+    /// Like [`run_campaign`], but leaves the result tree under `root` and
+    /// returns its path — the resume-overhead benchmark replays the
+    /// campaign journal and re-verifies every run digest against it.
+    pub fn run_campaign_at(
+        seed: u64,
+        run_secs: u64,
+        root: &std::path::Path,
+    ) -> (CampaignReport, std::path::PathBuf) {
         let mut tb = Testbed::new(seed);
         tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
         tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
@@ -120,12 +138,7 @@ pub mod chaos_campaign {
         );
 
         let plan = ChaosPlan::generate(seed, &["vriga", "vtartu"], &campaign_config());
-        let root = std::env::temp_dir().join(format!(
-            "pos-bench-chaos-{seed}-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&root);
-        let mut opts = RunOptions::new(&root);
+        let mut opts = RunOptions::new(root);
         opts.continue_on_run_failure = true;
 
         let mut ctl = Controller::new(&mut tb);
@@ -133,7 +146,6 @@ pub mod chaos_campaign {
         let outcome = ctl
             .run_experiment(&spec, &opts)
             .expect("degrades instead of aborting");
-        let _ = std::fs::remove_dir_all(&root);
 
         let runs_degraded = outcome
             .runs
@@ -145,7 +157,7 @@ pub mod chaos_campaign {
         } else {
             0
         };
-        CampaignReport {
+        let report = CampaignReport {
             seed,
             events: plan.len(),
             runs_attempted: outcome.runs.len(),
@@ -157,6 +169,63 @@ pub mod chaos_campaign {
             total_recovery_time_ns: outcome.total_recovery_time.as_nanos(),
             mean_recovery_latency_ns,
             summary: outcome.summary(),
+        };
+        (report, outcome.result_dir)
+    }
+
+    /// What `pos resume` pays before it executes anything: replaying the
+    /// campaign journal and re-verifying every completed run against its
+    /// recorded digest (manifest hash plus every artifact hash).
+    ///
+    /// The two phases are timed separately in wall-clock microseconds —
+    /// these are real I/O + SHA-256 costs, not virtual time, so they vary
+    /// between machines and runs (see the note in `scripts/ci.sh` about
+    /// comparing bench outputs).
+    #[derive(Debug, Serialize)]
+    pub struct ResumeOverhead {
+        /// Complete journal records replayed.
+        pub journal_records: usize,
+        /// `RunCompleted` records whose digests were re-verified.
+        pub runs_verified: usize,
+        /// Wall-clock cost of the journal replay, microseconds.
+        pub journal_replay_us: u64,
+        /// Wall-clock cost of digest + artifact verification, microseconds.
+        pub digest_verify_us: u64,
+    }
+
+    /// Measures [`ResumeOverhead`] against a finished campaign tree.
+    pub fn measure_resume_overhead(result_dir: &std::path::Path) -> ResumeOverhead {
+        use pos_core::journal::{Journal, JournalRecord, JOURNAL_FILE};
+        use pos_core::resultstore::ResultStore;
+        use std::time::Instant;
+
+        let t = Instant::now();
+        let replay = Journal::replay(&result_dir.join(JOURNAL_FILE)).expect("journal replays");
+        let journal_replay_us = t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let mut runs_verified = 0;
+        for rec in &replay.records {
+            if let JournalRecord::RunCompleted { index, digest, .. } = rec {
+                let run_dir = result_dir.join(format!("run-{index:04}"));
+                let on_disk = ResultStore::run_digest(&run_dir).expect("manifest readable");
+                assert_eq!(&on_disk, digest, "run {index} digest must verify");
+                assert!(
+                    ResultStore::verify_run(&run_dir)
+                        .expect("manifest parses")
+                        .is_clean(),
+                    "run {index} artifacts must verify"
+                );
+                runs_verified += 1;
+            }
+        }
+        let digest_verify_us = t.elapsed().as_micros() as u64;
+
+        ResumeOverhead {
+            journal_records: replay.records.len(),
+            runs_verified,
+            journal_replay_us,
+            digest_verify_us,
         }
     }
 

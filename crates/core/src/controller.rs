@@ -30,6 +30,7 @@
 //! [`Controller::apply_chaos`].
 
 use crate::experiment::{ExperimentSpec, SpecError};
+use crate::journal::{Journal, JournalError, JournalRecord, JOURNAL_FILE};
 use crate::loopvars::{cross_product_size, expand_cross_product, RunParams};
 use crate::resultstore::{run_metadata, ResultStore};
 use crate::script::Step;
@@ -39,7 +40,7 @@ use pos_simkernel::{Backoff, SimDuration, SimTime, TraceLevel};
 use pos_testbed::{CommandResult, ExecError, PowerError, Testbed};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Options for one experiment execution.
 #[derive(Debug, Clone)]
@@ -66,6 +67,20 @@ pub struct RunOptions {
     pub backoff_base: SimDuration,
     /// Upper bound of the exponential retry backoff.
     pub backoff_cap: SimDuration,
+    /// Deterministic crash injection for the crash-consistency harness:
+    /// the journal append with this zero-based sequence number fails with
+    /// an I/O error, aborting the campaign exactly at that record
+    /// boundary. `None` disables injection. Like the chaos plans, the
+    /// fault is data — the same knob reproduces the same interruption.
+    pub journal_crash_after: Option<u64>,
+    /// With [`Self::journal_crash_after`] set, the failing append first
+    /// writes half of its frame — a *torn write*, the on-disk artifact of
+    /// a machine crash mid-`write(2)` rather than a clean process kill.
+    pub journal_torn_write: bool,
+    /// Testbed flavor label journaled in `CampaignStarted` (`"pos"` or
+    /// `"vpos"`). A resume refuses a flavor mismatch: the flavors boot
+    /// differently, so the wrong one cannot replay the recorded timeline.
+    pub testbed_flavor: String,
 }
 
 impl RunOptions {
@@ -83,6 +98,9 @@ impl RunOptions {
             command_timeout: Some(SimDuration::from_hours(1)),
             backoff_base: SimDuration::from_millis(500),
             backoff_cap: SimDuration::from_secs(64),
+            journal_crash_after: None,
+            journal_torn_write: false,
+            testbed_flavor: "pos".into(),
         }
     }
 }
@@ -110,6 +128,14 @@ pub enum Progress {
         /// completed or asynchronously during their runtime") can process
         /// it while the next run executes.
         dir: PathBuf,
+    },
+    /// Resume verified a run completed by an earlier session (artifacts
+    /// match their journaled digest) and skipped re-executing it.
+    RunSkipped {
+        /// Zero-based index.
+        index: usize,
+        /// Total number of runs.
+        total: usize,
     },
     /// A flaky out-of-band power command is being retried after a backoff.
     PowerRetry {
@@ -324,6 +350,14 @@ pub enum ControllerError {
         /// What the plan validator rejected.
         reason: String,
     },
+    /// The campaign journal could not be replayed.
+    Journal(JournalError),
+    /// A resume request is inconsistent with the journaled campaign
+    /// (wrong seed, mutated spec, missing start record, ...).
+    Resume {
+        /// Why the resume was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -358,6 +392,8 @@ impl fmt::Display for ControllerError {
             ControllerError::Exec(e) => write!(f, "execution error: {e}"),
             ControllerError::Io(e) => write!(f, "result store error: {e}"),
             ControllerError::Chaos { reason } => write!(f, "chaos plan rejected: {reason}"),
+            ControllerError::Journal(e) => write!(f, "campaign journal error: {e}"),
+            ControllerError::Resume { reason } => write!(f, "cannot resume: {reason}"),
         }
     }
 }
@@ -701,33 +737,23 @@ impl<'t> Controller<'t> {
         Ok(aggregated)
     }
 
-    /// Runs a complete experiment: setup phase, all measurement runs, and
-    /// result capture. The result tree is left on disk for the evaluation
-    /// and publication phases.
-    pub fn run_experiment(
-        &mut self,
+    /// Validates the spec, folds repetitions into a synthetic loop
+    /// variable, checks hosts exist, and expands the cross product.
+    fn prepare(
+        &self,
         spec: &ExperimentSpec,
         opts: &RunOptions,
-    ) -> Result<ExperimentOutcome, ControllerError> {
+    ) -> Result<(ExperimentSpec, Vec<RunParams>), ControllerError> {
         spec.validate().map_err(ControllerError::Spec)?;
-        // Every in-band command from here on runs under the watchdog.
-        self.tb.set_command_timeout(opts.command_timeout);
         // Repetitions become an explicit loop variable: visible in every
         // run's metadata, ordinary for the evaluation phase.
-        let spec_with_reps;
-        let spec = if opts.repetitions > 1 {
-            let mut s = spec.clone();
+        let mut spec = spec.clone();
+        if opts.repetitions > 1 {
             let reps: Vec<crate::vars::VarValue> =
                 (0..i64::from(opts.repetitions)).map(Into::into).collect();
-            s.loop_vars.set("repetition", crate::vars::VarValue::List(reps));
-            spec_with_reps = s;
-            &spec_with_reps
-        } else {
-            spec
-        };
-
-        // -------------------------------------------------- setup phase
-        // Allocation through the calendar.
+            spec.loop_vars
+                .set("repetition", crate::vars::VarValue::List(reps));
+        }
         for role in &spec.roles {
             if self.tb.host(&role.host).is_none() {
                 return Err(ControllerError::UnknownHost {
@@ -745,6 +771,223 @@ impl<'t> Controller<'t> {
             }
             expand_cross_product(&spec.loop_vars)
         };
+        Ok((spec, runs))
+    }
+
+    /// Runs a complete experiment: setup phase, all measurement runs, and
+    /// result capture. The result tree is left on disk for the evaluation
+    /// and publication phases.
+    ///
+    /// Every lifecycle transition is journaled write-ahead into the
+    /// result tree's `journal.log`; an interrupted campaign can be picked
+    /// up with [`Self::resume_experiment`].
+    pub fn run_experiment(
+        &mut self,
+        spec: &ExperimentSpec,
+        opts: &RunOptions,
+    ) -> Result<ExperimentOutcome, ControllerError> {
+        let (spec, runs) = self.prepare(spec, opts)?;
+        // Every in-band command from here on runs under the watchdog.
+        self.tb.set_command_timeout(opts.command_timeout);
+        let started = self.tb.now();
+        let store = ResultStore::create(&opts.result_root, &spec.user, &spec.name, started)?;
+        let mut journal = Journal::create(store.dir().join(JOURNAL_FILE))?;
+        journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
+        journal.append(&JournalRecord::CampaignStarted {
+            seed: self.tb.seed(),
+            spec_digest: spec.digest(),
+            total_runs: runs.len(),
+            testbed: opts.testbed_flavor.clone(),
+            started_ns: started.as_nanos(),
+        })?;
+        self.execute_campaign(&spec, opts, store, journal, runs, ResumeState::default())
+    }
+
+    /// Resumes an interrupted campaign from its result tree.
+    ///
+    /// The journal is replayed (a torn tail from a crash mid-append is
+    /// tolerated; corruption is not), the campaign's identity is checked
+    /// — same testbed flavor and seed, same spec digest, same
+    /// cross-product size —
+    /// and every journaled-complete run is verified on disk against its
+    /// recorded digest. Verified runs are skipped; everything else
+    /// (incomplete runs, runs whose artifacts fail verification) is wiped
+    /// and re-executed.
+    ///
+    /// Determinism contract: resuming on a fresh testbed with the
+    /// original seed replays the setup phase identically, fast-forwards
+    /// the virtual clock and the shared management RNG stream over each
+    /// skipped run (discarding chaos events the original session already
+    /// consumed), and therefore produces a result tree byte-identical to
+    /// an uninterrupted execution — `journal.log` excepted, since the
+    /// journal *is* the record of the interruption.
+    ///
+    /// `spec` should be the stored effective spec, e.g. loaded via
+    /// [`ExperimentSpec::from_dir`] from `<result-dir>/experiment/`.
+    pub fn resume_experiment(
+        &mut self,
+        result_dir: &Path,
+        spec: &ExperimentSpec,
+        opts: &RunOptions,
+    ) -> Result<ExperimentOutcome, ControllerError> {
+        let (spec, runs) = self.prepare(spec, opts)?;
+        self.tb.set_command_timeout(opts.command_timeout);
+
+        let store = ResultStore::open(result_dir);
+        let journal_path = store.dir().join(JOURNAL_FILE);
+        let replay = Journal::replay(&journal_path).map_err(ControllerError::Journal)?;
+        let (seed, spec_digest, total_runs, testbed) = match replay.campaign_start() {
+            Some(JournalRecord::CampaignStarted {
+                seed,
+                spec_digest,
+                total_runs,
+                testbed,
+                ..
+            }) => (*seed, spec_digest.clone(), *total_runs, testbed.clone()),
+            _ => {
+                return Err(ControllerError::Resume {
+                    reason: "journal has no CampaignStarted record".into(),
+                })
+            }
+        };
+        if testbed != opts.testbed_flavor {
+            return Err(ControllerError::Resume {
+                reason: format!(
+                    "campaign ran on the `{testbed}` testbed, resume is using `{}`",
+                    opts.testbed_flavor
+                ),
+            });
+        }
+        if seed != self.tb.seed() {
+            return Err(ControllerError::Resume {
+                reason: format!(
+                    "campaign ran on testbed seed {seed:#x}, this testbed uses {:#x}",
+                    self.tb.seed()
+                ),
+            });
+        }
+        if spec_digest != spec.digest() {
+            return Err(ControllerError::Resume {
+                reason: "experiment spec changed since the campaign started \
+                         (digest mismatch)"
+                    .into(),
+            });
+        }
+        if total_runs != runs.len() {
+            return Err(ControllerError::Resume {
+                reason: format!(
+                    "campaign planned {total_runs} runs, spec now expands to {}",
+                    runs.len()
+                ),
+            });
+        }
+        if replay.torn_tail {
+            self.tb.trace.log(
+                self.tb.now(),
+                TraceLevel::Debug,
+                "controller",
+                format!(
+                    "resume: journal has a torn tail ({} bytes), discarded",
+                    replay.torn_bytes
+                ),
+            );
+        }
+
+        // Last RunCompleted record wins per index (a run re-executed by an
+        // earlier resume appends a fresh record).
+        let mut last_completed: BTreeMap<usize, usize> = BTreeMap::new();
+        for (pos, rec) in replay.records.iter().enumerate() {
+            if let JournalRecord::RunCompleted { index, .. } = rec {
+                last_completed.insert(*index, pos);
+            }
+        }
+        let last_completed_pos = last_completed.values().copied().max();
+
+        let mut state = ResumeState::default();
+        for (&index, &pos) in &last_completed {
+            let JournalRecord::RunCompleted {
+                success,
+                attempts,
+                recoveries,
+                recovery_time_ns,
+                finished_ns,
+                rng_cursor,
+                digest,
+                fault_trace,
+                ..
+            } = &replay.records[pos]
+            else {
+                unreachable!("positions index RunCompleted records");
+            };
+            // Two-level verification: journaled digest → manifest bytes →
+            // per-file hashes. Anything off demotes the run to incomplete
+            // and it is re-executed from scratch.
+            let run_dir = store.dir().join(format!("run-{index:04}"));
+            let digest_ok = ResultStore::run_digest(&run_dir)
+                .map(|d| &d == digest)
+                .unwrap_or(false);
+            let files_ok = digest_ok
+                && ResultStore::verify_run(&run_dir)
+                    .map(|v| v.is_clean())
+                    .unwrap_or(false);
+            if files_ok {
+                state.completed.insert(
+                    index,
+                    CompletedRun {
+                        success: *success,
+                        attempts: *attempts,
+                        recoveries: *recoveries,
+                        recovery_time_ns: *recovery_time_ns,
+                        finished_ns: *finished_ns,
+                        rng_cursor: *rng_cursor,
+                        fault_trace: fault_trace.clone(),
+                    },
+                );
+            } else {
+                self.tb.trace.log(
+                    self.tb.now(),
+                    TraceLevel::Debug,
+                    "controller",
+                    format!("resume: run {index} failed verification, re-executing"),
+                );
+            }
+        }
+
+        // Quarantines recorded before the last durable run are part of
+        // history the skipped runs already depend on; later ones belong
+        // to the trailing incomplete run and are re-derived by
+        // re-executing it.
+        if let Some(limit) = last_completed_pos {
+            for rec in &replay.records[..limit] {
+                if let JournalRecord::HostQuarantined { host, .. } = rec {
+                    if !state.quarantined.contains(host) {
+                        state.quarantined.push(host.clone());
+                    }
+                }
+            }
+        }
+
+        let mut journal = Journal::open_append(&journal_path)?;
+        journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
+        journal.append(&JournalRecord::CampaignResumed {
+            resumed_ns: self.tb.now().as_nanos(),
+            verified_runs: state.completed.len(),
+        })?;
+        self.execute_campaign(&spec, opts, store, journal, runs, state)
+    }
+
+    /// The shared campaign body: setup phase, measurement loop (skipping
+    /// resume-verified runs), wrap-up. `resume` is empty for a fresh run.
+    fn execute_campaign(
+        &mut self,
+        spec: &ExperimentSpec,
+        opts: &RunOptions,
+        store: ResultStore,
+        mut journal: Journal,
+        runs: Vec<RunParams>,
+        resume: ResumeState,
+    ) -> Result<ExperimentOutcome, ControllerError> {
+        // -------------------------------------------------- setup phase
         let started = self.tb.now();
         let hosts = spec.hosts();
         let reservation = self
@@ -758,7 +1001,6 @@ impl<'t> Controller<'t> {
             )
             .map_err(ControllerError::Allocation)?;
 
-        let store = ResultStore::create(&opts.result_root, &spec.user, &spec.name, started)?;
         self.tb.trace.log(
             started,
             TraceLevel::Info,
@@ -852,13 +1094,80 @@ impl<'t> Controller<'t> {
         let mut failed_runs: Vec<usize> = Vec::new();
         let mut quarantined_hosts: Vec<String> = Vec::new();
         let mut total_recovery_time = SimDuration::ZERO;
+        // Quarantines journaled before the last durable run are history
+        // the skipped runs executed under; restore them silently (no Info
+        // log — the uninterrupted session logged the transition at fault
+        // time, and resumed controller.log must stay byte-stable).
+        for host in &resume.quarantined {
+            self.health.insert(host.clone(), HostHealth::Quarantined);
+            self.tb.trace.log(
+                self.tb.now(),
+                TraceLevel::Debug,
+                "controller",
+                format!("resume: {host} restored as quarantined"),
+            );
+            quarantined_hosts.push(host.clone());
+        }
         for run in &runs {
+            if let Some(done) = resume.completed.get(&run.index) {
+                // Verified complete by an earlier session: fast-forward
+                // the virtual clock to the recorded run end and seek the
+                // shared management RNG stream to its recorded cursor —
+                // the timeline continues exactly as if this session had
+                // executed the run itself. Chaos events due inside the
+                // skipped window: a journaled recovery means the original
+                // session consumed them (host rebooted, setup re-run), so
+                // they are discarded; with no recovery a crash in the
+                // window went *undetected* — the host died mid-run with
+                // nothing touching it — and the event is left scheduled,
+                // so it fires at the next executed command exactly where
+                // the original session first observed it.
+                self.tb.set_now(SimTime::from_nanos(done.finished_ns));
+                if done.recoveries > 0 {
+                    self.tb.discard_due_faults();
+                }
+                self.tb.rng_seek(done.rng_cursor);
+                self.tb.trace.log(
+                    self.tb.now(),
+                    TraceLevel::Debug,
+                    "controller",
+                    format!("resume: run {} verified, skipped", run.index),
+                );
+                total_recoveries += done.recoveries;
+                total_recovery_time += SimDuration::from_nanos(done.recovery_time_ns);
+                if !done.success {
+                    failed_runs.push(run.index);
+                }
+                let run_dir = store.run_dir(run.index)?;
+                let outputs = Self::reload_outputs(spec, &run_dir)?;
+                self.emit(Progress::RunSkipped {
+                    index: run.index,
+                    total,
+                });
+                records.push(RunRecord {
+                    params: run.clone(),
+                    outputs,
+                    attempts: done.attempts,
+                    success: done.success,
+                    recoveries: done.recoveries,
+                    fault_trace: done.fault_trace.clone(),
+                });
+                continue;
+            }
+            // Not durable: clear any partial leftovers first, so what the
+            // crash happened to leave behind cannot influence convergence.
+            store.wipe_run(run.index)?;
             let run_started = self.tb.now();
+            journal.append(&JournalRecord::RunStarted {
+                index: run.index,
+                started_ns: run_started.as_nanos(),
+            })?;
             // Sequence number of the next trace entry; robust against ring
             // eviction (`len` alone would drift once entries are dropped).
             let trace_mark = self.tb.trace.len() as u64 + self.tb.trace.dropped();
             let mut attempts = 0u32;
             let mut recoveries = 0u32;
+            let mut run_recovery_time = SimDuration::ZERO;
             let mut outputs = BTreeMap::new();
             let mut success = false;
             let mut backoff = self.backoff(opts, &format!("run/{}", run.index));
@@ -972,8 +1281,9 @@ impl<'t> Controller<'t> {
                     self.set_health(&host, HostHealth::Reinitializing);
                     match self.recover_host(&host, spec, run, opts) {
                         Ok(()) => {
-                            total_recovery_time +=
-                                self.tb.now().saturating_duration_since(recovery_started);
+                            let took = self.tb.now().saturating_duration_since(recovery_started);
+                            total_recovery_time += took;
+                            run_recovery_time += took;
                             self.set_health(&host, HostHealth::Healthy);
                             self.emit(Progress::HostRecovered { host: host.clone() });
                             recoveries += 1;
@@ -989,6 +1299,10 @@ impl<'t> Controller<'t> {
                                 format!("{host}: recovery failed, quarantined ({e})"),
                             );
                             self.emit(Progress::HostQuarantined { host: host.clone() });
+                            journal.append(&JournalRecord::HostQuarantined {
+                                host: host.clone(),
+                                at_ns: self.tb.now().as_nanos(),
+                            })?;
                             if opts.continue_on_run_failure {
                                 break 'attempts;
                             }
@@ -1022,8 +1336,7 @@ impl<'t> Controller<'t> {
                     for key in keys {
                         let data = host.fs.remove(&key).expect("key just listed");
                         let base = key.rsplit('/').next().expect("non-empty path");
-                        let dir = store.run_dir(run.index)?;
-                        std::fs::write(dir.join(format!("{}_{base}", role.role)), data)?;
+                        store.write_run_file(run.index, &format!("{}_{base}", role.role), data)?;
                     }
                 }
             }
@@ -1040,6 +1353,9 @@ impl<'t> Controller<'t> {
                 success,
                 hosts_map,
             ))?;
+            // Seal the run: the checksum manifest is the last artifact
+            // written, so its presence certifies every other one.
+            let digest = store.finalize_run(run.index)?;
             let run_dir = store.run_dir(run.index)?;
             self.emit(Progress::RunDone {
                 index: run.index,
@@ -1048,7 +1364,12 @@ impl<'t> Controller<'t> {
                 dir: run_dir,
             });
             if !success && !opts.continue_on_run_failure {
-                store.write("controller.log", self.tb.trace.render())?;
+                // No RunCompleted record: an aborting failure leaves the
+                // run journaled as started-only, so a resume retries it.
+                store.write(
+                    "controller.log",
+                    self.tb.trace.render_min_level(TraceLevel::Info),
+                )?;
                 return Err(ControllerError::RunFailed {
                     index: run.index,
                     attempts,
@@ -1065,6 +1386,18 @@ impl<'t> Controller<'t> {
                 .filter(|e| e.level >= TraceLevel::Warn)
                 .map(|e| e.to_string())
                 .collect();
+            journal.append(&JournalRecord::RunCompleted {
+                index: run.index,
+                success,
+                attempts,
+                recoveries,
+                recovery_time_ns: run_recovery_time.as_nanos(),
+                started_ns: run_started.as_nanos(),
+                finished_ns: self.tb.now().as_nanos(),
+                rng_cursor: self.tb.rng_cursor(),
+                digest,
+                fault_trace: fault_trace.clone(),
+            })?;
             if !success {
                 failed_runs.push(run.index);
             }
@@ -1079,8 +1412,21 @@ impl<'t> Controller<'t> {
         }
 
         // ------------------------------------------------------ wrap-up
+        // controller.log is rendered Info-and-above: the deterministic
+        // campaign story. (Debug chatter would differ between a resumed
+        // and an uninterrupted session, breaking byte-identical trees.)
+        // It lands *before* CampaignFinished, so a finished journal
+        // implies a complete tree.
         let finished = self.tb.now();
-        store.write("controller.log", self.tb.trace.render())?;
+        store.write(
+            "controller.log",
+            self.tb.trace.render_min_level(TraceLevel::Info),
+        )?;
+        journal.append(&JournalRecord::CampaignFinished {
+            finished_ns: finished.as_nanos(),
+            succeeded: records.iter().filter(|r| r.success).count(),
+            failed: failed_runs.len(),
+        })?;
         self.tb.calendar.release(reservation);
         Ok(ExperimentOutcome {
             result_dir: store.dir().to_path_buf(),
@@ -1093,6 +1439,61 @@ impl<'t> Controller<'t> {
             total_recovery_time,
         })
     }
+
+    /// Rebuilds the in-memory per-role outputs of a verified, skipped run
+    /// from its on-disk artifacts. Command durations are not persisted,
+    /// so reloaded results carry zero durations — run timing lives in the
+    /// metadata, which is restored verbatim from disk.
+    fn reload_outputs(
+        spec: &ExperimentSpec,
+        run_dir: &Path,
+    ) -> std::io::Result<BTreeMap<String, CommandResult>> {
+        let mut outputs = BTreeMap::new();
+        for role in &spec.roles {
+            let status = run_dir.join(format!("{}_measurement.status", role.role));
+            let Ok(code_text) = std::fs::read_to_string(&status) else {
+                // No status file: the run never produced outputs for this
+                // role (e.g. it failed fast on a quarantined host).
+                continue;
+            };
+            let exit_code = code_text.trim().parse::<i32>().unwrap_or(0);
+            let stdout = std::fs::read_to_string(
+                run_dir.join(format!("{}_measurement.log", role.role)),
+            )
+            .unwrap_or_default();
+            let stderr = std::fs::read_to_string(
+                run_dir.join(format!("{}_measurement.err", role.role)),
+            )
+            .unwrap_or_default();
+            let mut result = CommandResult::ok(stdout);
+            result.stderr = stderr;
+            result.exit_code = exit_code;
+            outputs.insert(role.role.clone(), result);
+        }
+        Ok(outputs)
+    }
+}
+
+/// What a resume session learned from the journal: runs it may skip and
+/// host state it must restore. Empty for a fresh campaign.
+#[derive(Debug, Default)]
+struct ResumeState {
+    /// Verified-complete runs by index.
+    completed: BTreeMap<usize, CompletedRun>,
+    /// Hosts quarantined before the last durable run, in journal order.
+    quarantined: Vec<String>,
+}
+
+/// The journaled post-state of one verified-complete run.
+#[derive(Debug)]
+struct CompletedRun {
+    success: bool,
+    attempts: u32,
+    recoveries: u32,
+    recovery_time_ns: u64,
+    finished_ns: u64,
+    rng_cursor: u64,
+    fault_trace: Vec<String>,
 }
 
 /// Internal: a script step failed.

@@ -209,6 +209,16 @@ impl ExperimentSpec {
         serde_yaml::to_string(self).expect("spec always serializes")
     }
 
+    /// SHA-256 fingerprint of the spec's canonical YAML form.
+    ///
+    /// Recorded in the campaign journal's `CampaignStarted` record;
+    /// `pos resume` refuses a result tree whose stored spec no longer
+    /// digests to the journaled value, so an interrupted campaign can
+    /// never be "resumed" into a different experiment.
+    pub fn digest(&self) -> String {
+        crate::hash::sha256_hex(self.to_yaml().as_bytes())
+    }
+
     /// Writes the experiment as a file bundle, the layout of the
     /// `pos-artifacts` repository's `experiment/` folder: `experiment.yml`
     /// plus, per role, plain-text `setup.sh` / `measurement.sh` /

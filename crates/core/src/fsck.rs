@@ -1,0 +1,286 @@
+//! Offline integrity checking of a result tree (`pos fsck`).
+//!
+//! Cross-checks the three durability layers the store maintains:
+//!
+//! 1. the campaign journal (`journal.log`) — replayable, torn tail
+//!    reported, corruption rejected;
+//! 2. per-run checksum manifests (`checksums.json`) — every journaled
+//!    run digest must match the manifest bytes on disk;
+//! 3. the artifacts themselves — every manifest entry present and
+//!    byte-identical, no unlisted files.
+//!
+//! The report distinguishes *incomplete* (a crash artifact `pos resume`
+//! repairs) from *damaged* (missing/corrupt/extra artifacts in a run the
+//! journal claims durable — bit rot or tampering).
+
+use crate::journal::{Journal, JournalError, JournalRecord, JOURNAL_FILE};
+use crate::resultstore::{ResultStore, RunVerification};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Integrity status of one run directory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// Manifest and all artifacts match the journaled digest.
+    Verified,
+    /// Journaled as completed, but the on-disk manifest hashes to a
+    /// different digest (or is missing/unreadable).
+    DigestMismatch {
+        /// The digest the journal recorded.
+        journaled: String,
+        /// The digest of the manifest on disk, if one could be read.
+        on_disk: Option<String>,
+    },
+    /// Manifest digest matches but artifacts diverge from it.
+    Damaged(RunVerification),
+    /// The journal never recorded this run as completed — a crash
+    /// artifact; `pos resume` wipes and re-executes it.
+    Incomplete,
+    /// Journaled as completed but the run directory does not exist.
+    Missing,
+}
+
+impl RunStatus {
+    /// True for states a clean tree may not contain.
+    pub fn is_problem(&self) -> bool {
+        !matches!(self, RunStatus::Verified)
+    }
+}
+
+/// One run's entry in the report.
+#[derive(Debug, Clone)]
+pub struct RunFsck {
+    /// Zero-based run index.
+    pub index: usize,
+    /// What the check found.
+    pub status: RunStatus,
+}
+
+/// Everything `fsck` found out about a result tree.
+#[derive(Debug)]
+pub struct FsckReport {
+    /// The checked tree.
+    pub result_dir: PathBuf,
+    /// Complete journal records replayed.
+    pub journal_records: usize,
+    /// True when the journal ends in a torn (partially written) record.
+    pub torn_tail: bool,
+    /// True when a `CampaignFinished` record is present.
+    pub campaign_finished: bool,
+    /// Runs the expanded campaign planned, per the journal.
+    pub planned_runs: Option<usize>,
+    /// Per-run findings, in index order.
+    pub runs: Vec<RunFsck>,
+    /// Tree-level problems (unreadable journal, no start record, ...).
+    pub errors: Vec<String>,
+}
+
+impl FsckReport {
+    /// True when the tree is complete and every artifact verifies.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+            && !self.torn_tail
+            && self.campaign_finished
+            && self.runs.iter().all(|r| !r.status.is_problem())
+    }
+
+    /// Indices of runs that need re-execution (anything not verified).
+    pub fn broken_runs(&self) -> Vec<usize> {
+        self.runs
+            .iter()
+            .filter(|r| r.status.is_problem())
+            .map(|r| r.index)
+            .collect()
+    }
+
+    /// Renders the human-readable report (`pos fsck` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fsck {}\n", self.result_dir.display()));
+        out.push_str(&format!(
+            "journal: {} records{}{}\n",
+            self.journal_records,
+            if self.torn_tail { ", torn tail" } else { "" },
+            if self.campaign_finished {
+                ", campaign finished"
+            } else {
+                ", campaign INCOMPLETE"
+            },
+        ));
+        if let Some(planned) = self.planned_runs {
+            let verified = self
+                .runs
+                .iter()
+                .filter(|r| r.status == RunStatus::Verified)
+                .count();
+            out.push_str(&format!("runs: {verified}/{planned} verified\n"));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("error: {e}\n"));
+        }
+        for run in &self.runs {
+            match &run.status {
+                RunStatus::Verified => {
+                    out.push_str(&format!("run {:04}: ok\n", run.index));
+                }
+                RunStatus::DigestMismatch { journaled, on_disk } => {
+                    out.push_str(&format!(
+                        "run {:04}: manifest digest mismatch (journal {}.., disk {})\n",
+                        run.index,
+                        &journaled[..12.min(journaled.len())],
+                        on_disk
+                            .as_ref()
+                            .map(|d| format!("{}..", &d[..12.min(d.len())]))
+                            .unwrap_or_else(|| "unreadable".into()),
+                    ));
+                }
+                RunStatus::Damaged(v) => {
+                    out.push_str(&format!("run {:04}: damaged", run.index));
+                    if !v.missing.is_empty() {
+                        out.push_str(&format!(" missing={:?}", v.missing));
+                    }
+                    if !v.corrupt.is_empty() {
+                        out.push_str(&format!(" corrupt={:?}", v.corrupt));
+                    }
+                    if !v.extra.is_empty() {
+                        out.push_str(&format!(" extra={:?}", v.extra));
+                    }
+                    out.push('\n');
+                }
+                RunStatus::Incomplete => {
+                    out.push_str(&format!(
+                        "run {:04}: incomplete (no completion record; resume re-executes it)\n",
+                        run.index
+                    ));
+                }
+                RunStatus::Missing => {
+                    out.push_str(&format!(
+                        "run {:04}: journaled complete but directory is missing\n",
+                        run.index
+                    ));
+                }
+            }
+        }
+        out.push_str(if self.is_clean() {
+            "status: clean\n"
+        } else {
+            "status: NOT clean\n"
+        });
+        out
+    }
+}
+
+/// Checks a result tree: replays its journal, verifies every journaled
+/// run against its digest and manifest, and reports run directories the
+/// journal does not account for.
+pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
+    let store = ResultStore::open(result_dir);
+    let mut report = FsckReport {
+        result_dir: result_dir.to_path_buf(),
+        journal_records: 0,
+        torn_tail: false,
+        campaign_finished: false,
+        planned_runs: None,
+        runs: Vec::new(),
+        errors: Vec::new(),
+    };
+
+    let journal_path = result_dir.join(JOURNAL_FILE);
+    let replay = match Journal::replay(&journal_path) {
+        Ok(r) => Some(r),
+        Err(JournalError::Io(e)) => {
+            report.errors.push(format!("journal unreadable: {e}"));
+            None
+        }
+        Err(e @ JournalError::Corrupt { .. }) => {
+            report.errors.push(e.to_string());
+            None
+        }
+    };
+
+    // Journaled completion per run index, last record wins.
+    let mut completed: BTreeMap<usize, String> = BTreeMap::new();
+    if let Some(replay) = &replay {
+        report.journal_records = replay.records.len();
+        report.torn_tail = replay.torn_tail;
+        report.campaign_finished = replay.finished();
+        match replay.campaign_start() {
+            Some(JournalRecord::CampaignStarted { total_runs, .. }) => {
+                report.planned_runs = Some(*total_runs);
+            }
+            _ => report
+                .errors
+                .push("journal has no CampaignStarted record".into()),
+        }
+        for rec in &replay.records {
+            if let JournalRecord::RunCompleted { index, digest, .. } = rec {
+                completed.insert(*index, digest.clone());
+            }
+        }
+    }
+
+    // Run directories actually on disk.
+    let on_disk: BTreeMap<usize, PathBuf> = store
+        .list_runs()?
+        .into_iter()
+        .filter_map(|dir| {
+            dir.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("run-"))
+                .and_then(|n| n.parse::<usize>().ok())
+                .map(|idx| (idx, dir))
+        })
+        .collect();
+
+    let mut indices: Vec<usize> = completed.keys().copied().collect();
+    for idx in on_disk.keys() {
+        if !completed.contains_key(idx) {
+            indices.push(*idx);
+        }
+    }
+    indices.sort_unstable();
+
+    for index in indices {
+        let status = match (completed.get(&index), on_disk.get(&index)) {
+            (Some(journaled), Some(dir)) => {
+                let disk_digest = ResultStore::run_digest(dir).ok();
+                if disk_digest.as_ref() != Some(journaled) {
+                    RunStatus::DigestMismatch {
+                        journaled: journaled.clone(),
+                        on_disk: disk_digest,
+                    }
+                } else {
+                    match ResultStore::verify_run(dir) {
+                        Ok(v) if v.is_clean() => RunStatus::Verified,
+                        Ok(v) => RunStatus::Damaged(v),
+                        Err(e) => RunStatus::DigestMismatch {
+                            journaled: journaled.clone(),
+                            on_disk: Some(format!("unreadable: {e}")),
+                        },
+                    }
+                }
+            }
+            (Some(_), None) => RunStatus::Missing,
+            (None, Some(_)) => RunStatus::Incomplete,
+            (None, None) => unreachable!("index came from one of the maps"),
+        };
+        report.runs.push(RunFsck { index, status });
+    }
+
+    // Planned runs the tree has no trace of at all also count as
+    // incomplete when the campaign claims to be finished.
+    if let (Some(planned), true) = (report.planned_runs, report.campaign_finished) {
+        for index in 0..planned {
+            if !completed.contains_key(&index) && !on_disk.contains_key(&index) {
+                report.runs.push(RunFsck {
+                    index,
+                    status: RunStatus::Incomplete,
+                });
+            }
+        }
+        report.runs.sort_by_key(|r| r.index);
+    }
+
+    Ok(report)
+}

@@ -1,0 +1,255 @@
+//! SHA-256 (FIPS 180-4), implemented from the specification.
+//!
+//! Fingerprints every result-tree artifact (per-run checksum manifests,
+//! journal records, published bundles). Self-contained so the on-disk
+//! formats do not depend on an external crypto crate. Lives in `pos-core`
+//! because the result store is the first producer of digests; `pos-publish`
+//! re-exports it for the bundle manifest.
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Streaming SHA-256 state.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    h: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bytes: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hash state.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            h: H0,
+            buffer: [0; 64],
+            buffered: 0,
+            length_bytes: 0,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bytes = self
+            .length_bytes
+            .checked_add(data.len() as u64)
+            .expect("SHA-256 input over 2^64 bits");
+        // Fill the partial block first.
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+            if data.is_empty() {
+                // The buffer may still hold a partial block; the remainder
+                // handling below must not clobber `buffered`.
+                return;
+            }
+        }
+        // Whole blocks straight from the input.
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+    }
+
+    /// Finalizes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.length_bytes * 8;
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update_padding(&[0x80]);
+        while self.buffered != 56 {
+            self.update_padding(&[0]);
+        }
+        self.update_padding(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// `update` without length accounting (padding bytes).
+    fn update_padding(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.buffer[self.buffered] = byte;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+        self.h[5] = self.h[5].wrapping_add(f);
+        self.h[6] = self.h[6].wrapping_add(g);
+        self.h[7] = self.h[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256, hex-encoded.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(data);
+    let digest = h.finalize();
+    let mut out = String::with_capacity(64);
+    for b in digest {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // FIPS 180-4 / NIST test vectors.
+    #[test]
+    fn nist_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        for _ in 0..1000 {
+            h.update(&[b'a'; 1000]);
+        }
+        let hex: String = h.finalize().iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(
+            hex,
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundaries() {
+        // 55/56/63/64/65 bytes exercise every padding branch.
+        for n in [55usize, 56, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x61u8; n];
+            let oneshot = sha256_hex(&data);
+            let mut streamed = Sha256::new();
+            for chunk in data.chunks(7) {
+                streamed.update(chunk);
+            }
+            let hex: String = streamed
+                .finalize()
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect();
+            assert_eq!(oneshot, hex, "length {n}");
+        }
+    }
+
+    proptest! {
+        /// Chunking never changes the digest.
+        #[test]
+        fn prop_streaming_equals_oneshot(
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+            chunk in 1usize..97,
+        ) {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            let hex: String = h.finalize().iter().map(|b| format!("{b:02x}")).collect();
+            prop_assert_eq!(hex, sha256_hex(&data));
+        }
+
+        /// Distinct inputs (almost surely) hash differently; at minimum a
+        /// single appended byte must change the digest.
+        #[test]
+        fn prop_extension_changes_digest(data in proptest::collection::vec(any::<u8>(), 0..256), extra: u8) {
+            let mut extended = data.clone();
+            extended.push(extra);
+            prop_assert_ne!(sha256_hex(&data), sha256_hex(&extended));
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! The append-only campaign journal.
+//!
+//! A campaign (one `run_experiment` invocation) writes a write-ahead log
+//! of its lifecycle into `journal.log` at the root of the result tree.
+//! Every record is framed, checksummed, and fsynced before the controller
+//! proceeds, so after a crash — of the controller process or the machine —
+//! the journal tells exactly how far the campaign got:
+//!
+//! ```text
+//! POSJ1 <len:08x> <sha256-hex-of-json> <json>\n
+//! ```
+//!
+//! The frame makes two failure modes distinguishable on replay:
+//!
+//! * **Torn tail** — the file ends mid-record (crash during an append).
+//!   The complete prefix is valid; the tail is reported and ignored.
+//!   This is the *expected* crash artifact and resume handles it.
+//! * **Corruption** — a complete frame whose payload does not match its
+//!   checksum (bit rot, manual editing). This is never produced by a
+//!   crash and replay refuses the journal.
+//!
+//! [`crate::controller::Controller::resume_experiment`] replays the
+//! journal to skip verified-complete runs; [`crate::fsck`] replays it to
+//! audit a result tree offline.
+
+use crate::hash::sha256_hex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame magic; bump the digit for incompatible format changes.
+pub const JOURNAL_MAGIC: &str = "POSJ1";
+
+/// File name of the journal inside a result tree.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// One campaign lifecycle event.
+///
+/// Records are self-describing externally-tagged JSON objects
+/// (`{"RunStarted":{...}}`), so a journal survives the addition of new
+/// fields (serde ignores unknown keys on replay of older code's
+/// journals... and fails loudly on missing ones, which is what we want
+/// for a consistency mechanism).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// The campaign allocated hosts and created the result tree.
+    CampaignStarted {
+        /// Testbed root seed — a resume must run on the same seed to
+        /// reproduce the boot/fault timeline.
+        seed: u64,
+        /// SHA-256 of the effective experiment spec (see
+        /// [`crate::experiment::ExperimentSpec::digest`]); guards resume
+        /// against a spec that was edited after the fact.
+        spec_digest: String,
+        /// Size of the expanded cross product.
+        total_runs: usize,
+        /// Testbed flavor the campaign ran on (`"pos"` bare metal,
+        /// `"vpos"` virtualized) — the two boot differently, so a resume
+        /// on the wrong one would diverge from the recorded timeline.
+        testbed: String,
+        /// Virtual start time, nanoseconds.
+        started_ns: u64,
+    },
+    /// A later session picked the campaign up again.
+    CampaignResumed {
+        /// Virtual time of the resuming session at takeover, nanoseconds.
+        resumed_ns: u64,
+        /// How many runs the resuming session verified and skipped.
+        verified_runs: usize,
+    },
+    /// A measurement run began executing.
+    RunStarted {
+        /// Zero-based run index in cross-product order.
+        index: usize,
+        /// Virtual start time, nanoseconds.
+        started_ns: u64,
+    },
+    /// A measurement run reached a terminal state and its artifacts are
+    /// durable (written, checksummed, manifest fsynced).
+    RunCompleted {
+        /// Zero-based run index.
+        index: usize,
+        /// Whether the final attempt succeeded.
+        success: bool,
+        /// Attempts consumed (0 = failed fast on a quarantined host).
+        attempts: u32,
+        /// Out-of-band recoveries this run triggered.
+        recoveries: u32,
+        /// Virtual time spent in recovery during this run, nanoseconds.
+        recovery_time_ns: u64,
+        /// Virtual start time of the run, nanoseconds.
+        started_ns: u64,
+        /// Virtual end time of the run, nanoseconds.
+        finished_ns: u64,
+        /// Draw count of the testbed's shared management RNG stream at
+        /// run end; resume seeks the stream here after skipping the run.
+        rng_cursor: u64,
+        /// SHA-256 of the run's `checksums.json` — the run tree digest.
+        digest: String,
+        /// Warn-and-above trace lines captured during the run.
+        fault_trace: Vec<String>,
+    },
+    /// A host's recovery failed beyond the retry budget.
+    HostQuarantined {
+        /// The quarantined host.
+        host: String,
+        /// Virtual time of the quarantine, nanoseconds.
+        at_ns: u64,
+    },
+    /// The campaign ran to completion (controller.log is durable).
+    CampaignFinished {
+        /// Virtual end time, nanoseconds.
+        finished_ns: u64,
+        /// Successful runs.
+        succeeded: usize,
+        /// Failed-but-recorded runs.
+        failed: usize,
+    },
+}
+
+/// Why a journal could not be replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Reading the file failed.
+    Io(io::Error),
+    /// A complete frame failed validation — not a crash artifact.
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// What exactly failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Result of replaying a journal file.
+#[derive(Debug)]
+pub struct Replay {
+    /// All complete, validated records in append order.
+    pub records: Vec<JournalRecord>,
+    /// True when the file ends mid-record (crash during an append).
+    pub torn_tail: bool,
+    /// Bytes in the torn tail, if any.
+    pub torn_bytes: usize,
+}
+
+impl Replay {
+    /// The `CampaignStarted` record, if the journal has one (it is
+    /// always the first record of a well-formed journal).
+    pub fn campaign_start(&self) -> Option<&JournalRecord> {
+        match self.records.first() {
+            Some(r @ JournalRecord::CampaignStarted { .. }) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True when a `CampaignFinished` record is present.
+    pub fn finished(&self) -> bool {
+        self.records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::CampaignFinished { .. }))
+    }
+}
+
+/// Writer handle for a campaign journal.
+///
+/// Appends are write-ahead: the record is framed, written, and fsynced
+/// before `append` returns, so a record's presence in the journal is a
+/// durable promise that the state it describes was reached.
+///
+/// For the crash-injection harness the writer can be armed to fail (and
+/// optionally tear) the *k*-th append — see [`Journal::arm_crash`]. This
+/// mirrors the testbed's deterministic chaos knobs: the fault is data,
+/// not wall-clock luck.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    appended: u64,
+    crash_after: Option<u64>,
+    torn_write: bool,
+}
+
+impl Journal {
+    /// Creates a fresh journal file (truncating any existing one).
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Journal> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let f = fs::File::create(&path)?;
+        f.sync_all()?;
+        Ok(Journal {
+            path,
+            appended: 0,
+            crash_after: None,
+            torn_write: false,
+        })
+    }
+
+    /// Opens an existing journal for appending (resume sessions).
+    ///
+    /// A torn tail left by a crash mid-append is truncated away first —
+    /// appending after partial-frame garbage would turn an honest crash
+    /// artifact into irrecoverable corruption. A journal that replays as
+    /// corrupt is refused.
+    pub fn open_append(path: impl Into<PathBuf>) -> io::Result<Journal> {
+        let path = path.into();
+        if !path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no journal at {}", path.display()),
+            ));
+        }
+        match Self::replay(&path) {
+            Ok(replay) if replay.torn_tail => {
+                let f = fs::OpenOptions::new().write(true).open(&path)?;
+                let len = f.metadata()?.len();
+                f.set_len(len - replay.torn_bytes as u64)?;
+                f.sync_all()?;
+            }
+            Ok(_) => {}
+            Err(JournalError::Io(e)) => return Err(e),
+            Err(e @ JournalError::Corrupt { .. }) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+        Ok(Journal {
+            path,
+            appended: 0,
+            crash_after: None,
+            torn_write: false,
+        })
+    }
+
+    /// Arms deterministic crash injection: the append with zero-based
+    /// sequence number `after` fails with [`io::ErrorKind::Interrupted`].
+    /// With `torn` the failing append first writes a partial frame,
+    /// simulating a machine crash mid-`write(2)`.
+    pub fn arm_crash(&mut self, after: Option<u64>, torn: bool) {
+        self.crash_after = after;
+        self.torn_write = torn;
+    }
+
+    /// Number of records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Encodes one record as its on-disk frame.
+    fn encode(record: &JournalRecord) -> String {
+        let json = serde_json::to_string(record).expect("journal records serialize");
+        format!(
+            "{JOURNAL_MAGIC} {:08x} {} {json}\n",
+            json.len(),
+            sha256_hex(json.as_bytes())
+        )
+    }
+
+    /// Appends one record durably (write + fsync before returning).
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let frame = Self::encode(record);
+        if self.crash_after == Some(self.appended) {
+            if self.torn_write {
+                // A torn write leaves a partial frame: enough bytes that
+                // replay sees an incomplete record, not a clean boundary.
+                let cut = frame.len() / 2;
+                let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
+                f.write_all(frame[..cut].as_bytes())?;
+                f.sync_all()?;
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected journal crash at record {}", self.appended),
+            ));
+        }
+        let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
+        f.write_all(frame.as_bytes())?;
+        f.sync_all()?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Replays a journal file: validates every complete frame, detects a
+    /// torn tail, and rejects corruption.
+    pub fn replay(path: &Path) -> Result<Replay, JournalError> {
+        let bytes = fs::read(path)?;
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        // Frame: "POSJ1 " + 8 hex + " " + 64 hex + " " + <len> json + "\n".
+        let header_len = JOURNAL_MAGIC.len() + 1 + 8 + 1 + 64 + 1;
+        while offset < bytes.len() {
+            let rest = &bytes[offset..];
+            if rest.len() < header_len {
+                // Not even a full header: crash mid-append.
+                return Ok(Replay {
+                    records,
+                    torn_tail: true,
+                    torn_bytes: rest.len(),
+                });
+            }
+            let header = &rest[..header_len];
+            let header_str = std::str::from_utf8(header).map_err(|_| JournalError::Corrupt {
+                offset,
+                reason: "frame header is not UTF-8".into(),
+            })?;
+            let magic = &header_str[..JOURNAL_MAGIC.len()];
+            if magic != JOURNAL_MAGIC {
+                return Err(JournalError::Corrupt {
+                    offset,
+                    reason: format!("bad magic {magic:?}"),
+                });
+            }
+            let len_hex = &header_str[JOURNAL_MAGIC.len() + 1..JOURNAL_MAGIC.len() + 9];
+            let len = usize::from_str_radix(len_hex, 16).map_err(|_| JournalError::Corrupt {
+                offset,
+                reason: format!("bad length field {len_hex:?}"),
+            })?;
+            let digest = &header_str[JOURNAL_MAGIC.len() + 10..JOURNAL_MAGIC.len() + 74];
+            let body_start = header_len;
+            let frame_len = body_start + len + 1; // + trailing newline
+            if rest.len() < frame_len {
+                // Header complete, payload truncated: torn tail.
+                return Ok(Replay {
+                    records,
+                    torn_tail: true,
+                    torn_bytes: rest.len(),
+                });
+            }
+            let body = &rest[body_start..body_start + len];
+            if rest[body_start + len] != b'\n' {
+                return Err(JournalError::Corrupt {
+                    offset,
+                    reason: "frame not newline-terminated".into(),
+                });
+            }
+            if sha256_hex(body) != digest {
+                return Err(JournalError::Corrupt {
+                    offset,
+                    reason: "record checksum mismatch".into(),
+                });
+            }
+            let record: JournalRecord =
+                serde_json::from_slice(body).map_err(|e| JournalError::Corrupt {
+                    offset,
+                    reason: format!("record does not parse: {e}"),
+                })?;
+            records.push(record);
+            offset += frame_len;
+        }
+        Ok(Replay {
+            records,
+            torn_tail: false,
+            torn_bytes: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pos-journal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(JOURNAL_FILE)
+    }
+
+    fn started() -> JournalRecord {
+        JournalRecord::CampaignStarted {
+            seed: 0xFEED,
+            spec_digest: "d".repeat(64),
+            total_runs: 4,
+            testbed: "pos".into(),
+            started_ns: 0,
+        }
+    }
+
+    fn completed(index: usize) -> JournalRecord {
+        JournalRecord::RunCompleted {
+            index,
+            success: true,
+            attempts: 1,
+            recoveries: 0,
+            recovery_time_ns: 0,
+            started_ns: 100,
+            finished_ns: 200,
+            rng_cursor: 7,
+            digest: "a".repeat(64),
+            fault_trace: vec![],
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&started()).unwrap();
+        j.append(&JournalRecord::RunStarted {
+            index: 0,
+            started_ns: 100,
+        })
+        .unwrap();
+        j.append(&completed(0)).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0], started());
+        assert_eq!(replay.records[2], completed(0));
+        assert!(replay.campaign_start().is_some());
+        assert!(!replay.finished());
+    }
+
+    #[test]
+    fn torn_tail_detected_and_prefix_preserved() {
+        let path = tmp("torn");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&started()).unwrap();
+        j.append(&completed(0)).unwrap();
+        // Simulate a crash mid-append: truncate into the last frame.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert!(replay.torn_tail);
+        assert!(replay.torn_bytes > 0);
+        assert_eq!(replay.records.len(), 1, "complete prefix survives");
+    }
+
+    #[test]
+    fn torn_header_detected() {
+        let path = tmp("tornheader");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&started()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"POSJ1 000");
+        fs::write(&path, &bytes).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.torn_bytes, 9);
+        assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn flipped_byte_is_corruption_not_torn_tail() {
+        let path = tmp("corrupt");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&started()).unwrap();
+        j.append(&completed(0)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one byte inside the first record's JSON payload.
+        let pos = bytes.len() / 4;
+        bytes[pos] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match Journal::replay(&path) {
+            Err(JournalError::Corrupt { .. }) => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crash_stops_at_exact_boundary() {
+        let path = tmp("crashinject");
+        let mut j = Journal::create(&path).unwrap();
+        j.arm_crash(Some(2), false);
+        j.append(&started()).unwrap();
+        j.append(&completed(0)).unwrap();
+        let err = j.append(&completed(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let replay = Journal::replay(&path).unwrap();
+        assert!(!replay.torn_tail, "clean-boundary crash leaves no tail");
+        assert_eq!(replay.records.len(), 2);
+    }
+
+    #[test]
+    fn injected_torn_crash_leaves_partial_frame() {
+        let path = tmp("crashtorn");
+        let mut j = Journal::create(&path).unwrap();
+        j.arm_crash(Some(1), true);
+        j.append(&started()).unwrap();
+        let err = j.append(&completed(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let replay = Journal::replay(&path).unwrap();
+        assert!(replay.torn_tail, "torn crash leaves a partial frame");
+        assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn open_append_truncates_torn_tail() {
+        let path = tmp("appendtorn");
+        let mut j = Journal::create(&path).unwrap();
+        j.arm_crash(Some(1), true);
+        j.append(&started()).unwrap();
+        j.append(&completed(0)).unwrap_err();
+        assert!(Journal::replay(&path).unwrap().torn_tail);
+
+        // Reopening removes the partial frame; new appends extend a
+        // clean prefix instead of corrupting the file.
+        let mut j = Journal::open_append(&path).unwrap();
+        j.append(&completed(0)).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1], completed(0));
+    }
+
+    #[test]
+    fn empty_journal_replays_empty() {
+        let path = tmp("empty");
+        Journal::create(&path).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(!replay.torn_tail);
+        assert!(replay.campaign_start().is_none());
+    }
+}

@@ -24,12 +24,20 @@
 //! * [`commands`] — experiment-domain commands (`moongen`, `iperf`)
 //!   registered into the testbed's command registry.
 //! * [`requirements`] — the R1–R5 capability model behind Table 1.
+//! * [`hash`] — SHA-256, fingerprinting every artifact the store writes.
+//! * [`journal`] — the append-only campaign journal (write-ahead log)
+//!   that makes interrupted campaigns resumable.
+//! * [`fsck`] — offline integrity checking of a result tree against its
+//!   journal and per-run checksum manifests.
 
 #![warn(missing_docs)]
 
 pub mod commands;
 pub mod controller;
 pub mod experiment;
+pub mod fsck;
+pub mod hash;
+pub mod journal;
 pub mod loopvars;
 pub mod requirements;
 pub mod resultstore;

@@ -20,21 +20,70 @@
 //!   hardware/<host>.txt         # captured device information
 //!   topology.txt
 //!   controller.log
+//!   journal.log                 # append-only campaign journal
 //!   run-0000/
 //!     metadata.json             # RunMetadata
 //!     loop-params.yml
 //!     <role>_measurement.log    # captured stdout
 //!     <role>_measurement.err    # captured stderr (if any)
 //!     <role>_measurement.status # exit code
+//!     checksums.json            # per-file SHA-256 manifest, written last
 //! ```
+//!
+//! ## Crash consistency
+//!
+//! Every artifact is written atomically: to a temporary sibling first,
+//! fsynced, then renamed over the target (and the directory entry synced).
+//! A reader therefore never observes a half-written file — after a crash
+//! an artifact either exists with complete content or not at all.
+//!
+//! A run becomes *durable* when its `checksums.json` manifest lands: the
+//! manifest names every artifact of the run with its SHA-256, and the
+//! SHA-256 of the manifest bytes themselves (the *run digest*) is what the
+//! campaign journal records in `RunCompleted`. Verification is therefore
+//! two-level: journal digest → manifest bytes → per-file hashes.
 
+use crate::hash::sha256_hex;
 use crate::loopvars::RunParams;
 use pos_simkernel::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs;
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+
+/// Name of the per-run checksum manifest.
+pub const MANIFEST_FILE: &str = "checksums.json";
+
+/// Atomically writes `contents` to `path`: temp sibling → fsync → rename
+/// → parent directory fsync. Readers never see partial content; a crash
+/// leaves either the old file or the new one.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let parent = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no parent directory for {}", path.display()),
+            )
+        })?;
+    fs::create_dir_all(parent)?;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    let tmp = parent.join(format!(".{file_name}.tmp"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // The rename is only durable once the directory entry is flushed.
+    fs::File::open(parent)?.sync_all()?;
+    Ok(())
+}
 
 /// Per-run metadata, serialized as `metadata.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +104,42 @@ pub struct RunMetadata {
     pub success: bool,
     /// role -> host assignment.
     pub hosts: BTreeMap<String, String>,
+}
+
+/// The per-run checksum manifest (`checksums.json`): file name → SHA-256.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Every artifact of the run (except the manifest itself), hex SHA-256.
+    pub files: BTreeMap<String, String>,
+}
+
+/// Result of checking a run directory against its manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunVerification {
+    /// Files the manifest lists that are absent on disk.
+    pub missing: Vec<String>,
+    /// Files whose content no longer matches the manifest hash.
+    pub corrupt: Vec<String>,
+    /// Files on disk the manifest does not know about.
+    pub extra: Vec<String>,
+}
+
+impl RunVerification {
+    /// True when the run directory matches its manifest exactly.
+    pub fn is_clean(&self) -> bool {
+        self.missing.is_empty() && self.corrupt.is_empty() && self.extra.is_empty()
+    }
+}
+
+/// Result of scanning the run directories of a result tree.
+#[derive(Debug, Default)]
+pub struct RunScan {
+    /// Runs with readable metadata, in index order.
+    pub runs: Vec<(PathBuf, RunMetadata)>,
+    /// One line per run directory that was skipped (missing or unreadable
+    /// metadata) — surfaced so degraded trees evaluate loudly, not not at
+    /// all.
+    pub diagnostics: Vec<String>,
 }
 
 /// A handle to one experiment's result directory.
@@ -97,14 +182,10 @@ impl ResultStore {
         &self.dir
     }
 
-    /// Writes a file relative to the experiment directory, creating parent
-    /// directories as needed.
+    /// Atomically writes a file relative to the experiment directory,
+    /// creating parent directories as needed.
     pub fn write(&self, rel: &str, contents: impl AsRef<[u8]>) -> io::Result<()> {
-        let path = self.dir.join(rel);
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        fs::write(path, contents)
+        atomic_write(&self.dir.join(rel), contents.as_ref())
     }
 
     /// Reads a file relative to the experiment directory.
@@ -124,13 +205,38 @@ impl ResultStore {
         Ok(dir)
     }
 
+    /// Removes run `index`'s directory and everything in it. Resume uses
+    /// this to clear partial artifacts of an interrupted run before
+    /// re-executing it, so convergence does not depend on what exactly the
+    /// crash left behind.
+    pub fn wipe_run(&self, index: usize) -> io::Result<()> {
+        let dir = self.dir.join(format!("run-{index:04}"));
+        match fs::remove_dir_all(&dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes an arbitrary artifact into run `index`'s directory
+    /// (collected `/srv/results/` files, pcap dumps, ...).
+    pub fn write_run_file(
+        &self,
+        index: usize,
+        name: &str,
+        contents: impl AsRef<[u8]>,
+    ) -> io::Result<()> {
+        let dir = self.run_dir(index)?;
+        atomic_write(&dir.join(name), contents.as_ref())
+    }
+
     /// Writes a run's metadata (both JSON and the YAML loop-params view).
     pub fn write_run_metadata(&self, meta: &RunMetadata) -> io::Result<()> {
         let dir = self.run_dir(meta.index)?;
         let json = serde_json::to_string_pretty(meta).expect("metadata serializes");
-        fs::write(dir.join("metadata.json"), json)?;
+        atomic_write(&dir.join("metadata.json"), json.as_bytes())?;
         let yaml = serde_yaml::to_string(&meta.params).expect("params serialize");
-        fs::write(dir.join("loop-params.yml"), yaml)
+        atomic_write(&dir.join("loop-params.yml"), yaml.as_bytes())
     }
 
     /// Writes one captured output artifact of a run.
@@ -143,14 +249,81 @@ impl ResultStore {
         exit_code: i32,
     ) -> io::Result<()> {
         let dir = self.run_dir(index)?;
-        fs::write(dir.join(format!("{role}_measurement.log")), stdout)?;
+        atomic_write(
+            &dir.join(format!("{role}_measurement.log")),
+            stdout.as_bytes(),
+        )?;
         if !stderr.is_empty() {
-            fs::write(dir.join(format!("{role}_measurement.err")), stderr)?;
+            atomic_write(
+                &dir.join(format!("{role}_measurement.err")),
+                stderr.as_bytes(),
+            )?;
         }
-        fs::write(
-            dir.join(format!("{role}_measurement.status")),
-            format!("{exit_code}\n"),
+        atomic_write(
+            &dir.join(format!("{role}_measurement.status")),
+            format!("{exit_code}\n").as_bytes(),
         )
+    }
+
+    /// Seals run `index`: hashes every artifact in its directory into
+    /// `checksums.json` (written atomically, last) and returns the *run
+    /// digest* — the SHA-256 of the manifest bytes. The digest goes into
+    /// the campaign journal's `RunCompleted` record; a run without a
+    /// manifest is by definition incomplete.
+    pub fn finalize_run(&self, index: usize) -> io::Result<String> {
+        let dir = self.run_dir(index)?;
+        let mut files = BTreeMap::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name == MANIFEST_FILE || !entry.file_type()?.is_file() {
+                continue;
+            }
+            files.insert(name, sha256_hex(&fs::read(entry.path())?));
+        }
+        let manifest = RunManifest { files };
+        let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+        atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
+        Ok(sha256_hex(json.as_bytes()))
+    }
+
+    /// The run digest of an already-sealed run directory (SHA-256 of its
+    /// manifest bytes). Errors if the manifest is missing.
+    pub fn run_digest(run_dir: &Path) -> io::Result<String> {
+        Ok(sha256_hex(&fs::read(run_dir.join(MANIFEST_FILE))?))
+    }
+
+    /// Checks a sealed run directory against its manifest: every listed
+    /// file present and byte-identical, no unlisted files. Errors only if
+    /// the manifest itself is missing or unparseable.
+    pub fn verify_run(run_dir: &Path) -> io::Result<RunVerification> {
+        let text = fs::read_to_string(run_dir.join(MANIFEST_FILE))?;
+        let manifest: RunManifest = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut v = RunVerification::default();
+        for (name, want) in &manifest.files {
+            match fs::read(run_dir.join(name)) {
+                Ok(bytes) => {
+                    if &sha256_hex(&bytes) != want {
+                        v.corrupt.push(name.clone());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => v.missing.push(name.clone()),
+                Err(e) => return Err(e),
+            }
+        }
+        for entry in fs::read_dir(run_dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name != MANIFEST_FILE
+                && entry.file_type()?.is_file()
+                && !manifest.files.contains_key(&name)
+            {
+                v.extra.push(name);
+            }
+        }
+        v.extra.sort();
+        Ok(v)
     }
 
     /// Lists run directories in index order.
@@ -168,6 +341,28 @@ impl ResultStore {
             .collect();
         runs.sort();
         Ok(runs)
+    }
+
+    /// Scans all run directories, loading metadata where possible and
+    /// collecting a diagnostic line for every directory that had to be
+    /// skipped (no metadata, unparseable metadata). A partially-written
+    /// or corrupted tree thus still evaluates — degraded and loud — which
+    /// is what an interrupted campaign leaves behind before `pos resume`
+    /// repairs it.
+    pub fn scan_runs(&self) -> io::Result<RunScan> {
+        let mut scan = RunScan::default();
+        for dir in self.list_runs()? {
+            match Self::read_run_metadata(&dir) {
+                Ok(meta) => scan.runs.push((dir, meta)),
+                Err(e) => scan.diagnostics.push(format!(
+                    "{}: skipped ({e})",
+                    dir.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| dir.display().to_string())
+                )),
+            }
+        }
+        Ok(scan)
     }
 
     /// Loads the metadata of a run directory.
@@ -244,6 +439,21 @@ mod tests {
     }
 
     #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let root = tmpdir("atomic");
+        let path = root.join("artifact.txt");
+        atomic_write(&path, b"v1").unwrap();
+        atomic_write(&path, b"v2").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v2");
+        let leftovers: Vec<_> = fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive");
+    }
+
+    #[test]
     fn run_metadata_roundtrip() {
         let root = tmpdir("meta");
         let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
@@ -307,5 +517,82 @@ mod tests {
             .map(|p| p.file_name().unwrap().to_str().unwrap().to_owned())
             .collect();
         assert_eq!(names, vec!["run-0000", "run-0005", "run-0011"]);
+    }
+
+    #[test]
+    fn finalize_then_verify_clean() {
+        let root = tmpdir("seal");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        store
+            .write_run_output(0, "loadgen", "RX: 5 packets\n", "", 0)
+            .unwrap();
+        let digest = store.finalize_run(0).unwrap();
+        assert_eq!(digest.len(), 64);
+        let dir = store.run_dir(0).unwrap();
+        assert_eq!(ResultStore::run_digest(&dir).unwrap(), digest);
+        let v = ResultStore::verify_run(&dir).unwrap();
+        assert!(v.is_clean(), "{v:?}");
+        // Sealing twice is idempotent: same digest.
+        assert_eq!(store.finalize_run(0).unwrap(), digest);
+    }
+
+    #[test]
+    fn verify_detects_missing_corrupt_and_extra() {
+        let root = tmpdir("verify");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        store
+            .write_run_output(0, "loadgen", "RX: 5 packets\n", "", 0)
+            .unwrap();
+        store.write_run_file(0, "dut_capture.pcap", b"pcap").unwrap();
+        store.finalize_run(0).unwrap();
+        let dir = store.run_dir(0).unwrap();
+        // Flip one byte, remove one file, add one file.
+        let target = dir.join("loadgen_measurement.log");
+        let mut bytes = fs::read(&target).unwrap();
+        bytes[0] ^= 0x01;
+        fs::write(&target, bytes).unwrap();
+        fs::remove_file(dir.join("dut_capture.pcap")).unwrap();
+        fs::write(dir.join("stray.txt"), "x").unwrap();
+        let v = ResultStore::verify_run(&dir).unwrap();
+        assert_eq!(v.corrupt, vec!["loadgen_measurement.log"]);
+        assert_eq!(v.missing, vec!["dut_capture.pcap"]);
+        assert_eq!(v.extra, vec!["stray.txt"]);
+        assert!(!v.is_clean());
+    }
+
+    #[test]
+    fn scan_runs_skips_and_reports_corrupt_dirs() {
+        let root = tmpdir("scan");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        let meta = run_metadata(
+            &params(),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            1,
+            true,
+            BTreeMap::new(),
+        );
+        store.write_run_metadata(&meta).unwrap();
+        // run-0000: no metadata at all; run-0001: garbage metadata.
+        store.run_dir(0).unwrap();
+        store.write("run-0001/metadata.json", "{not json").unwrap();
+        let scan = store.scan_runs().unwrap();
+        assert_eq!(scan.runs.len(), 1);
+        assert_eq!(scan.runs[0].1.index, 3);
+        assert_eq!(scan.diagnostics.len(), 2, "{:?}", scan.diagnostics);
+        assert!(scan.diagnostics[0].starts_with("run-0000"));
+        assert!(scan.diagnostics[1].starts_with("run-0001"));
+    }
+
+    #[test]
+    fn wipe_run_removes_dir_and_tolerates_absence() {
+        let root = tmpdir("wipe");
+        let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
+        store.write_run_output(2, "dut", "x", "", 0).unwrap();
+        let dir = root.join("u/e/vt-0000000000/run-0002");
+        assert!(dir.exists());
+        store.wipe_run(2).unwrap();
+        assert!(!dir.exists());
+        store.wipe_run(2).unwrap(); // idempotent
     }
 }

@@ -46,19 +46,25 @@ impl ParsedRun {
 pub struct ResultSet {
     /// The runs in index order.
     pub runs: Vec<ParsedRun>,
+    /// One line per run directory that was skipped because its metadata
+    /// was missing or unreadable — the tree of an interrupted campaign
+    /// evaluates degraded and loud, not not at all.
+    pub diagnostics: Vec<String>,
 }
 
 impl ResultSet {
     /// Loads every run of an experiment result directory.
     ///
-    /// Runs without readable metadata are an error (the tree is corrupt);
-    /// measurement logs that do not parse as MoonGen output are kept as
-    /// raw logs only — not every role produces generator output.
+    /// Run directories without readable metadata (the crash artifact of
+    /// an interrupted campaign, or plain corruption) are skipped and
+    /// reported via [`Self::diagnostics`]; measurement logs that do not
+    /// parse as MoonGen output are kept as raw logs only — not every
+    /// role produces generator output.
     pub fn load(experiment_dir: &Path) -> io::Result<ResultSet> {
         let store = ResultStore::open(experiment_dir);
+        let scan = store.scan_runs()?;
         let mut runs = Vec::new();
-        for run_dir in store.list_runs()? {
-            let metadata = ResultStore::read_run_metadata(&run_dir)?;
+        for (run_dir, metadata) in scan.runs {
             let mut reports = BTreeMap::new();
             let mut raw_logs = BTreeMap::new();
             for entry in std::fs::read_dir(&run_dir)? {
@@ -81,7 +87,10 @@ impl ResultSet {
             });
         }
         runs.sort_by_key(|r| r.metadata.index);
-        Ok(ResultSet { runs })
+        Ok(ResultSet {
+            runs,
+            diagnostics: scan.diagnostics,
+        })
     }
 
     /// Number of runs.
@@ -103,6 +112,7 @@ impl ResultSet {
                 .filter(|r| r.param(key) == Some(value))
                 .cloned()
                 .collect(),
+            diagnostics: Vec::new(),
         }
     }
 
@@ -115,6 +125,7 @@ impl ResultSet {
                 .filter(|r| r.metadata.success)
                 .cloned()
                 .collect(),
+            diagnostics: Vec::new(),
         }
     }
 

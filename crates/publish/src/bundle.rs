@@ -250,6 +250,41 @@ pub fn verify_dir(dir: &Path) -> Result<Vec<String>, BundleError> {
     Ok(bad)
 }
 
+/// Verifies the per-run checksum manifests of a *source* result tree
+/// before it is bundled: every `run-*` directory must carry a
+/// `checksums.json` whose entries all match the artifacts on disk.
+///
+/// Returns human-readable problem strings (empty = all runs verified).
+/// This is the publication-side counterpart of `pos fsck`: it stops a
+/// release from baptising bit-rotted or truncated run data with fresh
+/// bundle hashes.
+pub fn verify_runs(result_dir: &Path) -> Result<Vec<String>, BundleError> {
+    use pos_core::resultstore::ResultStore;
+    let mut problems = Vec::new();
+    for run_dir in ResultStore::open(result_dir).list_runs()? {
+        let name = run_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| run_dir.display().to_string());
+        match ResultStore::verify_run(&run_dir) {
+            Ok(v) if v.is_clean() => {}
+            Ok(v) => {
+                for f in v.missing {
+                    problems.push(format!("{name}: missing {f}"));
+                }
+                for f in v.corrupt {
+                    problems.push(format!("{name}: corrupt {f}"));
+                }
+                for f in v.extra {
+                    problems.push(format!("{name}: unlisted {f}"));
+                }
+            }
+            Err(e) => problems.push(format!("{name}: no readable checksum manifest ({e})")),
+        }
+    }
+    Ok(problems)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +392,28 @@ mod tests {
         let m: Manifest = serde_json::from_slice(&entries[0].data).unwrap();
         assert_eq!(m.experiment, "router");
         assert_eq!(entries[1].path, "a.txt");
+    }
+
+    #[test]
+    fn verify_runs_checks_run_manifests() {
+        use pos_core::resultstore::ResultStore;
+        let root = tmp("runverify");
+        let store = ResultStore::open(&root);
+        store.write_run_file(0, "loadgen_measurement.log", "TX: 1\n").unwrap();
+        store.finalize_run(0).unwrap();
+        assert_eq!(verify_runs(&root).unwrap(), Vec::<String>::new());
+
+        fs::write(root.join("run-0000/loadgen_measurement.log"), "FORGED").unwrap();
+        assert_eq!(
+            verify_runs(&root).unwrap(),
+            vec!["run-0000: corrupt loadgen_measurement.log".to_string()]
+        );
+
+        // A run directory without a manifest is incomplete: also a problem.
+        fs::create_dir_all(root.join("run-0001")).unwrap();
+        let problems = verify_runs(&root).unwrap();
+        assert_eq!(problems.len(), 2);
+        assert!(problems[1].starts_with("run-0001: no readable checksum manifest"));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct SimRng {
     s: [u64; 4],
     /// Seed lineage: fixed at construction, mixed into derived child seeds.
     lineage: u64,
+    /// Raw values produced so far — the stream cursor. Recording it lets a
+    /// resumed computation fast-forward a shared stream to where an
+    /// interrupted one left off ([`SimRng::skip_to`]).
+    draws: u64,
 }
 
 impl SimRng {
@@ -52,7 +56,35 @@ impl SimRng {
         // xoshiro's state must not be all-zero; SplitMix64 cannot produce
         // four zero outputs in a row, but guard anyway for robustness.
         let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
-        SimRng { s, lineage: seed }
+        SimRng {
+            s,
+            lineage: seed,
+            draws: 0,
+        }
+    }
+
+    /// How many raw values this generator has produced since construction.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Fast-forwards the stream until [`SimRng::draws`] equals `cursor` by
+    /// discarding values. Used on resume to realign a shared stream with a
+    /// recorded position.
+    ///
+    /// # Panics
+    /// Panics if the stream is already past `cursor` — that means the
+    /// resumed computation consumed draws the original never did, which
+    /// would silently destroy replay determinism.
+    pub fn skip_to(&mut self, cursor: u64) {
+        assert!(
+            self.draws <= cursor,
+            "rng stream past the recorded cursor ({} > {cursor})",
+            self.draws
+        );
+        while self.draws < cursor {
+            self.next_raw();
+        }
     }
 
     /// Derives an independent child stream identified by a stable label.
@@ -73,6 +105,7 @@ impl SimRng {
 
     /// Generates the next raw 64-bit value.
     pub fn next_raw(&mut self) -> u64 {
+        self.draws += 1;
         let result = self.s[1]
             .wrapping_mul(5)
             .rotate_left(7)

@@ -149,6 +149,17 @@ impl Trace {
 
     /// Renders the retained entries as the captured text artifact.
     pub fn render(&self) -> String {
+        self.render_min_level(TraceLevel::Trace)
+    }
+
+    /// Renders only entries at or above `min` — the durable-artifact view.
+    ///
+    /// A resumed campaign session re-emits the deterministic
+    /// Info-and-above story (boots, allocation, faults) but not the
+    /// Debug-level chatter of runs it verified and skipped, so artifacts
+    /// meant to be byte-stable across interruption must be rendered at
+    /// `Info` or stricter.
+    pub fn render_min_level(&self, min: TraceLevel) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
             out.push_str(&format!(
@@ -156,7 +167,7 @@ impl Trace {
                 self.dropped
             ));
         }
-        for e in &self.entries {
+        for e in self.entries.iter().filter(|e| e.level >= min) {
             out.push_str(&e.to_string());
             out.push('\n');
         }

@@ -744,6 +744,33 @@ impl Testbed {
         SimRng::new(self.root_seed).derive(label)
     }
 
+    /// Position of the *shared* management RNG stream (the one consumed by
+    /// out-of-band power commands). Recorded into the campaign journal so
+    /// a resumed controller can realign the stream after skipping
+    /// already-completed runs.
+    pub fn rng_cursor(&self) -> u64 {
+        self.rng.draws()
+    }
+
+    /// Fast-forwards the shared management RNG stream to a recorded
+    /// cursor. Panics if the stream is already past it (see
+    /// [`SimRng::skip_to`]).
+    pub fn rng_seek(&mut self, cursor: u64) {
+        self.rng.skip_to(cursor);
+    }
+
+    /// Discards scheduled crash/wedge events whose instant is already in
+    /// the past *without firing them*. A resumed controller fast-forwards
+    /// virtual time over a completed run; when that run journaled a
+    /// successful recovery, the chaos events inside its window were
+    /// consumed (host detected down, rebooted, setup re-run) in the
+    /// interrupted session — replaying them against the fresh testbed
+    /// would double-fire.
+    pub fn discard_due_faults(&mut self) {
+        let now = self.now;
+        self.scheduled_crashes.retain(|c| c.at > now);
+    }
+
     /// Restores image-default sysctls on a host (used by tests to model
     /// drift without a reboot).
     pub fn reset_sysctls_to_default(&mut self, host: &str) {

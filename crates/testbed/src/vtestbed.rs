@@ -23,6 +23,11 @@ pub struct CloneOptions {
     pub vcpus: u32,
     /// Memory per VM in GiB.
     pub memory_gib: u32,
+    /// Exact seed for the clone instead of deriving one from the
+    /// hardware testbed's. Used when rebuilding a vpos testbed whose
+    /// final seed is already known — e.g. resuming a journaled campaign,
+    /// where `CampaignStarted` records the clone's (derived) seed.
+    pub seed: Option<u64>,
 }
 
 impl Default for CloneOptions {
@@ -30,6 +35,7 @@ impl Default for CloneOptions {
         CloneOptions {
             vcpus: 4,
             memory_gib: 8,
+            seed: None,
         }
     }
 }
@@ -42,9 +48,11 @@ impl Default for CloneOptions {
 /// fully reproducible.
 pub fn clone_virtual(hardware: &Testbed, options: CloneOptions) -> Testbed {
     // Seed derivation keeps the clone deterministic but distinct.
-    let seed = pos_simkernel::SimRng::new(hardware.seed())
-        .derive("vpos-clone")
-        .next_raw();
+    let seed = options.seed.unwrap_or_else(|| {
+        pos_simkernel::SimRng::new(hardware.seed())
+            .derive("vpos-clone")
+            .next_raw()
+    });
     let mut vtb = Testbed::new(seed);
     vtb.images = hardware.images.clone();
     vtb.topology = hardware.topology.clone();

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# CI gate for the pos reproduction. Offline by design: all dependencies are
+# vendored path crates, so no step may touch the network.
+#
+#   sh scripts/ci.sh            # build + full test suite + crash matrix + bench smoke
+#   POS_CI_SKIP_BENCH=1 sh …    # skip the bench smoke (fastest useful signal)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build (release, workspace)"
+cargo build --release --workspace
+
+echo "==> tests (workspace)"
+cargo test -q --workspace
+
+# The crash matrix is the durability contract: kill the controller at every
+# journal record boundary (cleanly and with torn tails), resume, and demand a
+# byte-identical result tree. It runs as part of the workspace suite above;
+# repeating it by name here keeps the gate loud if someone filters tests.
+echo "==> crash matrix (tests/crash_matrix.rs)"
+cargo test -q --test crash_matrix
+
+if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
+    echo "==> bench smoke: robustness (sweep + chaos campaign + resume overhead)"
+    POS_RUN_SECS=0.05 POS_CHAOS_RUN_SECS=5 \
+        cargo run --release -p pos-bench --bin robustness >/dev/null
+    # Replay-determinism caveat: BENCH_robustness.json is byte-stable EXCEPT
+    # the "resume" object — journal_replay_us / digest_verify_us are wall-clock
+    # microseconds and vary between runs and machines. To compare two runs,
+    # drop that object first, e.g.:
+    #   grep -v '_us"' BENCH_robustness.json
+    # Everything else (sweep rows, campaign counters) must be identical for
+    # identical seeds.
+    test -s BENCH_robustness.json
+    rm -f BENCH_robustness.json
+fi
+
+echo "==> ci: OK"

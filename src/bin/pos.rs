@@ -10,6 +10,9 @@
 //!     --results <root>     result tree root       (default: ./results)
 //!     --testbed pos|vpos   hardware or VM testbed (default: pos)
 //!     --seed <n>           testbed seed           (default: 1799)
+//! pos resume <result-dir> [options]     pick up an interrupted campaign
+//!     --testbed pos|vpos   hardware or VM testbed (default: pos)
+//! pos fsck <result-dir>                 verify journal + per-run checksums
 //! pos eval <result-dir> [--out <dir>]   parse, aggregate, plot
 //! pos publish <result-dir> [options]    bundle + manifest + website
 //!     --out <dir>          release directory      (default: ./release)
@@ -22,11 +25,12 @@
 //! dozen flags, not a dependency.
 
 use pos::core::commands::register_all;
-use pos::core::controller::{Controller, Progress, RunOptions};
+use pos::core::controller::{Controller, ExperimentOutcome, Progress, RunOptions};
 use pos::core::experiment::{linux_router_experiment, ExperimentSpec};
+use pos::core::journal::{Journal, JournalRecord, JOURNAL_FILE};
 use pos::eval::loader::ResultSet;
 use pos::eval::plot::PlotSpec;
-use pos::publish::bundle::{verify_dir, Bundle};
+use pos::publish::bundle::{verify_dir, verify_runs, Bundle};
 use pos::publish::website::{attach_site, SiteInfo};
 use pos::testbed::{clone_virtual, CloneOptions, HardwareSpec, InitInterface, PortId, Testbed};
 use std::path::{Path, PathBuf};
@@ -37,6 +41,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("init") => cmd_init(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("publish") => cmd_publish(&args[1..]),
         Some("table1") => {
@@ -64,6 +70,8 @@ fn usage() -> &'static str {
      usage:\n\
      \x20 pos init <dir>                     scaffold the case-study experiment\n\
      \x20 pos run <dir> [--results <root>] [--testbed pos|vpos] [--seed <n>]\n\
+     \x20 pos resume <result-dir> [--testbed pos|vpos]\n\
+     \x20 pos fsck <result-dir>              verify journal + per-run checksums\n\
      \x20 pos eval <result-dir> [--out <dir>]\n\
      \x20 pos publish <result-dir> [--out <dir>] [--tar <file>] [--title <text>]\n\
      \x20 pos table1                         print the testbed comparison\n"
@@ -113,7 +121,18 @@ fn cmd_init(args: &[String]) -> Result<(), String> {
 /// Builds a testbed matching an experiment's roles: one host per role,
 /// wired as the case-study topology requires (role0 port0 → role1 port0,
 /// role1 port1 → role0 port1 for two roles; a chain for more).
-fn build_testbed(spec: &ExperimentSpec, seed: u64, virtualized: bool) -> Result<Testbed, String> {
+///
+/// With `exact_seed` false (`pos run`) `seed` is the user seed and the
+/// vpos clone derives its own; with `exact_seed` true (`pos resume`)
+/// `seed` is the final testbed seed straight from the journal and is
+/// used as-is, derivation already having happened in the original
+/// session.
+fn build_testbed(
+    spec: &ExperimentSpec,
+    seed: u64,
+    virtualized: bool,
+    exact_seed: bool,
+) -> Result<Testbed, String> {
     let mut tb = Testbed::new(seed);
     for role in &spec.roles {
         tb.add_host(&role.host, HardwareSpec::paper_dut(), InitInterface::Ipmi);
@@ -139,7 +158,11 @@ fn build_testbed(spec: &ExperimentSpec, seed: u64, virtualized: bool) -> Result<
         }
     }
     let mut tb = if virtualized {
-        clone_virtual(&tb, CloneOptions::default())
+        let opts = CloneOptions {
+            seed: exact_seed.then_some(seed),
+            ..CloneOptions::default()
+        };
+        clone_virtual(&tb, opts)
     } else {
         tb
     };
@@ -168,38 +191,52 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("--testbed must be pos or vpos, got {other}")),
     };
 
-    let mut tb = build_testbed(&spec, seed, virtualized)?;
+    let mut tb = build_testbed(&spec, seed, virtualized, false)?;
     println!(
         "running `{}` on the {} testbed (seed {seed}, {} runs)...",
         spec.name,
         if virtualized { "vpos" } else { "pos" },
         pos::core::loopvars::cross_product_size(&spec.loop_vars).unwrap_or(0)
     );
+    let mut run_opts = RunOptions::new(&results);
+    run_opts.testbed_flavor = if virtualized { "vpos" } else { "pos" }.into();
     let outcome = Controller::new(&mut tb)
-        .with_progress(|p| match p {
-            Progress::HostReady { host } => println!("  {host} booted"),
-            Progress::SetupDone => println!("  setup phase complete"),
-            Progress::RunDone { index, total, success, .. } => {
-                // The paper's progress bar, one line per run.
-                println!(
-                    "  run {}/{} {}",
-                    index + 1,
-                    total,
-                    if *success { "ok" } else { "FAILED" }
-                );
-            }
-            Progress::PowerRetry { host, attempt, delay } => {
-                println!("  {host}: power command retry {attempt} (waited {delay})");
-            }
-            Progress::RunRetry { index, attempt, delay } => {
-                println!("  run {}: attempt {attempt} failed, retrying after {delay}", index + 1);
-            }
-            Progress::HostRecovering { host } => println!("  {host}: unresponsive, recovering"),
-            Progress::HostRecovered { host } => println!("  {host}: recovered"),
-            Progress::HostQuarantined { host } => println!("  {host}: QUARANTINED"),
-        })
-        .run_experiment(&spec, &RunOptions::new(&results))
+        .with_progress(print_progress)
+        .run_experiment(&spec, &run_opts)
         .map_err(|e| e.to_string())?;
+    print_outcome(&outcome);
+    Ok(())
+}
+
+/// One line per lifecycle event — the paper's progress bar.
+fn print_progress(p: &Progress) {
+    match p {
+        Progress::HostReady { host } => println!("  {host} booted"),
+        Progress::SetupDone => println!("  setup phase complete"),
+        Progress::RunDone { index, total, success, .. } => {
+            println!(
+                "  run {}/{} {}",
+                index + 1,
+                total,
+                if *success { "ok" } else { "FAILED" }
+            );
+        }
+        Progress::RunSkipped { index, total } => {
+            println!("  run {}/{} ok (verified, skipped)", index + 1, total);
+        }
+        Progress::PowerRetry { host, attempt, delay } => {
+            println!("  {host}: power command retry {attempt} (waited {delay})");
+        }
+        Progress::RunRetry { index, attempt, delay } => {
+            println!("  run {}: attempt {attempt} failed, retrying after {delay}", index + 1);
+        }
+        Progress::HostRecovering { host } => println!("  {host}: unresponsive, recovering"),
+        Progress::HostRecovered { host } => println!("  {host}: recovered"),
+        Progress::HostQuarantined { host } => println!("  {host}: QUARANTINED"),
+    }
+}
+
+fn print_outcome(outcome: &ExperimentOutcome) {
     println!(
         "done: {}/{} runs, {} recoveries, {} virtual time",
         outcome.successes(),
@@ -209,7 +246,81 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     println!("result tree: {}", outcome.result_dir.display());
     println!("next: pos eval {}", outcome.result_dir.display());
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos resume <result-dir> [--testbed pos|vpos]".into());
+    };
+    let result_dir = Path::new(dir);
+
+    // The campaign's identity lives in its journal: the testbed seed and
+    // flavor to rebuild with, and the spec digest resume re-checks for us.
+    let replay = Journal::replay(&result_dir.join(JOURNAL_FILE)).map_err(|e| e.to_string())?;
+    let Some(JournalRecord::CampaignStarted { seed, total_runs, testbed, .. }) =
+        replay.campaign_start()
+    else {
+        return Err(format!("{dir}: journal has no CampaignStarted record"));
+    };
+    let virtualized = match testbed.as_str() {
+        "pos" => false,
+        "vpos" => true,
+        other => return Err(format!("{dir}: journal records unknown testbed `{other}`")),
+    };
+    if let Some(&flag) = opts.get("testbed") {
+        if flag != testbed {
+            return Err(format!(
+                "campaign ran on the `{testbed}` testbed; drop --testbed or pass --testbed {testbed}"
+            ));
+        }
+    }
+    if replay.finished() {
+        // A finished campaign is only off-limits while it is *intact*;
+        // resuming a damaged one is how bit rot gets repaired.
+        let report = pos::core::fsck::fsck(result_dir).map_err(|e| e.to_string())?;
+        if report.is_clean() {
+            return Err(format!("{dir}: campaign already finished, nothing to resume"));
+        }
+        println!(
+            "campaign finished but {} run(s) fail verification; repairing",
+            report.broken_runs().len()
+        );
+    }
+    let spec = ExperimentSpec::from_dir(&result_dir.join("experiment"))
+        .map_err(|e| format!("cannot load stored experiment from {dir}/experiment: {e}"))?;
+    spec.validate().map_err(|e| e.to_string())?;
+
+    let mut tb = build_testbed(&spec, *seed, virtualized, true)?;
+    println!(
+        "resuming `{}` on the {} testbed (seed {seed}, {total_runs} runs planned)...",
+        spec.name,
+        if virtualized { "vpos" } else { "pos" },
+    );
+    // result_root is unused on resume (the tree already exists) but the
+    // options still carry timeouts and failure policy.
+    let mut run_opts = RunOptions::new(result_dir);
+    run_opts.testbed_flavor = testbed.clone();
+    let outcome = Controller::new(&mut tb)
+        .with_progress(print_progress)
+        .resume_experiment(result_dir, &spec, &run_opts)
+        .map_err(|e| e.to_string())?;
+    print_outcome(&outcome);
     Ok(())
+}
+
+fn cmd_fsck(args: &[String]) -> Result<(), String> {
+    let (pos_args, _) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos fsck <result-dir>".into());
+    };
+    let report = pos::core::fsck::fsck(Path::new(dir)).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{dir} is not clean"))
+    }
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {
@@ -219,6 +330,9 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     };
     let result_dir = Path::new(dir);
     let set = ResultSet::load(result_dir).map_err(|e| e.to_string())?;
+    for diag in &set.diagnostics {
+        eprintln!("warning: {diag}");
+    }
     if set.is_empty() {
         return Err(format!("no runs under {dir}"));
     }
@@ -271,6 +385,19 @@ fn cmd_publish(args: &[String]) -> Result<(), String> {
         .get("title")
         .copied()
         .unwrap_or("pos experiment artifacts");
+
+    // Refuse to release a damaged source tree: every run's checksum
+    // manifest must verify before its bytes get fresh bundle hashes.
+    let damaged = verify_runs(result_dir).map_err(|e| e.to_string())?;
+    if !damaged.is_empty() {
+        for p in &damaged {
+            eprintln!("pos: {p}");
+        }
+        return Err(format!(
+            "{} run artifact problem(s) in {dir}; run `pos fsck {dir}` (and `pos resume {dir}` to repair)",
+            damaged.len()
+        ));
+    }
 
     let mut bundle = Bundle::new(title);
     let n = bundle

@@ -161,3 +161,60 @@ fn cli_help_shown_without_args() {
     assert!(ok);
     assert!(stdout.contains("usage:"));
 }
+
+#[test]
+fn cli_fsck_and_resume_repair_a_damaged_tree() {
+    let dir = workdir("fsck");
+    run(&dir, &["init", "exp"]);
+    std::fs::write(dir.join("exp/loop-variables.yml"), "pkt_sz: [64]\npkt_rate: [20000]\n").unwrap();
+    std::fs::write(
+        dir.join("exp/global-variables.yml"),
+        "dut_ip0: 10.0.0.1\ndut_ip1: 10.0.1.1\nrun_secs: 1\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = run(&dir, &["run", "exp", "--results", "res"]);
+    assert!(ok, "run failed: {stderr}");
+    let result_dir = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("result tree: "))
+        .expect("result dir printed")
+        .trim()
+        .to_owned();
+
+    // An intact tree is clean and an intact finished campaign refuses to
+    // resume.
+    let (ok, stdout, _) = run(&dir, &["fsck", &result_dir]);
+    assert!(ok, "fsck of a pristine tree must succeed");
+    assert!(stdout.contains("status: clean"), "{stdout}");
+    assert!(stdout.contains("campaign finished"), "{stdout}");
+    let (ok, _, stderr) = run(&dir, &["resume", &result_dir]);
+    assert!(!ok);
+    assert!(stderr.contains("nothing to resume"), "{stderr}");
+
+    // Flip one byte in a run artifact: fsck flags it, publish refuses it.
+    let victim = dir.join(&result_dir).join("run-0000/loadgen_measurement.log");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[0] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let (ok, stdout, stderr) = run(&dir, &["fsck", &result_dir]);
+    assert!(!ok, "fsck must fail on bit rot");
+    assert!(stdout.contains("damaged"), "{stdout}");
+    assert!(stdout.contains("corrupt"), "{stdout}");
+    assert!(stdout.contains("status: NOT clean"), "{stdout}");
+    assert!(stderr.contains("not clean"), "{stderr}");
+    let (ok, _, stderr) = run(&dir, &["publish", &result_dir, "--out", "rel"]);
+    assert!(!ok, "publish must refuse a damaged tree");
+    assert!(stderr.contains("corrupt"), "{stderr}");
+
+    // Resume repairs exactly the damaged run; afterwards the tree is
+    // clean and publishable again.
+    let (ok, stdout, stderr) = run(&dir, &["resume", &result_dir]);
+    assert!(ok, "resume failed: {stderr}");
+    assert!(stdout.contains("repairing"), "{stdout}");
+    assert!(stdout.contains("run 1/1 ok"), "{stdout}");
+    let (ok, stdout, _) = run(&dir, &["fsck", &result_dir]);
+    assert!(ok, "repaired tree must be clean:\n{stdout}");
+    let (ok, _, stderr) = run(&dir, &["publish", &result_dir, "--out", "rel"]);
+    assert!(ok, "publish after repair failed: {stderr}");
+}

@@ -380,6 +380,74 @@ fn chaos_link_faults_degrade_measurements_not_runs() {
 }
 
 #[test]
+fn chaos_campaign_interrupted_mid_quarantine_resumes_identically() {
+    // The outage scenario above, but the controller is killed at journal
+    // boundaries around the quarantine — right before the failed run's
+    // completion record and right before the final skipped run's — then
+    // resumed with the same chaos plan. The resumed campaign must report
+    // exactly the summary of the uninterrupted one: same failed runs, same
+    // attempts, same quarantine, same virtual timings.
+    let plan = ChaosPlan::new(4)
+        .with_event(ChaosEvent::HostCrash {
+            host: "vtartu".into(),
+            at: SimTime::from_secs(118),
+        })
+        .with_event(ChaosEvent::PowerOutage {
+            host: "vtartu".into(),
+            from: SimTime::from_secs(110),
+            until: SimTime::from_secs(4000),
+        });
+    let reference = run_chaos_scenario("chaos-resume-ref", InitInterface::Ipmi, &plan, |_| {});
+
+    // k=7 kills the append of run 2's RunCompleted: the HostQuarantined
+    // record is durable but run 2 is not, so the quarantine must be
+    // *re-derived* by re-executing the run. k=9 kills run 3's
+    // RunCompleted: run 2 is durable and the quarantine is *restored*
+    // from the journal instead — both paths must converge.
+    for k in [7u64, 9] {
+        let tag = format!("chaos-resume-k{k}");
+        let root = tmp(&tag);
+        let mut tb = testbed_with_init(InitInterface::Ipmi);
+        let mut opts = RunOptions::new(&root);
+        opts.continue_on_run_failure = true;
+        opts.journal_crash_after = Some(k);
+        let mut ctl = Controller::new(&mut tb);
+        ctl.apply_chaos(&plan).expect("plan validates");
+        ctl.run_experiment(&chaos_spec(), &opts)
+            .expect_err("campaign must abort at the injected crash");
+        drop(ctl);
+
+        // Find the interrupted tree (root/user/experiment/vt-*).
+        let mut result_dir = root.clone();
+        while !result_dir.join("journal.log").exists() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&result_dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .collect();
+            entries.sort();
+            result_dir = entries.into_iter().next().expect("result tree exists");
+        }
+
+        let mut tb = testbed_with_init(InitInterface::Ipmi);
+        let mut opts = RunOptions::new(&root);
+        opts.continue_on_run_failure = true;
+        let mut ctl = Controller::new(&mut tb);
+        ctl.apply_chaos(&plan).expect("plan validates");
+        let outcome = ctl
+            .resume_experiment(&result_dir, &chaos_spec(), &opts)
+            .unwrap_or_else(|e| panic!("{tag}: resume failed: {e}"));
+        assert_eq!(
+            outcome.summary(),
+            reference.summary,
+            "{tag}: resumed chaos campaign diverges from uninterrupted replay"
+        );
+        assert_eq!(outcome.quarantined_hosts, vec!["vtartu".to_string()], "{tag}");
+        assert_eq!(outcome.failed_runs, vec![2, 3], "{tag}");
+    }
+}
+
+#[test]
 fn generated_campaign_roundtrips_and_replays() {
     // A seed-generated campaign archives as JSON, reloads validated, and
     // replays to the same outcome — the plan file alone reproduces the
