@@ -76,7 +76,11 @@ pub fn ablation_wiring() -> Vec<WiringRow> {
             }),
             &[PortConfig::ten_gbe()],
         );
-        let dst = sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let dst = sim.add_element(
+            "dst",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         match with_switch {
             None => sim.connect((src, 0), (dst, 0), LinkConfig::direct_cable()),
             Some(kind) => {
@@ -137,13 +141,19 @@ pub fn ablation_cleanslate() -> Vec<CleanSlateRow> {
     let run = |reboot_between: bool| -> bool {
         let mut tb = Testbed::new(1);
         tb.add_host("dut", HardwareSpec::paper_dut(), InitInterface::Ipmi);
-        let img = tb.images.latest("debian-buster").expect("standard image").id;
+        let img = tb
+            .images
+            .latest("debian-buster")
+            .expect("standard image")
+            .id;
         tb.select_image("dut", img).expect("host exists");
         while tb.power_on("dut").is_err() {}
         tb.wait_booted("dut").expect("boots");
         // Experiment A misconfigures the host.
-        tb.exec("dut", "sysctl -w net.ipv4.ip_forward=1").expect("up");
-        tb.upload("dut", "/root/leftover.sh", b"rm -rf /").expect("up");
+        tb.exec("dut", "sysctl -w net.ipv4.ip_forward=1")
+            .expect("up");
+        tb.upload("dut", "/root/leftover.sh", b"rm -rf /")
+            .expect("up");
         // Experiment B begins...
         if reboot_between {
             while tb.reset("dut").is_err() {}
@@ -264,7 +274,12 @@ pub fn ablation_loadgen(target_pps: f64) -> Vec<LoadgenRow> {
         sim.connect((gen, 0), (sink, 0), LinkConfig::direct_cable());
         sim.run_until(SimTime::ZERO + duration + SimDuration::from_millis(10));
         let rec = sim.element_as::<ArrivalRecorder>(sink).expect("recorder");
-        row_from_arrivals("moongen (per-packet pacing)", target_pps, &rec.arrivals, duration)
+        row_from_arrivals(
+            "moongen (per-packet pacing)",
+            target_pps,
+            &rec.arrivals,
+            duration,
+        )
     };
 
     let iperf_row = {

@@ -2,8 +2,12 @@
 //! R3 clean-slate guarantee made visible.
 
 fn main() {
-    println!("{:<40} {}", "policy", "leaked state?");
+    println!("{:<40} leaked state?", "policy");
     for row in pos_bench::ablations::ablation_cleanslate() {
-        println!("{:<40} {}", row.policy, if row.leaked_state { "YES" } else { "no" });
+        println!(
+            "{:<40} {}",
+            row.policy,
+            if row.leaked_state { "YES" } else { "no" }
+        );
     }
 }

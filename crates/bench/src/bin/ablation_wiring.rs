@@ -2,7 +2,10 @@
 //! (the quantified version of the §7 topology discussion).
 
 fn main() {
-    println!("{:<24} {:>14} {:>12}", "wiring", "latency [ns]", "added [ns]");
+    println!(
+        "{:<24} {:>14} {:>12}",
+        "wiring", "latency [ns]", "added [ns]"
+    );
     for row in pos_bench::ablations::ablation_wiring() {
         println!(
             "{:<24} {:>14.1} {:>12.1}",

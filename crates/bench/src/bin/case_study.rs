@@ -42,6 +42,10 @@ fn main() {
     for (size, group) in set.group_by("pkt_sz") {
         let series = group.series("pkt_rate", |r| Some(r.report()?.rx_mpps()));
         let peak = series.iter().map(|p| p.1).fold(0.0f64, f64::max);
-        println!("pkt_sz={size}: {} points, peak forwarded {:.4} Mpps", series.len(), peak);
+        println!(
+            "pkt_sz={size}: {} points, peak forwarded {:.4} Mpps",
+            series.len(),
+            peak
+        );
     }
 }

@@ -131,7 +131,10 @@ fn main() {
         resume,
     };
     let out = "BENCH_robustness.json";
-    std::fs::write(out, serde_json::to_string_pretty(&output).expect("serializes"))
-        .expect("write BENCH_robustness.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&output).expect("serializes"),
+    )
+    .expect("write BENCH_robustness.json");
     println!("\nwrote {out}");
 }

@@ -101,10 +101,8 @@ pub mod chaos_campaign {
     /// graceful degradation on, and reports what survived. Same seed, same
     /// report — including the summary fingerprint.
     pub fn run_campaign(seed: u64, run_secs: u64) -> CampaignReport {
-        let root = std::env::temp_dir().join(format!(
-            "pos-bench-chaos-{seed}-{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("pos-bench-chaos-{seed}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let (report, _) = run_campaign_at(seed, run_secs, &root);
         let _ = std::fs::remove_dir_all(&root);
@@ -288,7 +286,11 @@ pub mod robustness {
                 let rx_gbit = r.report.rx_frames as f64 * (pkt_size as f64 + 20.0) * 8.0
                     / scenario.duration.as_secs_f64()
                     / 1e9;
-                let bottleneck = if r.router.ring_drops > 0 { "router CPU" } else { "10G line" };
+                let bottleneck = if r.router.ring_drops > 0 {
+                    "router CPU"
+                } else {
+                    "10G line"
+                };
                 RobustnessRow {
                     pkt_size,
                     rx_mpps,
@@ -324,8 +326,10 @@ pub mod robustness {
             // Below the crossover the rate tracks the size-dependent CPU
             // limit; above it the wire saturates near 10 Gbit/s.
             let profile = pos_netsim::router::ServiceProfile::bare_metal();
-            let below: Vec<&RobustnessRow> =
-                rows.iter().filter(|r| r.bottleneck == "router CPU").collect();
+            let below: Vec<&RobustnessRow> = rows
+                .iter()
+                .filter(|r| r.bottleneck == "router CPU")
+                .collect();
             let above: Vec<&RobustnessRow> =
                 rows.iter().filter(|r| r.bottleneck == "10G line").collect();
             assert!(below.len() >= 2 && above.len() >= 2);
@@ -337,6 +341,129 @@ pub mod robustness {
             for r in &above {
                 assert!((9.0..10.2).contains(&r.rx_gbit), "{r:?}");
             }
+        }
+    }
+}
+
+/// Parallel scheduler benchmark: the §5 case-study sweep executed at
+/// 1/2/4/8 worker lanes, see the `parallel` binary.
+pub mod parallel {
+    use pos_core::commands::register_all;
+    use pos_core::controller::RunOptions;
+    use pos_core::experiment::{linux_router_experiment, ExperimentSpec};
+    use pos_core::vars::VarValue;
+    use pos_sched::{run_parallel, ParallelOptions};
+    use pos_testbed::{HardwareSpec, InitInterface, PortId, Testbed};
+    use serde::Serialize;
+
+    /// Seed for the benchmark campaign (arbitrary but fixed: same seed,
+    /// same result tree at every lane count).
+    pub const SEED: u64 = 21;
+
+    fn lane_testbed() -> Testbed {
+        let mut tb = Testbed::new(SEED);
+        tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.topology
+            .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+            .expect("fresh ports");
+        tb.topology
+            .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+            .expect("fresh ports");
+        register_all(&mut tb);
+        tb
+    }
+
+    /// The case-study sweep scaled by the bench knobs: `run_secs` per
+    /// measurement run, `rate_steps` offered-rate points (× 2 packet
+    /// sizes), rates spread up to `max_rate` pps. The defaults in the
+    /// `parallel` binary reproduce the paper campaign's shape; CI shrinks
+    /// the rate to keep wall time down — the *virtual-time* speedup is
+    /// rate-independent because a run's virtual duration is dominated by
+    /// `run_secs`, not by how many packets the lane simulates.
+    pub fn campaign_spec(run_secs: u64, rate_steps: usize, max_rate: i64) -> ExperimentSpec {
+        let mut spec = linux_router_experiment("vriga", "vtartu", rate_steps, run_secs);
+        let lo = (max_rate / 30).max(1_000).min(max_rate);
+        let rates: Vec<i64> = (1..=rate_steps as i64)
+            .map(|i| lo + (max_rate - lo) * (i - 1) / (rate_steps as i64 - 1).max(1))
+            .collect();
+        spec.loop_vars.set(
+            "pkt_rate",
+            VarValue::List(rates.into_iter().map(Into::into).collect()),
+        );
+        spec
+    }
+
+    /// One lane-count row of `BENCH_parallel.json`.
+    #[derive(Debug, Serialize)]
+    pub struct LaneReport {
+        /// Worker lanes the campaign ran on.
+        pub lanes: usize,
+        /// Lane flavors granted by the site calendar (`pos` / `vpos`).
+        pub flavors: Vec<String>,
+        /// Measurement runs executed (all succeeded).
+        pub runs: usize,
+        /// Runs executed per lane.
+        pub runs_per_lane: Vec<usize>,
+        /// Virtual time of the measurement phase executed sequentially.
+        pub sequential_virtual_secs: f64,
+        /// Virtual makespan across the lanes.
+        pub parallel_virtual_secs: f64,
+        /// `sequential_virtual_secs / parallel_virtual_secs`.
+        pub speedup: f64,
+        /// Wall-clock cost of the deterministic merge, microseconds.
+        pub merge_wall_us: u64,
+    }
+
+    /// Runs the campaign at `lanes` lanes in a scratch directory and
+    /// reports the speedup accounting. Panics if any run fails — the
+    /// campaign is chaos-free.
+    pub fn run_at(lanes: usize, run_secs: u64, rate_steps: usize, max_rate: i64) -> LaneReport {
+        let spec = campaign_spec(run_secs, rate_steps, max_rate);
+        let root =
+            std::env::temp_dir().join(format!("pos-bench-parallel-{lanes}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let opts = RunOptions::new(&root);
+        let out = run_parallel(&spec, &opts, &ParallelOptions::new(lanes), &mut |_, _| {
+            lane_testbed()
+        })
+        .expect("chaos-free campaign succeeds");
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(
+            out.outcome.successes(),
+            out.outcome.runs.len(),
+            "bench campaign must be fault-free"
+        );
+        LaneReport {
+            lanes: out.lanes,
+            flavors: out.flavors.clone(),
+            runs: out.outcome.runs.len(),
+            runs_per_lane: out.lane_runs.iter().map(Vec::len).collect(),
+            sequential_virtual_secs: out.sequential_elapsed.as_nanos() as f64 / 1e9,
+            parallel_virtual_secs: out.parallel_elapsed.as_nanos() as f64 / 1e9,
+            speedup: out.speedup(),
+            merge_wall_us: (out.merge_wall_secs * 1e6) as u64,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn four_lanes_at_least_double_the_case_study() {
+            // The full case-study shape (60 runs × 10 s) at shrunk rates:
+            // the packet simulation cost scales with the rate, but the
+            // virtual-time speedup depends only on run durations, which
+            // must be long enough for the one-time campaign setup
+            // (~160 s virtual, paid on every lane count) to amortize.
+            let report = run_at(4, 10, 30, 2_000);
+            assert_eq!(report.runs, 60);
+            assert!(
+                report.speedup >= 2.0,
+                "4 lanes must at least halve the campaign, got {:.2}x",
+                report.speedup
+            );
         }
     }
 }

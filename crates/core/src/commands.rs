@@ -50,7 +50,11 @@ fn ping_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResult 
         .iter()
         .filter_map(|(k, v)| {
             let ifname = k.strip_prefix("addr:")?;
-            let up = peer.netconf.get(&format!("link:{ifname}")).map(String::as_str) == Some("up");
+            let up = peer
+                .netconf
+                .get(&format!("link:{ifname}"))
+                .map(String::as_str)
+                == Some("up");
             if !up {
                 return None;
             }
@@ -62,9 +66,7 @@ fn ping_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResult 
         let duration = SimDuration::from_secs(u64::from(count));
         return CommandResult::fail(
             1,
-            format!(
-                "PING {target}: {count} packets transmitted, 0 received, 100% packet loss"
-            ),
+            format!("PING {target}: {count} packets transmitted, 0 received, 100% packet loss"),
         )
         .with_duration(duration);
     }
@@ -111,9 +113,7 @@ fn ping_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResult 
     sim.connect((probe, 0), (peer_node, 0), LinkConfig::direct_cable());
     sim.run_until(pos_simkernel::SimTime::from_secs(u64::from(count) + 1));
 
-    let p = sim
-        .element_as::<PingProbe>(probe)
-        .expect("probe element");
+    let p = sim.element_as::<PingProbe>(probe).expect("probe element");
     let mut out = format!("PING {target} 56(84) bytes of data.\n");
     for (seq, reply) in &p.replies {
         if let ProbeReply::Echo { rtt_ns } = reply {
@@ -185,7 +185,11 @@ fn moongen_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResu
     let imix = args.get("size").map(String::as_str) == Some("imix");
     let (rate, size, time) = match (
         parse_f64(&args, "rate"),
-        if imix { Ok(64.0) } else { parse_f64(&args, "size") },
+        if imix {
+            Ok(64.0)
+        } else {
+            parse_f64(&args, "size")
+        },
         parse_f64(&args, "time"),
     ) {
         (Ok(r), Ok(s), Ok(t)) => (r, s, t),
@@ -239,11 +243,7 @@ fn moongen_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResu
     };
     // Kernel boot parameters matter (§4.4): `isolcpus` shields the DuT's
     // forwarding cores from background work, cutting service-time jitter.
-    let dut_jitter_sigma = if dut
-        .boot_params
-        .iter()
-        .any(|p| p.starts_with("isolcpus"))
-    {
+    let dut_jitter_sigma = if dut.boot_params.iter().any(|p| p.starts_with("isolcpus")) {
         Some(platform.dut_profile().jitter_sigma * 0.3)
     } else {
         None
@@ -364,7 +364,11 @@ fn iperf_command(tb: &mut Testbed, host: &str, argv: &[String]) -> CommandResult
         })),
         &[PortConfig::ten_gbe()],
     );
-    let sink = sim.add_element("peer", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+    let sink = sim.add_element(
+        "peer",
+        Box::new(CountingSink::new()),
+        &[PortConfig::ten_gbe()],
+    );
     sim.connect((gen, 0), (sink, 0), LinkConfig::direct_cable());
     sim.run_until(pos_simkernel::SimTime::ZERO + duration + SimDuration::from_millis(50));
     let received = sim.element_as::<CountingSink>(sink).expect("sink").frames;
@@ -517,12 +521,7 @@ mod tests {
             .lines()
             .find(|l| l.contains("id=1] RX:") && l.contains("packets"))
             .expect("summary RX line");
-        let rx: u64 = rx_line
-            .split_whitespace()
-            .nth(3)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let rx: u64 = rx_line.split_whitespace().nth(3).unwrap().parse().unwrap();
         assert!(
             (25_000..60_000).contains(&rx),
             "VM DuT should cap near 40 kpps, got {rx}: {rx_line}"
@@ -626,7 +625,10 @@ mod tests {
         assert!(r.stdout.contains("RX: 50000 packets"), "{}", r.stdout);
         // Byte counters reflect mixed sizes, not 64 B frames.
         let parsed = pos_eval_compat_parse(&r.stdout);
-        assert!(parsed > 50_000 * 64, "mixed sizes carry more bytes: {parsed}");
+        assert!(
+            parsed > 50_000 * 64,
+            "mixed sizes carry more bytes: {parsed}"
+        );
     }
 
     /// Tiny local extraction of the RX byte count (pos-eval is not a
@@ -654,7 +656,8 @@ mod tests {
         assert!(r.stderr.contains("100% packet loss"), "{}", r.stderr);
 
         // Configure the address but leave the link down: still dark.
-        tb.exec("vtartu", "ip addr add 10.0.0.1/24 dev enp24s0f0").unwrap();
+        tb.exec("vtartu", "ip addr add 10.0.0.1/24 dev enp24s0f0")
+            .unwrap();
         let r = tb.exec("vriga", "ping 10.0.0.1").unwrap();
         assert!(!r.success(), "address on a down link must not answer");
 
@@ -663,7 +666,9 @@ mod tests {
         let t0 = tb.now();
         let r = tb.exec("vriga", "ping 10.0.0.1").unwrap();
         assert!(r.success(), "stderr: {}", r.stderr);
-        assert!(r.stdout.contains("4 packets transmitted, 4 received, 0% packet loss"));
+        assert!(r
+            .stdout
+            .contains("4 packets transmitted, 4 received, 0% packet loss"));
         assert!(r.stdout.contains("icmp_seq=1"));
         assert!(r.stdout.contains("time=0.0"), "sub-ms RTT: {}", r.stdout);
         // The four 1s-spaced probes consumed virtual time.
@@ -685,7 +690,8 @@ mod tests {
     fn ping_dead_peer_is_loss() {
         let mut tb = wired_testbed();
         configure_dut(&mut tb);
-        tb.exec("vtartu", "ip addr add 10.0.0.1/24 dev enp24s0f0").unwrap();
+        tb.exec("vtartu", "ip addr add 10.0.0.1/24 dev enp24s0f0")
+            .unwrap();
         tb.host_mut("vtartu").unwrap().inject_crash();
         let r = tb.exec("vriga", "ping 10.0.0.1").unwrap();
         assert!(!r.success());

@@ -406,10 +406,40 @@ impl From<std::io::Error> for ControllerError {
     }
 }
 
+/// The controller's handle on its testbed: borrowed in the classic
+/// embedded form ([`Controller::new`]), owned when a scheduler gives each
+/// worker lane its own long-lived replica ([`Controller::owning`]).
+enum TbRef<'t> {
+    Borrowed(&'t mut Testbed),
+    Owned(Box<Testbed>),
+}
+
+impl std::ops::Deref for TbRef<'_> {
+    type Target = Testbed;
+    fn deref(&self) -> &Testbed {
+        match self {
+            TbRef::Borrowed(tb) => tb,
+            TbRef::Owned(tb) => tb,
+        }
+    }
+}
+
+impl std::ops::DerefMut for TbRef<'_> {
+    fn deref_mut(&mut self) -> &mut Testbed {
+        match self {
+            TbRef::Borrowed(tb) => tb,
+            TbRef::Owned(tb) => tb,
+        }
+    }
+}
+
+/// Installed progress callback (the paper's progress bar).
+type ProgressFn = Box<dyn FnMut(&Progress)>;
+
 /// The pos controller bound to one testbed.
 pub struct Controller<'t> {
-    tb: &'t mut Testbed,
-    progress: Option<Box<dyn FnMut(&Progress)>>,
+    tb: TbRef<'t>,
+    progress: Option<ProgressFn>,
     health: BTreeMap<String, HostHealth>,
 }
 
@@ -417,10 +447,34 @@ impl<'t> Controller<'t> {
     /// Creates a controller driving `tb`.
     pub fn new(tb: &'t mut Testbed) -> Controller<'t> {
         Controller {
-            tb,
+            tb: TbRef::Borrowed(tb),
             progress: None,
             health: BTreeMap::new(),
         }
+    }
+
+    /// Creates a controller that *owns* its testbed — the worker-lane
+    /// form. A parallel scheduler keeps one owning controller per lane so
+    /// lane-local state (virtual clock, host health, trace, management
+    /// RNG position) persists across the runs dispatched to that lane.
+    pub fn owning(tb: Testbed) -> Controller<'static> {
+        Controller {
+            tb: TbRef::Owned(Box::new(tb)),
+            progress: None,
+            health: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying testbed.
+    pub fn testbed(&self) -> &Testbed {
+        &self.tb
+    }
+
+    /// The underlying testbed, mutably. Schedulers use this to pin a
+    /// lane's virtual clock to a run's canonical start instant before
+    /// dispatching the run (see `pos-sched`).
+    pub fn testbed_mut(&mut self) -> &mut Testbed {
+        &mut self.tb
     }
 
     /// Installs a progress callback.
@@ -443,10 +497,20 @@ impl<'t> Controller<'t> {
             .unwrap_or(HostHealth::Healthy)
     }
 
+    /// Logs to the testbed trace at the current virtual instant.
+    fn log_now(
+        &mut self,
+        level: TraceLevel,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        let now = self.tb.now();
+        self.tb.trace.log(now, level, component, message);
+    }
+
     fn set_health(&mut self, host: &str, health: HostHealth) {
         if self.host_health(host) != health {
-            self.tb.trace.log(
-                self.tb.now(),
+            self.log_now(
                 TraceLevel::Info,
                 "controller",
                 format!("health: {host} -> {health}"),
@@ -487,8 +551,7 @@ impl<'t> Controller<'t> {
                 ),
             }
         }
-        self.tb.trace.log(
-            self.tb.now(),
+        self.log_now(
             TraceLevel::Info,
             "controller",
             format!(
@@ -520,15 +583,14 @@ impl<'t> Controller<'t> {
         let mut backoff = self.backoff(opts, &format!("power/{host}"));
         let mut last = None;
         for attempt in 0..=retries {
-            match op(self.tb, host) {
+            match op(&mut self.tb, host) {
                 Ok(()) => return Ok(()),
                 Err(e @ PowerError::TransientFailure { .. }) => {
                     last = Some(e);
                     if attempt < retries {
                         let delay = backoff.next_delay();
                         self.tb.advance(delay);
-                        self.tb.trace.log(
-                            self.tb.now(),
+                        self.log_now(
                             TraceLevel::Debug,
                             "controller",
                             format!(
@@ -568,15 +630,13 @@ impl<'t> Controller<'t> {
             .map(|h| h.init_interface.supports_reset())
             .ok_or_else(|| ControllerError::UnknownHost { host: host.into() })?;
         if supports_reset {
-            match self.power_with_retries(host, opts.max_power_retries, opts, |tb, h| tb.reset(h))
-            {
+            match self.power_with_retries(host, opts.max_power_retries, opts, |tb, h| tb.reset(h)) {
                 Ok(()) => {}
                 Err(ControllerError::PowerFailed {
                     error: PowerError::TransientFailure { .. },
                     ..
                 }) => {
-                    self.tb.trace.log(
-                        self.tb.now(),
+                    self.log_now(
                         TraceLevel::Warn,
                         "controller",
                         format!("{host}: reset failed repeatedly, escalating to power cycle"),
@@ -652,7 +712,7 @@ impl<'t> Controller<'t> {
         spec: &ExperimentSpec,
         phase: &str,
         run: Option<&RunParams>,
-    ) -> Result<BTreeMap<String, CommandResult>, ScriptFailure> {
+    ) -> Result<BTreeMap<String, CommandResult>, Box<ScriptFailure>> {
         // Instantiate all scripts up front.
         let instantiated: Vec<Vec<Step>> = spec
             .roles
@@ -696,11 +756,13 @@ impl<'t> Controller<'t> {
                 // This role's lane starts at the barrier instant.
                 self.tb.set_now(barrier_start);
                 for cmd in commands {
-                    let result = self.tb.exec(&role.host, cmd).map_err(|e| ScriptFailure {
-                        role: role.role.clone(),
-                        command: cmd.clone(),
-                        result: None,
-                        exec: Some(e),
+                    let result = self.tb.exec(&role.host, cmd).map_err(|e| {
+                        Box::new(ScriptFailure {
+                            role: role.role.clone(),
+                            command: cmd.clone(),
+                            result: None,
+                            exec: Some(e),
+                        })
                     })?;
                     let entry = aggregated.entry(role.role.clone()).or_insert_with(|| {
                         CommandResult::ok("").with_duration(pos_simkernel::SimDuration::ZERO)
@@ -719,12 +781,12 @@ impl<'t> Controller<'t> {
                     }
                     if !result.success() {
                         entry.exit_code = result.exit_code;
-                        return Err(ScriptFailure {
+                        return Err(Box::new(ScriptFailure {
                             role: role.role.clone(),
                             command: cmd.clone(),
                             result: Some(result),
                             exec: None,
-                        });
+                        }));
                     }
                 }
                 if self.tb.now() > barrier_end {
@@ -772,6 +834,18 @@ impl<'t> Controller<'t> {
             expand_cross_product(&spec.loop_vars)
         };
         Ok((spec, runs))
+    }
+
+    /// Validates `spec` against this controller's testbed, folds
+    /// repetitions into a synthetic loop variable, and expands the cross
+    /// product — the read-only front half of [`Self::run_experiment`],
+    /// exposed for schedulers that shard the run list across lanes.
+    pub fn prepare_campaign(
+        &self,
+        spec: &ExperimentSpec,
+        opts: &RunOptions,
+    ) -> Result<(ExperimentSpec, Vec<RunParams>), ControllerError> {
+        self.prepare(spec, opts)
     }
 
     /// Runs a complete experiment: setup phase, all measurement runs, and
@@ -882,8 +956,7 @@ impl<'t> Controller<'t> {
             });
         }
         if replay.torn_tail {
-            self.tb.trace.log(
-                self.tb.now(),
+            self.log_now(
                 TraceLevel::Debug,
                 "controller",
                 format!(
@@ -944,8 +1017,7 @@ impl<'t> Controller<'t> {
                     },
                 );
             } else {
-                self.tb.trace.log(
-                    self.tb.now(),
+                self.log_now(
                     TraceLevel::Debug,
                     "controller",
                     format!("resume: run {index} failed verification, re-executing"),
@@ -976,18 +1048,24 @@ impl<'t> Controller<'t> {
         self.execute_campaign(&spec, opts, store, journal, runs, state)
     }
 
-    /// The shared campaign body: setup phase, measurement loop (skipping
-    /// resume-verified runs), wrap-up. `resume` is empty for a fresh run.
-    fn execute_campaign(
+    /// The §4.4 setup phase alone: calendar allocation, publishable
+    /// inputs, image selection and reboot, tool deployment, hardware
+    /// capture, setup scripts in lockstep.
+    ///
+    /// With `store: None` the same virtual-time story plays out (boots,
+    /// deployments, hardware probes) but nothing is persisted — the form a
+    /// parallel scheduler uses for worker lanes beyond lane 0, whose
+    /// replica testbeds must follow the identical setup timeline while
+    /// only the canonical lane writes the shared result tree.
+    /// `planned_runs` is the campaign's total run count (it appears in the
+    /// allocation trace line, which must match across lanes).
+    pub fn setup_campaign(
         &mut self,
         spec: &ExperimentSpec,
         opts: &RunOptions,
-        store: ResultStore,
-        mut journal: Journal,
-        runs: Vec<RunParams>,
-        resume: ResumeState,
-    ) -> Result<ExperimentOutcome, ControllerError> {
-        // -------------------------------------------------- setup phase
+        store: Option<&ResultStore>,
+        planned_runs: usize,
+    ) -> Result<CampaignSetup, ControllerError> {
         let started = self.tb.now();
         let hosts = spec.hosts();
         let reservation = self
@@ -1007,31 +1085,34 @@ impl<'t> Controller<'t> {
             "controller",
             format!(
                 "experiment {} allocated {:?}, {} runs planned",
-                spec.name,
-                hosts,
-                runs.len()
+                spec.name, hosts, planned_runs
             ),
         );
 
         // Persist the publishable inputs before anything runs.
-        store.write("experiment/experiment.yml", spec.to_yaml())?;
-        store.write("experiment/global-variables.yml", spec.global_vars.to_yaml())?;
-        store.write("experiment/loop-variables.yml", spec.loop_vars.to_yaml())?;
-        for role in &spec.roles {
+        if let Some(store) = store {
+            store.write("experiment/experiment.yml", spec.to_yaml())?;
             store.write(
-                &format!("experiment/{}/setup.sh", role.role),
-                &role.setup.source,
+                "experiment/global-variables.yml",
+                spec.global_vars.to_yaml(),
             )?;
-            store.write(
-                &format!("experiment/{}/measurement.sh", role.role),
-                &role.measurement.source,
-            )?;
-            store.write(
-                &format!("experiment/{}/local-variables.yml", role.role),
-                role.local_vars.to_yaml(),
-            )?;
+            store.write("experiment/loop-variables.yml", spec.loop_vars.to_yaml())?;
+            for role in &spec.roles {
+                store.write(
+                    &format!("experiment/{}/setup.sh", role.role),
+                    &role.setup.source,
+                )?;
+                store.write(
+                    &format!("experiment/{}/measurement.sh", role.role),
+                    &role.measurement.source,
+                )?;
+                store.write(
+                    &format!("experiment/{}/local-variables.yml", role.role),
+                    role.local_vars.to_yaml(),
+                )?;
+            }
+            store.write("topology.txt", self.tb.topology.render())?;
         }
-        store.write("topology.txt", self.tb.topology.render())?;
 
         // Image selection, boot parameters, reboot.
         for role in &spec.roles {
@@ -1044,12 +1125,12 @@ impl<'t> Controller<'t> {
                 snapshot: role.image_snapshot.clone(),
             })?
             .id;
-            self.tb
-                .select_image(&role.host, image)
-                .map_err(|error| ControllerError::PowerFailed {
+            self.tb.select_image(&role.host, image).map_err(|error| {
+                ControllerError::PowerFailed {
                     host: role.host.clone(),
                     error,
-                })?;
+                }
+            })?;
             self.tb
                 .set_boot_params(&role.host, &role.boot_params)
                 .map_err(|error| ControllerError::PowerFailed {
@@ -1079,13 +1160,38 @@ impl<'t> Controller<'t> {
                 .tb
                 .exec(&role.host, "pos-hardware-info")
                 .map_err(ControllerError::Exec)?;
-            store.write(&format!("hardware/{}.txt", role.host), hw.stdout)?;
+            if let Some(store) = store {
+                store.write(&format!("hardware/{}.txt", role.host), hw.stdout)?;
+            }
         }
 
         // Setup scripts, in lockstep.
         self.run_scripts_lockstep(spec, "setup", None)
             .map_err(|f| f.into_setup_error())?;
         self.emit(Progress::SetupDone);
+        Ok(CampaignSetup {
+            reservation,
+            started,
+        })
+    }
+
+    /// The shared campaign body: setup phase, measurement loop (skipping
+    /// resume-verified runs), wrap-up. `resume` is empty for a fresh run.
+    fn execute_campaign(
+        &mut self,
+        spec: &ExperimentSpec,
+        opts: &RunOptions,
+        store: ResultStore,
+        mut journal: Journal,
+        runs: Vec<RunParams>,
+        resume: ResumeState,
+    ) -> Result<ExperimentOutcome, ControllerError> {
+        // -------------------------------------------------- setup phase
+        let setup = self.setup_campaign(spec, opts, Some(&store), runs.len())?;
+        let CampaignSetup {
+            reservation,
+            started,
+        } = setup;
 
         // -------------------------------------------- measurement phase
         let total = runs.len();
@@ -1100,8 +1206,7 @@ impl<'t> Controller<'t> {
         // time, and resumed controller.log must stay byte-stable).
         for host in &resume.quarantined {
             self.health.insert(host.clone(), HostHealth::Quarantined);
-            self.tb.trace.log(
-                self.tb.now(),
+            self.log_now(
                 TraceLevel::Debug,
                 "controller",
                 format!("resume: {host} restored as quarantined"),
@@ -1127,8 +1232,7 @@ impl<'t> Controller<'t> {
                     self.tb.discard_due_faults();
                 }
                 self.tb.rng_seek(done.rng_cursor);
-                self.tb.trace.log(
-                    self.tb.now(),
+                self.log_now(
                     TraceLevel::Debug,
                     "controller",
                     format!("resume: run {} verified, skipped", run.index),
@@ -1139,7 +1243,7 @@ impl<'t> Controller<'t> {
                     failed_runs.push(run.index);
                 }
                 let run_dir = store.run_dir(run.index)?;
-                let outputs = Self::reload_outputs(spec, &run_dir)?;
+                let outputs = Self::reload_run_outputs(spec, &run_dir)?;
                 self.emit(Progress::RunSkipped {
                     index: run.index,
                     total,
@@ -1154,261 +1258,14 @@ impl<'t> Controller<'t> {
                 });
                 continue;
             }
-            // Not durable: clear any partial leftovers first, so what the
-            // crash happened to leave behind cannot influence convergence.
-            store.wipe_run(run.index)?;
-            let run_started = self.tb.now();
-            journal.append(&JournalRecord::RunStarted {
-                index: run.index,
-                started_ns: run_started.as_nanos(),
-            })?;
-            // Sequence number of the next trace entry; robust against ring
-            // eviction (`len` alone would drift once entries are dropped).
-            let trace_mark = self.tb.trace.len() as u64 + self.tb.trace.dropped();
-            let mut attempts = 0u32;
-            let mut recoveries = 0u32;
-            let mut run_recovery_time = SimDuration::ZERO;
-            let mut outputs = BTreeMap::new();
-            let mut success = false;
-            let mut backoff = self.backoff(opts, &format!("run/{}", run.index));
-
-            // Runs depending on a quarantined host fail fast: burning the
-            // retry budget against a host already known dead would only
-            // stretch the sweep.
-            let quarantined_dep = spec
-                .roles
-                .iter()
-                .map(|r| r.host.clone())
-                .find(|h| self.host_health(h) == HostHealth::Quarantined);
-            if let Some(host) = &quarantined_dep {
-                self.tb.trace.log(
-                    self.tb.now(),
-                    TraceLevel::Warn,
-                    "controller",
-                    format!("run {}: skipped, host {host} is quarantined", run.index),
-                );
-            }
-
-            'attempts: while quarantined_dep.is_none() && attempts <= opts.max_run_retries {
-                attempts += 1;
-                // Loop variables are (re)deployed to every host each
-                // attempt, so hosts can read them via pos_get_var. The
-                // deployments proceed concurrently (one lane per host).
-                let mut deploy_failed: Option<ExecError> = None;
-                let deploy_start = self.tb.now();
-                let mut deploy_end = deploy_start;
-                for (i, role) in spec.roles.iter().enumerate() {
-                    self.tb.set_now(deploy_start);
-                    let vars = Self::role_vars(spec, i, Some(run));
-                    if let Err(e) = self.tb.deploy_tools(&role.host, &vars.rendered()) {
-                        deploy_failed = Some(e);
-                        break;
-                    }
-                    if self.tb.now() > deploy_end {
-                        deploy_end = self.tb.now();
-                    }
-                }
-                self.tb.set_now(deploy_end.max(self.tb.now()));
-                let failure = match deploy_failed {
-                    Some(e) => Some(ScriptFailure {
-                        role: String::new(),
-                        command: "pos deploy".into(),
-                        result: None,
-                        exec: Some(e),
-                    }),
-                    None => match self.run_scripts_lockstep(spec, "measurement", Some(run)) {
-                        Ok(out) => {
-                            outputs = out;
-                            success = true;
-                            None
-                        }
-                        Err(f) => Some(f),
-                    },
-                };
-
-                let Some(f) = failure else { break };
-                // Who is the suspect? An unreachable/timed-out host names
-                // itself; a plain command failure may be collateral of a
-                // crashed *peer* (the load generator errors out because the
-                // DuT died mid-run), so probe every experiment host.
-                let suspects: Vec<String> = match f.exec {
-                    Some(ExecError::HostUnreachable { ref host, .. })
-                    | Some(ExecError::Timeout { ref host, .. }) => vec![host.clone()],
-                    Some(e) => return Err(ControllerError::Exec(e)),
-                    None => spec
-                        .roles
-                        .iter()
-                        .map(|r| r.host.clone())
-                        .filter(|h| self.tb.host(h).map_or(false, |h| !h.is_up()))
-                        .collect(),
-                };
-
-                if suspects.is_empty() {
-                    // Genuine command failure with every host healthy:
-                    // retry after a deterministic backoff if budget remains.
-                    if attempts <= opts.max_run_retries {
-                        let delay = backoff.next_delay();
-                        self.tb.advance(delay);
-                        self.tb.trace.log(
-                            self.tb.now(),
-                            TraceLevel::Debug,
-                            "controller",
-                            format!(
-                                "run {}: attempt {attempts} failed, retrying after {delay}",
-                                run.index
-                            ),
-                        );
-                        self.emit(Progress::RunRetry {
-                            index: run.index,
-                            attempt: attempts,
-                            delay,
-                        });
-                    }
-                    continue;
-                }
-
-                for host in suspects {
-                    // R3: out-of-band recovery, then retry the run.
-                    let recovery_started = self.tb.now();
-                    self.set_health(&host, HostHealth::Suspect);
-                    self.tb.trace.log(
-                        self.tb.now(),
-                        TraceLevel::Warn,
-                        "controller",
-                        format!("run {}: {host} unresponsive, recovering", run.index),
-                    );
-                    self.emit(Progress::HostRecovering { host: host.clone() });
-                    self.set_health(&host, HostHealth::Reinitializing);
-                    match self.recover_host(&host, spec, run, opts) {
-                        Ok(()) => {
-                            let took = self.tb.now().saturating_duration_since(recovery_started);
-                            total_recovery_time += took;
-                            run_recovery_time += took;
-                            self.set_health(&host, HostHealth::Healthy);
-                            self.emit(Progress::HostRecovered { host: host.clone() });
-                            recoveries += 1;
-                            total_recoveries += 1;
-                        }
-                        Err(e) => {
-                            self.set_health(&host, HostHealth::Quarantined);
-                            quarantined_hosts.push(host.clone());
-                            self.tb.trace.log(
-                                self.tb.now(),
-                                TraceLevel::Error,
-                                "controller",
-                                format!("{host}: recovery failed, quarantined ({e})"),
-                            );
-                            self.emit(Progress::HostQuarantined { host: host.clone() });
-                            journal.append(&JournalRecord::HostQuarantined {
-                                host: host.clone(),
-                                at_ns: self.tb.now().as_nanos(),
-                            })?;
-                            if opts.continue_on_run_failure {
-                                break 'attempts;
-                            }
-                            return Err(e);
-                        }
-                    }
-                }
-            }
-
-            // Capture per-run artifacts: command output...
-            for (role, result) in &outputs {
-                store.write_run_output(
-                    run.index,
-                    role,
-                    &result.stdout,
-                    &result.stderr,
-                    result.exit_code,
-                )?;
-            }
-            // ...plus any files the scripts left under /srv/results/ on
-            // the hosts (pcap dumps etc.), uploaded to the controller and
-            // cleared so the next run starts empty.
-            for role in &spec.roles {
-                if let Some(host) = self.tb.host_mut(&role.host) {
-                    let keys: Vec<String> = host
-                        .fs
-                        .keys()
-                        .filter(|k| k.starts_with("/srv/results/"))
-                        .cloned()
-                        .collect();
-                    for key in keys {
-                        let data = host.fs.remove(&key).expect("key just listed");
-                        let base = key.rsplit('/').next().expect("non-empty path");
-                        store.write_run_file(run.index, &format!("{}_{base}", role.role), data)?;
-                    }
-                }
-            }
-            let hosts_map: BTreeMap<String, String> = spec
-                .roles
-                .iter()
-                .map(|r| (r.role.clone(), r.host.clone()))
-                .collect();
-            store.write_run_metadata(&run_metadata(
-                run,
-                run_started,
-                self.tb.now(),
-                attempts,
-                success,
-                hosts_map,
-            ))?;
-            // Seal the run: the checksum manifest is the last artifact
-            // written, so its presence certifies every other one.
-            let digest = store.finalize_run(run.index)?;
-            let run_dir = store.run_dir(run.index)?;
-            self.emit(Progress::RunDone {
-                index: run.index,
-                total,
-                success,
-                dir: run_dir,
-            });
-            if !success && !opts.continue_on_run_failure {
-                // No RunCompleted record: an aborting failure leaves the
-                // run journaled as started-only, so a resume retries it.
-                store.write(
-                    "controller.log",
-                    self.tb.trace.render_min_level(TraceLevel::Info),
-                )?;
-                return Err(ControllerError::RunFailed {
-                    index: run.index,
-                    attempts,
-                });
-            }
-            // Everything Warn-and-above since the run started is this run's
-            // fault story — empty for clean runs.
-            let skip = trace_mark.saturating_sub(self.tb.trace.dropped()) as usize;
-            let fault_trace: Vec<String> = self
-                .tb
-                .trace
-                .iter()
-                .skip(skip)
-                .filter(|e| e.level >= TraceLevel::Warn)
-                .map(|e| e.to_string())
-                .collect();
-            journal.append(&JournalRecord::RunCompleted {
-                index: run.index,
-                success,
-                attempts,
-                recoveries,
-                recovery_time_ns: run_recovery_time.as_nanos(),
-                started_ns: run_started.as_nanos(),
-                finished_ns: self.tb.now().as_nanos(),
-                rng_cursor: self.tb.rng_cursor(),
-                digest,
-                fault_trace: fault_trace.clone(),
-            })?;
-            if !success {
+            let step = self.execute_one_run(spec, opts, &store, &mut journal, run, total)?;
+            total_recoveries += step.recoveries;
+            total_recovery_time += step.recovery_time;
+            quarantined_hosts.extend(step.quarantined);
+            if !step.record.success {
                 failed_runs.push(run.index);
             }
-            records.push(RunRecord {
-                params: run.clone(),
-                outputs,
-                attempts,
-                success,
-                recoveries,
-                fault_trace,
-            });
+            records.push(step.record);
         }
 
         // ------------------------------------------------------ wrap-up
@@ -1440,11 +1297,293 @@ impl<'t> Controller<'t> {
         })
     }
 
+    /// Executes one measurement run at the testbed's current virtual
+    /// instant: wipes leftovers, journals `RunStarted`, runs the
+    /// measurement scripts with the full retry/recovery/quarantine
+    /// machinery, captures artifacts, seals the run, and journals
+    /// `RunCompleted`.
+    ///
+    /// This is the unit a parallel scheduler dispatches to a worker lane:
+    /// the lane's controller keeps its own health map and journal, while
+    /// `store` may be shared (runs write disjoint `run-NNNN` directories).
+    /// An aborting failure (unsuccessful run without
+    /// [`RunOptions::continue_on_run_failure`]) writes `controller.log`
+    /// and returns [`ControllerError::RunFailed`], leaving the run
+    /// journaled as started-only so a resume retries it.
+    pub fn execute_one_run(
+        &mut self,
+        spec: &ExperimentSpec,
+        opts: &RunOptions,
+        store: &ResultStore,
+        journal: &mut Journal,
+        run: &RunParams,
+        total: usize,
+    ) -> Result<RunStep, ControllerError> {
+        let mut quarantined: Vec<String> = Vec::new();
+        // Not durable: clear any partial leftovers first, so what the
+        // crash happened to leave behind cannot influence convergence.
+        store.wipe_run(run.index)?;
+        let run_started = self.tb.now();
+        journal.append(&JournalRecord::RunStarted {
+            index: run.index,
+            started_ns: run_started.as_nanos(),
+        })?;
+        // Sequence number of the next trace entry; robust against ring
+        // eviction (`len` alone would drift once entries are dropped).
+        let trace_mark = self.tb.trace.len() as u64 + self.tb.trace.dropped();
+        let mut attempts = 0u32;
+        let mut recoveries = 0u32;
+        let mut run_recovery_time = SimDuration::ZERO;
+        let mut outputs = BTreeMap::new();
+        let mut success = false;
+        let mut backoff = self.backoff(opts, &format!("run/{}", run.index));
+
+        // Runs depending on a quarantined host fail fast: burning the
+        // retry budget against a host already known dead would only
+        // stretch the sweep.
+        let quarantined_dep = spec
+            .roles
+            .iter()
+            .map(|r| r.host.clone())
+            .find(|h| self.host_health(h) == HostHealth::Quarantined);
+        if let Some(host) = &quarantined_dep {
+            self.log_now(
+                TraceLevel::Warn,
+                "controller",
+                format!("run {}: skipped, host {host} is quarantined", run.index),
+            );
+        }
+
+        'attempts: while quarantined_dep.is_none() && attempts <= opts.max_run_retries {
+            attempts += 1;
+            // Loop variables are (re)deployed to every host each
+            // attempt, so hosts can read them via pos_get_var. The
+            // deployments proceed concurrently (one lane per host).
+            let mut deploy_failed: Option<ExecError> = None;
+            let deploy_start = self.tb.now();
+            let mut deploy_end = deploy_start;
+            for (i, role) in spec.roles.iter().enumerate() {
+                self.tb.set_now(deploy_start);
+                let vars = Self::role_vars(spec, i, Some(run));
+                if let Err(e) = self.tb.deploy_tools(&role.host, &vars.rendered()) {
+                    deploy_failed = Some(e);
+                    break;
+                }
+                if self.tb.now() > deploy_end {
+                    deploy_end = self.tb.now();
+                }
+            }
+            let now = self.tb.now();
+            self.tb.set_now(deploy_end.max(now));
+            let failure = match deploy_failed {
+                Some(e) => Some(Box::new(ScriptFailure {
+                    role: String::new(),
+                    command: "pos deploy".into(),
+                    result: None,
+                    exec: Some(e),
+                })),
+                None => match self.run_scripts_lockstep(spec, "measurement", Some(run)) {
+                    Ok(out) => {
+                        outputs = out;
+                        success = true;
+                        None
+                    }
+                    Err(f) => Some(f),
+                },
+            };
+
+            let Some(f) = failure else { break };
+            // Who is the suspect? An unreachable/timed-out host names
+            // itself; a plain command failure may be collateral of a
+            // crashed *peer* (the load generator errors out because the
+            // DuT died mid-run), so probe every experiment host.
+            let suspects: Vec<String> = match f.exec {
+                Some(ExecError::HostUnreachable { ref host, .. })
+                | Some(ExecError::Timeout { ref host, .. }) => vec![host.clone()],
+                Some(e) => return Err(ControllerError::Exec(e)),
+                None => spec
+                    .roles
+                    .iter()
+                    .map(|r| r.host.clone())
+                    .filter(|h| self.tb.host(h).is_some_and(|h| !h.is_up()))
+                    .collect(),
+            };
+
+            if suspects.is_empty() {
+                // Genuine command failure with every host healthy:
+                // retry after a deterministic backoff if budget remains.
+                if attempts <= opts.max_run_retries {
+                    let delay = backoff.next_delay();
+                    self.tb.advance(delay);
+                    self.log_now(
+                        TraceLevel::Debug,
+                        "controller",
+                        format!(
+                            "run {}: attempt {attempts} failed, retrying after {delay}",
+                            run.index
+                        ),
+                    );
+                    self.emit(Progress::RunRetry {
+                        index: run.index,
+                        attempt: attempts,
+                        delay,
+                    });
+                }
+                continue;
+            }
+
+            for host in suspects {
+                // R3: out-of-band recovery, then retry the run.
+                let recovery_started = self.tb.now();
+                self.set_health(&host, HostHealth::Suspect);
+                self.log_now(
+                    TraceLevel::Warn,
+                    "controller",
+                    format!("run {}: {host} unresponsive, recovering", run.index),
+                );
+                self.emit(Progress::HostRecovering { host: host.clone() });
+                self.set_health(&host, HostHealth::Reinitializing);
+                match self.recover_host(&host, spec, run, opts) {
+                    Ok(()) => {
+                        let took = self.tb.now().saturating_duration_since(recovery_started);
+                        run_recovery_time += took;
+                        self.set_health(&host, HostHealth::Healthy);
+                        self.emit(Progress::HostRecovered { host: host.clone() });
+                        recoveries += 1;
+                    }
+                    Err(e) => {
+                        self.set_health(&host, HostHealth::Quarantined);
+                        quarantined.push(host.clone());
+                        self.log_now(
+                            TraceLevel::Error,
+                            "controller",
+                            format!("{host}: recovery failed, quarantined ({e})"),
+                        );
+                        self.emit(Progress::HostQuarantined { host: host.clone() });
+                        journal.append(&JournalRecord::HostQuarantined {
+                            host: host.clone(),
+                            at_ns: self.tb.now().as_nanos(),
+                        })?;
+                        if opts.continue_on_run_failure {
+                            break 'attempts;
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // Capture per-run artifacts: command output...
+        for (role, result) in &outputs {
+            store.write_run_output(
+                run.index,
+                role,
+                &result.stdout,
+                &result.stderr,
+                result.exit_code,
+            )?;
+        }
+        // ...plus any files the scripts left under /srv/results/ on
+        // the hosts (pcap dumps etc.), uploaded to the controller and
+        // cleared so the next run starts empty.
+        for role in &spec.roles {
+            if let Some(host) = self.tb.host_mut(&role.host) {
+                let keys: Vec<String> = host
+                    .fs
+                    .keys()
+                    .filter(|k| k.starts_with("/srv/results/"))
+                    .cloned()
+                    .collect();
+                for key in keys {
+                    let data = host.fs.remove(&key).expect("key just listed");
+                    let base = key.rsplit('/').next().expect("non-empty path");
+                    store.write_run_file(run.index, &format!("{}_{base}", role.role), data)?;
+                }
+            }
+        }
+        let hosts_map: BTreeMap<String, String> = spec
+            .roles
+            .iter()
+            .map(|r| (r.role.clone(), r.host.clone()))
+            .collect();
+        store.write_run_metadata(&run_metadata(
+            run,
+            run_started,
+            self.tb.now(),
+            attempts,
+            success,
+            hosts_map,
+        ))?;
+        // Seal the run: the checksum manifest is the last artifact
+        // written, so its presence certifies every other one.
+        let digest = store.finalize_run(run.index)?;
+        let run_dir = store.run_dir(run.index)?;
+        self.emit(Progress::RunDone {
+            index: run.index,
+            total,
+            success,
+            dir: run_dir,
+        });
+        if !success && !opts.continue_on_run_failure {
+            // No RunCompleted record: an aborting failure leaves the
+            // run journaled as started-only, so a resume retries it.
+            store.write(
+                "controller.log",
+                self.tb.trace.render_min_level(TraceLevel::Info),
+            )?;
+            return Err(ControllerError::RunFailed {
+                index: run.index,
+                attempts,
+            });
+        }
+        // Everything Warn-and-above since the run started is this run's
+        // fault story — empty for clean runs.
+        let skip = trace_mark.saturating_sub(self.tb.trace.dropped()) as usize;
+        let fault_trace: Vec<String> = self
+            .tb
+            .trace
+            .iter()
+            .skip(skip)
+            .filter(|e| e.level >= TraceLevel::Warn)
+            .map(|e| e.to_string())
+            .collect();
+        let finished = self.tb.now();
+        journal.append(&JournalRecord::RunCompleted {
+            index: run.index,
+            success,
+            attempts,
+            recoveries,
+            recovery_time_ns: run_recovery_time.as_nanos(),
+            started_ns: run_started.as_nanos(),
+            finished_ns: finished.as_nanos(),
+            rng_cursor: self.tb.rng_cursor(),
+            digest: digest.clone(),
+            fault_trace: fault_trace.clone(),
+        })?;
+        Ok(RunStep {
+            record: RunRecord {
+                params: run.clone(),
+                outputs,
+                attempts,
+                success,
+                recoveries,
+                fault_trace,
+            },
+            quarantined,
+            recoveries,
+            recovery_time: run_recovery_time,
+            started: run_started,
+            finished,
+            digest,
+        })
+    }
+
     /// Rebuilds the in-memory per-role outputs of a verified, skipped run
     /// from its on-disk artifacts. Command durations are not persisted,
     /// so reloaded results carry zero durations — run timing lives in the
-    /// metadata, which is restored verbatim from disk.
-    fn reload_outputs(
+    /// metadata, which is restored verbatim from disk. Public so a
+    /// parallel resume can surface skipped runs' outputs in its outcome.
+    pub fn reload_run_outputs(
         spec: &ExperimentSpec,
         run_dir: &Path,
     ) -> std::io::Result<BTreeMap<String, CommandResult>> {
@@ -1457,14 +1596,12 @@ impl<'t> Controller<'t> {
                 continue;
             };
             let exit_code = code_text.trim().parse::<i32>().unwrap_or(0);
-            let stdout = std::fs::read_to_string(
-                run_dir.join(format!("{}_measurement.log", role.role)),
-            )
-            .unwrap_or_default();
-            let stderr = std::fs::read_to_string(
-                run_dir.join(format!("{}_measurement.err", role.role)),
-            )
-            .unwrap_or_default();
+            let stdout =
+                std::fs::read_to_string(run_dir.join(format!("{}_measurement.log", role.role)))
+                    .unwrap_or_default();
+            let stderr =
+                std::fs::read_to_string(run_dir.join(format!("{}_measurement.err", role.role)))
+                    .unwrap_or_default();
             let mut result = CommandResult::ok(stdout);
             result.stderr = stderr;
             result.exit_code = exit_code;
@@ -1472,6 +1609,37 @@ impl<'t> Controller<'t> {
         }
         Ok(outputs)
     }
+}
+
+/// What [`Controller::setup_campaign`] established: the calendar
+/// allocation backing the campaign and when the setup phase began.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignSetup {
+    /// The calendar reservation covering the experiment hosts; released
+    /// by the campaign wrap-up (or by a scheduler tearing a lane down).
+    pub reservation: pos_testbed::ReservationId,
+    /// Virtual instant the setup phase began.
+    pub started: SimTime,
+}
+
+/// What [`Controller::execute_one_run`] produced: the run's record plus
+/// the bookkeeping a campaign (or scheduler) accumulates across runs.
+#[derive(Debug)]
+pub struct RunStep {
+    /// The run's record (outputs, attempts, success, fault trace).
+    pub record: RunRecord,
+    /// Hosts newly quarantined while this run executed, in order.
+    pub quarantined: Vec<String>,
+    /// Out-of-band recoveries performed during this run.
+    pub recoveries: u32,
+    /// Virtual time spent in recovery during this run.
+    pub recovery_time: SimDuration,
+    /// Virtual instant the run started.
+    pub started: SimTime,
+    /// Virtual instant the run finished.
+    pub finished: SimTime,
+    /// The sealed run's digest, as journaled in `RunCompleted`.
+    pub digest: String,
 }
 
 /// What a resume session learned from the journal: runs it may skip and
@@ -1593,8 +1761,9 @@ mod tests {
             .run_experiment(&small_spec(), &RunOptions::new(&root))
             .unwrap();
         // At 10 kpps / 64 B the bare-metal DuT forwards everything.
-        let log = std::fs::read_to_string(outcome.result_dir.join("run-0000/loadgen_measurement.log"))
-            .unwrap();
+        let log =
+            std::fs::read_to_string(outcome.result_dir.join("run-0000/loadgen_measurement.log"))
+                .unwrap();
         assert!(
             log.contains("RX: 10000 packets"),
             "setup must have enabled forwarding: {log}"
@@ -1605,13 +1774,18 @@ mod tests {
     fn setup_failure_aborts_with_context() {
         let mut tb = case_study_testbed(3);
         let mut spec = small_spec();
-        spec.roles[1].setup = crate::script::Script::parse("sysctl -w no.such.key=1\npos_sync setup_done");
+        spec.roles[1].setup =
+            crate::script::Script::parse("sysctl -w no.such.key=1\npos_sync setup_done");
         spec.roles[0].setup = crate::script::Script::parse("pos_sync setup_done");
         let err = Controller::new(&mut tb)
             .run_experiment(&spec, &RunOptions::new(tmp("setupfail")))
             .unwrap_err();
         match err {
-            ControllerError::SetupFailed { role, command, result } => {
+            ControllerError::SetupFailed {
+                role,
+                command,
+                result,
+            } => {
                 assert_eq!(role, "dut");
                 assert!(command.contains("no.such.key"));
                 assert_ne!(result.exit_code, 0);
@@ -1645,16 +1819,20 @@ mod tests {
             .run_experiment(&small_spec(), &RunOptions::new(tmp("release")))
             .unwrap();
         let now = tb.now();
-        assert!(tb.calendar.is_free("vtartu", now, now + pos_simkernel::SimDuration::from_hours(1)));
+        assert!(tb.calendar.is_free(
+            "vtartu",
+            now,
+            now + pos_simkernel::SimDuration::from_hours(1)
+        ));
     }
 
     #[test]
     fn too_many_runs_rejected_upfront() {
         let mut tb = case_study_testbed(6);
         let mut spec = small_spec();
-        let big: Vec<crate::vars::VarValue> =
-            (0..200i64).map(crate::vars::VarValue::Int).collect();
-        spec.loop_vars.set("a", crate::vars::VarValue::List(big.clone()));
+        let big: Vec<crate::vars::VarValue> = (0..200i64).map(crate::vars::VarValue::Int).collect();
+        spec.loop_vars
+            .set("a", crate::vars::VarValue::List(big.clone()));
         spec.loop_vars.set("b", crate::vars::VarValue::List(big));
         let mut opts = RunOptions::new(tmp("toomany"));
         opts.max_runs = 1000;
@@ -1733,7 +1911,13 @@ mod tests {
         // Run indices arrive in order with correct totals.
         let mut expect = 0;
         for e in events.iter() {
-            if let Progress::RunDone { index, total, success, .. } = e {
+            if let Progress::RunDone {
+                index,
+                total,
+                success,
+                ..
+            } = e
+            {
                 assert_eq!(*index, expect);
                 assert_eq!(*total, 6);
                 assert!(success);
@@ -1784,8 +1968,7 @@ mod tests {
         spec.loop_vars = crate::vars::Variables::new(); // single run
         spec.roles[1].measurement =
             crate::script::Script::parse("flaky-op\nsleep 1\npos_sync run_done");
-        spec.roles[0].measurement =
-            crate::script::Script::parse("sleep 1\npos_sync run_done");
+        spec.roles[0].measurement = crate::script::Script::parse("sleep 1\npos_sync run_done");
 
         let outcome = Controller::new(&mut tb)
             .run_experiment(&spec, &RunOptions::new(tmp("recovery")))
@@ -1809,13 +1992,18 @@ mod tests {
         let err = Controller::new(&mut tb)
             .run_experiment(&spec, &RunOptions::new(tmp("persist")))
             .unwrap_err();
-        assert!(matches!(err, ControllerError::RunFailed { index: 0, .. }), "{err}");
+        assert!(
+            matches!(err, ControllerError::RunFailed { index: 0, .. }),
+            "{err}"
+        );
 
         // With continue_on_run_failure the experiment records the failure.
         let mut tb = case_study_testbed(13);
         let mut opts = RunOptions::new(tmp("persist2"));
         opts.continue_on_run_failure = true;
-        let outcome = Controller::new(&mut tb).run_experiment(&spec, &opts).unwrap();
+        let outcome = Controller::new(&mut tb)
+            .run_experiment(&spec, &opts)
+            .unwrap();
         assert_eq!(outcome.successes(), 0);
         assert_eq!(outcome.runs.len(), 1);
         assert!(outcome.runs[0].attempts >= 3, "used its retry budget");

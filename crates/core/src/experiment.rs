@@ -187,7 +187,11 @@ impl ExperimentSpec {
                     .collect();
                 if barriers != ref_barriers {
                     return Err(SpecError::BarrierMismatch {
-                        phase: if phase == "setup" { "setup" } else { "measurement" },
+                        phase: if phase == "setup" {
+                            "setup"
+                        } else {
+                            "measurement"
+                        },
                         reference: reference.role.clone(),
                         offender: r.role.clone(),
                     });
@@ -333,12 +337,10 @@ pub fn linux_router_experiment(
             .with("run_secs", run_secs as i64)
             .with("dut_ip0", "10.0.0.1")
             .with("dut_ip1", "10.0.1.1"),
-        loop_vars: Variables::new()
-            .with("pkt_sz", vec![64i64, 1500])
-            .with(
-                "pkt_rate",
-                crate::vars::VarValue::List(rates.into_iter().map(Into::into).collect()),
-            ),
+        loop_vars: Variables::new().with("pkt_sz", vec![64i64, 1500]).with(
+            "pkt_rate",
+            crate::vars::VarValue::List(rates.into_iter().map(Into::into).collect()),
+        ),
         roles: vec![
             RoleSpec {
                 role: "loadgen".into(),
@@ -348,9 +350,7 @@ pub fn linux_router_experiment(
                 boot_params: vec!["isolcpus=1-11".into()],
                 setup: loadgen_setup,
                 measurement: loadgen_measurement,
-                local_vars: Variables::new()
-                    .with("PORT0", "eno1")
-                    .with("PORT1", "eno2"),
+                local_vars: Variables::new().with("PORT0", "eno1").with("PORT1", "eno2"),
             },
             RoleSpec {
                 role: "dut".into(),
@@ -481,8 +481,16 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let spec = linux_router_experiment("a", "b", 2, 1);
         spec.to_dir(&dir).unwrap();
-        std::fs::write(dir.join("dut/measurement.sh"), "echo edited\npos_sync run_done\n").unwrap();
-        std::fs::write(dir.join("loop-variables.yml"), "pkt_sz: [64]\npkt_rate: [5000]\n").unwrap();
+        std::fs::write(
+            dir.join("dut/measurement.sh"),
+            "echo edited\npos_sync run_done\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("loop-variables.yml"),
+            "pkt_sz: [64]\npkt_rate: [5000]\n",
+        )
+        .unwrap();
         let back = ExperimentSpec::from_dir(&dir).unwrap();
         assert!(back.roles[1].measurement.source.contains("echo edited"));
         assert_eq!(

@@ -13,7 +13,7 @@
 //! repairs) from *damaged* (missing/corrupt/extra artifacts in a run the
 //! journal claims durable — bit rot or tampering).
 
-use crate::journal::{Journal, JournalError, JournalRecord, JOURNAL_FILE};
+use crate::journal::{lane_journal_file, Journal, JournalError, JournalRecord, JOURNAL_FILE};
 use crate::resultstore::{ResultStore, RunVerification};
 use std::collections::BTreeMap;
 use std::io;
@@ -62,9 +62,15 @@ pub struct RunFsck {
 pub struct FsckReport {
     /// The checked tree.
     pub result_dir: PathBuf,
-    /// Complete journal records replayed.
+    /// Complete journal records replayed (scheduler-level `journal.log`).
     pub journal_records: usize,
-    /// True when the journal ends in a torn (partially written) record.
+    /// Per-lane journals found (`journal-lane*.log`); 0 for a sequential
+    /// tree.
+    pub lane_journals: usize,
+    /// Complete records replayed across all per-lane journals.
+    pub lane_records: usize,
+    /// True when any journal (scheduler-level or per-lane) ends in a
+    /// torn (partially written) record.
     pub torn_tail: bool,
     /// True when a `CampaignFinished` record is present.
     pub campaign_finished: bool,
@@ -108,6 +114,12 @@ impl FsckReport {
                 ", campaign INCOMPLETE"
             },
         ));
+        if self.lane_journals > 0 {
+            out.push_str(&format!(
+                "lanes: {} lane journals, {} records\n",
+                self.lane_journals, self.lane_records,
+            ));
+        }
         if let Some(planned) = self.planned_runs {
             let verified = self
                 .runs
@@ -179,6 +191,8 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
     let mut report = FsckReport {
         result_dir: result_dir.to_path_buf(),
         journal_records: 0,
+        lane_journals: 0,
+        lane_records: 0,
         torn_tail: false,
         campaign_finished: false,
         planned_runs: None,
@@ -201,6 +215,7 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
 
     // Journaled completion per run index, last record wins.
     let mut completed: BTreeMap<usize, String> = BTreeMap::new();
+    let mut lane_plan: Option<usize> = None;
     if let Some(replay) = &replay {
         report.journal_records = replay.records.len();
         report.torn_tail = replay.torn_tail;
@@ -214,8 +229,45 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
                 .push("journal has no CampaignStarted record".into()),
         }
         for rec in &replay.records {
-            if let JournalRecord::RunCompleted { index, digest, .. } = rec {
-                completed.insert(*index, digest.clone());
+            match rec {
+                JournalRecord::RunCompleted { index, digest, .. } => {
+                    completed.insert(*index, digest.clone());
+                }
+                JournalRecord::LanePlan { lanes, .. } => {
+                    lane_plan = Some(*lanes);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // A LanePlan record marks a parallel tree: every worker lane kept its
+    // own journal (`journal-lane{k}.log`), and a run's completion lives in
+    // whichever lane executed it. Merge them all; a run is accounted for
+    // if *any* lane journaled it complete. Torn lane tails are ordinary
+    // crash artifacts, like a torn scheduler journal.
+    if let Some(lanes) = lane_plan {
+        for lane in 0..lanes {
+            let lane_path = result_dir.join(lane_journal_file(lane));
+            match Journal::replay(&lane_path) {
+                Ok(lane_replay) => {
+                    report.lane_journals += 1;
+                    report.lane_records += lane_replay.records.len();
+                    report.torn_tail |= lane_replay.torn_tail;
+                    for rec in &lane_replay.records {
+                        if let JournalRecord::RunCompleted { index, digest, .. } = rec {
+                            completed.insert(*index, digest.clone());
+                        }
+                    }
+                }
+                Err(JournalError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
+                    report
+                        .errors
+                        .push(format!("lane {lane}: journal missing ({e})"));
+                }
+                Err(e) => {
+                    report.errors.push(format!("lane {lane}: {e}"));
+                }
             }
         }
     }

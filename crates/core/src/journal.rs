@@ -36,6 +36,18 @@ pub const JOURNAL_MAGIC: &str = "POSJ1";
 /// File name of the journal inside a result tree.
 pub const JOURNAL_FILE: &str = "journal.log";
 
+/// File name of worker lane `lane`'s journal inside a result tree.
+///
+/// A parallel campaign keeps the scheduler-level journal in
+/// [`JOURNAL_FILE`] (campaign start, lane plan, campaign finish) and one
+/// journal per worker lane recording the runs that lane executed. Lane
+/// journals are an execution artifact, not part of the canonical result
+/// tree: the determinism contract excludes `journal*.log` when comparing
+/// parallel against sequential trees.
+pub fn lane_journal_file(lane: usize) -> String {
+    format!("journal-lane{lane}.log")
+}
+
 /// One campaign lifecycle event.
 ///
 /// Records are self-describing externally-tagged JSON objects
@@ -101,6 +113,33 @@ pub enum JournalRecord {
         digest: String,
         /// Warn-and-above trace lines captured during the run.
         fault_trace: Vec<String>,
+    },
+    /// A parallel scheduler split the campaign across worker lanes.
+    ///
+    /// Written to the scheduler-level journal right after
+    /// `CampaignStarted`; its presence is how `pos resume` and `pos fsck`
+    /// recognize a parallel result tree and go looking for per-lane
+    /// journals (see [`lane_journal_file`]).
+    LanePlan {
+        /// Number of worker lanes.
+        lanes: usize,
+        /// Testbed flavor of each lane (`"pos"` bare metal, `"vpos"`
+        /// virtualized clone), indexed by lane.
+        flavors: Vec<String>,
+    },
+    /// A worker lane finished its setup phase and began executing runs.
+    ///
+    /// First record of each per-lane journal.
+    LaneStarted {
+        /// Zero-based lane index.
+        lane: usize,
+        /// Root seed of the lane's replica testbed (equals the campaign
+        /// seed — lanes are same-seed replicas).
+        seed: u64,
+        /// Testbed flavor the lane runs on.
+        flavor: String,
+        /// Virtual time the lane became ready, nanoseconds.
+        started_ns: u64,
     },
     /// A host's recovery failed beyond the retry budget.
     HostQuarantined {
@@ -285,7 +324,7 @@ impl Journal {
                 // replay sees an incomplete record, not a clean boundary.
                 let cut = frame.len() / 2;
                 let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
-                f.write_all(frame[..cut].as_bytes())?;
+                f.write_all(&frame.as_bytes()[..cut])?;
                 f.sync_all()?;
             }
             return Err(io::Error::new(
@@ -521,6 +560,30 @@ mod tests {
         assert!(!replay.torn_tail);
         assert_eq!(replay.records.len(), 2);
         assert_eq!(replay.records[1], completed(0));
+    }
+
+    #[test]
+    fn lane_records_roundtrip() {
+        assert_eq!(lane_journal_file(0), "journal-lane0.log");
+        assert_eq!(lane_journal_file(3), "journal-lane3.log");
+        let path = tmp("lanes");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&started()).unwrap();
+        let plan = JournalRecord::LanePlan {
+            lanes: 2,
+            flavors: vec!["pos".into(), "vpos".into()],
+        };
+        let lane = JournalRecord::LaneStarted {
+            lane: 1,
+            seed: 0xFEED,
+            flavor: "vpos".into(),
+            started_ns: 42,
+        };
+        j.append(&plan).unwrap();
+        j.append(&lane).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.records[1], plan);
+        assert_eq!(replay.records[2], lane);
     }
 
     #[test]

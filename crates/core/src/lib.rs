@@ -45,7 +45,8 @@ pub mod script;
 pub mod vars;
 
 pub use controller::{
-    Controller, ControllerError, ExperimentOutcome, HostHealth, Progress, RunOptions, RunRecord,
+    CampaignSetup, Controller, ControllerError, ExperimentOutcome, HostHealth, Progress,
+    RunOptions, RunRecord, RunStep,
 };
 pub use experiment::{ExperimentSpec, RoleSpec};
 pub use loopvars::{expand_cross_product, RunParams};

@@ -58,8 +58,7 @@ pub fn cross_product_size(loop_vars: &Variables) -> Option<usize> {
 /// of nothing is nothing, matching the semantics of an empty sweep.
 pub fn expand_cross_product(loop_vars: &Variables) -> Vec<RunParams> {
     let names: Vec<&String> = loop_vars.iter().map(|(k, _)| k).collect();
-    let instance_lists: Vec<Vec<VarValue>> =
-        loop_vars.iter().map(|(_, v)| v.instances()).collect();
+    let instance_lists: Vec<Vec<VarValue>> = loop_vars.iter().map(|(_, v)| v.instances()).collect();
     let total = match cross_product_size(loop_vars) {
         Some(n) => n,
         None => panic!("loop-variable cross product overflows usize"),
@@ -123,10 +122,7 @@ mod tests {
         let labels: Vec<String> = runs.iter().map(RunParams::label).collect();
         assert_eq!(
             labels,
-            vec![
-                "a=1,b=10", "a=1,b=20", "a=1,b=30",
-                "a=2,b=10", "a=2,b=20", "a=2,b=30",
-            ],
+            vec!["a=1,b=10", "a=1,b=20", "a=1,b=30", "a=2,b=10", "a=2,b=20", "a=2,b=30",],
             "last-named variable varies fastest"
         );
         for (i, r) in runs.iter().enumerate() {

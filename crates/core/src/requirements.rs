@@ -77,12 +77,54 @@ impl SystemRow {
 pub fn literature_rows() -> Vec<SystemRow> {
     use Support::*;
     vec![
-        SystemRow::new("Chameleon", Full, Partial, Full, NotApplicable, NotApplicable),
-        SystemRow::new("CloudLab", Full, Partial, Full, NotApplicable, NotApplicable),
-        SystemRow::new("Grid'5000", Full, Partial, Full, NotApplicable, NotApplicable),
-        SystemRow::new("OMF", NotApplicable, NotApplicable, NotApplicable, Full, None),
-        SystemRow::new("NEPI", NotApplicable, NotApplicable, NotApplicable, Full, None),
-        SystemRow::new("SNDZoo", NotApplicable, NotApplicable, NotApplicable, Full, Partial),
+        SystemRow::new(
+            "Chameleon",
+            Full,
+            Partial,
+            Full,
+            NotApplicable,
+            NotApplicable,
+        ),
+        SystemRow::new(
+            "CloudLab",
+            Full,
+            Partial,
+            Full,
+            NotApplicable,
+            NotApplicable,
+        ),
+        SystemRow::new(
+            "Grid'5000",
+            Full,
+            Partial,
+            Full,
+            NotApplicable,
+            NotApplicable,
+        ),
+        SystemRow::new(
+            "OMF",
+            NotApplicable,
+            NotApplicable,
+            NotApplicable,
+            Full,
+            None,
+        ),
+        SystemRow::new(
+            "NEPI",
+            NotApplicable,
+            NotApplicable,
+            NotApplicable,
+            Full,
+            None,
+        ),
+        SystemRow::new(
+            "SNDZoo",
+            NotApplicable,
+            NotApplicable,
+            NotApplicable,
+            Full,
+            Partial,
+        ),
     ]
 }
 
@@ -291,7 +333,15 @@ mod tests {
     #[test]
     fn rendered_table_contains_all_systems() {
         let text = render_table1();
-        for name in ["Chameleon", "CloudLab", "Grid'5000", "OMF", "NEPI", "SNDZoo", "pos"] {
+        for name in [
+            "Chameleon",
+            "CloudLab",
+            "Grid'5000",
+            "OMF",
+            "NEPI",
+            "SNDZoo",
+            "pos",
+        ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
         assert!(text.contains("(R1)"));

@@ -430,7 +430,9 @@ mod tests {
     fn write_read_roundtrip_with_subdirs() {
         let root = tmpdir("rw");
         let store = ResultStore::create(&root, "u", "e", SimTime::ZERO).unwrap();
-        store.write("experiment/dut/setup.sh", "sysctl -w x=1\n").unwrap();
+        store
+            .write("experiment/dut/setup.sh", "sysctl -w x=1\n")
+            .unwrap();
         assert_eq!(
             store.read_text("experiment/dut/setup.sh").unwrap(),
             "sysctl -w x=1\n"
@@ -477,7 +479,11 @@ mod tests {
         assert_eq!(back.label, "pkt_rate=10000,pkt_sz=64");
         // The YAML view exists too.
         let yaml = fs::read_to_string(runs[0].join("loop-params.yml")).unwrap();
-        assert!(yaml.contains("pkt_sz: '64'") || yaml.contains("pkt_sz: \"64\"") || yaml.contains("pkt_sz: 64"));
+        assert!(
+            yaml.contains("pkt_sz: '64'")
+                || yaml.contains("pkt_sz: \"64\"")
+                || yaml.contains("pkt_sz: 64")
+        );
     }
 
     #[test]
@@ -487,9 +493,7 @@ mod tests {
         store
             .write_run_output(0, "loadgen", "TX: 100 packets\n", "", 0)
             .unwrap();
-        store
-            .write_run_output(0, "dut", "", "oops\n", 1)
-            .unwrap();
+        store.write_run_output(0, "dut", "", "oops\n", 1).unwrap();
         let dir = store.run_dir(0).unwrap();
         assert!(dir.join("loadgen_measurement.log").exists());
         assert!(
@@ -543,7 +547,9 @@ mod tests {
         store
             .write_run_output(0, "loadgen", "RX: 5 packets\n", "", 0)
             .unwrap();
-        store.write_run_file(0, "dut_capture.pcap", b"pcap").unwrap();
+        store
+            .write_run_file(0, "dut_capture.pcap", b"pcap")
+            .unwrap();
         store.finalize_run(0).unwrap();
         let dir = store.run_dir(0).unwrap();
         // Flip one byte, remove one file, add one file.

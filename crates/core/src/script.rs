@@ -136,7 +136,10 @@ pos_sync setup_done
     #[test]
     fn source_is_preserved_verbatim() {
         let s = Script::parse(DUT_SETUP);
-        assert_eq!(s.source, DUT_SETUP, "the publishable artifact is the source");
+        assert_eq!(
+            s.source, DUT_SETUP,
+            "the publishable artifact is the source"
+        );
     }
 
     #[test]
@@ -188,8 +191,11 @@ pos_sync setup_done
 
     #[test]
     fn measurement_script_with_loop_vars() {
-        let script = Script::parse("moongen --rate $pkt_rate --size $pkt_sz --time 10\npos_sync run_done");
-        let vars = Variables::new().with("pkt_rate", 10_000i64).with("pkt_sz", 64i64);
+        let script =
+            Script::parse("moongen --rate $pkt_rate --size $pkt_sz --time 10\npos_sync run_done");
+        let vars = Variables::new()
+            .with("pkt_rate", 10_000i64)
+            .with("pkt_sz", 64i64);
         let steps = script.instantiate(&vars);
         assert_eq!(
             steps[0],

@@ -264,7 +264,10 @@ mod tests {
         let vars = Variables::from_yaml(yaml).unwrap();
         assert_eq!(
             vars.get("pkt_sz"),
-            Some(&VarValue::List(vec![VarValue::Int(64), VarValue::Int(1500)]))
+            Some(&VarValue::List(vec![
+                VarValue::Int(64),
+                VarValue::Int(1500)
+            ]))
         );
         let back = Variables::from_yaml(&vars.to_yaml()).unwrap();
         assert_eq!(back, vars);
@@ -272,10 +275,8 @@ mod tests {
 
     #[test]
     fn yaml_scalar_kinds() {
-        let vars = Variables::from_yaml(
-            "port: eno1\ncount: 5\nratio: 0.5\nenabled: true\n",
-        )
-        .unwrap();
+        let vars =
+            Variables::from_yaml("port: eno1\ncount: 5\nratio: 0.5\nenabled: true\n").unwrap();
         assert_eq!(vars.get("port"), Some(&VarValue::Str("eno1".into())));
         assert_eq!(vars.get("count"), Some(&VarValue::Int(5)));
         assert_eq!(vars.get("ratio"), Some(&VarValue::Float(0.5)));
@@ -290,7 +291,9 @@ mod tests {
 
     #[test]
     fn substitution_basic() {
-        let vars = Variables::new().with("PORT", "eno1").with("pkt_rate", 10_000i64);
+        let vars = Variables::new()
+            .with("PORT", "eno1")
+            .with("pkt_rate", 10_000i64);
         assert_eq!(
             vars.substitute("ip link set $PORT up # rate $pkt_rate"),
             "ip link set eno1 up # rate 10000"

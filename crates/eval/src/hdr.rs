@@ -61,8 +61,8 @@ impl HdrHistogram {
     /// Bucket of `value`: 0 while the value fits the linear sub-bucket
     /// range, then one per doubling.
     fn bucket_of(&self, value: u64) -> usize {
-        (64 - u64::leading_zeros(value | (self.sub_bucket_count as u64 - 1))
-            - self.sub_bucket_bits) as usize
+        (64 - u64::leading_zeros(value | (self.sub_bucket_count as u64 - 1)) - self.sub_bucket_bits)
+            as usize
     }
 
     fn index_of(&self, value: u64) -> usize {
@@ -195,7 +195,11 @@ impl HdrHistogram {
     /// Panics if configurations differ.
     pub fn merge(&mut self, other: &HdrHistogram) {
         assert_eq!(
-            (self.sub_bucket_count, self.highest_trackable, self.counts.len()),
+            (
+                self.sub_bucket_count,
+                self.highest_trackable,
+                self.counts.len()
+            ),
             (
                 other.sub_bucket_count,
                 other.highest_trackable,

@@ -156,7 +156,11 @@ impl ResultSet {
             };
             // Group by the bit pattern: exact equality of the rendered
             // parameter, which is how repetitions share an x.
-            grouped.entry(x.to_bits()).or_insert((x, Vec::new())).1.push(v);
+            grouped
+                .entry(x.to_bits())
+                .or_insert((x, Vec::new()))
+                .1
+                .push(v);
         }
         let mut out: Vec<(f64, crate::stats::Summary)> = grouped
             .into_values()
@@ -217,8 +221,8 @@ impl ResultSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pos_core::resultstore::run_metadata;
     use pos_core::loopvars::RunParams;
+    use pos_core::resultstore::run_metadata;
     use pos_core::vars::VarValue;
     use pos_simkernel::SimTime;
     use std::path::PathBuf;
@@ -234,7 +238,10 @@ mod tests {
                 "pkt_sz".to_string(),
                 VarValue::Int(if i % 2 == 0 { 64 } else { 1500 }),
             );
-            values.insert("pkt_rate".to_string(), VarValue::Int(((i / 2) as i64 + 1) * 10_000));
+            values.insert(
+                "pkt_rate".to_string(),
+                VarValue::Int(((i / 2) as i64 + 1) * 10_000),
+            );
             let params = RunParams { index: i, values };
             let rate = params.values["pkt_rate"].as_i64().unwrap();
             let rx = rate * 9 / 10;

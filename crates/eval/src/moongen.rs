@@ -133,21 +133,19 @@ pub fn parse(text: &str) -> Result<MoonGenSummary, MoonGenParseError> {
             for part in rest.split(',') {
                 let part = part.trim();
                 if let Some(v) = part.strip_prefix("rate=") {
-                    out.offered_pps = v
-                        .trim_end_matches(" pps")
-                        .parse()
-                        .map_err(|_| MoonGenParseError::BadField {
+                    out.offered_pps = v.trim_end_matches(" pps").parse().map_err(|_| {
+                        MoonGenParseError::BadField {
                             line: line.into(),
                             expected: "rate",
-                        })?;
+                        }
+                    })?;
                 } else if let Some(v) = part.strip_prefix("size=") {
-                    out.wire_size = v
-                        .trim_end_matches(" B")
-                        .parse()
-                        .map_err(|_| MoonGenParseError::BadField {
+                    out.wire_size = v.trim_end_matches(" B").parse().map_err(|_| {
+                        MoonGenParseError::BadField {
                             line: line.into(),
                             expected: "size",
-                        })?;
+                        }
+                    })?;
                 } else if let Some(v) = part.strip_prefix("duration=") {
                     out.duration_s = parse_duration_s(v).ok_or(MoonGenParseError::BadField {
                         line: line.into(),
@@ -387,8 +385,20 @@ Samples: 1000, Average: 15723.4 ns, StdDev: 120.2 ns, Quartiles: 15600/15700/158
             reordered: 2,
             latency_samples_ns: vec![100, 150, 200, 250, 300],
             intervals: vec![
-                IntervalStat { index: 0, tx_frames: 123_456, rx_frames: 123_400, tx_bytes: 1, rx_bytes: 1 },
-                IntervalStat { index: 1, tx_frames: 123_456, rx_frames: 123_300, tx_bytes: 1, rx_bytes: 1 },
+                IntervalStat {
+                    index: 0,
+                    tx_frames: 123_456,
+                    rx_frames: 123_400,
+                    tx_bytes: 1,
+                    rx_bytes: 1,
+                },
+                IntervalStat {
+                    index: 1,
+                    tx_frames: 123_456,
+                    rx_frames: 123_300,
+                    tx_bytes: 1,
+                    rx_bytes: 1,
+                },
             ],
         };
         let s = parse(&report.render_text()).unwrap();

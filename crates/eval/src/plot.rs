@@ -137,11 +137,7 @@ impl PlotSpec {
     }
 
     /// Adds an x/y series (line plots).
-    pub fn with_series(
-        mut self,
-        label: impl Into<String>,
-        points: Vec<(f64, f64)>,
-    ) -> PlotSpec {
+    pub fn with_series(mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> PlotSpec {
         self.series.push(Series {
             label: label.into(),
             points,
@@ -272,11 +268,20 @@ impl PlotSpec {
     pub fn render_csv(&self) -> String {
         let resolved = self.resolve();
         let with_err = resolved.iter().any(|s| s.y_err.is_some());
-        let mut out = String::from(if with_err { "series,x,y,y_err\n" } else { "series,x,y\n" });
+        let mut out = String::from(if with_err {
+            "series,x,y,y_err\n"
+        } else {
+            "series,x,y\n"
+        });
         for s in &resolved {
             for (i, (x, y)) in s.points.iter().enumerate() {
                 if with_err {
-                    let e = s.y_err.as_ref().and_then(|v| v.get(i)).copied().unwrap_or(0.0);
+                    let e = s
+                        .y_err
+                        .as_ref()
+                        .and_then(|v| v.get(i))
+                        .copied()
+                        .unwrap_or(0.0);
                     out.push_str(&format!("{},{x},{y},{e}\n", csv_escape(&s.label)));
                 } else {
                     out.push_str(&format!("{},{x},{y}\n", csv_escape(&s.label)));
@@ -316,7 +321,12 @@ impl PlotSpec {
         let mut all: Vec<(f64, f64)> = Vec::new();
         for s in &resolved {
             for (i, &(x, y)) in s.points.iter().enumerate() {
-                let e = s.y_err.as_ref().and_then(|v| v.get(i)).copied().unwrap_or(0.0);
+                let e = s
+                    .y_err
+                    .as_ref()
+                    .and_then(|v| v.get(i))
+                    .copied()
+                    .unwrap_or(0.0);
                 all.push((x, y - e));
                 all.push((x, y + e));
             }
@@ -520,7 +530,9 @@ fn tick_label(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn tex_escape(s: &str) -> String {
@@ -555,7 +567,11 @@ mod tests {
         let svg = line_plot().render_svg();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
-        assert_eq!(svg.matches("<polyline").count(), 2, "one polyline per series");
+        assert_eq!(
+            svg.matches("<polyline").count(),
+            2,
+            "one polyline per series"
+        );
         assert!(svg.contains("Throughput"));
         assert!(svg.contains("64B"));
         assert!(svg.contains("1500B"));
@@ -609,8 +625,7 @@ mod tests {
 
     #[test]
     fn cdf_resolves_to_monotone_series() {
-        let plot = PlotSpec::cdf("latency", "ns")
-            .with_samples("pos", vec![30.0, 10.0, 20.0]);
+        let plot = PlotSpec::cdf("latency", "ns").with_samples("pos", vec![30.0, 10.0, 20.0]);
         let resolved = plot.resolve();
         assert_eq!(resolved.len(), 1);
         assert_eq!(
@@ -621,8 +636,8 @@ mod tests {
 
     #[test]
     fn histogram_resolves_bin_centers() {
-        let plot = PlotSpec::histogram("latency", "ns", 2)
-            .with_samples("s", vec![0.0, 1.0, 2.0, 3.0]);
+        let plot =
+            PlotSpec::histogram("latency", "ns", 2).with_samples("s", vec![0.0, 1.0, 2.0, 3.0]);
         let resolved = plot.resolve();
         // bins [0,1.5) and [1.5,3]: 2 samples each, centers 0.75 / 2.25.
         assert_eq!(resolved[0].points, vec![(0.75, 2.0), (2.25, 2.0)]);
@@ -678,7 +693,10 @@ mod tests {
             .with_series("s", vec![(5.0, 5.0)])
             .render_svg();
         assert!(svg.contains("<polyline"));
-        assert!(!svg.contains("NaN"), "no NaN coordinates in degenerate plots");
+        assert!(
+            !svg.contains("NaN"),
+            "no NaN coordinates in degenerate plots"
+        );
     }
 
     #[test]

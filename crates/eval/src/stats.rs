@@ -137,7 +137,9 @@ pub fn kde(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
     }
     let n = samples.len() as f64;
     let iqr = summary.percentile(75.0) - summary.percentile(25.0);
-    let sigma = summary.stddev.min(if iqr > 0.0 { iqr / 1.34 } else { f64::MAX });
+    let sigma = summary
+        .stddev
+        .min(if iqr > 0.0 { iqr / 1.34 } else { f64::MAX });
     let h = if sigma > 0.0 {
         0.9 * sigma * n.powf(-0.2)
     } else {

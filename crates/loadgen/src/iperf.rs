@@ -149,7 +149,11 @@ mod tests {
             Box::new(IperfGenerator::new(config(rate_pps))),
             &[PortConfig::ten_gbe()],
         );
-        let sink = sim.add_element("sink", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let sink = sim.add_element(
+            "sink",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((gen, 0), (sink, 0), LinkConfig::direct_cable());
         sim.run_until(SimTime::from_secs(2));
         (sim, gen, sink)
@@ -184,7 +188,10 @@ mod tests {
                 between_burst += 1;
             }
         }
-        assert!(within_burst > 0 && between_burst > 0, "expected bimodal gaps");
+        assert!(
+            within_burst > 0 && between_burst > 0,
+            "expected bimodal gaps"
+        );
         assert!(
             within_burst > between_burst * 5,
             "most gaps are within bursts: {within_burst} vs {between_burst}"

@@ -30,9 +30,7 @@ pub enum SizeSpec {
 }
 
 /// The simple-IMIX cycle.
-const IMIX_PATTERN: [usize; 12] = [
-    64, 64, 64, 64, 64, 64, 64, 576, 576, 576, 576, 1518,
-];
+const IMIX_PATTERN: [usize; 12] = [64, 64, 64, 64, 64, 64, 64, 576, 576, 576, 576, 1518];
 
 impl SizeSpec {
     /// Wire size of the `i`-th generated packet.
@@ -124,7 +122,10 @@ impl MoonGen {
     /// size out of range, `latency_sample_every == 0`).
     pub fn new(config: GeneratorConfig) -> MoonGen {
         assert!(config.rate_pps > 0.0, "rate must be positive");
-        assert!(config.latency_sample_every >= 1, "sample interval must be ≥ 1");
+        assert!(
+            config.latency_sample_every >= 1,
+            "sample interval must be ≥ 1"
+        );
         let templates: Vec<(usize, Frame)> = config
             .size
             .distinct_sizes()
@@ -233,7 +234,10 @@ impl MoonGen {
         } else {
             ctx.trace(
                 TraceLevel::Info,
-                format!("generator finished: {} packets attempted", self.tx_attempted),
+                format!(
+                    "generator finished: {} packets attempted",
+                    self.tx_attempted
+                ),
             );
         }
     }
@@ -293,7 +297,10 @@ impl Element for MoonGen {
                             self.highest_seq = Some(probe.seq);
                         }
                     }
-                    if self.rx_frames % u64::from(self.config.latency_sample_every) == 0 {
+                    if self
+                        .rx_frames
+                        .is_multiple_of(u64::from(self.config.latency_sample_every))
+                    {
                         self.latency_samples_ns
                             .push(now.as_nanos().saturating_sub(probe.tx_ns));
                     }
@@ -477,7 +484,10 @@ mod tests {
         // Byte accounting matches the cycle exactly: 2500 cycles.
         let cycle_bytes: u64 = 7 * 64 + 4 * 576 + 1518;
         assert_eq!(report.tx_bytes, 2_500 * cycle_bytes);
-        assert_eq!(report.wire_size, 356, "nominal size is the rounded mix mean");
+        assert_eq!(
+            report.wire_size, 356,
+            "nominal size is the rounded mix mean"
+        );
     }
 
     #[test]

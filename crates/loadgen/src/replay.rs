@@ -160,7 +160,11 @@ mod tests {
     fn run(source: PcapReplaySource) -> (NetSim, NodeId, NodeId) {
         let mut sim = NetSim::new(31);
         let gen = sim.add_element("replay", Box::new(source), &[PortConfig::ten_gbe()]);
-        let sink = sim.add_element("sink", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let sink = sim.add_element(
+            "sink",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((gen, 0), (sink, 0), LinkConfig::direct_cable());
         sim.run_to_idle();
         (sim, gen, sink)
@@ -168,7 +172,11 @@ mod tests {
 
     #[test]
     fn replays_all_frames_with_original_spacing() {
-        let caps = vec![capture(1_000_000, 1), capture(1_500_000, 2), capture(3_000_000, 3)];
+        let caps = vec![
+            capture(1_000_000, 1),
+            capture(1_500_000, 2),
+            capture(3_000_000, 3),
+        ];
         let (sim, _, sink) = run(PcapReplaySource::new(caps));
         let s = sim.element_as::<CountingSink>(sink).unwrap();
         assert_eq!(s.frames, 3);

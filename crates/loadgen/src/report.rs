@@ -94,7 +94,10 @@ impl MoonGenReport {
             return None;
         }
         Some(
-            self.latency_samples_ns.iter().map(|&v| v as f64).sum::<f64>()
+            self.latency_samples_ns
+                .iter()
+                .map(|&v| v as f64)
+                .sum::<f64>()
                 / self.latency_samples_ns.len() as f64,
         )
     }

@@ -13,8 +13,8 @@
 
 use crate::moongen::{GeneratorConfig, MoonGen, SizeSpec};
 use crate::report::MoonGenReport;
-use pos_netsim::engine::{LinkConfig, NetSim, NodeId, PortConfig};
 use pos_netsim::bridge::LinuxBridge;
+use pos_netsim::engine::{LinkConfig, NetSim, NodeId, PortConfig};
 use pos_netsim::router::{LinuxRouter, RouteEntry, ServiceProfile};
 use pos_packet::builder::UdpFrameSpec;
 use pos_packet::MacAddr;
@@ -276,7 +276,11 @@ mod tests {
         let r = run_forwarding_experiment(&short(Platform::Pos, 64, 1_000_000.0));
         assert_eq!(r.report.tx_nic_drops, 0);
         assert_eq!(r.router.ring_drops, 0);
-        assert!(r.report.loss_fraction() < 0.001, "loss {}", r.report.loss_fraction());
+        assert!(
+            r.report.loss_fraction() < 0.001,
+            "loss {}",
+            r.report.loss_fraction()
+        );
     }
 
     #[test]
@@ -327,7 +331,11 @@ mod tests {
     #[test]
     fn vpos_below_saturation_is_lossless() {
         let r = run_forwarding_experiment(&short(Platform::Vpos, 1500, 20_000.0));
-        assert!(r.report.loss_fraction() < 0.005, "loss {}", r.report.loss_fraction());
+        assert!(
+            r.report.loss_fraction() < 0.005,
+            "loss {}",
+            r.report.loss_fraction()
+        );
     }
 
     #[test]

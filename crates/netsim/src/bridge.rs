@@ -173,13 +173,21 @@ mod tests {
     /// host1 and host2 behind a 3-port bridge; host3 observes flooding.
     fn bridged_sim(h1_frames: Vec<Frame>) -> (NetSim, NodeId, NodeId, NodeId) {
         let mut sim = NetSim::new(5);
-        let h1 = sim.add_element("h1", Box::new(Script { frames: h1_frames }), &[PortConfig::virtio()]);
+        let h1 = sim.add_element(
+            "h1",
+            Box::new(Script { frames: h1_frames }),
+            &[PortConfig::virtio()],
+        );
         let h2 = sim.add_element("h2", Box::new(CountingSink::new()), &[PortConfig::virtio()]);
         let h3 = sim.add_element("h3", Box::new(CountingSink::new()), &[PortConfig::virtio()]);
         let br = sim.add_element(
             "br0",
             Box::new(LinuxBridge::new(SimRng::new(5).derive("br0"))),
-            &[PortConfig::virtio(), PortConfig::virtio(), PortConfig::virtio()],
+            &[
+                PortConfig::virtio(),
+                PortConfig::virtio(),
+                PortConfig::virtio(),
+            ],
         );
         sim.connect((h1, 0), (br, 0), LinkConfig::memory_hop());
         sim.connect((h2, 0), (br, 1), LinkConfig::memory_hop());
@@ -223,7 +231,11 @@ mod tests {
         let br = sim.add_element(
             "br0",
             Box::new(LinuxBridge::new(SimRng::new(5).derive("br0"))),
-            &[PortConfig::virtio(), PortConfig::virtio(), PortConfig::virtio()],
+            &[
+                PortConfig::virtio(),
+                PortConfig::virtio(),
+                PortConfig::virtio(),
+            ],
         );
         sim.connect((h2, 0), (br, 0), LinkConfig::memory_hop());
         sim.connect((h1, 0), (br, 1), LinkConfig::memory_hop());

@@ -287,7 +287,9 @@ impl ChaosPlan {
                     if until <= from {
                         return Err(ChaosPlanError {
                             event: i,
-                            reason: format!("window ends ({until}) at or before it starts ({from})"),
+                            reason: format!(
+                                "window ends ({until}) at or before it starts ({from})"
+                            ),
                         });
                     }
                 }
@@ -335,7 +337,11 @@ impl fmt::Display for ChaosPlanError {
         if self.event == usize::MAX {
             write!(f, "invalid chaos plan: {}", self.reason)
         } else {
-            write!(f, "invalid chaos plan: event {}: {}", self.event, self.reason)
+            write!(
+                f,
+                "invalid chaos plan: event {}: {}",
+                self.event, self.reason
+            )
         }
     }
 }

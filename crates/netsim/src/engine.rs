@@ -14,8 +14,8 @@
 //! discards frames with a broken FCS and counts an `rx_error`.
 
 use crate::fault::{FaultInjector, FaultOutcome};
-use crate::port::{Port, PortCounters};
 pub use crate::port::PortConfig;
+use crate::port::{Port, PortCounters};
 use pos_packet::builder::Frame;
 use pos_simkernel::{EventQueue, SimDuration, SimRng, SimTime, Trace, TraceLevel};
 use std::collections::HashMap;
@@ -210,7 +210,8 @@ impl Shared {
         let ser = p.config.serialization_time(frame.wire_size());
         p.in_flight = Some(frame);
         p.busy_until = now + ser;
-        self.queue.schedule(now + ser, Event::TxComplete { node, port });
+        self.queue
+            .schedule(now + ser, Event::TxComplete { node, port });
     }
 
     /// Serialization finished: deliver across the link, start the next frame.
@@ -230,7 +231,11 @@ impl Shared {
         // Hand the frame to the link, if the port is wired to one.
         if let Some(&link_idx) = self.port_link.get(&(node, port)) {
             let link = &mut self.links[link_idx];
-            let peer = if link.a == (node, port) { link.b } else { link.a };
+            let peer = if link.a == (node, port) {
+                link.b
+            } else {
+                link.a
+            };
             let outcome = link.injector.apply(now, frame.wire_size(), &mut self.rng);
             match outcome {
                 FaultOutcome::Dropped => {
@@ -302,7 +307,10 @@ impl NetSim {
         element: Box<dyn Element>,
         ports: &[PortConfig],
     ) -> NodeId {
-        assert!(!self.started, "cannot add elements after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add elements after the simulation started"
+        );
         let id = self.elements.len();
         self.elements.push(Some(element));
         self.shared.names.push(name.into());
@@ -505,7 +513,11 @@ mod tests {
         let mut cfg = PortConfig::ten_gbe();
         cfg.tx_queue_frames = queue;
         let src = sim.add_element("src", Box::new(Blaster { n, wire_size }), &[cfg]);
-        let dst = sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let dst = sim.add_element(
+            "dst",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((src, 0), (dst, 0), LinkConfig::direct_cable());
         (sim, src, dst)
     }
@@ -553,7 +565,11 @@ mod tests {
                 ..PortConfig::ten_gbe()
             }],
         );
-        let dst = sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let dst = sim.add_element(
+            "dst",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         let mut fault = crate::fault::FaultConfig::none();
         fault.corrupt_chance = 0.5;
         sim.connect(
@@ -564,7 +580,11 @@ mod tests {
         sim.run_to_idle();
         let c = sim.port_counters(dst, 0);
         assert_eq!(c.rx_frames + c.rx_errors, 1000);
-        assert!(c.rx_errors > 300, "expected ~500 errors, got {}", c.rx_errors);
+        assert!(
+            c.rx_errors > 300,
+            "expected ~500 errors, got {}",
+            c.rx_errors
+        );
         let (dropped, corrupted) = sim.link_fault_stats(src, 0).unwrap();
         assert_eq!(dropped, 0);
         assert_eq!(corrupted, c.rx_errors);
@@ -618,7 +638,7 @@ mod tests {
         // 1500 B at 10G = 1216 ns each; in 5000 ns about 4 frames arrive.
         sim.run_until(SimTime::from_nanos(5_000));
         let got = sim.port_counters(dst, 0).rx_frames;
-        assert!(got >= 3 && got <= 5, "got {got}");
+        assert!((3..=5).contains(&got), "got {got}");
         sim.run_to_idle();
         assert_eq!(sim.port_counters(dst, 0).rx_frames, 100);
     }
@@ -661,8 +681,11 @@ mod tests {
                     ..PortConfig::ten_gbe()
                 }],
             );
-            let dst =
-                sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+            let dst = sim.add_element(
+                "dst",
+                Box::new(CountingSink::new()),
+                &[PortConfig::ten_gbe()],
+            );
             let mut fault = crate::fault::FaultConfig::none();
             fault.drop_chance = (seed % 5) as f64 * 0.1;
             fault.corrupt_chance = (seed % 3) as f64 * 0.1;
@@ -681,7 +704,10 @@ mod tests {
                 rx.rx_frames + rx.rx_errors + inj_dropped,
                 "seed {seed}: conservation violated"
             );
-            assert_eq!(rx.rx_errors, inj_corrupted, "seed {seed}: corruption accounting");
+            assert_eq!(
+                rx.rx_errors, inj_corrupted,
+                "seed {seed}: corruption accounting"
+            );
         }
     }
 
@@ -700,8 +726,11 @@ mod tests {
                     ..PortConfig::ten_gbe()
                 }],
             );
-            let dst =
-                sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+            let dst = sim.add_element(
+                "dst",
+                Box::new(CountingSink::new()),
+                &[PortConfig::ten_gbe()],
+            );
             let mut fault = crate::fault::FaultConfig::none();
             fault.drop_chance = 0.3;
             sim.connect(

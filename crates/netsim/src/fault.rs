@@ -166,8 +166,8 @@ impl FaultInjector {
                 let periods = elapsed.as_nanos() / interval.as_nanos().max(1);
                 if periods > 0 {
                     self.tokens = self.config.rate_limit_tokens;
-                    self.bucket_refilled_at = self.bucket_refilled_at
-                        + SimDuration::from_nanos(periods * interval.as_nanos());
+                    self.bucket_refilled_at +=
+                        SimDuration::from_nanos(periods * interval.as_nanos());
                 }
             }
             if self.tokens == 0 {
@@ -245,7 +245,10 @@ mod tests {
         let mut inj = FaultInjector::new(cfg);
         let mut r = rng();
         assert_eq!(inj.apply(SimTime::ZERO, 64, &mut r), FaultOutcome::Deliver);
-        assert_eq!(inj.apply(SimTime::ZERO, 1518, &mut r), FaultOutcome::Dropped);
+        assert_eq!(
+            inj.apply(SimTime::ZERO, 1518, &mut r),
+            FaultOutcome::Dropped
+        );
         assert_eq!(inj.dropped, 1);
     }
 

@@ -143,7 +143,11 @@ mod tests {
             Box::new(NetemLine::new(config, SimRng::new(3).derive("netem"))),
             &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
         );
-        let dst = sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let dst = sim.add_element(
+            "dst",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((src, 0), (netem, 0), LinkConfig::direct_cable());
         sim.connect((netem, 1), (dst, 0), LinkConfig::direct_cable());
         sim.run_until(SimTime::from_secs(10));
@@ -295,7 +299,11 @@ mod tests {
                 Box::new(NetemLine::new(cfg, SimRng::new(9).derive("netem"))),
                 &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
             );
-            let dst = sim.add_element("dst", Box::new(SeqReceiver::default()), &[PortConfig::ten_gbe()]);
+            let dst = sim.add_element(
+                "dst",
+                Box::new(SeqReceiver::default()),
+                &[PortConfig::ten_gbe()],
+            );
             sim.connect((src, 0), (netem, 0), LinkConfig::direct_cable());
             sim.connect((netem, 1), (dst, 0), LinkConfig::direct_cable());
             sim.run_until(SimTime::from_secs(10));

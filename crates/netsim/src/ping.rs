@@ -194,20 +194,25 @@ impl Element for PingProbe {
         };
         let now = ctx.now();
         match msg {
-            IcmpMessage::EchoReply { ident, seq, .. } if ident == 0x7053 => {
+            IcmpMessage::EchoReply {
+                ident: 0x7053, seq, ..
+            } => {
                 if let Some(rtt_ns) = self.rtt_of(seq, now) {
                     self.replies.push((seq, ProbeReply::Echo { rtt_ns }));
                 }
             }
-            IcmpMessage::TimeExceeded { original } => {
-                // The quoted original datagram's ident field carries our
-                // sequence number (we set it when sending).
-                if original.len() >= 6 {
-                    let seq = u16::from_be_bytes([original[4], original[5]]);
-                    if let Some(rtt_ns) = self.rtt_of(seq, now) {
-                        self.replies
-                            .push((seq, ProbeReply::TimeExceeded { from: ip.src, rtt_ns }));
-                    }
+            // The quoted original datagram's ident field carries our
+            // sequence number (we set it when sending).
+            IcmpMessage::TimeExceeded { original } if original.len() >= 6 => {
+                let seq = u16::from_be_bytes([original[4], original[5]]);
+                if let Some(rtt_ns) = self.rtt_of(seq, now) {
+                    self.replies.push((
+                        seq,
+                        ProbeReply::TimeExceeded {
+                            from: ip.src,
+                            rtt_ns,
+                        },
+                    ));
                 }
             }
             _ => {}
@@ -265,7 +270,11 @@ mod tests {
             port: 1,
             next_hop_mac: MacAddr::testbed_host(20),
         });
-        let r1 = sim.add_element("r1", Box::new(r1), &[PortConfig::ten_gbe(), PortConfig::ten_gbe()]);
+        let r1 = sim.add_element(
+            "r1",
+            Box::new(r1),
+            &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
+        );
         sim.connect((probe, 0), (r1, 0), LinkConfig::direct_cable());
         if hops == 2 {
             let mut r2 = LinuxRouter::new(
@@ -280,7 +289,11 @@ mod tests {
                 port: 0,
                 next_hop_mac: MacAddr::testbed_host(11),
             });
-            let r2 = sim.add_element("r2", Box::new(r2), &[PortConfig::ten_gbe(), PortConfig::ten_gbe()]);
+            let r2 = sim.add_element(
+                "r2",
+                Box::new(r2),
+                &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
+            );
             sim.connect((r1, 1), (r2, 0), LinkConfig::direct_cable());
         }
         (sim, probe)

@@ -45,8 +45,7 @@ impl PortConfig {
     pub fn serialization_time(&self, wire_size: usize) -> SimDuration {
         let bits = wire_bits(wire_size);
         // ceil(bits * 1e9 / rate) nanoseconds; u128 avoids overflow.
-        let ns = (u128::from(bits) * 1_000_000_000 + u128::from(self.rate_bps) - 1)
-            / u128::from(self.rate_bps);
+        let ns = (u128::from(bits) * 1_000_000_000).div_ceil(u128::from(self.rate_bps));
         SimDuration::from_nanos(ns as u64)
     }
 }

@@ -24,8 +24,8 @@
 //! | virtualized | ≈ 0.04 Mpps | ≈ 0.04 Mpps | vCPU, packet-size independent |
 
 use crate::engine::{Element, SimCtx};
-use pos_packet::builder::Frame;
 use pos_packet::arp::ArpPacket;
+use pos_packet::builder::Frame;
 use pos_packet::ethernet::{EtherType, EthernetHeader};
 use pos_packet::icmp::IcmpMessage;
 use pos_packet::ipv4::{Ipv4Header, Protocol};
@@ -280,7 +280,13 @@ impl LinuxRouter {
     /// Emits an ICMP message from the router itself toward `dst`, routed
     /// through the forwarding table. Silently does nothing when the
     /// destination is unroutable or the source port has no address.
-    fn send_icmp(&mut self, src_port_hint: usize, dst: Ipv4Addr, msg: IcmpMessage, ctx: &mut SimCtx<'_>) {
+    fn send_icmp(
+        &mut self,
+        src_port_hint: usize,
+        dst: Ipv4Addr,
+        msg: IcmpMessage,
+        ctx: &mut SimCtx<'_>,
+    ) {
         let Some(route) = self.lookup(dst) else {
             return;
         };
@@ -347,15 +353,13 @@ impl LinuxRouter {
     fn forward(&mut self, in_port: usize, frame: Frame, ctx: &mut SimCtx<'_>) {
         // Parse Ethernet + IPv4; rewrite TTL/checksum and MAC addresses.
         let (ip, ip_offset) = match EthernetHeader::parse(frame.bytes()) {
-            Ok((eth, rest)) if eth.ethertype == EtherType::Ipv4 => {
-                match Ipv4Header::parse(rest) {
-                    Ok((ip, _)) => (ip, frame.bytes().len() - rest.len()),
-                    Err(_) => {
-                        self.stats.malformed += 1;
-                        return;
-                    }
+            Ok((eth, rest)) if eth.ethertype == EtherType::Ipv4 => match Ipv4Header::parse(rest) {
+                Ok((ip, _)) => (ip, frame.bytes().len() - rest.len()),
+                Err(_) => {
+                    self.stats.malformed += 1;
+                    return;
                 }
-            }
+            },
             Ok((eth, rest)) if eth.ethertype == EtherType::Arp => {
                 self.handle_arp(in_port, rest, ctx);
                 return;
@@ -370,7 +374,10 @@ impl LinuxRouter {
             if ip.protocol == Protocol::Icmp {
                 let icmp_off = ip_offset + pos_packet::ipv4::HEADER_LEN;
                 let icmp_end = ip_offset + usize::from(ip.total_len);
-                if let Some(icmp_data) = frame.bytes().get(icmp_off..icmp_end.min(frame.bytes().len())) {
+                if let Some(icmp_data) = frame
+                    .bytes()
+                    .get(icmp_off..icmp_end.min(frame.bytes().len()))
+                {
                     if let Ok(msg) = IcmpMessage::parse(icmp_data) {
                         if let Some(reply) = msg.reply_to() {
                             self.stats.echo_replied += 1;
@@ -573,7 +580,11 @@ mod tests {
             Box::new(router(profile, 1)),
             &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
         );
-        let sink = sim.add_element("sink", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let sink = sim.add_element(
+            "sink",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((src, 0), (dut, 0), LinkConfig::direct_cable());
         sim.connect((dut, 1), (sink, 0), LinkConfig::direct_cable());
         sim.run_until(SimTime::from_secs(30));
@@ -609,7 +620,11 @@ mod tests {
             Box::new(router(ServiceProfile::bare_metal(), 1)),
             &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
         );
-        let sink = sim.add_element("cap", Box::new(CapturingSink::default()), &[PortConfig::ten_gbe()]);
+        let sink = sim.add_element(
+            "cap",
+            Box::new(CapturingSink::default()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((src, 0), (dut, 0), LinkConfig::direct_cable());
         sim.connect((dut, 1), (sink, 0), LinkConfig::direct_cable());
         sim.run_to_idle();
@@ -672,7 +687,10 @@ mod tests {
         let stats = sim.element_as::<LinuxRouter>(dut).unwrap().stats;
         assert_eq!(stats.forwarded + stats.ring_drops, n);
         let loss = stats.ring_drops as f64 / n as f64;
-        assert!(loss < 0.01, "30 kpps should be nearly loss-free, lost {loss}");
+        assert!(
+            loss < 0.01,
+            "30 kpps should be nearly loss-free, lost {loss}"
+        );
 
         // Offer 100 kpps — far above: heavy loss.
         let (sim, dut, sink) = run_forwarding(profile, 10_000, 10_000, 64);
@@ -726,7 +744,11 @@ mod tests {
             Box::new(router(ServiceProfile::bare_metal(), 1)),
             &[PortConfig::ten_gbe(), PortConfig::ten_gbe()],
         );
-        let sink = sim.add_element("sink", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let sink = sim.add_element(
+            "sink",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((src, 0), (dut, 0), LinkConfig::direct_cable());
         sim.connect((dut, 1), (sink, 0), LinkConfig::direct_cable());
         sim.run_to_idle();

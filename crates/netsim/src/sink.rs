@@ -78,7 +78,11 @@ mod tests {
     fn sink_records_arrival_times() {
         let mut sim = NetSim::new(3);
         let src = sim.add_element("src", Box::new(OneShot), &[PortConfig::ten_gbe()]);
-        let dst = sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let dst = sim.add_element(
+            "dst",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         sim.connect((src, 0), (dst, 0), LinkConfig::direct_cable());
         sim.run_to_idle();
         assert_eq!(sim.port_counters(dst, 0).rx_frames, 1);

@@ -177,7 +177,11 @@ mod tests {
         }
         let mut sim = NetSim::new(2);
         let src = sim.add_element("src", Box::new(OneShot), &[PortConfig::ten_gbe()]);
-        let dst = sim.add_element("dst", Box::new(CountingSink::new()), &[PortConfig::ten_gbe()]);
+        let dst = sim.add_element(
+            "dst",
+            Box::new(CountingSink::new()),
+            &[PortConfig::ten_gbe()],
+        );
         let node = sim.add_element(
             "switch",
             Box::new(sw),
@@ -192,7 +196,8 @@ mod tests {
 
     #[test]
     fn l1_circuit_forwards_with_15ns() {
-        let (sim, dst, arrival) = sim_through_switch(HardwareSwitch::new(SwitchKind::OpticalL1), true);
+        let (sim, dst, arrival) =
+            sim_through_switch(HardwareSwitch::new(SwitchKind::OpticalL1), true);
         assert_eq!(sim.port_counters(dst, 0).rx_frames, 1);
         // 68 ns serialization + 10 ns cable + 15 ns switch + 68 + 10.
         assert_eq!(arrival, 68 + 10 + 15 + 68 + 10);
@@ -200,7 +205,8 @@ mod tests {
 
     #[test]
     fn l2_cut_through_costs_300ns() {
-        let (sim, dst, arrival) = sim_through_switch(HardwareSwitch::new(SwitchKind::CutThroughL2), false);
+        let (sim, dst, arrival) =
+            sim_through_switch(HardwareSwitch::new(SwitchKind::CutThroughL2), false);
         assert_eq!(sim.port_counters(dst, 0).rx_frames, 1);
         assert_eq!(arrival, 68 + 10 + 300 + 68 + 10);
     }

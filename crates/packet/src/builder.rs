@@ -283,7 +283,10 @@ mod tests {
         bytes[12..14].copy_from_slice(&0x0806u16.to_be_bytes()); // ARP
         assert!(matches!(
             parse_udp_frame(&bytes),
-            Err(ParseError::Unsupported { field: "ethertype", .. })
+            Err(ParseError::Unsupported {
+                field: "ethertype",
+                ..
+            })
         ));
     }
 
@@ -300,7 +303,10 @@ mod tests {
         bytes[14 + 10..14 + 12].copy_from_slice(&csum.to_be_bytes());
         assert!(matches!(
             parse_udp_frame(&bytes),
-            Err(ParseError::Unsupported { field: "protocol", .. })
+            Err(ParseError::Unsupported {
+                field: "protocol",
+                ..
+            })
         ));
     }
 

@@ -58,8 +58,16 @@ impl IcmpMessage {
         out.push(0); // code 0 for all supported messages
         out.extend_from_slice(&[0, 0]); // checksum placeholder
         match self {
-            IcmpMessage::EchoRequest { ident, seq, payload }
-            | IcmpMessage::EchoReply { ident, seq, payload } => {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }
+            | IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 out.extend_from_slice(&ident.to_be_bytes());
                 out.extend_from_slice(&seq.to_be_bytes());
                 out.extend_from_slice(payload);
@@ -113,7 +121,11 @@ impl IcmpMessage {
     /// The reply matching an echo request; `None` for non-requests.
     pub fn reply_to(&self) -> Option<IcmpMessage> {
         match self {
-            IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => Some(IcmpMessage::EchoReply {
                 ident: *ident,
                 seq: *seq,
                 payload: payload.clone(),

@@ -225,7 +225,10 @@ mod tests {
         buf[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Header::parse(&buf),
-            Err(ParseError::Unsupported { field: "version", .. })
+            Err(ParseError::Unsupported {
+                field: "version",
+                ..
+            })
         ));
     }
 

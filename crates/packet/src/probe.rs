@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn fits_min_frame_payload() {
         // 64 B wire frame = 60 B frame = 14 eth + 20 ip + 8 udp + 18 payload.
-        assert!(PROBE_LEN <= 18, "probe must fit a minimum-size frame");
+        const { assert!(PROBE_LEN <= 18, "probe must fit a minimum-size frame") }
     }
 
     #[test]

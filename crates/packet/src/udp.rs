@@ -57,7 +57,8 @@ impl UdpHeader {
         out.extend_from_slice(&self.length.to_be_bytes());
         out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(payload);
-        let acc = pseudo_header_sum(src, dst, self.length).wrapping_add(checksum::sum(&out[start..]));
+        let acc =
+            pseudo_header_sum(src, dst, self.length).wrapping_add(checksum::sum(&out[start..]));
         let mut csum = checksum::finish(acc);
         if csum == 0 {
             csum = 0xFFFF;
@@ -70,11 +71,11 @@ impl UdpHeader {
     /// `src`/`dst` are needed for the pseudo-header checksum. A zero
     /// checksum field means "checksum disabled" and is accepted (legal over
     /// IPv4).
-    pub fn parse<'a>(
+    pub fn parse(
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        data: &'a [u8],
-    ) -> Result<(UdpHeader, &'a [u8]), ParseError> {
+        data: &[u8],
+    ) -> Result<(UdpHeader, &[u8]), ParseError> {
         if data.len() < HEADER_LEN {
             return Err(ParseError::Truncated {
                 layer: "udp",

@@ -124,8 +124,7 @@ pub fn read_tar(data: &[u8]) -> Result<Vec<TarEntry>, TarError> {
         check[148..156].fill(b' ');
         let expect: u64 = check.iter().map(|&b| u64::from(b)).sum();
         let stored = u64::from_str_radix(
-            String::from_utf8_lossy(&block[148..155])
-                .trim_matches(['\0', ' ']),
+            String::from_utf8_lossy(&block[148..155]).trim_matches(['\0', ' ']),
             8,
         )
         .unwrap_or(0);

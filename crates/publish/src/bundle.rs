@@ -237,9 +237,8 @@ impl Bundle {
 /// Verifies a written bundle directory against its manifest. Returns the
 /// paths that are missing or whose hash differs.
 pub fn verify_dir(dir: &Path) -> Result<Vec<String>, BundleError> {
-    let manifest: Manifest =
-        serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)
-            .map_err(|e| BundleError::Io(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+    let manifest: Manifest = serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)
+        .map_err(|e| BundleError::Io(io::Error::new(io::ErrorKind::InvalidData, e)))?;
     let mut bad = Vec::new();
     for entry in &manifest.files {
         match fs::read(dir.join(&entry.path)) {
@@ -399,7 +398,9 @@ mod tests {
         use pos_core::resultstore::ResultStore;
         let root = tmp("runverify");
         let store = ResultStore::open(&root);
-        store.write_run_file(0, "loadgen_measurement.log", "TX: 1\n").unwrap();
+        store
+            .write_run_file(0, "loadgen_measurement.log", "TX: 1\n")
+            .unwrap();
         store.finalize_run(0).unwrap();
         assert_eq!(verify_runs(&root).unwrap(), Vec::<String>::new());
 

@@ -126,7 +126,10 @@ mod tests {
 
     fn sample() -> (SiteInfo, Manifest) {
         let mut b = Bundle::new("router");
-        b.add_file("experiment/dut/setup.sh", "sysctl -w net.ipv4.ip_forward=1\n");
+        b.add_file(
+            "experiment/dut/setup.sh",
+            "sysctl -w net.ipv4.ip_forward=1\n",
+        );
         b.add_file("run-0000/loadgen_measurement.log", "TX: 1\n");
         b.add_file("figures/throughput.svg", "<svg/>");
         b.add_file("topology.txt", "a <-> b\n");

@@ -1,0 +1,30 @@
+//! # pos-sched
+//!
+//! Deterministic parallel campaign scheduling for the pos reproduction.
+//!
+//! The paper's controller executes a campaign's measurement runs strictly
+//! one after another. This crate adds the scheduling layer above it:
+//!
+//! * [`plan`] — lane planning over the site calendar: one bare-metal
+//!   replica host set per lane where the calendar has them free (acquired
+//!   as an atomic batch), virtual clone replicas for the rest.
+//! * [`scheduler`] — the parallel executor: worker lanes with a
+//!   deterministic work-stealing run queue, per-lane journals, and a
+//!   merge that leaves the canonical result tree **byte-identical** to a
+//!   sequential execution of the same seed (see the determinism argument
+//!   in [`scheduler`]'s module docs); plus [`scheduler::resume_parallel`]
+//!   for crash recovery across all lane journals.
+//! * [`queue`] — multi-campaign admission control: a bounded submission
+//!   queue with stride-based fair share across users, priority weights,
+//!   rejection diagnostics instead of wedging, and preemption-free
+//!   draining.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod queue;
+pub mod scheduler;
+
+pub use plan::{plan_lanes, site_host_sets, LaneAllocation, LaneFlavor};
+pub use queue::{QueueError, QueueStatus, Submission, SubmissionQueue};
+pub use scheduler::{resume_parallel, run_parallel, ParallelOptions, ParallelOutcome};

@@ -1,0 +1,249 @@
+//! Lane planning: turning "run this campaign on N lanes" into concrete
+//! allocations on the site calendar.
+//!
+//! The site owns a bounded pool of bare-metal replica host sets (in the
+//! paper's terms: additional identical machine groups wired like the
+//! primary one). A parallel campaign wants one host set per worker lane.
+//! The planner first tries to reserve all of them in one atomic batch
+//! ([`pos_testbed::Calendar::reserve_batch`]); when the calendar cannot
+//! satisfy the full batch it falls back to grabbing whatever bare-metal
+//! sets are free one by one and backs the remaining lanes with virtual
+//! clone replicas (`vpos`, see [`pos_testbed::ClonePool`]) instead.
+//!
+//! Lane 0 is special: it is the canonical lane that writes the shared
+//! result tree, and it must run on the primary bare-metal set — if even
+//! that reservation fails, the campaign cannot start at all.
+
+use pos_simkernel::{SimDuration, SimTime};
+use pos_testbed::{Calendar, ReservationError, ReservationId};
+use std::fmt;
+
+/// What kind of testbed a worker lane runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneFlavor {
+    /// A reserved bare-metal replica host set (`pos`).
+    BareMetal,
+    /// A virtual clone replica spawned from the hardware description
+    /// (`vpos`). Used when the calendar has no free bare-metal set.
+    Virtual,
+}
+
+impl LaneFlavor {
+    /// The testbed flavor label journaled for this lane.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LaneFlavor::BareMetal => "pos",
+            LaneFlavor::Virtual => "vpos",
+        }
+    }
+}
+
+impl fmt::Display for LaneFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The planner's answer: one flavor per lane plus the site-calendar
+/// reservations backing the bare-metal ones.
+#[derive(Debug)]
+pub struct LaneAllocation {
+    /// Flavor per lane, indexed by lane.
+    pub flavors: Vec<LaneFlavor>,
+    /// Site-calendar reservations for the bare-metal lanes, in lane
+    /// order. `reservations.len()` equals the number of `BareMetal`
+    /// entries in [`Self::flavors`].
+    pub reservations: Vec<ReservationId>,
+}
+
+impl LaneAllocation {
+    /// Number of bare-metal lanes.
+    pub fn bare_metal(&self) -> usize {
+        self.flavors
+            .iter()
+            .filter(|f| **f == LaneFlavor::BareMetal)
+            .count()
+    }
+
+    /// Flavor labels in lane order (the `LanePlan` journal payload).
+    pub fn labels(&self) -> Vec<String> {
+        self.flavors.iter().map(|f| f.label().to_string()).collect()
+    }
+}
+
+/// Names the site's replica host sets: replica 0 is the primary set
+/// (the experiment's own host names), replica `k > 0` appends `@k`.
+pub fn site_host_sets(hosts: &[String], replicas: usize) -> Vec<Vec<String>> {
+    (0..replicas.max(1))
+        .map(|k| {
+            hosts
+                .iter()
+                .map(|h| {
+                    if k == 0 {
+                        h.clone()
+                    } else {
+                        format!("{h}@{k}")
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Plans `lanes` worker lanes against the site calendar.
+///
+/// Tries an atomic [`Calendar::reserve_batch`] over the first
+/// `min(lanes, host_sets.len())` replica sets; on a conflict it degrades
+/// gracefully, reserving sets one at a time and backing every lane it
+/// could not reserve with a virtual clone. Only a failure to reserve the
+/// *primary* set (lane 0) is fatal.
+pub fn plan_lanes(
+    site: &mut Calendar,
+    user: &str,
+    host_sets: &[Vec<String>],
+    lanes: usize,
+    start: SimTime,
+    duration: SimDuration,
+) -> Result<LaneAllocation, ReservationError> {
+    assert!(lanes >= 1, "a campaign needs at least one lane");
+    assert!(!host_sets.is_empty(), "the site has no host sets");
+
+    let wanted = lanes.min(host_sets.len());
+    if let Ok(ids) = site.reserve_batch(user, &host_sets[..wanted], start, duration) {
+        let mut flavors = vec![LaneFlavor::BareMetal; wanted];
+        flavors.resize(lanes, LaneFlavor::Virtual);
+        return Ok(LaneAllocation {
+            flavors,
+            reservations: ids,
+        });
+    }
+
+    // Batch failed: some sets are busy. Take what is free; lane 0 must
+    // succeed, everything else degrades to a virtual clone.
+    let mut flavors = Vec::with_capacity(lanes);
+    let mut reservations = Vec::new();
+    for lane in 0..lanes {
+        match host_sets.get(lane) {
+            Some(set) => match site.reserve(user.to_string(), set, start, duration) {
+                Ok(id) => {
+                    reservations.push(id);
+                    flavors.push(LaneFlavor::BareMetal);
+                }
+                Err(e) if lane == 0 => return Err(e),
+                Err(_) => flavors.push(LaneFlavor::Virtual),
+            },
+            None => flavors.push(LaneFlavor::Virtual),
+        }
+    }
+    Ok(LaneAllocation {
+        flavors,
+        reservations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts() -> Vec<String> {
+        vec!["vriga".into(), "vtartu".into()]
+    }
+
+    fn site(replicas: usize) -> (Calendar, Vec<Vec<String>>) {
+        (Calendar::new(), site_host_sets(&hosts(), replicas))
+    }
+
+    #[test]
+    fn site_host_sets_keeps_primary_names() {
+        let sets = site_host_sets(&hosts(), 3);
+        assert_eq!(sets[0], vec!["vriga", "vtartu"]);
+        assert_eq!(sets[1], vec!["vriga@1", "vtartu@1"]);
+        assert_eq!(sets[2], vec!["vriga@2", "vtartu@2"]);
+    }
+
+    #[test]
+    fn all_bare_metal_when_site_is_free() {
+        let (mut cal, sets) = site(4);
+        let plan = plan_lanes(
+            &mut cal,
+            "alice",
+            &sets,
+            4,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        )
+        .unwrap();
+        assert_eq!(plan.flavors, vec![LaneFlavor::BareMetal; 4]);
+        assert_eq!(plan.reservations.len(), 4);
+    }
+
+    #[test]
+    fn lanes_beyond_replica_pool_become_virtual() {
+        let (mut cal, sets) = site(2);
+        let plan = plan_lanes(
+            &mut cal,
+            "alice",
+            &sets,
+            4,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        )
+        .unwrap();
+        assert_eq!(plan.bare_metal(), 2);
+        assert_eq!(plan.flavors[2], LaneFlavor::Virtual);
+        assert_eq!(plan.flavors[3], LaneFlavor::Virtual);
+        assert_eq!(plan.labels(), vec!["pos", "pos", "vpos", "vpos"]);
+    }
+
+    #[test]
+    fn busy_replica_degrades_that_lane_to_virtual() {
+        let (mut cal, sets) = site(3);
+        // Someone else holds replica set 1 for the whole window.
+        cal.reserve(
+            "bob".to_string(),
+            &sets[1],
+            SimTime::ZERO,
+            SimDuration::from_hours(2),
+        )
+        .unwrap();
+        let plan = plan_lanes(
+            &mut cal,
+            "alice",
+            &sets,
+            3,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        )
+        .unwrap();
+        assert_eq!(
+            plan.flavors,
+            vec![
+                LaneFlavor::BareMetal,
+                LaneFlavor::Virtual,
+                LaneFlavor::BareMetal
+            ]
+        );
+        assert_eq!(plan.reservations.len(), 2);
+    }
+
+    #[test]
+    fn busy_primary_set_is_fatal() {
+        let (mut cal, sets) = site(2);
+        cal.reserve(
+            "bob".to_string(),
+            &sets[0],
+            SimTime::ZERO,
+            SimDuration::from_hours(2),
+        )
+        .unwrap();
+        let err = plan_lanes(
+            &mut cal,
+            "alice",
+            &sets,
+            2,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        );
+        assert!(err.is_err(), "no primary set, no campaign");
+    }
+}

@@ -1,0 +1,352 @@
+//! Multi-campaign admission control: a bounded submission queue with
+//! fair-share scheduling across users.
+//!
+//! Users submit campaigns; the queue admits them in *stride-scheduling*
+//! order: every user carries a virtual-time pass, the next admission
+//! always goes to the user with the smallest pass (ties broken by
+//! lexicographic user name — deterministic, like everything else here),
+//! and admitting a campaign advances that user's pass by `1 / weight`,
+//! where the weight is the submission's priority. Two users submitting
+//! concurrently therefore interleave instead of the first one starving
+//! the second, and a priority-2 user receives twice the share of a
+//! priority-1 user.
+//!
+//! The queue is bounded: submissions beyond its capacity are rejected
+//! with a diagnostic that names the capacity, the current depth, and the
+//! per-user backlog — backpressure, not a wedge. [`SubmissionQueue::close`]
+//! starts a preemption-free drain: no new submissions are accepted, but
+//! everything already admitted runs to completion.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One queued campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// Queue-assigned id, unique and monotonically increasing.
+    pub id: u64,
+    /// Submitting user.
+    pub user: String,
+    /// The experiment to run (a spec directory path, or a name).
+    pub experiment: String,
+    /// Fair-share weight (≥ 1); a priority-2 submission costs its user
+    /// half the virtual time of a priority-1 one.
+    pub priority: u32,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueError {
+    /// The queue is at capacity. The diagnostic carries everything a
+    /// caller needs to back off intelligently.
+    Full {
+        /// The configured bound.
+        capacity: usize,
+        /// Submissions currently queued (equals `capacity`).
+        depth: usize,
+        /// Queued submissions per user, alphabetically.
+        per_user: Vec<(String, usize)>,
+    },
+    /// The queue is draining; no new submissions are accepted.
+    Closed,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Full {
+                capacity,
+                depth,
+                per_user,
+            } => {
+                write!(
+                    f,
+                    "queue full: {depth}/{capacity} submissions queued (backlog:"
+                )?;
+                for (user, n) in per_user {
+                    write!(f, " {user}={n}")?;
+                }
+                write!(f, "); retry after a drain")
+            }
+            QueueError::Closed => write!(f, "queue closed: draining, no new submissions"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Point-in-time view of the queue (the `pos queue status` payload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueStatus {
+    /// Configured bound.
+    pub capacity: usize,
+    /// Submissions currently queued.
+    pub depth: usize,
+    /// False once a drain started.
+    pub open: bool,
+    /// Pending submissions in stored order.
+    pub pending: Vec<Submission>,
+    /// Total admissions so far.
+    pub admitted: u64,
+}
+
+/// The bounded fair-share submission queue.
+///
+/// The whole state is serializable, so the CLI can persist it as
+/// `queue.json` between invocations; scheduling decisions are pure
+/// functions of that state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmissionQueue {
+    capacity: usize,
+    open: bool,
+    next_id: u64,
+    admitted: u64,
+    pending: Vec<Submission>,
+    /// Per-user stride pass: smallest pass is admitted next.
+    passes: BTreeMap<String, f64>,
+}
+
+impl SubmissionQueue {
+    /// An open, empty queue bounded to `capacity` submissions.
+    pub fn new(capacity: usize) -> SubmissionQueue {
+        assert!(capacity >= 1, "a queue needs room for at least one entry");
+        SubmissionQueue {
+            capacity,
+            open: true,
+            next_id: 0,
+            admitted: 0,
+            pending: Vec::new(),
+            passes: BTreeMap::new(),
+        }
+    }
+
+    /// Submissions currently queued.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// True until a drain starts.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Queues a campaign. Bounded: at capacity the submission is rejected
+    /// with a [`QueueError::Full`] diagnostic instead of blocking.
+    pub fn submit(
+        &mut self,
+        user: impl Into<String>,
+        experiment: impl Into<String>,
+        priority: u32,
+    ) -> Result<u64, QueueError> {
+        if !self.open {
+            return Err(QueueError::Closed);
+        }
+        if self.pending.len() >= self.capacity {
+            let mut per_user: BTreeMap<String, usize> = BTreeMap::new();
+            for s in &self.pending {
+                *per_user.entry(s.user.clone()).or_insert(0) += 1;
+            }
+            return Err(QueueError::Full {
+                capacity: self.capacity,
+                depth: self.pending.len(),
+                per_user: per_user.into_iter().collect(),
+            });
+        }
+        let user = user.into();
+        // A user joining (or rejoining) starts at the current virtual
+        // time floor, not at zero — otherwise a latecomer could replay
+        // the whole backlog of shares it never waited for.
+        let floor = self.passes.values().copied().fold(f64::INFINITY, f64::min);
+        let floor = if floor.is_finite() { floor } else { 0.0 };
+        let entry = self.passes.entry(user.clone()).or_insert(floor);
+        *entry = entry.max(floor);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(Submission {
+            id,
+            user,
+            experiment: experiment.into(),
+            priority: priority.max(1),
+        });
+        Ok(id)
+    }
+
+    /// Admits the next campaign in fair-share order: the queued user with
+    /// the smallest stride pass (ties: lexicographically first user),
+    /// FIFO within a user. Returns `None` when the queue is empty.
+    pub fn admit(&mut self) -> Option<Submission> {
+        let winner = self
+            .pending
+            .iter()
+            .map(|s| (&s.user, self.passes.get(&s.user).copied().unwrap_or(0.0)))
+            .min_by(|(ua, pa), (ub, pb)| {
+                pa.partial_cmp(pb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| ua.cmp(ub))
+            })?
+            .0
+            .clone();
+        let at = self
+            .pending
+            .iter()
+            .position(|s| s.user == winner)
+            .expect("winner has a pending submission");
+        let sub = self.pending.remove(at);
+        *self.passes.entry(winner).or_insert(0.0) += 1.0 / f64::from(sub.priority.max(1));
+        self.admitted += 1;
+        Some(sub)
+    }
+
+    /// Closes the queue for a preemption-free drain: further submissions
+    /// are rejected with [`QueueError::Closed`], while everything already
+    /// queued remains admittable via [`Self::admit`].
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+
+    /// Drains the queue: closes it and returns every remaining submission
+    /// in fair-share admission order.
+    pub fn drain(&mut self) -> Vec<Submission> {
+        self.close();
+        let mut out = Vec::with_capacity(self.pending.len());
+        while let Some(sub) = self.admit() {
+            out.push(sub);
+        }
+        out
+    }
+
+    /// Snapshot for `pos queue status`.
+    pub fn status(&self) -> QueueStatus {
+        QueueStatus {
+            capacity: self.capacity,
+            depth: self.pending.len(),
+            open: self.open,
+            pending: self.pending.clone(),
+            admitted: self.admitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_users_interleave_instead_of_starving() {
+        let mut q = SubmissionQueue::new(16);
+        for i in 0..3 {
+            q.submit("alice", format!("exp-a{i}"), 1).unwrap();
+        }
+        for i in 0..3 {
+            q.submit("bob", format!("exp-b{i}"), 1).unwrap();
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.admit()).map(|s| s.user).collect();
+        assert_eq!(
+            order,
+            vec!["alice", "bob", "alice", "bob", "alice", "bob"],
+            "equal-weight users alternate"
+        );
+    }
+
+    #[test]
+    fn priority_doubles_the_share() {
+        let mut q = SubmissionQueue::new(16);
+        for i in 0..4 {
+            q.submit("alice", format!("a{i}"), 2).unwrap();
+            q.submit("bob", format!("b{i}"), 1).unwrap();
+        }
+        let first_six: Vec<String> = (0..6).filter_map(|_| q.admit()).map(|s| s.user).collect();
+        let alice = first_six.iter().filter(|u| *u == "alice").count();
+        let bob = first_six.iter().filter(|u| *u == "bob").count();
+        assert_eq!(alice, 4, "priority-2 user gets twice the admissions");
+        assert_eq!(bob, 2);
+    }
+
+    #[test]
+    fn fifo_within_a_user() {
+        let mut q = SubmissionQueue::new(16);
+        q.submit("alice", "first", 1).unwrap();
+        q.submit("alice", "second", 1).unwrap();
+        assert_eq!(q.admit().unwrap().experiment, "first");
+        assert_eq!(q.admit().unwrap().experiment, "second");
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_diagnostic() {
+        let mut q = SubmissionQueue::new(2);
+        q.submit("alice", "a0", 1).unwrap();
+        q.submit("bob", "b0", 1).unwrap();
+        let err = q.submit("carol", "c0", 1).unwrap_err();
+        match &err {
+            QueueError::Full {
+                capacity,
+                depth,
+                per_user,
+            } => {
+                assert_eq!((*capacity, *depth), (2, 2));
+                assert_eq!(
+                    per_user,
+                    &vec![("alice".to_string(), 1), ("bob".to_string(), 1)]
+                );
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("queue full"), "diagnostic names the condition");
+        assert!(msg.contains("alice=1"), "diagnostic names the backlog");
+        // Rejection is backpressure, not a wedge: the queue still admits.
+        assert!(q.admit().is_some());
+        assert!(q.submit("carol", "c0", 1).is_ok());
+    }
+
+    #[test]
+    fn drain_closes_and_empties_in_fair_order() {
+        let mut q = SubmissionQueue::new(8);
+        q.submit("alice", "a0", 1).unwrap();
+        q.submit("alice", "a1", 1).unwrap();
+        q.submit("bob", "b0", 1).unwrap();
+        let drained = q.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].user, "alice");
+        assert_eq!(drained[1].user, "bob");
+        assert!(q.is_empty());
+        assert!(!q.is_open());
+        assert_eq!(q.submit("alice", "a2", 1), Err(QueueError::Closed));
+    }
+
+    #[test]
+    fn latecomer_starts_at_the_virtual_time_floor() {
+        let mut q = SubmissionQueue::new(16);
+        for i in 0..4 {
+            q.submit("alice", format!("a{i}"), 1).unwrap();
+        }
+        q.admit();
+        q.admit(); // alice's pass is now 2.0
+        q.submit("bob", "b0", 1).unwrap();
+        q.submit("bob", "b1", 1).unwrap();
+        q.submit("bob", "b2", 1).unwrap();
+        let next: Vec<String> = (0..5).filter_map(|_| q.admit()).map(|s| s.user).collect();
+        let bob_lead = next.iter().take(2).filter(|u| *u == "bob").count();
+        assert!(
+            bob_lead >= 1,
+            "bob is behind on virtual time and catches up, got {next:?}"
+        );
+    }
+
+    #[test]
+    fn state_roundtrips_through_json() {
+        let mut q = SubmissionQueue::new(4);
+        q.submit("alice", "a0", 2).unwrap();
+        q.submit("bob", "b0", 1).unwrap();
+        let json = serde_json::to_string(&q).unwrap();
+        let mut back: SubmissionQueue = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.admit().unwrap().user, q.admit().unwrap().user);
+    }
+}

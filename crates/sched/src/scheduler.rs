@@ -1,0 +1,566 @@
+//! The deterministic parallel campaign scheduler.
+//!
+//! A campaign's expanded cross product is dispatched over `N` *worker
+//! lanes* — same-seed replica testbeds, each running the full setup phase
+//! — using the greedy list-scheduling discipline of
+//! [`pos_simkernel::LaneSet`]: the next run always goes to the lane that
+//! frees up earliest. Because that choice depends only on the schedule so
+//! far, the whole dispatch is a pure function of (spec, seed, lane
+//! count).
+//!
+//! # The determinism argument
+//!
+//! Measurement artifacts in this reproduction depend on exactly two
+//! inputs: the campaign seed and the *virtual instant* a run starts (the
+//! packet simulators derive their streams from
+//! `seed ⊕ label ⊕ start_ns`). The scheduler therefore executes runs in
+//! strict cross-product order and, before dispatching run *i* to its
+//! lane, pins that lane's clock to the run's **canonical start** — the
+//! instant run *i* would begin in a sequential execution (run 0 starts at
+//! lane 0's setup end; run *i* starts where run *i−1* canonically
+//! finished). Each lane is a same-seed replica, so every byte a run
+//! writes is identical to what the sequential controller would have
+//! written, for *any* lane count. Parallelism lives purely in the
+//! [`pos_simkernel::LaneSet`] occupancy model, whose makespan yields the
+//! reported speedup.
+//!
+//! Lane 0 keeps the default `"testbed"` management-RNG stream (a one-lane
+//! schedule is the sequential controller, bit for bit); lanes `k > 0`
+//! re-derive theirs under `"testbed/lane{k}"` so replica boot timings are
+//! independent draws of the same distribution.
+//!
+//! # Journals
+//!
+//! The scheduler journal (`journal.log`) records `CampaignStarted`, the
+//! `LanePlan`, and `CampaignFinished`. Each lane appends `RunStarted` /
+//! `RunCompleted` records to its own `journal-lane{k}.log`. All journals
+//! are write-ahead and individually crash-consistent;
+//! [`resume_parallel`] replays all of them, re-verifies every journaled
+//! run against its digest, and re-executes only what fails — at the same
+//! canonical starts, so the repaired tree is byte-identical to an
+//! uninterrupted execution (journals excepted: they *are* the record of
+//! the interruption).
+
+use crate::plan::{plan_lanes, site_host_sets, LaneFlavor};
+use pos_core::controller::{
+    CampaignSetup, Controller, ControllerError, ExperimentOutcome, RunOptions, RunRecord,
+};
+use pos_core::experiment::ExperimentSpec;
+use pos_core::journal::{lane_journal_file, Journal, JournalRecord, JOURNAL_FILE};
+use pos_core::loopvars::RunParams;
+use pos_core::resultstore::ResultStore;
+use pos_simkernel::{lane_stream_label, LaneSet, SimDuration, SimTime, TraceLevel};
+use pos_testbed::{Calendar, Testbed};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// How to parallelize one campaign.
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Worker lanes (≥ 1). One lane is exactly the sequential controller.
+    pub lanes: usize,
+    /// Bare-metal replica host sets the site owns (including the primary
+    /// set). Lanes beyond this run on virtual clone replicas.
+    pub site_replicas: usize,
+}
+
+impl ParallelOptions {
+    /// `lanes` lanes, all backed by bare-metal replica sets.
+    pub fn new(lanes: usize) -> ParallelOptions {
+        ParallelOptions {
+            lanes,
+            site_replicas: lanes,
+        }
+    }
+}
+
+/// What a parallel campaign execution produced, beyond the canonical
+/// [`ExperimentOutcome`].
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// The merged, canonical outcome — identical in content to a
+    /// sequential execution of the same seed.
+    pub outcome: ExperimentOutcome,
+    /// Number of worker lanes.
+    pub lanes: usize,
+    /// Testbed flavor label per lane.
+    pub flavors: Vec<String>,
+    /// Run indices executed (or verified-skipped) per lane.
+    pub lane_runs: Vec<Vec<usize>>,
+    /// Virtual time of the canonical (sequential-equivalent) timeline:
+    /// campaign start to last run's canonical finish.
+    pub sequential_elapsed: SimDuration,
+    /// Virtual time of the modeled parallel timeline: campaign start to
+    /// the last lane's makespan end.
+    pub parallel_elapsed: SimDuration,
+    /// Wall-clock seconds the final merge step took (trace render,
+    /// controller.log write, journal finalization).
+    pub merge_wall_secs: f64,
+}
+
+impl ParallelOutcome {
+    /// Virtual-time speedup over a sequential execution.
+    pub fn speedup(&self) -> f64 {
+        let par = self.parallel_elapsed.as_nanos();
+        if par == 0 {
+            return 1.0;
+        }
+        self.sequential_elapsed.as_nanos() as f64 / par as f64
+    }
+}
+
+/// A run completion recovered from a journal during resume.
+struct VerifiedRun {
+    success: bool,
+    attempts: u32,
+    recoveries: u32,
+    recovery_time_ns: u64,
+    started_ns: u64,
+    finished_ns: u64,
+    fault_trace: Vec<String>,
+}
+
+/// Executes a campaign across `popts.lanes` worker lanes.
+///
+/// `make_lane(k, flavor)` must build lane `k`'s replica testbed: the same
+/// hosts, wiring, images, and **root seed** as the campaign testbed, as a
+/// bare-metal replica or a virtual clone per `flavor`. The scheduler
+/// re-derives the management RNG stream of lanes `k > 0` itself.
+pub fn run_parallel(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    popts: &ParallelOptions,
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+) -> Result<ParallelOutcome, ControllerError> {
+    assert!(popts.lanes >= 1, "a campaign needs at least one lane");
+
+    // Acquire disjoint allocations on the site calendar: an atomic batch
+    // of bare-metal replica sets when free, virtual clone lanes otherwise.
+    let mut site = Calendar::new();
+    let sets = site_host_sets(&spec.hosts(), popts.site_replicas);
+    let alloc = plan_lanes(
+        &mut site,
+        &spec.user,
+        &sets,
+        popts.lanes,
+        SimTime::ZERO,
+        SimDuration::from_secs(spec.planned_duration_secs),
+    )
+    .map_err(ControllerError::Allocation)?;
+
+    let mut lanes = build_lanes(&alloc.flavors, opts, make_lane);
+    let (spec_eff, runs) = lanes[0].prepare_campaign(spec, opts)?;
+    let seed = lanes[0].testbed().seed();
+
+    let started = lanes[0].testbed().now();
+    let store = ResultStore::create(&opts.result_root, &spec_eff.user, &spec_eff.name, started)?;
+    let mut sched_journal = Journal::create(store.dir().join(JOURNAL_FILE))?;
+    sched_journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
+    sched_journal.append(&JournalRecord::CampaignStarted {
+        seed,
+        spec_digest: spec_eff.digest(),
+        total_runs: runs.len(),
+        testbed: opts.testbed_flavor.clone(),
+        started_ns: started.as_nanos(),
+    })?;
+    sched_journal.append(&JournalRecord::LanePlan {
+        lanes: popts.lanes,
+        flavors: alloc.labels(),
+    })?;
+
+    // Every lane runs the full setup phase (allocation, boots, tool
+    // deployment, setup scripts); only lane 0 persists the shared inputs.
+    let mut setups: Vec<CampaignSetup> = Vec::with_capacity(lanes.len());
+    for (k, lane) in lanes.iter_mut().enumerate() {
+        let lane_store = if k == 0 { Some(&store) } else { None };
+        setups.push(lane.setup_campaign(&spec_eff, opts, lane_store, runs.len())?);
+    }
+
+    let mut lane_journals = Vec::with_capacity(lanes.len());
+    for (k, lane) in lanes.iter().enumerate() {
+        let mut j = Journal::create(store.dir().join(lane_journal_file(k)))?;
+        j.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
+        j.append(&JournalRecord::LaneStarted {
+            lane: k,
+            seed,
+            flavor: alloc.flavors[k].label().to_string(),
+            started_ns: lane.testbed().now().as_nanos(),
+        })?;
+        lane_journals.push(j);
+    }
+
+    let mut result = dispatch_and_merge(
+        &spec_eff,
+        opts,
+        &store,
+        &mut lanes,
+        &mut lane_journals,
+        &mut sched_journal,
+        &runs,
+        &BTreeMap::new(),
+        started,
+    )?;
+    result.flavors = alloc.labels();
+
+    for (lane, setup) in lanes.iter_mut().zip(&setups) {
+        lane.testbed_mut().calendar.release(setup.reservation);
+    }
+    for id in alloc.reservations {
+        site.release(id);
+    }
+    Ok(result)
+}
+
+/// Resumes an interrupted parallel campaign from its result tree.
+///
+/// Replays the scheduler journal (for the campaign identity and the lane
+/// plan) and every per-lane journal (for run completions; torn tails and
+/// missing lane journals are ordinary crash artifacts), verifies each
+/// journaled run on disk, rebuilds all lanes from `make_lane`, and
+/// re-executes only the runs that fail verification — each at its
+/// canonical start, recovered from the journaled timeline.
+pub fn resume_parallel(
+    result_dir: &Path,
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+) -> Result<ParallelOutcome, ControllerError> {
+    let store = ResultStore::open(result_dir);
+    let sched_path = store.dir().join(JOURNAL_FILE);
+    let replay = Journal::replay(&sched_path).map_err(ControllerError::Journal)?;
+
+    let (seed, spec_digest, total_runs, testbed) = match replay.campaign_start() {
+        Some(JournalRecord::CampaignStarted {
+            seed,
+            spec_digest,
+            total_runs,
+            testbed,
+            ..
+        }) => (*seed, spec_digest.clone(), *total_runs, testbed.clone()),
+        _ => {
+            return Err(ControllerError::Resume {
+                reason: "journal has no CampaignStarted record".into(),
+            })
+        }
+    };
+    let Some(JournalRecord::LanePlan { lanes: n, flavors }) = replay
+        .records
+        .iter()
+        .find(|r| matches!(r, JournalRecord::LanePlan { .. }))
+    else {
+        return Err(ControllerError::Resume {
+            reason: "journal has no LanePlan record (not a parallel campaign; \
+                     use the sequential resume)"
+                .into(),
+        });
+    };
+    let n = *n;
+    let lane_flavors = flavors
+        .iter()
+        .map(|f| match f.as_str() {
+            "pos" => Ok(LaneFlavor::BareMetal),
+            "vpos" => Ok(LaneFlavor::Virtual),
+            other => Err(ControllerError::Resume {
+                reason: format!("journal records unknown lane flavor `{other}`"),
+            }),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if testbed != opts.testbed_flavor {
+        return Err(ControllerError::Resume {
+            reason: format!(
+                "campaign ran on the `{testbed}` testbed, resume is using `{}`",
+                opts.testbed_flavor
+            ),
+        });
+    }
+
+    let mut lanes = build_lanes(&lane_flavors, opts, make_lane);
+    if lanes[0].testbed().seed() != seed {
+        return Err(ControllerError::Resume {
+            reason: format!(
+                "campaign ran on testbed seed {seed:#x}, this testbed uses {:#x}",
+                lanes[0].testbed().seed()
+            ),
+        });
+    }
+    let (spec_eff, runs) = lanes[0].prepare_campaign(spec, opts)?;
+    if spec_digest != spec_eff.digest() {
+        return Err(ControllerError::Resume {
+            reason: "experiment spec changed since the campaign started \
+                     (digest mismatch)"
+                .into(),
+        });
+    }
+    if total_runs != runs.len() {
+        return Err(ControllerError::Resume {
+            reason: format!(
+                "campaign planned {total_runs} runs, spec now expands to {}",
+                runs.len()
+            ),
+        });
+    }
+
+    // Merge run completions from every journal: the scheduler journal
+    // (for resumed sequential-era records, defensively) and each lane's.
+    // Last record wins per index; re-verified below either way.
+    let mut completed: BTreeMap<usize, VerifiedRun> = BTreeMap::new();
+    let mut harvest = |records: &[JournalRecord]| {
+        for rec in records {
+            if let JournalRecord::RunCompleted {
+                index,
+                success,
+                attempts,
+                recoveries,
+                recovery_time_ns,
+                started_ns,
+                finished_ns,
+                digest,
+                fault_trace,
+                ..
+            } = rec
+            {
+                let run_dir = store.dir().join(format!("run-{index:04}"));
+                let digest_ok = ResultStore::run_digest(&run_dir)
+                    .map(|d| &d == digest)
+                    .unwrap_or(false);
+                let files_ok = digest_ok
+                    && ResultStore::verify_run(&run_dir)
+                        .map(|v| v.is_clean())
+                        .unwrap_or(false);
+                if files_ok {
+                    completed.insert(
+                        *index,
+                        VerifiedRun {
+                            success: *success,
+                            attempts: *attempts,
+                            recoveries: *recoveries,
+                            recovery_time_ns: *recovery_time_ns,
+                            started_ns: *started_ns,
+                            finished_ns: *finished_ns,
+                            fault_trace: fault_trace.clone(),
+                        },
+                    );
+                } else {
+                    completed.remove(index);
+                }
+            }
+        }
+    };
+    harvest(&replay.records);
+    for k in 0..n {
+        match Journal::replay(&store.dir().join(lane_journal_file(k))) {
+            Ok(lane_replay) => harvest(&lane_replay.records),
+            // A lane journal the crash never got to create contributes
+            // nothing; its runs simply re-execute.
+            Err(pos_core::journal::JournalError::Io(e))
+                if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(ControllerError::Journal(e)),
+        }
+    }
+
+    // Pin the journaled lane plan back onto a fresh site calendar.
+    let mut site = Calendar::new();
+    let sets = site_host_sets(&spec_eff.hosts(), n);
+    let mut site_reservations = Vec::new();
+    for (k, flavor) in lane_flavors.iter().enumerate() {
+        if *flavor == LaneFlavor::BareMetal {
+            let id = site
+                .reserve(
+                    spec_eff.user.clone(),
+                    &sets[k],
+                    SimTime::ZERO,
+                    SimDuration::from_secs(spec_eff.planned_duration_secs),
+                )
+                .map_err(ControllerError::Allocation)?;
+            site_reservations.push(id);
+        }
+    }
+
+    let mut setups: Vec<CampaignSetup> = Vec::with_capacity(lanes.len());
+    for (k, lane) in lanes.iter_mut().enumerate() {
+        let lane_store = if k == 0 { Some(&store) } else { None };
+        setups.push(lane.setup_campaign(&spec_eff, opts, lane_store, runs.len())?);
+    }
+    let started = setups[0].started;
+
+    let mut sched_journal = Journal::open_append(&sched_path)?;
+    sched_journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
+    sched_journal.append(&JournalRecord::CampaignResumed {
+        resumed_ns: lanes[0].testbed().now().as_nanos(),
+        verified_runs: completed.len(),
+    })?;
+
+    let mut lane_journals = Vec::with_capacity(lanes.len());
+    for (k, lane) in lanes.iter().enumerate() {
+        let path = store.dir().join(lane_journal_file(k));
+        let mut j = if path.exists() {
+            Journal::open_append(&path)?
+        } else {
+            let mut j = Journal::create(&path)?;
+            j.append(&JournalRecord::LaneStarted {
+                lane: k,
+                seed,
+                flavor: lane_flavors[k].label().to_string(),
+                started_ns: lane.testbed().now().as_nanos(),
+            })?;
+            j
+        };
+        j.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
+        lane_journals.push(j);
+    }
+
+    let mut result = dispatch_and_merge(
+        &spec_eff,
+        opts,
+        &store,
+        &mut lanes,
+        &mut lane_journals,
+        &mut sched_journal,
+        &runs,
+        &completed,
+        started,
+    )?;
+    result.flavors = flavors.clone();
+
+    for (lane, setup) in lanes.iter_mut().zip(&setups) {
+        lane.testbed_mut().calendar.release(setup.reservation);
+    }
+    for id in site_reservations {
+        site.release(id);
+    }
+    Ok(result)
+}
+
+/// Builds the lane controllers: replica testbeds from `make_lane`, with
+/// lanes beyond 0 re-deriving their management RNG stream so replica
+/// boot timings are independent draws under the same campaign seed.
+fn build_lanes(
+    flavors: &[LaneFlavor],
+    opts: &RunOptions,
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+) -> Vec<Controller<'static>> {
+    flavors
+        .iter()
+        .enumerate()
+        .map(|(k, flavor)| {
+            let mut tb = make_lane(k, *flavor);
+            if k > 0 {
+                tb.rederive_management_rng(&lane_stream_label(k));
+            }
+            tb.set_command_timeout(opts.command_timeout);
+            Controller::owning(tb)
+        })
+        .collect()
+}
+
+/// The shared back half of [`run_parallel`] and [`resume_parallel`]: the
+/// deterministic dispatch loop over the lane set, followed by the merge
+/// into the canonical result tree.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_and_merge(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    store: &ResultStore,
+    lanes: &mut [Controller<'static>],
+    lane_journals: &mut [Journal],
+    sched_journal: &mut Journal,
+    runs: &[RunParams],
+    verified: &BTreeMap<usize, VerifiedRun>,
+    started: SimTime,
+) -> Result<ParallelOutcome, ControllerError> {
+    let total = runs.len();
+    let mut laneset = LaneSet::new(lanes.iter().map(|c| c.testbed().now()).collect());
+    let mut cursor = lanes[0].testbed().now();
+    let mut lane_runs: Vec<Vec<usize>> = vec![Vec::new(); lanes.len()];
+    let mut records: Vec<RunRecord> = Vec::with_capacity(total);
+    let mut failed_runs: Vec<usize> = Vec::new();
+    let mut quarantined_hosts: Vec<String> = Vec::new();
+    let mut total_recoveries = 0u32;
+    let mut total_recovery_time = SimDuration::ZERO;
+
+    for run in runs {
+        let lane = laneset.next_lane();
+        if let Some(done) = verified.get(&run.index) {
+            // Verified complete by an earlier session: account its
+            // canonical interval to the lane it deterministically lands
+            // on and move the canonical cursor — exactly the bookkeeping
+            // executing it would have done.
+            let fin = SimTime::from_nanos(done.finished_ns);
+            laneset.occupy(lane, fin - SimTime::from_nanos(done.started_ns));
+            cursor = fin;
+            lane_runs[lane].push(run.index);
+            total_recoveries += done.recoveries;
+            total_recovery_time += SimDuration::from_nanos(done.recovery_time_ns);
+            if !done.success {
+                failed_runs.push(run.index);
+            }
+            let run_dir = store.run_dir(run.index)?;
+            let outputs = Controller::reload_run_outputs(spec, &run_dir)?;
+            records.push(RunRecord {
+                params: run.clone(),
+                outputs,
+                attempts: done.attempts,
+                success: done.success,
+                recoveries: done.recoveries,
+                fault_trace: done.fault_trace.clone(),
+            });
+            continue;
+        }
+
+        // Pin the lane's clock to the run's canonical start: artifacts
+        // derive from (seed, start instant), so this makes every byte
+        // match the sequential timeline regardless of lane count.
+        let controller = &mut lanes[lane];
+        controller.testbed_mut().set_now(cursor);
+        let step =
+            controller.execute_one_run(spec, opts, store, &mut lane_journals[lane], run, total)?;
+        laneset.occupy(lane, step.finished - step.started);
+        cursor = step.finished;
+        lane_runs[lane].push(run.index);
+        total_recoveries += step.recoveries;
+        total_recovery_time += step.recovery_time;
+        quarantined_hosts.extend(step.quarantined);
+        if !step.record.success {
+            failed_runs.push(run.index);
+        }
+        records.push(step.record);
+    }
+
+    // ------------------------------------------------------------ merge
+    // Lane 0's Info-level trace is the canonical campaign story: lane 0
+    // is the sequential controller's exact twin through setup, and in a
+    // fault-free campaign the measurement phase logs nothing above Debug,
+    // so this render is byte-identical to the sequential controller.log.
+    let merge_t0 = std::time::Instant::now();
+    let finished = cursor;
+    store.write(
+        "controller.log",
+        lanes[0].testbed().trace.render_min_level(TraceLevel::Info),
+    )?;
+    sched_journal.append(&JournalRecord::CampaignFinished {
+        finished_ns: finished.as_nanos(),
+        succeeded: records.iter().filter(|r| r.success).count(),
+        failed: failed_runs.len(),
+    })?;
+    let merge_wall_secs = merge_t0.elapsed().as_secs_f64();
+
+    let parallel_elapsed = laneset.makespan_end() - started;
+    Ok(ParallelOutcome {
+        outcome: ExperimentOutcome {
+            result_dir: store.dir().to_path_buf(),
+            runs: records,
+            started,
+            finished,
+            recoveries: total_recoveries,
+            failed_runs,
+            quarantined_hosts,
+            total_recovery_time,
+        },
+        lanes: lanes.len(),
+        flavors: Vec::new(), // filled by the caller from the lane plan
+        lane_runs,
+        sequential_elapsed: finished - started,
+        parallel_elapsed,
+        merge_wall_secs,
+    })
+}

@@ -98,12 +98,8 @@ mod tests {
 
     #[test]
     fn caps_at_the_configured_maximum() {
-        let mut b = Backoff::new(
-            SimDuration::from_secs(1),
-            SimDuration::from_secs(4),
-            rng(2),
-        )
-        .with_jitter(0.0);
+        let mut b = Backoff::new(SimDuration::from_secs(1), SimDuration::from_secs(4), rng(2))
+            .with_jitter(0.0);
         let delays: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
         assert_eq!(delays[2], SimDuration::from_secs(4));
         assert!(delays.iter().all(|d| *d <= SimDuration::from_secs(4)));

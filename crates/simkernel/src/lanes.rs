@@ -1,0 +1,168 @@
+//! Worker-lane bookkeeping for parallel campaign schedulers.
+//!
+//! A parallel scheduler executes a campaign's runs on several *lanes*
+//! (replica testbeds), each with its own virtual clock. Determinism
+//! demands that lane assignment depend only on the schedule so far, never
+//! on host-machine concurrency: [`LaneSet`] implements deterministic
+//! list scheduling — the next run always goes to the lane that frees up
+//! earliest, ties broken by the lowest lane index. That is the
+//! work-stealing discipline of a greedy run queue, replayed identically
+//! on every execution.
+//!
+//! The per-lane `free_at` clocks model when each lane *would* finish its
+//! assigned work if the lanes truly ran side by side; their maximum is the
+//! campaign's parallel makespan, which a bench compares against the
+//! sequential virtual duration to report speedup.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Deterministic occupancy model of `n` worker lanes.
+#[derive(Debug, Clone)]
+pub struct LaneSet {
+    free_at: Vec<SimTime>,
+}
+
+impl LaneSet {
+    /// `n` lanes, each becoming free at its given instant (typically the
+    /// end of the lane's setup phase). Panics if `free_at` is empty.
+    pub fn new(free_at: Vec<SimTime>) -> LaneSet {
+        assert!(!free_at.is_empty(), "a lane set needs at least one lane");
+        LaneSet { free_at }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// True if the set has no lanes (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+
+    /// The lane the next unit of work goes to: earliest `free_at`, ties
+    /// broken by the lowest index. Deterministic by construction.
+    pub fn next_lane(&self) -> usize {
+        let mut best = 0;
+        for (i, t) in self.free_at.iter().enumerate().skip(1) {
+            if *t < self.free_at[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Books `duration` of work onto `lane` and returns the interval
+    /// `[start, end)` it occupies on that lane's modeled clock.
+    pub fn occupy(&mut self, lane: usize, duration: SimDuration) -> (SimTime, SimTime) {
+        let start = self.free_at[lane];
+        let end = start + duration;
+        self.free_at[lane] = end;
+        (start, end)
+    }
+
+    /// When `lane` becomes free.
+    pub fn free_at(&self, lane: usize) -> SimTime {
+        self.free_at[lane]
+    }
+
+    /// The instant the last lane finishes: the parallel makespan's end.
+    pub fn makespan_end(&self) -> SimTime {
+        *self
+            .free_at
+            .iter()
+            .max()
+            .expect("non-empty by construction")
+    }
+}
+
+/// Derives the management-RNG sub-stream label for worker lane `lane`.
+///
+/// Lane 0 keeps the default `"testbed"` label — a one-lane schedule must
+/// consume exactly the sequential controller's stream — and every other
+/// lane gets `"testbed/lane{k}"`, a disjoint stream under the same
+/// campaign seed.
+pub fn lane_stream_label(lane: usize) -> String {
+    if lane == 0 {
+        "testbed".to_string()
+    } else {
+        format!("testbed/lane{lane}")
+    }
+}
+
+/// Derives lane `lane`'s management sub-stream from the campaign seed.
+pub fn lane_rng(campaign_seed: u64, lane: usize) -> SimRng {
+    SimRng::new(campaign_seed).derive(&lane_stream_label(lane))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn next_lane_prefers_earliest_then_lowest_index() {
+        let mut lanes = LaneSet::new(vec![t(10), t(5), t(5)]);
+        assert_eq!(
+            lanes.next_lane(),
+            1,
+            "earliest free_at wins, lowest index breaks the tie"
+        );
+        lanes.occupy(1, d(20));
+        assert_eq!(lanes.next_lane(), 2);
+        lanes.occupy(2, d(20));
+        assert_eq!(lanes.next_lane(), 0);
+    }
+
+    #[test]
+    fn occupy_accumulates_and_makespan_is_max() {
+        let mut lanes = LaneSet::new(vec![t(0), t(0)]);
+        assert_eq!(lanes.occupy(0, d(30)), (t(0), t(30)));
+        assert_eq!(lanes.occupy(1, d(10)), (t(0), t(10)));
+        assert_eq!(lanes.occupy(1, d(10)), (t(10), t(20)));
+        assert_eq!(lanes.free_at(0), t(30));
+        assert_eq!(lanes.makespan_end(), t(30));
+    }
+
+    #[test]
+    fn greedy_schedule_is_deterministic() {
+        // Same durations, same assignment, every time.
+        let schedule = || {
+            let mut lanes = LaneSet::new(vec![t(0); 4]);
+            let mut order = Vec::new();
+            for dur in [7u64, 3, 9, 1, 4, 4, 2, 8] {
+                let lane = lanes.next_lane();
+                lanes.occupy(lane, d(dur));
+                order.push(lane);
+            }
+            (order, lanes.makespan_end())
+        };
+        assert_eq!(schedule(), schedule());
+    }
+
+    #[test]
+    fn lane_zero_stream_matches_sequential() {
+        assert_eq!(lane_stream_label(0), "testbed");
+        assert_eq!(lane_stream_label(3), "testbed/lane3");
+        let mut a = lane_rng(0x707, 0);
+        let mut b = SimRng::new(0x707).derive("testbed");
+        assert_eq!(a.next_raw(), b.next_raw());
+        let mut c = lane_rng(0x707, 1);
+        let mut d0 = lane_rng(0x707, 0);
+        assert_ne!(c.next_raw(), d0.next_raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_lane_set_rejected() {
+        LaneSet::new(Vec::new());
+    }
+}

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod lanes;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use backoff::Backoff;
+pub use lanes::{lane_rng, lane_stream_label, LaneSet};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

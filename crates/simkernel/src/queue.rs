@@ -211,7 +211,11 @@ mod tests {
         assert_eq!(q.pop_until(SimTime::from_secs(5)).unwrap().1, "in");
         assert!(q.pop_until(SimTime::from_secs(5)).is_none());
         assert_eq!(q.len(), 1, "event past deadline stays queued");
-        assert_eq!(q.now(), SimTime::from_secs(1), "clock not advanced past deadline");
+        assert_eq!(
+            q.now(),
+            SimTime::from_secs(1),
+            "clock not advanced past deadline"
+        );
     }
 
     #[test]

@@ -11,11 +11,15 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// An instant on the simulation clock, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -248,11 +252,11 @@ impl fmt::Display for SimDuration {
 fn format_ns(ns: u64) -> String {
     if ns == 0 {
         "0ns".to_owned()
-    } else if ns % 1_000_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000_000) {
         format!("{}s", ns / 1_000_000_000)
-    } else if ns % 1_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000) {
         format!("{}ms", ns / 1_000_000)
-    } else if ns % 1_000 == 0 {
+    } else if ns.is_multiple_of(1_000) {
         format!("{}us", ns / 1_000)
     } else if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
@@ -298,11 +302,17 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_and_clamps() {
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1_500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         // 67.2ns (64B at 10Gbit/s) rounds to the nearest nanosecond.
-        assert_eq!(SimDuration::from_secs_f64(67.2e-9), SimDuration::from_nanos(67));
+        assert_eq!(
+            SimDuration::from_secs_f64(67.2e-9),
+            SimDuration::from_nanos(67)
+        );
     }
 
     #[test]
@@ -326,7 +336,9 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert_eq!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)), None);
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_hours(3)).is_some());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_hours(3))
+            .is_some());
     }
 
     #[test]

@@ -198,7 +198,12 @@ mod tests {
     fn ring_eviction_keeps_newest_and_counts_drops() {
         let mut t = Trace::new(3);
         for i in 0..5 {
-            t.log(SimTime::from_nanos(i), TraceLevel::Info, "c", format!("m{i}"));
+            t.log(
+                SimTime::from_nanos(i),
+                TraceLevel::Info,
+                "c",
+                format!("m{i}"),
+            );
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);

@@ -85,7 +85,11 @@ mod tests {
     #[test]
     fn serial_is_slowest() {
         let serial = ConfigInterface::SerialConsole.command_overhead();
-        for other in [ConfigInterface::Ssh, ConfigInterface::Snmp, ConfigInterface::Http] {
+        for other in [
+            ConfigInterface::Ssh,
+            ConfigInterface::Snmp,
+            ConfigInterface::Http,
+        ] {
             assert!(serial > other.command_overhead());
         }
     }

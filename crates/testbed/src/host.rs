@@ -282,7 +282,10 @@ mod tests {
         assert!(h.vars.is_empty());
         assert!(h.netconf.is_empty());
         assert!(h.console.is_empty());
-        assert_eq!(h.sysctls["net.ipv4.ip_forward"], "0", "routing off by default");
+        assert_eq!(
+            h.sysctls["net.ipv4.ip_forward"], "0",
+            "routing off by default"
+        );
         assert!(h.is_up());
         assert_eq!(h.boots, 1);
     }

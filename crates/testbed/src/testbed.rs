@@ -631,12 +631,15 @@ impl Testbed {
             },
             "hostname" => match argv.get(1) {
                 Some(name) => {
-                    h.sysctls
-                        .insert("kernel.hostname".into(), name.clone());
+                    h.sysctls.insert("kernel.hostname".into(), name.clone());
                     CommandResult::ok("")
                 }
                 None => {
-                    let name = h.sysctls.get("kernel.hostname").cloned().unwrap_or_default();
+                    let name = h
+                        .sysctls
+                        .get("kernel.hostname")
+                        .cloned()
+                        .unwrap_or_default();
                     if name.is_empty() {
                         CommandResult::ok(h.name.clone())
                     } else {
@@ -658,7 +661,10 @@ impl Testbed {
                 match args.as_slice() {
                     [kv] if kv.contains('=') => {
                         let (k, v) = kv.split_once('=').expect("checked");
-                        if h.sysctls.contains_key(k) || k.starts_with("net.") || k.starts_with("kernel.") {
+                        if h.sysctls.contains_key(k)
+                            || k.starts_with("net.")
+                            || k.starts_with("kernel.")
+                        {
                             h.sysctls.insert(k.trim().into(), v.trim().into());
                             CommandResult::ok(format!("{} = {}", k.trim(), v.trim()))
                         } else {
@@ -681,7 +687,8 @@ impl Testbed {
                         CommandResult::ok("")
                     }
                     ["link", "set", ifname, updown @ ("up" | "down")] => {
-                        h.netconf.insert(format!("link:{ifname}"), updown.to_string());
+                        h.netconf
+                            .insert(format!("link:{ifname}"), updown.to_string());
                         CommandResult::ok("")
                     }
                     ["addr", "show"] => {
@@ -742,6 +749,20 @@ impl Testbed {
     /// Fresh per-purpose RNG stream tied to the testbed seed.
     pub fn derive_rng(&self, label: &str) -> SimRng {
         SimRng::new(self.root_seed).derive(label)
+    }
+
+    /// Re-derives the *shared* management RNG stream from the root seed
+    /// under a new `label`, discarding the current stream position.
+    ///
+    /// `Testbed::new` labels the stream `"testbed"`. A parallel campaign
+    /// scheduler gives every worker-lane replica its own sub-stream (e.g.
+    /// `"testbed/lane1"`) so that out-of-band power jitter on one lane
+    /// cannot perturb another lane's draws. Lane 0 keeps the default label,
+    /// which makes a one-lane schedule consume exactly the sequential
+    /// controller's stream. Call this only before any draw has been
+    /// consumed; re-labelling mid-campaign voids repeatability.
+    pub fn rederive_management_rng(&mut self, label: &str) {
+        self.rng = SimRng::new(self.root_seed).derive(label);
     }
 
     /// Position of the *shared* management RNG stream (the one consumed by
@@ -810,7 +831,10 @@ mod tests {
         let t0 = tb.now();
         boot(&mut tb, "vtartu", img);
         let boot_time = (tb.now() - t0).as_secs_f64();
-        assert!((70.0..90.0).contains(&boot_time), "IPMI boot ≈70-85 s, got {boot_time}");
+        assert!(
+            (70.0..90.0).contains(&boot_time),
+            "IPMI boot ≈70-85 s, got {boot_time}"
+        );
         assert!(tb.host("vtartu").unwrap().is_up());
         assert_eq!(tb.host("vtartu").unwrap().running_image(), Some(img));
     }
@@ -841,7 +865,10 @@ mod tests {
     fn builtins_work() {
         let (mut tb, img) = testbed_with_host();
         boot(&mut tb, "vtartu", img);
-        assert_eq!(tb.exec("vtartu", "echo hello world").unwrap().stdout, "hello world");
+        assert_eq!(
+            tb.exec("vtartu", "echo hello world").unwrap().stdout,
+            "hello world"
+        );
         assert!(tb.exec("vtartu", "true").unwrap().success());
         assert!(!tb.exec("vtartu", "false").unwrap().success());
         assert_eq!(tb.exec("vtartu", "hostname").unwrap().stdout, "vtartu");
@@ -870,14 +897,21 @@ mod tests {
         boot(&mut tb, "vtartu", img);
         // Image default: forwarding off.
         assert_eq!(
-            tb.exec("vtartu", "sysctl net.ipv4.ip_forward").unwrap().stdout,
+            tb.exec("vtartu", "sysctl net.ipv4.ip_forward")
+                .unwrap()
+                .stdout,
             "net.ipv4.ip_forward = 0"
         );
-        tb.exec("vtartu", "sysctl -w net.ipv4.ip_forward=1").unwrap();
-        assert_eq!(tb.host("vtartu").unwrap().sysctls["net.ipv4.ip_forward"], "1");
+        tb.exec("vtartu", "sysctl -w net.ipv4.ip_forward=1")
+            .unwrap();
+        assert_eq!(
+            tb.host("vtartu").unwrap().sysctls["net.ipv4.ip_forward"],
+            "1"
+        );
         assert!(!tb.exec("vtartu", "sysctl no.such.key").unwrap().success());
 
-        tb.exec("vtartu", "ip addr add 10.0.0.1/24 dev eno1").unwrap();
+        tb.exec("vtartu", "ip addr add 10.0.0.1/24 dev eno1")
+            .unwrap();
         tb.exec("vtartu", "ip link set eno1 up").unwrap();
         let show = tb.exec("vtartu", "ip addr show").unwrap().stdout;
         assert!(show.contains("addr:eno1 10.0.0.1/24"));
@@ -888,8 +922,10 @@ mod tests {
     fn reboot_wipes_configuration() {
         let (mut tb, img) = testbed_with_host();
         boot(&mut tb, "vtartu", img);
-        tb.exec("vtartu", "sysctl -w net.ipv4.ip_forward=1").unwrap();
-        tb.upload("vtartu", "/root/setup.sh", b"echo setup").unwrap();
+        tb.exec("vtartu", "sysctl -w net.ipv4.ip_forward=1")
+            .unwrap();
+        tb.upload("vtartu", "/root/setup.sh", b"echo setup")
+            .unwrap();
         // Reboot via reset; retry transients.
         loop {
             match tb.reset("vtartu") {
@@ -900,7 +936,10 @@ mod tests {
         }
         tb.wait_booted("vtartu").unwrap();
         let h = tb.host("vtartu").unwrap();
-        assert_eq!(h.sysctls["net.ipv4.ip_forward"], "0", "clean slate restored");
+        assert_eq!(
+            h.sysctls["net.ipv4.ip_forward"], "0",
+            "clean slate restored"
+        );
         assert!(h.fs.is_empty(), "uploaded files wiped");
         assert_eq!(h.boots, 2);
     }
@@ -929,7 +968,11 @@ mod tests {
     #[test]
     fn power_plug_cannot_reset_but_can_cycle() {
         let mut tb = Testbed::new(7);
-        tb.add_host("plugged", HardwareSpec::paper_dut(), InitInterface::PowerPlug);
+        tb.add_host(
+            "plugged",
+            HardwareSpec::paper_dut(),
+            InitInterface::PowerPlug,
+        );
         let img = tb.images.latest("debian-buster").unwrap().id;
         tb.select_image("plugged", img).unwrap();
         let err = loop {
@@ -938,7 +981,13 @@ mod tests {
                 other => break other.unwrap_err(),
             }
         };
-        assert!(matches!(err, PowerError::Unsupported { operation: "reset", .. }));
+        assert!(matches!(
+            err,
+            PowerError::Unsupported {
+                operation: "reset",
+                ..
+            }
+        ));
         // Cycle instead: off (with dwell) then on.
         let t0 = tb.now();
         while tb.power_off("plugged").is_err() {}
@@ -975,7 +1024,8 @@ mod tests {
     fn upload_download_roundtrip() {
         let (mut tb, img) = testbed_with_host();
         boot(&mut tb, "vtartu", img);
-        tb.upload("vtartu", "/root/measure.sh", b"moongen --rate $pkt_rate").unwrap();
+        tb.upload("vtartu", "/root/measure.sh", b"moongen --rate $pkt_rate")
+            .unwrap();
         let back = tb.download("vtartu", "/root/measure.sh").unwrap();
         assert_eq!(back, b"moongen --rate $pkt_rate");
         assert!(tb.download("vtartu", "/root/missing").is_err());
@@ -990,7 +1040,10 @@ mod tests {
         let mut vars = BTreeMap::new();
         vars.insert("pkt_sz".to_string(), "64".to_string());
         tb.deploy_tools("vtartu", &vars).unwrap();
-        assert_eq!(tb.exec("vtartu", "pos_get_var pkt_sz").unwrap().stdout, "64");
+        assert_eq!(
+            tb.exec("vtartu", "pos_get_var pkt_sz").unwrap().stdout,
+            "64"
+        );
         assert!(!tb.exec("vtartu", "pos_get_var missing").unwrap().success());
         tb.exec("vtartu", "pos_set_var done 1").unwrap();
         assert_eq!(tb.exec("vtartu", "pos_get_var done").unwrap().stdout, "1");
@@ -1041,7 +1094,9 @@ mod tests {
         // integrated through its own API).
         tb.register_command(
             "switch-configure",
-            Rc::new(|_tb, _host, argv| CommandResult::ok(format!("configured {}", argv[1..].join(" ")))),
+            Rc::new(|_tb, _host, argv| {
+                CommandResult::ok(format!("configured {}", argv[1..].join(" ")))
+            }),
         );
         let r = tb.exec("tofino", "switch-configure port 1 up").unwrap();
         assert!(r.success());
@@ -1201,7 +1256,11 @@ mod tests {
         assert_eq!(tb.link_degradation("g", t(12)), Some((0.1, 0.0)));
         assert_eq!(tb.link_degradation("g", t(17)), Some((0.3, 0.05)));
         assert_eq!(tb.link_degradation("g", t(22)), Some((0.3, 0.05)));
-        assert_eq!(tb.link_degradation("g", t(25)), None, "window end exclusive");
+        assert_eq!(
+            tb.link_degradation("g", t(25)),
+            None,
+            "window end exclusive"
+        );
         assert_eq!(tb.link_degradation("other", t(12)), None);
     }
 }

@@ -116,9 +116,7 @@ impl Topology {
 
     /// True if the two named hosts share at least one cable.
     pub fn are_connected(&self, a: &str, b: &str) -> bool {
-        self.wiring
-            .iter()
-            .any(|(x, y)| x.host == a && y.host == b)
+        self.wiring.iter().any(|(x, y)| x.host == a && y.host == b)
     }
 
     /// All cables, each reported once (lexicographically smaller end first).
@@ -153,8 +151,10 @@ mod tests {
     #[test]
     fn wire_and_query() {
         let mut t = Topology::new();
-        t.wire(PortId::new("loadgen", 0), PortId::new("dut", 0)).unwrap();
-        t.wire(PortId::new("dut", 1), PortId::new("loadgen", 1)).unwrap();
+        t.wire(PortId::new("loadgen", 0), PortId::new("dut", 0))
+            .unwrap();
+        t.wire(PortId::new("dut", 1), PortId::new("loadgen", 1))
+            .unwrap();
         assert_eq!(t.cable_count(), 2);
         assert_eq!(
             t.peer(&PortId::new("dut", 0)),
@@ -169,7 +169,9 @@ mod tests {
     fn port_reuse_rejected() {
         let mut t = Topology::new();
         t.wire(PortId::new("a", 0), PortId::new("b", 0)).unwrap();
-        let err = t.wire(PortId::new("a", 0), PortId::new("c", 0)).unwrap_err();
+        let err = t
+            .wire(PortId::new("a", 0), PortId::new("c", 0))
+            .unwrap_err();
         assert_eq!(
             err,
             TopologyError::PortInUse {
@@ -181,7 +183,9 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let mut t = Topology::new();
-        let err = t.wire(PortId::new("a", 0), PortId::new("a", 0)).unwrap_err();
+        let err = t
+            .wire(PortId::new("a", 0), PortId::new("a", 0))
+            .unwrap_err();
         assert!(matches!(err, TopologyError::SelfLoop { .. }));
     }
 
@@ -211,7 +215,8 @@ mod tests {
     #[test]
     fn render_lists_each_cable_once() {
         let mut t = Topology::new();
-        t.wire(PortId::new("loadgen", 0), PortId::new("dut", 0)).unwrap();
+        t.wire(PortId::new("loadgen", 0), PortId::new("dut", 0))
+            .unwrap();
         let s = t.render();
         assert_eq!(s.lines().count(), 1);
         assert!(s.contains("dut:0 <-> loadgen:0"));

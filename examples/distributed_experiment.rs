@@ -29,7 +29,11 @@ fn main() {
     // ---------------------------------------------------------- testbed
     let mut tb = Testbed::new(0x15);
     for i in 0..NODES {
-        tb.add_host(format!("node{i:02}"), HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.add_host(
+            format!("node{i:02}"),
+            HardwareSpec::paper_dut(),
+            InitInterface::Ipmi,
+        );
     }
     register_all(&mut tb);
 
@@ -55,8 +59,11 @@ fn main() {
             let skew_us = (tb.derive_rng(host).uniform_u64(5_000)) as f64;
             let ms = 50.0 + 2.0 * (parties * parties) as f64;
             let duration = SimDuration::from_secs_f64(ms / 1e3 + skew_us / 1e6);
-            CommandResult::ok(format!("round complete in {:.3} ms", duration.as_secs_f64() * 1e3))
-                .with_duration(duration)
+            CommandResult::ok(format!(
+                "round complete in {:.3} ms",
+                duration.as_secs_f64() * 1e3
+            ))
+            .with_duration(duration)
         }),
     );
 
@@ -97,7 +104,10 @@ fn main() {
         let parties = run.param("parties").unwrap();
         let ms = (run.metadata.finished_ns - run.metadata.started_ns) as f64 / 1e6;
         let n: f64 = parties.parse().unwrap();
-        println!("  {parties:>7}   {ms:>15.1}   (expected ≈{:.0})", 50.0 + 2.0 * n * n);
+        println!(
+            "  {parties:>7}   {ms:>15.1}   (expected ≈{:.0})",
+            50.0 + 2.0 * n * n
+        );
     }
 
     // Quadratic scaling sanity check: 15 parties vs 3 parties.

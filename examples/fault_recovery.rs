@@ -64,18 +64,29 @@ fn host_recovery_demo() {
     );
 
     let mut spec = linux_router_experiment("vriga", "vtartu", 3, 1);
-    spec.loop_vars = pos::core::vars::Variables::new().with("pkt_rate", vec![10_000i64, 20_000, 30_000]);
+    spec.loop_vars =
+        pos::core::vars::Variables::new().with("pkt_rate", vec![10_000i64, 20_000, 30_000]);
     // pkt_sz is no longer swept; the measurement script still uses it.
     spec.global_vars.set("pkt_sz", 64i64);
     // The DuT measurement script now pokes the flaky driver each run.
-    spec.roles[1].measurement =
-        Script::parse("probe-driver\nsleep $run_secs\npos_sync run_done\n");
+    spec.roles[1].measurement = Script::parse("probe-driver\nsleep $run_secs\npos_sync run_done\n");
 
     let root = std::env::temp_dir().join("pos-recovery-results");
     let outcome = Controller::new(&mut tb)
         .with_progress(|p| {
-            if let Progress::RunDone { index, total, success, .. } = p {
-                println!("  run {}/{} -> {}", index + 1, total, if *success { "ok" } else { "FAILED" });
+            if let Progress::RunDone {
+                index,
+                total,
+                success,
+                ..
+            } = p
+            {
+                println!(
+                    "  run {}/{} -> {}",
+                    index + 1,
+                    total,
+                    if *success { "ok" } else { "FAILED" }
+                );
             }
         })
         .run_experiment(&spec, &RunOptions::new(&root))

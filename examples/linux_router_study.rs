@@ -93,7 +93,10 @@ fn main() {
         release_dir.display()
     );
     println!("  archive: {} ({} bytes)", tar_path.display(), tar.len());
-    println!("  open {}/index.html for the artifact website", release_dir.display());
+    println!(
+        "  open {}/index.html for the artifact website",
+        release_dir.display()
+    );
 }
 
 /// Thin wrapper so the example does not depend on the bench crate.

@@ -41,7 +41,9 @@ fn main() {
          pos_sync setup_done\n",
     );
     dut.measurement = Script::parse("sleep 1\npos_sync run_done\n");
-    dut.local_vars = Variables::new().with("PORT0", "enp24s0f0").with("PORT1", "enp24s0f1");
+    dut.local_vars = Variables::new()
+        .with("PORT0", "enp24s0f0")
+        .with("PORT1", "enp24s0f1");
 
     let mut loadgen = RoleSpec::new("loadgen", "loadgen");
     loadgen.setup = Script::parse("pos_sync setup_done\n");

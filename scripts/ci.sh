@@ -8,6 +8,17 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# First-party crates only: vendor/* are offline registry stand-ins and are
+# exempt from the style gates.
+FIRST_PARTY="-p pos -p pos-core -p pos-testbed -p pos-simkernel -p pos-netsim \
+ -p pos-packet -p pos-loadgen -p pos-eval -p pos-publish -p pos-bench -p pos-sched"
+
+echo "==> rustfmt (check, first-party crates)"
+cargo fmt --check $FIRST_PARTY
+
+echo "==> clippy (deny warnings, first-party crates)"
+cargo clippy $FIRST_PARTY --all-targets -- -D warnings
+
 echo "==> build (release, workspace)"
 cargo build --release --workspace
 
@@ -34,6 +45,15 @@ if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
     # identical seeds.
     test -s BENCH_robustness.json
     rm -f BENCH_robustness.json
+
+    echo "==> bench smoke: parallel (lane-count speedup + merge overhead)"
+    # Shrunk rate keeps the packet simulation cheap; the virtual-time
+    # speedup (>=2x at 4 lanes) is rate-independent, so the smoke still
+    # exercises the real acceptance numbers.
+    POS_PAR_RATE=2000 \
+        cargo run --release -p pos-bench --bin parallel >/dev/null
+    test -s BENCH_parallel.json
+    rm -f BENCH_parallel.json
 fi
 
 echo "==> ci: OK"

@@ -32,6 +32,9 @@ use pos::eval::loader::ResultSet;
 use pos::eval::plot::PlotSpec;
 use pos::publish::bundle::{verify_dir, verify_runs, Bundle};
 use pos::publish::website::{attach_site, SiteInfo};
+use pos::sched::{
+    resume_parallel, run_parallel, LaneFlavor, ParallelOptions, ParallelOutcome, SubmissionQueue,
+};
 use pos::testbed::{clone_virtual, CloneOptions, HardwareSpec, InitInterface, PortId, Testbed};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         Some("init") => cmd_init(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("queue") => cmd_queue(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("publish") => cmd_publish(&args[1..]),
@@ -70,7 +74,11 @@ fn usage() -> &'static str {
      usage:\n\
      \x20 pos init <dir>                     scaffold the case-study experiment\n\
      \x20 pos run <dir> [--results <root>] [--testbed pos|vpos] [--seed <n>]\n\
+     \x20         [--lanes <n>] [--site-replicas <n>]   parallel worker lanes\n\
      \x20 pos resume <result-dir> [--testbed pos|vpos]\n\
+     \x20 pos queue submit <exp-dir> [--user <u>] [--priority <n>] [--queue <dir>]\n\
+     \x20 pos queue status [--queue <dir>]\n\
+     \x20 pos queue drain [--queue <dir>] [--results <root>] [--seed <n>] [--lanes <n>]\n\
      \x20 pos fsck <result-dir>              verify journal + per-run checksums\n\
      \x20 pos eval <result-dir> [--out <dir>]\n\
      \x20 pos publish <result-dir> [--out <dir>] [--tar <file>] [--title <text>]\n\
@@ -78,7 +86,9 @@ fn usage() -> &'static str {
 }
 
 /// Splits `args` into positionals and `--flag value` options.
-fn parse_opts(args: &[String]) -> Result<(Vec<&str>, std::collections::BTreeMap<&str, &str>), String> {
+fn parse_opts(
+    args: &[String],
+) -> Result<(Vec<&str>, std::collections::BTreeMap<&str, &str>), String> {
     let mut positional = Vec::new();
     let mut opts = std::collections::BTreeMap::new();
     let mut i = 0;
@@ -114,7 +124,10 @@ fn cmd_init(args: &[String]) -> Result<(), String> {
         pos::core::loopvars::cross_product_size(&spec.loop_vars).unwrap_or(0),
         dir.display()
     );
-    println!("edit the scripts/variables, then: pos run {}", dir.display());
+    println!(
+        "edit the scripts/variables, then: pos run {}",
+        dir.display()
+    );
     Ok(())
 }
 
@@ -191,6 +204,52 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("--testbed must be pos or vpos, got {other}")),
     };
 
+    let lanes: usize = opts
+        .get("lanes")
+        .map(|s| s.parse().map_err(|_| format!("bad --lanes {s}")))
+        .transpose()?
+        .unwrap_or(1);
+    if lanes == 0 {
+        return Err("--lanes must be at least 1".into());
+    }
+    let site_replicas: usize = opts
+        .get("site-replicas")
+        .map(|s| s.parse().map_err(|_| format!("bad --site-replicas {s}")))
+        .transpose()?
+        .unwrap_or(lanes);
+
+    let mut run_opts = RunOptions::new(&results);
+    run_opts.testbed_flavor = if virtualized { "vpos" } else { "pos" }.into();
+
+    if lanes > 1 {
+        if virtualized {
+            return Err(
+                "--lanes needs the pos testbed; lanes beyond --site-replicas run on \
+                 vpos clones automatically"
+                    .into(),
+            );
+        }
+        // Validate construction once up front; replica lanes rebuild the
+        // same testbed and cannot fail differently.
+        build_testbed(&spec, seed, false, false)?;
+        println!(
+            "running `{}` on {lanes} lanes ({site_replicas} bare-metal replica sets, seed {seed}, {} runs)...",
+            spec.name,
+            pos::core::loopvars::cross_product_size(&spec.loop_vars).unwrap_or(0)
+        );
+        let popts = ParallelOptions {
+            lanes,
+            site_replicas,
+        };
+        let out = run_parallel(&spec, &run_opts, &popts, &mut |_, flavor| {
+            build_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
+                .expect("replica testbed construction cannot fail after validation")
+        })
+        .map_err(|e| e.to_string())?;
+        print_parallel_outcome(&out);
+        return Ok(());
+    }
+
     let mut tb = build_testbed(&spec, seed, virtualized, false)?;
     println!(
         "running `{}` on the {} testbed (seed {seed}, {} runs)...",
@@ -198,8 +257,6 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         if virtualized { "vpos" } else { "pos" },
         pos::core::loopvars::cross_product_size(&spec.loop_vars).unwrap_or(0)
     );
-    let mut run_opts = RunOptions::new(&results);
-    run_opts.testbed_flavor = if virtualized { "vpos" } else { "pos" }.into();
     let outcome = Controller::new(&mut tb)
         .with_progress(print_progress)
         .run_experiment(&spec, &run_opts)
@@ -208,12 +265,44 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The parallel variant of [`print_outcome`]: per-run lines come from the
+/// merged records (the lanes have no live progress callback), followed by
+/// the lane and speedup summary.
+fn print_parallel_outcome(out: &ParallelOutcome) {
+    for r in &out.outcome.runs {
+        println!(
+            "  run {}/{} {}",
+            r.params.index + 1,
+            out.outcome.runs.len(),
+            if r.success { "ok" } else { "FAILED" }
+        );
+    }
+    println!(
+        "lanes: {} [{}], runs per lane {:?}",
+        out.lanes,
+        out.flavors.join(","),
+        out.lane_runs.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    println!(
+        "virtual time: {} sequential -> {} parallel ({:.2}x speedup)",
+        out.sequential_elapsed,
+        out.parallel_elapsed,
+        out.speedup()
+    );
+    print_outcome(&out.outcome);
+}
+
 /// One line per lifecycle event — the paper's progress bar.
 fn print_progress(p: &Progress) {
     match p {
         Progress::HostReady { host } => println!("  {host} booted"),
         Progress::SetupDone => println!("  setup phase complete"),
-        Progress::RunDone { index, total, success, .. } => {
+        Progress::RunDone {
+            index,
+            total,
+            success,
+            ..
+        } => {
             println!(
                 "  run {}/{} {}",
                 index + 1,
@@ -224,11 +313,22 @@ fn print_progress(p: &Progress) {
         Progress::RunSkipped { index, total } => {
             println!("  run {}/{} ok (verified, skipped)", index + 1, total);
         }
-        Progress::PowerRetry { host, attempt, delay } => {
+        Progress::PowerRetry {
+            host,
+            attempt,
+            delay,
+        } => {
             println!("  {host}: power command retry {attempt} (waited {delay})");
         }
-        Progress::RunRetry { index, attempt, delay } => {
-            println!("  run {}: attempt {attempt} failed, retrying after {delay}", index + 1);
+        Progress::RunRetry {
+            index,
+            attempt,
+            delay,
+        } => {
+            println!(
+                "  run {}: attempt {attempt} failed, retrying after {delay}",
+                index + 1
+            );
         }
         Progress::HostRecovering { host } => println!("  {host}: unresponsive, recovering"),
         Progress::HostRecovered { host } => println!("  {host}: recovered"),
@@ -258,8 +358,12 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     // The campaign's identity lives in its journal: the testbed seed and
     // flavor to rebuild with, and the spec digest resume re-checks for us.
     let replay = Journal::replay(&result_dir.join(JOURNAL_FILE)).map_err(|e| e.to_string())?;
-    let Some(JournalRecord::CampaignStarted { seed, total_runs, testbed, .. }) =
-        replay.campaign_start()
+    let Some(JournalRecord::CampaignStarted {
+        seed,
+        total_runs,
+        testbed,
+        ..
+    }) = replay.campaign_start()
     else {
         return Err(format!("{dir}: journal has no CampaignStarted record"));
     };
@@ -280,7 +384,9 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         // resuming a damaged one is how bit rot gets repaired.
         let report = pos::core::fsck::fsck(result_dir).map_err(|e| e.to_string())?;
         if report.is_clean() {
-            return Err(format!("{dir}: campaign already finished, nothing to resume"));
+            return Err(format!(
+                "{dir}: campaign already finished, nothing to resume"
+            ));
         }
         println!(
             "campaign finished but {} run(s) fail verification; repairing",
@@ -290,6 +396,30 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let spec = ExperimentSpec::from_dir(&result_dir.join("experiment"))
         .map_err(|e| format!("cannot load stored experiment from {dir}/experiment: {e}"))?;
     spec.validate().map_err(|e| e.to_string())?;
+
+    // A LanePlan record marks a parallel campaign: route to the scheduler
+    // resume, which replays every lane journal.
+    if let Some(JournalRecord::LanePlan { lanes, .. }) = replay
+        .records
+        .iter()
+        .find(|r| matches!(r, JournalRecord::LanePlan { .. }))
+    {
+        let seed = *seed;
+        build_testbed(&spec, seed, false, false)?;
+        println!(
+            "resuming `{}` on {lanes} lanes (seed {seed}, {total_runs} runs planned)...",
+            spec.name,
+        );
+        let mut run_opts = RunOptions::new(result_dir);
+        run_opts.testbed_flavor = testbed.clone();
+        let out = resume_parallel(result_dir, &spec, &run_opts, &mut |_, flavor| {
+            build_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
+                .expect("replica testbed construction cannot fail after validation")
+        })
+        .map_err(|e| e.to_string())?;
+        print_parallel_outcome(&out);
+        return Ok(());
+    }
 
     let mut tb = build_testbed(&spec, *seed, virtualized, true)?;
     println!(
@@ -307,6 +437,120 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     print_outcome(&outcome);
     Ok(())
+}
+
+/// Multi-campaign admission: `pos queue submit|status|drain`.
+///
+/// The queue state lives in `<queue-dir>/queue.json` (default `queue/`),
+/// so submissions survive between invocations; `drain` closes the queue
+/// and runs every admitted campaign to completion, preemption-free, in
+/// fair-share order.
+fn cmd_queue(args: &[String]) -> Result<(), String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let queue_dir = PathBuf::from(opts.get("queue").copied().unwrap_or("queue"));
+    let queue_file = queue_dir.join("queue.json");
+
+    let load = || -> Result<SubmissionQueue, String> {
+        if queue_file.exists() {
+            let json = std::fs::read_to_string(&queue_file).map_err(|e| e.to_string())?;
+            serde_json::from_str(&json)
+                .map_err(|e| format!("{} is not a valid queue: {e}", queue_file.display()))
+        } else {
+            let capacity = opts
+                .get("capacity")
+                .map(|s| s.parse().map_err(|_| format!("bad --capacity {s}")))
+                .transpose()?
+                .unwrap_or(8);
+            Ok(SubmissionQueue::new(capacity))
+        }
+    };
+    let save = |q: &SubmissionQueue| -> Result<(), String> {
+        std::fs::create_dir_all(&queue_dir).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(q).map_err(|e| e.to_string())?;
+        std::fs::write(&queue_file, json).map_err(|e| e.to_string())
+    };
+
+    match pos_args.as_slice() {
+        ["submit", exp_dir] => {
+            // Reject garbage up front: a queue full of unloadable specs
+            // would wedge the drain, not the submitter.
+            let spec = ExperimentSpec::from_dir(Path::new(exp_dir))
+                .map_err(|e| format!("cannot load experiment from {exp_dir}: {e}"))?;
+            spec.validate().map_err(|e| e.to_string())?;
+            let user = opts.get("user").copied().unwrap_or(spec.user.as_str());
+            let priority: u32 = opts
+                .get("priority")
+                .map(|s| s.parse().map_err(|_| format!("bad --priority {s}")))
+                .transpose()?
+                .unwrap_or(1);
+            let mut q = load()?;
+            let id = q
+                .submit(user, *exp_dir, priority)
+                .map_err(|e| e.to_string())?;
+            save(&q)?;
+            println!(
+                "submission {id} queued for {user} (depth {}/{})",
+                q.status().depth,
+                q.status().capacity
+            );
+            Ok(())
+        }
+        ["status"] => {
+            let q = load()?;
+            let st = q.status();
+            println!(
+                "queue: {}/{} queued, {} admitted so far, {}",
+                st.depth,
+                st.capacity,
+                st.admitted,
+                if st.open { "open" } else { "draining" }
+            );
+            for s in &st.pending {
+                println!(
+                    "  #{} {} {} (priority {})",
+                    s.id, s.user, s.experiment, s.priority
+                );
+            }
+            Ok(())
+        }
+        ["drain"] => {
+            let mut q = load()?;
+            let admitted = q.drain();
+            save(&q)?;
+            if admitted.is_empty() {
+                println!("queue empty, nothing to drain");
+                return Ok(());
+            }
+            println!(
+                "draining {} campaign(s) in fair-share order",
+                admitted.len()
+            );
+            let results = opts
+                .get("results")
+                .copied()
+                .unwrap_or("results")
+                .to_string();
+            let seed = opts.get("seed").copied().unwrap_or("1799").to_string();
+            let lanes = opts.get("lanes").copied();
+            for sub in admitted {
+                println!("== #{} {} {} ==", sub.id, sub.user, sub.experiment);
+                let mut run_args = vec![
+                    sub.experiment.clone(),
+                    "--results".into(),
+                    results.clone(),
+                    "--seed".into(),
+                    seed.clone(),
+                ];
+                if let Some(lanes) = lanes {
+                    run_args.push("--lanes".into());
+                    run_args.push(lanes.to_string());
+                }
+                cmd_run(&run_args)?;
+            }
+            Ok(())
+        }
+        _ => Err("usage: pos queue submit <exp-dir> | status | drain [options]".into()),
+    }
 }
 
 fn cmd_fsck(args: &[String]) -> Result<(), String> {
@@ -336,7 +580,11 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     if set.is_empty() {
         return Err(format!("no runs under {dir}"));
     }
-    println!("{} runs loaded ({} successful)", set.len(), set.successful().len());
+    println!(
+        "{} runs loaded ({} successful)",
+        set.len(),
+        set.successful().len()
+    );
     print!("{}", set.render_summary());
 
     let out = opts
@@ -348,7 +596,11 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     // The out-of-the-box throughput figure: forwarded rate over the rate
     // loop variable, one series per packet size (falls back to a single
     // series when the sweep has no pkt_sz).
-    let mut plot = PlotSpec::line("Forwarding throughput", "offered [Mpps]", "forwarded [Mpps]");
+    let mut plot = PlotSpec::line(
+        "Forwarding throughput",
+        "offered [Mpps]",
+        "forwarded [Mpps]",
+    );
     let groups = set.group_by("pkt_sz");
     for (size, group) in &groups {
         let series: Vec<(f64, f64)> = group
@@ -400,9 +652,7 @@ fn cmd_publish(args: &[String]) -> Result<(), String> {
     }
 
     let mut bundle = Bundle::new(title);
-    let n = bundle
-        .add_tree(result_dir, "")
-        .map_err(|e| e.to_string())?;
+    let n = bundle.add_tree(result_dir, "").map_err(|e| e.to_string())?;
     attach_site(
         &mut bundle,
         &SiteInfo {

@@ -15,6 +15,7 @@
 //! | [`loadgen`] | `pos-loadgen` | MoonGen-like packet generator |
 //! | [`testbed`] | `pos-testbed` | hosts, images, calendar, power control |
 //! | [`core`] | `pos-core` | the pos controller and methodology |
+//! | [`sched`] | `pos-sched` | parallel campaign scheduler and admission queue |
 //! | [`eval`] | `pos-eval` | parsers, statistics, plots |
 //! | [`publish`] | `pos-publish` | artifact bundling and website |
 //!
@@ -28,5 +29,6 @@ pub use pos_loadgen as loadgen;
 pub use pos_netsim as netsim;
 pub use pos_packet as packet;
 pub use pos_publish as publish;
+pub use pos_sched as sched;
 pub use pos_simkernel as simkernel;
 pub use pos_testbed as testbed;

@@ -37,7 +37,13 @@ fn runs_are_evaluatable_the_moment_they_finish() {
     let spec = linux_router_experiment("vriga", "vtartu", 2, 1);
     let outcome = Controller::new(&mut tb)
         .with_progress(move |p| {
-            if let Progress::RunDone { index, dir, success, .. } = p {
+            if let Progress::RunDone {
+                index,
+                dir,
+                success,
+                ..
+            } = p
+            {
                 assert!(success);
                 // The run directory is complete: metadata + output.
                 let meta = ResultStore::read_run_metadata(dir).expect("metadata readable");

@@ -41,7 +41,11 @@ fn full_cli_workflow() {
 
     // Edit the sweep down (the researcher's prerogative) so the test is
     // quick: one size, two rates, 1 s runs.
-    std::fs::write(dir.join("exp/loop-variables.yml"), "pkt_sz: [64]\npkt_rate: [20000, 40000]\n").unwrap();
+    std::fs::write(
+        dir.join("exp/loop-variables.yml"),
+        "pkt_sz: [64]\npkt_rate: [20000, 40000]\n",
+    )
+    .unwrap();
     std::fs::write(
         dir.join("exp/global-variables.yml"),
         "dut_ip0: 10.0.0.1\ndut_ip1: 10.0.1.1\nrun_secs: 1\n",
@@ -65,12 +69,24 @@ fn full_cli_workflow() {
     assert!(ok, "eval failed: {stderr}");
     assert!(stdout.contains("2 runs loaded (2 successful)"));
     assert!(stdout.contains("pkt_sz=64"));
-    assert!(dir.join(&result_dir).join("figures/throughput.svg").exists());
+    assert!(dir
+        .join(&result_dir)
+        .join("figures/throughput.svg")
+        .exists());
 
     // publish
     let (ok, stdout, stderr) = run(
         &dir,
-        &["publish", &result_dir, "--out", "rel", "--tar", "rel.tar", "--title", "CLI test"],
+        &[
+            "publish",
+            &result_dir,
+            "--out",
+            "rel",
+            "--tar",
+            "rel.tar",
+            "--title",
+            "CLI test",
+        ],
     );
     assert!(ok, "publish failed: {stderr}");
     assert!(stdout.contains("published"));
@@ -85,7 +101,11 @@ fn full_cli_workflow() {
 fn cli_vpos_flag_switches_testbed() {
     let dir = workdir("vpos");
     run(&dir, &["init", "exp"]);
-    std::fs::write(dir.join("exp/loop-variables.yml"), "pkt_sz: [64]\npkt_rate: [100000]\n").unwrap();
+    std::fs::write(
+        dir.join("exp/loop-variables.yml"),
+        "pkt_sz: [64]\npkt_rate: [100000]\n",
+    )
+    .unwrap();
     std::fs::write(
         dir.join("exp/global-variables.yml"),
         "dut_ip0: 10.0.0.1\ndut_ip1: 10.0.1.1\nrun_secs: 1\n",
@@ -166,7 +186,11 @@ fn cli_help_shown_without_args() {
 fn cli_fsck_and_resume_repair_a_damaged_tree() {
     let dir = workdir("fsck");
     run(&dir, &["init", "exp"]);
-    std::fs::write(dir.join("exp/loop-variables.yml"), "pkt_sz: [64]\npkt_rate: [20000]\n").unwrap();
+    std::fs::write(
+        dir.join("exp/loop-variables.yml"),
+        "pkt_sz: [64]\npkt_rate: [20000]\n",
+    )
+    .unwrap();
     std::fs::write(
         dir.join("exp/global-variables.yml"),
         "dut_ip0: 10.0.0.1\ndut_ip1: 10.0.1.1\nrun_secs: 1\n",
@@ -192,7 +216,9 @@ fn cli_fsck_and_resume_repair_a_damaged_tree() {
     assert!(stderr.contains("nothing to resume"), "{stderr}");
 
     // Flip one byte in a run artifact: fsck flags it, publish refuses it.
-    let victim = dir.join(&result_dir).join("run-0000/loadgen_measurement.log");
+    let victim = dir
+        .join(&result_dir)
+        .join("run-0000/loadgen_measurement.log");
     let mut bytes = std::fs::read(&victim).unwrap();
     bytes[0] ^= 0x01;
     std::fs::write(&victim, &bytes).unwrap();
@@ -217,4 +243,182 @@ fn cli_fsck_and_resume_repair_a_damaged_tree() {
     assert!(ok, "repaired tree must be clean:\n{stdout}");
     let (ok, _, stderr) = run(&dir, &["publish", &result_dir, "--out", "rel"]);
     assert!(ok, "publish after repair failed: {stderr}");
+}
+
+/// Scaffolds the case-study experiment shrunk to a quick sweep.
+fn init_small_exp(dir: &Path) {
+    run(dir, &["init", "exp"]);
+    std::fs::write(
+        dir.join("exp/loop-variables.yml"),
+        "pkt_sz: [64]\npkt_rate: [20000, 40000]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("exp/global-variables.yml"),
+        "dut_ip0: 10.0.0.1\ndut_ip1: 10.0.1.1\nrun_secs: 1\n",
+    )
+    .unwrap();
+}
+
+fn result_dir_of(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("result tree: "))
+        .expect("result dir printed")
+        .trim()
+        .to_owned()
+}
+
+#[test]
+fn cli_parallel_lanes_match_sequential_and_fsck_audits_lane_journals() {
+    let dir = workdir("lanes");
+    init_small_exp(&dir);
+
+    let (ok, stdout, stderr) = run(&dir, &["run", "exp", "--results", "seq", "--seed", "9"]);
+    assert!(ok, "sequential run failed: {stderr}");
+    let seq_dir = result_dir_of(&stdout);
+
+    let (ok, stdout, stderr) = run(
+        &dir,
+        &[
+            "run",
+            "exp",
+            "--results",
+            "par",
+            "--seed",
+            "9",
+            "--lanes",
+            "2",
+        ],
+    );
+    assert!(ok, "parallel run failed: {stderr}");
+    assert!(stdout.contains("lanes: 2 [pos,pos]"), "{stdout}");
+    assert!(stdout.contains("speedup"), "{stdout}");
+    let par_dir = result_dir_of(&stdout);
+
+    // The parallel tree is byte-identical to the sequential one, journals
+    // excepted.
+    let diff = |rel: &str| {
+        let a = std::fs::read(dir.join(&seq_dir).join(rel)).unwrap();
+        let b = std::fs::read(dir.join(&par_dir).join(rel)).unwrap();
+        assert_eq!(a, b, "`{rel}` differs between sequential and parallel");
+    };
+    diff("controller.log");
+    diff("run-0000/loadgen_measurement.log");
+    diff("run-0001/loadgen_measurement.log");
+    diff("run-0001/checksums.json");
+    assert!(dir.join(&par_dir).join("journal-lane0.log").exists());
+    assert!(dir.join(&par_dir).join("journal-lane1.log").exists());
+
+    // fsck recognizes the lane journals and audits through them.
+    let (ok, stdout, stderr) = run(&dir, &["fsck", &par_dir]);
+    assert!(ok, "fsck of a parallel tree failed: {stdout}{stderr}");
+    assert!(stdout.contains("lanes: 2 lane journals"), "{stdout}");
+    assert!(stdout.contains("status: clean"), "{stdout}");
+
+    // Damage a run: fsck attributes it, resume routes to the parallel
+    // scheduler and repairs it.
+    let victim = dir.join(&par_dir).join("run-0000/loadgen_measurement.log");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[0] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+    let (ok, stdout, _) = run(&dir, &["fsck", &par_dir]);
+    assert!(!ok);
+    assert!(stdout.contains("status: NOT clean"), "{stdout}");
+
+    let (ok, stdout, stderr) = run(&dir, &["resume", &par_dir]);
+    assert!(ok, "parallel resume failed: {stderr}");
+    assert!(stdout.contains("resuming"), "{stdout}");
+    assert!(stdout.contains("lanes"), "{stdout}");
+    let (ok, stdout, _) = run(&dir, &["fsck", &par_dir]);
+    assert!(ok, "repaired parallel tree must be clean:\n{stdout}");
+    diff("run-0000/loadgen_measurement.log");
+}
+
+#[test]
+fn cli_queue_submit_status_drain() {
+    let dir = workdir("queue");
+    init_small_exp(&dir);
+
+    // Two users share the queue.
+    let (ok, stdout, stderr) = run(
+        &dir,
+        &["queue", "submit", "exp", "--user", "alice", "--queue", "q"],
+    );
+    assert!(ok, "submit failed: {stderr}");
+    assert!(stdout.contains("submission 0 queued for alice"), "{stdout}");
+    let (ok, _, stderr) = run(
+        &dir,
+        &["queue", "submit", "exp", "--user", "bob", "--queue", "q"],
+    );
+    assert!(ok, "submit failed: {stderr}");
+
+    let (ok, stdout, _) = run(&dir, &["queue", "status", "--queue", "q"]);
+    assert!(ok);
+    assert!(stdout.contains("queue: 2/8 queued"), "{stdout}");
+    assert!(stdout.contains("#0 alice exp"), "{stdout}");
+    assert!(stdout.contains("#1 bob exp"), "{stdout}");
+
+    // Drain runs both campaigns to completion, fair-share ordered.
+    let (ok, stdout, stderr) = run(
+        &dir,
+        &[
+            "queue",
+            "drain",
+            "--queue",
+            "q",
+            "--results",
+            "res",
+            "--seed",
+            "5",
+        ],
+    );
+    assert!(ok, "drain failed: {stderr}");
+    assert!(stdout.contains("draining 2 campaign(s)"), "{stdout}");
+    assert!(stdout.contains("== #0 alice exp =="), "{stdout}");
+    assert!(stdout.contains("== #1 bob exp =="), "{stdout}");
+    assert_eq!(stdout.matches("done: 2/2 runs").count(), 2, "{stdout}");
+
+    // The queue is drained and closed: empty status, submissions refused.
+    let (ok, stdout, _) = run(&dir, &["queue", "status", "--queue", "q"]);
+    assert!(ok);
+    assert!(stdout.contains("queue: 0/8 queued"), "{stdout}");
+    assert!(stdout.contains("draining"), "{stdout}");
+    let (ok, _, stderr) = run(
+        &dir,
+        &["queue", "submit", "exp", "--user", "carol", "--queue", "q"],
+    );
+    assert!(!ok, "a drained queue must refuse submissions");
+    assert!(stderr.contains("queue closed"), "{stderr}");
+}
+
+#[test]
+fn cli_queue_bounded_with_diagnostic() {
+    let dir = workdir("queue-full");
+    init_small_exp(&dir);
+    for user in ["alice", "alice", "bob"] {
+        let (ok, _, stderr) = run(
+            &dir,
+            &[
+                "queue",
+                "submit",
+                "exp",
+                "--user",
+                user,
+                "--queue",
+                "q",
+                "--capacity",
+                "3",
+            ],
+        );
+        assert!(ok, "submit failed: {stderr}");
+    }
+    let (ok, _, stderr) = run(
+        &dir,
+        &["queue", "submit", "exp", "--user", "carol", "--queue", "q"],
+    );
+    assert!(!ok, "a full queue must reject, not wedge");
+    assert!(stderr.contains("queue full: 3/3"), "{stderr}");
+    assert!(stderr.contains("alice=2"), "{stderr}");
+    assert!(stderr.contains("bob=1"), "{stderr}");
 }

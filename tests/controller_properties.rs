@@ -28,7 +28,9 @@ fn noop_spec(loop_vars: Variables) -> ExperimentSpec {
     let mut b = RoleSpec::new("b", "hostB");
     b.setup = Script::parse("pos_sync s\n");
     b.measurement = Script::parse("echo run done\npos_sync m\n");
-    let mut spec = ExperimentSpec::new("prop", "prover").with_role(a).with_role(b);
+    let mut spec = ExperimentSpec::new("prop", "prover")
+        .with_role(a)
+        .with_role(b);
     spec.loop_vars = loop_vars;
     spec
 }

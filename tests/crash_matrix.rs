@@ -95,8 +95,7 @@ fn assert_trees_equal(reference: &BTreeMap<String, Vec<u8>>, resumed: &Path, con
     assert_eq!(got_names, want_names, "{context}: file sets differ");
     for (name, want) in reference {
         assert_eq!(
-            &got[name],
-            want,
+            &got[name], want,
             "{context}: {name} diverges from the uninterrupted tree"
         );
     }
@@ -110,7 +109,11 @@ fn reference() -> (BTreeMap<String, Vec<u8>>, u64) {
         .run_experiment(&spec(), &RunOptions::new(&root))
         .expect("uninterrupted campaign succeeds");
     let report = fsck(&outcome.result_dir).unwrap();
-    assert!(report.is_clean(), "reference not clean:\n{}", report.render());
+    assert!(
+        report.is_clean(),
+        "reference not clean:\n{}",
+        report.render()
+    );
     let appended = Journal::replay(&outcome.result_dir.join(JOURNAL_FILE))
         .unwrap()
         .records
@@ -269,8 +272,7 @@ fn resume_refuses_wrong_seed_and_mutated_spec() {
     assert!(err.to_string().contains("seed"), "{err}");
 
     let mut mutated = spec();
-    mutated.roles[0].measurement =
-        pos::core::script::Script::parse("sleep 2\npos_sync run_done");
+    mutated.roles[0].measurement = pos::core::script::Script::parse("sleep 2\npos_sync run_done");
     let mut tb = testbed();
     let err = Controller::new(&mut tb)
         .resume_experiment(&result_dir, &mutated, &RunOptions::new(&root))

@@ -1,0 +1,191 @@
+//! The parallel scheduler's determinism contract, end to end:
+//!
+//! * a chaos-free campaign executed on 4 lanes leaves a result tree
+//!   **byte-identical** (journals excepted) to the same campaign on
+//!   1 lane, and to the plain sequential controller;
+//! * a campaign crashed mid-flight by journal fault injection and then
+//!   resumed with `resume_parallel` converges to that same tree.
+
+use pos::core::commands::register_all;
+use pos::core::controller::{Controller, RunOptions};
+use pos::core::experiment::{linux_router_experiment, ExperimentSpec};
+use pos::sched::{resume_parallel, run_parallel, LaneFlavor, ParallelOptions};
+use pos::testbed::{HardwareSpec, InitInterface, PortId, Testbed};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 0x5EED;
+
+fn case_study_testbed() -> Testbed {
+    let mut tb = Testbed::new(SEED);
+    tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    tb.topology
+        .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+        .unwrap();
+    tb.topology
+        .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+        .unwrap();
+    register_all(&mut tb);
+    tb
+}
+
+fn small_spec() -> ExperimentSpec {
+    linux_router_experiment("vriga", "vtartu", 3, 1)
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pos-par-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every file under `root` (relative path → bytes), excluding the
+/// journals — they record *how* the tree was produced, not its content.
+fn tree_snapshot(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            let path = entry.path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let name = path.file_name().unwrap().to_string_lossy();
+                if name.starts_with("journal") {
+                    continue;
+                }
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(root, root, &mut out);
+    out
+}
+
+fn assert_trees_identical(a: &Path, b: &Path, what: &str) {
+    let ta = tree_snapshot(a);
+    let tb = tree_snapshot(b);
+    let keys_a: Vec<&String> = ta.keys().collect();
+    let keys_b: Vec<&String> = tb.keys().collect();
+    assert_eq!(keys_a, keys_b, "{what}: file sets differ");
+    for (rel, bytes) in &ta {
+        assert_eq!(
+            bytes,
+            &tb[rel],
+            "{what}: `{rel}` differs between {} and {}",
+            a.display(),
+            b.display()
+        );
+    }
+}
+
+fn make_lane(_lane: usize, flavor: LaneFlavor) -> Testbed {
+    assert_eq!(flavor, LaneFlavor::BareMetal, "tests use bare-metal lanes");
+    case_study_testbed()
+}
+
+fn run_with_lanes(root: &Path, lanes: usize) -> PathBuf {
+    let spec = small_spec();
+    let opts = RunOptions::new(root);
+    let popts = ParallelOptions::new(lanes);
+    let out = run_parallel(&spec, &opts, &popts, &mut make_lane).unwrap();
+    assert_eq!(out.outcome.runs.len(), 6);
+    assert_eq!(out.outcome.successes(), 6);
+    out.outcome.result_dir
+}
+
+#[test]
+fn four_lanes_match_one_lane_byte_for_byte() {
+    let root1 = workdir("lanes1");
+    let root4 = workdir("lanes4");
+    let dir1 = run_with_lanes(&root1, 1);
+    let dir4 = run_with_lanes(&root4, 4);
+    assert_trees_identical(&dir1, &dir4, "lanes=4 vs lanes=1");
+}
+
+#[test]
+fn parallel_tree_matches_sequential_controller() {
+    let root_seq = workdir("seq");
+    let root_par = workdir("par2");
+    let spec = small_spec();
+
+    let mut tb = case_study_testbed();
+    let seq = Controller::new(&mut tb)
+        .run_experiment(&spec, &RunOptions::new(&root_seq))
+        .unwrap();
+
+    let dir_par = run_with_lanes(&root_par, 2);
+    assert_trees_identical(&seq.result_dir, &dir_par, "lanes=2 vs sequential");
+}
+
+#[test]
+fn parallel_speedup_is_real() {
+    let root = workdir("speedup");
+    let spec = small_spec();
+    let opts = RunOptions::new(&root);
+    let out = run_parallel(&spec, &opts, &ParallelOptions::new(4), &mut make_lane).unwrap();
+    assert!(
+        out.speedup() > 1.0,
+        "4 lanes must beat 1 on a 6-run campaign, got {:.2}x",
+        out.speedup()
+    );
+    assert!(
+        out.lane_runs.iter().filter(|l| !l.is_empty()).count() > 1,
+        "work must actually spread across lanes: {:?}",
+        out.lane_runs
+    );
+}
+
+#[test]
+fn crashed_parallel_campaign_resumes_to_identical_tree() {
+    // Reference: an uninterrupted 4-lane execution.
+    let root_ok = workdir("crash-ref");
+    let dir_ok = run_with_lanes(&root_ok, 4);
+
+    // Crash: the first lane journal to reach its third append (its first
+    // run's RunCompleted record) fails mid-campaign.
+    let root = workdir("crash");
+    let spec = small_spec();
+    let mut opts = RunOptions::new(&root);
+    opts.journal_crash_after = Some(2);
+    opts.journal_torn_write = true;
+    let err = run_parallel(&spec, &opts, &ParallelOptions::new(4), &mut make_lane).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("injected journal crash"),
+        "unexpected error: {msg}"
+    );
+
+    // The wreckage is on disk; find the result dir under the root.
+    let dir = find_result_dir(&root);
+
+    // Resume replays all lane journals and re-executes what is missing.
+    let resume_opts = RunOptions::new(&root);
+    let out = resume_parallel(&dir, &spec, &resume_opts, &mut make_lane).unwrap();
+    assert_eq!(out.outcome.successes(), 6);
+    assert_trees_identical(&dir_ok, &dir, "resumed vs uninterrupted 4-lane tree");
+}
+
+/// Descends `<root>/<user>/<exp>/vt-*/` to the single result dir.
+fn find_result_dir(root: &Path) -> PathBuf {
+    let mut dir = root.to_path_buf();
+    for _ in 0..3 {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        assert_eq!(entries.len(), 1, "expected one subdir in {}", dir.display());
+        dir = entries.remove(0);
+    }
+    dir
+}

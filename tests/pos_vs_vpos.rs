@@ -68,7 +68,10 @@ fn same_scripts_different_platforms_same_tendencies() {
     // published script artifacts of both runs are byte-identical.
     let spec = experiment();
     for role in &spec.roles {
-        assert_eq!(role.measurement.source, experiment().role(&role.role).unwrap().measurement.source);
+        assert_eq!(
+            role.measurement.source,
+            experiment().role(&role.role).unwrap().measurement.source
+        );
     }
 
     // Tendency 1 (both platforms): at the low end, forwarding is

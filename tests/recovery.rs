@@ -6,8 +6,8 @@
 //! hangs and lossy-link windows, each replayed twice to pin down that
 //! degraded experiments are byte-for-byte reproducible.
 
-use pos::core::controller::{Controller, HostHealth, Progress, RunOptions};
 use pos::core::commands::register_all;
+use pos::core::controller::{Controller, HostHealth, Progress, RunOptions};
 use pos::core::experiment::linux_router_experiment;
 use pos::core::script::Script;
 use pos::core::vars::Variables;
@@ -135,7 +135,10 @@ fn run_results_after_recovery_are_complete() {
     }
     // Attempt counts document the recovery in the metadata.
     let attempts: Vec<u32> = set.runs.iter().map(|r| r.metadata.attempts).collect();
-    assert!(attempts.iter().any(|&a| a > 1), "metadata records the retry");
+    assert!(
+        attempts.iter().any(|&a| a > 1),
+        "metadata records the retry"
+    );
 }
 
 // --------------------------------------------------------------- chaos
@@ -275,7 +278,12 @@ fn chaos_wedge_escalates_to_power_cycle_on_hypervisor() {
         a.all_fault_lines()
     );
     assert_eq!(a.vtartu_health, HostHealth::Healthy);
-    let b = run_chaos_scenario("chaos-wedge-replay", InitInterface::Hypervisor, &plan, |_| {});
+    let b = run_chaos_scenario(
+        "chaos-wedge-replay",
+        InitInterface::Hypervisor,
+        &plan,
+        |_| {},
+    );
     assert_eq!(a.summary, b.summary);
 }
 
@@ -297,7 +305,12 @@ fn chaos_hang_trips_watchdog_and_recovers() {
         "watchdog kill recorded:\n{}",
         a.all_fault_lines()
     );
-    let b = run_chaos_scenario("chaos-hang-replay", InitInterface::VendorManagement, &plan, tune);
+    let b = run_chaos_scenario(
+        "chaos-hang-replay",
+        InitInterface::VendorManagement,
+        &plan,
+        tune,
+    );
     assert_eq!(a.summary, b.summary);
 }
 
@@ -328,7 +341,10 @@ fn chaos_power_outage_quarantines_host_and_sweep_degrades() {
     // quarantine failed fast without any.
     assert_eq!(a.outcome.runs[2].attempts, 1);
     assert_eq!(a.outcome.runs[3].attempts, 0);
-    assert!(!a.outcome.runs[3].fault_trace.is_empty(), "skip is recorded");
+    assert!(
+        !a.outcome.runs[3].fault_trace.is_empty(),
+        "skip is recorded"
+    );
     assert!(a
         .events
         .iter()
@@ -442,7 +458,11 @@ fn chaos_campaign_interrupted_mid_quarantine_resumes_identically() {
             reference.summary,
             "{tag}: resumed chaos campaign diverges from uninterrupted replay"
         );
-        assert_eq!(outcome.quarantined_hosts, vec!["vtartu".to_string()], "{tag}");
+        assert_eq!(
+            outcome.quarantined_hosts,
+            vec!["vtartu".to_string()],
+            "{tag}"
+        );
         assert_eq!(outcome.failed_runs, vec![2, 3], "{tag}");
     }
 }

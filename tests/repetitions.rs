@@ -37,12 +37,13 @@ fn repetitions_multiply_runs_and_aggregate() {
     // above the VM's saturation, so repetitions scatter — which is exactly
     // what the error bars should show.
     let mut spec = linux_router_experiment("vriga", "vtartu", 2, 1);
-    spec.loop_vars = pos::core::vars::Variables::new()
-        .with("pkt_rate", vec![20_000i64, 100_000]);
+    spec.loop_vars = pos::core::vars::Variables::new().with("pkt_rate", vec![20_000i64, 100_000]);
     spec.global_vars.set("pkt_sz", 64i64);
     let mut opts = RunOptions::new(tmp("agg"));
     opts.repetitions = 4;
-    let outcome = Controller::new(&mut tb).run_experiment(&spec, &opts).unwrap();
+    let outcome = Controller::new(&mut tb)
+        .run_experiment(&spec, &opts)
+        .unwrap();
     assert_eq!(outcome.runs.len(), 8);
     assert_eq!(outcome.successes(), 8);
 

@@ -84,7 +84,10 @@ fn experiment_to_published_bundle() {
     assert!(release.join("README.md").exists());
     assert!(release.join("experiment/loop-variables.yml").exists());
     assert!(release.join("figures/throughput.svg").exists());
-    assert_eq!(verify_dir(&release).expect("verifiable"), Vec::<String>::new());
+    assert_eq!(
+        verify_dir(&release).expect("verifiable"),
+        Vec::<String>::new()
+    );
 
     // The website lists the measurement artifacts.
     let readme = std::fs::read_to_string(release.join("README.md")).unwrap();
@@ -119,7 +122,8 @@ fn published_scripts_match_executed_scripts() {
         assert_eq!(measurement, role.measurement.source);
     }
     // And the loop variables round-trip through their YAML artifact.
-    let loop_yaml = std::fs::read_to_string(outcome.result_dir.join("experiment/loop-variables.yml")).unwrap();
+    let loop_yaml =
+        std::fs::read_to_string(outcome.result_dir.join("experiment/loop-variables.yml")).unwrap();
     let back = pos::core::vars::Variables::from_yaml(&loop_yaml).unwrap();
     assert_eq!(back, spec.loop_vars);
 }
