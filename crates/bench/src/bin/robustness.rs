@@ -1,4 +1,4 @@
-//! Robustness study, two halves.
+//! Robustness study, three parts.
 //!
 //! **Sensitivity** — §2 cites Zilberman's NDP artifact evaluation: "low
 //! robustness, i.e., small variation from the original input, such as the
@@ -12,7 +12,11 @@
 //! graceful degradation on, and the recovery numbers are recorded. The
 //! same seed replays the same campaign bit-for-bit.
 //!
-//! Emits `BENCH_robustness.json` with both halves.
+//! **Lane failover** — a parallel campaign loses a worker lane at a run
+//! boundary, once per recovery policy (redistribute / replacement), and
+//! the recovery cost against a fault-free baseline is recorded.
+//!
+//! Emits `BENCH_robustness.json` with all three parts.
 //!
 //! Usage: `cargo run --release -p pos-bench --bin robustness`
 //! Env: `POS_RUN_SECS` (sweep run length, default 0.2),
@@ -20,7 +24,7 @@
 //!      that land mid-sweep and are all recovered),
 //!      `POS_CHAOS_RUN_SECS` (campaign run length, default 30).
 
-use pos_bench::{chaos_campaign, env_f64, robustness};
+use pos_bench::{chaos_campaign, env_f64, failover, robustness};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -43,6 +47,7 @@ struct BenchOutput {
     sweep: SweepOut,
     campaign: chaos_campaign::CampaignReport,
     resume: chaos_campaign::ResumeOverhead,
+    failover: Vec<failover::FailoverReport>,
 }
 
 fn main() {
@@ -113,6 +118,25 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&root);
 
+    // ---- lane-failover overhead: a 4-lane campaign loses lane 1
+    let failover_run_secs = env_f64("POS_FAILOVER_RUN_SECS", 5.0) as u64;
+    println!("\nlane failover (4 lanes, lane 1 dies after one run, {failover_run_secs} s runs)...");
+    let failover_reports = failover::measure(4, failover_run_secs, 6, 2_000);
+    for r in &failover_reports {
+        println!(
+            "  {:>12}: {} retired, {} replanned, {} ladder step(s), \
+             {:.1} s failover, makespan {:.1} s vs {:.1} s fault-free ({:.2}x)",
+            r.policy,
+            r.retired_lanes,
+            r.replanned_lanes,
+            r.ladder_retries,
+            r.failover_virtual_secs,
+            r.parallel_virtual_secs,
+            r.fault_free_virtual_secs,
+            r.slowdown,
+        );
+    }
+
     let output = BenchOutput {
         sweep: SweepOut {
             run_secs,
@@ -129,6 +153,7 @@ fn main() {
         },
         campaign: report,
         resume,
+        failover: failover_reports,
     };
     let out = "BENCH_robustness.json";
     std::fs::write(

@@ -467,3 +467,185 @@ pub mod parallel {
         }
     }
 }
+
+/// Lane-failover overhead: what a lane death costs a parallel campaign,
+/// see the `robustness` binary.
+pub mod failover {
+    use crate::parallel::{campaign_spec, SEED};
+    use pos_core::commands::register_all;
+    use pos_core::controller::RunOptions;
+    use pos_core::experiment::ExperimentSpec;
+    use pos_sched::{
+        run_parallel, LaneDeath, LaneFaultPlan, LaneFlavor, LaneRecovery, ParallelOptions,
+    };
+    use pos_testbed::{clone_virtual, CloneOptions, HardwareSpec, InitInterface, PortId, Testbed};
+    use serde::Serialize;
+
+    fn lane_testbed(flavor: LaneFlavor) -> Testbed {
+        let mut tb = Testbed::new(SEED);
+        tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.topology
+            .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+            .expect("fresh ports");
+        tb.topology
+            .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+            .expect("fresh ports");
+        let mut tb = if flavor == LaneFlavor::Virtual {
+            clone_virtual(
+                &tb,
+                CloneOptions {
+                    seed: Some(SEED),
+                    ..CloneOptions::default()
+                },
+            )
+        } else {
+            tb
+        };
+        register_all(&mut tb);
+        tb
+    }
+
+    /// The failover half of `BENCH_robustness.json`: one campaign run
+    /// per recovery policy, same injected lane death.
+    #[derive(Debug, Serialize)]
+    pub struct FailoverReport {
+        /// Recovery policy label (`redistribute` / `replacement`).
+        pub policy: String,
+        /// Worker lanes the campaign started with.
+        pub lanes: usize,
+        /// Lanes the supervisor retired.
+        pub retired_lanes: usize,
+        /// Replacement lanes replanned mid-campaign.
+        pub replanned_lanes: usize,
+        /// Retry-ladder steps taken.
+        pub ladder_retries: u32,
+        /// Runs completed (all must succeed — the death hits between
+        /// runs, never inside one).
+        pub runs: usize,
+        /// Virtual failover time: ladder delays plus replacement-lane
+        /// setup, charged to lane occupancy.
+        pub failover_virtual_secs: f64,
+        /// Virtual makespan of the faulted campaign.
+        pub parallel_virtual_secs: f64,
+        /// Makespan of the same campaign without the fault, for the
+        /// degradation ratio.
+        pub fault_free_virtual_secs: f64,
+        /// `parallel / fault_free` — how much the death stretched the
+        /// campaign.
+        pub slowdown: f64,
+    }
+
+    fn run_once(
+        spec: &ExperimentSpec,
+        popts: &ParallelOptions,
+        tag: &str,
+    ) -> (f64, usize, FailoverRaw) {
+        let root =
+            std::env::temp_dir().join(format!("pos-bench-failover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let opts = RunOptions::new(&root);
+        let out = run_parallel(spec, &opts, popts, &mut |_, flavor| lane_testbed(flavor))
+            .expect("failover campaign completes");
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(
+            out.outcome.successes(),
+            out.outcome.runs.len(),
+            "a boundary lane death must not lose runs"
+        );
+        (
+            out.parallel_elapsed.as_nanos() as f64 / 1e9,
+            out.outcome.runs.len(),
+            FailoverRaw {
+                retired: out.retired_lanes.len(),
+                replanned: out.replanned_lanes,
+                ladder: out.ladder_retries,
+                failover_secs: out.failover_time.as_nanos() as f64 / 1e9,
+            },
+        )
+    }
+
+    struct FailoverRaw {
+        retired: usize,
+        replanned: usize,
+        ladder: u32,
+        failover_secs: f64,
+    }
+
+    /// Kills lane 1 after its first dispatched run on a `lanes`-lane
+    /// campaign, once per recovery policy, and reports the recovery cost
+    /// against a fault-free baseline of the same shape.
+    pub fn measure(
+        lanes: usize,
+        run_secs: u64,
+        rate_steps: usize,
+        max_rate: i64,
+    ) -> Vec<FailoverReport> {
+        let spec = campaign_spec(run_secs, rate_steps, max_rate);
+        let baseline = {
+            let popts = ParallelOptions::new(lanes);
+            run_once(&spec, &popts, "baseline").0
+        };
+        [LaneRecovery::Redistribute, LaneRecovery::Replacement]
+            .into_iter()
+            .map(|recovery| {
+                let mut popts = ParallelOptions::new(lanes);
+                // One spare bare-metal replica set so the replacement
+                // keeps bare-metal fidelity.
+                popts.site_replicas = lanes + 1;
+                popts.supervisor.recovery = recovery;
+                popts.supervisor.fault_plan = LaneFaultPlan {
+                    lane_deaths: vec![LaneDeath {
+                        lane: 1,
+                        after_dispatches: 1,
+                    }],
+                    poison_runs: vec![],
+                };
+                let policy = match recovery {
+                    LaneRecovery::Redistribute => "redistribute",
+                    LaneRecovery::Replacement => "replacement",
+                };
+                let (parallel_secs, runs, raw) = run_once(&spec, &popts, policy);
+                FailoverReport {
+                    policy: policy.to_string(),
+                    lanes,
+                    retired_lanes: raw.retired,
+                    replanned_lanes: raw.replanned,
+                    ladder_retries: raw.ladder,
+                    runs,
+                    failover_virtual_secs: raw.failover_secs,
+                    parallel_virtual_secs: parallel_secs,
+                    fault_free_virtual_secs: baseline,
+                    slowdown: if baseline > 0.0 {
+                        parallel_secs / baseline
+                    } else {
+                        1.0
+                    },
+                }
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lane_death_recovery_completes_and_is_bounded() {
+            let reports = measure(4, 5, 6, 2_000);
+            assert_eq!(reports.len(), 2);
+            for r in &reports {
+                assert_eq!(r.runs, 12);
+                assert_eq!(r.retired_lanes, 1, "{}", r.policy);
+                assert!(
+                    r.slowdown < 3.0,
+                    "{}: a single lane death must not triple the campaign, got {:.2}x",
+                    r.policy,
+                    r.slowdown
+                );
+            }
+            assert_eq!(reports[0].replanned_lanes, 0);
+            assert_eq!(reports[1].replanned_lanes, 1);
+        }
+    }
+}

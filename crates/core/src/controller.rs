@@ -243,6 +243,10 @@ pub struct ExperimentOutcome {
     pub failed_runs: Vec<usize>,
     /// Hosts quarantined during the experiment, in quarantine order.
     pub quarantined_hosts: Vec<String>,
+    /// Runs quarantined as *poison* by a lane supervisor (a run that
+    /// killed enough consecutive worker lanes); always a subset of
+    /// [`Self::failed_runs`]. Empty for sequential campaigns.
+    pub quarantined_runs: Vec<usize>,
     /// Total virtual time spent in out-of-band recovery (from detection to
     /// the host being back in service with its setup re-applied).
     pub total_recovery_time: SimDuration,
@@ -268,8 +272,9 @@ impl ExperimentOutcome {
             self.recoveries,
         ));
         s.push_str(&format!(
-            "quarantined_hosts: {:?}\ntotal_recovery_time_ns: {}\n",
+            "quarantined_hosts: {:?}\nquarantined_runs: {:?}\ntotal_recovery_time_ns: {}\n",
             self.quarantined_hosts,
+            self.quarantined_runs,
             self.total_recovery_time.as_nanos(),
         ));
         s.push_str(&format!(
@@ -1293,6 +1298,7 @@ impl<'t> Controller<'t> {
             recoveries: total_recoveries,
             failed_runs,
             quarantined_hosts,
+            quarantined_runs: Vec::new(),
             total_recovery_time,
         })
     }

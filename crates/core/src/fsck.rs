@@ -76,6 +76,14 @@ pub struct FsckReport {
     pub campaign_finished: bool,
     /// Runs the expanded campaign planned, per the journal.
     pub planned_runs: Option<usize>,
+    /// Lanes a supervisor retired, as `(lane, reason)` in journal order.
+    pub retired_lanes: Vec<(usize, String)>,
+    /// Replacement lanes the supervisor replanned (`LaneReplanned`).
+    pub replanned_lanes: usize,
+    /// Retry-ladder steps journaled (`RunRetry`).
+    pub run_retries: usize,
+    /// Runs quarantined as poison (`RunQuarantined`), in index order.
+    pub quarantined_runs: Vec<usize>,
     /// Per-run findings, in index order.
     pub runs: Vec<RunFsck>,
     /// Tree-level problems (unreadable journal, no start record, ...).
@@ -119,6 +127,20 @@ impl FsckReport {
                 "lanes: {} lane journals, {} records\n",
                 self.lane_journals, self.lane_records,
             ));
+        }
+        if !self.retired_lanes.is_empty() || self.replanned_lanes > 0 || self.run_retries > 0 {
+            out.push_str(&format!(
+                "failover: {} lane(s) retired, {} replacement lane(s), {} run retry step(s)\n",
+                self.retired_lanes.len(),
+                self.replanned_lanes,
+                self.run_retries,
+            ));
+            for (lane, reason) in &self.retired_lanes {
+                out.push_str(&format!("  lane {lane} retired: {reason}\n"));
+            }
+        }
+        if !self.quarantined_runs.is_empty() {
+            out.push_str(&format!("quarantined runs: {:?}\n", self.quarantined_runs));
         }
         if let Some(planned) = self.planned_runs {
             let verified = self
@@ -196,6 +218,10 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
         torn_tail: false,
         campaign_finished: false,
         planned_runs: None,
+        retired_lanes: Vec::new(),
+        replanned_lanes: 0,
+        run_retries: 0,
+        quarantined_runs: Vec::new(),
         runs: Vec::new(),
         errors: Vec::new(),
     };
@@ -216,6 +242,9 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
     // Journaled completion per run index, last record wins.
     let mut completed: BTreeMap<usize, String> = BTreeMap::new();
     let mut lane_plan: Option<usize> = None;
+    // Runs a retired lane was holding when it died — the journal must
+    // later account for each (reassigned completion or quarantine).
+    let mut held_by_dead_lane: Vec<(usize, usize)> = Vec::new();
     if let Some(replay) = &replay {
         report.journal_records = replay.records.len();
         report.torn_tail = replay.torn_tail;
@@ -236,18 +265,41 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
                 JournalRecord::LanePlan { lanes, .. } => {
                     lane_plan = Some(*lanes);
                 }
+                JournalRecord::LaneRetired {
+                    lane, reason, run, ..
+                } => {
+                    report.retired_lanes.push((*lane, reason.clone()));
+                    if let Some(index) = run {
+                        held_by_dead_lane.push((*lane, *index));
+                    }
+                }
+                JournalRecord::LaneReplanned { .. } => {
+                    report.replanned_lanes += 1;
+                }
+                JournalRecord::RunRetry { .. } => {
+                    report.run_retries += 1;
+                }
+                JournalRecord::RunQuarantined { index, .. }
+                    if !report.quarantined_runs.contains(index) =>
+                {
+                    report.quarantined_runs.push(*index);
+                }
                 _ => {}
             }
         }
+        report.quarantined_runs.sort_unstable();
     }
 
     // A LanePlan record marks a parallel tree: every worker lane kept its
     // own journal (`journal-lane{k}.log`), and a run's completion lives in
-    // whichever lane executed it. Merge them all; a run is accounted for
-    // if *any* lane journaled it complete. Torn lane tails are ordinary
-    // crash artifacts, like a torn scheduler journal.
+    // whichever lane executed it. Replacement lanes replanned after a
+    // retirement (`LaneReplanned`) keep journals beyond the original
+    // plan. Merge them all; a run is accounted for if *any* lane
+    // journaled it complete. Torn lane tails are ordinary crash
+    // artifacts, like a torn scheduler journal.
     if let Some(lanes) = lane_plan {
-        for lane in 0..lanes {
+        let total_lanes = lanes + report.replanned_lanes;
+        for lane in 0..total_lanes {
             let lane_path = result_dir.join(lane_journal_file(lane));
             match Journal::replay(&lane_path) {
                 Ok(lane_replay) => {
@@ -260,6 +312,12 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
                         }
                     }
                 }
+                Err(JournalError::Io(e))
+                    if e.kind() == io::ErrorKind::NotFound && lane >= lanes =>
+                {
+                    // A replanned lane the crash beat to its journal:
+                    // an ordinary crash artifact, resume recreates it.
+                }
                 Err(JournalError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
                     report
                         .errors
@@ -269,6 +327,19 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
                     report.errors.push(format!("lane {lane}: {e}"));
                 }
             }
+        }
+    }
+
+    // Failover integrity: a lane retired while holding a run obliges the
+    // journal to account for that run — a completion (reassigned to a
+    // surviving or replacement lane) or a poison quarantine. A stranded
+    // run means the failover was interrupted; resume finishes it.
+    for (lane, index) in &held_by_dead_lane {
+        if !completed.contains_key(index) && !report.quarantined_runs.contains(index) {
+            report.errors.push(format!(
+                "lane {lane} retired holding run {index:04}: run neither reassigned nor \
+                 quarantined (stranded); run `pos resume` to repair"
+            ));
         }
     }
 

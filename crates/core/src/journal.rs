@@ -141,6 +141,70 @@ pub enum JournalRecord {
         /// Virtual time the lane became ready, nanoseconds.
         started_ns: u64,
     },
+    /// The scheduler's lane-supervision configuration, journaled right
+    /// after [`Self::LanePlan`] so a resume replays the exact same
+    /// failover decisions (fault plan, grace factor, poison threshold,
+    /// recovery policy).
+    SupervisorPlan {
+        /// JSON-serialized supervisor options (owned by `pos-sched`; the
+        /// journal stores it opaquely so the record type stays in core).
+        config: String,
+    },
+    /// A lane supervisor declared a worker lane dead and stopped
+    /// dispatching to it.
+    LaneRetired {
+        /// The retired lane.
+        lane: usize,
+        /// Canonical virtual instant of the retirement, nanoseconds.
+        at_ns: u64,
+        /// Human-readable cause (injected fault, watchdog overrun,
+        /// hosts quarantined, poison run).
+        reason: String,
+        /// The run the lane was holding when it died, if any. `Some`
+        /// obliges the journal to later account for that run — either a
+        /// `RunCompleted` (reassigned and finished elsewhere) or a
+        /// `RunQuarantined`; `pos fsck` flags the stranded case.
+        run: Option<usize>,
+    },
+    /// A run whose lane died is being retried on another lane after a
+    /// deterministic backoff (the retry ladder).
+    RunRetry {
+        /// The run being retried.
+        index: usize,
+        /// Ladder attempt (1-based; resume continues the count).
+        attempt: u32,
+        /// The lane receiving the retry.
+        lane: usize,
+        /// Backoff delay charged to the receiving lane, nanoseconds
+        /// (drawn from the `testbed/lane{k}/retry{run}` stream).
+        delay_ns: u64,
+        /// Canonical virtual instant of the retry decision, nanoseconds.
+        at_ns: u64,
+    },
+    /// A poison run killed enough consecutive lanes to be quarantined:
+    /// it is recorded failed (with a forensic bundle) instead of taking
+    /// the campaign down. Always followed by a `RunCompleted` with
+    /// `success: false` sealing the quarantined run's artifacts.
+    RunQuarantined {
+        /// The quarantined run.
+        index: usize,
+        /// Lanes this run killed before quarantine.
+        lanes_killed: u32,
+        /// Canonical virtual instant of the quarantine, nanoseconds.
+        at_ns: u64,
+    },
+    /// The supervisor replanned a replacement lane (site calendar when a
+    /// bare-metal replica set was free, virtual clone otherwise). Resume
+    /// and fsck learn about lane journals beyond the original
+    /// [`Self::LanePlan`] from these records.
+    LaneReplanned {
+        /// Index of the new lane (always the next unused index).
+        lane: usize,
+        /// Testbed flavor granted (`"pos"` / `"vpos"`).
+        flavor: String,
+        /// Canonical virtual instant of the replanning, nanoseconds.
+        at_ns: u64,
+    },
     /// A host's recovery failed beyond the retry budget.
     HostQuarantined {
         /// The quarantined host.
@@ -584,6 +648,52 @@ mod tests {
         let replay = Journal::replay(&path).unwrap();
         assert_eq!(replay.records[1], plan);
         assert_eq!(replay.records[2], lane);
+    }
+
+    #[test]
+    fn failover_records_roundtrip() {
+        let path = tmp("failover");
+        let mut j = Journal::create(&path).unwrap();
+        let records = vec![
+            JournalRecord::SupervisorPlan {
+                config: r#"{"grace_factor":8.0}"#.into(),
+            },
+            JournalRecord::LaneRetired {
+                lane: 1,
+                at_ns: 77,
+                reason: "injected lane fault at run boundary".into(),
+                run: None,
+            },
+            JournalRecord::LaneRetired {
+                lane: 2,
+                at_ns: 99,
+                reason: "poison run 4".into(),
+                run: Some(4),
+            },
+            JournalRecord::RunRetry {
+                index: 4,
+                attempt: 1,
+                lane: 3,
+                delay_ns: 500_000_000,
+                at_ns: 99,
+            },
+            JournalRecord::RunQuarantined {
+                index: 4,
+                lanes_killed: 2,
+                at_ns: 99,
+            },
+            JournalRecord::LaneReplanned {
+                lane: 4,
+                flavor: "vpos".into(),
+                at_ns: 99,
+            },
+        ];
+        for r in &records {
+            j.append(r).unwrap();
+        }
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.records, records);
+        assert!(!replay.torn_tail);
     }
 
     #[test]

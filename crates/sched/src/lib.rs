@@ -14,17 +14,27 @@
 //!   sequential execution of the same seed (see the determinism argument
 //!   in [`scheduler`]'s module docs); plus [`scheduler::resume_parallel`]
 //!   for crash recovery across all lane journals.
+//! * [`supervisor`] — lane supervision: watchdog deadlines, journaled
+//!   lane retirement with deterministic reassignment or replacement-lane
+//!   replanning, per-run retry ladders on dedicated RNG sub-streams, and
+//!   poison-run quarantine with forensic bundles — all without breaking
+//!   byte-identity with the sequential execution.
 //! * [`queue`] — multi-campaign admission control: a bounded submission
 //!   queue with stride-based fair share across users, priority weights,
-//!   rejection diagnostics instead of wedging, and preemption-free
-//!   draining.
+//!   rejection diagnostics instead of wedging, preemption-free draining,
+//!   and per-submission completion outcomes (degraded completions are
+//!   recorded, not re-admitted).
 
 #![warn(missing_docs)]
 
 pub mod plan;
 pub mod queue;
 pub mod scheduler;
+pub mod supervisor;
 
 pub use plan::{plan_lanes, site_host_sets, LaneAllocation, LaneFlavor};
-pub use queue::{QueueError, QueueStatus, Submission, SubmissionQueue};
+pub use queue::{
+    CompletedSubmission, CompletionOutcome, QueueError, QueueStatus, Submission, SubmissionQueue,
+};
 pub use scheduler::{resume_parallel, run_parallel, ParallelOptions, ParallelOutcome};
+pub use supervisor::{LaneDeath, LaneFaultPlan, LaneRecovery, SupervisorOptions};

@@ -76,6 +76,43 @@ impl fmt::Display for QueueError {
 
 impl std::error::Error for QueueError {}
 
+/// How an admitted submission's campaign ended.
+///
+/// A drain records one of these per submission instead of silently
+/// forgetting it: a campaign that finishes *degraded* (failed or
+/// quarantined runs, but the result tree is complete and journaled) is
+/// `CompletedDegraded`, not dropped — and, crucially, not re-admitted on
+/// the next drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CompletionOutcome {
+    /// Every run succeeded.
+    Completed,
+    /// The campaign finished, but with failed or quarantined runs.
+    CompletedDegraded,
+    /// The campaign aborted; the submission may be worth resubmitting.
+    Failed,
+}
+
+impl fmt::Display for CompletionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompletionOutcome::Completed => "completed",
+            CompletionOutcome::CompletedDegraded => "completed_degraded",
+            CompletionOutcome::Failed => "failed",
+        })
+    }
+}
+
+/// An admitted submission together with how its campaign ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedSubmission {
+    /// The submission as admitted.
+    pub submission: Submission,
+    /// How the campaign ended.
+    pub outcome: CompletionOutcome,
+}
+
 /// Point-in-time view of the queue (the `pos queue status` payload).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueueStatus {
@@ -89,6 +126,9 @@ pub struct QueueStatus {
     pub pending: Vec<Submission>,
     /// Total admissions so far.
     pub admitted: u64,
+    /// Admitted submissions with a recorded completion outcome, in
+    /// recording order.
+    pub completed: Vec<CompletedSubmission>,
 }
 
 /// The bounded fair-share submission queue.
@@ -105,6 +145,11 @@ pub struct SubmissionQueue {
     pending: Vec<Submission>,
     /// Per-user stride pass: smallest pass is admitted next.
     passes: BTreeMap<String, f64>,
+    /// Completion ledger: every admitted submission ends up here with
+    /// its outcome, degraded completions included. `default` keeps
+    /// `queue.json` files from before the ledger loadable.
+    #[serde(default)]
+    completed: Vec<CompletedSubmission>,
 }
 
 impl SubmissionQueue {
@@ -118,6 +163,7 @@ impl SubmissionQueue {
             admitted: 0,
             pending: Vec::new(),
             passes: BTreeMap::new(),
+            completed: Vec::new(),
         }
     }
 
@@ -221,6 +267,21 @@ impl SubmissionQueue {
         out
     }
 
+    /// Records how an admitted submission's campaign ended. A degraded
+    /// completion is a *completion*: the submission is done and must not
+    /// be re-admitted by a later drain.
+    pub fn record_outcome(&mut self, submission: Submission, outcome: CompletionOutcome) {
+        self.completed.push(CompletedSubmission {
+            submission,
+            outcome,
+        });
+    }
+
+    /// The completion ledger, in recording order.
+    pub fn completed(&self) -> &[CompletedSubmission] {
+        &self.completed
+    }
+
     /// Snapshot for `pos queue status`.
     pub fn status(&self) -> QueueStatus {
         QueueStatus {
@@ -229,6 +290,7 @@ impl SubmissionQueue {
             open: self.open,
             pending: self.pending.clone(),
             admitted: self.admitted,
+            completed: self.completed.clone(),
         }
     }
 }
@@ -337,6 +399,44 @@ mod tests {
             bob_lead >= 1,
             "bob is behind on virtual time and catches up, got {next:?}"
         );
+    }
+
+    #[test]
+    fn degraded_completion_is_recorded_not_readmitted() {
+        let mut q = SubmissionQueue::new(8);
+        q.submit("alice", "exp-degraded", 1).unwrap();
+        q.submit("bob", "exp-clean", 1).unwrap();
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        q.record_outcome(drained[0].clone(), CompletionOutcome::CompletedDegraded);
+        q.record_outcome(drained[1].clone(), CompletionOutcome::Completed);
+        // The queue is empty: a second drain re-admits nothing.
+        assert!(q.drain().is_empty());
+        let ledger = q.completed();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger[0].outcome, CompletionOutcome::CompletedDegraded);
+        assert_eq!(ledger[0].submission.experiment, "exp-degraded");
+        assert_eq!(ledger[1].outcome, CompletionOutcome::Completed);
+        assert_eq!(q.status().completed.len(), 2);
+    }
+
+    #[test]
+    fn ledger_survives_json_and_old_files_load_without_it() {
+        let mut q = SubmissionQueue::new(4);
+        q.submit("alice", "a0", 1).unwrap();
+        let sub = q.admit().unwrap();
+        q.record_outcome(sub, CompletionOutcome::Failed);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: SubmissionQueue = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.completed().len(), 1);
+        assert_eq!(back.completed()[0].outcome, CompletionOutcome::Failed);
+        // A queue.json written before the ledger existed has no
+        // `completed` key; it must still load.
+        let old_json = r#"{"capacity":4,"open":true,"next_id":1,"admitted":1,
+                           "pending":[],"passes":{"alice":1.0}}"#;
+        let old: SubmissionQueue = serde_json::from_str(old_json).unwrap();
+        assert!(old.completed().is_empty());
+        assert_eq!(old.status().admitted, 1);
     }
 
     #[test]

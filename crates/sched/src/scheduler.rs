@@ -6,7 +6,7 @@
 //! [`pos_simkernel::LaneSet`]: the next run always goes to the lane that
 //! frees up earliest. Because that choice depends only on the schedule so
 //! far, the whole dispatch is a pure function of (spec, seed, lane
-//! count).
+//! count, fault plan).
 //!
 //! # The determinism argument
 //!
@@ -29,28 +29,39 @@
 //! re-derive theirs under `"testbed/lane{k}"` so replica boot timings are
 //! independent draws of the same distribution.
 //!
+//! Dispatch runs under the [`crate::supervisor::LaneSupervisor`]: lanes
+//! can die (watchdog overrun, injected fault, every host quarantined) and
+//! are then retired, their work redistributed or handed to a replacement
+//! lane, with poison runs quarantined — all without perturbing the
+//! canonical timeline (see [`crate::supervisor`] for the argument).
+//!
 //! # Journals
 //!
 //! The scheduler journal (`journal.log`) records `CampaignStarted`, the
-//! `LanePlan`, and `CampaignFinished`. Each lane appends `RunStarted` /
-//! `RunCompleted` records to its own `journal-lane{k}.log`. All journals
-//! are write-ahead and individually crash-consistent;
-//! [`resume_parallel`] replays all of them, re-verifies every journaled
-//! run against its digest, and re-executes only what fails — at the same
-//! canonical starts, so the repaired tree is byte-identical to an
-//! uninterrupted execution (journals excepted: they *are* the record of
-//! the interruption).
+//! `LanePlan`, the `SupervisorPlan`, any failover records (`LaneRetired`,
+//! `RunRetry`, `RunQuarantined`, `LaneReplanned`), and
+//! `CampaignFinished`. Each lane appends `RunStarted` / `RunCompleted`
+//! records to its own `journal-lane{k}.log`. All journals are write-ahead
+//! and individually crash-consistent; [`resume_parallel`] replays all of
+//! them — failover records included, so a resume lands mid-failover with
+//! the same retired lanes, ladder positions, and replacement lanes —
+//! re-verifies every journaled run against its digest, and re-executes
+//! only what fails, at the same canonical starts. The repaired tree is
+//! byte-identical to an uninterrupted execution (journals excepted: they
+//! *are* the record of the interruption).
 
 use crate::plan::{plan_lanes, site_host_sets, LaneFlavor};
+use crate::supervisor::{FailoverState, LaneSupervisor, SupervisorOptions, VerifiedRun};
 use pos_core::controller::{
-    CampaignSetup, Controller, ControllerError, ExperimentOutcome, RunOptions, RunRecord,
+    CampaignSetup, Controller, ControllerError, ExperimentOutcome, RunOptions,
 };
 use pos_core::experiment::ExperimentSpec;
 use pos_core::journal::{lane_journal_file, Journal, JournalRecord, JOURNAL_FILE};
 use pos_core::loopvars::RunParams;
 use pos_core::resultstore::ResultStore;
-use pos_simkernel::{lane_stream_label, LaneSet, SimDuration, SimTime, TraceLevel};
+use pos_simkernel::{lane_stream_label, SimDuration, SimTime, TraceLevel};
 use pos_testbed::{Calendar, Testbed};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -62,16 +73,32 @@ pub struct ParallelOptions {
     /// Bare-metal replica host sets the site owns (including the primary
     /// set). Lanes beyond this run on virtual clone replicas.
     pub site_replicas: usize,
+    /// Lane supervision: watchdog, retry ladder, quarantine, recovery
+    /// policy. Journaled so a resume replays the same failover.
+    pub supervisor: SupervisorOptions,
 }
 
 impl ParallelOptions {
-    /// `lanes` lanes, all backed by bare-metal replica sets.
+    /// `lanes` lanes, all backed by bare-metal replica sets, with
+    /// default supervision.
     pub fn new(lanes: usize) -> ParallelOptions {
         ParallelOptions {
             lanes,
             site_replicas: lanes,
+            supervisor: SupervisorOptions::default(),
         }
     }
+}
+
+/// The `SupervisorPlan` journal payload: everything a resume needs to
+/// replay failover decisions without any CLI flags.
+#[derive(Debug, Serialize, Deserialize)]
+struct SupervisorPlanConfig {
+    /// Bare-metal replica sets the site owns (replacement lanes beyond
+    /// this come from the clone pool).
+    site_replicas: usize,
+    /// The supervision options proper.
+    options: SupervisorOptions,
 }
 
 /// What a parallel campaign execution produced, beyond the canonical
@@ -79,11 +106,11 @@ impl ParallelOptions {
 #[derive(Debug)]
 pub struct ParallelOutcome {
     /// The merged, canonical outcome — identical in content to a
-    /// sequential execution of the same seed.
+    /// sequential execution of the same seed (and fault plan).
     pub outcome: ExperimentOutcome,
-    /// Number of worker lanes.
+    /// Number of worker lanes, replacement lanes included.
     pub lanes: usize,
-    /// Testbed flavor label per lane.
+    /// Testbed flavor label per lane (original plan + replacements).
     pub flavors: Vec<String>,
     /// Run indices executed (or verified-skipped) per lane.
     pub lane_runs: Vec<Vec<usize>>,
@@ -96,6 +123,16 @@ pub struct ParallelOutcome {
     /// Wall-clock seconds the final merge step took (trace render,
     /// controller.log write, journal finalization).
     pub merge_wall_secs: f64,
+    /// Lanes the supervisor retired this session, with reasons.
+    pub retired_lanes: Vec<(usize, String)>,
+    /// Replacement lanes replanned over the campaign's whole life.
+    pub replanned_lanes: usize,
+    /// Virtual time spent failing over: retry-ladder delays plus
+    /// replacement-lane setup. Charged to lane occupancy, never to the
+    /// canonical timeline.
+    pub failover_time: SimDuration,
+    /// Retry-ladder steps taken this session.
+    pub ladder_retries: u32,
 }
 
 impl ParallelOutcome {
@@ -109,15 +146,15 @@ impl ParallelOutcome {
     }
 }
 
-/// A run completion recovered from a journal during resume.
-struct VerifiedRun {
-    success: bool,
-    attempts: u32,
-    recoveries: u32,
-    recovery_time_ns: u64,
-    started_ns: u64,
-    finished_ns: u64,
-    fault_trace: Vec<String>,
+/// Parses a journaled lane flavor label back into a [`LaneFlavor`].
+fn parse_flavor(label: &str) -> Result<LaneFlavor, ControllerError> {
+    match label {
+        "pos" => Ok(LaneFlavor::BareMetal),
+        "vpos" => Ok(LaneFlavor::Virtual),
+        other => Err(ControllerError::Resume {
+            reason: format!("journal records unknown lane flavor `{other}`"),
+        }),
+    }
 }
 
 /// Executes a campaign across `popts.lanes` worker lanes.
@@ -125,7 +162,9 @@ struct VerifiedRun {
 /// `make_lane(k, flavor)` must build lane `k`'s replica testbed: the same
 /// hosts, wiring, images, and **root seed** as the campaign testbed, as a
 /// bare-metal replica or a virtual clone per `flavor`. The scheduler
-/// re-derives the management RNG stream of lanes `k > 0` itself.
+/// re-derives the management RNG stream of lanes `k > 0` itself. The
+/// supervisor may call `make_lane` again mid-campaign for replacement
+/// lanes.
 pub fn run_parallel(
     spec: &ExperimentSpec,
     opts: &RunOptions,
@@ -167,6 +206,13 @@ pub fn run_parallel(
         lanes: popts.lanes,
         flavors: alloc.labels(),
     })?;
+    sched_journal.append(&JournalRecord::SupervisorPlan {
+        config: serde_json::to_string(&SupervisorPlanConfig {
+            site_replicas: popts.site_replicas,
+            options: popts.supervisor.clone(),
+        })
+        .expect("supervisor options serialize"),
+    })?;
 
     // Every lane runs the full setup phase (allocation, boots, tool
     // deployment, setup scripts); only lane 0 persists the shared inputs.
@@ -189,36 +235,46 @@ pub fn run_parallel(
         lane_journals.push(j);
     }
 
-    let mut result = dispatch_and_merge(
+    let mut sup = LaneSupervisor::new(
         &spec_eff,
         opts,
+        &popts.supervisor,
+        popts.site_replicas,
+        seed,
+        runs.len(),
+        lanes,
+        lane_journals,
+        alloc.flavors,
+        setups,
+        site,
+        alloc.reservations,
+        FailoverState::default(),
+    );
+    let result = dispatch_and_merge(
         &store,
-        &mut lanes,
-        &mut lane_journals,
+        &mut sup,
         &mut sched_journal,
         &runs,
         &BTreeMap::new(),
         started,
+        make_lane,
     )?;
-    result.flavors = alloc.labels();
-
-    for (lane, setup) in lanes.iter_mut().zip(&setups) {
-        lane.testbed_mut().calendar.release(setup.reservation);
-    }
-    for id in alloc.reservations {
-        site.release(id);
-    }
+    sup.teardown();
     Ok(result)
 }
 
 /// Resumes an interrupted parallel campaign from its result tree.
 ///
-/// Replays the scheduler journal (for the campaign identity and the lane
-/// plan) and every per-lane journal (for run completions; torn tails and
-/// missing lane journals are ordinary crash artifacts), verifies each
-/// journaled run on disk, rebuilds all lanes from `make_lane`, and
-/// re-executes only the runs that fail verification — each at its
-/// canonical start, recovered from the journaled timeline.
+/// Replays the scheduler journal (campaign identity, lane plan,
+/// supervisor plan, and the full failover history: retired lanes, retry
+/// ladders, quarantines, replacement lanes) and every per-lane journal
+/// (run completions; torn tails and missing lane journals are ordinary
+/// crash artifacts), verifies each journaled run on disk, rebuilds all
+/// lanes — replacements included — from `make_lane`, and re-executes
+/// only the runs that fail verification, each at its canonical start. A
+/// resume that lands mid-failover finishes the failover: journaled
+/// retirements stay retired, ladders continue from their journaled
+/// attempt, and an unsealed quarantine is re-sealed deterministically.
 pub fn resume_parallel(
     result_dir: &Path,
     spec: &ExperimentSpec,
@@ -257,13 +313,7 @@ pub fn resume_parallel(
     let n = *n;
     let lane_flavors = flavors
         .iter()
-        .map(|f| match f.as_str() {
-            "pos" => Ok(LaneFlavor::BareMetal),
-            "vpos" => Ok(LaneFlavor::Virtual),
-            other => Err(ControllerError::Resume {
-                reason: format!("journal records unknown lane flavor `{other}`"),
-            }),
-        })
+        .map(|f| parse_flavor(f))
         .collect::<Result<Vec<_>, _>>()?;
     if testbed != opts.testbed_flavor {
         return Err(ControllerError::Resume {
@@ -274,7 +324,46 @@ pub fn resume_parallel(
         });
     }
 
-    let mut lanes = build_lanes(&lane_flavors, opts, make_lane);
+    // Reconstruct the supervision configuration and the failover history
+    // from the journal: which lanes died, how many lanes each run
+    // killed, how far each retry ladder got, which replacement lanes
+    // exist. Campaigns journaled before lane supervision existed simply
+    // get the default (empty) state.
+    let mut site_replicas = n;
+    let mut sopts = SupervisorOptions::default();
+    let mut fstate = FailoverState::default();
+    for rec in &replay.records {
+        match rec {
+            JournalRecord::SupervisorPlan { config } => {
+                let cfg: SupervisorPlanConfig =
+                    serde_json::from_str(config).map_err(|e| ControllerError::Resume {
+                        reason: format!("unreadable SupervisorPlan record: {e}"),
+                    })?;
+                site_replicas = cfg.site_replicas;
+                sopts = cfg.options;
+            }
+            JournalRecord::LaneRetired {
+                lane, reason, run, ..
+            } => {
+                fstate.retired.insert(*lane, reason.clone());
+                if let Some(i) = run {
+                    *fstate.kills.entry(*i).or_insert(0) += 1;
+                }
+            }
+            JournalRecord::RunRetry { index, attempt, .. } => {
+                let a = fstate.ladder.entry(*index).or_insert(0);
+                *a = (*a).max(*attempt);
+            }
+            JournalRecord::LaneReplanned { flavor, .. } => {
+                fstate.replanned.push(parse_flavor(flavor)?);
+            }
+            _ => {}
+        }
+    }
+    let mut all_flavors = lane_flavors.clone();
+    all_flavors.extend(fstate.replanned.iter().copied());
+
+    let mut lanes = build_lanes(&all_flavors, opts, make_lane);
     if lanes[0].testbed().seed() != seed {
         return Err(ControllerError::Resume {
             reason: format!(
@@ -301,8 +390,8 @@ pub fn resume_parallel(
     }
 
     // Merge run completions from every journal: the scheduler journal
-    // (for resumed sequential-era records, defensively) and each lane's.
-    // Last record wins per index; re-verified below either way.
+    // (sealed quarantines land there) and each lane's. Last record wins
+    // per index; re-verified below either way.
     let mut completed: BTreeMap<usize, VerifiedRun> = BTreeMap::new();
     let mut harvest = |records: &[JournalRecord]| {
         for rec in records {
@@ -347,7 +436,7 @@ pub fn resume_parallel(
         }
     };
     harvest(&replay.records);
-    for k in 0..n {
+    for k in 0..all_flavors.len() {
         match Journal::replay(&store.dir().join(lane_journal_file(k))) {
             Ok(lane_replay) => harvest(&lane_replay.records),
             // A lane journal the crash never got to create contributes
@@ -358,11 +447,12 @@ pub fn resume_parallel(
         }
     }
 
-    // Pin the journaled lane plan back onto a fresh site calendar.
+    // Pin the journaled lane plan back onto a fresh site calendar —
+    // replacement lanes included, at the replica set their index names.
     let mut site = Calendar::new();
-    let sets = site_host_sets(&spec_eff.hosts(), n);
+    let sets = site_host_sets(&spec_eff.hosts(), all_flavors.len().max(site_replicas));
     let mut site_reservations = Vec::new();
-    for (k, flavor) in lane_flavors.iter().enumerate() {
+    for (k, flavor) in all_flavors.iter().enumerate() {
         if *flavor == LaneFlavor::BareMetal {
             let id = site
                 .reserve(
@@ -400,7 +490,7 @@ pub fn resume_parallel(
             j.append(&JournalRecord::LaneStarted {
                 lane: k,
                 seed,
-                flavor: lane_flavors[k].label().to_string(),
+                flavor: all_flavors[k].label().to_string(),
                 started_ns: lane.testbed().now().as_nanos(),
             })?;
             j
@@ -409,25 +499,31 @@ pub fn resume_parallel(
         lane_journals.push(j);
     }
 
-    let mut result = dispatch_and_merge(
+    let mut sup = LaneSupervisor::new(
         &spec_eff,
         opts,
+        &sopts,
+        site_replicas,
+        seed,
+        runs.len(),
+        lanes,
+        lane_journals,
+        all_flavors,
+        setups,
+        site,
+        site_reservations,
+        fstate,
+    );
+    let result = dispatch_and_merge(
         &store,
-        &mut lanes,
-        &mut lane_journals,
+        &mut sup,
         &mut sched_journal,
         &runs,
         &completed,
         started,
+        make_lane,
     )?;
-    result.flavors = flavors.clone();
-
-    for (lane, setup) in lanes.iter_mut().zip(&setups) {
-        lane.testbed_mut().calendar.release(setup.reservation);
-    }
-    for id in site_reservations {
-        site.release(id);
-    }
+    sup.teardown();
     Ok(result)
 }
 
@@ -454,113 +550,62 @@ fn build_lanes(
 }
 
 /// The shared back half of [`run_parallel`] and [`resume_parallel`]: the
-/// deterministic dispatch loop over the lane set, followed by the merge
+/// supervised dispatch loop over the lane set, followed by the merge
 /// into the canonical result tree.
-#[allow(clippy::too_many_arguments)]
 fn dispatch_and_merge(
-    spec: &ExperimentSpec,
-    opts: &RunOptions,
     store: &ResultStore,
-    lanes: &mut [Controller<'static>],
-    lane_journals: &mut [Journal],
+    sup: &mut LaneSupervisor<'_>,
     sched_journal: &mut Journal,
     runs: &[RunParams],
     verified: &BTreeMap<usize, VerifiedRun>,
     started: SimTime,
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
 ) -> Result<ParallelOutcome, ControllerError> {
-    let total = runs.len();
-    let mut laneset = LaneSet::new(lanes.iter().map(|c| c.testbed().now()).collect());
-    let mut cursor = lanes[0].testbed().now();
-    let mut lane_runs: Vec<Vec<usize>> = vec![Vec::new(); lanes.len()];
-    let mut records: Vec<RunRecord> = Vec::with_capacity(total);
-    let mut failed_runs: Vec<usize> = Vec::new();
-    let mut quarantined_hosts: Vec<String> = Vec::new();
-    let mut total_recoveries = 0u32;
-    let mut total_recovery_time = SimDuration::ZERO;
-
-    for run in runs {
-        let lane = laneset.next_lane();
-        if let Some(done) = verified.get(&run.index) {
-            // Verified complete by an earlier session: account its
-            // canonical interval to the lane it deterministically lands
-            // on and move the canonical cursor — exactly the bookkeeping
-            // executing it would have done.
-            let fin = SimTime::from_nanos(done.finished_ns);
-            laneset.occupy(lane, fin - SimTime::from_nanos(done.started_ns));
-            cursor = fin;
-            lane_runs[lane].push(run.index);
-            total_recoveries += done.recoveries;
-            total_recovery_time += SimDuration::from_nanos(done.recovery_time_ns);
-            if !done.success {
-                failed_runs.push(run.index);
-            }
-            let run_dir = store.run_dir(run.index)?;
-            let outputs = Controller::reload_run_outputs(spec, &run_dir)?;
-            records.push(RunRecord {
-                params: run.clone(),
-                outputs,
-                attempts: done.attempts,
-                success: done.success,
-                recoveries: done.recoveries,
-                fault_trace: done.fault_trace.clone(),
-            });
-            continue;
-        }
-
-        // Pin the lane's clock to the run's canonical start: artifacts
-        // derive from (seed, start instant), so this makes every byte
-        // match the sequential timeline regardless of lane count.
-        let controller = &mut lanes[lane];
-        controller.testbed_mut().set_now(cursor);
-        let step =
-            controller.execute_one_run(spec, opts, store, &mut lane_journals[lane], run, total)?;
-        laneset.occupy(lane, step.finished - step.started);
-        cursor = step.finished;
-        lane_runs[lane].push(run.index);
-        total_recoveries += step.recoveries;
-        total_recovery_time += step.recovery_time;
-        quarantined_hosts.extend(step.quarantined);
-        if !step.record.success {
-            failed_runs.push(run.index);
-        }
-        records.push(step.record);
-    }
+    let stats = sup.dispatch(store, sched_journal, runs, verified, make_lane)?;
 
     // ------------------------------------------------------------ merge
     // Lane 0's Info-level trace is the canonical campaign story: lane 0
-    // is the sequential controller's exact twin through setup, and in a
-    // fault-free campaign the measurement phase logs nothing above Debug,
-    // so this render is byte-identical to the sequential controller.log.
+    // is the sequential controller's exact twin through setup, and the
+    // supervisor never logs above Debug, so this render is byte-identical
+    // to the sequential controller.log.
     let merge_t0 = std::time::Instant::now();
-    let finished = cursor;
+    let finished = stats.finished;
     store.write(
         "controller.log",
-        lanes[0].testbed().trace.render_min_level(TraceLevel::Info),
+        sup.lanes[0]
+            .testbed()
+            .trace
+            .render_min_level(TraceLevel::Info),
     )?;
     sched_journal.append(&JournalRecord::CampaignFinished {
         finished_ns: finished.as_nanos(),
-        succeeded: records.iter().filter(|r| r.success).count(),
-        failed: failed_runs.len(),
+        succeeded: stats.records.iter().filter(|r| r.success).count(),
+        failed: stats.failed_runs.len(),
     })?;
     let merge_wall_secs = merge_t0.elapsed().as_secs_f64();
 
-    let parallel_elapsed = laneset.makespan_end() - started;
+    let parallel_elapsed = sup.makespan_end() - started;
     Ok(ParallelOutcome {
         outcome: ExperimentOutcome {
             result_dir: store.dir().to_path_buf(),
-            runs: records,
+            runs: stats.records,
             started,
             finished,
-            recoveries: total_recoveries,
-            failed_runs,
-            quarantined_hosts,
-            total_recovery_time,
+            recoveries: stats.recoveries,
+            failed_runs: stats.failed_runs,
+            quarantined_hosts: stats.quarantined_hosts,
+            quarantined_runs: stats.quarantined_runs,
+            total_recovery_time: stats.recovery_time,
         },
-        lanes: lanes.len(),
-        flavors: Vec::new(), // filled by the caller from the lane plan
-        lane_runs,
+        lanes: sup.lanes.len(),
+        flavors: sup.flavors.iter().map(|f| f.label().to_string()).collect(),
+        lane_runs: stats.lane_runs,
         sequential_elapsed: finished - started,
         parallel_elapsed,
         merge_wall_secs,
+        retired_lanes: sup.retired.clone(),
+        replanned_lanes: sup.replanned,
+        failover_time: sup.failover_time,
+        ladder_retries: sup.ladder_retries,
     })
 }

@@ -18,9 +18,15 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Deterministic occupancy model of `n` worker lanes.
+///
+/// Lanes can be *retired* (a supervisor declaring them dead): a retired
+/// lane keeps its occupancy history — its `free_at` still contributes to
+/// the makespan — but [`LaneSet::next_lane`] never selects it again, and
+/// [`LaneSet::add_lane`] appends a replacement lane at the next index.
 #[derive(Debug, Clone)]
 pub struct LaneSet {
     free_at: Vec<SimTime>,
+    retired: Vec<bool>,
 }
 
 impl LaneSet {
@@ -28,10 +34,11 @@ impl LaneSet {
     /// end of the lane's setup phase). Panics if `free_at` is empty.
     pub fn new(free_at: Vec<SimTime>) -> LaneSet {
         assert!(!free_at.is_empty(), "a lane set needs at least one lane");
-        LaneSet { free_at }
+        let retired = vec![false; free_at.len()];
+        LaneSet { free_at, retired }
     }
 
-    /// Number of lanes.
+    /// Number of lanes, retired ones included.
     pub fn len(&self) -> usize {
         self.free_at.len()
     }
@@ -41,16 +48,45 @@ impl LaneSet {
         self.free_at.is_empty()
     }
 
-    /// The lane the next unit of work goes to: earliest `free_at`, ties
-    /// broken by the lowest index. Deterministic by construction.
+    /// Number of lanes still accepting work.
+    pub fn live_lanes(&self) -> usize {
+        self.retired.iter().filter(|r| !**r).count()
+    }
+
+    /// Marks `lane` dead: it keeps its history but receives no more work.
+    pub fn retire(&mut self, lane: usize) {
+        self.retired[lane] = true;
+    }
+
+    /// True when `lane` has been retired.
+    pub fn is_retired(&self, lane: usize) -> bool {
+        self.retired[lane]
+    }
+
+    /// Appends a replacement lane that becomes free at `free_at`,
+    /// returning its index (always `len()` before the call).
+    pub fn add_lane(&mut self, free_at: SimTime) -> usize {
+        self.free_at.push(free_at);
+        self.retired.push(false);
+        self.free_at.len() - 1
+    }
+
+    /// The lane the next unit of work goes to: earliest `free_at` among
+    /// live lanes, ties broken by the lowest index. Deterministic by
+    /// construction. Panics when every lane is retired — supervisors must
+    /// replan a replacement before dispatching further work.
     pub fn next_lane(&self) -> usize {
-        let mut best = 0;
-        for (i, t) in self.free_at.iter().enumerate().skip(1) {
-            if *t < self.free_at[best] {
-                best = i;
+        let mut best: Option<usize> = None;
+        for (i, t) in self.free_at.iter().enumerate() {
+            if self.retired[i] {
+                continue;
+            }
+            match best {
+                Some(b) if *t >= self.free_at[b] => {}
+                _ => best = Some(i),
             }
         }
-        best
+        best.expect("no live lanes left; replan a replacement before dispatching")
     }
 
     /// Books `duration` of work onto `lane` and returns the interval
@@ -94,6 +130,27 @@ pub fn lane_stream_label(lane: usize) -> String {
 /// Derives lane `lane`'s management sub-stream from the campaign seed.
 pub fn lane_rng(campaign_seed: u64, lane: usize) -> SimRng {
     SimRng::new(campaign_seed).derive(&lane_stream_label(lane))
+}
+
+/// Label of the retry-ladder jitter stream for run `run` retried onto
+/// lane `lane`: `"testbed/lane{k}/retry{run}"`.
+///
+/// Every (lane, run) pair gets its own sub-stream, disjoint from every
+/// other pair's *and* from the lane's management stream
+/// ([`lane_stream_label`]): a ladder draw must never perturb the draws a
+/// subsequent run takes from the lane stream, or byte-identity between
+/// lane counts breaks. Lane 0 is spelled out (`testbed/lane0/...`) even
+/// though its management label is the bare `"testbed"` — the ladder is a
+/// supervisor construct with no sequential twin to stay bit-compatible
+/// with.
+pub fn lane_retry_stream_label(lane: usize, run: usize) -> String {
+    format!("testbed/lane{lane}/retry{run}")
+}
+
+/// Derives the retry-ladder jitter sub-stream for (`lane`, `run`) from
+/// the campaign seed — see [`lane_retry_stream_label`].
+pub fn lane_retry_rng(campaign_seed: u64, lane: usize, run: usize) -> SimRng {
+    SimRng::new(campaign_seed).derive(&lane_retry_stream_label(lane, run))
 }
 
 #[cfg(test)]
@@ -164,5 +221,69 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn empty_lane_set_rejected() {
         LaneSet::new(Vec::new());
+    }
+
+    #[test]
+    fn retired_lane_receives_no_work_but_keeps_history() {
+        let mut lanes = LaneSet::new(vec![t(0), t(5), t(100)]);
+        lanes.occupy(2, d(10)); // lane 2 busy until t=110
+        lanes.retire(0);
+        assert!(lanes.is_retired(0));
+        assert_eq!(lanes.live_lanes(), 2);
+        assert_eq!(lanes.next_lane(), 1, "earliest *live* lane wins");
+        lanes.occupy(1, d(200));
+        assert_eq!(lanes.next_lane(), 2);
+        // The retired lane's clock still bounds nothing here, but the
+        // busiest live lane drives the makespan as before.
+        assert_eq!(lanes.makespan_end(), t(205));
+    }
+
+    #[test]
+    fn replacement_lane_appends_at_next_index() {
+        let mut lanes = LaneSet::new(vec![t(0), t(0)]);
+        lanes.retire(1);
+        assert_eq!(lanes.add_lane(t(50)), 2);
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes.live_lanes(), 2);
+        lanes.occupy(0, d(100));
+        assert_eq!(
+            lanes.next_lane(),
+            2,
+            "the replacement competes on its own free_at"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no live lanes")]
+    fn all_lanes_retired_panics_on_dispatch() {
+        let mut lanes = LaneSet::new(vec![t(0)]);
+        lanes.retire(0);
+        lanes.next_lane();
+    }
+
+    #[test]
+    fn retry_streams_are_disjoint_per_lane_and_from_the_lane_stream() {
+        assert_eq!(lane_retry_stream_label(0, 3), "testbed/lane0/retry3");
+        assert_eq!(lane_retry_stream_label(2, 3), "testbed/lane2/retry3");
+        let seed = 0xAB5EED;
+        let mut lane0_retry = lane_retry_rng(seed, 0, 3);
+        let mut lane2_retry = lane_retry_rng(seed, 2, 3);
+        let mut lane0_mgmt = lane_rng(seed, 0);
+        let mut lane2_mgmt = lane_rng(seed, 2);
+        let draws = [
+            lane0_retry.next_raw(),
+            lane2_retry.next_raw(),
+            lane0_mgmt.next_raw(),
+            lane2_mgmt.next_raw(),
+        ];
+        for i in 0..draws.len() {
+            for j in i + 1..draws.len() {
+                assert_ne!(draws[i], draws[j], "streams {i} and {j} collide");
+            }
+        }
+        // Same (lane, run) pair: same stream, every time — resume replays
+        // the exact ladder.
+        let mut again = lane_retry_rng(seed, 2, 3);
+        assert_eq!(again.next_raw(), draws[1]);
     }
 }

@@ -39,7 +39,7 @@ pub mod time;
 pub mod trace;
 
 pub use backoff::Backoff;
-pub use lanes::{lane_rng, lane_stream_label, LaneSet};
+pub use lanes::{lane_retry_rng, lane_retry_stream_label, lane_rng, lane_stream_label, LaneSet};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -32,9 +32,16 @@ cargo test -q --workspace
 echo "==> crash matrix (tests/crash_matrix.rs)"
 cargo test -q --test crash_matrix
 
+# The failover half of that contract: kill the scheduler at every append in
+# the failover record window (LaneRetired / RunRetry / RunQuarantined),
+# resume, and demand byte-identity with an uninterrupted faulted campaign.
+echo "==> failover crash matrix (tests/parallel_determinism.rs)"
+cargo test -q --test parallel_determinism crash_mid_failover_resumes_to_identical_tree
+cargo test -q --test parallel_determinism interrupted_failover_strands_run_and_fsck_flags_it
+
 if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
-    echo "==> bench smoke: robustness (sweep + chaos campaign + resume overhead)"
-    POS_RUN_SECS=0.05 POS_CHAOS_RUN_SECS=5 \
+    echo "==> bench smoke: robustness (sweep + chaos campaign + resume + lane failover)"
+    POS_RUN_SECS=0.05 POS_CHAOS_RUN_SECS=5 POS_FAILOVER_RUN_SECS=2 \
         cargo run --release -p pos-bench --bin robustness >/dev/null
     # Replay-determinism caveat: BENCH_robustness.json is byte-stable EXCEPT
     # the "resume" object — journal_replay_us / digest_verify_us are wall-clock

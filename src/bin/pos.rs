@@ -33,34 +33,55 @@ use pos::eval::plot::PlotSpec;
 use pos::publish::bundle::{verify_dir, verify_runs, Bundle};
 use pos::publish::website::{attach_site, SiteInfo};
 use pos::sched::{
-    resume_parallel, run_parallel, LaneFlavor, ParallelOptions, ParallelOutcome, SubmissionQueue,
+    resume_parallel, run_parallel, CompletionOutcome, LaneFaultPlan, LaneFlavor, LaneRecovery,
+    ParallelOptions, ParallelOutcome, SubmissionQueue,
 };
 use pos::testbed::{clone_virtual, CloneOptions, HardwareSpec, InitInterface, PortId, Testbed};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// How a command finished. `Degraded` is the contract for a campaign
+/// that *completed* — full result tree, sealed journals — but recorded
+/// failed or quarantined runs: exit code 3, distinct from both success
+/// (0) and error/abort (1), so automation can tell "usable but
+/// imperfect" from "dead".
+enum Completion {
+    Clean,
+    Degraded,
+}
+
+/// Exit code for a degraded-but-complete campaign.
+const EXIT_DEGRADED: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("init") => cmd_init(&args[1..]),
+        Some("init") => cmd_init(&args[1..]).map(|()| Completion::Clean),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("queue") => cmd_queue(&args[1..]),
-        Some("fsck") => cmd_fsck(&args[1..]),
-        Some("eval") => cmd_eval(&args[1..]),
-        Some("publish") => cmd_publish(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]).map(|()| Completion::Clean),
+        Some("eval") => cmd_eval(&args[1..]).map(|()| Completion::Clean),
+        Some("publish") => cmd_publish(&args[1..]).map(|()| Completion::Clean),
         Some("table1") => {
             print!("{}", pos::core::requirements::render_table1());
-            Ok(())
+            Ok(Completion::Clean)
         }
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
-            Ok(())
+            Ok(Completion::Clean)
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Completion::Clean) => ExitCode::SUCCESS,
+        Ok(Completion::Degraded) => {
+            eprintln!(
+                "pos: campaign completed DEGRADED (failed or quarantined runs \
+                 recorded in the result tree); exit code {EXIT_DEGRADED}"
+            );
+            ExitCode::from(EXIT_DEGRADED)
+        }
         Err(msg) => {
             eprintln!("pos: {msg}");
             ExitCode::FAILURE
@@ -75,6 +96,10 @@ fn usage() -> &'static str {
      \x20 pos init <dir>                     scaffold the case-study experiment\n\
      \x20 pos run <dir> [--results <root>] [--testbed pos|vpos] [--seed <n>]\n\
      \x20         [--lanes <n>] [--site-replicas <n>]   parallel worker lanes\n\
+     \x20         [--max-run-retries <n>] [--lane-grace <f>]\n\
+     \x20         [--lane-recovery redistribute|replace] [--poison-threshold <n>]\n\
+     \x20         [--lane-faults <json-file>]            injected lane faults\n\
+     \x20         exit codes: 0 ok, 1 error, 3 degraded completion\n\
      \x20 pos resume <result-dir> [--testbed pos|vpos]\n\
      \x20 pos queue submit <exp-dir> [--user <u>] [--priority <n>] [--queue <dir>]\n\
      \x20 pos queue status [--queue <dir>]\n\
@@ -183,7 +208,7 @@ fn build_testbed(
     Ok(tb)
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<Completion, String> {
     let (pos_args, opts) = parse_opts(args)?;
     let [dir] = pos_args.as_slice() else {
         return Err("usage: pos run <experiment-dir> [options]".into());
@@ -220,12 +245,54 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let mut run_opts = RunOptions::new(&results);
     run_opts.testbed_flavor = if virtualized { "vpos" } else { "pos" }.into();
+    if let Some(&n) = opts.get("max-run-retries") {
+        run_opts.max_run_retries = n
+            .parse()
+            .map_err(|_| format!("bad --max-run-retries {n}"))?;
+    }
 
-    if lanes > 1 {
+    let mut supervisor = pos::sched::SupervisorOptions::default();
+    if let Some(&g) = opts.get("lane-grace") {
+        supervisor.grace_factor = g.parse().map_err(|_| format!("bad --lane-grace {g}"))?;
+        if !supervisor.grace_factor.is_finite() || supervisor.grace_factor <= 0.0 {
+            return Err(format!("--lane-grace must be a positive factor, got {g}"));
+        }
+    }
+    if let Some(&k) = opts.get("poison-threshold") {
+        supervisor.poison_threshold = k
+            .parse()
+            .map_err(|_| format!("bad --poison-threshold {k}"))?;
+        if supervisor.poison_threshold == 0 {
+            return Err("--poison-threshold must be at least 1".into());
+        }
+    }
+    if let Some(&policy) = opts.get("lane-recovery") {
+        supervisor.recovery = match policy {
+            "redistribute" => LaneRecovery::Redistribute,
+            "replace" | "replacement" => LaneRecovery::Replacement,
+            other => {
+                return Err(format!(
+                    "--lane-recovery must be redistribute or replace, got {other}"
+                ))
+            }
+        };
+    }
+    if let Some(&file) = opts.get("lane-faults") {
+        let json = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read --lane-faults {file}: {e}"))?;
+        supervisor.fault_plan = serde_json::from_str::<LaneFaultPlan>(&json)
+            .map_err(|e| format!("{file} is not a valid lane fault plan: {e}"))?;
+    }
+
+    // A fault plan needs the supervisor, so even a single lane routes
+    // through the parallel path (this is what the byte-identity contract
+    // compares against: `--lanes 1` under the same fault plan).
+    let supervised = lanes > 1 || !supervisor.fault_plan.is_empty();
+    if supervised {
         if virtualized {
             return Err(
-                "--lanes needs the pos testbed; lanes beyond --site-replicas run on \
-                 vpos clones automatically"
+                "--lanes and --lane-faults need the pos testbed; lanes beyond \
+                 --site-replicas run on vpos clones automatically"
                     .into(),
             );
         }
@@ -240,6 +307,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let popts = ParallelOptions {
             lanes,
             site_replicas,
+            supervisor,
         };
         let out = run_parallel(&spec, &run_opts, &popts, &mut |_, flavor| {
             build_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
@@ -247,7 +315,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?;
         print_parallel_outcome(&out);
-        return Ok(());
+        return Ok(completion_of(&out.outcome));
     }
 
     let mut tb = build_testbed(&spec, seed, virtualized, false)?;
@@ -262,7 +330,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .run_experiment(&spec, &run_opts)
         .map_err(|e| e.to_string())?;
     print_outcome(&outcome);
-    Ok(())
+    Ok(completion_of(&outcome))
+}
+
+/// The degraded-exit-code contract: a campaign that completed but
+/// recorded failed or quarantined runs exits with code 3.
+fn completion_of(outcome: &ExperimentOutcome) -> Completion {
+    if outcome.failed_runs.is_empty() && outcome.quarantined_runs.is_empty() {
+        Completion::Clean
+    } else {
+        Completion::Degraded
+    }
 }
 
 /// The parallel variant of [`print_outcome`]: per-run lines come from the
@@ -289,6 +367,25 @@ fn print_parallel_outcome(out: &ParallelOutcome) {
         out.parallel_elapsed,
         out.speedup()
     );
+    if !out.retired_lanes.is_empty() || out.replanned_lanes > 0 {
+        println!(
+            "failover: {} lane(s) retired, {} replacement lane(s), \
+             {} retry step(s), {} failover time",
+            out.retired_lanes.len(),
+            out.replanned_lanes,
+            out.ladder_retries,
+            out.failover_time
+        );
+        for (lane, reason) in &out.retired_lanes {
+            println!("  lane {lane} retired: {reason}");
+        }
+    }
+    if !out.outcome.quarantined_runs.is_empty() {
+        println!(
+            "quarantined runs: {:?} (forensics under quarantine/)",
+            out.outcome.quarantined_runs
+        );
+    }
     print_outcome(&out.outcome);
 }
 
@@ -348,7 +445,7 @@ fn print_outcome(outcome: &ExperimentOutcome) {
     println!("next: pos eval {}", outcome.result_dir.display());
 }
 
-fn cmd_resume(args: &[String]) -> Result<(), String> {
+fn cmd_resume(args: &[String]) -> Result<Completion, String> {
     let (pos_args, opts) = parse_opts(args)?;
     let [dir] = pos_args.as_slice() else {
         return Err("usage: pos resume <result-dir> [--testbed pos|vpos]".into());
@@ -418,7 +515,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?;
         print_parallel_outcome(&out);
-        return Ok(());
+        return Ok(completion_of(&out.outcome));
     }
 
     let mut tb = build_testbed(&spec, *seed, virtualized, true)?;
@@ -436,7 +533,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         .resume_experiment(result_dir, &spec, &run_opts)
         .map_err(|e| e.to_string())?;
     print_outcome(&outcome);
-    Ok(())
+    Ok(completion_of(&outcome))
 }
 
 /// Multi-campaign admission: `pos queue submit|status|drain`.
@@ -445,7 +542,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
 /// so submissions survive between invocations; `drain` closes the queue
 /// and runs every admitted campaign to completion, preemption-free, in
 /// fair-share order.
-fn cmd_queue(args: &[String]) -> Result<(), String> {
+fn cmd_queue(args: &[String]) -> Result<Completion, String> {
     let (pos_args, opts) = parse_opts(args)?;
     let queue_dir = PathBuf::from(opts.get("queue").copied().unwrap_or("queue"));
     let queue_file = queue_dir.join("queue.json");
@@ -493,7 +590,7 @@ fn cmd_queue(args: &[String]) -> Result<(), String> {
                 q.status().depth,
                 q.status().capacity
             );
-            Ok(())
+            Ok(Completion::Clean)
         }
         ["status"] => {
             let q = load()?;
@@ -511,7 +608,13 @@ fn cmd_queue(args: &[String]) -> Result<(), String> {
                     s.id, s.user, s.experiment, s.priority
                 );
             }
-            Ok(())
+            for c in &st.completed {
+                println!(
+                    "  #{} {} {} -> {}",
+                    c.submission.id, c.submission.user, c.submission.experiment, c.outcome
+                );
+            }
+            Ok(Completion::Clean)
         }
         ["drain"] => {
             let mut q = load()?;
@@ -519,7 +622,7 @@ fn cmd_queue(args: &[String]) -> Result<(), String> {
             save(&q)?;
             if admitted.is_empty() {
                 println!("queue empty, nothing to drain");
-                return Ok(());
+                return Ok(Completion::Clean);
             }
             println!(
                 "draining {} campaign(s) in fair-share order",
@@ -532,6 +635,11 @@ fn cmd_queue(args: &[String]) -> Result<(), String> {
                 .to_string();
             let seed = opts.get("seed").copied().unwrap_or("1799").to_string();
             let lanes = opts.get("lanes").copied();
+            // A degraded campaign is a *completed* campaign: record it in
+            // the ledger rather than dropping or re-admitting it, and keep
+            // draining. Only hard errors stop counting as completion.
+            let mut drain_completion = Completion::Clean;
+            let mut failures = Vec::new();
             for sub in admitted {
                 println!("== #{} {} {} ==", sub.id, sub.user, sub.experiment);
                 let mut run_args = vec![
@@ -545,9 +653,35 @@ fn cmd_queue(args: &[String]) -> Result<(), String> {
                     run_args.push("--lanes".into());
                     run_args.push(lanes.to_string());
                 }
-                cmd_run(&run_args)?;
+                let outcome = match cmd_run(&run_args) {
+                    Ok(Completion::Clean) => CompletionOutcome::Completed,
+                    Ok(Completion::Degraded) => {
+                        drain_completion = Completion::Degraded;
+                        CompletionOutcome::CompletedDegraded
+                    }
+                    Err(msg) => {
+                        eprintln!("pos: submission #{} failed: {msg}", sub.id);
+                        failures.push(sub.id);
+                        CompletionOutcome::Failed
+                    }
+                };
+                q.record_outcome(sub, outcome);
+                save(&q)?;
             }
-            Ok(())
+            for c in q.completed() {
+                println!(
+                    "#{} {} {} -> {}",
+                    c.submission.id, c.submission.user, c.submission.experiment, c.outcome
+                );
+            }
+            if failures.is_empty() {
+                Ok(drain_completion)
+            } else {
+                Err(format!(
+                    "{} submission(s) failed to run: {failures:?}",
+                    failures.len()
+                ))
+            }
         }
         _ => Err("usage: pos queue submit <exp-dir> | status | drain [options]".into()),
     }
