@@ -649,3 +649,265 @@ pub mod failover {
         }
     }
 }
+
+/// Storage-fault overhead: what scrub costs on a finished tree and what
+/// an ENOSPC checkpoint + resume costs a campaign, see the `robustness`
+/// binary.
+pub mod storage {
+    use pos_core::commands::register_all;
+    use pos_core::controller::{Controller, RunOptions};
+    use pos_core::experiment::linux_router_experiment;
+    use pos_core::journal::{Journal, JOURNAL_FILE};
+    use pos_core::resultstore::MANIFEST_FILE;
+    use pos_core::scrub::scrub;
+    use pos_core::vfs::{DiskFault, FaultPlan, Vfs};
+    use pos_testbed::{HardwareSpec, InitInterface, PortId, Testbed};
+    use serde::Serialize;
+    use std::path::Path;
+    use std::time::Instant;
+
+    /// What `pos scrub` pays on a finished campaign tree: a full
+    /// detect-only pass (the steady-state cost of periodic integrity
+    /// sweeps), then a repair pass after one manifest is rotted (the
+    /// heal path, including the journal-anchored rebuild).
+    ///
+    /// The `_us` fields are wall-clock microseconds — real I/O + SHA-256
+    /// costs that vary between machines and runs (see the note in
+    /// `scripts/ci.sh` about comparing bench outputs). Everything else
+    /// is deterministic for a given campaign seed.
+    #[derive(Debug, Serialize)]
+    pub struct ScrubOverhead {
+        /// Run directories walked.
+        pub runs_scanned: usize,
+        /// Manifest entries hashed and compared.
+        pub files_scanned: usize,
+        /// Findings on the undamaged tree (must be zero).
+        pub findings_on_clean_tree: usize,
+        /// Wall-clock cost of the detect-only pass, microseconds.
+        pub detect_us: u64,
+        /// Findings healed in place by the repair pass (the rotted
+        /// manifest, rebuilt from intact artifacts).
+        pub repaired: usize,
+        /// Wall-clock cost of the repair pass, microseconds.
+        pub repair_us: u64,
+    }
+
+    /// Measures [`ScrubOverhead`] against a finished campaign tree.
+    /// Rots one manifest byte to exercise the heal path, then leaves the
+    /// tree repaired and clean.
+    pub fn measure_scrub_overhead(result_dir: &Path) -> ScrubOverhead {
+        let t = Instant::now();
+        let detect = scrub(result_dir, false).expect("scrub walks the tree");
+        let detect_us = t.elapsed().as_micros() as u64;
+        assert!(
+            detect.clean,
+            "campaign tree must scrub clean before rot is injected:\n{}",
+            detect.render()
+        );
+
+        // Rot one manifest byte: the journaled digest no longer matches,
+        // and the repair pass must rebuild the manifest from the (still
+        // intact) artifacts.
+        let manifest = result_dir.join("run-0000").join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&manifest).expect("manifest readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&manifest, bytes).expect("manifest writable");
+
+        let t = Instant::now();
+        let heal = scrub(result_dir, true).expect("scrub heals the tree");
+        let repair_us = t.elapsed().as_micros() as u64;
+        assert_eq!(heal.repaired, 1, "manifest rebuild heals in place");
+        assert!(
+            scrub(result_dir, false).expect("confirming pass").clean,
+            "tree must verify clean after repair"
+        );
+
+        ScrubOverhead {
+            runs_scanned: detect.runs_scanned,
+            files_scanned: detect.files_scanned,
+            findings_on_clean_tree: detect.findings.len(),
+            detect_us,
+            repaired: heal.repaired,
+            repair_us,
+        }
+    }
+
+    /// What running out of disk mid-campaign costs: the campaign
+    /// checkpoints at the last consistent journal boundary instead of
+    /// dying, and `pos resume` finishes the remainder once space is
+    /// back. Counters are deterministic for a given seed; only the
+    /// `_us` field is wall clock.
+    #[derive(Debug, Serialize)]
+    pub struct EnospcRecovery {
+        /// Seed the campaign (and fault plan) were derived from.
+        pub seed: u64,
+        /// Journal size of the uninterrupted campaign, bytes.
+        pub journal_bytes_total: u64,
+        /// Journal byte budget at which the disk "filled".
+        pub fault_after_bytes: u64,
+        /// Measurement runs in the campaign.
+        pub runs_total: usize,
+        /// Journal records durable at the checkpoint.
+        pub records_at_checkpoint: usize,
+        /// Runs already sealed at the checkpoint (kept, not re-run).
+        pub runs_at_checkpoint: usize,
+        /// Runs completed after resume (must equal `runs_total`).
+        pub runs_after_resume: usize,
+        /// Wall-clock cost of the resume-to-completion, microseconds.
+        pub resume_us: u64,
+    }
+
+    const SEED: u64 = 0xE2052C;
+
+    /// Relative path → SHA-256 of every non-journal file under `dir`.
+    /// Journals are excluded by contract: the resumed journal records the
+    /// interruption and legitimately differs from the reference's.
+    fn tree_digests(dir: &Path) -> std::collections::BTreeMap<String, String> {
+        use pos_core::hash::sha256_hex;
+        let mut files = std::collections::BTreeMap::new();
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(current) = stack.pop() {
+            for entry in std::fs::read_dir(&current).expect("walkable tree") {
+                let path = entry.expect("readable entry").path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                let name = path.file_name().expect("file name").to_string_lossy();
+                if name.starts_with("journal") {
+                    continue;
+                }
+                let rel = path
+                    .strip_prefix(dir)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                files.insert(rel, sha256_hex(&std::fs::read(&path).expect("readable")));
+            }
+        }
+        files
+    }
+
+    fn testbed() -> Testbed {
+        let mut tb = Testbed::new(SEED);
+        tb.add_host("vriga", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.add_host("vtartu", HardwareSpec::paper_dut(), InitInterface::Ipmi);
+        tb.topology
+            .wire(PortId::new("vriga", 0), PortId::new("vtartu", 0))
+            .expect("fresh ports");
+        tb.topology
+            .wire(PortId::new("vtartu", 1), PortId::new("vriga", 1))
+            .expect("fresh ports");
+        register_all(&mut tb);
+        tb
+    }
+
+    /// Measures [`EnospcRecovery`] with a two-run campaign under `root`:
+    /// an uninterrupted reference sizes the journal, a faulted twin hits
+    /// ENOSPC halfway through it, and the timed resume converges the
+    /// tree to the reference outcome.
+    pub fn measure_enospc_recovery(run_secs: u64, root: &Path) -> EnospcRecovery {
+        let spec = linux_router_experiment("vriga", "vtartu", 1, run_secs);
+
+        let mut tb = testbed();
+        let reference = Controller::new(&mut tb)
+            .run_experiment(&spec, &RunOptions::new(root.join("reference")))
+            .expect("uninterrupted campaign succeeds");
+        let journal_bytes_total = std::fs::metadata(reference.result_dir.join(JOURNAL_FILE))
+            .expect("reference journal exists")
+            .len();
+
+        // The disk "fills" halfway through the journal the campaign
+        // would write — mid-campaign, after at least one sealed run.
+        let fault_after_bytes = journal_bytes_total / 2;
+        let fault_root = root.join("faulted");
+        let mut opts = RunOptions::new(&fault_root);
+        opts.vfs = Vfs::faulty(FaultPlan {
+            seed: SEED,
+            faults: vec![DiskFault::Enospc {
+                after_bytes: fault_after_bytes,
+                file: Some(JOURNAL_FILE.into()),
+            }],
+        })
+        .expect("plan validates");
+        let mut tb = testbed();
+        let err = Controller::new(&mut tb)
+            .run_experiment(&spec, &opts)
+            .expect_err("campaign must hit ENOSPC");
+        assert!(err.is_storage_full(), "unexpected abort: {err}");
+
+        // What survived the outage: the journal replays to its last
+        // consistent boundary (the checkpoint resume starts from).
+        let result_dir = {
+            let mut found = None;
+            let mut stack = vec![fault_root.clone()];
+            while let Some(current) = stack.pop() {
+                if current.join(JOURNAL_FILE).exists() {
+                    found = Some(current);
+                    break;
+                }
+                if current.is_dir() {
+                    for entry in std::fs::read_dir(&current).expect("walkable") {
+                        stack.push(entry.expect("readable entry").path());
+                    }
+                }
+            }
+            found.expect("faulted campaign left a journal")
+        };
+        let replay =
+            Journal::replay(&result_dir.join(JOURNAL_FILE)).expect("checkpoint journal replays");
+        let runs_at_checkpoint = replay
+            .records
+            .iter()
+            .filter(|r| matches!(r, pos_core::journal::JournalRecord::RunCompleted { .. }))
+            .count();
+
+        // Space is back: time what `pos resume` pays to finish.
+        let t = Instant::now();
+        let mut tb = testbed();
+        let resumed = Controller::new(&mut tb)
+            .resume_experiment(&result_dir, &spec, &RunOptions::new(&fault_root))
+            .expect("resume completes once space returns");
+        let resume_us = t.elapsed().as_micros() as u64;
+        assert_eq!(
+            tree_digests(&result_dir),
+            tree_digests(&reference.result_dir),
+            "resumed campaign must converge to the reference tree"
+        );
+
+        EnospcRecovery {
+            seed: SEED,
+            journal_bytes_total,
+            fault_after_bytes,
+            runs_total: reference.runs.len(),
+            records_at_checkpoint: replay.records.len(),
+            runs_at_checkpoint,
+            runs_after_resume: resumed.successes(),
+            resume_us,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn enospc_recovery_checkpoints_and_converges() {
+            let root =
+                std::env::temp_dir().join(format!("pos-bench-enospc-test-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            let r = measure_enospc_recovery(1, &root);
+            assert_eq!(r.runs_total, 2);
+            assert_eq!(r.runs_after_resume, r.runs_total);
+            assert!(
+                r.runs_at_checkpoint < r.runs_total,
+                "the outage must land mid-campaign, got checkpoint {}/{}",
+                r.runs_at_checkpoint,
+                r.runs_total
+            );
+            assert!(r.fault_after_bytes < r.journal_bytes_total);
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}

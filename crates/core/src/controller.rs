@@ -35,6 +35,7 @@ use crate::loopvars::{cross_product_size, expand_cross_product, RunParams};
 use crate::resultstore::{run_metadata, ResultStore};
 use crate::script::Step;
 use crate::vars::Variables;
+use crate::vfs::Vfs;
 use pos_netsim::{ChaosEvent, ChaosPlan};
 use pos_simkernel::{Backoff, SimDuration, SimTime, TraceLevel};
 use pos_testbed::{CommandResult, ExecError, PowerError, Testbed};
@@ -81,6 +82,11 @@ pub struct RunOptions {
     /// `"vpos"`). A resume refuses a flavor mismatch: the flavors boot
     /// differently, so the wrong one cannot replay the recorded timeline.
     pub testbed_flavor: String,
+    /// The durable-I/O layer every journal append and result-store write
+    /// of the campaign goes through. [`Vfs::real`] by default; a
+    /// [`Vfs::faulty`] handle turns disk failures (ENOSPC, torn writes,
+    /// failing fsyncs) into deterministic, replayable inputs.
+    pub vfs: Vfs,
 }
 
 impl RunOptions {
@@ -101,6 +107,7 @@ impl RunOptions {
             journal_crash_after: None,
             journal_torn_write: false,
             testbed_flavor: "pos".into(),
+            vfs: Vfs::real(),
         }
     }
 }
@@ -404,6 +411,21 @@ impl fmt::Display for ControllerError {
 }
 
 impl std::error::Error for ControllerError {}
+
+impl ControllerError {
+    /// True when the campaign stopped because the storage medium filled
+    /// up (ENOSPC) — real or injected. The CLI downgrades this from a
+    /// hard error to a *degraded* outcome (exit code 3): the write-ahead
+    /// journal already checkpointed the campaign at the last consistent
+    /// record boundary, so `pos resume` completes it once space returns.
+    pub fn is_storage_full(&self) -> bool {
+        match self {
+            ControllerError::Io(e) => crate::vfs::is_storage_full(e),
+            ControllerError::Journal(JournalError::Io(e)) => crate::vfs::is_storage_full(e),
+            _ => false,
+        }
+    }
+}
 
 impl From<std::io::Error> for ControllerError {
     fn from(e: std::io::Error) -> Self {
@@ -869,8 +891,9 @@ impl<'t> Controller<'t> {
         // Every in-band command from here on runs under the watchdog.
         self.tb.set_command_timeout(opts.command_timeout);
         let started = self.tb.now();
-        let store = ResultStore::create(&opts.result_root, &spec.user, &spec.name, started)?;
-        let mut journal = Journal::create(store.dir().join(JOURNAL_FILE))?;
+        let store = ResultStore::create(&opts.result_root, &spec.user, &spec.name, started)?
+            .with_vfs(opts.vfs.clone());
+        let mut journal = Journal::create_with(store.dir().join(JOURNAL_FILE), opts.vfs.clone())?;
         journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
         journal.append(&JournalRecord::CampaignStarted {
             seed: self.tb.seed(),
@@ -912,7 +935,7 @@ impl<'t> Controller<'t> {
         let (spec, runs) = self.prepare(spec, opts)?;
         self.tb.set_command_timeout(opts.command_timeout);
 
-        let store = ResultStore::open(result_dir);
+        let store = ResultStore::open(result_dir).with_vfs(opts.vfs.clone());
         let journal_path = store.dir().join(JOURNAL_FILE);
         let replay = Journal::replay(&journal_path).map_err(ControllerError::Journal)?;
         let (seed, spec_digest, total_runs, testbed) = match replay.campaign_start() {
@@ -1044,7 +1067,7 @@ impl<'t> Controller<'t> {
             }
         }
 
-        let mut journal = Journal::open_append(&journal_path)?;
+        let mut journal = Journal::open_append_with(&journal_path, opts.vfs.clone())?;
         journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
         journal.append(&JournalRecord::CampaignResumed {
             resumed_ns: self.tb.now().as_nanos(),

@@ -24,14 +24,19 @@
 //! audit a result tree offline.
 
 use crate::hash::sha256_hex;
+use crate::vfs::Vfs;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Frame magic; bump the digit for incompatible format changes.
 pub const JOURNAL_MAGIC: &str = "POSJ1";
+
+/// Byte length of a frame header: `"POSJ1 "` + 8 hex length digits +
+/// `" "` + 64 hex digest digits + `" "`.
+pub const FRAME_HEADER_LEN: usize = JOURNAL_MAGIC.len() + 1 + 8 + 1 + 64 + 1;
 
 /// File name of the journal inside a result tree.
 pub const JOURNAL_FILE: &str = "journal.log";
@@ -298,6 +303,7 @@ impl Replay {
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
+    vfs: Vfs,
     appended: u64,
     crash_after: Option<u64>,
     torn_write: bool,
@@ -306,14 +312,17 @@ pub struct Journal {
 impl Journal {
     /// Creates a fresh journal file (truncating any existing one).
     pub fn create(path: impl Into<PathBuf>) -> io::Result<Journal> {
+        Self::create_with(path, Vfs::real())
+    }
+
+    /// [`Journal::create`] writing through an explicit [`Vfs`] handle,
+    /// so injected storage faults hit journal appends too.
+    pub fn create_with(path: impl Into<PathBuf>, vfs: Vfs) -> io::Result<Journal> {
         let path = path.into();
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        let f = fs::File::create(&path)?;
-        f.sync_all()?;
+        vfs.create_sync(&path)?;
         Ok(Journal {
             path,
+            vfs,
             appended: 0,
             crash_after: None,
             torn_write: false,
@@ -327,6 +336,11 @@ impl Journal {
     /// artifact into irrecoverable corruption. A journal that replays as
     /// corrupt is refused.
     pub fn open_append(path: impl Into<PathBuf>) -> io::Result<Journal> {
+        Self::open_append_with(path, Vfs::real())
+    }
+
+    /// [`Journal::open_append`] writing through an explicit [`Vfs`].
+    pub fn open_append_with(path: impl Into<PathBuf>, vfs: Vfs) -> io::Result<Journal> {
         let path = path.into();
         if !path.exists() {
             return Err(io::Error::new(
@@ -336,10 +350,8 @@ impl Journal {
         }
         match Self::replay(&path) {
             Ok(replay) if replay.torn_tail => {
-                let f = fs::OpenOptions::new().write(true).open(&path)?;
-                let len = f.metadata()?.len();
-                f.set_len(len - replay.torn_bytes as u64)?;
-                f.sync_all()?;
+                let len = fs::metadata(&path)?.len();
+                vfs.truncate_sync(&path, len - replay.torn_bytes as u64)?;
             }
             Ok(_) => {}
             Err(JournalError::Io(e)) => return Err(e),
@@ -349,6 +361,7 @@ impl Journal {
         }
         Ok(Journal {
             path,
+            vfs,
             appended: 0,
             crash_after: None,
             torn_write: false,
@@ -369,36 +382,31 @@ impl Journal {
         self.appended
     }
 
-    /// Encodes one record as its on-disk frame.
-    fn encode(record: &JournalRecord) -> String {
-        let json = serde_json::to_string(record).expect("journal records serialize");
-        format!(
-            "{JOURNAL_MAGIC} {:08x} {} {json}\n",
-            json.len(),
-            sha256_hex(json.as_bytes())
-        )
+    /// Encodes one record as its on-disk frame. Serialization failure
+    /// surfaces as a typed error instead of aborting — an injected fault
+    /// must never be able to take the process down past an `expect`.
+    fn encode(record: &JournalRecord) -> io::Result<String> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(encode_frame(&json))
     }
 
     /// Appends one record durably (write + fsync before returning).
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
-        let frame = Self::encode(record);
+        let frame = Self::encode(record)?;
         if self.crash_after == Some(self.appended) {
             if self.torn_write {
                 // A torn write leaves a partial frame: enough bytes that
                 // replay sees an incomplete record, not a clean boundary.
                 let cut = frame.len() / 2;
-                let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
-                f.write_all(&frame.as_bytes()[..cut])?;
-                f.sync_all()?;
+                Vfs::real().append_sync(&self.path, &frame.as_bytes()[..cut])?;
             }
             return Err(io::Error::new(
                 io::ErrorKind::Interrupted,
                 format!("injected journal crash at record {}", self.appended),
             ));
         }
-        let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
-        f.write_all(frame.as_bytes())?;
-        f.sync_all()?;
+        self.vfs.append_sync(&self.path, frame.as_bytes())?;
         self.appended += 1;
         Ok(())
     }
@@ -409,72 +417,163 @@ impl Journal {
         let bytes = fs::read(path)?;
         let mut records = Vec::new();
         let mut offset = 0usize;
-        // Frame: "POSJ1 " + 8 hex + " " + 64 hex + " " + <len> json + "\n".
-        let header_len = JOURNAL_MAGIC.len() + 1 + 8 + 1 + 64 + 1;
         while offset < bytes.len() {
-            let rest = &bytes[offset..];
-            if rest.len() < header_len {
-                // Not even a full header: crash mid-append.
-                return Ok(Replay {
-                    records,
-                    torn_tail: true,
-                    torn_bytes: rest.len(),
-                });
+            match decode_frame(&bytes, offset)? {
+                FrameStep::Record { record, frame_len } => {
+                    records.push(record);
+                    offset += frame_len;
+                }
+                FrameStep::Torn { torn_bytes } => {
+                    return Ok(Replay {
+                        records,
+                        torn_tail: true,
+                        torn_bytes,
+                    });
+                }
             }
-            let header = &rest[..header_len];
-            let header_str = std::str::from_utf8(header).map_err(|_| JournalError::Corrupt {
-                offset,
-                reason: "frame header is not UTF-8".into(),
-            })?;
-            let magic = &header_str[..JOURNAL_MAGIC.len()];
-            if magic != JOURNAL_MAGIC {
-                return Err(JournalError::Corrupt {
-                    offset,
-                    reason: format!("bad magic {magic:?}"),
-                });
-            }
-            let len_hex = &header_str[JOURNAL_MAGIC.len() + 1..JOURNAL_MAGIC.len() + 9];
-            let len = usize::from_str_radix(len_hex, 16).map_err(|_| JournalError::Corrupt {
-                offset,
-                reason: format!("bad length field {len_hex:?}"),
-            })?;
-            let digest = &header_str[JOURNAL_MAGIC.len() + 10..JOURNAL_MAGIC.len() + 74];
-            let body_start = header_len;
-            let frame_len = body_start + len + 1; // + trailing newline
-            if rest.len() < frame_len {
-                // Header complete, payload truncated: torn tail.
-                return Ok(Replay {
-                    records,
-                    torn_tail: true,
-                    torn_bytes: rest.len(),
-                });
-            }
-            let body = &rest[body_start..body_start + len];
-            if rest[body_start + len] != b'\n' {
-                return Err(JournalError::Corrupt {
-                    offset,
-                    reason: "frame not newline-terminated".into(),
-                });
-            }
-            if sha256_hex(body) != digest {
-                return Err(JournalError::Corrupt {
-                    offset,
-                    reason: "record checksum mismatch".into(),
-                });
-            }
-            let record: JournalRecord =
-                serde_json::from_slice(body).map_err(|e| JournalError::Corrupt {
-                    offset,
-                    reason: format!("record does not parse: {e}"),
-                })?;
-            records.push(record);
-            offset += frame_len;
         }
         Ok(Replay {
             records,
             torn_tail: false,
             torn_bytes: 0,
         })
+    }
+}
+
+/// Encodes a serialized record payload as its on-disk frame:
+/// `POSJ1 <len:08x> <sha256-hex-of-json> <json>\n`. The single framing
+/// path shared by every journal writer — the scheduler-level
+/// `journal.log` and the per-lane `journal-lane{k}.log` files alike.
+pub fn encode_frame(json: &str) -> String {
+    format!(
+        "{JOURNAL_MAGIC} {:08x} {} {json}\n",
+        json.len(),
+        sha256_hex(json.as_bytes())
+    )
+}
+
+/// Outcome of decoding one frame out of a byte buffer.
+#[derive(Debug)]
+pub enum FrameStep {
+    /// A complete, validated record.
+    Record {
+        /// The decoded record.
+        record: JournalRecord,
+        /// Total on-disk frame length (header + payload + newline).
+        frame_len: usize,
+    },
+    /// The buffer ends mid-frame — a torn tail, not corruption.
+    Torn {
+        /// Trailing bytes that do not form a complete frame.
+        torn_bytes: usize,
+    },
+}
+
+/// Decodes the frame starting at `offset`, distinguishing a torn tail
+/// (buffer ends mid-frame) from corruption (a complete frame that fails
+/// validation). The single decoding path shared by [`Journal::replay`]
+/// for every journal flavor.
+pub fn decode_frame(bytes: &[u8], offset: usize) -> Result<FrameStep, JournalError> {
+    let rest = &bytes[offset..];
+    if rest.len() < FRAME_HEADER_LEN {
+        // Not even a full header: crash mid-append.
+        return Ok(FrameStep::Torn {
+            torn_bytes: rest.len(),
+        });
+    }
+    let header = &rest[..FRAME_HEADER_LEN];
+    let header_str = std::str::from_utf8(header).map_err(|_| JournalError::Corrupt {
+        offset,
+        reason: "frame header is not UTF-8".into(),
+    })?;
+    let magic = &header_str[..JOURNAL_MAGIC.len()];
+    if magic != JOURNAL_MAGIC {
+        return Err(JournalError::Corrupt {
+            offset,
+            reason: format!("bad magic {magic:?}"),
+        });
+    }
+    let len_hex = &header_str[JOURNAL_MAGIC.len() + 1..JOURNAL_MAGIC.len() + 9];
+    let len = usize::from_str_radix(len_hex, 16).map_err(|_| JournalError::Corrupt {
+        offset,
+        reason: format!("bad length field {len_hex:?}"),
+    })?;
+    let digest = &header_str[JOURNAL_MAGIC.len() + 10..JOURNAL_MAGIC.len() + 74];
+    let body_start = FRAME_HEADER_LEN;
+    let frame_len = body_start + len + 1; // + trailing newline
+    if rest.len() < frame_len {
+        // Header complete, payload truncated: torn tail.
+        return Ok(FrameStep::Torn {
+            torn_bytes: rest.len(),
+        });
+    }
+    let body = &rest[body_start..body_start + len];
+    if rest[body_start + len] != b'\n' {
+        return Err(JournalError::Corrupt {
+            offset,
+            reason: "frame not newline-terminated".into(),
+        });
+    }
+    if sha256_hex(body) != digest {
+        return Err(JournalError::Corrupt {
+            offset,
+            reason: "record checksum mismatch".into(),
+        });
+    }
+    let record: JournalRecord =
+        serde_json::from_slice(body).map_err(|e| JournalError::Corrupt {
+            offset,
+            reason: format!("record does not parse: {e}"),
+        })?;
+    Ok(FrameStep::Record { record, frame_len })
+}
+
+/// Everything needed to bring up one worker lane's journal.
+///
+/// Shared by the three places that used to hand-roll the same
+/// create-or-reopen + crash-arming + `LaneStarted` boilerplate: the
+/// parallel scheduler's initial lane bring-up, its resume path, and the
+/// supervisor's replacement-lane replanning.
+#[derive(Debug, Clone)]
+pub struct LaneJournalSpec {
+    /// Zero-based lane index.
+    pub lane: usize,
+    /// Campaign root seed (lanes are same-seed replicas).
+    pub seed: u64,
+    /// Testbed flavor the lane runs on.
+    pub flavor: String,
+    /// Virtual time the lane became ready, nanoseconds.
+    pub started_ns: u64,
+    /// Deterministic crash injection: fail the `crash_after`-th append.
+    pub crash_after: Option<u64>,
+    /// Whether the injected crash tears the frame.
+    pub torn_write: bool,
+}
+
+/// Opens lane `spec.lane`'s journal in `dir` for appending, creating it
+/// (and writing its `LaneStarted` header record) when absent. Crash
+/// injection is armed *before* the header append so an armed lane can
+/// crash on its very first record, same as the hand-rolled code did.
+pub fn open_or_create_lane_journal(
+    vfs: &Vfs,
+    dir: &Path,
+    spec: &LaneJournalSpec,
+) -> io::Result<Journal> {
+    let path = dir.join(lane_journal_file(spec.lane));
+    if path.exists() {
+        let mut journal = Journal::open_append_with(&path, vfs.clone())?;
+        journal.arm_crash(spec.crash_after, spec.torn_write);
+        Ok(journal)
+    } else {
+        let mut journal = Journal::create_with(&path, vfs.clone())?;
+        journal.arm_crash(spec.crash_after, spec.torn_write);
+        journal.append(&JournalRecord::LaneStarted {
+            lane: spec.lane,
+            seed: spec.seed,
+            flavor: spec.flavor.clone(),
+            started_ns: spec.started_ns,
+        })?;
+        Ok(journal)
     }
 }
 
@@ -704,5 +803,87 @@ mod tests {
         assert!(replay.records.is_empty());
         assert!(!replay.torn_tail);
         assert!(replay.campaign_start().is_none());
+    }
+
+    /// Byte offsets at which a journal image is a clean prefix: 0 and
+    /// the end of every complete frame.
+    fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+        let mut boundaries = vec![0usize];
+        let mut offset = 0;
+        while offset < bytes.len() {
+            match decode_frame(bytes, offset).expect("whole journal decodes") {
+                FrameStep::Record { frame_len, .. } => {
+                    offset += frame_len;
+                    boundaries.push(offset);
+                }
+                FrameStep::Torn { .. } => panic!("whole journal has no torn tail"),
+            }
+        }
+        boundaries
+    }
+
+    /// The torn/corrupt distinction, exhaustively: a file cut at *any*
+    /// byte offset is a crash artifact — replay classifies it as a torn
+    /// tail (or a clean boundary), never as corruption, and keeps every
+    /// frame that fit entirely below the cut.
+    #[test]
+    fn every_truncation_offset_classified_torn_or_clean() {
+        let path = tmp("truncsweep");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&started()).unwrap();
+        j.append(&completed(0)).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let boundaries = frame_boundaries(&bytes);
+        for cut in 0..=bytes.len() {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            let replay = Journal::replay(&path)
+                .unwrap_or_else(|e| panic!("cut at byte {cut} misclassified as {e}"));
+            assert_eq!(replay.torn_tail, !boundaries.contains(&cut), "cut {cut}");
+            let committed = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(replay.records.len(), committed, "cut {cut}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Same invariant under randomized journals: any truncation
+            /// replays as the committed prefix, and reopening for append
+            /// (which drops the torn tail) never loses a committed
+            /// record — the file keeps growing from a clean boundary.
+            #[test]
+            fn truncated_journal_reopens_without_losing_records(
+                extra in 1usize..4,
+                cut_frac in 0.0f64..1.0,
+            ) {
+                let path = tmp("proptrunc");
+                let mut expected = vec![started()];
+                expected.extend((0..extra).map(completed));
+                let mut j = Journal::create(&path).unwrap();
+                for r in &expected {
+                    j.append(r).unwrap();
+                }
+                let bytes = fs::read(&path).unwrap();
+                let boundaries = frame_boundaries(&bytes);
+                let cut = ((cut_frac * (bytes.len() + 1) as f64) as usize).min(bytes.len());
+                fs::write(&path, &bytes[..cut]).unwrap();
+
+                let replay = Journal::replay(&path)
+                    .expect("truncation is a crash artifact, never corruption");
+                let committed = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+                prop_assert_eq!(replay.records.len(), committed);
+                prop_assert_eq!(replay.torn_tail, !boundaries.contains(&cut));
+
+                let mut j = Journal::open_append(&path).unwrap();
+                j.append(&completed(99)).unwrap();
+                let replay = Journal::replay(&path).unwrap();
+                prop_assert!(!replay.torn_tail);
+                prop_assert_eq!(replay.records.len(), committed + 1);
+                prop_assert_eq!(&replay.records[..committed], &expected[..committed]);
+                prop_assert_eq!(replay.records.last().unwrap(), &completed(99));
+            }
+        }
     }
 }

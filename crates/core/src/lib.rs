@@ -29,6 +29,11 @@
 //!   that makes interrupted campaigns resumable.
 //! * [`fsck`] — offline integrity checking of a result tree against its
 //!   journal and per-run checksum manifests.
+//! * [`vfs`] — the durable-I/O layer all of the above write through,
+//!   with deterministic storage-fault injection (ENOSPC, torn writes,
+//!   fsync failures, bit rot) as a replayable plan.
+//! * [`scrub`] — bit-rot detection and self-healing repair of result
+//!   trees (`pos scrub`).
 
 #![warn(missing_docs)]
 
@@ -42,7 +47,9 @@ pub mod loopvars;
 pub mod requirements;
 pub mod resultstore;
 pub mod script;
+pub mod scrub;
 pub mod vars;
+pub mod vfs;
 
 pub use controller::{
     CampaignSetup, Controller, ControllerError, ExperimentOutcome, HostHealth, Progress,
@@ -51,4 +58,6 @@ pub use controller::{
 pub use experiment::{ExperimentSpec, RoleSpec};
 pub use loopvars::{expand_cross_product, RunParams};
 pub use script::{Script, Step};
+pub use scrub::{scrub, ScrubReport};
 pub use vars::{VarValue, Variables};
+pub use vfs::{DiskFault, FaultPlan, Vfs};

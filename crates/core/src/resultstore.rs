@@ -45,11 +45,12 @@
 
 use crate::hash::sha256_hex;
 use crate::loopvars::RunParams;
+use crate::vfs::Vfs;
 use pos_simkernel::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Name of the per-run checksum manifest.
@@ -58,31 +59,18 @@ pub const MANIFEST_FILE: &str = "checksums.json";
 /// Atomically writes `contents` to `path`: temp sibling → fsync → rename
 /// → parent directory fsync. Readers never see partial content; a crash
 /// leaves either the old file or the new one.
+///
+/// Convenience wrapper over [`Vfs::atomic_write`] on the real VFS, for
+/// callers outside a campaign (reports, ledgers) that still want the
+/// same durability discipline.
 pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
-    let parent = path
-        .parent()
-        .filter(|p| !p.as_os_str().is_empty())
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("no parent directory for {}", path.display()),
-            )
-        })?;
-    fs::create_dir_all(parent)?;
-    let file_name = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .unwrap_or("artifact");
-    let tmp = parent.join(format!(".{file_name}.tmp"));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(contents)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    // The rename is only durable once the directory entry is flushed.
-    fs::File::open(parent)?.sync_all()?;
-    Ok(())
+    Vfs::real().atomic_write(path, contents)
+}
+
+/// Serializes a value as pretty JSON, surfacing failure as a typed
+/// [`io::Error`] instead of aborting the process.
+fn to_json_pretty<T: Serialize>(value: &T) -> io::Result<String> {
+    serde_json::to_string_pretty(value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Per-run metadata, serialized as `metadata.json`.
@@ -146,6 +134,7 @@ pub struct RunScan {
 #[derive(Debug, Clone)]
 pub struct ResultStore {
     dir: PathBuf,
+    vfs: Vfs,
 }
 
 impl ResultStore {
@@ -169,12 +158,26 @@ impl ResultStore {
             dir = PathBuf::from(format!("{}-{n}", base.display()));
         }
         fs::create_dir_all(&dir)?;
-        Ok(ResultStore { dir })
+        Ok(ResultStore {
+            dir,
+            vfs: Vfs::real(),
+        })
     }
 
     /// Opens an existing experiment directory (for evaluation/publishing).
     pub fn open(dir: impl Into<PathBuf>) -> ResultStore {
-        ResultStore { dir: dir.into() }
+        ResultStore {
+            dir: dir.into(),
+            vfs: Vfs::real(),
+        }
+    }
+
+    /// Routes this store's durable writes through `vfs`, so injected
+    /// storage faults hit result artifacts the same way they hit the
+    /// journal.
+    pub fn with_vfs(mut self, vfs: Vfs) -> ResultStore {
+        self.vfs = vfs;
+        self
     }
 
     /// The experiment directory.
@@ -185,7 +188,8 @@ impl ResultStore {
     /// Atomically writes a file relative to the experiment directory,
     /// creating parent directories as needed.
     pub fn write(&self, rel: &str, contents: impl AsRef<[u8]>) -> io::Result<()> {
-        atomic_write(&self.dir.join(rel), contents.as_ref())
+        self.vfs
+            .atomic_write(&self.dir.join(rel), contents.as_ref())
     }
 
     /// Reads a file relative to the experiment directory.
@@ -227,16 +231,19 @@ impl ResultStore {
         contents: impl AsRef<[u8]>,
     ) -> io::Result<()> {
         let dir = self.run_dir(index)?;
-        atomic_write(&dir.join(name), contents.as_ref())
+        self.vfs.atomic_write(&dir.join(name), contents.as_ref())
     }
 
     /// Writes a run's metadata (both JSON and the YAML loop-params view).
     pub fn write_run_metadata(&self, meta: &RunMetadata) -> io::Result<()> {
         let dir = self.run_dir(meta.index)?;
-        let json = serde_json::to_string_pretty(meta).expect("metadata serializes");
-        atomic_write(&dir.join("metadata.json"), json.as_bytes())?;
-        let yaml = serde_yaml::to_string(&meta.params).expect("params serialize");
-        atomic_write(&dir.join("loop-params.yml"), yaml.as_bytes())
+        let json = to_json_pretty(meta)?;
+        self.vfs
+            .atomic_write(&dir.join("metadata.json"), json.as_bytes())?;
+        let yaml = serde_yaml::to_string(&meta.params)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.vfs
+            .atomic_write(&dir.join("loop-params.yml"), yaml.as_bytes())
     }
 
     /// Writes one captured output artifact of a run.
@@ -249,17 +256,17 @@ impl ResultStore {
         exit_code: i32,
     ) -> io::Result<()> {
         let dir = self.run_dir(index)?;
-        atomic_write(
+        self.vfs.atomic_write(
             &dir.join(format!("{role}_measurement.log")),
             stdout.as_bytes(),
         )?;
         if !stderr.is_empty() {
-            atomic_write(
+            self.vfs.atomic_write(
                 &dir.join(format!("{role}_measurement.err")),
                 stderr.as_bytes(),
             )?;
         }
-        atomic_write(
+        self.vfs.atomic_write(
             &dir.join(format!("{role}_measurement.status")),
             format!("{exit_code}\n").as_bytes(),
         )
@@ -282,8 +289,9 @@ impl ResultStore {
             files.insert(name, sha256_hex(&fs::read(entry.path())?));
         }
         let manifest = RunManifest { files };
-        let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
-        atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
+        let json = to_json_pretty(&manifest)?;
+        self.vfs
+            .atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
         Ok(sha256_hex(json.as_bytes()))
     }
 

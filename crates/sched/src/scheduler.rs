@@ -56,7 +56,10 @@ use pos_core::controller::{
     CampaignSetup, Controller, ControllerError, ExperimentOutcome, RunOptions,
 };
 use pos_core::experiment::ExperimentSpec;
-use pos_core::journal::{lane_journal_file, Journal, JournalRecord, JOURNAL_FILE};
+use pos_core::journal::{
+    lane_journal_file, open_or_create_lane_journal, Journal, JournalRecord, LaneJournalSpec,
+    JOURNAL_FILE,
+};
 use pos_core::loopvars::RunParams;
 use pos_core::resultstore::ResultStore;
 use pos_simkernel::{lane_stream_label, SimDuration, SimTime, TraceLevel};
@@ -192,8 +195,9 @@ pub fn run_parallel(
     let seed = lanes[0].testbed().seed();
 
     let started = lanes[0].testbed().now();
-    let store = ResultStore::create(&opts.result_root, &spec_eff.user, &spec_eff.name, started)?;
-    let mut sched_journal = Journal::create(store.dir().join(JOURNAL_FILE))?;
+    let store = ResultStore::create(&opts.result_root, &spec_eff.user, &spec_eff.name, started)?
+        .with_vfs(opts.vfs.clone());
+    let mut sched_journal = Journal::create_with(store.dir().join(JOURNAL_FILE), opts.vfs.clone())?;
     sched_journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
     sched_journal.append(&JournalRecord::CampaignStarted {
         seed,
@@ -224,15 +228,17 @@ pub fn run_parallel(
 
     let mut lane_journals = Vec::with_capacity(lanes.len());
     for (k, lane) in lanes.iter().enumerate() {
-        let mut j = Journal::create(store.dir().join(lane_journal_file(k)))?;
-        j.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
-        j.append(&JournalRecord::LaneStarted {
+        // A fresh tree never has this lane's journal yet, so the shared
+        // helper always takes its create path here.
+        let spec = LaneJournalSpec {
             lane: k,
             seed,
             flavor: alloc.flavors[k].label().to_string(),
             started_ns: lane.testbed().now().as_nanos(),
-        })?;
-        lane_journals.push(j);
+            crash_after: opts.journal_crash_after,
+            torn_write: opts.journal_torn_write,
+        };
+        lane_journals.push(open_or_create_lane_journal(&opts.vfs, store.dir(), &spec)?);
     }
 
     let mut sup = LaneSupervisor::new(
@@ -281,7 +287,7 @@ pub fn resume_parallel(
     opts: &RunOptions,
     make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
 ) -> Result<ParallelOutcome, ControllerError> {
-    let store = ResultStore::open(result_dir);
+    let store = ResultStore::open(result_dir).with_vfs(opts.vfs.clone());
     let sched_path = store.dir().join(JOURNAL_FILE);
     let replay = Journal::replay(&sched_path).map_err(ControllerError::Journal)?;
 
@@ -473,7 +479,7 @@ pub fn resume_parallel(
     }
     let started = setups[0].started;
 
-    let mut sched_journal = Journal::open_append(&sched_path)?;
+    let mut sched_journal = Journal::open_append_with(&sched_path, opts.vfs.clone())?;
     sched_journal.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
     sched_journal.append(&JournalRecord::CampaignResumed {
         resumed_ns: lanes[0].testbed().now().as_nanos(),
@@ -482,21 +488,15 @@ pub fn resume_parallel(
 
     let mut lane_journals = Vec::with_capacity(lanes.len());
     for (k, lane) in lanes.iter().enumerate() {
-        let path = store.dir().join(lane_journal_file(k));
-        let mut j = if path.exists() {
-            Journal::open_append(&path)?
-        } else {
-            let mut j = Journal::create(&path)?;
-            j.append(&JournalRecord::LaneStarted {
-                lane: k,
-                seed,
-                flavor: all_flavors[k].label().to_string(),
-                started_ns: lane.testbed().now().as_nanos(),
-            })?;
-            j
+        let spec = LaneJournalSpec {
+            lane: k,
+            seed,
+            flavor: all_flavors[k].label().to_string(),
+            started_ns: lane.testbed().now().as_nanos(),
+            crash_after: opts.journal_crash_after,
+            torn_write: opts.journal_torn_write,
         };
-        j.arm_crash(opts.journal_crash_after, opts.journal_torn_write);
-        lane_journals.push(j);
+        lane_journals.push(open_or_create_lane_journal(&opts.vfs, store.dir(), &spec)?);
     }
 
     let mut sup = LaneSupervisor::new(

@@ -63,7 +63,9 @@ use pos_core::controller::{
     CampaignSetup, Controller, ControllerError, HostHealth, RunOptions, RunRecord,
 };
 use pos_core::experiment::ExperimentSpec;
-use pos_core::journal::{lane_journal_file, Journal, JournalRecord, JOURNAL_FILE};
+use pos_core::journal::{
+    open_or_create_lane_journal, Journal, JournalRecord, LaneJournalSpec, JOURNAL_FILE,
+};
 use pos_core::loopvars::RunParams;
 use pos_core::resultstore::{run_metadata, ResultStore};
 use pos_simkernel::{lane_retry_rng, lane_stream_label, Backoff, LaneSet, SimDuration, SimTime};
@@ -655,14 +657,18 @@ impl<'a> LaneSupervisor<'a> {
             flavor: flavor.label().to_string(),
             at_ns: cursor.as_nanos(),
         })?;
-        let mut j = Journal::create(store.dir().join(lane_journal_file(k)))?;
-        j.append(&JournalRecord::LaneStarted {
-            lane: k,
-            seed: self.seed,
-            flavor: flavor.label().to_string(),
-            started_ns: lane.testbed().now().as_nanos(),
-        })?;
-        j.arm_crash(self.opts.journal_crash_after, self.opts.journal_torn_write);
+        let j = open_or_create_lane_journal(
+            &self.opts.vfs,
+            store.dir(),
+            &LaneJournalSpec {
+                lane: k,
+                seed: self.seed,
+                flavor: flavor.label().to_string(),
+                started_ns: lane.testbed().now().as_nanos(),
+                crash_after: self.opts.journal_crash_after,
+                torn_write: self.opts.journal_torn_write,
+            },
+        )?;
 
         let idx = self.laneset.add_lane(cursor + setup_elapsed);
         debug_assert_eq!(idx, k);

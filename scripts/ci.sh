@@ -39,17 +39,54 @@ echo "==> failover crash matrix (tests/parallel_determinism.rs)"
 cargo test -q --test parallel_determinism crash_mid_failover_resumes_to_identical_tree
 cargo test -q --test parallel_determinism interrupted_failover_strands_run_and_fsck_flags_it
 
+# The storage half: ENOSPC / torn writes / fsync failures at every journal
+# boundary plus bit-flip rot, recovered to byte-identity via resume + scrub.
+echo "==> disk-fault matrix (tests/disk_fault_matrix.rs)"
+cargo test -q --test disk_fault_matrix
+
+# Scrub smoke, end to end through the CLI: corrupt one artifact of a real
+# result tree with dd, demand that `pos scrub` detects it (nonzero exit),
+# `pos scrub --repair` heals it, and the tree then scrubs and fscks clean.
+echo "==> scrub smoke (pos scrub detect + repair)"
+POS=target/release/pos
+SCRUB_DIR=$(mktemp -d)
+"$POS" init "$SCRUB_DIR/exp" >/dev/null
+cat >"$SCRUB_DIR/exp/loop-variables.yml" <<'EOF'
+pkt_rate:
+- 10000
+pkt_sz:
+- 64
+- 1500
+EOF
+cat >"$SCRUB_DIR/exp/global-variables.yml" <<'EOF'
+dut_ip0: 10.0.0.1
+dut_ip1: 10.0.1.1
+run_secs: 1
+EOF
+"$POS" run "$SCRUB_DIR/exp" --results "$SCRUB_DIR/res" >/dev/null
+TREE=$(dirname "$(find "$SCRUB_DIR/res" -name journal.log)")
+printf 'X' | dd of="$TREE/run-0000/loadgen_measurement.log" \
+    bs=1 count=1 conv=notrunc 2>/dev/null
+if "$POS" scrub "$TREE" >/dev/null 2>&1; then
+    echo "scrub smoke: corruption went undetected" >&2
+    exit 1
+fi
+"$POS" scrub "$TREE" --repair >/dev/null
+"$POS" scrub "$TREE" >/dev/null
+"$POS" fsck "$TREE" >/dev/null
+rm -rf "$SCRUB_DIR"
+
 if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
-    echo "==> bench smoke: robustness (sweep + chaos campaign + resume + lane failover)"
+    echo "==> bench smoke: robustness (sweep + chaos + resume + failover + scrub/ENOSPC)"
     POS_RUN_SECS=0.05 POS_CHAOS_RUN_SECS=5 POS_FAILOVER_RUN_SECS=2 \
         cargo run --release -p pos-bench --bin robustness >/dev/null
     # Replay-determinism caveat: BENCH_robustness.json is byte-stable EXCEPT
-    # the "resume" object — journal_replay_us / digest_verify_us are wall-clock
-    # microseconds and vary between runs and machines. To compare two runs,
-    # drop that object first, e.g.:
+    # the wall-clock fields — every key ending in `_us` (resume replay/verify,
+    # scrub detect/repair, ENOSPC resume) varies between runs and machines.
+    # To compare two runs, drop those lines first, e.g.:
     #   grep -v '_us"' BENCH_robustness.json
-    # Everything else (sweep rows, campaign counters) must be identical for
-    # identical seeds.
+    # Everything else (sweep rows, campaign counters, checkpoint record
+    # counts) must be identical for identical seeds.
     test -s BENCH_robustness.json
     rm -f BENCH_robustness.json
 

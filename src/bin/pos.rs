@@ -13,6 +13,7 @@
 //! pos resume <result-dir> [options]     pick up an interrupted campaign
 //!     --testbed pos|vpos   hardware or VM testbed (default: pos)
 //! pos fsck <result-dir>                 verify journal + per-run checksums
+//! pos scrub <result-dir> [--repair]     detect (and heal) bit rot
 //! pos eval <result-dir> [--out <dir>]   parse, aggregate, plot
 //! pos publish <result-dir> [options]    bundle + manifest + website
 //!     --out <dir>          release directory      (default: ./release)
@@ -25,9 +26,10 @@
 //! dozen flags, not a dependency.
 
 use pos::core::commands::register_all;
-use pos::core::controller::{Controller, ExperimentOutcome, Progress, RunOptions};
+use pos::core::controller::{Controller, ControllerError, ExperimentOutcome, Progress, RunOptions};
 use pos::core::experiment::{linux_router_experiment, ExperimentSpec};
 use pos::core::journal::{Journal, JournalRecord, JOURNAL_FILE};
+use pos::core::vfs::{FaultPlan, Vfs};
 use pos::eval::loader::ResultSet;
 use pos::eval::plot::PlotSpec;
 use pos::publish::bundle::{verify_dir, verify_runs, Bundle};
@@ -61,6 +63,7 @@ fn main() -> ExitCode {
         Some("resume") => cmd_resume(&args[1..]),
         Some("queue") => cmd_queue(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]).map(|()| Completion::Clean),
+        Some("scrub") => cmd_scrub(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]).map(|()| Completion::Clean),
         Some("publish") => cmd_publish(&args[1..]).map(|()| Completion::Clean),
         Some("table1") => {
@@ -77,8 +80,9 @@ fn main() -> ExitCode {
         Ok(Completion::Clean) => ExitCode::SUCCESS,
         Ok(Completion::Degraded) => {
             eprintln!(
-                "pos: campaign completed DEGRADED (failed or quarantined runs \
-                 recorded in the result tree); exit code {EXIT_DEGRADED}"
+                "pos: completed DEGRADED (failed/quarantined runs, or a campaign \
+                 checkpointed by a storage fault; see messages above); \
+                 exit code {EXIT_DEGRADED}"
             );
             ExitCode::from(EXIT_DEGRADED)
         }
@@ -99,12 +103,15 @@ fn usage() -> &'static str {
      \x20         [--max-run-retries <n>] [--lane-grace <f>]\n\
      \x20         [--lane-recovery redistribute|replace] [--poison-threshold <n>]\n\
      \x20         [--lane-faults <json-file>]            injected lane faults\n\
+     \x20         [--disk-faults <json-file>]            injected storage faults\n\
      \x20         exit codes: 0 ok, 1 error, 3 degraded completion\n\
-     \x20 pos resume <result-dir> [--testbed pos|vpos]\n\
+     \x20         (3 also means: out of disk space, checkpointed — resumable)\n\
+     \x20 pos resume <result-dir> [--testbed pos|vpos] [--disk-faults <json-file>]\n\
      \x20 pos queue submit <exp-dir> [--user <u>] [--priority <n>] [--queue <dir>]\n\
      \x20 pos queue status [--queue <dir>]\n\
      \x20 pos queue drain [--queue <dir>] [--results <root>] [--seed <n>] [--lanes <n>]\n\
      \x20 pos fsck <result-dir>              verify journal + per-run checksums\n\
+     \x20 pos scrub <result-dir> [--repair] [--json <file>]   detect/heal bit rot\n\
      \x20 pos eval <result-dir> [--out <dir>]\n\
      \x20 pos publish <result-dir> [--out <dir>] [--tar <file>] [--title <text>]\n\
      \x20 pos table1                         print the testbed comparison\n"
@@ -250,6 +257,9 @@ fn cmd_run(args: &[String]) -> Result<Completion, String> {
             .parse()
             .map_err(|_| format!("bad --max-run-retries {n}"))?;
     }
+    if let Some(&file) = opts.get("disk-faults") {
+        run_opts.vfs = load_disk_faults(file)?;
+    }
 
     let mut supervisor = pos::sched::SupervisorOptions::default();
     if let Some(&g) = opts.get("lane-grace") {
@@ -309,11 +319,13 @@ fn cmd_run(args: &[String]) -> Result<Completion, String> {
             site_replicas,
             supervisor,
         };
-        let out = run_parallel(&spec, &run_opts, &popts, &mut |_, flavor| {
+        let out = match run_parallel(&spec, &run_opts, &popts, &mut |_, flavor| {
             build_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
                 .expect("replica testbed construction cannot fail after validation")
-        })
-        .map_err(|e| e.to_string())?;
+        }) {
+            Ok(out) => out,
+            Err(e) => return checkpointed_or_error(e, &resume_hint(&results)),
+        };
         print_parallel_outcome(&out);
         return Ok(completion_of(&out.outcome));
     }
@@ -325,12 +337,71 @@ fn cmd_run(args: &[String]) -> Result<Completion, String> {
         if virtualized { "vpos" } else { "pos" },
         pos::core::loopvars::cross_product_size(&spec.loop_vars).unwrap_or(0)
     );
-    let outcome = Controller::new(&mut tb)
+    let outcome = match Controller::new(&mut tb)
         .with_progress(print_progress)
         .run_experiment(&spec, &run_opts)
-        .map_err(|e| e.to_string())?;
+    {
+        Ok(outcome) => outcome,
+        Err(e) => return checkpointed_or_error(e, &resume_hint(&results)),
+    };
     print_outcome(&outcome);
     Ok(completion_of(&outcome))
+}
+
+/// Loads a serialized [`FaultPlan`] and arms a faulty [`Vfs`] with it.
+fn load_disk_faults(file: &str) -> Result<Vfs, String> {
+    let json = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read --disk-faults {file}: {e}"))?;
+    let plan: FaultPlan = serde_json::from_str(&json)
+        .map_err(|e| format!("{file} is not a valid disk fault plan: {e}"))?;
+    Vfs::faulty(plan).map_err(|e| format!("{file}: {e}"))
+}
+
+/// The ENOSPC contract: running out of disk space is a *graceful*
+/// degradation, not an abort. The write-ahead journal guarantees the
+/// tree is consistent at the last appended record, so the campaign is a
+/// checkpoint — `pos resume` completes it once space returns. Any other
+/// error stays a hard error (exit 1).
+fn checkpointed_or_error(e: ControllerError, resume_at: &str) -> Result<Completion, String> {
+    if !e.is_storage_full() {
+        return Err(e.to_string());
+    }
+    eprintln!("pos: storage full: {e}");
+    eprintln!(
+        "pos: campaign checkpointed at the last consistent journal boundary; \
+         free space and run `pos resume {resume_at}` to complete"
+    );
+    Ok(Completion::Degraded)
+}
+
+/// Best-effort pointer at the freshest campaign under a result root,
+/// for the resume hint a storage-full `pos run` prints. The store nests
+/// trees as `<root>/<user>/<experiment>/vt-<time>/`, each holding a
+/// journal.
+fn resume_hint(root: &Path) -> String {
+    fn walk(dir: &Path, found: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_dir() {
+                continue;
+            }
+            if path.join(JOURNAL_FILE).exists() {
+                found.push(path);
+            } else {
+                walk(&path, found);
+            }
+        }
+    }
+    let mut found = Vec::new();
+    walk(root, &mut found);
+    found
+        .into_iter()
+        .max()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| format!("{}", root.display()))
 }
 
 /// The degraded-exit-code contract: a campaign that completed but
@@ -448,9 +519,15 @@ fn print_outcome(outcome: &ExperimentOutcome) {
 fn cmd_resume(args: &[String]) -> Result<Completion, String> {
     let (pos_args, opts) = parse_opts(args)?;
     let [dir] = pos_args.as_slice() else {
-        return Err("usage: pos resume <result-dir> [--testbed pos|vpos]".into());
+        return Err(
+            "usage: pos resume <result-dir> [--testbed pos|vpos] [--disk-faults <file>]".into(),
+        );
     };
     let result_dir = Path::new(dir);
+    let vfs = match opts.get("disk-faults") {
+        Some(&file) => load_disk_faults(file)?,
+        None => Vfs::real(),
+    };
 
     // The campaign's identity lives in its journal: the testbed seed and
     // flavor to rebuild with, and the spec digest resume re-checks for us.
@@ -509,11 +586,14 @@ fn cmd_resume(args: &[String]) -> Result<Completion, String> {
         );
         let mut run_opts = RunOptions::new(result_dir);
         run_opts.testbed_flavor = testbed.clone();
-        let out = resume_parallel(result_dir, &spec, &run_opts, &mut |_, flavor| {
+        run_opts.vfs = vfs;
+        let out = match resume_parallel(result_dir, &spec, &run_opts, &mut |_, flavor| {
             build_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
                 .expect("replica testbed construction cannot fail after validation")
-        })
-        .map_err(|e| e.to_string())?;
+        }) {
+            Ok(out) => out,
+            Err(e) => return checkpointed_or_error(e, dir),
+        };
         print_parallel_outcome(&out);
         return Ok(completion_of(&out.outcome));
     }
@@ -528,10 +608,14 @@ fn cmd_resume(args: &[String]) -> Result<Completion, String> {
     // options still carry timeouts and failure policy.
     let mut run_opts = RunOptions::new(result_dir);
     run_opts.testbed_flavor = testbed.clone();
-    let outcome = Controller::new(&mut tb)
+    run_opts.vfs = vfs;
+    let outcome = match Controller::new(&mut tb)
         .with_progress(print_progress)
         .resume_experiment(result_dir, &spec, &run_opts)
-        .map_err(|e| e.to_string())?;
+    {
+        Ok(outcome) => outcome,
+        Err(e) => return checkpointed_or_error(e, dir),
+    };
     print_outcome(&outcome);
     Ok(completion_of(&outcome))
 }
@@ -541,7 +625,9 @@ fn cmd_resume(args: &[String]) -> Result<Completion, String> {
 /// The queue state lives in `<queue-dir>/queue.json` (default `queue/`),
 /// so submissions survive between invocations; `drain` closes the queue
 /// and runs every admitted campaign to completion, preemption-free, in
-/// fair-share order.
+/// fair-share order. The ledger is persisted through the same atomic
+/// write (temp sibling → fsync → rename → dir fsync) as every result
+/// artifact: a crash mid-save never leaves a torn queue.
 fn cmd_queue(args: &[String]) -> Result<Completion, String> {
     let (pos_args, opts) = parse_opts(args)?;
     let queue_dir = PathBuf::from(opts.get("queue").copied().unwrap_or("queue"));
@@ -564,7 +650,8 @@ fn cmd_queue(args: &[String]) -> Result<Completion, String> {
     let save = |q: &SubmissionQueue| -> Result<(), String> {
         std::fs::create_dir_all(&queue_dir).map_err(|e| e.to_string())?;
         let json = serde_json::to_string_pretty(q).map_err(|e| e.to_string())?;
-        std::fs::write(&queue_file, json).map_err(|e| e.to_string())
+        pos::core::resultstore::atomic_write(&queue_file, json.as_bytes())
+            .map_err(|e| e.to_string())
     };
 
     match pos_args.as_slice() {
@@ -698,6 +785,72 @@ fn cmd_fsck(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{dir} is not clean"))
+    }
+}
+
+/// `pos scrub <result-dir> [--repair] [--json <file>]` — walk a result
+/// tree against its journal digests and per-run checksum manifests,
+/// report every rotted, missing, or extra byte, and with `--repair`
+/// heal in place: restore artifacts from content-identical copies
+/// elsewhere in the tree, rebuild rotted manifests, remove extras, and
+/// re-execute runs with no intact donor through the same machinery as
+/// `pos resume`. Exit 0 means the tree verifies end to end.
+fn cmd_scrub(args: &[String]) -> Result<Completion, String> {
+    // `--repair` is the CLI's only valueless flag; peel it off before
+    // the generic `--flag value` parser sees it.
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--repair")
+        .cloned()
+        .collect();
+    let repair = rest.len() != args.len();
+    let (pos_args, opts) = parse_opts(&rest)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos scrub <result-dir> [--repair] [--json <file>]".into());
+    };
+    let result_dir = Path::new(dir);
+
+    let mut report = pos::core::scrub::scrub(result_dir, repair).map_err(|e| e.to_string())?;
+
+    // Runs with no intact donor anywhere in the tree can only converge
+    // by re-execution — exactly what `pos resume` does to a finished
+    // but damaged campaign, so hand over and account for the outcome.
+    if repair && !report.reexecution_required.is_empty() {
+        println!(
+            "scrub: {} run(s) have no intact donor; re-executing via resume",
+            report.reexecution_required.len()
+        );
+        let _ = cmd_resume(&[dir.to_string()])?;
+        report = pos::core::scrub::scrub(result_dir, repair).map_err(|e| e.to_string())?;
+    }
+
+    print!("{}", report.render());
+    if let Some(&file) = opts.get("json") {
+        let json = report.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(file, json.as_bytes()).map_err(|e| e.to_string())?;
+        println!("report written to {file}");
+    }
+
+    if report.clean {
+        return Ok(Completion::Clean);
+    }
+    if !repair {
+        return Err(format!(
+            "{dir}: scrub found {} problem(s); `pos scrub {dir} --repair` to heal",
+            report.findings.len()
+        ));
+    }
+    // The report above shows what was damaged and repaired; the verdict
+    // comes from a confirming detect-only pass over the healed tree.
+    let confirm = pos::core::scrub::scrub(result_dir, false).map_err(|e| e.to_string())?;
+    if confirm.clean {
+        println!("scrub: tree verifies clean after repair");
+        Ok(Completion::Clean)
+    } else {
+        Err(format!(
+            "{dir}: {} problem(s) remain after repair",
+            confirm.findings.len()
+        ))
     }
 }
 
