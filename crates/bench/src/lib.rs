@@ -425,7 +425,7 @@ pub mod parallel {
         let _ = std::fs::remove_dir_all(&root);
         let opts = RunOptions::new(&root);
         let out = run_parallel(&spec, &opts, &ParallelOptions::new(lanes), &mut |_, _| {
-            lane_testbed()
+            Ok(lane_testbed())
         })
         .expect("chaos-free campaign succeeds");
         let _ = std::fs::remove_dir_all(&root);
@@ -545,8 +545,10 @@ pub mod failover {
             std::env::temp_dir().join(format!("pos-bench-failover-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let opts = RunOptions::new(&root);
-        let out = run_parallel(spec, &opts, popts, &mut |_, flavor| lane_testbed(flavor))
-            .expect("failover campaign completes");
+        let out = run_parallel(spec, &opts, popts, &mut |_, flavor| {
+            Ok(lane_testbed(flavor))
+        })
+        .expect("failover campaign completes");
         let _ = std::fs::remove_dir_all(&root);
         assert_eq!(
             out.outcome.successes(),

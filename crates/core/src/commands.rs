@@ -9,9 +9,14 @@
 //! script forgot `sysctl -w net.ipv4.ip_forward=1`, the measurement
 //! faithfully reports zero forwarded packets.
 
+use crate::controller::ControllerError;
+use crate::experiment::ExperimentSpec;
 use pos_loadgen::scenario::{run_forwarding_experiment, ForwardingScenario, Platform};
 use pos_simkernel::{SimDuration, SimRng};
-use pos_testbed::{CommandResult, DeviceKind, PortId, Testbed};
+use pos_testbed::{
+    clone_virtual, CloneOptions, CommandResult, DeviceKind, HardwareSpec, InitInterface, PortId,
+    Testbed,
+};
 use std::rc::Rc;
 
 /// Registers all experiment-domain commands on the testbed.
@@ -19,6 +24,64 @@ pub fn register_all(tb: &mut Testbed) {
     tb.register_command("moongen", Rc::new(moongen_command));
     tb.register_command("iperf", Rc::new(iperf_command));
     tb.register_command("ping", Rc::new(ping_command));
+}
+
+/// Builds a testbed matching an experiment's roles: one host per role,
+/// wired as the case-study topology requires (role0 port0 → role1 port0,
+/// role1 port1 → role0 port1 for two roles; a chain for more), with all
+/// experiment-domain commands registered.
+///
+/// With `exact_seed` false (`pos run`) `seed` is the user seed and the
+/// vpos clone derives its own; with `exact_seed` true (resume paths and
+/// replica lanes) `seed` is the final testbed seed straight from the
+/// journal and is used as-is, derivation already having happened in the
+/// original session.
+///
+/// Shared by the CLI, the scheduler's replica-lane closures, and the
+/// `pos serve` daemon; failures are typed ([`ControllerError::Topology`])
+/// so callers propagate them instead of aborting.
+pub fn case_study_testbed(
+    spec: &ExperimentSpec,
+    seed: u64,
+    virtualized: bool,
+    exact_seed: bool,
+) -> Result<Testbed, ControllerError> {
+    let topology = |reason: String| ControllerError::Topology { reason };
+    let mut tb = Testbed::new(seed);
+    for role in &spec.roles {
+        tb.add_host(&role.host, HardwareSpec::paper_dut(), InitInterface::Ipmi);
+    }
+    let hosts = spec.hosts();
+    match hosts.as_slice() {
+        [] => return Err(topology("experiment has no roles".into())),
+        [_single] => {}
+        [a, b] => {
+            tb.topology
+                .wire(PortId::new(a, 0), PortId::new(b, 0))
+                .map_err(|e| topology(e.to_string()))?;
+            tb.topology
+                .wire(PortId::new(b, 1), PortId::new(a, 1))
+                .map_err(|e| topology(e.to_string()))?;
+        }
+        many => {
+            for pair in many.windows(2) {
+                tb.topology
+                    .wire(PortId::new(&pair[0], 1), PortId::new(&pair[1], 0))
+                    .map_err(|e| topology(e.to_string()))?;
+            }
+        }
+    }
+    let mut tb = if virtualized {
+        let opts = CloneOptions {
+            seed: exact_seed.then_some(seed),
+            ..CloneOptions::default()
+        };
+        clone_virtual(&tb, opts)
+    } else {
+        tb
+    };
+    register_all(&mut tb);
+    Ok(tb)
 }
 
 /// The `ping` command: `ping <target-ip>` — the connectivity check setup

@@ -42,6 +42,37 @@ use pos_testbed::{CommandResult, ExecError, PowerError, Testbed};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag checked at run boundaries.
+///
+/// `pos serve` hands one of these to every campaign it dispatches; when
+/// a drain turns urgent (second SIGTERM) the daemon trips the token and
+/// the controller checkpoints at the next journal boundary instead of
+/// finishing the campaign — the same consistent-prefix contract as an
+/// ENOSPC checkpoint, so `pos resume` completes the campaign later.
+/// Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token; every campaign holding a clone checkpoints at
+    /// its next run boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// Options for one experiment execution.
 #[derive(Debug, Clone)]
@@ -87,6 +118,11 @@ pub struct RunOptions {
     /// [`Vfs::faulty`] handle turns disk failures (ENOSPC, torn writes,
     /// failing fsyncs) into deterministic, replayable inputs.
     pub vfs: Vfs,
+    /// Cooperative cancellation, checked before each run executes. When
+    /// tripped, the campaign stops at the current journal boundary with
+    /// [`ControllerError::Canceled`] — a checkpoint, not a failure: the
+    /// journaled prefix is consistent and resume completes the campaign.
+    pub cancel: CancelToken,
 }
 
 impl RunOptions {
@@ -108,6 +144,7 @@ impl RunOptions {
             journal_torn_write: false,
             testbed_flavor: "pos".into(),
             vfs: Vfs::real(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -178,6 +215,107 @@ pub enum Progress {
         /// The quarantined host.
         host: String,
     },
+}
+
+/// Lock-free accumulator bridging [`Progress`] events into counters a
+/// concurrent observer can snapshot.
+///
+/// The controller's progress callback runs on the campaign's thread; a
+/// daemon serving `GET /status` must read progress from another thread
+/// without stalling the campaign. The bridge: hand the campaign a
+/// closure over an `Arc<ProgressCounters>` that calls [`observe`], and
+/// let the status endpoint call [`snapshot`] whenever it likes — every
+/// field is a relaxed atomic, so neither side blocks the other.
+///
+/// [`observe`]: ProgressCounters::observe
+/// [`snapshot`]: ProgressCounters::snapshot
+#[derive(Debug, Default)]
+pub struct ProgressCounters {
+    hosts_ready: AtomicU64,
+    setups_done: AtomicU64,
+    runs_done: AtomicU64,
+    runs_failed: AtomicU64,
+    runs_skipped: AtomicU64,
+    power_retries: AtomicU64,
+    run_retries: AtomicU64,
+    recoveries_started: AtomicU64,
+    recoveries_completed: AtomicU64,
+    hosts_quarantined: AtomicU64,
+}
+
+/// One coherent-enough reading of a [`ProgressCounters`] accumulator.
+///
+/// Serializable so a daemon can embed it verbatim in a status response.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ProgressSnapshot {
+    /// Hosts that finished booting.
+    pub hosts_ready: u64,
+    /// Setup phases completed.
+    pub setups_done: u64,
+    /// Measurement runs finished (success or failure).
+    pub runs_done: u64,
+    /// Measurement runs that finished failed.
+    pub runs_failed: u64,
+    /// Resume-verified runs skipped without re-execution.
+    pub runs_skipped: u64,
+    /// Out-of-band power command retries.
+    pub power_retries: u64,
+    /// Failed measurement attempts retried after a backoff.
+    pub run_retries: u64,
+    /// Host recoveries started.
+    pub recoveries_started: u64,
+    /// Host recoveries completed.
+    pub recoveries_completed: u64,
+    /// Hosts quarantined past their recovery budget.
+    pub hosts_quarantined: u64,
+}
+
+impl ProgressCounters {
+    /// A zeroed accumulator.
+    pub fn new() -> ProgressCounters {
+        ProgressCounters::default()
+    }
+
+    /// Folds one progress event into the counters.
+    pub fn observe(&self, event: &Progress) {
+        let bump = |c: &AtomicU64| {
+            c.fetch_add(1, Ordering::Relaxed);
+        };
+        match event {
+            Progress::HostReady { .. } => bump(&self.hosts_ready),
+            Progress::SetupDone => bump(&self.setups_done),
+            Progress::RunDone { success, .. } => {
+                bump(&self.runs_done);
+                if !success {
+                    bump(&self.runs_failed);
+                }
+            }
+            Progress::RunSkipped { .. } => bump(&self.runs_skipped),
+            Progress::PowerRetry { .. } => bump(&self.power_retries),
+            Progress::RunRetry { .. } => bump(&self.run_retries),
+            Progress::HostRecovering { .. } => bump(&self.recoveries_started),
+            Progress::HostRecovered { .. } => bump(&self.recoveries_completed),
+            Progress::HostQuarantined { .. } => bump(&self.hosts_quarantined),
+        }
+    }
+
+    /// Reads every counter (relaxed — counters may be mid-update, but
+    /// each value is a real count that was current at some instant).
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ProgressSnapshot {
+            hosts_ready: read(&self.hosts_ready),
+            setups_done: read(&self.setups_done),
+            runs_done: read(&self.runs_done),
+            runs_failed: read(&self.runs_failed),
+            runs_skipped: read(&self.runs_skipped),
+            power_retries: read(&self.power_retries),
+            run_retries: read(&self.run_retries),
+            recoveries_started: read(&self.recoveries_started),
+            recoveries_completed: read(&self.recoveries_completed),
+            hosts_quarantined: read(&self.hosts_quarantined),
+        }
+    }
 }
 
 /// Controller-side health state of one host.
@@ -370,6 +508,19 @@ pub enum ControllerError {
         /// Why the resume was refused.
         reason: String,
     },
+    /// The campaign's [`CancelToken`] was tripped and the controller
+    /// checkpointed at a journal boundary. Not a failure: the journaled
+    /// prefix is consistent and `pos resume` completes the campaign.
+    Canceled {
+        /// Runs with durable records when the checkpoint was taken.
+        completed_runs: usize,
+    },
+    /// A testbed could not be constructed from a validated description —
+    /// the hosts, wiring, or clone topology is inconsistent.
+    Topology {
+        /// What failed to wire up.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -406,6 +557,14 @@ impl fmt::Display for ControllerError {
             ControllerError::Chaos { reason } => write!(f, "chaos plan rejected: {reason}"),
             ControllerError::Journal(e) => write!(f, "campaign journal error: {e}"),
             ControllerError::Resume { reason } => write!(f, "cannot resume: {reason}"),
+            ControllerError::Canceled { completed_runs } => write!(
+                f,
+                "campaign canceled at a journal boundary after {completed_runs} \
+                 durable runs (checkpoint — `pos resume` completes it)"
+            ),
+            ControllerError::Topology { reason } => {
+                write!(f, "testbed construction failed: {reason}")
+            }
         }
     }
 }
@@ -424,6 +583,15 @@ impl ControllerError {
             ControllerError::Journal(JournalError::Io(e)) => crate::vfs::is_storage_full(e),
             _ => false,
         }
+    }
+
+    /// True when the campaign stopped at a *consistent checkpoint* — a
+    /// journal boundary from which `pos resume` completes it — rather
+    /// than a genuine failure. Covers both checkpoint causes: storage
+    /// full ([`Self::is_storage_full`]) and cooperative cancellation
+    /// ([`ControllerError::Canceled`]).
+    pub fn is_checkpoint(&self) -> bool {
+        self.is_storage_full() || matches!(self, ControllerError::Canceled { .. })
     }
 }
 
@@ -1285,6 +1453,14 @@ impl<'t> Controller<'t> {
                     fault_trace: done.fault_trace.clone(),
                 });
                 continue;
+            }
+            // Cooperative checkpoint: an urgent drain trips the token and
+            // the campaign stops *here*, between runs — every journaled
+            // record is consistent, so resume picks up at this exact run.
+            if opts.cancel.is_canceled() {
+                return Err(ControllerError::Canceled {
+                    completed_runs: records.len(),
+                });
             }
             let step = self.execute_one_run(spec, opts, &store, &mut journal, run, total)?;
             total_recoveries += step.recoveries;

@@ -13,7 +13,10 @@
 //! repairs) from *damaged* (missing/corrupt/extra artifacts in a run the
 //! journal claims durable — bit rot or tampering).
 
-use crate::journal::{lane_journal_file, Journal, JournalError, JournalRecord, JOURNAL_FILE};
+use crate::journal::{
+    campaign_disk_state, lane_journal_file, CampaignDiskState, Journal, JournalError,
+    JournalRecord, JOURNAL_FILE, LEDGER_FILE,
+};
 use crate::resultstore::{ResultStore, RunVerification};
 use std::collections::BTreeMap;
 use std::io;
@@ -403,6 +406,333 @@ pub fn fsck(result_dir: &Path) -> io::Result<FsckReport> {
             }
         }
         report.runs.sort_by_key(|r| r.index);
+    }
+
+    Ok(report)
+}
+
+/// One submission's fate according to the queue ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerEntryState {
+    /// Accepted, never dispatched — waiting in the queue.
+    Pending,
+    /// Dispatched, no terminal record — in flight (or interrupted;
+    /// daemon restart resumes it).
+    InFlight,
+    /// Reached a terminal outcome.
+    Finished {
+        /// `"completed"`, `"completed_degraded"` or `"failed"`.
+        outcome: String,
+        /// The result tree the ledger claims (empty for early failures).
+        result_dir: String,
+    },
+}
+
+/// Everything the queue-ledger fsck found out about a `pos serve` state
+/// directory and its result trees.
+#[derive(Debug)]
+pub struct QueueFsckReport {
+    /// The checked state directory.
+    pub state_dir: PathBuf,
+    /// Results root recorded by the last `ServeStarted` record.
+    pub results_root: Option<PathBuf>,
+    /// Complete ledger records replayed.
+    pub ledger_records: usize,
+    /// True when the ledger ends in a torn (partially written) record —
+    /// the expected artifact of a daemon killed mid-append; a daemon
+    /// restart truncates it away.
+    pub torn_tail: bool,
+    /// Daemon sessions the ledger spans (`ServeStarted` records).
+    pub sessions: usize,
+    /// Submissions accepted across all sessions.
+    pub accepted: usize,
+    /// Submissions with a terminal record.
+    pub finished: usize,
+    /// Accepted-but-never-dispatched submission ids (normal while the
+    /// daemon is up; work to resume after a crash).
+    pub pending: Vec<u64>,
+    /// Dispatched-but-unfinished submission ids.
+    pub in_flight: Vec<u64>,
+    /// Orphaned ledger entries: `(id, problem)` — the ledger acknowledged
+    /// a completion whose result tree is missing or not actually
+    /// finished. Remediation: `pos resume` the tree if present,
+    /// resubmit otherwise.
+    pub orphaned_entries: Vec<(u64, String)>,
+    /// Orphan trees: finished result trees under the results root that no
+    /// ledger entry accounts for.
+    pub orphan_trees: Vec<PathBuf>,
+    /// Unfinished trees (no terminal journal record) not claimed by any
+    /// finished ledger entry — in-flight work a daemon restart or
+    /// `pos resume` completes.
+    pub resumable_trees: Vec<PathBuf>,
+    /// Ledger-level problems (unreadable, corrupt, no start record, ...).
+    pub errors: Vec<String>,
+}
+
+impl QueueFsckReport {
+    /// True when ledger and trees agree: no corruption, no torn tail, no
+    /// orphaned entries, no orphan trees. Pending and in-flight entries
+    /// (and their resumable trees) are normal operating state, not
+    /// problems.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+            && !self.torn_tail
+            && self.orphaned_entries.is_empty()
+            && self.orphan_trees.is_empty()
+    }
+
+    /// Renders the human-readable report (`pos fsck` on a state dir).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fsck queue {}\n", self.state_dir.display()));
+        out.push_str(&format!(
+            "ledger: {} records, {} session(s){}\n",
+            self.ledger_records,
+            self.sessions,
+            if self.torn_tail {
+                ", torn tail (daemon restart truncates it)"
+            } else {
+                ""
+            },
+        ));
+        out.push_str(&format!(
+            "submissions: {} accepted, {} finished, {} pending, {} in flight\n",
+            self.accepted,
+            self.finished,
+            self.pending.len(),
+            self.in_flight.len(),
+        ));
+        for id in &self.in_flight {
+            out.push_str(&format!(
+                "in flight: submission {id} (daemon restart resumes it)\n"
+            ));
+        }
+        for (id, problem) in &self.orphaned_entries {
+            out.push_str(&format!("orphaned entry: submission {id}: {problem}\n"));
+        }
+        for tree in &self.orphan_trees {
+            out.push_str(&format!(
+                "orphan tree: {} (finished tree, no ledger entry)\n",
+                tree.display()
+            ));
+        }
+        for tree in &self.resumable_trees {
+            out.push_str(&format!(
+                "resumable tree: {} (unfinished; `pos resume` completes it)\n",
+                tree.display()
+            ));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("error: {e}\n"));
+        }
+        out.push_str(if self.is_clean() {
+            "status: clean\n"
+        } else {
+            "status: NOT clean\n"
+        });
+        out
+    }
+}
+
+/// Collects every result tree under `root` (the `user/experiment/vt-*`
+/// layout [`ResultStore::create`] produces), in sorted order.
+fn collect_result_trees(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut trees = Vec::new();
+    if !root.exists() {
+        return Ok(trees);
+    }
+    for user in fs_read_dir_sorted(root)? {
+        if !user.is_dir() {
+            continue;
+        }
+        for exp in fs_read_dir_sorted(&user)? {
+            if !exp.is_dir() {
+                continue;
+            }
+            for tree in fs_read_dir_sorted(&exp)? {
+                let is_tree = tree.is_dir()
+                    && tree
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("vt-"));
+                if is_tree {
+                    trees.push(tree);
+                }
+            }
+        }
+    }
+    Ok(trees)
+}
+
+/// `read_dir` with deterministic (sorted) order.
+fn fs_read_dir_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Cross-checks a `pos serve` queue ledger against the campaign result
+/// trees it acknowledged.
+///
+/// Two failure classes, per the lifecycle contract (journal-before-ack):
+///
+/// * **Orphaned ledger entry** — the ledger says a submission completed,
+///   but its result tree is missing or its campaign journal never
+///   finished. The ack was durable, the work is not: bit rot or manual
+///   deletion, never a crash (completion is journaled *after* the tree
+///   seals). Remediation: `pos resume` the tree if it exists.
+/// * **Orphan tree** — a finished result tree no ledger entry claims.
+///   Someone wrote into the daemon's results root behind its back, or
+///   the ledger was truncated. Remediation: ledger repair (resubmit and
+///   let the daemon adopt, or archive the tree).
+pub fn fsck_queue(state_dir: &Path) -> io::Result<QueueFsckReport> {
+    let mut report = QueueFsckReport {
+        state_dir: state_dir.to_path_buf(),
+        results_root: None,
+        ledger_records: 0,
+        torn_tail: false,
+        sessions: 0,
+        accepted: 0,
+        finished: 0,
+        pending: Vec::new(),
+        in_flight: Vec::new(),
+        orphaned_entries: Vec::new(),
+        orphan_trees: Vec::new(),
+        resumable_trees: Vec::new(),
+        errors: Vec::new(),
+    };
+
+    let ledger_path = state_dir.join(LEDGER_FILE);
+    let replay = match Journal::replay(&ledger_path) {
+        Ok(r) => r,
+        Err(JournalError::Io(e)) => {
+            report.errors.push(format!("ledger unreadable: {e}"));
+            return Ok(report);
+        }
+        Err(e @ JournalError::Corrupt { .. }) => {
+            report.errors.push(e.to_string());
+            return Ok(report);
+        }
+    };
+    report.ledger_records = replay.records.len();
+    report.torn_tail = replay.torn_tail;
+
+    // Fold the ledger into per-submission states, last record wins.
+    let mut entries: BTreeMap<u64, LedgerEntryState> = BTreeMap::new();
+    for rec in &replay.records {
+        match rec {
+            JournalRecord::ServeStarted { results_root, .. } => {
+                report.sessions += 1;
+                report.results_root = Some(PathBuf::from(results_root));
+            }
+            JournalRecord::SubmissionAccepted { id, .. } => {
+                report.accepted += 1;
+                entries.insert(*id, LedgerEntryState::Pending);
+            }
+            JournalRecord::CampaignDispatched { id } => {
+                entries.insert(*id, LedgerEntryState::InFlight);
+            }
+            JournalRecord::SubmissionFinished {
+                id,
+                outcome,
+                result_dir,
+            } => {
+                report.finished += 1;
+                entries.insert(
+                    *id,
+                    LedgerEntryState::Finished {
+                        outcome: outcome.clone(),
+                        result_dir: result_dir.clone(),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    if report.sessions == 0 {
+        report
+            .errors
+            .push("ledger has no ServeStarted record".into());
+    }
+
+    // Which trees do finished entries claim?
+    let mut claimed: BTreeMap<PathBuf, u64> = BTreeMap::new();
+    for (id, state) in &entries {
+        match state {
+            LedgerEntryState::Pending => report.pending.push(*id),
+            LedgerEntryState::InFlight => report.in_flight.push(*id),
+            LedgerEntryState::Finished {
+                outcome,
+                result_dir,
+            } => {
+                if result_dir.is_empty() {
+                    // An early hard failure never claimed a tree; only a
+                    // *successful* ack without a tree is an orphan.
+                    if outcome != "failed" {
+                        report.orphaned_entries.push((
+                            *id,
+                            format!("outcome {outcome} but no result tree recorded"),
+                        ));
+                    }
+                    continue;
+                }
+                let tree = PathBuf::from(result_dir);
+                match campaign_disk_state(&tree) {
+                    CampaignDiskState::Finished { .. } => {
+                        claimed.insert(tree, *id);
+                    }
+                    CampaignDiskState::NoJournal if !tree.exists() => {
+                        report
+                            .orphaned_entries
+                            .push((*id, format!("acknowledged tree {result_dir} is missing")));
+                    }
+                    CampaignDiskState::NoJournal => {
+                        report.orphaned_entries.push((
+                            *id,
+                            format!("acknowledged tree {result_dir} has no journal"),
+                        ));
+                    }
+                    CampaignDiskState::InProgress { runs_completed, .. } => {
+                        claimed.insert(tree, *id);
+                        report.orphaned_entries.push((
+                            *id,
+                            format!(
+                                "acknowledged tree {result_dir} never finished \
+                                 ({runs_completed} runs durable; `pos resume` completes it)"
+                            ),
+                        ));
+                    }
+                    CampaignDiskState::Unreadable(reason) => {
+                        claimed.insert(tree, *id);
+                        report
+                            .orphaned_entries
+                            .push((*id, format!("tree {result_dir}: {reason}")));
+                    }
+                }
+            }
+        }
+    }
+
+    // Sweep the results root for trees the ledger does not account for.
+    if let Some(root) = report.results_root.clone() {
+        for tree in collect_result_trees(&root)? {
+            if claimed.contains_key(&tree) {
+                continue;
+            }
+            match campaign_disk_state(&tree) {
+                CampaignDiskState::Finished { .. } => report.orphan_trees.push(tree),
+                CampaignDiskState::NoJournal | CampaignDiskState::InProgress { .. } => {
+                    report.resumable_trees.push(tree)
+                }
+                CampaignDiskState::Unreadable(reason) => {
+                    report.errors.push(format!("{}: {reason}", tree.display()));
+                }
+            }
+        }
     }
 
     Ok(report)

@@ -41,6 +41,12 @@ pub const FRAME_HEADER_LEN: usize = JOURNAL_MAGIC.len() + 1 + 8 + 1 + 64 + 1;
 /// File name of the journal inside a result tree.
 pub const JOURNAL_FILE: &str = "journal.log";
 
+/// File name of the `pos serve` queue ledger inside a daemon state
+/// directory. Same frame format as a campaign journal, different record
+/// vocabulary (`ServeStarted` / `SubmissionAccepted` /
+/// `CampaignDispatched` / `SubmissionFinished` / `DrainStarted`).
+pub const LEDGER_FILE: &str = "ledger.log";
+
 /// File name of worker lane `lane`'s journal inside a result tree.
 ///
 /// A parallel campaign keeps the scheduler-level journal in
@@ -225,6 +231,64 @@ pub enum JournalRecord {
         succeeded: usize,
         /// Failed-but-recorded runs.
         failed: usize,
+    },
+    /// A `pos serve` daemon process came up on this state directory.
+    ///
+    /// First record of every daemon session in the queue ledger
+    /// ([`LEDGER_FILE`]); restart recovery uses the *last* one to learn
+    /// where result trees live and what admission limits were configured.
+    ServeStarted {
+        /// Absolute path of the results root the daemon writes trees to.
+        results_root: String,
+        /// Total queue capacity configured for this session.
+        capacity: usize,
+        /// Per-user backlog cap configured for this session.
+        user_backlog: usize,
+        /// Campaign seed every dispatched campaign runs on.
+        seed: u64,
+    },
+    /// The daemon durably accepted a submission — journaled *before* the
+    /// client is acknowledged, so an acked submission is never lost to a
+    /// crash.
+    SubmissionAccepted {
+        /// Queue-assigned submission id (dense, increasing).
+        id: u64,
+        /// Submitting user (fair-share accounting key).
+        user: String,
+        /// Experiment spec directory the submission points at.
+        experiment: String,
+        /// Priority weight (stride tickets).
+        priority: u32,
+        /// Client-chosen idempotency token, if any; a resubmission
+        /// carrying a token already in the ledger is a duplicate, not a
+        /// new campaign.
+        token: Option<String>,
+    },
+    /// The stride scheduler admitted a submission and the daemon is
+    /// about to execute it. Journaled before the campaign starts, so a
+    /// crash mid-campaign leaves an in-flight marker for recovery to
+    /// resume.
+    CampaignDispatched {
+        /// The admitted submission.
+        id: u64,
+    },
+    /// A dispatched campaign reached a terminal state and its outcome is
+    /// recorded in the completion ledger.
+    SubmissionFinished {
+        /// The finished submission.
+        id: u64,
+        /// Terminal outcome: `"completed"`, `"completed_degraded"` or
+        /// `"failed"`.
+        outcome: String,
+        /// Absolute path of the campaign's result tree (empty when the
+        /// campaign failed before a tree was claimed).
+        result_dir: String,
+    },
+    /// The daemon stopped accepting submissions and began a
+    /// preemption-free drain (SIGTERM or `POST /drain`).
+    DrainStarted {
+        /// Submissions still pending at drain start.
+        pending: usize,
     },
 }
 
@@ -526,6 +590,81 @@ pub fn decode_frame(bytes: &[u8], offset: usize) -> Result<FrameStep, JournalErr
             reason: format!("record does not parse: {e}"),
         })?;
     Ok(FrameStep::Record { record, frame_len })
+}
+
+/// Disk-level lifecycle state of a campaign result tree, judged purely
+/// from its scheduler-level journal. The replay entry point `pos serve`
+/// restart recovery and the queue-ledger fsck share: both need to decide,
+/// for a tree found on disk, whether the campaign it belongs to finished,
+/// is resumable, or never got far enough to matter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignDiskState {
+    /// The directory has no journal at all (or an empty one) — the
+    /// process died between creating the tree and completing the first
+    /// append. Nothing in it is durable; a fresh campaign may reclaim
+    /// the path.
+    NoJournal,
+    /// The journal replays but has no `CampaignFinished` record: the
+    /// campaign is in flight or was interrupted, and `resume_experiment`
+    /// / `resume_parallel` can complete it.
+    InProgress {
+        /// Runs with a durable `RunCompleted` record so far.
+        runs_completed: usize,
+        /// Total runs the campaign planned, when known.
+        total_runs: Option<usize>,
+    },
+    /// The campaign sealed a `CampaignFinished` record.
+    Finished {
+        /// Successful runs.
+        succeeded: usize,
+        /// Failed-but-recorded runs.
+        failed: usize,
+    },
+    /// The journal is unreadable or corrupt — not a crash artifact;
+    /// surfaces the reason for the operator.
+    Unreadable(String),
+}
+
+/// Classifies the campaign result tree at `dir` by replaying its
+/// scheduler-level journal (see [`CampaignDiskState`]).
+pub fn campaign_disk_state(dir: &Path) -> CampaignDiskState {
+    let path = dir.join(JOURNAL_FILE);
+    if !path.exists() {
+        return CampaignDiskState::NoJournal;
+    }
+    let replay = match Journal::replay(&path) {
+        Ok(r) => r,
+        Err(e) => return CampaignDiskState::Unreadable(e.to_string()),
+    };
+    if replay.records.is_empty() {
+        // A crash on the very first append leaves the created-but-empty
+        // file (possibly with a torn partial frame): nothing durable.
+        return CampaignDiskState::NoJournal;
+    }
+    for record in &replay.records {
+        if let JournalRecord::CampaignFinished {
+            succeeded, failed, ..
+        } = record
+        {
+            return CampaignDiskState::Finished {
+                succeeded: *succeeded,
+                failed: *failed,
+            };
+        }
+    }
+    let total_runs = replay.records.iter().find_map(|r| match r {
+        JournalRecord::CampaignStarted { total_runs, .. } => Some(*total_runs),
+        _ => None,
+    });
+    let runs_completed = replay
+        .records
+        .iter()
+        .filter(|r| matches!(r, JournalRecord::RunCompleted { .. }))
+        .count();
+    CampaignDiskState::InProgress {
+        runs_completed,
+        total_runs,
+    }
 }
 
 /// Everything needed to bring up one worker lane's journal.

@@ -52,8 +52,8 @@ pub mod vars;
 pub mod vfs;
 
 pub use controller::{
-    CampaignSetup, Controller, ControllerError, ExperimentOutcome, HostHealth, Progress,
-    RunOptions, RunRecord, RunStep,
+    CampaignSetup, CancelToken, Controller, ControllerError, ExperimentOutcome, HostHealth,
+    Progress, ProgressCounters, ProgressSnapshot, RunOptions, RunRecord, RunStep,
 };
 pub use experiment::{ExperimentSpec, RoleSpec};
 pub use loopvars::{expand_cross_product, RunParams};

@@ -33,6 +33,13 @@ pub struct Submission {
     /// Fair-share weight (≥ 1); a priority-2 submission costs its user
     /// half the virtual time of a priority-1 one.
     pub priority: u32,
+    /// Client-chosen idempotency token. A resubmission carrying a token
+    /// the server has already accepted is recognized as the same
+    /// submission, not a new campaign — how a client safely retries
+    /// after an ack it never saw (daemon killed between journal append
+    /// and response). `default` keeps pre-token `queue.json` loadable.
+    #[serde(default)]
+    pub token: Option<String>,
 }
 
 /// Why a submission was rejected.
@@ -47,9 +54,46 @@ pub enum QueueError {
         depth: usize,
         /// Queued submissions per user, alphabetically.
         per_user: Vec<(String, usize)>,
+        /// Deterministic backoff hint, seconds: one nominal campaign
+        /// duration — a queue slot frees when the campaign currently
+        /// executing finishes. The daemon surfaces it as an HTTP
+        /// `Retry-After` header; `pos queue submit` prints it.
+        retry_after_secs: u64,
+    },
+    /// The submitting user is over their per-user backlog cap. The queue
+    /// as a whole still has room — this is fair-share backpressure
+    /// against one user monopolizing it.
+    Backlog {
+        /// The user being pushed back.
+        user: String,
+        /// That user's queued submissions.
+        backlog: usize,
+        /// The configured per-user cap.
+        limit: usize,
+        /// Deterministic backoff hint, seconds: under stride fair share
+        /// the user's own next completion comes around once per cycle of
+        /// the distinct users currently queued, so the hint is
+        /// `nominal campaign duration × distinct queued users`.
+        retry_after_secs: u64,
     },
     /// The queue is draining; no new submissions are accepted.
     Closed,
+}
+
+impl QueueError {
+    /// The deterministic backoff hint, when the rejection carries one
+    /// ([`QueueError::Closed`] does not: a draining queue never reopens).
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            QueueError::Full {
+                retry_after_secs, ..
+            }
+            | QueueError::Backlog {
+                retry_after_secs, ..
+            } => Some(*retry_after_secs),
+            QueueError::Closed => None,
+        }
+    }
 }
 
 impl fmt::Display for QueueError {
@@ -59,6 +103,7 @@ impl fmt::Display for QueueError {
                 capacity,
                 depth,
                 per_user,
+                retry_after_secs,
             } => {
                 write!(
                     f,
@@ -67,8 +112,18 @@ impl fmt::Display for QueueError {
                 for (user, n) in per_user {
                     write!(f, " {user}={n}")?;
                 }
-                write!(f, "); retry after a drain")
+                write!(f, "); retry after {retry_after_secs}s")
             }
+            QueueError::Backlog {
+                user,
+                backlog,
+                limit,
+                retry_after_secs,
+            } => write!(
+                f,
+                "user {user} over backlog cap: {backlog}/{limit} queued; \
+                 retry after {retry_after_secs}s"
+            ),
             QueueError::Closed => write!(f, "queue closed: draining, no new submissions"),
         }
     }
@@ -150,6 +205,21 @@ pub struct SubmissionQueue {
     /// `queue.json` files from before the ledger loadable.
     #[serde(default)]
     completed: Vec<CompletedSubmission>,
+    /// Per-user pending cap; 0 disables the cap. `default` keeps older
+    /// `queue.json` files loadable.
+    #[serde(default)]
+    user_backlog: usize,
+    /// Nominal wall-clock duration of one campaign, seconds — the unit
+    /// of the deterministic `retry_after` hints. `default` keeps older
+    /// `queue.json` files loadable (and 0 simply yields a 0s hint).
+    #[serde(default = "default_nominal_campaign_secs")]
+    nominal_campaign_secs: u64,
+}
+
+/// Ten minutes: generous for the tiny case-study campaigns, the right
+/// order of magnitude for the paper's real ones.
+fn default_nominal_campaign_secs() -> u64 {
+    600
 }
 
 impl SubmissionQueue {
@@ -164,7 +234,29 @@ impl SubmissionQueue {
             pending: Vec::new(),
             passes: BTreeMap::new(),
             completed: Vec::new(),
+            user_backlog: 0,
+            nominal_campaign_secs: default_nominal_campaign_secs(),
         }
+    }
+
+    /// Rebounds the queue. Shrinking below the current depth is allowed:
+    /// nothing queued is dropped, new submissions are rejected until the
+    /// backlog falls under the new bound. (Restart recovery replays the
+    /// ledger into an unbounded queue, then restores the configured
+    /// bound.)
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity >= 1, "a queue needs room for at least one entry");
+        self.capacity = capacity;
+    }
+
+    /// Sets the per-user pending cap; 0 disables it.
+    pub fn set_user_backlog(&mut self, cap: usize) {
+        self.user_backlog = cap;
+    }
+
+    /// Sets the nominal campaign duration underlying `retry_after` hints.
+    pub fn set_nominal_campaign_secs(&mut self, secs: u64) {
+        self.nominal_campaign_secs = secs;
     }
 
     /// Submissions currently queued.
@@ -190,8 +282,41 @@ impl SubmissionQueue {
         experiment: impl Into<String>,
         priority: u32,
     ) -> Result<u64, QueueError> {
+        self.submit_with_token(user, experiment, priority, None)
+    }
+
+    /// [`Self::submit`] carrying a client idempotency token (stored on
+    /// the [`Submission`]; dedup against it is the server's job — the
+    /// queue itself treats every call as a new submission).
+    pub fn submit_with_token(
+        &mut self,
+        user: impl Into<String>,
+        experiment: impl Into<String>,
+        priority: u32,
+        token: Option<String>,
+    ) -> Result<u64, QueueError> {
         if !self.open {
             return Err(QueueError::Closed);
+        }
+        let user = user.into();
+        if self.user_backlog > 0 {
+            let backlog = self.pending.iter().filter(|s| s.user == user).count();
+            if backlog >= self.user_backlog {
+                // The user's own next slot comes around once per stride
+                // cycle over the distinct users currently queued.
+                let distinct = self
+                    .pending
+                    .iter()
+                    .map(|s| s.user.as_str())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len() as u64;
+                return Err(QueueError::Backlog {
+                    user,
+                    backlog,
+                    limit: self.user_backlog,
+                    retry_after_secs: self.nominal_campaign_secs * distinct.max(1),
+                });
+            }
         }
         if self.pending.len() >= self.capacity {
             let mut per_user: BTreeMap<String, usize> = BTreeMap::new();
@@ -202,9 +327,9 @@ impl SubmissionQueue {
                 capacity: self.capacity,
                 depth: self.pending.len(),
                 per_user: per_user.into_iter().collect(),
+                retry_after_secs: self.nominal_campaign_secs,
             });
         }
-        let user = user.into();
         // A user joining (or rejoining) starts at the current virtual
         // time floor, not at zero — otherwise a latecomer could replay
         // the whole backlog of shares it never waited for.
@@ -219,6 +344,7 @@ impl SubmissionQueue {
             user,
             experiment: experiment.into(),
             priority: priority.max(1),
+            token,
         });
         Ok(id)
     }
@@ -350,18 +476,28 @@ mod tests {
                 capacity,
                 depth,
                 per_user,
+                retry_after_secs,
             } => {
                 assert_eq!((*capacity, *depth), (2, 2));
                 assert_eq!(
                     per_user,
                     &vec![("alice".to_string(), 1), ("bob".to_string(), 1)]
                 );
+                assert_eq!(
+                    *retry_after_secs, 600,
+                    "a slot frees when the running campaign finishes: one nominal duration"
+                );
             }
             other => panic!("expected Full, got {other:?}"),
         }
+        assert_eq!(err.retry_after_secs(), Some(600));
         let msg = err.to_string();
         assert!(msg.contains("queue full"), "diagnostic names the condition");
         assert!(msg.contains("alice=1"), "diagnostic names the backlog");
+        assert!(
+            msg.contains("retry after 600s"),
+            "diagnostic carries the hint"
+        );
         // Rejection is backpressure, not a wedge: the queue still admits.
         assert!(q.admit().is_some());
         assert!(q.submit("carol", "c0", 1).is_ok());
@@ -448,5 +584,165 @@ mod tests {
         let mut back: SubmissionQueue = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.admit().unwrap().user, q.admit().unwrap().user);
+    }
+
+    #[test]
+    fn per_user_backlog_rejects_with_deterministic_retry_after() {
+        let mut q = SubmissionQueue::new(16);
+        q.set_user_backlog(2);
+        q.set_nominal_campaign_secs(100);
+        q.submit("alice", "a0", 1).unwrap();
+        q.submit("alice", "a1", 1).unwrap();
+        q.submit("bob", "b0", 1).unwrap();
+        let err = q.submit("alice", "a2", 1).unwrap_err();
+        match &err {
+            QueueError::Backlog {
+                user,
+                backlog,
+                limit,
+                retry_after_secs,
+            } => {
+                assert_eq!(user, "alice");
+                assert_eq!((*backlog, *limit), (2, 2));
+                // Two distinct users queued: alice's next slot comes
+                // around after one full stride cycle.
+                assert_eq!(*retry_after_secs, 200);
+            }
+            other => panic!("expected Backlog, got {other:?}"),
+        }
+        assert_eq!(err.retry_after_secs(), Some(200));
+        // Backpressure against alice only: bob still submits freely, and
+        // alice recovers as soon as one of her campaigns is admitted.
+        q.submit("bob", "b1", 1).unwrap();
+        assert_eq!(q.admit().unwrap().user, "alice");
+        assert!(q.submit("alice", "a2", 1).is_ok());
+        // The hint is a pure function of queue state: same state, same
+        // hint.
+        q.submit("alice", "a3", 1).ok();
+        let e1 = q.submit("alice", "a4", 1).unwrap_err();
+        let e2 = q.submit("alice", "a4", 1).unwrap_err();
+        assert_eq!(e1, e2, "retry-after is deterministic");
+    }
+
+    #[test]
+    fn closed_rejection_has_no_retry_hint() {
+        let mut q = SubmissionQueue::new(2);
+        q.close();
+        let err = q.submit("alice", "a0", 1).unwrap_err();
+        assert_eq!(err, QueueError::Closed);
+        assert_eq!(err.retry_after_secs(), None, "a drain never reopens");
+    }
+
+    #[test]
+    fn token_survives_queue_and_json() {
+        let mut q = SubmissionQueue::new(4);
+        q.submit_with_token("alice", "a0", 1, Some("tok-1".into()))
+            .unwrap();
+        let json = serde_json::to_string(&q).unwrap();
+        let mut back: SubmissionQueue = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.admit().unwrap().token.as_deref(), Some("tok-1"));
+        // Pre-token queue.json files (no `token` key) still load.
+        let old = r#"{"id":7,"user":"u","experiment":"e","priority":1}"#;
+        let sub: Submission = serde_json::from_str(old).unwrap();
+        assert_eq!(sub.token, None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The stride fair-share bound: among users who were never
+            /// caught without pending work, normalized service (admissions
+            /// divided by weight) never diverges by more than one quantum
+            /// — a *constant*, independent of how long or how adversarial
+            /// the churn is. This is the textbook stride-scheduling
+            /// throughput-error bound, checked end to end through the
+            /// queue's public API under bursty submissions, mixed
+            /// priority weights, and interleaved admissions.
+            #[test]
+            fn stride_fairness_error_stays_bounded(
+                weights in proptest::collection::vec(1u32..4, 2..5),
+                // Adversarial churn, one op per tuple: kind 0 = user
+                // `user % n` submits a burst of `count` campaigns,
+                // kind 1 = the scheduler admits `count` campaigns.
+                ops in proptest::collection::vec((0..2usize, 0..4usize, 1..4usize), 1..60),
+            ) {
+                let users: Vec<String> =
+                    (0..weights.len()).map(|i| format!("user{i}")).collect();
+                let mut q = SubmissionQueue::new(1024);
+                // Every user joins before the first admission and posts an
+                // initial burst, so all start at the same virtual-time
+                // floor with work pending.
+                for (user, w) in users.iter().zip(&weights) {
+                    for n in 0..2 {
+                        q.submit(user.clone(), format!("seed-{n}"), *w).unwrap();
+                    }
+                }
+                let mut admissions: BTreeMap<String, u64> = BTreeMap::new();
+                // Users stay in the fairness comparison only while they
+                // were *continuously backlogged*: once a user is found
+                // idle at an admission instant, stride owes them nothing.
+                let mut always_backlogged: std::collections::BTreeSet<String> =
+                    users.iter().cloned().collect();
+                let check = |q: &mut SubmissionQueue,
+                                 admissions: &mut BTreeMap<String, u64>,
+                                 always: &mut std::collections::BTreeSet<String>|
+                 -> Result<(), TestCaseError> {
+                    for user in users.iter() {
+                        if q.status().pending.iter().all(|s| &s.user != user) {
+                            always.remove(user);
+                        }
+                    }
+                    let Some(sub) = q.admit() else { return Ok(()) };
+                    *admissions.entry(sub.user.clone()).or_insert(0) += 1;
+                    let normalized: Vec<f64> = always
+                        .iter()
+                        .map(|u| {
+                            let idx: usize =
+                                u.strip_prefix("user").unwrap().parse().unwrap();
+                            let served = admissions.get(u).copied().unwrap_or(0);
+                            served as f64 / f64::from(weights[idx])
+                        })
+                        .collect();
+                    if let (Some(max), Some(min)) = (
+                        normalized.iter().copied().reduce(f64::max),
+                        normalized.iter().copied().reduce(f64::min),
+                    ) {
+                        // One quantum: the largest pass advance a single
+                        // admission can cause is 1/min_weight = 1.
+                        prop_assert!(
+                            max - min <= 1.0 + 1e-9,
+                            "fair-share error {} exceeds one quantum \
+                             (admissions {:?}, weights {:?})",
+                            max - min,
+                            admissions,
+                            weights
+                        );
+                    }
+                    Ok(())
+                };
+                for (kind, user, count) in &ops {
+                    if *kind == 0 {
+                        let user = user % users.len();
+                        for n in 0..*count {
+                            let _ = q.submit(
+                                users[user].clone(),
+                                format!("burst-{n}"),
+                                weights[user],
+                            );
+                        }
+                    } else {
+                        for _ in 0..*count {
+                            check(&mut q, &mut admissions, &mut always_backlogged)?;
+                        }
+                    }
+                }
+                // Final drain: admissions continue in fair order to empty.
+                while !q.is_empty() {
+                    check(&mut q, &mut admissions, &mut always_backlogged)?;
+                }
+            }
+        }
     }
 }

@@ -167,12 +167,14 @@ fn parse_flavor(label: &str) -> Result<LaneFlavor, ControllerError> {
 /// bare-metal replica or a virtual clone per `flavor`. The scheduler
 /// re-derives the management RNG stream of lanes `k > 0` itself. The
 /// supervisor may call `make_lane` again mid-campaign for replacement
-/// lanes.
+/// lanes. Construction failures are typed errors and abort the campaign
+/// before any state is touched (fresh run) or at the replanning boundary
+/// (replacement lane).
 pub fn run_parallel(
     spec: &ExperimentSpec,
     opts: &RunOptions,
     popts: &ParallelOptions,
-    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
 ) -> Result<ParallelOutcome, ControllerError> {
     assert!(popts.lanes >= 1, "a campaign needs at least one lane");
 
@@ -190,7 +192,7 @@ pub fn run_parallel(
     )
     .map_err(ControllerError::Allocation)?;
 
-    let mut lanes = build_lanes(&alloc.flavors, opts, make_lane);
+    let mut lanes = build_lanes(&alloc.flavors, opts, make_lane)?;
     let (spec_eff, runs) = lanes[0].prepare_campaign(spec, opts)?;
     let seed = lanes[0].testbed().seed();
 
@@ -285,7 +287,7 @@ pub fn resume_parallel(
     result_dir: &Path,
     spec: &ExperimentSpec,
     opts: &RunOptions,
-    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
 ) -> Result<ParallelOutcome, ControllerError> {
     let store = ResultStore::open(result_dir).with_vfs(opts.vfs.clone());
     let sched_path = store.dir().join(JOURNAL_FILE);
@@ -369,7 +371,7 @@ pub fn resume_parallel(
     let mut all_flavors = lane_flavors.clone();
     all_flavors.extend(fstate.replanned.iter().copied());
 
-    let mut lanes = build_lanes(&all_flavors, opts, make_lane);
+    let mut lanes = build_lanes(&all_flavors, opts, make_lane)?;
     if lanes[0].testbed().seed() != seed {
         return Err(ControllerError::Resume {
             reason: format!(
@@ -533,18 +535,18 @@ pub fn resume_parallel(
 fn build_lanes(
     flavors: &[LaneFlavor],
     opts: &RunOptions,
-    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
-) -> Vec<Controller<'static>> {
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
+) -> Result<Vec<Controller<'static>>, ControllerError> {
     flavors
         .iter()
         .enumerate()
         .map(|(k, flavor)| {
-            let mut tb = make_lane(k, *flavor);
+            let mut tb = make_lane(k, *flavor)?;
             if k > 0 {
                 tb.rederive_management_rng(&lane_stream_label(k));
             }
             tb.set_command_timeout(opts.command_timeout);
-            Controller::owning(tb)
+            Ok(Controller::owning(tb))
         })
         .collect()
 }
@@ -559,7 +561,7 @@ fn dispatch_and_merge(
     runs: &[RunParams],
     verified: &BTreeMap<usize, VerifiedRun>,
     started: SimTime,
-    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+    make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
 ) -> Result<ParallelOutcome, ControllerError> {
     let stats = sup.dispatch(store, sched_journal, runs, verified, make_lane)?;
 

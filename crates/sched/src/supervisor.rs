@@ -320,7 +320,7 @@ impl<'a> LaneSupervisor<'a> {
         sched_journal: &mut Journal,
         runs: &[RunParams],
         verified: &BTreeMap<usize, VerifiedRun>,
-        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
     ) -> Result<DispatchStats, ControllerError> {
         let mut cursor = self.lanes[0].testbed().now();
         let mut records: Vec<RunRecord> = Vec::with_capacity(self.total);
@@ -498,7 +498,7 @@ impl<'a> LaneSupervisor<'a> {
         store: &ResultStore,
         sched_journal: &mut Journal,
         cursor: SimTime,
-        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
     ) -> Result<usize, ControllerError> {
         loop {
             if self.laneset.live_lanes() == 0 {
@@ -606,7 +606,7 @@ impl<'a> LaneSupervisor<'a> {
         store: &ResultStore,
         sched_journal: &mut Journal,
         cursor: SimTime,
-        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
     ) -> Result<(), ControllerError> {
         if self.sopts.recovery == LaneRecovery::Replacement {
             self.replan_replacement(store, sched_journal, cursor, make_lane)?;
@@ -623,7 +623,7 @@ impl<'a> LaneSupervisor<'a> {
         store: &ResultStore,
         sched_journal: &mut Journal,
         cursor: SimTime,
-        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Testbed,
+        make_lane: &mut dyn FnMut(usize, LaneFlavor) -> Result<Testbed, ControllerError>,
     ) -> Result<(), ControllerError> {
         let k = self.lanes.len();
         let mut flavor = LaneFlavor::Virtual;
@@ -644,7 +644,7 @@ impl<'a> LaneSupervisor<'a> {
             }
         }
 
-        let mut tb = make_lane(k, flavor);
+        let mut tb = make_lane(k, flavor)?;
         tb.rederive_management_rng(&lane_stream_label(k));
         tb.set_command_timeout(self.opts.command_timeout);
         let mut lane = Controller::owning(tb);

@@ -1,0 +1,393 @@
+//! A dependency-free HTTP/1.1 slice: exactly what a local control plane
+//! needs, nothing more.
+//!
+//! The daemon listens on a loopback `TcpListener` (no TLS, no keep-alive,
+//! `Connection: close` on every exchange) and speaks five routes:
+//!
+//! | route            | answer                                            |
+//! |------------------|---------------------------------------------------|
+//! | `GET /healthz`   | 200 while the process lives                       |
+//! | `GET /readyz`    | 200 while accepting, 503 once draining or dead    |
+//! | `GET /status`    | 200, the [`ServeStatus`] JSON                     |
+//! | `POST /submit`   | 200 accepted/deduplicated, 400 invalid, 429 full or over backlog (with a deterministic `Retry-After` header), 503 draining |
+//! | `POST /drain`    | 202, drain started                                |
+//!
+//! The same module carries the tiny client ([`http_request`]) the CLI
+//! uses for `pos queue submit --daemon` — hand-rolled on `TcpStream`
+//! for the same reason the server is: the vendored dependency set has
+//! no HTTP crate, and this control plane needs none.
+
+use crate::engine::{ServeEngine, ServeStatus, SubmitRequest, SubmitResponse};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Acknowledgement body of a successful `/submit`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitAck {
+    /// Allocated (or, for a deduplicated retry, original) submission id.
+    pub id: u64,
+    /// True when the idempotency token matched an earlier submission.
+    pub deduped: bool,
+}
+
+/// Error body of a refused request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable diagnostic.
+    pub error: String,
+    /// Deterministic retry hint mirroring the `Retry-After` header.
+    #[serde(default)]
+    pub retry_after_secs: Option<u64>,
+}
+
+/// Acknowledgement body of `/drain`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrainAck {
+    /// Submissions left pending for a later session.
+    pub pending: usize,
+}
+
+/// A parsed HTTP response, as the client sees it.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The daemon's listening socket.
+pub struct HttpServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Binds the listener (pass port 0 for an ephemeral port) in
+    /// non-blocking accept mode.
+    pub fn bind(addr: &str) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(HttpServer { listener, addr })
+    }
+
+    /// The bound address (relevant with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Spawns the accept loop on its own thread; it serves until `stop`
+    /// is set. Connections are handled serially — a local control plane
+    /// exchanging small JSON bodies has no use for a worker pool.
+    pub fn spawn(self, engine: Arc<ServeEngine>, stop: Arc<AtomicBool>) -> thread::JoinHandle<()> {
+        thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = handle(stream, &engine);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    extra_headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    fn json<T: Serialize>(status: u16, payload: &T) -> Response {
+        let body = serde_json::to_string(payload)
+            .unwrap_or_else(|e| format!("{{\"error\":\"serialization: {e}\"}}"));
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn error(status: u16, error: String, retry_after_secs: Option<u64>) -> Response {
+        let mut resp = Response::json(
+            status,
+            &ErrorBody {
+                error,
+                retry_after_secs,
+            },
+        );
+        if let Some(secs) = retry_after_secs {
+            resp.extra_headers
+                .push(("Retry-After".into(), secs.to_string()));
+        }
+        resp
+    }
+}
+
+fn handle(mut stream: TcpStream, engine: &ServeEngine) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let req = read_request(&mut stream)?;
+    let resp = route(engine, &req);
+    write_response(&mut stream, &resp)
+}
+
+fn route(engine: &ServeEngine, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if engine.is_accepting() {
+                Response::text(200, "ready\n")
+            } else {
+                Response::text(503, "draining\n")
+            }
+        }
+        ("GET", "/status") => {
+            let status: ServeStatus = engine.status();
+            Response::json(200, &status)
+        }
+        ("POST", "/submit") => {
+            let sreq: SubmitRequest = match serde_json::from_str(&req.body) {
+                Ok(r) => r,
+                Err(e) => return Response::error(400, format!("bad submit body: {e}"), None),
+            };
+            match engine.submit(&sreq) {
+                Ok(SubmitResponse::Accepted { id }) => {
+                    Response::json(200, &SubmitAck { id, deduped: false })
+                }
+                Ok(SubmitResponse::Duplicate { id }) => {
+                    Response::json(200, &SubmitAck { id, deduped: true })
+                }
+                Ok(SubmitResponse::Rejected {
+                    error,
+                    retry_after_secs,
+                    closed,
+                }) => {
+                    let status = if closed { 503 } else { 429 };
+                    Response::error(status, error, retry_after_secs)
+                }
+                Ok(SubmitResponse::Invalid { reason }) => Response::error(400, reason, None),
+                Err(e) => Response::error(500, e.to_string(), None),
+            }
+        }
+        ("POST", "/drain") => match engine.begin_drain() {
+            Ok(pending) => Response::json(202, &DrainAck { pending }),
+            Err(e) => Response::error(500, e.to_string(), None),
+        },
+        _ => Response::error(404, format!("no route {} {}", req.method, req.path), None),
+    }
+}
+
+/// Reads one request: request line, headers, and a `Content-Length`
+/// body.
+fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(at) = find_header_end(&buf) {
+            break at;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request headers too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body_bytes = buf[header_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    body_bytes.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body_bytes).into_owned(),
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs one HTTP exchange with a running daemon and parses the
+/// response. `addr` is `host:port`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> io::Result<HttpResponse> {
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "response has no header block")
+    })?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line `{status_line}`"),
+            )
+        })?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_roundtrip() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+                   Retry-After: 600\r\nConnection: close\r\n\r\n{\"error\":\"full\"}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("600"));
+        assert_eq!(resp.header("Retry-After"), Some("600"));
+        assert_eq!(resp.body, "{\"error\":\"full\"}");
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn submit_request_body_defaults() {
+        let req: SubmitRequest = serde_json::from_str("{\"experiment\":\"exp\"}").unwrap();
+        assert_eq!(req.experiment, "exp");
+        // Absent priority deserializes to 0; submit normalizes it to 1.
+        assert_eq!(req.priority, 0);
+        assert!(req.user.is_none() && req.token.is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! Termination signals without a libc crate.
+//!
+//! The daemon's drain protocol needs exactly one bit of kernel
+//! cooperation: *how many times* has the operator asked it to stop. The
+//! handler therefore does the only thing that is async-signal-safe and
+//! useful — bump an atomic counter — and the run loop polls the counter
+//! between steps:
+//!
+//! * first SIGTERM/SIGINT → close the queue, finish the in-flight
+//!   campaign, exit (a preemption-free drain);
+//! * second → additionally trip the campaign's [cancel token], so the
+//!   in-flight campaign stops at its next journal boundary — a
+//!   consistent checkpoint, completed later by `pos resume`.
+//!
+//! [cancel token]: pos_core::controller::CancelToken
+//!
+//! `libc` is not among the vendored dependencies, so the registration
+//! goes through a hand-declared `signal(2)` binding. On non-Unix
+//! platforms installation is a no-op and only programmatic requests
+//! ([`request_termination`], used by the tests) are counted.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// How many termination requests (signals or programmatic) have arrived.
+static TERMINATIONS: AtomicU32 = AtomicU32::new(0);
+
+/// The signal handler: the only async-signal-safe state change we need.
+#[cfg(unix)]
+extern "C" fn on_termination(_signum: i32) {
+    TERMINATIONS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM and SIGINT handlers. Idempotent.
+#[cfg(unix)]
+pub fn install() {
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_termination);
+        signal(SIGINT, on_termination);
+    }
+}
+
+/// Installs nothing: only [`request_termination`] counts here.
+#[cfg(not(unix))]
+pub fn install() {}
+
+/// Number of termination requests seen so far. Monotonic.
+pub fn termination_requests() -> u32 {
+    TERMINATIONS.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of delivering one SIGTERM — what the tests
+/// use to exercise the drain protocol without involving the kernel.
+pub fn request_termination() {
+    TERMINATIONS.fetch_add(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_counted_monotonically() {
+        install();
+        let before = termination_requests();
+        request_termination();
+        request_termination();
+        assert_eq!(termination_requests(), before + 2);
+    }
+}

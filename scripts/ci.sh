@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 # First-party crates only: vendor/* are offline registry stand-ins and are
 # exempt from the style gates.
 FIRST_PARTY="-p pos -p pos-core -p pos-testbed -p pos-simkernel -p pos-netsim \
- -p pos-packet -p pos-loadgen -p pos-eval -p pos-publish -p pos-bench -p pos-sched"
+ -p pos-packet -p pos-loadgen -p pos-eval -p pos-publish -p pos-bench -p pos-sched \
+ -p pos-serve"
 
 echo "==> rustfmt (check, first-party crates)"
 cargo fmt --check $FIRST_PARTY
@@ -43,6 +44,12 @@ cargo test -q --test parallel_determinism interrupted_failover_strands_run_and_f
 # boundary plus bit-flip rot, recovered to byte-identity via resume + scrub.
 echo "==> disk-fault matrix (tests/disk_fault_matrix.rs)"
 cargo test -q --test disk_fault_matrix
+
+# The daemon half: kill `pos serve` at every queue-ledger append boundary
+# (and at campaign-journal boundaries) during a multi-user submission storm,
+# restart, and demand byte-identical trees versus an uninterrupted daemon.
+echo "==> serve restart matrix (tests/serve_restart_matrix.rs)"
+cargo test -q --test serve_restart_matrix
 
 # Scrub smoke, end to end through the CLI: corrupt one artifact of a real
 # result tree with dd, demand that `pos scrub` detects it (nonzero exit),
@@ -76,6 +83,77 @@ fi
 "$POS" fsck "$TREE" >/dev/null
 rm -rf "$SCRUB_DIR"
 
+# Serve smoke, end to end through the real binary: start the daemon, submit
+# over HTTP, kill -9 mid-service, restart on the same state dir, and demand
+# that the acknowledged submission completes anyway (journal-before-ack).
+# Then: token dedupe across the restart, a SIGTERM drain that must exit 0,
+# and a ledger fsck of the state dir.
+echo "==> serve smoke (kill -9 + restart + SIGTERM drain via pos serve)"
+SERVE_DIR=$(mktemp -d)
+"$POS" init "$SERVE_DIR/exp" >/dev/null
+cat >"$SERVE_DIR/exp/loop-variables.yml" <<'EOF'
+pkt_rate:
+- 10000
+pkt_sz:
+- 64
+EOF
+cat >"$SERVE_DIR/exp/global-variables.yml" <<'EOF'
+dut_ip0: 10.0.0.1
+dut_ip1: 10.0.1.1
+run_secs: 1
+EOF
+serve_wait_addr() {
+    i=0
+    while [ ! -s "$SERVE_DIR/state/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve smoke: daemon never published its address" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    cat "$SERVE_DIR/state/addr"
+}
+"$POS" serve --state "$SERVE_DIR/state" --results "$SERVE_DIR/res" \
+    >"$SERVE_DIR/serve1.log" 2>&1 &
+SERVE_PID=$!
+ADDR=$(serve_wait_addr)
+"$POS" queue submit "$SERVE_DIR/exp" --daemon "$ADDR" --token smoke-1 >/dev/null
+# The ack means the submission is durable in the ledger: a kill -9 right
+# now — before, during, or after the campaign — must not lose it.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+rm -f "$SERVE_DIR/state/addr"
+"$POS" serve --state "$SERVE_DIR/state" --results "$SERVE_DIR/res" \
+    >"$SERVE_DIR/serve2.log" 2>&1 &
+SERVE_PID=$!
+ADDR=$(serve_wait_addr)
+i=0
+until "$POS" queue status --daemon "$ADDR" | grep -q '^completed: 1'; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "serve smoke: submission did not complete after restart" >&2
+        "$POS" queue status --daemon "$ADDR" >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+"$POS" queue submit "$SERVE_DIR/exp" --daemon "$ADDR" --token smoke-1 \
+    | grep -q 'already queued' || {
+    echo "serve smoke: idempotency token did not dedupe across restart" >&2
+    exit 1
+}
+kill -TERM "$SERVE_PID"
+SERVE_EXIT=0
+wait "$SERVE_PID" || SERVE_EXIT=$?
+if [ "$SERVE_EXIT" -ne 0 ]; then
+    echo "serve smoke: drain of a completed daemon exited $SERVE_EXIT, want 0" >&2
+    cat "$SERVE_DIR/serve2.log" >&2 || true
+    exit 1
+fi
+"$POS" fsck "$SERVE_DIR/state" >/dev/null
+rm -rf "$SERVE_DIR"
+
 if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
     echo "==> bench smoke: robustness (sweep + chaos + resume + failover + scrub/ENOSPC)"
     POS_RUN_SECS=0.05 POS_CHAOS_RUN_SECS=5 POS_FAILOVER_RUN_SECS=2 \
@@ -98,6 +176,12 @@ if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
         cargo run --release -p pos-bench --bin parallel >/dev/null
     test -s BENCH_parallel.json
     rm -f BENCH_parallel.json
+
+    echo "==> bench smoke: serve (admission latency + stride fairness + restart replay)"
+    POS_SERVE_STORM=24 \
+        cargo run --release -p pos-bench --bin serve >/dev/null
+    test -s BENCH_serve.json
+    rm -f BENCH_serve.json
 fi
 
 echo "==> ci: OK"

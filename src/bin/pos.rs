@@ -12,6 +12,10 @@
 //!     --seed <n>           testbed seed           (default: 1799)
 //! pos resume <result-dir> [options]     pick up an interrupted campaign
 //!     --testbed pos|vpos   hardware or VM testbed (default: pos)
+//! pos serve [options]                   crash-surviving campaign daemon
+//!     --state <dir>        ledger + snapshots     (default: ./serve-state)
+//!     --listen <addr>      HTTP endpoint          (default: 127.0.0.1:0)
+//! pos queue ... --daemon <addr>         speak to a running daemon
 //! pos fsck <result-dir>                 verify journal + per-run checksums
 //! pos scrub <result-dir> [--repair]     detect (and heal) bit rot
 //! pos eval <result-dir> [--out <dir>]   parse, aggregate, plot
@@ -25,10 +29,10 @@
 //! Argument parsing is deliberately hand-rolled: the CLI's needs are a
 //! dozen flags, not a dependency.
 
-use pos::core::commands::register_all;
+use pos::core::commands::case_study_testbed;
 use pos::core::controller::{Controller, ControllerError, ExperimentOutcome, Progress, RunOptions};
 use pos::core::experiment::{linux_router_experiment, ExperimentSpec};
-use pos::core::journal::{Journal, JournalRecord, JOURNAL_FILE};
+use pos::core::journal::{Journal, JournalRecord, JOURNAL_FILE, LEDGER_FILE};
 use pos::core::vfs::{FaultPlan, Vfs};
 use pos::eval::loader::ResultSet;
 use pos::eval::plot::PlotSpec;
@@ -38,9 +42,16 @@ use pos::sched::{
     resume_parallel, run_parallel, CompletionOutcome, LaneFaultPlan, LaneFlavor, LaneRecovery,
     ParallelOptions, ParallelOutcome, SubmissionQueue,
 };
-use pos::testbed::{clone_virtual, CloneOptions, HardwareSpec, InitInterface, PortId, Testbed};
+use pos::serve::{
+    http_request, signal as serve_signal, DrainAck, ErrorBody, HttpServer, ServeEngine,
+    ServeOptions, ServeStatus, SubmitAck, SubmitRequest,
+};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// How a command finished. `Degraded` is the contract for a campaign
 /// that *completed* — full result tree, sealed journals — but recorded
@@ -61,6 +72,7 @@ fn main() -> ExitCode {
         Some("init") => cmd_init(&args[1..]).map(|()| Completion::Clean),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("queue") => cmd_queue(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]).map(|()| Completion::Clean),
         Some("scrub") => cmd_scrub(&args[1..]),
@@ -107,10 +119,17 @@ fn usage() -> &'static str {
      \x20         exit codes: 0 ok, 1 error, 3 degraded completion\n\
      \x20         (3 also means: out of disk space, checkpointed — resumable)\n\
      \x20 pos resume <result-dir> [--testbed pos|vpos] [--disk-faults <json-file>]\n\
+     \x20 pos serve [--state <dir>] [--results <root>] [--listen <addr>]\n\
+     \x20         [--capacity <n>] [--user-backlog <n>] [--seed <n>] [--lanes <n>]\n\
+     \x20         crash-surviving daemon: journals before acknowledging, survives\n\
+     \x20         kill -9 + restart; SIGTERM drains (twice: checkpoint in-flight)\n\
+     \x20         exit codes: 0 everything completed clean, 3 otherwise\n\
      \x20 pos queue submit <exp-dir> [--user <u>] [--priority <n>] [--queue <dir>]\n\
-     \x20 pos queue status [--queue <dir>]\n\
+     \x20         [--daemon <addr>] [--token <t>]    submit over HTTP to pos serve\n\
+     \x20 pos queue status [--queue <dir>] [--daemon <addr>]\n\
      \x20 pos queue drain [--queue <dir>] [--results <root>] [--seed <n>] [--lanes <n>]\n\
-     \x20 pos fsck <result-dir>              verify journal + per-run checksums\n\
+     \x20 pos queue drain --daemon <addr>    ask a running daemon to drain\n\
+     \x20 pos fsck <result-dir | serve-state> verify journals + checksums / ledger\n\
      \x20 pos scrub <result-dir> [--repair] [--json <file>]   detect/heal bit rot\n\
      \x20 pos eval <result-dir> [--out <dir>]\n\
      \x20 pos publish <result-dir> [--out <dir>] [--tar <file>] [--title <text>]\n\
@@ -161,58 +180,6 @@ fn cmd_init(args: &[String]) -> Result<(), String> {
         dir.display()
     );
     Ok(())
-}
-
-/// Builds a testbed matching an experiment's roles: one host per role,
-/// wired as the case-study topology requires (role0 port0 → role1 port0,
-/// role1 port1 → role0 port1 for two roles; a chain for more).
-///
-/// With `exact_seed` false (`pos run`) `seed` is the user seed and the
-/// vpos clone derives its own; with `exact_seed` true (`pos resume`)
-/// `seed` is the final testbed seed straight from the journal and is
-/// used as-is, derivation already having happened in the original
-/// session.
-fn build_testbed(
-    spec: &ExperimentSpec,
-    seed: u64,
-    virtualized: bool,
-    exact_seed: bool,
-) -> Result<Testbed, String> {
-    let mut tb = Testbed::new(seed);
-    for role in &spec.roles {
-        tb.add_host(&role.host, HardwareSpec::paper_dut(), InitInterface::Ipmi);
-    }
-    let hosts = spec.hosts();
-    match hosts.as_slice() {
-        [] => return Err("experiment has no roles".into()),
-        [_single] => {}
-        [a, b] => {
-            tb.topology
-                .wire(PortId::new(a, 0), PortId::new(b, 0))
-                .map_err(|e| e.to_string())?;
-            tb.topology
-                .wire(PortId::new(b, 1), PortId::new(a, 1))
-                .map_err(|e| e.to_string())?;
-        }
-        many => {
-            for pair in many.windows(2) {
-                tb.topology
-                    .wire(PortId::new(&pair[0], 1), PortId::new(&pair[1], 0))
-                    .map_err(|e| e.to_string())?;
-            }
-        }
-    }
-    let mut tb = if virtualized {
-        let opts = CloneOptions {
-            seed: exact_seed.then_some(seed),
-            ..CloneOptions::default()
-        };
-        clone_virtual(&tb, opts)
-    } else {
-        tb
-    };
-    register_all(&mut tb);
-    Ok(tb)
 }
 
 fn cmd_run(args: &[String]) -> Result<Completion, String> {
@@ -308,7 +275,7 @@ fn cmd_run(args: &[String]) -> Result<Completion, String> {
         }
         // Validate construction once up front; replica lanes rebuild the
         // same testbed and cannot fail differently.
-        build_testbed(&spec, seed, false, false)?;
+        case_study_testbed(&spec, seed, false, false).map_err(|e| e.to_string())?;
         println!(
             "running `{}` on {lanes} lanes ({site_replicas} bare-metal replica sets, seed {seed}, {} runs)...",
             spec.name,
@@ -320,8 +287,7 @@ fn cmd_run(args: &[String]) -> Result<Completion, String> {
             supervisor,
         };
         let out = match run_parallel(&spec, &run_opts, &popts, &mut |_, flavor| {
-            build_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
-                .expect("replica testbed construction cannot fail after validation")
+            case_study_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
         }) {
             Ok(out) => out,
             Err(e) => return checkpointed_or_error(e, &resume_hint(&results)),
@@ -330,7 +296,7 @@ fn cmd_run(args: &[String]) -> Result<Completion, String> {
         return Ok(completion_of(&out.outcome));
     }
 
-    let mut tb = build_testbed(&spec, seed, virtualized, false)?;
+    let mut tb = case_study_testbed(&spec, seed, virtualized, false).map_err(|e| e.to_string())?;
     println!(
         "running `{}` on the {} testbed (seed {seed}, {} runs)...",
         spec.name,
@@ -357,19 +323,21 @@ fn load_disk_faults(file: &str) -> Result<Vfs, String> {
     Vfs::faulty(plan).map_err(|e| format!("{file}: {e}"))
 }
 
-/// The ENOSPC contract: running out of disk space is a *graceful*
-/// degradation, not an abort. The write-ahead journal guarantees the
-/// tree is consistent at the last appended record, so the campaign is a
-/// checkpoint — `pos resume` completes it once space returns. Any other
-/// error stays a hard error (exit 1).
+/// The checkpoint contract: running out of disk space or being
+/// cooperatively canceled (a draining daemon's second SIGTERM) is a
+/// *graceful* degradation, not an abort. The write-ahead journal
+/// guarantees the tree is consistent at the last appended record, so
+/// the campaign is a checkpoint — `pos resume` completes it once space
+/// returns or the urgency passes. Any other error stays a hard error
+/// (exit 1).
 fn checkpointed_or_error(e: ControllerError, resume_at: &str) -> Result<Completion, String> {
-    if !e.is_storage_full() {
+    if !e.is_checkpoint() {
         return Err(e.to_string());
     }
-    eprintln!("pos: storage full: {e}");
+    eprintln!("pos: checkpointed: {e}");
     eprintln!(
         "pos: campaign checkpointed at the last consistent journal boundary; \
-         free space and run `pos resume {resume_at}` to complete"
+         run `pos resume {resume_at}` to complete"
     );
     Ok(Completion::Degraded)
 }
@@ -579,7 +547,7 @@ fn cmd_resume(args: &[String]) -> Result<Completion, String> {
         .find(|r| matches!(r, JournalRecord::LanePlan { .. }))
     {
         let seed = *seed;
-        build_testbed(&spec, seed, false, false)?;
+        case_study_testbed(&spec, seed, false, false).map_err(|e| e.to_string())?;
         println!(
             "resuming `{}` on {lanes} lanes (seed {seed}, {total_runs} runs planned)...",
             spec.name,
@@ -588,8 +556,7 @@ fn cmd_resume(args: &[String]) -> Result<Completion, String> {
         run_opts.testbed_flavor = testbed.clone();
         run_opts.vfs = vfs;
         let out = match resume_parallel(result_dir, &spec, &run_opts, &mut |_, flavor| {
-            build_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
-                .expect("replica testbed construction cannot fail after validation")
+            case_study_testbed(&spec, seed, flavor == LaneFlavor::Virtual, true)
         }) {
             Ok(out) => out,
             Err(e) => return checkpointed_or_error(e, dir),
@@ -598,7 +565,7 @@ fn cmd_resume(args: &[String]) -> Result<Completion, String> {
         return Ok(completion_of(&out.outcome));
     }
 
-    let mut tb = build_testbed(&spec, *seed, virtualized, true)?;
+    let mut tb = case_study_testbed(&spec, *seed, virtualized, true).map_err(|e| e.to_string())?;
     println!(
         "resuming `{}` on the {} testbed (seed {seed}, {total_runs} runs planned)...",
         spec.name,
@@ -628,8 +595,185 @@ fn cmd_resume(args: &[String]) -> Result<Completion, String> {
 /// fair-share order. The ledger is persisted through the same atomic
 /// write (temp sibling → fsync → rename → dir fsync) as every result
 /// artifact: a crash mid-save never leaves a torn queue.
+/// `pos serve` — the long-running, crash-surviving campaign daemon.
+///
+/// Every state transition is journaled to the queue ledger *before* it
+/// is acknowledged, so a `kill -9` at any point restarts into a
+/// consistent state: re-running `pos serve` with the same `--state`
+/// replays the ledger, resumes the in-flight campaign, and keeps
+/// serving the surviving backlog. SIGTERM drains (finish the in-flight
+/// campaign, keep the backlog durable); a second SIGTERM checkpoints
+/// the in-flight campaign too. Exit code 0 means every accepted
+/// submission completed cleanly; 3 means something is left pending,
+/// degraded, failed, or checkpointed.
+fn cmd_serve(args: &[String]) -> Result<Completion, String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    if !pos_args.is_empty() {
+        return Err(
+            "usage: pos serve [--state <dir>] [--results <root>] [--listen <addr>] \
+             [--capacity <n>] [--user-backlog <n>] [--seed <n>] [--lanes <n>]"
+                .into(),
+        );
+    }
+    let state = opts.get("state").copied().unwrap_or("serve-state");
+    let results = opts.get("results").copied().unwrap_or("results");
+    let listen = opts.get("listen").copied().unwrap_or("127.0.0.1:0");
+    let mut sopts = ServeOptions::new(state, results);
+    if let Some(s) = opts.get("capacity") {
+        sopts.capacity = s.parse().map_err(|_| format!("bad --capacity {s}"))?;
+    }
+    if let Some(s) = opts.get("user-backlog") {
+        sopts.user_backlog = s.parse().map_err(|_| format!("bad --user-backlog {s}"))?;
+    }
+    if let Some(s) = opts.get("seed") {
+        sopts.seed = s.parse().map_err(|_| format!("bad --seed {s}"))?;
+    }
+    if let Some(s) = opts.get("lanes") {
+        sopts.lanes = s.parse().map_err(|_| format!("bad --lanes {s}"))?;
+    }
+    serve_signal::install();
+    let engine = Arc::new(ServeEngine::start(sopts).map_err(|e| e.to_string())?);
+    let server = HttpServer::bind(listen).map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    // Scripts discover an ephemeral port from `<state>/addr`; humans
+    // from stdout — flushed explicitly, because a daemon whose stdout
+    // is a pipe block-buffers and the announcement would sit unseen.
+    std::fs::write(Path::new(state).join("addr"), addr.to_string()).map_err(|e| e.to_string())?;
+    println!("pos-serve: listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = server.spawn(engine.clone(), stop.clone());
+    let report = engine.run_loop(
+        serve_signal::termination_requests,
+        Duration::from_millis(25),
+    );
+    stop.store(true, Ordering::SeqCst);
+    let _ = handle.join();
+    let report = report.map_err(|e| e.to_string())?;
+    println!(
+        "pos-serve: drained ({} completed, {} degraded, {} failed, {} checkpointed, \
+         {} pending, {} in flight)",
+        report.totals.completed,
+        report.totals.completed_degraded,
+        report.totals.failed,
+        report.totals.checkpointed,
+        report.pending,
+        report.in_flight,
+    );
+    if report.clean {
+        Ok(Completion::Clean)
+    } else {
+        Ok(Completion::Degraded)
+    }
+}
+
+/// `pos queue … --daemon <addr>` — the same verbs, spoken over HTTP to
+/// a running `pos serve` daemon instead of the on-disk queue file.
+fn cmd_queue_daemon(
+    addr: &str,
+    pos_args: &[&str],
+    opts: &std::collections::BTreeMap<&str, &str>,
+) -> Result<Completion, String> {
+    let unreachable = |e: std::io::Error| format!("daemon at {addr} unreachable: {e}");
+    match pos_args {
+        ["submit", exp_dir] => {
+            // The daemon resolves experiment paths relative to *its*
+            // working directory; canonicalize so submitting from any
+            // directory works.
+            let exp_dir = std::fs::canonicalize(exp_dir)
+                .map_err(|e| format!("cannot resolve {exp_dir}: {e}"))?;
+            let req = SubmitRequest {
+                user: opts.get("user").map(|s| s.to_string()),
+                experiment: exp_dir.display().to_string(),
+                priority: opts
+                    .get("priority")
+                    .map(|s| s.parse().map_err(|_| format!("bad --priority {s}")))
+                    .transpose()?
+                    .unwrap_or(1),
+                token: opts.get("token").map(|s| s.to_string()),
+            };
+            let body = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+            let resp = http_request(addr, "POST", "/submit", Some(&body)).map_err(unreachable)?;
+            if resp.status == 200 {
+                let ack: SubmitAck = serde_json::from_str(&resp.body).map_err(|e| e.to_string())?;
+                if ack.deduped {
+                    println!("submission {} already queued (token dedupe)", ack.id);
+                } else {
+                    println!("submission {} queued", ack.id);
+                }
+                return Ok(Completion::Clean);
+            }
+            let err: ErrorBody = serde_json::from_str(&resp.body).unwrap_or(ErrorBody {
+                error: resp.body.clone(),
+                retry_after_secs: None,
+            });
+            match err.retry_after_secs {
+                Some(secs) => Err(format!(
+                    "rejected ({}): {}; retry after {secs}s",
+                    resp.status, err.error
+                )),
+                None => Err(format!("rejected ({}): {}", resp.status, err.error)),
+            }
+        }
+        ["status"] => {
+            let resp = http_request(addr, "GET", "/status", None).map_err(unreachable)?;
+            if resp.status != 200 {
+                return Err(format!("daemon returned {}: {}", resp.status, resp.body));
+            }
+            let st: ServeStatus = serde_json::from_str(&resp.body).map_err(|e| e.to_string())?;
+            let phase = if st.draining {
+                "draining"
+            } else if st.accepting {
+                "accepting"
+            } else {
+                "dead"
+            };
+            println!(
+                "daemon: {phase} (session {}, {} ledger records replayed)",
+                st.sessions, st.replayed_records
+            );
+            println!(
+                "queue: {}/{} queued, {} admitted so far, in flight: {:?}",
+                st.queue.depth, st.queue.capacity, st.queue.admitted, st.in_flight
+            );
+            println!(
+                "totals: accepted {} (deduped {}, rejected {}), dispatched {}",
+                st.totals.accepted, st.totals.deduped, st.totals.rejected, st.totals.dispatched
+            );
+            // Machine-greppable completion counter for polling scripts:
+            // from the replayed queue ledger, so it spans daemon
+            // restarts (the totals below are this session only).
+            println!("completed: {}", st.queue.completed.len());
+            println!(
+                "  this session: clean {}, degraded {}, failed {}, checkpointed {}",
+                st.totals.completed,
+                st.totals.completed_degraded,
+                st.totals.failed,
+                st.totals.checkpointed
+            );
+            Ok(Completion::Clean)
+        }
+        ["drain"] => {
+            let resp = http_request(addr, "POST", "/drain", None).map_err(unreachable)?;
+            if resp.status != 202 {
+                return Err(format!("daemon returned {}: {}", resp.status, resp.body));
+            }
+            let ack: DrainAck = serde_json::from_str(&resp.body).map_err(|e| e.to_string())?;
+            println!(
+                "daemon draining; {} submission(s) left pending for a later session",
+                ack.pending
+            );
+            Ok(Completion::Clean)
+        }
+        _ => Err("usage: pos queue submit <exp-dir> | status | drain --daemon <addr>".into()),
+    }
+}
+
 fn cmd_queue(args: &[String]) -> Result<Completion, String> {
     let (pos_args, opts) = parse_opts(args)?;
+    if let Some(addr) = opts.get("daemon") {
+        return cmd_queue_daemon(addr, &pos_args, &opts);
+    }
     let queue_dir = PathBuf::from(opts.get("queue").copied().unwrap_or("queue"));
     let queue_file = queue_dir.join("queue.json");
 
@@ -777,9 +921,21 @@ fn cmd_queue(args: &[String]) -> Result<Completion, String> {
 fn cmd_fsck(args: &[String]) -> Result<(), String> {
     let (pos_args, _) = parse_opts(args)?;
     let [dir] = pos_args.as_slice() else {
-        return Err("usage: pos fsck <result-dir>".into());
+        return Err("usage: pos fsck <result-dir | serve-state-dir>".into());
     };
-    let report = pos::core::fsck::fsck(Path::new(dir)).map_err(|e| e.to_string())?;
+    let path = Path::new(dir);
+    // A serve state directory is identified by its queue ledger; a
+    // result tree by its campaign journal. Route to the matching check.
+    if path.join(LEDGER_FILE).exists() {
+        let report = pos::core::fsck::fsck_queue(path).map_err(|e| e.to_string())?;
+        print!("{}", report.render());
+        return if report.is_clean() {
+            Ok(())
+        } else {
+            Err(format!("{dir} is not clean"))
+        };
+    }
+    let report = pos::core::fsck::fsck(path).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     if report.is_clean() {
         Ok(())

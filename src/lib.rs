@@ -16,6 +16,7 @@
 //! | [`testbed`] | `pos-testbed` | hosts, images, calendar, power control |
 //! | [`core`] | `pos-core` | the pos controller and methodology |
 //! | [`sched`] | `pos-sched` | parallel campaign scheduler and admission queue |
+//! | [`serve`] | `pos-serve` | crash-surviving multi-tenant campaign daemon |
 //! | [`eval`] | `pos-eval` | parsers, statistics, plots |
 //! | [`publish`] | `pos-publish` | artifact bundling and website |
 //!
@@ -30,5 +31,6 @@ pub use pos_netsim as netsim;
 pub use pos_packet as packet;
 pub use pos_publish as publish;
 pub use pos_sched as sched;
+pub use pos_serve as serve;
 pub use pos_simkernel as simkernel;
 pub use pos_testbed as testbed;

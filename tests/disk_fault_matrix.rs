@@ -386,7 +386,7 @@ fn parallel_enospc_checkpoints_and_resume_parallel_converges() {
         &spec(),
         &RunOptions::new(&clean_root),
         &popts,
-        &mut |_, _| testbed(),
+        &mut |_, _| Ok(testbed()),
     )
     .expect("clean parallel campaign succeeds");
     assert_trees_equal(&want, &out.outcome.result_dir, "parallel clean");
@@ -404,7 +404,7 @@ fn parallel_enospc_checkpoints_and_resume_parallel_converges() {
             file: Some(JOURNAL_FILE.into()),
         },
     );
-    let err = run_parallel(&spec(), &opts, &popts, &mut |_, _| testbed())
+    let err = run_parallel(&spec(), &opts, &popts, &mut |_, _| Ok(testbed()))
         .expect_err("parallel campaign must abort on a full disk");
     assert!(err.is_storage_full(), "expected storage-full, got {err}");
     let result_dir = find_result_dir(&root);
@@ -413,7 +413,7 @@ fn parallel_enospc_checkpoints_and_resume_parallel_converges() {
         &result_dir,
         &spec(),
         &RunOptions::new(&root),
-        &mut |_, _| testbed(),
+        &mut |_, _| Ok(testbed()),
     )
     .expect("parallel resume completes once space returns");
     assert_eq!(out.outcome.successes(), 2);

@@ -12,7 +12,7 @@
 //!   included.
 
 use pos::core::commands::register_all;
-use pos::core::controller::{Controller, RunOptions};
+use pos::core::controller::{Controller, ControllerError, RunOptions};
 use pos::core::experiment::{linux_router_experiment, ExperimentSpec};
 use pos::sched::{
     resume_parallel, run_parallel, LaneDeath, LaneFaultPlan, LaneFlavor, LaneRecovery,
@@ -113,9 +113,9 @@ fn assert_trees_identical(a: &Path, b: &Path, what: &str) {
     }
 }
 
-fn make_lane(_lane: usize, flavor: LaneFlavor) -> Testbed {
+fn make_lane(_lane: usize, flavor: LaneFlavor) -> Result<Testbed, ControllerError> {
     assert_eq!(flavor, LaneFlavor::BareMetal, "tests use bare-metal lanes");
-    case_study_testbed()
+    Ok(case_study_testbed())
 }
 
 fn run_with_lanes(root: &Path, lanes: usize) -> PathBuf {
@@ -233,7 +233,7 @@ fn faulted_popts(lanes: usize, plan: LaneFaultPlan, recovery: LaneRecovery) -> P
 
 fn run_faulted(popts: &ParallelOptions, opts: &RunOptions) -> ParallelOutcome {
     run_parallel(&small_spec(), opts, popts, &mut |_, flavor| {
-        lane_testbed(flavor)
+        Ok(lane_testbed(flavor))
     })
     .unwrap()
 }
@@ -353,7 +353,7 @@ fn crash_mid_failover_resumes_to_identical_tree() {
             opts.journal_crash_after = Some(crash_after);
             opts.journal_torn_write = torn;
             let err = run_parallel(&small_spec(), &opts, &popts, &mut |_, flavor| {
-                lane_testbed(flavor)
+                Ok(lane_testbed(flavor))
             })
             .unwrap_err();
             assert!(
@@ -366,7 +366,7 @@ fn crash_mid_failover_resumes_to_identical_tree() {
                 &dir,
                 &small_spec(),
                 &RunOptions::new(&root),
-                &mut |_, flavor| lane_testbed(flavor),
+                &mut |_, flavor| Ok(lane_testbed(flavor)),
             )
             .unwrap();
             assert_eq!(
@@ -458,7 +458,7 @@ fn interrupted_failover_strands_run_and_fsck_flags_it() {
     let mut opts = RunOptions::new(&root);
     opts.journal_crash_after = Some(4);
     let err = run_parallel(&small_spec(), &opts, &popts, &mut |_, flavor| {
-        lane_testbed(flavor)
+        Ok(lane_testbed(flavor))
     })
     .unwrap_err();
     assert!(err.to_string().contains("injected journal crash"), "{err}");
@@ -480,7 +480,7 @@ fn interrupted_failover_strands_run_and_fsck_flags_it() {
         &dir,
         &small_spec(),
         &RunOptions::new(&root),
-        &mut |_, flavor| lane_testbed(flavor),
+        &mut |_, flavor| Ok(lane_testbed(flavor)),
     )
     .unwrap();
     assert_eq!(out.outcome.quarantined_runs, vec![2]);
