@@ -468,6 +468,141 @@ pub mod parallel {
     }
 }
 
+/// DAG executor overhead: what the dependency-DAG layer costs over the
+/// raw parallel scheduler, see the `dag` binary.
+pub mod dag {
+    use crate::parallel::campaign_spec;
+    use pos_core::commands::case_study_testbed;
+    use pos_core::controller::RunOptions;
+    use pos_dag::{linux_router_dag, run_dag, DagOptions, InProcessTarget, SimBatchTarget};
+    use pos_sched::{run_parallel, LaneFlavor, ParallelOptions};
+    use serde::Serialize;
+    use std::time::Instant;
+
+    /// Seed for the benchmark DAG (fixed: same seed, same tree at every
+    /// lane count and on either target).
+    pub const SEED: u64 = 33;
+
+    /// One lane-count row of `BENCH_dag.json`.
+    #[derive(Debug, Serialize)]
+    pub struct DagBenchReport {
+        /// The execution target (`in-process` / `sim-batch`).
+        pub target: String,
+        /// Worker lanes each scatter group requested.
+        pub lanes: usize,
+        /// DAG stages executed.
+        pub nodes: usize,
+        /// Measurement runs the scatter stage fanned out.
+        pub runs: usize,
+        /// Wall clock of the whole DAG execution, milliseconds.
+        pub dag_wall_ms: f64,
+        /// Wall clock of the same sweep through raw `run_parallel`
+        /// (no DAG layer), milliseconds.
+        pub raw_sweep_wall_ms: f64,
+        /// `(dag_wall - raw_sweep_wall) / nodes` — journaling, digesting
+        /// and dispatch cost per DAG node, milliseconds.
+        pub node_dispatch_overhead_ms: f64,
+        /// Scatter fan-out throughput: runs completed per wall second
+        /// inside the DAG execution.
+        pub scatter_runs_per_sec: f64,
+        /// Wall clock of the gather barrier (loading every scatter
+        /// result, aggregating, plotting), milliseconds.
+        pub gather_barrier_ms: f64,
+        /// Virtual-time speedup of the DAG schedule over back-to-back
+        /// stage execution.
+        pub virtual_speedup: f64,
+    }
+
+    /// Runs the case-study DAG at `lanes` lanes in a scratch directory
+    /// and reports the overhead accounting. `batch` swaps the simulated
+    /// SLURM-like target in for the in-process one.
+    pub fn run_at(lanes: usize, run_secs: u64, rate_steps: usize, batch: bool) -> DagBenchReport {
+        let spec = campaign_spec(run_secs, rate_steps, 2_000);
+        let dag = linux_router_dag();
+        let tag = if batch { "batch" } else { "inproc" };
+        let root = std::env::temp_dir().join(format!(
+            "pos-bench-dag-{tag}-{lanes}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+
+        // Baseline: the same sweep through the raw parallel scheduler.
+        let raw_root = root.join("raw");
+        let raw_start = Instant::now();
+        let raw = run_parallel(
+            &spec,
+            &RunOptions::new(&raw_root),
+            &ParallelOptions::new(lanes),
+            &mut |_, flavor| case_study_testbed(&spec, SEED, flavor == LaneFlavor::Virtual, true),
+        )
+        .expect("raw sweep succeeds");
+        let raw_sweep_wall_ms = raw_start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(raw.outcome.successes(), raw.outcome.runs.len());
+
+        // The DAG execution on the requested target.
+        let dag_root = root.join("dag");
+        let dopts = DagOptions::new(lanes, SEED);
+        let opts = RunOptions::new(&dag_root);
+        let dag_start = Instant::now();
+        let out = if batch {
+            let mut target = SimBatchTarget::new(SEED, false, lanes);
+            run_dag(&dag, &spec, &opts, &dopts, &mut target)
+        } else {
+            let mut target = InProcessTarget::new(SEED, false, lanes);
+            run_dag(&dag, &spec, &opts, &dopts, &mut target)
+        }
+        .expect("DAG execution succeeds");
+        let dag_wall_ms = dag_start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.failed_runs, 0, "bench DAG must be fault-free");
+
+        // Gather-barrier latency: re-run the evaluation the gather
+        // stage performed, in isolation, against the scatter results.
+        let gather_start = Instant::now();
+        let sweep_tree = raw.outcome.result_dir.clone();
+        let set = pos_eval::loader::ResultSet::load(&sweep_tree).expect("sweep tree loads");
+        let mut plot = pos_eval::plot::PlotSpec::line("gather", "pkt_rate", "rx_mpps");
+        for (group, subset) in set.group_by("pkt_sz") {
+            let series = subset
+                .successful()
+                .series("pkt_rate", |r| Some(r.report()?.rx_mpps()));
+            plot = plot.with_series(format!("{group}B"), series);
+        }
+        let svg = plot.render_svg();
+        let gather_barrier_ms = gather_start.elapsed().as_secs_f64() * 1e3;
+        assert!(!svg.is_empty());
+
+        let runs = raw.outcome.runs.len();
+        let _ = std::fs::remove_dir_all(&root);
+        DagBenchReport {
+            target: if batch { "sim-batch" } else { "in-process" }.into(),
+            lanes,
+            nodes: out.nodes.len(),
+            runs,
+            dag_wall_ms,
+            raw_sweep_wall_ms,
+            node_dispatch_overhead_ms: (dag_wall_ms - raw_sweep_wall_ms).max(0.0)
+                / out.nodes.len() as f64,
+            scatter_runs_per_sec: runs as f64 / (dag_wall_ms / 1e3).max(1e-9),
+            gather_barrier_ms,
+            virtual_speedup: out.speedup(),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn dag_overhead_stays_sane() {
+            let r = run_at(2, 1, 2, false);
+            assert_eq!(r.nodes, 3);
+            assert_eq!(r.runs, 4);
+            assert!(r.dag_wall_ms > 0.0);
+            assert!(r.scatter_runs_per_sec > 0.0);
+        }
+    }
+}
+
 /// Lane-failover overhead: what a lane death costs a parallel campaign,
 /// see the `robustness` binary.
 pub mod failover {

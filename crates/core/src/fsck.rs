@@ -17,7 +17,7 @@ use crate::journal::{
     campaign_disk_state, lane_journal_file, CampaignDiskState, Journal, JournalError,
     JournalRecord, JOURNAL_FILE, LEDGER_FILE,
 };
-use crate::resultstore::{ResultStore, RunVerification};
+use crate::resultstore::{tree_digest, ResultStore, RunVerification};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -736,4 +736,343 @@ pub fn fsck_queue(state_dir: &Path) -> io::Result<QueueFsckReport> {
     }
 
     Ok(report)
+}
+
+/// Integrity status of one DAG node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeFsckStatus {
+    /// The journaled subtree digest matches the stage directory.
+    Verified,
+    /// Journaled complete, but the stage subtree hashes differently —
+    /// bit rot, tampering, or a write the journal never saw.
+    DigestMismatch {
+        /// The digest `NodeFinished` recorded.
+        journaled: String,
+        /// What the stage directory hashes to now.
+        on_disk: String,
+    },
+    /// `NodeStarted` with no `NodeFinished`: the crash landed inside
+    /// this node — for a sweep, a stranded scatter group `pos dag
+    /// resume` re-drives through the scheduler.
+    Stranded,
+    /// A gather node that started but never sealed: its scatter inputs
+    /// were not all consumed; resume re-evaluates from scratch.
+    UnsealedGather,
+    /// Journaled complete but the stage directory is gone.
+    Missing,
+}
+
+impl NodeFsckStatus {
+    /// True for states a clean DAG tree may not contain.
+    pub fn is_problem(&self) -> bool {
+        !matches!(self, NodeFsckStatus::Verified)
+    }
+}
+
+/// One node's entry in the DAG report.
+#[derive(Debug, Clone)]
+pub struct NodeFsck {
+    /// The stage id.
+    pub id: String,
+    /// The stage kind as journaled (`setup` / `sweep` / `gather`).
+    pub kind: String,
+    /// What the check found.
+    pub status: NodeFsckStatus,
+}
+
+/// Everything `fsck_dag` found out about a DAG result tree.
+#[derive(Debug)]
+pub struct DagFsckReport {
+    /// The checked tree.
+    pub result_dir: PathBuf,
+    /// Complete DAG-journal records replayed.
+    pub journal_records: usize,
+    /// True when the DAG journal ends in a torn record.
+    pub torn_tail: bool,
+    /// True when a `DagFinished` record is present.
+    pub dag_finished: bool,
+    /// Nodes the DAG planned, per `DagStarted`.
+    pub planned_nodes: Option<usize>,
+    /// `DagResumed` records seen (how often the DAG was picked back up).
+    pub resumes: usize,
+    /// Per-node findings, in journal order (first start wins the slot).
+    pub nodes: Vec<NodeFsck>,
+    /// Inner campaign fsck of every finished sweep stage, as
+    /// `(stage id, report)` — the node-record ↔ result-tree cross-check
+    /// descends into the scatter trees themselves.
+    pub sweeps: Vec<(String, FsckReport)>,
+    /// Tree-level problems (unreadable journal, unaccounted stage
+    /// directories, gather input digest drift, ...).
+    pub errors: Vec<String>,
+}
+
+impl DagFsckReport {
+    /// True when the DAG completed and every node and scatter tree
+    /// verifies.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+            && !self.torn_tail
+            && self.dag_finished
+            && self.nodes.iter().all(|n| !n.status.is_problem())
+            && self.sweeps.iter().all(|(_, r)| r.is_clean())
+    }
+
+    /// Renders the human-readable report (`pos fsck` on a DAG tree).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fsck (dag) {}\n", self.result_dir.display()));
+        out.push_str(&format!(
+            "journal: {} records{}{}{}\n",
+            self.journal_records,
+            if self.torn_tail { ", torn tail" } else { "" },
+            if self.dag_finished {
+                ", dag finished"
+            } else {
+                ", dag INCOMPLETE"
+            },
+            if self.resumes > 0 {
+                format!(", {} resume(s)", self.resumes)
+            } else {
+                String::new()
+            },
+        ));
+        if let Some(planned) = self.planned_nodes {
+            let verified = self
+                .nodes
+                .iter()
+                .filter(|n| n.status == NodeFsckStatus::Verified)
+                .count();
+            out.push_str(&format!("nodes: {verified}/{planned} verified\n"));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("error: {e}\n"));
+        }
+        for node in &self.nodes {
+            match &node.status {
+                NodeFsckStatus::Verified => {
+                    out.push_str(&format!("node {} [{}]: ok\n", node.id, node.kind));
+                }
+                NodeFsckStatus::DigestMismatch { journaled, on_disk } => {
+                    out.push_str(&format!(
+                        "node {} [{}]: subtree digest mismatch (journal {}.., disk {}..)\n",
+                        node.id,
+                        node.kind,
+                        &journaled[..12.min(journaled.len())],
+                        &on_disk[..12.min(on_disk.len())],
+                    ));
+                }
+                NodeFsckStatus::Stranded => {
+                    out.push_str(&format!(
+                        "node {} [{}]: {} (no completion record; `pos dag resume` re-drives it)\n",
+                        node.id,
+                        node.kind,
+                        if node.kind == "sweep" {
+                            "stranded scatter group"
+                        } else {
+                            "stranded"
+                        },
+                    ));
+                }
+                NodeFsckStatus::UnsealedGather => {
+                    out.push_str(&format!(
+                        "node {} [{}]: gather never sealed; resume re-evaluates it\n",
+                        node.id, node.kind
+                    ));
+                }
+                NodeFsckStatus::Missing => {
+                    out.push_str(&format!(
+                        "node {} [{}]: journaled complete but stage directory is missing\n",
+                        node.id, node.kind
+                    ));
+                }
+            }
+        }
+        for (id, report) in &self.sweeps {
+            out.push_str(&format!(
+                "sweep {id}: inner campaign {}\n",
+                if report.is_clean() {
+                    "clean"
+                } else {
+                    "NOT clean"
+                }
+            ));
+        }
+        out.push_str(if self.is_clean() {
+            "status: clean\n"
+        } else {
+            "status: NOT clean\n"
+        });
+        out
+    }
+}
+
+/// Checks a DAG result tree: replays the DAG journal, verifies every
+/// `NodeFinished` subtree digest against the stage directory, flags
+/// stranded scatter groups and unsealed gathers, cross-checks sealed
+/// gather input digests against the trees they consumed, descends into
+/// every finished sweep's campaign tree with [`fsck`], and reports
+/// stage directories the journal does not account for.
+pub fn fsck_dag(dag_dir: &Path) -> io::Result<DagFsckReport> {
+    let mut report = DagFsckReport {
+        result_dir: dag_dir.to_path_buf(),
+        journal_records: 0,
+        torn_tail: false,
+        dag_finished: false,
+        planned_nodes: None,
+        resumes: 0,
+        nodes: Vec::new(),
+        sweeps: Vec::new(),
+        errors: Vec::new(),
+    };
+
+    let replay = match Journal::replay(&dag_dir.join(JOURNAL_FILE)) {
+        Ok(r) => r,
+        Err(JournalError::Io(e)) => {
+            report.errors.push(format!("journal unreadable: {e}"));
+            return Ok(report);
+        }
+        Err(e @ JournalError::Corrupt { .. }) => {
+            report.errors.push(e.to_string());
+            return Ok(report);
+        }
+    };
+    report.journal_records = replay.records.len();
+    report.torn_tail = replay.torn_tail;
+    match replay.dag_start() {
+        Some(JournalRecord::DagStarted { nodes, .. }) => {
+            report.planned_nodes = Some(*nodes);
+        }
+        _ => {
+            report
+                .errors
+                .push("journal has no DagStarted record (not a DAG tree?)".into());
+            return Ok(report);
+        }
+    }
+
+    // Fold the journal: node kinds in first-start order, last finish
+    // wins a node's digest, any seal counts (a resume may re-seal).
+    let mut order: Vec<String> = Vec::new();
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut finished: BTreeMap<String, String> = BTreeMap::new();
+    let mut sealed: BTreeMap<String, (Vec<String>, Vec<String>)> = BTreeMap::new();
+    for rec in &replay.records {
+        match rec {
+            JournalRecord::NodeStarted { node, kind, .. } => {
+                if !kinds.contains_key(node) {
+                    order.push(node.clone());
+                }
+                kinds.insert(node.clone(), kind.clone());
+            }
+            JournalRecord::NodeFinished { node, digest, .. } => {
+                finished.insert(node.clone(), digest.clone());
+            }
+            JournalRecord::GatherSealed {
+                node,
+                inputs,
+                input_digests,
+            } => {
+                sealed.insert(node.clone(), (inputs.clone(), input_digests.clone()));
+            }
+            JournalRecord::DagResumed { .. } => report.resumes += 1,
+            JournalRecord::DagFinished { .. } => report.dag_finished = true,
+            _ => {}
+        }
+    }
+
+    for id in &order {
+        let kind = kinds[id].clone();
+        let stage_dir = dag_dir.join(format!("stage-{id}"));
+        let status = match finished.get(id) {
+            Some(_) if !stage_dir.is_dir() => NodeFsckStatus::Missing,
+            Some(journaled) => {
+                let on_disk = tree_digest(&stage_dir)?;
+                if &on_disk == journaled {
+                    NodeFsckStatus::Verified
+                } else {
+                    NodeFsckStatus::DigestMismatch {
+                        journaled: journaled.clone(),
+                        on_disk,
+                    }
+                }
+            }
+            None if kind == "gather" && !sealed.contains_key(id) => NodeFsckStatus::UnsealedGather,
+            None => NodeFsckStatus::Stranded,
+        };
+        // A finished gather must have sealed first — the executor
+        // appends GatherSealed before NodeFinished, so a finish without
+        // a seal means records were lost.
+        if kind == "gather" && finished.contains_key(id) && !sealed.contains_key(id) {
+            report.errors.push(format!(
+                "gather `{id}` finished without a GatherSealed record"
+            ));
+        }
+        report.nodes.push(NodeFsck {
+            id: id.clone(),
+            kind: kind.clone(),
+            status,
+        });
+        // Descend into finished sweeps: the scatter tree is itself a
+        // journaled campaign and must fsck clean.
+        if kind == "sweep" && finished.contains_key(id) && stage_dir.is_dir() {
+            if let Some(tree) = single_campaign_tree(&stage_dir) {
+                report.sweeps.push((id.clone(), fsck(&tree)?));
+            } else {
+                report
+                    .errors
+                    .push(format!("sweep `{id}` finished but holds no campaign tree"));
+            }
+        }
+    }
+
+    // Sealed gathers: the input trees must still hash to what the seal
+    // consumed (scatter results may not drift under a sealed gather).
+    for (id, (inputs, digests)) in &sealed {
+        for (input, want) in inputs.iter().zip(digests) {
+            let input_dir = dag_dir.join(format!("stage-{input}"));
+            let got = tree_digest(&input_dir).unwrap_or_default();
+            if &got != want {
+                report.errors.push(format!(
+                    "gather `{id}`: input `{input}` drifted since the seal \
+                     (sealed {}.., now {}..)",
+                    &want[..12.min(want.len())],
+                    &got[..12.min(got.len())],
+                ));
+            }
+        }
+    }
+
+    // Stage directories the journal never started.
+    if dag_dir.is_dir() {
+        for entry in std::fs::read_dir(dag_dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if path.is_dir() && name.starts_with("stage-") && !kinds.contains_key(&name[6..]) {
+                report
+                    .errors
+                    .push(format!("stage directory `{name}` has no journal records"));
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// The single `<user>/<name>/vt-*` campaign tree inside a sweep stage
+/// directory, if exactly that chain exists.
+fn single_campaign_tree(stage_dir: &Path) -> Option<PathBuf> {
+    let mut dir = stage_dir.to_path_buf();
+    for _ in 0..3 {
+        let mut subdirs: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .ok()?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        dir = subdirs.into_iter().next()?;
+    }
+    Some(dir)
 }

@@ -290,6 +290,90 @@ pub enum JournalRecord {
         /// Submissions still pending at drain start.
         pending: usize,
     },
+    /// A DAG campaign created its result tree and journaled its plan.
+    ///
+    /// Always the first record of a DAG journal; its presence is how
+    /// `pos dag resume` and `pos fsck` recognize a DAG result tree.
+    DagStarted {
+        /// DAG name (result directory component).
+        name: String,
+        /// SHA-256 of the canonical DAG spec — guards resume against a
+        /// spec edited after the fact.
+        dag_digest: String,
+        /// SHA-256 of the effective experiment spec all sweep stages
+        /// derive from.
+        spec_digest: String,
+        /// Testbed root seed every stage runs on.
+        seed: u64,
+        /// Testbed flavor (`"pos"` / `"vpos"`); stages boot testbeds, so
+        /// a resume on the wrong flavor would diverge.
+        testbed: String,
+        /// Execution target name (`"in-process"` / `"sim-batch"`). The
+        /// determinism contract makes targets interchangeable for the
+        /// *artifacts*, but a resume replays target-side accounting, so
+        /// the identity guard records where the DAG ran.
+        target: String,
+        /// Total number of stage nodes in the DAG.
+        nodes: usize,
+    },
+    /// A later session picked the DAG up again.
+    DagResumed {
+        /// Nodes the resuming session verified (digest match) and
+        /// fast-forwarded over.
+        verified_nodes: usize,
+    },
+    /// A DAG stage node began executing.
+    NodeStarted {
+        /// Stage id (unique within the DAG).
+        node: String,
+        /// Stage kind (`"setup"` / `"sweep"` / `"gather"`).
+        kind: String,
+        /// Virtual start instant of the node on the DAG schedule,
+        /// nanoseconds.
+        started_ns: u64,
+    },
+    /// A gather node consumed all of its scatter inputs and sealed the
+    /// barrier: every input subtree digest is recorded, so a resume (or
+    /// `pos fsck`) can prove the aggregation saw complete inputs.
+    ///
+    /// Journaled after the gather's artifacts are durable and before its
+    /// `NodeFinished` — a `NodeStarted` gather without a seal is an
+    /// *unsealed gather* and `pos fsck` flags it.
+    GatherSealed {
+        /// The gather stage.
+        node: String,
+        /// Stage ids of the consumed scatter (sweep) inputs, in
+        /// dependency order.
+        inputs: Vec<String>,
+        /// Subtree digest of each consumed input, aligned with `inputs`.
+        input_digests: Vec<String>,
+    },
+    /// A DAG stage node reached a terminal state and its artifact
+    /// subtree is durable.
+    NodeFinished {
+        /// The finished stage.
+        node: String,
+        /// Deterministic digest of the node's artifact subtree
+        /// (journal files excluded) — what resume verifies before
+        /// fast-forwarding over the node.
+        digest: String,
+        /// Virtual start instant of the node, nanoseconds.
+        started_ns: u64,
+        /// Virtual finish instant of the node, nanoseconds.
+        finished_ns: u64,
+        /// Measurement runs inside the node that failed (sweep stages
+        /// under `continue_on_run_failure`; 0 for setup/gather).
+        failed_runs: usize,
+    },
+    /// Every node of the DAG completed and the result tree is sealed.
+    DagFinished {
+        /// Nodes completed (equals the planned node count).
+        nodes: usize,
+        /// Total failed measurement runs across all sweep stages.
+        failed_runs: usize,
+        /// Virtual makespan of the DAG schedule, nanoseconds.
+        makespan_ns: u64,
+    },
 }
 
 /// Why a journal could not be replayed.
@@ -351,6 +435,22 @@ impl Replay {
         self.records
             .iter()
             .any(|r| matches!(r, JournalRecord::CampaignFinished { .. }))
+    }
+
+    /// The `DagStarted` record, if this is a DAG journal (it is always
+    /// the first record of a well-formed DAG journal).
+    pub fn dag_start(&self) -> Option<&JournalRecord> {
+        match self.records.first() {
+            Some(r @ JournalRecord::DagStarted { .. }) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True when a `DagFinished` record is present.
+    pub fn dag_finished(&self) -> bool {
+        self.records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::DagFinished { .. }))
     }
 }
 
@@ -651,15 +751,35 @@ pub fn campaign_disk_state(dir: &Path) -> CampaignDiskState {
                 failed: *failed,
             };
         }
+        // A DAG tree reports in node granularity: each finished stage
+        // node counts as one unit of progress, and a sealed DAG maps its
+        // sweep-run failure count into the `failed` slot so adopters
+        // (the `pos serve` recovery path) classify degradation the same
+        // way they do for flat campaigns.
+        if let JournalRecord::DagFinished {
+            nodes, failed_runs, ..
+        } = record
+        {
+            return CampaignDiskState::Finished {
+                succeeded: *nodes,
+                failed: *failed_runs,
+            };
+        }
     }
     let total_runs = replay.records.iter().find_map(|r| match r {
         JournalRecord::CampaignStarted { total_runs, .. } => Some(*total_runs),
+        JournalRecord::DagStarted { nodes, .. } => Some(*nodes),
         _ => None,
     });
     let runs_completed = replay
         .records
         .iter()
-        .filter(|r| matches!(r, JournalRecord::RunCompleted { .. }))
+        .filter(|r| {
+            matches!(
+                r,
+                JournalRecord::RunCompleted { .. } | JournalRecord::NodeFinished { .. }
+            )
+        })
         .count();
     CampaignDiskState::InProgress {
         runs_completed,

@@ -73,6 +73,47 @@ fn to_json_pretty<T: Serialize>(value: &T) -> io::Result<String> {
     serde_json::to_string_pretty(value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Deterministic digest of an artifact subtree.
+///
+/// Every regular file under `dir` — journal files (`journal*`) excluded,
+/// because they record *how* a tree was produced, not *what* it holds —
+/// contributes `rel-path NUL length NUL bytes` to one SHA-256, in
+/// lexicographic relative-path order. Two subtrees digest equal exactly
+/// when their canonical artifacts are byte-identical, which is what the
+/// DAG journal's `NodeFinished` records and `pos dag resume` verify.
+pub fn tree_digest(dir: &Path) -> io::Result<String> {
+    fn walk(root: &Path, dir: &Path, hash: &mut crate::hash::Sha256) -> io::Result<()> {
+        let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                walk(root, &path, hash)?;
+            } else if !name.starts_with("journal") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                let bytes = fs::read(&path)?;
+                hash.update(rel.to_string_lossy().as_bytes());
+                hash.update(&[0]);
+                hash.update(&(bytes.len() as u64).to_be_bytes());
+                hash.update(&[0]);
+                hash.update(&bytes);
+            }
+        }
+        Ok(())
+    }
+    let mut hash = crate::hash::Sha256::new();
+    walk(dir, dir, &mut hash)?;
+    let mut out = String::with_capacity(64);
+    for b in hash.finalize() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    Ok(out)
+}
+
 /// Per-run metadata, serialized as `metadata.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetadata {

@@ -1,0 +1,630 @@
+//! Journaled DAG execution.
+//!
+//! [`run_dag`] executes a validated DAG on an
+//! [`crate::target::ExecutionTarget`], dispatching stages in the
+//! deterministic topological order over the ready-set schedule, and
+//! write-ahead journals every transition through
+//! [`pos_core::journal`]:
+//!
+//! ```text
+//! DagStarted            identity: name, digests, seed, testbed, target
+//! NodeStarted(setup)
+//! NodeFinished(setup)   subtree digest, virtual window
+//! NodeStarted(sweep)    the scatter group fans out on the target
+//! NodeFinished(sweep)
+//! NodeStarted(gather)
+//! GatherSealed(gather)  all scatter inputs + their digests
+//! NodeFinished(gather)
+//! DagFinished           makespan, total failed runs
+//! ```
+//!
+//! [`resume_dag`] replays that journal, verifies every `NodeFinished`
+//! digest against the tree, fast-forwards verified nodes, resumes an
+//! interrupted sweep through the scheduler's own resume, and re-executes
+//! anything else from scratch — converging on a tree byte-identical to
+//! an uninterrupted execution (journal files excepted).
+//!
+//! ## The result tree
+//!
+//! ```text
+//! <root>/<user>/<dag-name>/vt-0000000000/
+//!   journal.log           the DAG journal above
+//!   dag.yml  dag.dot      the spec and its rendered graph
+//!   experiment/           the base experiment bundle
+//!   stage-setup/          topology.txt, hosts.txt, spec-digest.txt
+//!   stage-<sweep>/        a full campaign tree (own journals inside)
+//!   stage-<gather>/       figures/*.svg|.tex|.csv, summary.txt, inputs.txt
+//! ```
+
+use crate::spec::{DagSpec, StageKind, StageSpec};
+use crate::target::{ExecutionTarget, SweepRequest, TargetReport};
+use crate::{toposort, viz, DagError};
+use pos_core::controller::RunOptions;
+use pos_core::experiment::ExperimentSpec;
+use pos_core::journal::{Journal, JournalRecord, JOURNAL_FILE};
+use pos_core::resultstore::{tree_digest, ResultStore};
+use pos_simkernel::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Virtual cost charged to a setup stage on the DAG schedule (boots,
+/// tool deployment — nominal, deterministic).
+const SETUP_COST_NS: u64 = 90 * 1_000_000_000;
+
+/// Virtual cost charged to a gather stage (parsing + plotting).
+const GATHER_COST_NS: u64 = 30 * 1_000_000_000;
+
+/// Runtime choices for one DAG execution — deliberately *not* part of
+/// the spec, so the same DAG digest covers every lane count and target.
+#[derive(Debug, Clone)]
+pub struct DagOptions {
+    /// Worker lanes each scatter group requests from the target.
+    pub lanes: usize,
+    /// Testbed root seed for every stage.
+    pub seed: u64,
+    /// Deterministic crash injection for the DAG journal: the append
+    /// with this zero-based sequence number fails, stopping the DAG at
+    /// exactly that record boundary (the crash-matrix knob).
+    pub dag_crash_after: Option<u64>,
+    /// With [`Self::dag_crash_after`], tear the failing frame (machine
+    /// crash mid-write rather than clean process kill).
+    pub dag_torn_write: bool,
+}
+
+impl DagOptions {
+    /// `lanes` lanes at `seed`, no injected crash.
+    pub fn new(lanes: usize, seed: u64) -> DagOptions {
+        DagOptions {
+            lanes: lanes.max(1),
+            seed,
+            dag_crash_after: None,
+            dag_torn_write: false,
+        }
+    }
+}
+
+/// One stage's terminal state.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// The stage id.
+    pub id: String,
+    /// The stage kind.
+    pub kind: StageKind,
+    /// Deterministic digest of the stage's artifact subtree.
+    pub digest: String,
+    /// Virtual start on the DAG schedule, nanoseconds.
+    pub started_ns: u64,
+    /// Virtual finish on the DAG schedule, nanoseconds.
+    pub finished_ns: u64,
+    /// Failed measurement runs inside the stage (sweeps only).
+    pub failed_runs: usize,
+    /// True when a resume verified the journaled digest and skipped
+    /// re-execution.
+    pub verified: bool,
+}
+
+/// What a DAG execution produced.
+#[derive(Debug)]
+pub struct DagOutcome {
+    /// Root of the DAG result tree.
+    pub dag_dir: PathBuf,
+    /// Per-stage outcomes, in dispatch order.
+    pub nodes: Vec<NodeOutcome>,
+    /// Virtual makespan of the ready-set schedule (stages overlap when
+    /// independent), nanoseconds.
+    pub makespan_ns: u64,
+    /// Virtual cost of running every stage back to back, nanoseconds.
+    pub sequential_ns: u64,
+    /// Stage ids on the critical path, in order.
+    pub critical_path: Vec<String>,
+    /// The execution target's own accounting.
+    pub target: TargetReport,
+    /// Nodes a resume verified and fast-forwarded over.
+    pub verified_nodes: usize,
+    /// Total failed measurement runs across all sweep stages.
+    pub failed_runs: usize,
+}
+
+impl DagOutcome {
+    /// Virtual-time speedup of the DAG schedule over back-to-back
+    /// stage execution.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 1.0;
+        }
+        self.sequential_ns as f64 / self.makespan_ns as f64
+    }
+
+    /// Human-readable summary (the CLI's closing lines).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "DAG complete: {} stages ({} verified-skipped), {} failed runs",
+            self.nodes.len(),
+            self.verified_nodes,
+            self.failed_runs
+        );
+        let _ = writeln!(
+            out,
+            "virtual makespan {:.1}s vs {:.1}s sequential ({:.2}x), critical path: {}",
+            self.makespan_ns as f64 / 1e9,
+            self.sequential_ns as f64 / 1e9,
+            self.speedup(),
+            self.critical_path.join(" -> ")
+        );
+        out
+    }
+}
+
+/// Maps a gather stage's `y` metric name onto the parsed run report.
+fn metric(name: &str) -> Result<fn(&pos_eval::loader::ParsedRun) -> Option<f64>, String> {
+    match name {
+        "rx_mpps" => Ok(|r| Some(r.report()?.rx_mpps())),
+        "tx_mpps" => Ok(|r| Some(r.report()?.tx_mpps())),
+        "offered_mpps" => Ok(|r| Some(r.report()?.offered_mpps())),
+        "loss" => Ok(|r| Some(r.report()?.loss_fraction())),
+        other => Err(format!(
+            "unknown metric `{other}` (expected rx_mpps, tx_mpps, offered_mpps or loss)"
+        )),
+    }
+}
+
+/// The sweep campaign tree inside a sweep stage's directory:
+/// `stage-<id>/<user>/<name>/vt-<t>` (single chain of directories).
+fn sweep_tree(stage_dir: &Path) -> Option<PathBuf> {
+    let mut dir = stage_dir.to_path_buf();
+    for _ in 0..3 {
+        let mut subdirs: Vec<PathBuf> = fs::read_dir(&dir)
+            .ok()?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        dir = subdirs.into_iter().next()?;
+    }
+    Some(dir)
+}
+
+/// Shared per-stage execution: runs (or resumes) one stage, writes its
+/// artifacts, and returns `(digest, failed_runs, duration_ns)`.
+#[allow(clippy::too_many_arguments)]
+fn execute_stage(
+    dag: &DagSpec,
+    stage: &StageSpec,
+    exp: &ExperimentSpec,
+    opts: &RunOptions,
+    dopts: &DagOptions,
+    target: &mut dyn ExecutionTarget,
+    dag_dir: &Path,
+    journal: &mut Journal,
+    resume_sweep_in_place: bool,
+) -> Result<(String, usize, u64), DagError> {
+    let stage_dir = dag_dir.join(format!("stage-{}", stage.id));
+    match stage.kind {
+        StageKind::Setup => {
+            let report = target.describe(exp)?;
+            fs::create_dir_all(&stage_dir)?;
+            let vfs = opts.vfs.clone();
+            vfs.atomic_write(&stage_dir.join("topology.txt"), report.topology.as_bytes())?;
+            vfs.atomic_write(
+                &stage_dir.join("hosts.txt"),
+                (report.hosts.join("\n") + "\n").as_bytes(),
+            )?;
+            vfs.atomic_write(
+                &stage_dir.join("spec-digest.txt"),
+                format!("{}\n", exp.digest()).as_bytes(),
+            )?;
+            Ok((tree_digest(&stage_dir)?, 0, SETUP_COST_NS))
+        }
+        StageKind::Sweep => {
+            let eff = dag.effective_spec(stage, exp);
+            let mut sweep_opts = opts.clone();
+            sweep_opts.result_root = stage_dir.clone();
+            let req = SweepRequest {
+                node: &stage.id,
+                spec: &eff,
+                opts: &sweep_opts,
+                lanes: dopts.lanes,
+            };
+            let existing = if resume_sweep_in_place {
+                sweep_tree(&stage_dir).filter(|t| t.join(JOURNAL_FILE).exists())
+            } else {
+                None
+            };
+            let out = match existing {
+                Some(tree) => target.resume_sweep(&tree, &req)?,
+                None => {
+                    // A husk without a durable journal cannot be resumed;
+                    // wipe it so the rerun reclaims the canonical vt path.
+                    if stage_dir.exists() {
+                        fs::remove_dir_all(&stage_dir)?;
+                    }
+                    target.run_sweep(&req)?
+                }
+            };
+            Ok((
+                tree_digest(&stage_dir)?,
+                out.outcome.failed_runs.len(),
+                out.parallel_elapsed.as_nanos(),
+            ))
+        }
+        StageKind::Gather => {
+            if stage_dir.exists() {
+                fs::remove_dir_all(&stage_dir)?;
+            }
+            let inputs = dag.gather_inputs(stage);
+            let group_key = stage.group_by.as_deref().unwrap_or("pkt_sz");
+            let x_key = stage.x.as_deref().unwrap_or("pkt_rate");
+            let y_key = stage.y.as_deref().unwrap_or("rx_mpps");
+            let title = stage.title.as_deref().unwrap_or(&stage.id);
+            let y = metric(y_key).map_err(|reason| DagError::Eval {
+                stage: stage.id.clone(),
+                reason,
+            })?;
+            let mut plot = pos_eval::plot::PlotSpec::line(title, x_key, y_key);
+            let mut summary = String::new();
+            let mut input_ids = Vec::new();
+            let mut input_digests = Vec::new();
+            for input in &inputs {
+                let input_dir = dag_dir.join(format!("stage-{}", input.id));
+                let tree = sweep_tree(&input_dir).ok_or_else(|| DagError::Eval {
+                    stage: stage.id.clone(),
+                    reason: format!("input stage `{}` has no result tree", input.id),
+                })?;
+                let set = pos_eval::loader::ResultSet::load(&tree).map_err(|e| DagError::Eval {
+                    stage: stage.id.clone(),
+                    reason: format!("input stage `{}` unloadable: {e}", input.id),
+                })?;
+                for (group, subset) in set.group_by(group_key) {
+                    let series = subset.successful().series(x_key, y);
+                    let label = if inputs.len() > 1 {
+                        format!("{}/{group_key}={group}", input.id)
+                    } else {
+                        format!("{group_key}={group}")
+                    };
+                    plot = plot.with_series(label, series);
+                }
+                let _ = writeln!(summary, "== input: stage-{} ==", input.id);
+                summary.push_str(&set.render_summary());
+                input_ids.push(input.id.clone());
+                input_digests.push(tree_digest(&input_dir)?);
+            }
+            let figures = stage_dir.join("figures");
+            fs::create_dir_all(&figures)?;
+            let vfs = opts.vfs.clone();
+            vfs.atomic_write(
+                &figures.join(format!("{}.svg", stage.id)),
+                plot.render_svg().as_bytes(),
+            )?;
+            vfs.atomic_write(
+                &figures.join(format!("{}.tex", stage.id)),
+                plot.render_tex().as_bytes(),
+            )?;
+            vfs.atomic_write(
+                &figures.join(format!("{}.csv", stage.id)),
+                plot.render_csv().as_bytes(),
+            )?;
+            vfs.atomic_write(&stage_dir.join("summary.txt"), summary.as_bytes())?;
+            vfs.atomic_write(
+                &stage_dir.join("inputs.txt"),
+                (input_ids.join("\n") + "\n").as_bytes(),
+            )?;
+            // Seal the gather barrier: all scatter inputs are consumed
+            // and their digests recorded, *before* the node completes.
+            journal.append(&JournalRecord::GatherSealed {
+                node: stage.id.clone(),
+                inputs: input_ids,
+                input_digests,
+            })?;
+            Ok((tree_digest(&stage_dir)?, 0, GATHER_COST_NS))
+        }
+    }
+}
+
+/// Critical path through the finished schedule: the chain of stages
+/// ending at the latest finish, walking latest-finishing predecessors.
+fn critical_path(dag: &DagSpec, finish: &BTreeMap<String, u64>) -> Vec<String> {
+    let mut current = finish
+        .iter()
+        .max_by_key(|(id, ns)| (**ns, std::cmp::Reverse(id.as_str())))
+        .map(|(id, _)| id.clone());
+    let mut path = Vec::new();
+    while let Some(id) = current {
+        path.push(id.clone());
+        current = dag
+            .stage(&id)
+            .into_iter()
+            .flat_map(|s| s.after.iter())
+            .filter_map(|dep| finish.get(dep).map(|ns| (dep.clone(), *ns)))
+            .max_by_key(|(dep, ns)| (*ns, std::cmp::Reverse(dep.clone())))
+            .map(|(dep, _)| dep);
+    }
+    path.reverse();
+    path
+}
+
+/// Executes a DAG from scratch on `target`.
+///
+/// Creates the DAG result tree under `opts.result_root`, journals every
+/// stage transition, and dispatches stages in deterministic topological
+/// order. The virtual schedule honors the ready sets: a stage starts at
+/// the latest finish of its dependencies, so independent stages overlap
+/// on the reported makespan.
+pub fn run_dag(
+    dag: &DagSpec,
+    exp: &ExperimentSpec,
+    opts: &RunOptions,
+    dopts: &DagOptions,
+    target: &mut dyn ExecutionTarget,
+) -> Result<DagOutcome, DagError> {
+    dag.validate()?;
+    exp.validate()
+        .map_err(pos_core::controller::ControllerError::Spec)?;
+    let order = toposort::toposort(dag)?;
+
+    let store = ResultStore::create(&opts.result_root, &exp.user, &dag.name, SimTime::ZERO)?
+        .with_vfs(opts.vfs.clone());
+    let dag_dir = store.dir().to_path_buf();
+    store.write(crate::spec::DAG_FILE, dag.to_yaml())?;
+    store.write("dag.dot", viz::render_dot(dag, Some(exp), None))?;
+    exp.to_dir(&dag_dir.join("experiment"))?;
+
+    let mut journal = Journal::create_with(dag_dir.join(JOURNAL_FILE), opts.vfs.clone())?;
+    journal.arm_crash(dopts.dag_crash_after, dopts.dag_torn_write);
+    journal.append(&JournalRecord::DagStarted {
+        name: dag.name.clone(),
+        dag_digest: dag.digest(),
+        spec_digest: exp.digest(),
+        seed: dopts.seed,
+        testbed: opts.testbed_flavor.clone(),
+        target: target.name().into(),
+        nodes: dag.stages.len(),
+    })?;
+
+    execute_in_order(
+        dag,
+        exp,
+        opts,
+        dopts,
+        target,
+        &dag_dir,
+        &mut journal,
+        &order,
+        &BTreeMap::new(),
+    )
+}
+
+/// The shared dispatch loop: executes every stage of `order` that is
+/// not already in `verified` (journaled + digest-checked), journaling
+/// transitions and maintaining the virtual schedule.
+#[allow(clippy::too_many_arguments)]
+fn execute_in_order(
+    dag: &DagSpec,
+    exp: &ExperimentSpec,
+    opts: &RunOptions,
+    dopts: &DagOptions,
+    target: &mut dyn ExecutionTarget,
+    dag_dir: &Path,
+    journal: &mut Journal,
+    order: &[usize],
+    verified: &BTreeMap<String, NodeOutcome>,
+) -> Result<DagOutcome, DagError> {
+    let mut finish: BTreeMap<String, u64> = BTreeMap::new();
+    let mut nodes = Vec::with_capacity(order.len());
+    let mut failed_runs = 0usize;
+    let mut sequential_ns = 0u64;
+
+    for &i in order {
+        let stage = &dag.stages[i];
+        if let Some(done) = verified.get(&stage.id) {
+            finish.insert(stage.id.clone(), done.finished_ns);
+            sequential_ns += done.finished_ns.saturating_sub(done.started_ns);
+            failed_runs += done.failed_runs;
+            nodes.push(done.clone());
+            continue;
+        }
+        let started_ns = stage
+            .after
+            .iter()
+            .filter_map(|dep| finish.get(dep))
+            .copied()
+            .max()
+            .unwrap_or(0);
+        journal.append(&JournalRecord::NodeStarted {
+            node: stage.id.clone(),
+            kind: stage.kind.label().into(),
+            started_ns,
+        })?;
+        let (digest, stage_failed, duration_ns) =
+            execute_stage(dag, stage, exp, opts, dopts, target, dag_dir, journal, true)?;
+        let finished_ns = started_ns + duration_ns;
+        journal.append(&JournalRecord::NodeFinished {
+            node: stage.id.clone(),
+            digest: digest.clone(),
+            started_ns,
+            finished_ns,
+            failed_runs: stage_failed,
+        })?;
+        finish.insert(stage.id.clone(), finished_ns);
+        sequential_ns += duration_ns;
+        failed_runs += stage_failed;
+        nodes.push(NodeOutcome {
+            id: stage.id.clone(),
+            kind: stage.kind,
+            digest,
+            started_ns,
+            finished_ns,
+            failed_runs: stage_failed,
+            verified: false,
+        });
+    }
+
+    let makespan_ns = finish.values().copied().max().unwrap_or(0);
+    journal.append(&JournalRecord::DagFinished {
+        nodes: nodes.len(),
+        failed_runs,
+        makespan_ns,
+    })?;
+    Ok(DagOutcome {
+        dag_dir: dag_dir.to_path_buf(),
+        critical_path: critical_path(dag, &finish),
+        nodes,
+        makespan_ns,
+        sequential_ns,
+        target: target.report(),
+        verified_nodes: verified.len(),
+        failed_runs,
+    })
+}
+
+/// Resumes an interrupted DAG from its result tree.
+///
+/// The tree's own stored `dag.yml` and `experiment/` bundle are the
+/// authoritative specs. The journaled identity (`DagStarted`) must
+/// match the stored specs, the options' seed/testbed, and the target —
+/// a DAG resumed under different identity would not replay the recorded
+/// timeline, so the mismatch is refused, not papered over.
+pub fn resume_dag(
+    dag_dir: &Path,
+    opts: &RunOptions,
+    dopts: &DagOptions,
+    target: &mut dyn ExecutionTarget,
+) -> Result<DagOutcome, DagError> {
+    let dag = DagSpec::from_dir(dag_dir)?;
+    let exp = ExperimentSpec::from_dir(&dag_dir.join("experiment"))?;
+    let order = toposort::toposort(&dag)?;
+
+    let journal_path = dag_dir.join(JOURNAL_FILE);
+    let replay = Journal::replay(&journal_path)?;
+    if replay.records.is_empty() {
+        // The crash landed before even DagStarted was durable: nothing
+        // ran, so restart the whole DAG inside the existing tree (the
+        // stored specs are already on disk and every stage re-executes).
+        let mut journal = Journal::create_with(&journal_path, opts.vfs.clone())?;
+        journal.arm_crash(dopts.dag_crash_after, dopts.dag_torn_write);
+        journal.append(&JournalRecord::DagStarted {
+            name: dag.name.clone(),
+            dag_digest: dag.digest(),
+            spec_digest: exp.digest(),
+            seed: dopts.seed,
+            testbed: opts.testbed_flavor.clone(),
+            target: target.name().into(),
+            nodes: dag.stages.len(),
+        })?;
+        return execute_in_order(
+            &dag,
+            &exp,
+            opts,
+            dopts,
+            target,
+            dag_dir,
+            &mut journal,
+            &order,
+            &BTreeMap::new(),
+        );
+    }
+    let Some(JournalRecord::DagStarted {
+        name,
+        dag_digest,
+        spec_digest,
+        seed,
+        testbed,
+        target: recorded_target,
+        nodes,
+    }) = replay.dag_start()
+    else {
+        return Err(DagError::Resume {
+            reason: "journal has no DagStarted record (not a DAG tree)".into(),
+        });
+    };
+    let refuse = |reason: String| Err(DagError::Resume { reason });
+    if *name != dag.name || *dag_digest != dag.digest() {
+        return refuse(format!(
+            "stored dag.yml does not match the journaled DAG (`{name}`, digest {dag_digest})"
+        ));
+    }
+    if *spec_digest != exp.digest() {
+        return refuse("stored experiment bundle was edited after the DAG started".into());
+    }
+    if *seed != dopts.seed {
+        return refuse(format!(
+            "DAG ran on seed {seed}, resume is using seed {}",
+            dopts.seed
+        ));
+    }
+    if *testbed != opts.testbed_flavor {
+        return refuse(format!(
+            "DAG ran on the `{testbed}` testbed, resume is using `{}`",
+            opts.testbed_flavor
+        ));
+    }
+    if *recorded_target != target.name() {
+        return refuse(format!(
+            "DAG ran on the `{recorded_target}` target, resume is using `{}`; \
+             targets are artifact-interchangeable but their accounting is not",
+            target.name()
+        ));
+    }
+    if *nodes != dag.stages.len() {
+        return refuse(format!(
+            "journal plans {nodes} nodes, stored DAG has {}",
+            dag.stages.len()
+        ));
+    }
+
+    // Fast-forward set: journaled NodeFinished records whose subtree
+    // digest still verifies on disk. A mismatch means the crash landed
+    // mid-write (or the tree was damaged) — re-execute that node.
+    let mut verified: BTreeMap<String, NodeOutcome> = BTreeMap::new();
+    for record in &replay.records {
+        if let JournalRecord::NodeFinished {
+            node,
+            digest,
+            started_ns,
+            finished_ns,
+            failed_runs,
+        } = record
+        {
+            let stage_dir = dag_dir.join(format!("stage-{node}"));
+            let on_disk = tree_digest(&stage_dir).unwrap_or_default();
+            if on_disk == *digest {
+                let kind = dag.stage(node).map(|s| s.kind).unwrap_or(StageKind::Setup);
+                verified.insert(
+                    node.clone(),
+                    NodeOutcome {
+                        id: node.clone(),
+                        kind,
+                        digest: digest.clone(),
+                        started_ns: *started_ns,
+                        finished_ns: *finished_ns,
+                        failed_runs: *failed_runs,
+                        verified: true,
+                    },
+                );
+            }
+        }
+    }
+
+    let mut journal =
+        Journal::open_append_with(&journal_path, opts.vfs.clone()).map_err(DagError::Io)?;
+    journal.arm_crash(dopts.dag_crash_after, dopts.dag_torn_write);
+    journal.append(&JournalRecord::DagResumed {
+        verified_nodes: verified.len(),
+    })?;
+
+    execute_in_order(
+        &dag,
+        &exp,
+        opts,
+        dopts,
+        target,
+        dag_dir,
+        &mut journal,
+        &order,
+        &verified,
+    )
+}

@@ -1,0 +1,143 @@
+//! Deterministic topological ordering and ready-set waves.
+//!
+//! The executor dispatches stages strictly in this order, and the order
+//! is a pure function of the spec: Kahn's algorithm with the ready set
+//! kept sorted by stage id. Determinism here is not cosmetic — the DAG
+//! journal's record sequence, and therefore every crash/resume boundary
+//! the test matrix kills at, must be reproducible from the spec alone.
+
+use crate::spec::DagSpec;
+use crate::DagError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Topological order of stage indices, deterministic for a given spec
+/// (ready stages dispatch in id order). Fails with [`DagError::Cycle`]
+/// naming the stages left un-dispatched when the edges are cyclic.
+pub fn toposort(dag: &DagSpec) -> Result<Vec<usize>, DagError> {
+    let index: BTreeMap<&str, usize> = dag
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id.as_str(), i))
+        .collect();
+    let mut indegree = vec![0usize; dag.stages.len()];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); dag.stages.len()];
+    for (i, stage) in dag.stages.iter().enumerate() {
+        for dep in &stage.after {
+            let Some(&d) = index.get(dep.as_str()) else {
+                return Err(DagError::UnknownDependency {
+                    stage: stage.id.clone(),
+                    dep: dep.clone(),
+                });
+            };
+            indegree[i] += 1;
+            successors[d].push(i);
+        }
+    }
+    // Ready set ordered by (id, index): same-id collisions cannot occur
+    // in a validated spec, the index is a tiebreaker for raw ones.
+    let mut ready: BTreeSet<(&str, usize)> = dag
+        .stages
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| indegree[*i] == 0)
+        .map(|(i, s)| (s.id.as_str(), i))
+        .collect();
+    let mut order = Vec::with_capacity(dag.stages.len());
+    while let Some(&(id, i)) = ready.iter().next() {
+        ready.remove(&(id, i));
+        order.push(i);
+        for &succ in &successors[i] {
+            indegree[succ] -= 1;
+            if indegree[succ] == 0 {
+                ready.insert((dag.stages[succ].id.as_str(), succ));
+            }
+        }
+    }
+    if order.len() != dag.stages.len() {
+        let mut stuck: Vec<String> = dag
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !order.contains(i))
+            .map(|(_, s)| s.id.clone())
+            .collect();
+        stuck.sort();
+        return Err(DagError::Cycle { stages: stuck });
+    }
+    Ok(order)
+}
+
+/// The ready-set waves: wave 0 holds the stages with no dependencies,
+/// wave *k* the stages whose deepest dependency sits in wave *k−1*.
+/// Stages in one wave are mutually independent — this is both what the
+/// scheduler may overlap and what `pos dag viz` draws as ranks.
+pub fn levels(dag: &DagSpec) -> Result<Vec<Vec<usize>>, DagError> {
+    let order = toposort(dag)?;
+    let index: BTreeMap<&str, usize> = dag
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id.as_str(), i))
+        .collect();
+    let mut depth = vec![0usize; dag.stages.len()];
+    for &i in &order {
+        depth[i] = dag.stages[i]
+            .after
+            .iter()
+            .filter_map(|dep| index.get(dep.as_str()))
+            .map(|&d| depth[d] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    let waves = depth.iter().max().map_or(0, |d| d + 1);
+    let mut levels = vec![Vec::new(); waves];
+    for &i in &order {
+        levels[depth[i]].push(i);
+    }
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{linux_router_dag, StageKind, StageSpec};
+
+    #[test]
+    fn case_study_orders_setup_sweep_gather() {
+        let dag = linux_router_dag();
+        let order = toposort(&dag).unwrap();
+        let ids: Vec<&str> = order.iter().map(|&i| dag.stages[i].id.as_str()).collect();
+        assert_eq!(ids, vec!["setup", "rate-sweep", "eval"]);
+        let waves = levels(&dag).unwrap();
+        assert_eq!(waves.len(), 3);
+    }
+
+    #[test]
+    fn ready_set_dispatches_in_id_order() {
+        let dag = DagSpec::new("wide")
+            .with_stage(StageSpec::new("zeta", StageKind::Setup))
+            .with_stage(StageSpec::new("alpha", StageKind::Setup))
+            .with_stage(
+                StageSpec::new("sweep", StageKind::Sweep)
+                    .after("zeta")
+                    .after("alpha"),
+            );
+        let order = toposort(&dag).unwrap();
+        let ids: Vec<&str> = order.iter().map(|&i| dag.stages[i].id.as_str()).collect();
+        assert_eq!(ids, vec!["alpha", "zeta", "sweep"]);
+        let waves = levels(&dag).unwrap();
+        assert_eq!(waves[0].len(), 2, "independent stages share a wave");
+    }
+
+    #[test]
+    fn cycles_name_the_stuck_stages() {
+        let dag = DagSpec::new("cycle")
+            .with_stage(StageSpec::new("a", StageKind::Sweep).after("b"))
+            .with_stage(StageSpec::new("b", StageKind::Sweep).after("a"));
+        match toposort(&dag) {
+            Err(DagError::Cycle { stages }) => assert_eq!(stages, vec!["a", "b"]),
+            other => panic!("expected a cycle, got {other:?}"),
+        }
+    }
+}

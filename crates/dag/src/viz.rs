@@ -1,0 +1,174 @@
+//! `pos dag viz` — rendering a DAG (and the testbed it will run on)
+//! before committing testbed time to it.
+//!
+//! Two renderers, both pure functions of the spec:
+//!
+//! * [`render_dot`] emits Graphviz dot: stage nodes shaped by kind,
+//!   scatter edges labeled with their fan-out width, and (optionally)
+//!   the testbed topology as a separate cluster.
+//! * [`render_ascii`] emits a terminal-friendly wave diagram plus an
+//!   edge list — stable line-oriented output CI can grep.
+
+use crate::spec::{DagSpec, EdgeKind, StageKind};
+use crate::toposort;
+use pos_core::experiment::ExperimentSpec;
+use pos_core::loopvars::cross_product_size;
+use std::fmt::Write as _;
+
+/// The scatter fan-out width of a sweep stage: the size of its
+/// effective loop-variable cross product times repetitions is decided
+/// at run time; at viz time we report the cross product alone.
+fn fan_out(dag: &DagSpec, stage_id: &str, exp: Option<&ExperimentSpec>) -> Option<usize> {
+    let stage = dag.stage(stage_id)?;
+    if let Some(vars) = &stage.loop_vars {
+        return cross_product_size(vars);
+    }
+    cross_product_size(&exp?.loop_vars)
+}
+
+/// Graphviz dot for the DAG, with stage kinds as node shapes (setup =
+/// `box`, sweep = `box3d`, gather = `hexagon`), scatter edges labeled
+/// `scatter xN`, and — when `topology` lines (`a:0 <-> b:1`) are given
+/// — the testbed wiring as a `cluster_testbed` subgraph.
+pub fn render_dot(dag: &DagSpec, exp: Option<&ExperimentSpec>, topology: Option<&str>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dag.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for stage in &dag.stages {
+        let shape = match stage.kind {
+            StageKind::Setup => "box",
+            StageKind::Sweep => "box3d",
+            StageKind::Gather => "hexagon",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape} label=\"{}\\n({})\"];",
+            stage.id,
+            stage.id,
+            stage.kind.label()
+        );
+    }
+    for stage in &dag.stages {
+        for dep in &stage.after {
+            let Some(from) = dag.stage(dep) else { continue };
+            let label = match dag.edge_kind(from, stage) {
+                EdgeKind::Scatter => match fan_out(dag, &stage.id, exp) {
+                    Some(n) => format!(" [label=\"scatter x{n}\" style=dashed]"),
+                    None => " [label=\"scatter\" style=dashed]".into(),
+                },
+                EdgeKind::Gather => " [label=\"gather\" style=bold]".into(),
+                EdgeKind::Sequence => String::new(),
+            };
+            let _ = writeln!(out, "  \"{dep}\" -> \"{}\"{label};", stage.id);
+        }
+    }
+    if let Some(topo) = topology {
+        let _ = writeln!(out, "  subgraph cluster_testbed {{");
+        let _ = writeln!(out, "    label=\"testbed\";");
+        let _ = writeln!(out, "    node [shape=ellipse];");
+        let mut hosts: Vec<String> = Vec::new();
+        let mut links: Vec<(String, String, String)> = Vec::new();
+        for line in topo.lines() {
+            // "host:port <-> host:port"
+            let Some((a, b)) = line.split_once("<->") else {
+                continue;
+            };
+            let (ah, ap) = a.trim().split_once(':').unwrap_or((a.trim(), ""));
+            let (bh, bp) = b.trim().split_once(':').unwrap_or((b.trim(), ""));
+            for h in [ah, bh] {
+                if !hosts.iter().any(|x| x == h) {
+                    hosts.push(h.to_string());
+                }
+            }
+            links.push((ah.into(), bh.into(), format!("{ap}-{bp}")));
+        }
+        for h in &hosts {
+            let _ = writeln!(out, "    \"tb_{h}\" [label=\"{h}\"];");
+        }
+        for (a, b, ports) in &links {
+            let _ = writeln!(
+                out,
+                "    \"tb_{a}\" -> \"tb_{b}\" [dir=none label=\"{ports}\"];"
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Terminal rendering: the ready-set waves (what can overlap), one line
+/// per wave, followed by an edge list annotated with edge kinds, and —
+/// when an experiment is given — the total planned runs per sweep.
+pub fn render_ascii(dag: &DagSpec, exp: Option<&ExperimentSpec>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dag: {}", dag.name);
+    match toposort::levels(dag) {
+        Ok(levels) => {
+            for (w, wave) in levels.iter().enumerate() {
+                let ids: Vec<String> = wave
+                    .iter()
+                    .map(|&i| {
+                        let s = &dag.stages[i];
+                        format!("[{} {}]", s.kind.label(), s.id)
+                    })
+                    .collect();
+                let _ = writeln!(out, "wave {w}: {}", ids.join("  "));
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "unschedulable: {e}");
+        }
+    }
+    for stage in &dag.stages {
+        for dep in &stage.after {
+            let Some(from) = dag.stage(dep) else { continue };
+            let kind = match dag.edge_kind(from, stage) {
+                EdgeKind::Scatter => match fan_out(dag, &stage.id, exp) {
+                    Some(n) => format!("--scatter x{n}-->"),
+                    None => "--scatter-->".into(),
+                },
+                EdgeKind::Gather => "==gather==>".into(),
+                EdgeKind::Sequence => "----->".into(),
+            };
+            let _ = writeln!(out, "edge: {dep} {kind} {}", stage.id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::linux_router_dag;
+    use pos_core::experiment::linux_router_experiment;
+
+    #[test]
+    fn dot_shapes_nodes_and_labels_scatter() {
+        let dag = linux_router_dag();
+        let exp = linux_router_experiment("vloadgen", "vdut", 3, 2);
+        let dot = render_dot(&dag, Some(&exp), Some("vloadgen:0 <-> vdut:0"));
+        assert!(dot.contains("digraph \"linux-router-dag\""));
+        assert!(dot.contains("\"rate-sweep\" [shape=box3d"));
+        assert!(dot.contains("\"eval\" [shape=hexagon"));
+        assert!(
+            dot.contains("scatter x"),
+            "scatter edge carries fan-out: {dot}"
+        );
+        assert!(dot.contains("label=\"gather\""));
+        assert!(dot.contains("cluster_testbed"));
+        assert!(dot.contains("\"tb_vloadgen\""));
+    }
+
+    #[test]
+    fn ascii_waves_are_stable_lines() {
+        let dag = linux_router_dag();
+        let text = render_ascii(&dag, None);
+        assert!(text.contains("dag: linux-router-dag"));
+        assert!(text.contains("wave 0: [setup setup]"));
+        assert!(text.contains("wave 1: [sweep rate-sweep]"));
+        assert!(text.contains("wave 2: [gather eval]"));
+        assert!(text.contains("edge: rate-sweep ==gather==> eval"));
+    }
+}

@@ -166,7 +166,7 @@ impl ResultSet {
             .into_values()
             .filter_map(|(x, vs)| Some((x, crate::stats::Summary::of(&vs)?)))
             .collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
     }
 
@@ -213,7 +213,7 @@ impl ResultSet {
             .iter()
             .filter_map(|r| Some((r.param_f64(x_param)?, y(r)?)))
             .collect();
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         points
     }
 }

@@ -28,7 +28,7 @@ impl Summary {
             return None;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {
@@ -90,7 +90,7 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// Builds an empirical CDF: sorted `(value, cumulative_probability)` steps.
 pub fn ecdf(samples: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     sorted
         .into_iter()

@@ -60,6 +60,19 @@ pub enum BundleError {
         /// The scanned directory.
         dir: PathBuf,
     },
+    /// A walked file escaped the scanned root (symlink or concurrent
+    /// rename mid-walk).
+    Escaped {
+        /// The offending path.
+        path: PathBuf,
+        /// The root the walk started from.
+        dir: PathBuf,
+    },
+    /// The manifest could not be serialized.
+    Manifest {
+        /// The serializer's explanation.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for BundleError {
@@ -69,6 +82,15 @@ impl std::fmt::Display for BundleError {
             BundleError::Tar(e) => write!(f, "bundle archive error: {e}"),
             BundleError::Empty { dir } => {
                 write!(f, "nothing to publish under {}", dir.display())
+            }
+            BundleError::Escaped { path, dir } => write!(
+                f,
+                "walked file {} escaped bundle root {}",
+                path.display(),
+                dir.display()
+            ),
+            BundleError::Manifest { reason } => {
+                write!(f, "manifest does not serialize: {reason}")
             }
         }
     }
@@ -121,7 +143,10 @@ impl Bundle {
                 } else {
                     let rel = path
                         .strip_prefix(dir)
-                        .expect("path came from walking dir")
+                        .map_err(|_| BundleError::Escaped {
+                            path: path.clone(),
+                            dir: dir.to_path_buf(),
+                        })?
                         .to_string_lossy()
                         .replace('\\', "/");
                     let key = if under.is_empty() {
@@ -177,6 +202,14 @@ impl Bundle {
         self.files.get(path).map(Vec::as_slice)
     }
 
+    /// Serializes `manifest` as pretty JSON, surfacing serializer
+    /// failures as a typed error instead of a panic.
+    fn manifest_json(manifest: &Manifest) -> Result<String, BundleError> {
+        serde_json::to_string_pretty(manifest).map_err(|e| BundleError::Manifest {
+            reason: e.to_string(),
+        })
+    }
+
     /// Builds the manifest over the current contents.
     pub fn manifest(&self) -> Manifest {
         Manifest {
@@ -209,10 +242,7 @@ impl Bundle {
             fs::write(dest, data)?;
         }
         fs::create_dir_all(out)?;
-        fs::write(
-            out.join("manifest.json"),
-            serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
-        )?;
+        fs::write(out.join("manifest.json"), Bundle::manifest_json(&manifest)?)?;
         Ok(manifest)
     }
 
@@ -221,9 +251,7 @@ impl Bundle {
         let manifest = self.manifest();
         let mut entries: Vec<TarEntry> = vec![TarEntry {
             path: "manifest.json".into(),
-            data: serde_json::to_string_pretty(&manifest)
-                .expect("manifest serializes")
-                .into_bytes(),
+            data: Bundle::manifest_json(&manifest)?.into_bytes(),
         }];
         entries.extend(self.files.iter().map(|(path, data)| TarEntry {
             path: path.clone(),

@@ -32,7 +32,7 @@ pub mod queue;
 pub mod scheduler;
 pub mod supervisor;
 
-pub use plan::{plan_lanes, site_host_sets, LaneAllocation, LaneFlavor};
+pub use plan::{plan_lanes, site_host_sets, LaneAllocation, LaneFlavor, ScatterLease};
 pub use queue::{
     CompletedSubmission, CompletionOutcome, QueueError, QueueStatus, Submission, SubmissionQueue,
 };

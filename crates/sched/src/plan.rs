@@ -141,6 +141,66 @@ pub fn plan_lanes(
     })
 }
 
+/// A scatter group's hold on the site: the lanes a DAG sweep stage fans
+/// its parameter sweep across, leased on a *shared* site calendar and
+/// released when the group's gather consumes the results.
+///
+/// Where [`plan_lanes`] answers one campaign's private question ("how do
+/// I back N lanes right now"), a DAG executes several sweep stages
+/// against the *same* site over time: each scatter group leases its
+/// lanes for its window, and releasing the lease frees the bare-metal
+/// sets for the next ready stage. The allocation itself reuses
+/// [`plan_lanes`] unchanged, so the degradation ladder (atomic batch →
+/// piecemeal → vpos clones) is identical for leased and standalone
+/// campaigns.
+#[derive(Debug)]
+pub struct ScatterLease {
+    /// The scatter group this lease backs (the DAG stage id).
+    pub group: String,
+    /// The underlying lane allocation.
+    pub allocation: LaneAllocation,
+}
+
+impl ScatterLease {
+    /// Acquires a lease for scatter group `group`: `lanes` worker lanes
+    /// on the shared `site` calendar over `[start, start + duration)`.
+    pub fn acquire(
+        site: &mut Calendar,
+        user: &str,
+        group: impl Into<String>,
+        host_sets: &[Vec<String>],
+        lanes: usize,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Result<ScatterLease, ReservationError> {
+        let allocation = plan_lanes(site, user, host_sets, lanes, start, duration)?;
+        Ok(ScatterLease {
+            group: group.into(),
+            allocation,
+        })
+    }
+
+    /// Bare-metal replica sets this lease actually holds — what the
+    /// inner parallel scheduler should treat as the site's replica pool
+    /// (`ParallelOptions::site_replicas`), so its private planning
+    /// cannot claim sets the lease was refused.
+    pub fn site_replicas(&self) -> usize {
+        self.allocation.bare_metal().max(1)
+    }
+
+    /// Releases every reservation of the lease back to the site
+    /// calendar. Returns how many reservations were released.
+    pub fn release(self, site: &mut Calendar) -> usize {
+        let mut released = 0;
+        for id in self.allocation.reservations {
+            if site.release(id).is_some() {
+                released += 1;
+            }
+        }
+        released
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +284,47 @@ mod tests {
             ]
         );
         assert_eq!(plan.reservations.len(), 2);
+    }
+
+    #[test]
+    fn scatter_lease_holds_and_releases_sets() {
+        let (mut cal, sets) = site(2);
+        let lease = ScatterLease::acquire(
+            &mut cal,
+            "alice",
+            "rate-sweep",
+            &sets,
+            4,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        )
+        .unwrap();
+        assert_eq!(lease.group, "rate-sweep");
+        assert_eq!(lease.site_replicas(), 2);
+        // While held, a second group cannot lease the primary set.
+        assert!(ScatterLease::acquire(
+            &mut cal,
+            "alice",
+            "latency-sweep",
+            &sets,
+            2,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        )
+        .is_err());
+        assert_eq!(lease.release(&mut cal), 2);
+        // Released sets are leasable again in the same window.
+        let again = ScatterLease::acquire(
+            &mut cal,
+            "alice",
+            "latency-sweep",
+            &sets,
+            2,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        )
+        .unwrap();
+        assert_eq!(again.allocation.bare_metal(), 2);
     }
 
     #[test]

@@ -48,6 +48,10 @@ use pos_core::journal::{
     campaign_disk_state, CampaignDiskState, Journal, JournalError, JournalRecord, JOURNAL_FILE,
 };
 use pos_core::vfs::Vfs;
+use pos_dag::{
+    resume_dag, run_dag, DagError, DagOptions, DagOutcome, DagSpec, ExecutionTarget,
+    InProcessTarget, SimBatchTarget,
+};
 use pos_sched::{
     resume_parallel, run_parallel, CompletionOutcome, LaneFlavor, ParallelOptions, QueueError,
     QueueStatus, Submission, SupervisorOptions,
@@ -647,8 +651,14 @@ impl ServeEngine {
                 result_dir: String::new(),
             });
         }
+        // A submission whose experiment dir carries a dag.yml is a DAG
+        // campaign: same ledger, same recovery settlement, but the
+        // result tree is a DAG tree driven by the DAG executor.
+        if DagSpec::present_in(Path::new(&sub.experiment)) {
+            return self.execute_dag(sub, &spec, recovered, referenced);
+        }
         if recovered {
-            match self.unclaimed_tree(&spec, referenced) {
+            match self.unclaimed_tree(&spec.user, &spec.name, referenced) {
                 Some((dir, CampaignDiskState::Finished { failed, .. })) => {
                     // Crash after campaign completion, before the ledger
                     // append: the tree is done and sealed — adopt it.
@@ -688,15 +698,171 @@ impl ServeEngine {
         self.fresh_run(&spec)
     }
 
-    /// The youngest result tree of this experiment not yet claimed by a
-    /// finished submission — the only tree a recovered in-flight
-    /// campaign can have been writing.
+    /// Executes (or settles) one DAG submission. The settlement logic
+    /// is the campaign one — [`pos_core::journal::campaign_disk_state`]
+    /// reads DAG journals too — keyed on the *DAG's* tree name.
+    fn execute_dag(
+        &self,
+        sub: &Submission,
+        spec: &ExperimentSpec,
+        recovered: bool,
+        referenced: &BTreeSet<PathBuf>,
+    ) -> Result<Exec, ServeError> {
+        let dag = match DagSpec::from_dir(Path::new(&sub.experiment)) {
+            Ok(dag) => dag,
+            Err(e) => {
+                eprintln!(
+                    "pos-serve: #{}: cannot load DAG from {}: {e}",
+                    sub.id, sub.experiment
+                );
+                return Ok(Exec::Done {
+                    outcome: CompletionOutcome::Failed,
+                    result_dir: String::new(),
+                });
+            }
+        };
+        if let Err(e) = dag.validate() {
+            eprintln!("pos-serve: #{}: invalid DAG: {e}", sub.id);
+            return Ok(Exec::Done {
+                outcome: CompletionOutcome::Failed,
+                result_dir: String::new(),
+            });
+        }
+        if recovered {
+            match self.unclaimed_tree(&spec.user, &dag.name, referenced) {
+                Some((dir, CampaignDiskState::Finished { failed, .. })) => {
+                    let outcome = if failed == 0 {
+                        CompletionOutcome::Completed
+                    } else {
+                        CompletionOutcome::CompletedDegraded
+                    };
+                    return Ok(Exec::Done {
+                        outcome,
+                        result_dir: dir.display().to_string(),
+                    });
+                }
+                Some((dir, CampaignDiskState::InProgress { .. })) => {
+                    return self.resume_dag_tree(&dir);
+                }
+                Some((dir, CampaignDiskState::NoJournal)) => {
+                    std::fs::remove_dir_all(&dir)?;
+                }
+                Some((dir, CampaignDiskState::Unreadable(reason))) => {
+                    eprintln!(
+                        "pos-serve: #{}: DAG tree {} unreadable: {reason}",
+                        sub.id,
+                        dir.display()
+                    );
+                    return Ok(Exec::Done {
+                        outcome: CompletionOutcome::Failed,
+                        result_dir: dir.display().to_string(),
+                    });
+                }
+                None => {}
+            }
+        }
+        self.fresh_dag_run(spec, &dag)
+    }
+
+    fn fresh_dag_run(&self, spec: &ExperimentSpec, dag: &DagSpec) -> Result<Exec, ServeError> {
+        let opts = self.run_options(&self.results_root, spec);
+        let injected = self
+            .campaign_crash
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        let armed = injected.is_some();
+        let lanes = self.opts.lanes.max(1);
+        let mut dopts = DagOptions::new(lanes, self.opts.seed);
+        if let Some((after, torn)) = injected {
+            // The armed "machine death" hits the DAG's own journal —
+            // the outermost write-ahead layer of a DAG campaign.
+            dopts.dag_crash_after = after;
+            dopts.dag_torn_write = torn;
+        }
+        let mut target = InProcessTarget::new(self.opts.seed, false, lanes);
+        self.classify_dag(run_dag(dag, spec, &opts, &dopts, &mut target), armed)
+    }
+
+    /// Completes an interrupted DAG tree through `pos dag resume`,
+    /// rebuilding the execution target the journal recorded.
+    fn resume_dag_tree(&self, dir: &Path) -> Result<Exec, ServeError> {
+        let failed = |msg: String| {
+            eprintln!("pos-serve: cannot resume DAG {}: {msg}", dir.display());
+            Ok(Exec::Done {
+                outcome: CompletionOutcome::Failed,
+                result_dir: dir.display().to_string(),
+            })
+        };
+        let replay = match Journal::replay(&dir.join(JOURNAL_FILE)) {
+            Ok(replay) => replay,
+            Err(e) => return failed(e.to_string()),
+        };
+        let Some(JournalRecord::DagStarted { seed, target, .. }) = replay.dag_start() else {
+            return failed("journal has no DagStarted record".into());
+        };
+        let (seed, target_name) = (*seed, target.clone());
+        let spec = match ExperimentSpec::from_dir(&dir.join("experiment")) {
+            Ok(spec) => spec,
+            Err(e) => return failed(format!("stored experiment unloadable: {e}")),
+        };
+        let opts = self.run_options(&self.results_root, &spec);
+        let lanes = self.opts.lanes.max(1);
+        let dopts = DagOptions::new(lanes, seed);
+        let mut target: Box<dyn ExecutionTarget> = match target_name.as_str() {
+            "in-process" => Box::new(InProcessTarget::new(seed, false, lanes)),
+            "sim-batch" => Box::new(SimBatchTarget::new(seed, false, lanes)),
+            other => return failed(format!("unknown execution target `{other}`")),
+        };
+        self.classify_dag(resume_dag(dir, &opts, &dopts, target.as_mut()), false)
+    }
+
+    /// [`Self::classify`] for DAG executions.
+    fn classify_dag(
+        &self,
+        res: Result<DagOutcome, DagError>,
+        injection_armed: bool,
+    ) -> Result<Exec, ServeError> {
+        match res {
+            Ok(out) => {
+                let outcome = if out.failed_runs == 0 {
+                    CompletionOutcome::Completed
+                } else {
+                    CompletionOutcome::CompletedDegraded
+                };
+                Ok(Exec::Done {
+                    outcome,
+                    result_dir: out.dag_dir.display().to_string(),
+                })
+            }
+            Err(e) if e.is_checkpoint() => Ok(Exec::Checkpointed),
+            Err(e) if injection_armed && is_injected_dag_death(&e) => {
+                self.dead.store(true, Ordering::SeqCst);
+                Err(ServeError::Died {
+                    context: "DAG journal append".into(),
+                    source: io::Error::new(io::ErrorKind::Interrupted, e.to_string()),
+                })
+            }
+            Err(e) => {
+                eprintln!("pos-serve: DAG campaign failed: {e}");
+                Ok(Exec::Done {
+                    outcome: CompletionOutcome::Failed,
+                    result_dir: String::new(),
+                })
+            }
+        }
+    }
+
+    /// The youngest result tree under `<root>/<user>/<name>` not yet
+    /// claimed by a finished submission — the only tree a recovered
+    /// in-flight campaign can have been writing.
     fn unclaimed_tree(
         &self,
-        spec: &ExperimentSpec,
+        user: &str,
+        name: &str,
         referenced: &BTreeSet<PathBuf>,
     ) -> Option<(PathBuf, CampaignDiskState)> {
-        let base = self.results_root.join(&spec.user).join(&spec.name);
+        let base = self.results_root.join(user).join(name);
         let mut dirs: Vec<PathBuf> = std::fs::read_dir(&base)
             .ok()?
             .flatten()
@@ -975,6 +1141,17 @@ fn is_injected_death(e: &ControllerError) -> bool {
     match e {
         ControllerError::Io(err) => err.kind() == io::ErrorKind::Interrupted,
         ControllerError::Journal(JournalError::Io(err)) => err.kind() == io::ErrorKind::Interrupted,
+        _ => false,
+    }
+}
+
+/// [`is_injected_death`] for DAG executions: the armed crash may fire
+/// on the DAG journal itself or inside a sweep's campaign journal.
+fn is_injected_dag_death(e: &DagError) -> bool {
+    match e {
+        DagError::Io(err) => err.kind() == io::ErrorKind::Interrupted,
+        DagError::Journal(JournalError::Io(err)) => err.kind() == io::ErrorKind::Interrupted,
+        DagError::Controller(inner) => is_injected_death(inner),
         _ => false,
     }
 }

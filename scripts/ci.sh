@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 # exempt from the style gates.
 FIRST_PARTY="-p pos -p pos-core -p pos-testbed -p pos-simkernel -p pos-netsim \
  -p pos-packet -p pos-loadgen -p pos-eval -p pos-publish -p pos-bench -p pos-sched \
- -p pos-serve"
+ -p pos-serve -p pos-dag"
 
 echo "==> rustfmt (check, first-party crates)"
 cargo fmt --check $FIRST_PARTY
@@ -44,6 +44,13 @@ cargo test -q --test parallel_determinism interrupted_failover_strands_run_and_f
 # boundary plus bit-flip rot, recovered to byte-identity via resume + scrub.
 echo "==> disk-fault matrix (tests/disk_fault_matrix.rs)"
 cargo test -q --test disk_fault_matrix
+
+# The DAG half: the linux-router DAG executed at several lane counts and on
+# both execution targets must leave byte-identical trees; a kill at every
+# DAG-journal record boundary (clean + torn) followed by `resume_dag` must
+# converge to that same tree with `fsck_dag` calling it clean.
+echo "==> DAG crash matrix (tests/dag_determinism.rs)"
+cargo test -q --test dag_determinism
 
 # The daemon half: kill `pos serve` at every queue-ledger append boundary
 # (and at campaign-journal boundaries) during a multi-user submission storm,
@@ -82,6 +89,56 @@ fi
 "$POS" scrub "$TREE" >/dev/null
 "$POS" fsck "$TREE" >/dev/null
 rm -rf "$SCRUB_DIR"
+
+# DAG smoke, end to end through the CLI: scaffold the 3-stage case-study
+# DAG, check `pos dag viz` golden lines in both formats, run it small at 2
+# lanes, viz + fsck the result tree, and resume (a complete tree must be a
+# verified no-op fast-forward, not a rerun).
+echo "==> dag smoke (pos dag init + viz golden + run + fsck + resume)"
+DAG_DIR=$(mktemp -d)
+"$POS" dag init "$DAG_DIR/exp" >/dev/null
+"$POS" dag viz "$DAG_DIR/exp" | grep -q 'scatter x' || {
+    echo "dag smoke: ascii viz lost its scatter edge" >&2
+    exit 1
+}
+"$POS" dag viz "$DAG_DIR/exp" | grep -q '==gather==>' || {
+    echo "dag smoke: ascii viz lost its gather edge" >&2
+    exit 1
+}
+"$POS" dag viz "$DAG_DIR/exp" --format dot | grep -q '^digraph ' || {
+    echo "dag smoke: dot viz is not a digraph" >&2
+    exit 1
+}
+"$POS" dag viz "$DAG_DIR/exp" --format dot | grep -q 'cluster_testbed' || {
+    echo "dag smoke: dot viz lost the testbed cluster" >&2
+    exit 1
+}
+cat >"$DAG_DIR/exp/loop-variables.yml" <<'EOF'
+pkt_rate:
+- 10000
+- 20000
+pkt_sz:
+- 64
+- 1500
+EOF
+cat >"$DAG_DIR/exp/global-variables.yml" <<'EOF'
+dut_ip0: 10.0.0.1
+dut_ip1: 10.0.1.1
+run_secs: 1
+EOF
+"$POS" dag run "$DAG_DIR/exp" --results "$DAG_DIR/res" --lanes 2 >/dev/null
+DAG_TREE=$(dirname "$(find "$DAG_DIR/res" -name dag.yml)")
+test -s "$DAG_TREE/stage-eval/figures/eval.svg"
+"$POS" dag viz "$DAG_TREE" | grep -q 'wave 0: \[setup setup\]' || {
+    echo "dag smoke: result-tree viz lost its setup wave" >&2
+    exit 1
+}
+"$POS" fsck "$DAG_TREE" >/dev/null
+"$POS" dag resume "$DAG_TREE" | grep -q 'verified, skipped' || {
+    echo "dag smoke: resume of a complete DAG re-ran instead of verifying" >&2
+    exit 1
+}
+rm -rf "$DAG_DIR"
 
 # Serve smoke, end to end through the real binary: start the daemon, submit
 # over HTTP, kill -9 mid-service, restart on the same state dir, and demand
@@ -182,6 +239,12 @@ if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
         cargo run --release -p pos-bench --bin serve >/dev/null
     test -s BENCH_serve.json
     rm -f BENCH_serve.json
+
+    echo "==> bench smoke: dag (node dispatch + scatter throughput + gather barrier)"
+    POS_DAG_RUN_SECS=1 POS_DAG_RATE_STEPS=3 \
+        cargo run --release -p pos-bench --bin dag >/dev/null
+    test -s BENCH_dag.json
+    rm -f BENCH_dag.json
 fi
 
 echo "==> ci: OK"

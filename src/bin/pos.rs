@@ -16,6 +16,7 @@
 //!     --state <dir>        ledger + snapshots     (default: ./serve-state)
 //!     --listen <addr>      HTTP endpoint          (default: 127.0.0.1:0)
 //! pos queue ... --daemon <addr>         speak to a running daemon
+//! pos dag init|run|resume|viz ...       experiment DAGs (scatter/gather stages)
 //! pos fsck <result-dir>                 verify journal + per-run checksums
 //! pos scrub <result-dir> [--repair]     detect (and heal) bit rot
 //! pos eval <result-dir> [--out <dir>]   parse, aggregate, plot
@@ -34,6 +35,7 @@ use pos::core::controller::{Controller, ControllerError, ExperimentOutcome, Prog
 use pos::core::experiment::{linux_router_experiment, ExperimentSpec};
 use pos::core::journal::{Journal, JournalRecord, JOURNAL_FILE, LEDGER_FILE};
 use pos::core::vfs::{FaultPlan, Vfs};
+use pos::dag::DagSpec;
 use pos::eval::loader::ResultSet;
 use pos::eval::plot::PlotSpec;
 use pos::publish::bundle::{verify_dir, verify_runs, Bundle};
@@ -74,6 +76,7 @@ fn main() -> ExitCode {
         Some("resume") => cmd_resume(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("queue") => cmd_queue(&args[1..]),
+        Some("dag") => cmd_dag(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]).map(|()| Completion::Clean),
         Some("scrub") => cmd_scrub(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]).map(|()| Completion::Clean),
@@ -129,7 +132,16 @@ fn usage() -> &'static str {
      \x20 pos queue status [--queue <dir>] [--daemon <addr>]\n\
      \x20 pos queue drain [--queue <dir>] [--results <root>] [--seed <n>] [--lanes <n>]\n\
      \x20 pos queue drain --daemon <addr>    ask a running daemon to drain\n\
+     \x20 pos dag init <dir>                 scaffold experiment + 3-stage dag.yml\n\
+     \x20 pos dag run <dir> [--results <root>] [--seed <n>] [--lanes <n>]\n\
+     \x20         [--testbed pos|vpos] [--site-replicas <n>]\n\
+     \x20         [--target in-process|sim-batch] [--partition <n>]\n\
+     \x20         [--disk-faults <json-file>]  execute an experiment DAG\n\
+     \x20 pos dag resume <result-dir> [--seed <n>] [--lanes <n>] [same flags]\n\
+     \x20 pos dag viz <dir> [--format ascii|dot]   render DAG (+ testbed) graph\n\
      \x20 pos fsck <result-dir | serve-state> verify journals + checksums / ledger\n\
+     \x20         (DAG trees are audited per node: stranded scatter groups,\n\
+     \x20          unsealed gathers, subtree digests, inner campaign fsck)\n\
      \x20 pos scrub <result-dir> [--repair] [--json <file>]   detect/heal bit rot\n\
      \x20 pos eval <result-dir> [--out <dir>]\n\
      \x20 pos publish <result-dir> [--out <dir>] [--tar <file>] [--title <text>]\n\
@@ -924,10 +936,20 @@ fn cmd_fsck(args: &[String]) -> Result<(), String> {
         return Err("usage: pos fsck <result-dir | serve-state-dir>".into());
     };
     let path = Path::new(dir);
-    // A serve state directory is identified by its queue ledger; a
-    // result tree by its campaign journal. Route to the matching check.
+    // A serve state directory is identified by its queue ledger, a DAG
+    // tree by its stored dag.yml, a plain result tree by its campaign
+    // journal. Route to the matching check.
     if path.join(LEDGER_FILE).exists() {
         let report = pos::core::fsck::fsck_queue(path).map_err(|e| e.to_string())?;
+        print!("{}", report.render());
+        return if report.is_clean() {
+            Ok(())
+        } else {
+            Err(format!("{dir} is not clean"))
+        };
+    }
+    if DagSpec::present_in(path) {
+        let report = pos::core::fsck::fsck_dag(path).map_err(|e| e.to_string())?;
         print!("{}", report.render());
         return if report.is_clean() {
             Ok(())
@@ -942,6 +964,270 @@ fn cmd_fsck(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("{dir} is not clean"))
     }
+}
+
+/// `pos dag <init|run|resume|viz>` — experiment DAGs: scatter/gather
+/// stages over pluggable execution targets.
+fn cmd_dag(args: &[String]) -> Result<Completion, String> {
+    match args.first().map(String::as_str) {
+        Some("init") => cmd_dag_init(&args[1..]).map(|()| Completion::Clean),
+        Some("run") => cmd_dag_run(&args[1..]),
+        Some("resume") => cmd_dag_resume(&args[1..]),
+        Some("viz") => cmd_dag_viz(&args[1..]).map(|()| Completion::Clean),
+        _ => Err(
+            "usage: pos dag init <dir> | run <exp-dir> | resume <result-dir> | viz <dir>".into(),
+        ),
+    }
+}
+
+fn cmd_dag_init(args: &[String]) -> Result<(), String> {
+    let (pos_args, _) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos dag init <dir>".into());
+    };
+    let dir = Path::new(dir);
+    if dir.join(pos::dag::spec::DAG_FILE).exists() {
+        return Err(format!("{} already holds a DAG", dir.display()));
+    }
+    let spec = linux_router_experiment("vriga", "vtartu", 30, 10);
+    if !dir.join("experiment.yml").exists() {
+        spec.to_dir(dir).map_err(|e| e.to_string())?;
+    }
+    let dag = pos::dag::linux_router_dag();
+    dag.to_dir(dir).map_err(|e| e.to_string())?;
+    println!(
+        "scaffolded DAG `{}` ({} stages) in {}",
+        dag.name,
+        dag.stages.len(),
+        dir.display()
+    );
+    print!("{}", pos::dag::viz::render_ascii(&dag, Some(&spec)));
+    println!("run it: pos dag run {}", dir.display());
+    Ok(())
+}
+
+/// Loads the DAG next to an experiment dir, falling back to the
+/// built-in linux-router 3-stage DAG when no `dag.yml` is present.
+fn load_dag(dir: &Path) -> Result<pos::dag::DagSpec, String> {
+    if pos::dag::DagSpec::present_in(dir) {
+        pos::dag::DagSpec::from_dir(dir)
+            .map_err(|e| format!("cannot load DAG from {}: {e}", dir.display()))
+    } else {
+        println!(
+            "{} has no dag.yml; using the built-in linux-router 3-stage DAG",
+            dir.display()
+        );
+        Ok(pos::dag::linux_router_dag())
+    }
+}
+
+/// The shared target/lane/seed flags of `pos dag run` and `pos dag
+/// resume`, resolved into run options, DAG options, and a target.
+fn dag_exec_setup(
+    opts: &std::collections::BTreeMap<&str, &str>,
+    results: &Path,
+) -> Result<
+    (
+        RunOptions,
+        pos::dag::DagOptions,
+        Box<dyn pos::dag::ExecutionTarget>,
+    ),
+    String,
+> {
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s}")))
+        .transpose()?
+        .unwrap_or(0x707);
+    let lanes: usize = opts
+        .get("lanes")
+        .map(|s| s.parse().map_err(|_| format!("bad --lanes {s}")))
+        .transpose()?
+        .unwrap_or(1);
+    if lanes == 0 {
+        return Err("--lanes must be at least 1".into());
+    }
+    let virtualized = match opts.get("testbed").copied().unwrap_or("pos") {
+        "pos" => false,
+        "vpos" => true,
+        other => return Err(format!("--testbed must be pos or vpos, got {other}")),
+    };
+    let site_replicas: usize = opts
+        .get("site-replicas")
+        .map(|s| s.parse().map_err(|_| format!("bad --site-replicas {s}")))
+        .transpose()?
+        .unwrap_or(lanes);
+
+    let mut run_opts = RunOptions::new(results);
+    run_opts.testbed_flavor = if virtualized { "vpos" } else { "pos" }.into();
+    if let Some(&file) = opts.get("disk-faults") {
+        run_opts.vfs = load_disk_faults(file)?;
+    }
+
+    let target: Box<dyn pos::dag::ExecutionTarget> =
+        match opts.get("target").copied().unwrap_or("in-process") {
+            "in-process" | "inprocess" => Box::new(pos::dag::InProcessTarget::new(
+                seed,
+                virtualized,
+                site_replicas,
+            )),
+            "sim-batch" | "batch" => {
+                let partition: usize = opts
+                    .get("partition")
+                    .map(|s| s.parse().map_err(|_| format!("bad --partition {s}")))
+                    .transpose()?
+                    .unwrap_or(site_replicas);
+                Box::new(pos::dag::SimBatchTarget::new(seed, virtualized, partition))
+            }
+            other => {
+                return Err(format!(
+                    "--target must be in-process or sim-batch, got {other}"
+                ))
+            }
+        };
+
+    Ok((run_opts, pos::dag::DagOptions::new(lanes, seed), target))
+}
+
+/// Per-node lines, the target's job table, and the schedule summary.
+fn print_dag_outcome(out: &pos::dag::DagOutcome) {
+    for node in &out.nodes {
+        println!(
+            "  node {:<12} [{:<6}] {} {:>6.1}s..{:>6.1}s{}{}",
+            node.id,
+            node.kind.label(),
+            &node.digest[..12.min(node.digest.len())],
+            node.started_ns as f64 / 1e9,
+            node.finished_ns as f64 / 1e9,
+            if node.failed_runs > 0 {
+                format!("  {} FAILED run(s)", node.failed_runs)
+            } else {
+                String::new()
+            },
+            if node.verified {
+                "  (verified, skipped)"
+            } else {
+                ""
+            },
+        );
+    }
+    print!("{}", out.target.render());
+    print!("{}", out.summary());
+    println!("results: {}", out.dag_dir.display());
+}
+
+/// The DAG flavor of [`checkpointed_or_error`].
+fn dag_checkpointed_or_error(e: pos::dag::DagError, resume_at: &str) -> Result<Completion, String> {
+    if !e.is_checkpoint() {
+        return Err(e.to_string());
+    }
+    eprintln!("pos: checkpointed: {e}");
+    eprintln!(
+        "pos: DAG checkpointed at the last consistent journal boundary; \
+         run `pos dag resume {resume_at}` to complete"
+    );
+    Ok(Completion::Degraded)
+}
+
+fn cmd_dag_run(args: &[String]) -> Result<Completion, String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos dag run <experiment-dir> [options]".into());
+    };
+    let dir = Path::new(dir);
+    let spec = ExperimentSpec::from_dir(dir)
+        .map_err(|e| format!("cannot load experiment from {}: {e}", dir.display()))?;
+    spec.validate().map_err(|e| e.to_string())?;
+    let dag = load_dag(dir)?;
+    dag.validate().map_err(|e| e.to_string())?;
+
+    let results = PathBuf::from(opts.get("results").copied().unwrap_or("results"));
+    let (run_opts, dag_opts, mut target) = dag_exec_setup(&opts, &results)?;
+    println!(
+        "running DAG `{}` ({} stages, {} lanes, seed {}, target {})...",
+        dag.name,
+        dag.stages.len(),
+        dag_opts.lanes,
+        dag_opts.seed,
+        target.name()
+    );
+    print!("{}", pos::dag::viz::render_ascii(&dag, Some(&spec)));
+    let out = match pos::dag::run_dag(&dag, &spec, &run_opts, &dag_opts, target.as_mut()) {
+        Ok(out) => out,
+        Err(e) => return dag_checkpointed_or_error(e, &resume_hint(&results)),
+    };
+    print_dag_outcome(&out);
+    Ok(if out.failed_runs == 0 {
+        Completion::Clean
+    } else {
+        Completion::Degraded
+    })
+}
+
+fn cmd_dag_resume(args: &[String]) -> Result<Completion, String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos dag resume <result-dir> [options]".into());
+    };
+    let dag_dir = Path::new(dir);
+    // The resume root only matters for the options plumbing; the tree
+    // location is authoritative.
+    let results = PathBuf::from(opts.get("results").copied().unwrap_or("results"));
+    let (run_opts, dag_opts, mut target) = dag_exec_setup(&opts, &results)?;
+    println!(
+        "resuming DAG tree {} ({} lanes, seed {}, target {})...",
+        dag_dir.display(),
+        dag_opts.lanes,
+        dag_opts.seed,
+        target.name()
+    );
+    let out = match pos::dag::resume_dag(dag_dir, &run_opts, &dag_opts, target.as_mut()) {
+        Ok(out) => out,
+        Err(e) => return dag_checkpointed_or_error(e, dir),
+    };
+    print_dag_outcome(&out);
+    Ok(if out.failed_runs == 0 {
+        Completion::Clean
+    } else {
+        Completion::Degraded
+    })
+}
+
+fn cmd_dag_viz(args: &[String]) -> Result<(), String> {
+    let (pos_args, opts) = parse_opts(args)?;
+    let [dir] = pos_args.as_slice() else {
+        return Err("usage: pos dag viz <dir> [--format ascii|dot] [--seed <n>]".into());
+    };
+    let dir = Path::new(dir);
+    let dag = load_dag(dir)?;
+    dag.validate().map_err(|e| e.to_string())?;
+    // An experiment bundle (either alongside dag.yml, or stored inside
+    // a DAG result tree) enriches the graph with fan-out widths and the
+    // testbed wiring.
+    let spec = ExperimentSpec::from_dir(dir)
+        .or_else(|_| ExperimentSpec::from_dir(&dir.join("experiment")))
+        .ok();
+    match opts.get("format").copied().unwrap_or("ascii") {
+        "ascii" => print!("{}", pos::dag::viz::render_ascii(&dag, spec.as_ref())),
+        "dot" => {
+            let seed: u64 = opts
+                .get("seed")
+                .map(|s| s.parse().map_err(|_| format!("bad --seed {s}")))
+                .transpose()?
+                .unwrap_or(0x707);
+            let topology = spec.as_ref().and_then(|s| {
+                case_study_testbed(s, seed, false, false)
+                    .ok()
+                    .map(|tb| tb.topology.render())
+            });
+            print!(
+                "{}",
+                pos::dag::viz::render_dot(&dag, spec.as_ref(), topology.as_deref())
+            );
+        }
+        other => return Err(format!("--format must be ascii or dot, got {other}")),
+    }
+    Ok(())
 }
 
 /// `pos scrub <result-dir> [--repair] [--json <file>]` — walk a result

@@ -16,6 +16,7 @@
 //! | [`testbed`] | `pos-testbed` | hosts, images, calendar, power control |
 //! | [`core`] | `pos-core` | the pos controller and methodology |
 //! | [`sched`] | `pos-sched` | parallel campaign scheduler and admission queue |
+//! | [`dag`] | `pos-dag` | experiment DAGs: scatter/gather stages, execution targets |
 //! | [`serve`] | `pos-serve` | crash-surviving multi-tenant campaign daemon |
 //! | [`eval`] | `pos-eval` | parsers, statistics, plots |
 //! | [`publish`] | `pos-publish` | artifact bundling and website |
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub use pos_core as core;
+pub use pos_dag as dag;
 pub use pos_eval as eval;
 pub use pos_loadgen as loadgen;
 pub use pos_netsim as netsim;

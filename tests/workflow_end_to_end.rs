@@ -4,6 +4,8 @@
 use pos::core::commands::register_all;
 use pos::core::controller::{Controller, RunOptions};
 use pos::core::experiment::linux_router_experiment;
+use pos::core::fsck::fsck_dag;
+use pos::dag::{linux_router_dag, run_dag, DagOptions, InProcessTarget};
 use pos::eval::loader::ResultSet;
 use pos::eval::plot::PlotSpec;
 use pos::publish::bundle::{verify_dir, Bundle};
@@ -94,6 +96,75 @@ fn experiment_to_published_bundle() {
     assert!(readme.contains("run-0000"));
     assert!(readme.contains("Generated figures"));
     assert!(manifest.entry("topology.txt").is_some());
+}
+
+/// The `examples/dag_study.rs` walk as a test: the same case study
+/// restructured as the 3-stage DAG (setup --scatter--> rate-sweep
+/// ==gather==> eval), executed, fsck'd, and published as a bundle.
+#[test]
+fn dag_study_to_published_bundle() {
+    // ------------------------------------------------- execute the DAG
+    let dag = linux_router_dag();
+    let spec = linux_router_experiment("vriga", "vtartu", 3, 1);
+    let out = run_dag(
+        &dag,
+        &spec,
+        &RunOptions::new(tmp("dag-e2e-results")),
+        &DagOptions::new(2, 0x707),
+        &mut InProcessTarget::new(0x707, false, 2),
+    )
+    .expect("DAG executes");
+    assert_eq!(out.nodes.len(), 3);
+    assert_eq!(out.failed_runs, 0);
+    assert_eq!(
+        out.critical_path,
+        vec!["setup".to_string(), "rate-sweep".into(), "eval".into()]
+    );
+
+    // Every stage left its artifacts; the audit calls the tree clean.
+    assert!(out.dag_dir.join("dag.yml").exists());
+    assert!(out.dag_dir.join("dag.dot").exists());
+    assert!(out.dag_dir.join("stage-setup/topology.txt").exists());
+    assert!(out.dag_dir.join("stage-eval/figures/eval.svg").exists());
+    assert!(out.dag_dir.join("stage-eval/summary.txt").exists());
+    let report = fsck_dag(&out.dag_dir).expect("auditable");
+    assert!(
+        report.is_clean(),
+        "DAG tree not clean:\n{}",
+        report.render()
+    );
+
+    // The gather stage aggregated all six scatter results.
+    let inputs = std::fs::read_to_string(out.dag_dir.join("stage-eval/inputs.txt")).unwrap();
+    assert!(inputs.contains("rate-sweep"));
+    let set = ResultSet::load(
+        &out.dag_dir
+            .join("stage-rate-sweep/user/linux-router-forwarding/vt-0000000000"),
+    )
+    .expect("sweep tree loads");
+    assert_eq!(set.len(), 6);
+
+    // -------------------------------------------------------- publish it
+    let mut bundle = Bundle::new(&dag.name);
+    let collected = bundle.add_tree(&out.dag_dir, "").unwrap();
+    assert!(collected > 30, "a DAG tree has many artifacts");
+    attach_site(
+        &mut bundle,
+        &SiteInfo {
+            title: "pos DAG case study".into(),
+            description: "integration test artifact".into(),
+            repo_url: String::new(),
+        },
+    );
+    let release = tmp("dag-e2e-release");
+    let manifest = bundle.write_dir(&release).expect("publishable");
+    assert!(release.join("manifest.json").exists());
+    assert!(release.join("stage-eval/figures/eval.svg").exists());
+    assert_eq!(
+        verify_dir(&release).expect("verifiable"),
+        Vec::<String>::new()
+    );
+    assert!(manifest.entry("dag.yml").is_some());
 }
 
 #[test]
