@@ -13,10 +13,17 @@ use pos_packet::builder::{Frame, UdpFrameSpec};
 use pos_packet::pcap::Capture;
 use pos_packet::probe::{Probe, PROBE_LEN};
 use pos_simkernel::{SimDuration, SimTime, TraceLevel};
-use std::collections::BTreeMap;
 
-/// Timer token: send the next packet.
+/// Timer token: send the next packet (or burst of packets).
 const TOKEN_SEND: u64 = 1;
+
+/// Packets submitted per TOKEN_SEND timer when the TX link supports
+/// future-dated transmission: departure times are known in advance, so one
+/// timer covers a whole burst of exact departures, amortizing event-queue
+/// traffic without changing a single timestamp on the wire. On links where
+/// frames must be handed over at their departure instant (fault injection),
+/// the burst degenerates to one packet per timer.
+const BURST: u64 = 64;
 
 /// What sizes the generated frames have.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +94,13 @@ impl GeneratorConfig {
     }
 
     /// Departure time of packet `i` relative to measurement start.
+    #[inline]
     pub fn departure(&self, i: u64) -> SimDuration {
-        SimDuration::from_nanos((i as f64 * 1e9 / self.rate_pps).round() as u64)
+        // Multiply by the precomputed period instead of dividing per call:
+        // the quotient is loop-invariant in the burst send loop, so it
+        // hoists out entirely.
+        let period_ns = 1e9 / self.rate_pps;
+        SimDuration::from_nanos((i as f64 * period_ns).round() as u64)
     }
 }
 
@@ -99,6 +111,9 @@ pub struct MoonGen {
     templates: Vec<(usize, Frame)>,
     started_at: Option<SimTime>,
     next_packet: u64,
+    /// [`GeneratorConfig::total_packets`], computed once — the send path
+    /// checks it per packet.
+    total_packets: u64,
     tx_attempted: u64,
     tx_nic_drops: u64,
     rx_frames: u64,
@@ -107,8 +122,20 @@ pub struct MoonGen {
     reordered: u64,
     highest_seq: Option<u32>,
     latency_samples_ns: Vec<u64>,
-    /// interval index -> (tx, rx, tx_bytes, rx_bytes)
-    intervals: BTreeMap<u64, IntervalStat>,
+    /// Per-second traffic stats, kept sorted by interval index. TX
+    /// accounting is bucketed by (possibly future) departure time while
+    /// RX uses arrival time, so lookups touch the last few entries but
+    /// are not strictly monotonic.
+    intervals: Vec<IntervalStat>,
+    /// Fast-path cache for [`MoonGen::interval_mut`]: the `[lo, hi)`
+    /// nanosecond bounds (relative to start) and position of the last slot
+    /// touched. Refreshed on every slow-path lookup, so it always points at
+    /// a live entry.
+    iv_cache: Option<(u64, u64, usize)>,
+    /// The next `rx_frames` value at which a latency sample is due — the
+    /// running equivalent of `rx_frames % latency_sample_every == 0`
+    /// without a per-packet division.
+    next_latency_sample: u64,
     /// Recorded transmissions for pcap export (first N frames).
     pub tx_capture: Vec<Capture>,
 }
@@ -141,6 +168,8 @@ impl MoonGen {
             })
             .collect();
         MoonGen {
+            total_packets: config.total_packets(),
+            next_latency_sample: u64::from(config.latency_sample_every),
             config,
             templates,
             started_at: None,
@@ -153,7 +182,8 @@ impl MoonGen {
             reordered: 0,
             highest_seq: None,
             latency_samples_ns: Vec::new(),
-            intervals: BTreeMap::new(),
+            intervals: Vec::new(),
+            iv_cache: None,
             tx_capture: Vec::new(),
         }
     }
@@ -163,72 +193,108 @@ impl MoonGen {
         &self.config
     }
 
-    fn interval_mut(&mut self, now: SimTime) -> &mut IntervalStat {
+    fn interval_mut(&mut self, at: SimTime) -> &mut IntervalStat {
         let start = self.started_at.unwrap_or(SimTime::ZERO);
-        let index = now.saturating_duration_since(start).as_secs();
-        self.intervals.entry(index).or_insert(IntervalStat {
-            index,
-            tx_frames: 0,
-            rx_frames: 0,
-            tx_bytes: 0,
-            rx_bytes: 0,
-        })
+        let rel_ns = at.saturating_duration_since(start).as_nanos();
+        // Fast path: the per-packet TX and RX timestamps nearly always land
+        // in the slot touched last — two comparisons, no division.
+        if let Some((lo, hi, pos)) = self.iv_cache {
+            if (lo..hi).contains(&rel_ns) {
+                return &mut self.intervals[pos];
+            }
+        }
+        const NS_PER_SEC: u64 = 1_000_000_000;
+        let index = rel_ns / NS_PER_SEC;
+        // The common case hits the last entry in one comparison; scanning
+        // from the back covers the burst-TX-ahead-of-RX interleaving.
+        let slot = match self.intervals.iter().rposition(|iv| iv.index <= index) {
+            Some(p) if self.intervals[p].index == index => p,
+            other => {
+                let p = other.map_or(0, |p| p + 1);
+                self.intervals.insert(
+                    p,
+                    IntervalStat {
+                        index,
+                        tx_frames: 0,
+                        rx_frames: 0,
+                        tx_bytes: 0,
+                        rx_bytes: 0,
+                    },
+                );
+                p
+            }
+        };
+        self.iv_cache = Some((
+            index.saturating_mul(NS_PER_SEC),
+            index.saturating_add(1).saturating_mul(NS_PER_SEC),
+            slot,
+        ));
+        &mut self.intervals[slot]
     }
 
-    fn send_one(&mut self, ctx: &mut SimCtx<'_>) {
-        let i = self.next_packet;
-        self.next_packet += 1;
-        self.tx_attempted += 1;
+    /// Sends the next burst of packets, each at its exact departure time.
+    /// Every timestamp a packet carries or contributes to (probe `tx_ns`,
+    /// pcap record, per-second interval bucket) uses the departure time,
+    /// so bursting is invisible in every report.
+    fn send_packets(&mut self, ctx: &mut SimCtx<'_>) {
+        let start = self.started_at.expect("send before start");
+        let burst = if ctx.future_tx_capable(0) { BURST } else { 1 };
+        let end = (self.next_packet + burst).min(self.total_packets);
+        while self.next_packet < end {
+            let i = self.next_packet;
+            self.next_packet += 1;
+            self.tx_attempted += 1;
+            let at = start + self.config.departure(i);
 
-        // Stamp the probe into a copy of the prebuilt template (whose probe
-        // bytes are all zero) and patch the UDP checksum incrementally
-        // (RFC 1624) — the per-packet hot path does no full re-checksum.
-        let wire_size = self.config.size.wire_size_of(i);
-        let mut frame = self
-            .templates
-            .iter()
-            .find(|(s, _)| *s == wire_size)
-            .expect("template exists for every spec size")
-            .1
-            .clone();
-        let probe = Probe {
-            flow_id: self.config.flow_id,
-            seq: i as u32,
-            tx_ns: ctx.now().as_nanos(),
-        };
-        let payload_off = pos_packet::builder::HEADERS_LEN;
-        let bytes = frame.bytes_mut();
-        probe.write_to(&mut bytes[payload_off..payload_off + PROBE_LEN]);
-        const UDP_CSUM_OFF: usize = pos_packet::builder::HEADERS_LEN - 2;
-        let mut csum = u16::from_be_bytes([bytes[UDP_CSUM_OFF], bytes[UDP_CSUM_OFF + 1]]);
-        for w in 0..PROBE_LEN / 2 {
-            let off = payload_off + w * 2;
-            // The template word was zero; the new word is the probe's.
-            let new_word = u16::from_be_bytes([bytes[off], bytes[off + 1]]);
-            csum = pos_packet::checksum::update(csum, 0, new_word);
-        }
-        bytes[UDP_CSUM_OFF..UDP_CSUM_OFF + 2].copy_from_slice(&csum.to_be_bytes());
+            // Stamp the probe into a pooled copy of the prebuilt template
+            // (whose probe bytes are all zero) and patch the UDP checksum
+            // incrementally (RFC 1624) — the per-packet hot path does no
+            // full re-checksum. `duplicate` skips the refcount round-trip
+            // that `clone` + `bytes_mut` would pay, and `word_sum` computes
+            // the probe's one's-complement contribution from its fields
+            // instead of re-reading the bytes just written.
+            let wire_size = self.config.size.wire_size_of(i);
+            let mut frame = self
+                .templates
+                .iter()
+                .find(|(s, _)| *s == wire_size)
+                .expect("template exists for every spec size")
+                .1
+                .duplicate();
+            let probe = Probe {
+                flow_id: self.config.flow_id,
+                seq: i as u32,
+                tx_ns: at.as_nanos(),
+            };
+            let payload_off = pos_packet::builder::HEADERS_LEN;
+            let bytes = frame.bytes_mut();
+            probe.write_to(&mut bytes[payload_off..payload_off + PROBE_LEN]);
+            const UDP_CSUM_OFF: usize = pos_packet::builder::HEADERS_LEN - 2;
+            let csum = u16::from_be_bytes([bytes[UDP_CSUM_OFF], bytes[UDP_CSUM_OFF + 1]]);
+            // The template words were zero, so the probe's word sum is the
+            // entire delta in one incremental update.
+            let csum = pos_packet::checksum::update(csum, 0, probe.word_sum());
+            bytes[UDP_CSUM_OFF..UDP_CSUM_OFF + 2].copy_from_slice(&csum.to_be_bytes());
 
-        if self.tx_capture.len() < self.config.record_pcap_frames {
-            self.tx_capture.push(Capture {
-                ts_ns: ctx.now().as_nanos(),
-                frame: frame.clone(),
-            });
-        }
-        let wire = frame.wire_size() as u64;
-        if ctx.transmit(0, frame) {
-            let now = ctx.now();
-            let iv = self.interval_mut(now);
-            iv.tx_frames += 1;
-            iv.tx_bytes += wire;
-        } else {
-            self.tx_nic_drops += 1;
+            if self.tx_capture.len() < self.config.record_pcap_frames {
+                self.tx_capture.push(Capture {
+                    ts_ns: at.as_nanos(),
+                    frame: frame.clone(),
+                });
+            }
+            let wire = frame.wire_size() as u64;
+            if ctx.transmit_at(0, frame, at) {
+                let iv = self.interval_mut(at);
+                iv.tx_frames += 1;
+                iv.tx_bytes += wire;
+            } else {
+                self.tx_nic_drops += 1;
+            }
         }
 
         // Schedule the next departure if the run is not over.
-        if i + 1 < self.config.total_packets() {
-            let start = self.started_at.expect("send before start");
-            let next_at = start + self.config.departure(i + 1);
+        if self.next_packet < self.total_packets {
+            let next_at = start + self.config.departure(self.next_packet);
             let delay = next_at.saturating_duration_since(ctx.now());
             ctx.set_timer(delay, TOKEN_SEND);
         } else {
@@ -259,7 +325,7 @@ impl MoonGen {
             lost: self.lost,
             reordered: self.reordered,
             latency_samples_ns: self.latency_samples_ns.clone(),
-            intervals: self.intervals.values().copied().collect(),
+            intervals: self.intervals.clone(),
         }
     }
 }
@@ -277,14 +343,34 @@ impl Element for MoonGen {
         }
         self.rx_frames += 1;
         self.rx_bytes += frame.wire_size() as u64;
+        // `rx_frames` advances by one per received frame, so this equality
+        // check is `rx_frames % latency_sample_every == 0` without the
+        // division. The sample itself is only recorded for intact probes of
+        // our own flow (below), matching the modulo formulation: a due
+        // frame of another flow skips its sample but leaves the cadence
+        // anchored to the frame counter.
+        let latency_due = self.rx_frames == self.next_latency_sample;
+        if latency_due {
+            self.next_latency_sample += u64::from(self.config.latency_sample_every);
+        }
         let now = ctx.now();
         let iv = self.interval_mut(now);
         iv.rx_frames += 1;
         iv.rx_bytes += frame.wire_size() as u64;
 
-        // Latency + loss accounting from the probe.
-        if let Ok(parsed) = pos_packet::builder::parse_udp_frame(frame.bytes()) {
-            if let Ok(probe) = Probe::parse(parsed.payload) {
+        // Latency + loss accounting from the probe. Fast path: corrupted
+        // frames never reach an element (the port discards them as FCS
+        // errors), so intact frames of our own flow need no checksum
+        // re-validation — probe the fixed Eth/IPv4/UDP layout directly
+        // instead of a full `parse_udp_frame` (which checksums the entire
+        // payload on every received packet).
+        let b = frame.bytes();
+        let is_udp = b.len() >= pos_packet::builder::HEADERS_LEN + PROBE_LEN
+            && b[12..14] == [0x08, 0x00] // EtherType IPv4
+            && b[14] == 0x45 // version 4, IHL 5
+            && b[23] == 17; // protocol UDP
+        if is_udp {
+            if let Ok(probe) = Probe::parse(&b[pos_packet::builder::HEADERS_LEN..]) {
                 if probe.flow_id == self.config.flow_id {
                     match self.highest_seq {
                         Some(prev) if probe.seq <= prev => self.reordered += 1,
@@ -297,10 +383,7 @@ impl Element for MoonGen {
                             self.highest_seq = Some(probe.seq);
                         }
                     }
-                    if self
-                        .rx_frames
-                        .is_multiple_of(u64::from(self.config.latency_sample_every))
-                    {
+                    if latency_due {
                         self.latency_samples_ns
                             .push(now.as_nanos().saturating_sub(probe.tx_ns));
                     }
@@ -310,9 +393,15 @@ impl Element for MoonGen {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut SimCtx<'_>) {
-        if token == TOKEN_SEND && self.next_packet < self.config.total_packets() {
-            self.send_one(ctx);
+        if token == TOKEN_SEND && self.next_packet < self.total_packets {
+            self.send_packets(ctx);
         }
+    }
+
+    /// The RX side is pure accounting keyed on per-frame timestamps and
+    /// probe contents; the TX side (port 0) never receives.
+    fn inline_rx(&self, port: usize, _all_ports_cut_through: bool) -> bool {
+        port == 1
     }
 }
 

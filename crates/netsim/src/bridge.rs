@@ -105,7 +105,8 @@ impl LinuxBridge {
                     }
                 }
                 _ => {
-                    // Unknown unicast or group address: flood.
+                    // Unknown unicast or group address: flood. Replication
+                    // shares one buffer — each clone is a refcount bump.
                     self.stats.flooded += 1;
                     for port in 0..ctx.port_count() {
                         if port != in_port {

@@ -18,7 +18,7 @@ pub use crate::port::PortConfig;
 use crate::port::{Port, PortCounters};
 use pos_packet::builder::Frame;
 use pos_simkernel::{EventQueue, SimDuration, SimRng, SimTime, Trace, TraceLevel};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Index of an element in the simulation.
 pub type NodeId = usize;
@@ -95,29 +95,78 @@ struct Link {
     b: (NodeId, usize),
     propagation: SimDuration,
     injector: FaultInjector,
+    /// True when the injector can never touch a frame (no fault mechanism
+    /// configured). Such links deliver frames *cut-through*: the arrival is
+    /// scheduled at transmit start and no `TxComplete` event is needed,
+    /// halving the event count on the clean-path topologies that dominate
+    /// benchmarks and campaigns.
+    cut_through: bool,
+    /// Frames arriving at endpoint `a` skip the event queue entirely and
+    /// are delivered inline (see [`Element::inline_rx`]). Computed once at
+    /// simulation start; only ever true on cut-through links.
+    inline_a: bool,
+    /// Same for endpoint `b`.
+    inline_b: bool,
+}
+
+/// A frame accepted on a cut-through link whose receiver opted into
+/// inline delivery: handed to the element from the drain loop with `at`
+/// (its true arrival instant) as virtual time, never touching the queue.
+struct InlineDelivery {
+    node: NodeId,
+    port: usize,
+    frame: Frame,
+    at: SimTime,
 }
 
 /// Engine state an element may touch during a callback.
 pub struct SimCtx<'a> {
     node: NodeId,
+    /// The element's view of the current instant. Equal to the event
+    /// clock for event-driven callbacks; for inline frame deliveries it
+    /// is the frame's true arrival time, which may lie ahead of the
+    /// event clock.
+    vnow: SimTime,
     shared: &'a mut Shared,
 }
 
 impl SimCtx<'_> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.shared.queue.now()
+        self.vnow
     }
 
     /// Hands a frame to one of the element's own ports for transmission.
     /// Returns `false` if the transmit queue was full and the frame dropped.
     pub fn transmit(&mut self, port: usize, frame: Frame) -> bool {
-        self.shared.start_tx(self.node, port, frame)
+        self.shared.start_tx_at(self.node, port, frame, self.vnow)
     }
 
-    /// Schedules [`Element::on_timer`] with `token` after `delay`.
+    /// Submits `frame` for transmission on `port` at the future instant
+    /// `at`, returning whether it was accepted (queueing delay and
+    /// tail-drop are resolved immediately). Only supported on ports whose
+    /// link delivers cut-through (see [`Self::future_tx_capable`]); lets
+    /// open-loop senders and timeline-folded servers emit a whole batch of
+    /// paced frames from one event.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past or the port's link does not deliver
+    /// cut-through (fault injection needs completion-time events).
+    pub fn transmit_at(&mut self, port: usize, frame: Frame, at: SimTime) -> bool {
+        self.shared.start_tx_at(self.node, port, frame, at)
+    }
+
+    /// True when `port` is wired to a link that delivers cut-through (no
+    /// fault injection), i.e. [`Self::transmit_at`] may be used on it.
+    pub fn future_tx_capable(&self, port: usize) -> bool {
+        let p = &self.shared.ports[self.node][port];
+        matches!(p.link, Some(idx) if self.shared.links[idx].cut_through)
+    }
+
+    /// Schedules [`Element::on_timer`] with `token` after `delay`
+    /// (relative to the element's view of the current instant).
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        let at = self.now() + delay;
+        let at = self.vnow + delay;
         self.shared.queue.schedule(
             at,
             Event::Timer {
@@ -127,11 +176,16 @@ impl SimCtx<'_> {
         );
     }
 
-    /// Appends a line to the simulation trace.
+    /// Appends a line to the simulation trace. Below the active minimum
+    /// level this returns before touching the element name or formatting
+    /// anything — per-packet trace calls on a quiet sink cost one compare.
     pub fn trace(&mut self, level: TraceLevel, message: impl Into<String>) {
+        if level < self.shared.trace.min_level() {
+            return;
+        }
         let now = self.now();
-        let name = self.shared.names[self.node].clone();
-        self.shared.trace.log(now, level, name, message);
+        let name = Arc::clone(&self.shared.names[self.node]);
+        self.shared.trace.log(now, level, &*name, message);
     }
 
     /// Counters of one of the element's own ports.
@@ -175,22 +229,115 @@ pub trait Element: AsAny {
 
     /// A timer set via [`SimCtx::set_timer`] fired.
     fn on_timer(&mut self, _token: u64, _ctx: &mut SimCtx<'_>) {}
+
+    /// Whether frames arriving on `port` may be delivered *inline*: as
+    /// soon as the sender commits the transmission, with the frame's true
+    /// arrival instant as `ctx.now()`, instead of through a per-frame
+    /// event at that instant. Inline delivery eliminates the event queue
+    /// from the per-packet path — the dominant cost on clean topologies —
+    /// but runs ahead of global event order, so it is only correct for
+    /// handlers whose effects depend on nothing but their own state and
+    /// the delivered frame + timestamp: pure measurement sinks, or
+    /// servers whose outputs are future-dated transmissions
+    /// ([`SimCtx::transmit_at`]). Arrival order is preserved per link but
+    /// not across links. `all_ports_cut_through` reports whether every
+    /// port of this element is wired fault-free — the precondition for
+    /// timeline-folded servers. Queried once at simulation start; only
+    /// honored on cut-through links. Default: never.
+    fn inline_rx(&self, _port: usize, _all_ports_cut_through: bool) -> bool {
+        false
+    }
 }
 
 struct Shared {
     queue: EventQueue<Event>,
     ports: Vec<Vec<Port>>,
-    names: Vec<String>,
+    /// Interned element names: trace lines bump a refcount, never copy.
+    names: Vec<Arc<str>>,
     links: Vec<Link>,
-    /// port -> link carrying it.
-    port_link: HashMap<(NodeId, usize), usize>,
+    /// Frames awaiting inline delivery, in submission order. Drained by
+    /// the run loop after every callback returns (never re-entrantly).
+    pending_inline: std::collections::VecDeque<InlineDelivery>,
+    /// Latest instant handed to any callback as virtual time — keeps
+    /// [`NetSim::now`] meaningful when inline deliveries outrun the
+    /// event clock.
+    horizon: SimTime,
     rng: SimRng,
     trace: Trace,
 }
 
 impl Shared {
-    /// Enqueues or begins transmitting `frame` on `(node, port)`.
-    fn start_tx(&mut self, node: NodeId, port: usize, frame: Frame) -> bool {
+    /// Submits `frame` for transmission on `(node, port)` at instant `at`
+    /// (which must be at or after the current instant).
+    ///
+    /// On a wired link with no fault injection the whole transmission is
+    /// *cut-through*: the start instant, queueing delay, tail-drop decision
+    /// and arrival are all computed here, no `TxComplete` event ever
+    /// exists, and the port's "queue" is just the list of accepted start
+    /// instants. Faulty or unconnected ports keep the eventful path — the
+    /// fault injector's RNG draws (and the unconnected-port warning) must
+    /// happen at completion time to preserve fault-injection outcomes —
+    /// and reject future submissions.
+    fn start_tx_at(&mut self, node: NodeId, port: usize, frame: Frame, at: SimTime) -> bool {
+        debug_assert!(at >= self.queue.now(), "transmission submitted in the past");
+        let cut_link = match self.ports[node][port].link {
+            Some(idx) if self.links[idx].cut_through => Some(idx),
+            _ => None,
+        };
+        if let Some(link_idx) = cut_link {
+            let wire = frame.wire_size();
+            let link = &self.links[link_idx];
+            let (peer, inline) = if link.a == (node, port) {
+                (link.b, link.inline_b)
+            } else {
+                (link.a, link.inline_a)
+            };
+            let propagation = link.propagation;
+            let p = &mut self.ports[node][port];
+            debug_assert!(p.in_flight.is_none() && p.tx_queue.is_empty());
+            // Frames whose serialization began by `at` no longer occupy
+            // the queue.
+            while p.pending_starts.front().is_some_and(|&s| s <= at) {
+                p.pending_starts.pop_front();
+            }
+            let start = if p.busy_until > at {
+                if p.pending_starts.len() >= p.config.tx_queue_frames {
+                    p.counters.tx_queue_drops += 1;
+                    return false;
+                }
+                p.pending_starts.push_back(p.busy_until);
+                p.busy_until
+            } else {
+                at
+            };
+            let done = start + p.config.serialization_time(wire);
+            p.busy_until = done;
+            p.counters.tx_frames += 1;
+            p.counters.tx_bytes += wire as u64;
+            if inline {
+                self.pending_inline.push_back(InlineDelivery {
+                    node: peer.0,
+                    port: peer.1,
+                    frame,
+                    at: done + propagation,
+                });
+            } else {
+                self.queue.schedule(
+                    done + propagation,
+                    Event::FrameArrival {
+                        node: peer.0,
+                        port: peer.1,
+                        frame,
+                        corrupted: false,
+                    },
+                );
+            }
+            return true;
+        }
+        assert!(
+            at == self.queue.now(),
+            "future transmission submitted on a port without cut-through delivery"
+        );
         let p = &mut self.ports[node][port];
         if p.is_busy() {
             if p.tx_queue.len() >= p.config.tx_queue_frames {
@@ -204,6 +351,8 @@ impl Shared {
         true
     }
 
+    /// Starts serializing `frame` on an idle port along the eventful path
+    /// (faulty link or unconnected port).
     fn begin_serialization(&mut self, node: NodeId, port: usize, frame: Frame) {
         let now = self.queue.now();
         let p = &mut self.ports[node][port];
@@ -217,7 +366,7 @@ impl Shared {
     /// Serialization finished: deliver across the link, start the next frame.
     fn complete_tx(&mut self, node: NodeId, port: usize) {
         let now = self.queue.now();
-        let frame = {
+        let (frame, wired) = {
             let p = &mut self.ports[node][port];
             let frame = p
                 .in_flight
@@ -225,11 +374,11 @@ impl Shared {
                 .expect("TxComplete for a port with no in-flight frame");
             p.counters.tx_frames += 1;
             p.counters.tx_bytes += frame.wire_size() as u64;
-            frame
+            (frame, p.link)
         };
 
         // Hand the frame to the link, if the port is wired to one.
-        if let Some(&link_idx) = self.port_link.get(&(node, port)) {
+        if let Some(link_idx) = wired {
             let link = &mut self.links[link_idx];
             let peer = if link.a == (node, port) {
                 link.b
@@ -242,7 +391,7 @@ impl Shared {
                     self.trace.log(
                         now,
                         TraceLevel::Debug,
-                        self.names[node].clone(),
+                        &*self.names[node],
                         "fault injector dropped a frame",
                     );
                 }
@@ -263,7 +412,7 @@ impl Shared {
             self.trace.log(
                 now,
                 TraceLevel::Warn,
-                self.names[node].clone(),
+                &*self.names[node],
                 format!("frame transmitted on unconnected port {port}"),
             );
         }
@@ -280,6 +429,11 @@ pub struct NetSim {
     elements: Vec<Option<Box<dyn Element>>>,
     shared: Shared,
     started: bool,
+    /// Reusable buffer for batch-draining one instant of the event queue.
+    batch_buf: Vec<Event>,
+    /// Scratch for inline deliveries due after the current run deadline;
+    /// swapped back into `pending_inline` after each drain.
+    deferred_inline: std::collections::VecDeque<InlineDelivery>,
 }
 
 impl NetSim {
@@ -292,11 +446,14 @@ impl NetSim {
                 ports: Vec::new(),
                 names: Vec::new(),
                 links: Vec::new(),
-                port_link: HashMap::new(),
+                pending_inline: std::collections::VecDeque::new(),
+                horizon: SimTime::ZERO,
                 rng: SimRng::new(seed).derive("netsim"),
                 trace: Trace::default(),
             },
             started: false,
+            batch_buf: Vec::new(),
+            deferred_inline: std::collections::VecDeque::new(),
         }
     }
 
@@ -313,7 +470,7 @@ impl NetSim {
         );
         let id = self.elements.len();
         self.elements.push(Some(element));
-        self.shared.names.push(name.into());
+        self.shared.names.push(Arc::from(name.into()));
         self.shared
             .ports
             .push(ports.iter().map(|c| Port::new(*c)).collect());
@@ -332,25 +489,30 @@ impl NetSim {
                 "connect: port {port} of node {node} does not exist"
             );
             assert!(
-                !self.shared.port_link.contains_key(&(node, port)),
+                self.shared.ports[node][port].link.is_none(),
                 "connect: port {port} of node {node} ({}) already wired",
                 self.shared.names[node]
             );
         }
         let idx = self.shared.links.len();
+        let cut_through = config.fault.is_none();
         self.shared.links.push(Link {
             a,
             b,
             propagation: config.propagation,
             injector: FaultInjector::new(config.fault),
+            cut_through,
+            inline_a: false,
+            inline_b: false,
         });
-        self.shared.port_link.insert(a, idx);
-        self.shared.port_link.insert(b, idx);
+        self.shared.ports[a.0][a.1].link = Some(idx);
+        self.shared.ports[b.0][b.1].link = Some(idx);
     }
 
-    /// Current virtual time.
+    /// Current virtual time: the latest instant any callback has observed.
+    /// With inline deliveries this can run ahead of the event clock.
     pub fn now(&self) -> SimTime {
-        self.shared.queue.now()
+        self.shared.queue.now().max(self.shared.horizon)
     }
 
     /// Counters of a port.
@@ -361,7 +523,7 @@ impl NetSim {
     /// Fault injector statistics of the link wired to `(node, port)`:
     /// `(dropped, corrupted)`.
     pub fn link_fault_stats(&self, node: NodeId, port: usize) -> Option<(u64, u64)> {
-        let idx = *self.shared.port_link.get(&(node, port))?;
+        let idx = self.shared.ports.get(node)?.get(port)?.link?;
         let link = &self.shared.links[idx];
         Some((link.injector.dropped, link.injector.corrupted))
     }
@@ -409,23 +571,87 @@ impl NetSim {
             return;
         }
         self.started = true;
+        // Wiring is complete: resolve which link endpoints deliver inline.
+        // Only cut-through links qualify, and only when the receiving
+        // element opts in for that port.
+        let full_ct: Vec<bool> = (0..self.elements.len())
+            .map(|n| {
+                self.shared.ports[n]
+                    .iter()
+                    .all(|p| matches!(p.link, Some(i) if self.shared.links[i].cut_through))
+            })
+            .collect();
+        for idx in 0..self.shared.links.len() {
+            let (a, b, cut) = {
+                let l = &self.shared.links[idx];
+                (l.a, l.b, l.cut_through)
+            };
+            if !cut {
+                continue;
+            }
+            let inline_of = |els: &[Option<Box<dyn Element>>], (node, port): (NodeId, usize)| {
+                els[node]
+                    .as_deref()
+                    .expect("element present at start")
+                    .inline_rx(port, full_ct[node])
+            };
+            self.shared.links[idx].inline_a = inline_of(&self.elements, a);
+            self.shared.links[idx].inline_b = inline_of(&self.elements, b);
+        }
         for node in 0..self.elements.len() {
-            self.with_element(node, |el, ctx| el.on_start(ctx));
+            let now = self.shared.queue.now();
+            self.with_element(node, now, |el, ctx| el.on_start(ctx));
         }
     }
 
     /// Runs `f` with the element temporarily taken out of the table, so the
-    /// callback can borrow engine state mutably without aliasing.
-    fn with_element(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Element, &mut SimCtx<'_>)) {
+    /// callback can borrow engine state mutably without aliasing. `vnow` is
+    /// the virtual instant the callback observes as `ctx.now()`.
+    fn with_element(
+        &mut self,
+        node: NodeId,
+        vnow: SimTime,
+        f: impl FnOnce(&mut dyn Element, &mut SimCtx<'_>),
+    ) {
         let mut el = self.elements[node]
             .take()
             .expect("element borrowed re-entrantly");
+        if vnow > self.shared.horizon {
+            self.shared.horizon = vnow;
+        }
         let mut ctx = SimCtx {
             node,
+            vnow,
             shared: &mut self.shared,
         };
         f(el.as_mut(), &mut ctx);
         self.elements[node] = Some(el);
+    }
+
+    /// Delivers pending inline frames due by `deadline`; later ones stay
+    /// pending for the next run. Deliveries may submit new transmissions,
+    /// which append further entries — the loop runs until quiescent.
+    fn drain_inline(&mut self, deadline: SimTime) {
+        if self.shared.pending_inline.is_empty() {
+            return;
+        }
+        while let Some(d) = self.shared.pending_inline.pop_front() {
+            if d.at > deadline {
+                self.deferred_inline.push_back(d);
+                continue;
+            }
+            let InlineDelivery {
+                node,
+                port,
+                frame,
+                at,
+            } = d;
+            let p = &mut self.shared.ports[node][port];
+            p.counters.rx_frames += 1;
+            p.counters.rx_bytes += frame.wire_size() as u64;
+            self.with_element(node, at, |el, ctx| el.on_frame(port, frame, ctx));
+        }
+        std::mem::swap(&mut self.shared.pending_inline, &mut self.deferred_inline);
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -444,22 +670,41 @@ impl NetSim {
                 }
                 p.counters.rx_frames += 1;
                 p.counters.rx_bytes += frame.wire_size() as u64;
-                self.with_element(node, |el, ctx| el.on_frame(port, frame, ctx));
+                let now = self.shared.queue.now();
+                self.with_element(node, now, |el, ctx| el.on_frame(port, frame, ctx));
             }
             Event::Timer { node, token } => {
-                self.with_element(node, |el, ctx| el.on_timer(token, ctx));
+                let now = self.shared.queue.now();
+                self.with_element(node, now, |el, ctx| el.on_timer(token, ctx));
             }
         }
     }
 
     /// Processes events up to and including `deadline`; the clock does not
     /// advance past it. Returns the number of events processed.
+    ///
+    /// Events are drained one whole instant at a time into a reusable
+    /// buffer and dispatched from it — identical order to per-event
+    /// popping (same-instant events scheduled during the batch carry
+    /// higher seqs and form the next batch), without a queue operation
+    /// per event.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
         let before = self.shared.queue.events_processed();
-        while let Some((_, event)) = self.shared.queue.pop_until(deadline) {
-            self.dispatch(event);
+        self.drain_inline(deadline);
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        while self
+            .shared
+            .queue
+            .pop_instant_until(deadline, &mut batch)
+            .is_some()
+        {
+            for event in batch.drain(..) {
+                self.dispatch(event);
+                self.drain_inline(deadline);
+            }
         }
+        self.batch_buf = batch;
         self.shared.queue.events_processed() - before
     }
 

@@ -78,6 +78,14 @@ pub struct Port {
     pub(crate) in_flight: Option<Frame>,
     /// When the in-flight frame finishes serialization.
     pub(crate) busy_until: SimTime,
+    /// Index of the link this port is wired to, if any — stored on the
+    /// port so the per-frame delivery path needs no map lookup.
+    pub(crate) link: Option<usize>,
+    /// Start instants of cut-through transmissions that are accepted but
+    /// not yet serializing (the "queue" of the eventless TX path). Entries
+    /// at or before the current instant are popped lazily; the length is
+    /// the queue occupancy used for tail-drop decisions.
+    pub(crate) pending_starts: VecDeque<SimTime>,
     /// Counters.
     pub counters: PortCounters,
 }
@@ -90,6 +98,8 @@ impl Port {
             tx_queue: VecDeque::new(),
             in_flight: None,
             busy_until: SimTime::ZERO,
+            link: None,
+            pending_starts: VecDeque::new(),
             counters: PortCounters::default(),
         }
     }
@@ -99,9 +109,10 @@ impl Port {
         self.in_flight.is_some()
     }
 
-    /// Frames waiting in the transmit queue.
+    /// Frames waiting in the transmit queue (eventful path) plus accepted
+    /// cut-through transmissions that have not started serializing.
     pub fn queued(&self) -> usize {
-        self.tx_queue.len()
+        self.tx_queue.len() + self.pending_starts.len()
     }
 }
 

@@ -30,7 +30,7 @@ use pos_packet::ethernet::{EtherType, EthernetHeader};
 use pos_packet::icmp::IcmpMessage;
 use pos_packet::ipv4::{Ipv4Header, Protocol};
 use pos_packet::MacAddr;
-use pos_simkernel::{SimDuration, SimRng, TraceLevel};
+use pos_simkernel::{SimDuration, SimRng, SimTime, TraceLevel};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
@@ -137,7 +137,10 @@ impl ServiceProfile {
         } else {
             mean
         };
-        SimDuration::from_secs_f64(t * 1e-9)
+        // `t` is already in nanoseconds; rounding directly avoids the
+        // secs round-trip (an `as u64` cast saturates degenerate inputs
+        // to zero, matching `from_secs_f64`'s clamp).
+        SimDuration::from_nanos(t.round() as u64)
     }
 }
 
@@ -205,6 +208,21 @@ pub struct LinuxRouter {
     /// Set while preempted: a service completion that fired during the
     /// pause is deferred until the vCPU resumes.
     deferred_completion: bool,
+    /// Whether the service timeline is folded into arrival processing
+    /// (no per-packet service timer). Decided on the first frame: only
+    /// profiles without preemption, and only when every egress port
+    /// supports future-dated cut-through transmission. `None` until then.
+    folded: Option<bool>,
+    /// Folded mode: completion instants of packets accepted but not yet
+    /// fully serviced. Entries at or before the current instant are
+    /// drained lazily; the length is the ring occupancy for tail-drop.
+    completions: VecDeque<SimTime>,
+    /// Folded mode: completion instant of the most recently accepted
+    /// packet — the earliest time the next service can start.
+    last_completion: SimTime,
+    /// Folded mode: while processing a packet, the instant its outputs
+    /// must leave the router (its service completion).
+    tx_at: Option<SimTime>,
     rng: SimRng,
     /// Observable statistics.
     pub stats: RouterStats,
@@ -223,6 +241,10 @@ impl LinuxRouter {
             serving: false,
             preempted: false,
             deferred_completion: false,
+            folded: None,
+            completions: VecDeque::new(),
+            last_completion: SimTime::ZERO,
+            tx_at: None,
             rng,
             stats: RouterStats::default(),
         }
@@ -245,6 +267,16 @@ impl LinuxRouter {
     /// The active service profile.
     pub fn profile(&self) -> &ServiceProfile {
         &self.profile
+    }
+
+    /// Transmits a frame produced by the forwarding path. In folded mode
+    /// the frame leaves at the packet's service completion instant; in
+    /// timer mode the caller already runs at that instant.
+    fn emit(&self, port: usize, frame: Frame, ctx: &mut SimCtx<'_>) {
+        match self.tx_at {
+            Some(at) => ctx.transmit_at(port, frame, at),
+            None => ctx.transmit(port, frame),
+        };
     }
 
     fn lookup(&self, dst: Ipv4Addr) -> Option<RouteEntry> {
@@ -317,7 +349,7 @@ impl LinuxRouter {
         if out.len() < 60 {
             out.resize(60, 0); // Ethernet minimum frame padding
         }
-        ctx.transmit(route.port, Frame::from_bytes(out));
+        self.emit(route.port, Frame::from_bytes(out), ctx);
     }
 
     /// Answers a who-has for one of the router's addresses with is-at.
@@ -347,7 +379,7 @@ impl LinuxRouter {
         .emit(&mut out);
         reply.emit(&mut out);
         out.resize(out.len().max(60), 0);
-        ctx.transmit(in_port, Frame::from_bytes(out));
+        self.emit(in_port, Frame::from_bytes(out), ctx);
     }
 
     fn forward(&mut self, in_port: usize, frame: Frame, ctx: &mut SimCtx<'_>) {
@@ -388,7 +420,7 @@ impl LinuxRouter {
             }
             return; // locally terminated, never forwarded
         }
-        let Some(forwarded_ip) = ip.forwarded() else {
+        if ip.forwarded().is_none() {
             self.stats.ttl_expired += 1;
             ctx.trace(TraceLevel::Debug, "TTL expired, packet dropped");
             // RFC 792: quote the IP header plus the first 8 payload bytes.
@@ -399,7 +431,7 @@ impl LinuxRouter {
                 self.send_icmp(in_port, ip.src, IcmpMessage::TimeExceeded { original }, ctx);
             }
             return;
-        };
+        }
         let Some(route) = self.lookup(ip.dst) else {
             self.stats.no_route += 1;
             ctx.trace(TraceLevel::Debug, format!("no route to {}", ip.dst));
@@ -411,20 +443,25 @@ impl LinuxRouter {
             .copied()
             .unwrap_or(MacAddr::ZERO);
 
-        // Rebuild the frame: new Ethernet header + re-checksummed IPv4
-        // header + untouched payload.
-        let mut out = Vec::with_capacity(frame.bytes().len());
-        EthernetHeader {
-            dst: route.next_hop_mac,
-            src: src_mac,
-            ethertype: EtherType::Ipv4,
-        }
-        .emit(&mut out);
-        forwarded_ip.emit(&mut out);
-        out.extend_from_slice(&frame.bytes()[ip_offset + pos_packet::ipv4::HEADER_LEN..]);
+        // Rewrite the frame in place (copy-on-write — no copy at all for a
+        // uniquely held frame, which is the unicast forwarding case): MAC
+        // addresses, TTL decrement, and an RFC 1624 incremental checksum
+        // update of the [TTL, protocol] word — no full header recompute.
+        let mut frame = frame;
+        let bytes = frame.bytes_mut();
+        bytes[0..6].copy_from_slice(&route.next_hop_mac.octets());
+        bytes[6..12].copy_from_slice(&src_mac.octets());
+        let ttl_off = ip_offset + 8;
+        let old_word = u16::from_be_bytes([bytes[ttl_off], bytes[ttl_off + 1]]);
+        bytes[ttl_off] -= 1;
+        let new_word = u16::from_be_bytes([bytes[ttl_off], bytes[ttl_off + 1]]);
+        let csum_off = ip_offset + 10;
+        let csum = u16::from_be_bytes([bytes[csum_off], bytes[csum_off + 1]]);
+        let csum = pos_packet::checksum::update(csum, old_word, new_word);
+        bytes[csum_off..csum_off + 2].copy_from_slice(&csum.to_be_bytes());
 
         self.stats.forwarded += 1;
-        ctx.transmit(route.port, Frame::from_bytes(out));
+        self.emit(route.port, frame, ctx);
     }
 
     fn schedule_next_preemption(&mut self, ctx: &mut SimCtx<'_>) {
@@ -441,12 +478,66 @@ impl Element for LinuxRouter {
     }
 
     fn on_frame(&mut self, port: usize, frame: Frame, ctx: &mut SimCtx<'_>) {
-        if self.ring.len() >= self.profile.ring_size {
+        // Decide once whether the service timeline can be folded into
+        // arrival processing: the queue is FIFO and service times are
+        // sampled in arrival order, so with no preemption process the
+        // whole timeline is computable the moment a packet arrives —
+        // no per-packet service timer needed, as long as every egress
+        // port accepts future-dated (cut-through) transmissions.
+        let folded = match self.folded {
+            Some(f) => f,
+            None => {
+                let f = self.profile.preemption.is_none()
+                    && (0..ctx.port_count()).all(|p| ctx.future_tx_capable(p));
+                self.folded = Some(f);
+                f
+            }
+        };
+        if !folded {
+            if self.ring.len() >= self.profile.ring_size {
+                self.stats.ring_drops += 1;
+                return;
+            }
+            self.ring.push_back((port, frame));
+            self.begin_service(ctx);
+            return;
+        }
+
+        // Folded path: drain completions that are in the past — those
+        // packets have left the ring — then tail-drop on occupancy,
+        // exactly like the eventful path does.
+        let now = ctx.now();
+        while self.completions.front().is_some_and(|&c| c <= now) {
+            self.completions.pop_front();
+        }
+        if self.completions.len() >= self.profile.ring_size {
             self.stats.ring_drops += 1;
             return;
         }
-        self.ring.push_back((port, frame));
-        self.begin_service(ctx);
+        let service = self
+            .profile
+            .sample_service(frame.bytes().len(), &mut self.rng);
+        let start = if self.last_completion > now {
+            self.last_completion
+        } else {
+            now
+        };
+        let completion = start + service;
+        self.completions.push_back(completion);
+        self.last_completion = completion;
+        self.tx_at = Some(completion);
+        self.forward(port, frame, ctx);
+        self.tx_at = None;
+    }
+
+    /// With no preemption process and an all-cut-through node, the router
+    /// runs timeline-folded: every arrival is consumed immediately into
+    /// timestamp arithmetic and future-dated transmissions, so frames may
+    /// be delivered ahead of global event order (arrival order is
+    /// preserved per ingress link, which is exact for the single-flow
+    /// case-study topologies).
+    fn inline_rx(&self, _port: usize, all_ports_cut_through: bool) -> bool {
+        self.profile.preemption.is_none() && all_ports_cut_through
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut SimCtx<'_>) {

@@ -40,10 +40,18 @@ impl Element for CountingSink {
         self.frames += 1;
         self.bytes += frame.wire_size() as u64;
         let now = ctx.now();
-        if self.first_arrival.is_none() {
+        if self.first_arrival.is_none_or(|f| now < f) {
             self.first_arrival = Some(now);
         }
-        self.last_arrival = Some(now);
+        if self.last_arrival.is_none_or(|l| now > l) {
+            self.last_arrival = Some(now);
+        }
+    }
+
+    /// Pure accounting over per-frame timestamps: safe to receive frames
+    /// ahead of global event order.
+    fn inline_rx(&self, _port: usize, _all_ports_cut_through: bool) -> bool {
+        true
     }
 }
 

@@ -125,6 +125,8 @@ impl Element for HardwareSwitch {
                             self.stats.dropped += 1;
                         }
                         _ => {
+                            // Flood replication shares one buffer: each
+                            // clone is a refcount bump, not a byte copy.
                             self.stats.flooded += 1;
                             for p in 0..ctx.port_count() {
                                 if p != in_port {

@@ -10,42 +10,222 @@ use crate::ipv4::{Ipv4Header, Protocol};
 use crate::mac::MacAddr;
 use crate::udp::UdpHeader;
 use crate::{ethernet, ipv4, udp, FCS_LEN, MAX_FRAME_SIZE, MIN_FRAME_SIZE};
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Headers' combined length: Ethernet + IPv4 + UDP.
 pub const HEADERS_LEN: usize = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
 
-/// A complete frame as handed to/by a NIC: header bytes and payload,
-/// excluding the FCS (which the NIC strips/appends).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Frame {
+/// Most buffers a thread's pool retains; beyond this, dropped buffers
+/// free normally. Sized for the deepest in-flight population a simulated
+/// topology holds (ring buffers + links + captures).
+const POOL_CAP: usize = 1024;
+
+thread_local! {
+    /// Per-thread recycling pool for frame backing buffers. Parallel lanes
+    /// each run their simulation on one thread, so a thread-local pool
+    /// needs no locking and keeps lanes perfectly isolated.
+    static BUF_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    /// Pool of whole `Arc<FrameBuf>` handles with refcount 1. Recycling
+    /// the `Arc` allocation itself (not just the byte buffer inside it)
+    /// keeps the per-packet hot path free of malloc/free entirely.
+    static ARC_POOL: RefCell<Vec<Arc<FrameBuf>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An empty buffer with at least `capacity` bytes of room, recycled from
+/// the thread's pool when possible.
+fn pool_take(capacity: usize) -> Vec<u8> {
+    let mut buf = BUF_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.reserve(capacity);
+    buf
+}
+
+/// Returns a buffer's allocation to the thread's pool. Uses `try_with`
+/// because frame buffers held inside `ARC_POOL` drop through here during
+/// thread teardown, when `BUF_POOL` may already be destroyed.
+fn pool_put(buf: Vec<u8>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    let _ = BUF_POOL.try_with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    });
+}
+
+/// A uniquely-held, empty frame buffer with room for `capacity` bytes,
+/// recycled from the thread's `Arc` pool when possible.
+fn pool_take_arc(capacity: usize) -> Arc<FrameBuf> {
+    if let Some(mut arc) = ARC_POOL.with(|p| p.borrow_mut().pop()) {
+        let fb = Arc::get_mut(&mut arc).expect("pooled frame buffers are uniquely held");
+        fb.data.clear();
+        fb.data.reserve(capacity);
+        arc
+    } else {
+        Arc::new(FrameBuf {
+            data: pool_take(capacity),
+        })
+    }
+}
+
+/// Returns a uniquely-held `Arc<FrameBuf>` to the thread's pool. When the
+/// pool is full (or the thread is tearing down) the handle drops normally,
+/// recycling its byte buffer via [`FrameBuf`]'s `Drop`.
+fn pool_put_arc(arc: Arc<FrameBuf>) {
+    debug_assert_eq!(Arc::strong_count(&arc), 1);
+    let _ = ARC_POOL.try_with(move |p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(arc);
+        }
+    });
+}
+
+/// Backing storage of a [`Frame`]. Dropping it recycles the allocation
+/// into the thread-local pool; cloning it (the copy-on-write path) sources
+/// the copy's allocation from the same pool.
+struct FrameBuf {
     data: Vec<u8>,
 }
 
+impl Clone for FrameBuf {
+    fn clone(&self) -> FrameBuf {
+        let mut data = pool_take(self.data.len());
+        data.extend_from_slice(&self.data);
+        FrameBuf { data }
+    }
+}
+
+impl Drop for FrameBuf {
+    fn drop(&mut self) {
+        pool_put(std::mem::take(&mut self.data));
+    }
+}
+
+/// A complete frame as handed to/by a NIC: header bytes and payload,
+/// excluding the FCS (which the NIC strips/appends).
+///
+/// `Frame` is a cheap handle over a reference-counted, pool-recycled
+/// buffer: cloning bumps a refcount instead of copying bytes, so the
+/// builder → NIC → link → switch/bridge/router handoffs (and flood
+/// replication) share one allocation. Mutation goes through
+/// [`Frame::bytes_mut`], which copies on write only when the buffer is
+/// shared — fault injection and in-place TTL/checksum rewrites never
+/// disturb other holders (e.g. a pcap capture of the pristine frame).
+pub struct Frame {
+    /// Wrapped in `ManuallyDrop` so [`Frame`]'s own `Drop` can take the
+    /// handle out and return the whole `Arc` allocation to the pool when
+    /// this was the last holder.
+    buf: std::mem::ManuallyDrop<Arc<FrameBuf>>,
+}
+
+impl Clone for Frame {
+    #[inline]
+    fn clone(&self) -> Frame {
+        Frame {
+            buf: std::mem::ManuallyDrop::new(Arc::clone(&self.buf)),
+        }
+    }
+}
+
+impl Drop for Frame {
+    #[inline]
+    fn drop(&mut self) {
+        // SAFETY: `buf` is taken exactly once; `self` is never used again.
+        let arc = unsafe { std::mem::ManuallyDrop::take(&mut self.buf) };
+        if Arc::strong_count(&arc) == 1 {
+            pool_put_arc(arc);
+        }
+    }
+}
+
 impl Frame {
+    fn from_arc(arc: Arc<FrameBuf>) -> Frame {
+        Frame {
+            buf: std::mem::ManuallyDrop::new(arc),
+        }
+    }
+
     /// Wraps raw frame bytes (without FCS).
     pub fn from_bytes(data: Vec<u8>) -> Frame {
-        Frame { data }
+        Frame::from_arc(Arc::new(FrameBuf { data }))
     }
 
     /// The frame bytes (without FCS).
+    #[inline]
     pub fn bytes(&self) -> &[u8] {
-        &self.data
+        &self.buf.data
     }
 
-    /// Mutable access to the frame bytes (fault injection corrupts these).
+    /// Mutable access to the frame bytes (fault injection corrupts these,
+    /// routers rewrite TTL/checksum in place). Copy-on-write: a buffer
+    /// shared with other frames is copied first (into a pool-recycled
+    /// allocation); a uniquely held one is mutated in place.
+    #[inline]
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        if Arc::strong_count(&self.buf) != 1 {
+            let mut fresh = pool_take_arc(self.buf.data.len());
+            Arc::get_mut(&mut fresh)
+                .expect("fresh buffer is uniquely held")
+                .data
+                .extend_from_slice(&self.buf.data);
+            // Drop our share of the old buffer; other holders keep it.
+            drop(std::mem::replace(&mut *self.buf, fresh));
+        }
+        &mut Arc::get_mut(&mut self.buf)
+            .expect("uniqueness just ensured")
+            .data
+    }
+
+    /// A uniquely-held byte-for-byte copy of this frame, backed by a
+    /// pool-recycled allocation. Equivalent to `clone()` followed by
+    /// `bytes_mut()` forcing the copy, but skips the refcount round-trip —
+    /// this is the per-packet template-stamping path in the load generator.
+    pub fn duplicate(&self) -> Frame {
+        let mut fresh = pool_take_arc(self.buf.data.len());
+        Arc::get_mut(&mut fresh)
+            .expect("fresh buffer is uniquely held")
+            .data
+            .extend_from_slice(&self.buf.data);
+        Frame::from_arc(fresh)
     }
 
     /// Size of the frame on the wire: bytes plus the 4-byte FCS.
+    #[inline]
     pub fn wire_size(&self) -> usize {
-        self.data.len() + FCS_LEN
+        self.buf.data.len() + FCS_LEN
     }
 
     /// Consumes the frame, returning its bytes.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.data
+        let mut this = std::mem::ManuallyDrop::new(self);
+        // SAFETY: `this` suppresses `Frame::drop`, so `buf` is taken once.
+        let arc = unsafe { std::mem::ManuallyDrop::take(&mut this.buf) };
+        match Arc::try_unwrap(arc) {
+            // Sole owner: steal the buffer (Drop then recycles nothing).
+            Ok(mut fb) => std::mem::take(&mut fb.data),
+            Err(shared) => shared.data.clone(),
+        }
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for Frame {}
+
+impl core::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Frame")
+            .field("data", &self.buf.data)
+            .finish()
     }
 }
 
@@ -70,14 +250,18 @@ pub struct UdpFrameSpec {
 
 impl UdpFrameSpec {
     /// Builds a frame with exactly `payload.len()` bytes of UDP payload.
+    /// The backing buffer comes from the thread's frame pool.
     pub fn build(&self, payload: &[u8]) -> Frame {
-        let mut buf = Vec::with_capacity(HEADERS_LEN + payload.len());
+        let mut arc = pool_take_arc(HEADERS_LEN + payload.len());
+        let buf = &mut Arc::get_mut(&mut arc)
+            .expect("freshly taken buffer is uniquely held")
+            .data;
         EthernetHeader {
             dst: self.dst_mac,
             src: self.src_mac,
             ethertype: EtherType::Ipv4,
         }
-        .emit(&mut buf);
+        .emit(buf);
         let ip = Ipv4Header::for_payload(
             self.src_ip,
             self.dst_ip,
@@ -85,14 +269,14 @@ impl UdpFrameSpec {
             self.ttl,
             udp::HEADER_LEN + payload.len(),
         );
-        ip.emit(&mut buf);
+        ip.emit(buf);
         UdpHeader::for_payload(self.src_port, self.dst_port, payload.len()).emit(
             self.src_ip,
             self.dst_ip,
             payload,
-            &mut buf,
+            buf,
         );
-        Frame::from_bytes(buf)
+        Frame::from_arc(arc)
     }
 
     /// Builds a frame whose size *on the wire* (FCS included) is exactly
@@ -238,6 +422,42 @@ mod tests {
                 "payload fills the frame"
             );
         }
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let a = spec().build(&[1, 2, 3]);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.bytes_mut()[0] ^= 0xFF;
+        assert_ne!(a, b, "copy-on-write isolates the clone");
+        assert_eq!(a.bytes()[0] ^ 0xFF, b.bytes()[0], "original untouched");
+    }
+
+    #[test]
+    fn into_bytes_of_shared_frame_copies() {
+        let a = spec().build(&[9; 8]);
+        let b = a.clone();
+        assert_eq!(
+            b.into_bytes(),
+            a.bytes(),
+            "shared unwrap falls back to copy"
+        );
+        let sole = spec().build(&[7; 4]);
+        let expect = sole.bytes().to_vec();
+        assert_eq!(sole.into_bytes(), expect, "sole owner steals the buffer");
+    }
+
+    #[test]
+    fn pool_recycles_dropped_buffers() {
+        let cap_of = |f: &Frame| f.bytes().len();
+        let a = spec().build(&[0u8; 100]);
+        let n = cap_of(&a);
+        drop(a);
+        // The next build of an equal-or-smaller frame must not grow the
+        // pool: it reuses the recycled allocation.
+        let b = spec().build(&[0u8; 50]);
+        assert!(cap_of(&b) <= n);
     }
 
     #[test]

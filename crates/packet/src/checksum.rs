@@ -5,6 +5,7 @@
 /// Returns the 32-bit accumulated sum; combine partial sums with
 /// [`finish`] to obtain the one's-complement checksum. An odd trailing byte
 /// is padded with a zero byte, per RFC 1071.
+#[inline]
 pub fn sum(data: &[u8]) -> u32 {
     let mut acc: u32 = 0;
     let mut chunks = data.chunks_exact(2);
@@ -19,6 +20,7 @@ pub fn sum(data: &[u8]) -> u32 {
 
 /// Folds the carries and takes the one's complement, yielding the checksum
 /// field value.
+#[inline]
 pub fn finish(mut acc: u32) -> u16 {
     while acc > 0xFFFF {
         acc = (acc & 0xFFFF) + (acc >> 16);
@@ -27,12 +29,14 @@ pub fn finish(mut acc: u32) -> u16 {
 }
 
 /// One-shot checksum of a contiguous buffer.
+#[inline]
 pub fn checksum(data: &[u8]) -> u16 {
     finish(sum(data))
 }
 
 /// Verifies a buffer whose checksum field is included in the data: the
 /// folded sum over everything must be zero.
+#[inline]
 pub fn verify(data: &[u8]) -> bool {
     finish(sum(data)) == 0
 }
@@ -42,6 +46,7 @@ pub fn verify(data: &[u8]) -> bool {
 ///
 /// A result of zero is mapped to `0xFFFF`, preserving the UDP "checksum
 /// disabled" convention for fields that must never read zero.
+#[inline]
 pub fn update(checksum_field: u16, old_word: u16, new_word: u16) -> u16 {
     let mut acc = u32::from(!checksum_field) + u32::from(!old_word) + u32::from(new_word);
     while acc > 0xFFFF {

@@ -63,6 +63,7 @@ impl EthernetHeader {
 
     /// Parses a header from the front of `data`; returns the header and the
     /// payload (the bytes after the header).
+    #[inline]
     pub fn parse(data: &[u8]) -> Result<(EthernetHeader, &[u8]), ParseError> {
         if data.len() < HEADER_LEN {
             return Err(ParseError::Truncated {

@@ -111,6 +111,7 @@ impl Ipv4Header {
 
     /// Parses and validates a header from the front of `data`; returns the
     /// header and the payload bytes (`total_len - 20` of them).
+    #[inline]
     pub fn parse(data: &[u8]) -> Result<(Ipv4Header, &[u8]), ParseError> {
         if data.len() < HEADER_LEN {
             return Err(ParseError::Truncated {

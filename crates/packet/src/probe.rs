@@ -39,6 +39,7 @@ impl Probe {
     ///
     /// # Panics
     /// Panics if `payload` is shorter than [`PROBE_LEN`].
+    #[inline]
     pub fn write_to(&self, payload: &mut [u8]) {
         assert!(
             payload.len() >= PROBE_LEN,
@@ -51,7 +52,29 @@ impl Probe {
         payload[8..16].copy_from_slice(&self.tx_ns.to_be_bytes());
     }
 
+    /// The folded one's-complement sum of the serialized probe's 16-bit
+    /// words (including the magic), computed arithmetically from the
+    /// fields. Lets a sender patch a UDP checksum incrementally (RFC 1624)
+    /// after stamping a probe over a zeroed payload region, without
+    /// re-reading the bytes it just wrote.
+    #[inline]
+    pub fn word_sum(&self) -> u16 {
+        let mut acc = u32::from(MAGIC)
+            + u32::from(self.flow_id)
+            + (self.seq >> 16)
+            + (self.seq & 0xFFFF)
+            + ((self.tx_ns >> 48) as u32 & 0xFFFF)
+            + ((self.tx_ns >> 32) as u32 & 0xFFFF)
+            + ((self.tx_ns >> 16) as u32 & 0xFFFF)
+            + (self.tx_ns as u32 & 0xFFFF);
+        while acc > 0xFFFF {
+            acc = (acc & 0xFFFF) + (acc >> 16);
+        }
+        acc as u16
+    }
+
     /// Parses a probe from the front of `payload`.
+    #[inline]
     pub fn parse(payload: &[u8]) -> Result<Probe, ParseError> {
         if payload.len() < PROBE_LEN {
             return Err(ParseError::Truncated {
@@ -96,6 +119,25 @@ mod tests {
     fn fits_min_frame_payload() {
         // 64 B wire frame = 60 B frame = 14 eth + 20 ip + 8 udp + 18 payload.
         const { assert!(PROBE_LEN <= 18, "probe must fit a minimum-size frame") }
+    }
+
+    proptest! {
+        /// The arithmetic word sum must equal the fold over the serialized
+        /// bytes — the sender's incremental-checksum path depends on it.
+        #[test]
+        fn word_sum_matches_serialized_fold(flow_id: u16, seq: u32, tx_ns: u64) {
+            let p = Probe { flow_id, seq, tx_ns };
+            let mut buf = [0u8; PROBE_LEN];
+            p.write_to(&mut buf);
+            let mut acc = 0u32;
+            for w in buf.chunks_exact(2) {
+                acc += u32::from(u16::from_be_bytes([w[0], w[1]]));
+            }
+            while acc > 0xFFFF {
+                acc = (acc & 0xFFFF) + (acc >> 16);
+            }
+            prop_assert_eq!(p.word_sum(), acc as u16);
+        }
     }
 
     #[test]

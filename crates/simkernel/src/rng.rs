@@ -41,6 +41,11 @@ pub struct SimRng {
     /// resumed computation fast-forward a shared stream to where an
     /// interrupted one left off ([`SimRng::skip_to`]).
     draws: u64,
+    /// The second deviate of the last Marsaglia polar pair, held for the
+    /// next [`SimRng::normal`] call (the polar method produces two
+    /// independent normals per rejection loop; discarding one doubles the
+    /// cost). Stored as an `f64` bit pattern to keep the struct `Eq`.
+    spare_normal: Option<u64>,
 }
 
 impl SimRng {
@@ -60,6 +65,7 @@ impl SimRng {
             s,
             lineage: seed,
             draws: 0,
+            spare_normal: None,
         }
     }
 
@@ -85,6 +91,10 @@ impl SimRng {
         while self.draws < cursor {
             self.next_raw();
         }
+        // The cursor only captures raw draws; a half-consumed normal pair
+        // is not replayable state, so realignment starts from an empty
+        // spare on both sides.
+        self.spare_normal = None;
     }
 
     /// Derives an independent child stream identified by a stable label.
@@ -104,6 +114,7 @@ impl SimRng {
     }
 
     /// Generates the next raw 64-bit value.
+    #[inline]
     pub fn next_raw(&mut self) -> u64 {
         self.draws += 1;
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -118,6 +129,7 @@ impl SimRng {
     }
 
     /// A uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn uniform_f64(&mut self) -> f64 {
         (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -126,6 +138,7 @@ impl SimRng {
     ///
     /// # Panics
     /// Panics if `n == 0`.
+    #[inline]
     pub fn uniform_u64(&mut self, n: u64) -> u64 {
         assert!(n > 0, "uniform_u64: empty range");
         // Lemire's multiply-shift rejection method.
@@ -144,6 +157,7 @@ impl SimRng {
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             false
@@ -154,24 +168,34 @@ impl SimRng {
         }
     }
 
-    /// A standard normal deviate (Marsaglia polar method).
+    /// A standard normal deviate (Marsaglia polar method). Each rejection
+    /// loop produces an independent pair; the second deviate is cached and
+    /// returned by the next call, halving the amortized cost.
+    #[inline]
     pub fn normal(&mut self) -> f64 {
+        if let Some(bits) = self.spare_normal.take() {
+            return f64::from_bits(bits);
+        }
         loop {
             let u = 2.0 * self.uniform_f64() - 1.0;
             let v = 2.0 * self.uniform_f64() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
-                return u * (-2.0 * s.ln() / s).sqrt();
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some((v * f).to_bits());
+                return u * f;
             }
         }
     }
 
     /// A normal deviate with the given mean and standard deviation.
+    #[inline]
     pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
         mean + std_dev * self.normal()
     }
 
     /// A lognormal deviate: `exp(N(mu, sigma))`.
+    #[inline]
     pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
         self.normal_with(mu, sigma).exp()
     }

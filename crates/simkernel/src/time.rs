@@ -29,31 +29,37 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant from nanoseconds since simulation start.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
     }
 
     /// Creates an instant from microseconds since simulation start.
+    #[inline]
     pub const fn from_micros(us: u64) -> Self {
         SimTime(us * 1_000)
     }
 
     /// Creates an instant from milliseconds since simulation start.
+    #[inline]
     pub const fn from_millis(ms: u64) -> Self {
         SimTime(ms * 1_000_000)
     }
 
     /// Creates an instant from seconds since simulation start.
+    #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimTime(s * 1_000_000_000)
     }
 
     /// Nanoseconds since simulation start.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
     /// Seconds since simulation start, as a float (lossy; for reporting).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
@@ -63,6 +69,7 @@ impl SimTime {
     /// # Panics
     /// Panics if `earlier` is later than `self`; simulated clocks never run
     /// backwards, so this indicates a logic error in the caller.
+    #[inline]
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(
             self.0
@@ -72,11 +79,13 @@ impl SimTime {
     }
 
     /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    #[inline]
     pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// Checked addition; `None` on overflow.
+    #[inline]
     pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_add(d.0).map(SimTime)
     }
@@ -87,37 +96,44 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Creates a duration from nanoseconds.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimDuration(ns)
     }
 
     /// Creates a duration from microseconds.
+    #[inline]
     pub const fn from_micros(us: u64) -> Self {
         SimDuration(us * 1_000)
     }
 
     /// Creates a duration from milliseconds.
+    #[inline]
     pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms * 1_000_000)
     }
 
     /// Creates a duration from seconds.
+    #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1_000_000_000)
     }
 
     /// Creates a duration from minutes.
+    #[inline]
     pub const fn from_mins(m: u64) -> Self {
         SimDuration(m * 60 * 1_000_000_000)
     }
 
     /// Creates a duration from hours.
+    #[inline]
     pub const fn from_hours(h: u64) -> Self {
         SimDuration(h * 3_600 * 1_000_000_000)
     }
 
     /// Creates a duration from a float number of seconds, rounding to the
     /// nearest nanosecond. Negative or non-finite inputs clamp to zero.
+    #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         if !s.is_finite() || s <= 0.0 {
             return SimDuration::ZERO;
@@ -126,36 +142,43 @@ impl SimDuration {
     }
 
     /// The duration in nanoseconds.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
     /// The duration in whole microseconds (truncating).
+    #[inline]
     pub const fn as_micros(self) -> u64 {
         self.0 / 1_000
     }
 
     /// The duration in whole milliseconds (truncating).
+    #[inline]
     pub const fn as_millis(self) -> u64 {
         self.0 / 1_000_000
     }
 
     /// The duration in whole seconds (truncating).
+    #[inline]
     pub const fn as_secs(self) -> u64 {
         self.0 / 1_000_000_000
     }
 
     /// The duration in seconds, as a float (lossy; for reporting).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// Saturating subtraction.
+    #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
     /// Checked multiplication by an integer factor.
+    #[inline]
     pub fn checked_mul(self, n: u64) -> Option<SimDuration> {
         self.0.checked_mul(n).map(SimDuration)
     }
@@ -163,6 +186,7 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(
             self.0
@@ -173,6 +197,7 @@ impl Add<SimDuration> for SimTime {
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         *self = *self + rhs;
     }
@@ -180,6 +205,7 @@ impl AddAssign<SimDuration> for SimTime {
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
         SimTime(
             self.0
@@ -191,6 +217,7 @@ impl Sub<SimDuration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         self.duration_since(rhs)
     }
@@ -198,12 +225,14 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
 
 impl AddAssign for SimDuration {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         *self = *self + rhs;
     }
@@ -211,12 +240,14 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
     }
 }
 
 impl SubAssign for SimDuration {
+    #[inline]
     fn sub_assign(&mut self, rhs: SimDuration) {
         *self = *self - rhs;
     }
@@ -224,6 +255,7 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
         SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
     }
@@ -231,6 +263,7 @@ impl Mul<u64> for SimDuration {
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn div(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 / rhs)
     }

@@ -99,6 +99,13 @@ impl Trace {
         self.min_level = level;
     }
 
+    /// The minimum severity currently recorded. Callers on hot paths check
+    /// this before formatting a message or cloning a component name.
+    #[inline]
+    pub fn min_level(&self) -> TraceLevel {
+        self.min_level
+    }
+
     /// Appends an entry; evicts the oldest entry when at capacity.
     pub fn log(
         &mut self,

@@ -245,6 +245,19 @@ if [ "${POS_CI_SKIP_BENCH:-0}" != "1" ]; then
         cargo run --release -p pos-bench --bin dag >/dev/null
     test -s BENCH_dag.json
     rm -f BENCH_dag.json
+
+    echo "==> bench smoke: kernel (event churn + packet path, regression floors)"
+    # Floors sit at ~25% of current dev-machine numbers (16M events/s,
+    # 6.6M pkts/s @64B, 5.1M pkts/s @1500B) so slow CI hosts pass but a
+    # return to the pre-wheel/pre-zero-copy kernel (9M / 1.25M / 0.9M)
+    # trips loudly. The binary exits nonzero on a floor violation.
+    POS_KERNEL_EVENTS=1000000 POS_KERNEL_RUN_SECS=0.2 \
+        POS_KERNEL_FLOOR_EPS=4000000 \
+        POS_KERNEL_FLOOR_PPS64=1600000 \
+        POS_KERNEL_FLOOR_PPS1500=1300000 \
+        cargo run --release -p pos-bench --bin kernel >/dev/null
+    test -s BENCH_kernel.json
+    rm -f BENCH_kernel.json
 fi
 
 echo "==> ci: OK"
